@@ -1,0 +1,42 @@
+// Ablation (DESIGN.md): DRAM bandwidth sensitivity.
+// Sweeps the DRAM bandwidth of the edge device and reports where each
+// dataflow crosses from memory-bound to compute-bound. Layer-Wise/Soft-Pipe
+// (which round-trip intermediates) should improve steeply with bandwidth;
+// the fused methods should be flat once loads hide under compute — this is
+// the regime where MAS's MAC/VEC overlap is the only remaining lever.
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main() {
+  using namespace mas;
+  const sim::EnergyModel em;
+  const AttentionShape shape = FindNetwork("BERT-Base & T5-Base").shape;
+
+  std::cout << "=== Ablation: DRAM bandwidth sweep (" << shape.ToString() << ") ===\n\n";
+  TextTable table({"BW GB/s", "Layer-Wise Mcyc", "Soft-Pipe Mcyc", "FLAT Mcyc", "MAS Mcyc",
+                   "MAS vs FLAT", "MAS vs Layer-Wise"});
+  for (double bw : {7.5, 15.0, 30.0, 60.0, 120.0}) {
+    sim::HardwareConfig hw = sim::EdgeSimConfig();
+    hw.dram_gb_per_s = bw;
+    std::vector<double> cycles;
+    for (Method m : {Method::kLayerWise, Method::kSoftPipe, Method::kFlat, Method::kMas}) {
+      const auto sched = MakeScheduler(m);
+      const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
+      cycles.push_back(static_cast<double>(sched->Simulate(shape, tiling, hw, em).cycles));
+    }
+    table.AddRow({FormatFixed(bw, 1), FormatFixed(cycles[0] / 1e6, 3),
+                  FormatFixed(cycles[1] / 1e6, 3), FormatFixed(cycles[2] / 1e6, 3),
+                  FormatFixed(cycles[3] / 1e6, 3), FormatSpeedup(cycles[2] / cycles[3]),
+                  FormatSpeedup(cycles[0] / cycles[3])});
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "Fused methods saturate early (compute-bound); unfused baselines chase\n";
+  std::cout << "bandwidth, so MAS's advantage over Layer-Wise shrinks as BW grows while\n";
+  std::cout << "its advantage over FLAT (MAC/VEC overlap) persists at every bandwidth.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation (DESIGN.md): value of the proactive overwrite strategy.
+//
+// Two views, both on an L1-tight single-core configuration (1 MB):
+//
+//  1. Fixed pressured tiling — a large-strip configuration whose two
+//     pipeline strips do not fit next to resident K/V, so the overwrite must
+//     fire. Compares (a) full MAS (evict K/V, reload, redo) against (b) MAS
+//     with the overwrite disabled (MasNoOverwriteScheduler: pressured
+//     schedules drain sequentially in FLAT order — an upper bound on the
+//     loss).
+//  2. Searched comparison — (a) tuned MAS with overwrite allowed vs (c) the
+//     best tiling among those that never trigger the overwrite. This shows
+//     whether the overwrite unlocks tilings the quiet search cannot reach.
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main() {
+  using namespace mas;
+  const sim::EnergyModel em;
+  sim::HardwareConfig hw = sim::EdgeSimConfig();
+  hw.cores.resize(1);
+  hw.l1_bytes = 1 * 1024 * 1024;  // pressure: 1 MB budget
+
+  const AttentionShape shape{"longseq", 1, 2, 2048, 64};
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto no_ow = MakeScheduler(Method::kMasNoOverwrite);
+
+  std::cout << "=== Ablation: proactive overwrite strategy (" << shape.ToString()
+            << ", 1 MB L1, 1 core) ===\n\n";
+
+  TextTable table({"Variant", "tiling", "Mcycles", "overwrites", "reload KB",
+                   "DRAM reads MB", "energy GpJ"});
+  auto add = [&](const std::string& name, const TilingConfig& t, const sim::SimResult& r) {
+    table.AddRow({name, t.ToString(), FormatFixed(r.cycles / 1e6, 3),
+                  std::to_string(r.overwrite_events), FormatFixed(r.reload_bytes / 1024.0, 1),
+                  FormatFixed(r.dram_read_bytes / (1024.0 * 1024.0), 2),
+                  FormatFixed(r.energy.total_pj() / 1e9, 3)});
+  };
+
+  // --- View 1: fixed pressured tiling (strips of 96 rows x 2048 cols). ---
+  const TilingConfig pressured{1, 1, 96, 256};
+  const auto with_fixed = mas->Simulate(shape, pressured, hw, em);
+  const auto without_fixed = no_ow->Simulate(shape, pressured, hw, em);
+  add("MAS + overwrite, pressured tiling", pressured, with_fixed);
+  add("MAS - overwrite (stalls), same tiling", pressured, without_fixed);
+  table.AddRule();
+
+  // --- View 2: searched; overwrite-allowed vs quiet-only tilings. ---
+  const TilingConfig tuned = search::AutoTile(*mas, shape, hw, em);
+  const auto with_tuned = mas->Simulate(shape, tuned, hw, em);
+  search::TilingProblem problem(*mas, shape, hw, em);
+  TilingConfig best_quiet = tuned;
+  double best_quiet_cycles = 1e300;
+  for (std::int64_t hh : problem.hh_candidates()) {
+    for (std::int64_t nq : problem.nq_candidates()) {
+      for (std::int64_t nkv : problem.nkv_candidates()) {
+        const TilingConfig t{1, hh, nq, nkv};
+        if (!problem.Feasible(t)) continue;
+        const auto r = mas->Simulate(shape, t, hw, em);
+        if (r.overwrite_events == 0 && static_cast<double>(r.cycles) < best_quiet_cycles) {
+          best_quiet_cycles = static_cast<double>(r.cycles);
+          best_quiet = t;
+        }
+      }
+    }
+  }
+  const auto quiet = mas->Simulate(shape, best_quiet, hw, em);
+  add("MAS + overwrite (tuned)", tuned, with_tuned);
+  add("MAS, best overwrite-free tiling", best_quiet, quiet);
+  std::cout << table.ToString() << "\n";
+
+  const double stall_penalty =
+      static_cast<double>(without_fixed.cycles) / static_cast<double>(with_fixed.cycles);
+  std::cout << "On the pressured tiling, disabling the overwrite costs "
+            << FormatSpeedup(stall_penalty)
+            << " (the pipeline drains sequentially); the overwrite keeps the overlap\n";
+  std::cout << "at the price of " << FormatFixed(with_fixed.reload_bytes / 1024.0, 1)
+            << " KB of K/V reloads — the paper's \"unnoticeable\" extra reads.\n";
+  if (with_tuned.cycles <= quiet.cycles) {
+    std::cout << "Searched view: the overwrite-allowed optimum matches or beats the best\n"
+              << "overwrite-free tiling (search can also sidestep pressure here).\n";
+  } else {
+    std::cout << "Searched view: quiet tilings win on this configuration — the search\n"
+              << "avoids pressure outright, as the paper's offline tuner also would.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension study (beyond the paper's square self-attention evaluation):
+// rectangular attention — SD-UNet text-conditioning cross-attention
+// (N_kv = 77 CLIP tokens) and autoregressive decode against a KV cache
+// (N = 1 query row). Together with Table 2 these map out where the
+// MAS stream pipeline pays off: compute-bound square/query-heavy shapes
+// benefit fully, while K/V-light and single-row shapes degrade gracefully
+// toward the fused-sequential baselines.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+namespace {
+
+using namespace mas;
+
+void RunSuite(const std::string& title, const std::vector<AttentionShape>& shapes,
+              const sim::HardwareConfig& hw, const sim::EnergyModel& em) {
+  std::cout << "--- " << title << " ---\n";
+  TextTable table({"Shape", "Layer-Wise Mcyc", "FLAT Mcyc", "FuseMax Mcyc", "MAS Mcyc",
+                   "MAS vs FLAT", "MAC util %", "DMA busy %"});
+  for (const AttentionShape& shape : shapes) {
+    double flat_cycles = 0.0;
+    std::vector<std::string> row = {shape.ToString()};
+    for (Method m : {Method::kLayerWise, Method::kFlat, Method::kFuseMax, Method::kMas}) {
+      const auto sched = MakeScheduler(m);
+      const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
+      const auto r = sched->Simulate(shape, tiling, hw, em);
+      row.push_back(FormatFixed(r.cycles / 1e6, 3));
+      if (m == Method::kFlat) flat_cycles = static_cast<double>(r.cycles);
+      if (m == Method::kMas) {
+        row.push_back(FormatSpeedup(flat_cycles / static_cast<double>(r.cycles)));
+        row.push_back(FormatFixed(100.0 * r.MacUtilization(), 0));
+        row.push_back(FormatFixed(100.0 *
+                                      static_cast<double>(r.BusyCycles(sim::ResourceKind::kDma)) /
+                                      static_cast<double>(r.cycles),
+                                  0));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << table.ToString() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  std::cout << "=== Cross-attention & decode extension study ===\n";
+  std::cout << hw.Describe() << "\n";
+
+  std::vector<AttentionShape> xattn;
+  for (const auto& u : SdUnetCrossAttentionUnits()) xattn.push_back(u.shape);
+  RunSuite("SD-1.5 UNet cross-attention (N_kv = 77 prompt tokens)", xattn, hw, em);
+
+  std::vector<AttentionShape> decode;
+  for (const auto& w : DecodeWorkloads({512, 2048, 8192})) decode.push_back(w.shape);
+  RunSuite("Llama3-8B-class decode (N = 1 row vs KV cache)", decode, hw, em);
+
+  std::cout << "Expected shape: cross-attention at high latent resolutions stays compute-\n";
+  std::cout << "bound (query side dominates) and MAS keeps most of its Table-2 advantage;\n";
+  std::cout << "decode is DMA-bound at every context length, so the fused methods converge\n";
+  std::cout << "and only the unfused Layer-Wise baseline still loses (score round trips).\n";
+  return 0;
+}

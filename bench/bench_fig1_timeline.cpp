@@ -1,0 +1,87 @@
+// Regenerates paper Fig. 1: the dataflow comparison between FLAT and
+// MAS-Attention. Prints per-resource Gantt rows showing FLAT's sequential
+// tiled stages versus MAS's semi-synchronous MAC/VEC overlap.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace mas;
+
+// Renders the core-0 portion of a timeline as ASCII Gantt rows, one row per
+// resource, bucketing time into `width` columns.
+void PrintGantt(const sim::SimResult& result, int width) {
+  const std::uint64_t span = result.cycles;
+  if (span == 0) return;
+  std::map<std::string, std::string> rows;
+  auto row_key = [](const sim::TimelineEntry& e) {
+    return std::string(sim::ResourceKindName(e.resource)) +
+           (e.resource == sim::ResourceKind::kDma ? "" : std::to_string(e.core));
+  };
+  auto glyph = [](const std::string& name) {
+    if (name.find("C_ij") != std::string::npos || name.find("C_j") != std::string::npos)
+      return 'Q';  // QK^T MatMul
+    if (name.find("O_i +=") != std::string::npos) return 'P';  // PV MatMul
+    if (name.find("softmax") != std::string::npos || name.find("update") != std::string::npos)
+      return 'S';
+    if (name.find("redo") != std::string::npos) return 'R';
+    return '.';
+  };
+  for (const auto& e : result.timeline) {
+    if (e.core != 0 && e.resource != sim::ResourceKind::kDma) continue;
+    auto& row = rows[row_key(e)];
+    if (row.empty()) row.assign(static_cast<std::size_t>(width), ' ');
+    const auto c0 = static_cast<std::size_t>(e.start * width / span);
+    const auto c1 = std::max<std::size_t>(c0 + 1, static_cast<std::size_t>(e.end * width / span));
+    for (std::size_t c = c0; c < std::min<std::size_t>(c1, static_cast<std::size_t>(width)); ++c) {
+      row[c] = glyph(e.name);
+    }
+  }
+  for (const auto& [name, row] : rows) {
+    std::cout << "  " << name << " |" << row << "|\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mas;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  const AttentionShape shape = FindNetwork("BERT-Small").shape;
+
+  std::cout << "=== Fig. 1: Dataflow comparison, FLAT vs MAS-Attention ===\n";
+  std::cout << "Workload: " << shape.ToString() << "\n";
+  std::cout << "Glyphs: Q = Q_i K^T tile (MAC), S = softmax (VEC), P = P_i V tile (MAC),\n";
+  std::cout << "        . = DMA transfer, R = overwrite redo\n\n";
+
+  for (Method m : {Method::kFlat, Method::kMas}) {
+    const auto sched = MakeScheduler(m);
+    const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
+    const auto r = sched->Simulate(shape, tiling, hw, em, /*record_timeline=*/true);
+    const auto summary = trace::Summarize(r);
+    std::cout << sched->name() << "  (" << tiling.ToString() << ", "
+              << FormatFixed(r.cycles / 1e6, 3) << " Mcycles, MAC util "
+              << FormatPercent(r.MacUtilization()) << ", MAC/VEC overlap "
+              << FormatPercent(static_cast<double>(summary.mac_vec_overlap_cycles) /
+                               static_cast<double>(summary.makespan))
+              << " of makespan)\n";
+    PrintGantt(r, 100);
+    std::cout << "\n";
+  }
+
+  std::cout << "FLAT idles the MAC unit during softmax (gaps between Q and P spans);\n";
+  std::cout << "MAS overlaps softmax with the neighbouring iterations' MatMuls — the\n";
+  std::cout << "overlap percentage above is Fig. 1's visual argument, quantified.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates paper Fig. 5: normalized execution time on the DaVinci-NPU
+// class device (Huawei MatePad Pro 13.2 stand-in; see DESIGN.md §2 for the
+// substitution) for Layer-Wise, Soft-Pipe, FLAT and MAS-Attention.
+// TileFlow is excluded, as in the paper (its implementation details were
+// not deployable on the NPU); FuseMax likewise only appears in simulation.
+//
+// Tilings are found by exhaustive grid search, matching the paper's use of
+// Grid Search on the DaVinci's structured memory model.
+#include <iostream>
+
+#include "report/harness.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main() {
+  using namespace mas;
+  const sim::HardwareConfig npu = sim::DavinciNpuConfig();
+  const sim::EnergyModel em;
+
+  std::cout << "=== Fig. 5: Normalized execution time on the DaVinci-class NPU ===\n";
+  std::cout << npu.Describe() << "\n";
+
+  const std::vector<Method> methods = {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
+                                       Method::kMas};
+
+  std::vector<report::NetworkComparison> comparisons;
+  for (const auto& net : Table1Networks()) {
+    report::NetworkComparison cmp;
+    cmp.network = net;
+    for (Method m : AllMethods()) {
+      const auto sched = MakeScheduler(m);
+      report::MethodRun run;
+      run.method = m;
+      // Grid search (coarse lattice), per the paper's NPU methodology.
+      search::TilingProblem problem(*sched, net.shape, npu, em);
+      search::GridOptions opts;
+      opts.coarse = true;
+      const auto result = search::GridSearch(problem, opts);
+      run.tiling = result.best;
+      run.sim = sched->Simulate(net.shape, run.tiling, npu, em);
+      cmp.runs.push_back(std::move(run));
+    }
+    comparisons.push_back(std::move(cmp));
+  }
+
+  const TextTable table = report::BuildNormalizedTimeTable(comparisons, methods);
+  std::cout << table.ToString() << "\n";
+
+  std::cout << "Paper reference (real DaVinci NPU): speedups 1.94x-3.50x vs Layer-Wise,\n";
+  std::cout << "1.35x-2.87x vs Soft-Pipe, 1.30x-1.76x vs FLAT; geomeans 2.33x / 1.73x / "
+               "1.42x.\n";
+  std::cout << "Measured geomeans: "
+            << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kLayerWise))
+            << " / " << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kSoftPipe))
+            << " / " << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kFlat))
+            << "\n";
+  return 0;
+}

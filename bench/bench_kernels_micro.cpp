@@ -1,0 +1,81 @@
+// Google-benchmark microbenchmarks for the functional kernels and the
+// simulator hot paths (the search evaluates thousands of schedules; the
+// engine and schedulers must stay fast).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dataflow/workloads.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace mas;
+
+void BM_ReferenceAttention(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  TensorF q(1, 2, n, 32), k(1, 2, n, 32), v(1, 2, n, 32);
+  FillUniform(q, rng);
+  FillUniform(k, rng);
+  FillUniform(v, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReferenceAttention(q, k, v));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 2 * n * n * 32);
+}
+BENCHMARK(BM_ReferenceAttention)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TiledSoftmax(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  TensorF c(1, 2, n, n);
+  FillUniform(c, rng, -4.0f, 4.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TiledSoftmax(c));
+  }
+}
+BENCHMARK(BM_TiledSoftmax)->Arg(64)->Arg(256);
+
+void BM_OnlineSoftmax(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(3);
+  TensorF c(1, 2, n, n);
+  FillUniform(c, rng, -4.0f, 4.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OnlineSoftmaxRows(c, 64));
+  }
+}
+BENCHMARK(BM_OnlineSoftmax)->Arg(64)->Arg(256);
+
+void BM_SimulateScheduler(benchmark::State& state) {
+  const Method m = static_cast<Method>(state.range(0));
+  const auto sched = MakeScheduler(m);
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  const AttentionShape shape = FindNetwork("BERT-Base & T5-Base").shape;
+  const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->Simulate(shape, tiling, hw, em));
+  }
+  state.SetLabel(sched->name());
+}
+BENCHMARK(BM_SimulateScheduler)->DenseRange(0, 5);
+
+void BM_AutoTile(benchmark::State& state) {
+  const auto sched = MakeScheduler(Method::kMas);
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  const AttentionShape shape = FindNetwork("ViT-B/16").shape;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::AutoTile(*sched, shape, hw, em));
+  }
+}
+BENCHMARK(BM_AutoTile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

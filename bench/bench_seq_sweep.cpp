@@ -1,0 +1,49 @@
+// Sequence-length sweep: where each dataflow wins as N grows at fixed
+// head/embedding geometry (BERT-Base-class, H=12, E=64). Complements
+// Table 2's fixed-N rows with the crossover structure: Layer-Wise's DRAM
+// round trips grow O(N^2), the fused methods stay compute-bound until the
+// score strips press on L1, and MAS's overlap advantage is roughly
+// N-invariant until the §5.6 pipelining bound bites.
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main() {
+  using namespace mas;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  std::cout << "=== Sequence-length sweep (H=12, E=64) ===\n";
+  std::cout << hw.Describe() << "\n";
+
+  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kFuseMax,
+                                       Method::kMas};
+  TextTable table({"N", "Layer-Wise Mcyc", "FLAT Mcyc", "FuseMax Mcyc", "MAS Mcyc",
+                   "MAS vs LW", "MAS vs FLAT", "MAS overwrites"});
+  for (std::int64_t n = 128; n <= 8192; n *= 2) {
+    AttentionShape shape{"sweep_n" + std::to_string(n), 1, 12, n, 64};
+    std::vector<double> mcyc;
+    std::int64_t overwrites = 0;
+    for (Method m : methods) {
+      const auto sched = MakeScheduler(m);
+      const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
+      const auto r = sched->Simulate(shape, tiling, hw, em);
+      mcyc.push_back(r.cycles / 1e6);
+      if (m == Method::kMas) overwrites = r.overwrite_events;
+    }
+    table.AddRow({std::to_string(n), FormatFixed(mcyc[0], 3), FormatFixed(mcyc[1], 3),
+                  FormatFixed(mcyc[2], 3), FormatFixed(mcyc[3], 3),
+                  FormatSpeedup(mcyc[0] / mcyc[3]), FormatSpeedup(mcyc[1] / mcyc[3]),
+                  std::to_string(overwrites)});
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "All columns grow O(N^2); the MAS-vs-Layer-Wise gap widens with N (the C/P\n";
+  std::cout << "round trips Layer-Wise pays scale with the score matrix), while MAS-vs-FLAT\n";
+  std::cout << "stays near its Table-2 level until long sequences shrink the feasible strip\n";
+  std::cout << "sizes and the proactive overwrite starts firing.\n";
+  return 0;
+}

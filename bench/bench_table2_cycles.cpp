@@ -1,0 +1,48 @@
+// Regenerates paper Table 2: execution cycles and MAS-Attention speedups
+// across the twelve Table-1 networks on the simulated edge device (Fig. 4
+// architecture), with offline-tuned tilings per (network, method).
+//
+// Expected shape vs the paper: MAS fastest everywhere; geomean speedups
+// roughly 5.1x / 2.8x / 1.7x / 1.3x / 1.3x over Layer-Wise / Soft-Pipe /
+// FLAT / TileFlow / FuseMax (absolute cycle counts depend on the simulator
+// substitution, see DESIGN.md §2).
+#include <iostream>
+
+#include "report/harness.h"
+#include "sim/hardware_config.h"
+
+int main() {
+  using namespace mas;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  std::cout << "=== Table 2: Cycles and Speedup Comparisons Across Networks ===\n";
+  std::cout << hw.Describe() << "\n";
+
+  const auto comparisons = report::RunComparison(Table1Networks(), hw, em);
+  const TextTable table = report::BuildCycleTable(comparisons);
+  std::cout << table.ToString() << "\n";
+
+  std::cout << "Tuned tilings (B_b, H_h, N_Q, N_KV):\n";
+  for (const auto& cmp : comparisons) {
+    std::cout << "  " << cmp.network.name << ":";
+    for (const auto& run : cmp.runs) {
+      std::cout << "  " << MethodName(run.method) << "=" << run.tiling.ToString();
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nPaper reference geomeans: 5.09x (Layer-Wise), 2.78x (Soft-Pipe), "
+               "1.70x (FLAT), 1.31x (TileFlow), 1.27x (FuseMax)\n";
+  std::cout << "Measured geomeans:        "
+            << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kLayerWise))
+            << " (Layer-Wise), "
+            << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kSoftPipe))
+            << " (Soft-Pipe), "
+            << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kFlat)) << " (FLAT), "
+            << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kTileFlow))
+            << " (TileFlow), "
+            << FormatSpeedup(report::GeomeanSpeedup(comparisons, Method::kFuseMax))
+            << " (FuseMax)\n";
+  return 0;
+}

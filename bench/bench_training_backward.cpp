@@ -1,0 +1,65 @@
+// Extension study (paper §6 future work): the attention *backward* pass on
+// the simulated edge device, sequential vs MAS-style stream-pipelined
+// dataflow. Backward runs five MatMuls per row block against two VEC stages
+// (forward: two and one), so the MAC:VEC ratio is higher and the pipeline's
+// headroom smaller — this bench quantifies how much of the forward-pass win
+// carries over to training.
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+#include "training/backward_scheduler.h"
+
+int main() {
+  using namespace mas;
+  using training::BackwardMethod;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  std::cout << "=== Training extension: attention backward pass, sequential vs stream ===\n";
+  std::cout << hw.Describe() << "\n";
+
+  const auto seq = training::MakeBackwardScheduler(BackwardMethod::kSequential);
+  const auto stream = training::MakeBackwardScheduler(BackwardMethod::kStream);
+  const auto fwd = MakeScheduler(Method::kMas);
+
+  TextTable table({"Network", "fwd MAS Mcyc", "bwd seq Mcyc", "bwd stream Mcyc",
+                   "stream speedup", "bwd/fwd ratio", "bwd energy GpJ"});
+  std::vector<double> speedups;
+  for (const auto& net : Table1Networks()) {
+    const TilingConfig fwd_tiling = search::AutoTile(*fwd, net.shape, hw, em);
+    const auto fwd_r = fwd->Simulate(net.shape, fwd_tiling, hw, em);
+
+    // Backward shares the forward tiling family; pick the best feasible
+    // candidate for the heavier stream footprint.
+    TilingConfig bwd_tiling = fwd_tiling;
+    if (!stream->Fits(net.shape, bwd_tiling, hw)) {
+      bwd_tiling.nq = std::max<std::int64_t>(1, bwd_tiling.nq / 2);
+      while (!stream->Fits(net.shape, bwd_tiling, hw) && bwd_tiling.nq > 1) {
+        bwd_tiling.nq /= 2;
+      }
+    }
+    const auto seq_r = seq->Simulate(net.shape, bwd_tiling, hw, em);
+    const auto stream_r = stream->Simulate(net.shape, bwd_tiling, hw, em);
+    const double speedup =
+        static_cast<double>(seq_r.cycles) / static_cast<double>(stream_r.cycles);
+    speedups.push_back(speedup);
+    table.AddRow({net.name, FormatFixed(fwd_r.cycles / 1e6, 3),
+                  FormatFixed(seq_r.cycles / 1e6, 3), FormatFixed(stream_r.cycles / 1e6, 3),
+                  FormatSpeedup(speedup),
+                  FormatFixed(static_cast<double>(stream_r.cycles) /
+                                  static_cast<double>(fwd_r.cycles),
+                              2),
+                  FormatFixed(stream_r.energy.total_pj() / 1e9, 3)});
+  }
+  table.AddRule();
+  table.AddRow({"Geometric Mean", "-", "-", "-", FormatSpeedup(GeoMean(speedups)), "-", "-"});
+  std::cout << table.ToString() << "\n";
+  std::cout << "Backward carries ~2.5x the forward MAC work (5 vs 2 MatMuls per block), so\n";
+  std::cout << "the VEC stages are easier to hide: expect a smaller but still consistent\n";
+  std::cout << "stream-over-sequential win, and a bwd/fwd cycle ratio between 2x and 3x.\n";
+  return 0;
+}

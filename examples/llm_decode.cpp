@@ -1,0 +1,65 @@
+// Autoregressive decode on the edge: one new token per step against a
+// growing KV cache (N = 1 query row, N_kv = context length).
+//
+// Decode flips attention's balance: arithmetic intensity collapses to O(1)
+// MACs per K/V byte, so every dataflow is DMA-bound and the MAC/VEC overlap
+// that wins prefill (see llm_prefill) buys almost nothing. This example
+// demonstrates the library's cross-shape support and shows *when* the
+// MAS-Attention pipeline pays off — and when it cannot, which is exactly the
+// scheduler-selection question an on-device runtime faces between the
+// prefill and decode phases of the same model.
+//
+//   $ ./llm_decode [max_context]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main(int argc, char** argv) {
+  using namespace mas;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  std::int64_t max_context = 8192;
+  if (argc > 1) max_context = std::atoll(argv[1]);
+
+  std::cout << "=== LLM decode attention (Llama3-8B-class layer, KV cache) ===\n";
+  std::cout << hw.Describe() << "\n";
+
+  std::vector<std::int64_t> contexts;
+  for (std::int64_t ctx = 512; ctx <= max_context; ctx *= 2) contexts.push_back(ctx);
+
+  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kMas};
+  TextTable table({"context", "Layer-Wise us", "FLAT us", "MAS us", "MAS vs FLAT",
+                   "DMA-bound %", "KV bytes/step MB"});
+  for (const NetworkWorkload& w : DecodeWorkloads(contexts)) {
+    std::vector<double> us;
+    double dma_frac = 0.0;
+    for (Method m : methods) {
+      const auto sched = MakeScheduler(m);
+      const TilingConfig tiling = search::AutoTile(*sched, w.shape, hw, em);
+      const auto r = sched->Simulate(w.shape, tiling, hw, em);
+      us.push_back(r.cycles / (hw.frequency_ghz * 1e3));
+      if (m == Method::kMas) {
+        dma_frac = static_cast<double>(r.BusyCycles(sim::ResourceKind::kDma)) /
+                   static_cast<double>(r.cycles);
+      }
+    }
+    const double kv_mb =
+        static_cast<double>(w.shape.KvOperandBytes(hw.element_bytes)) * 2 / (1024.0 * 1024.0);
+    table.AddRow({std::to_string(w.shape.kv()), FormatFixed(us[0], 1), FormatFixed(us[1], 1),
+                  FormatFixed(us[2], 1), FormatSpeedup(us[1] / us[2]),
+                  FormatFixed(100.0 * dma_frac, 0), FormatFixed(kv_mb, 1)});
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "Decode is bandwidth-bound: the per-step latency tracks the KV-cache bytes\n";
+  std::cout << "streamed from DRAM, and MAS's MAC/VEC pipelining gives only a marginal win\n";
+  std::cout << "over FLAT (there is a single softmax row per head to hide). An on-device\n";
+  std::cout << "runtime should pick MAS for prefill and any fused dataflow for decode —\n";
+  std::cout << "the fusion (not the stream pipeline) is what eliminates the Layer-Wise\n";
+  std::cout << "score-matrix round trips that dominate at long contexts.\n";
+  return 0;
+}

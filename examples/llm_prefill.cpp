@@ -1,0 +1,54 @@
+// LLM prefill on the edge: schedules the attention layers of an on-device
+// language model (Llama3-8B-class, per Table 1) across prefill lengths and
+// reports how each dataflow scales — the paper's motivating AI-agent /
+// LLM-on-smartphone scenario.
+//
+//   $ ./llm_prefill [max_seq]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main(int argc, char** argv) {
+  using namespace mas;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  std::int64_t max_seq = 2048;
+  if (argc > 1) max_seq = std::atoll(argv[1]);
+
+  std::cout << "=== LLM prefill attention scaling (Llama3-8B-class layer) ===\n";
+  std::cout << hw.Describe() << "\n";
+
+  const NetworkWorkload base = FindNetwork("Llama3-8B & T5-3B (T5-XL)");
+  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kFuseMax,
+                                       Method::kMas};
+
+  TextTable table({"prefill len", "Layer-Wise ms", "FLAT ms", "FuseMax ms", "MAS ms",
+                   "MAS vs FLAT", "MAS overwrites"});
+  for (std::int64_t seq = 256; seq <= max_seq; seq *= 2) {
+    AttentionShape shape = base.shape;
+    shape.name = "llama_prefill_" + std::to_string(seq);
+    shape.seq_len = seq;
+    std::vector<double> ms;
+    std::int64_t overwrites = 0;
+    for (Method m : methods) {
+      const auto sched = MakeScheduler(m);
+      const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
+      const auto r = sched->Simulate(shape, tiling, hw, em);
+      ms.push_back(r.cycles / (hw.frequency_ghz * 1e6));
+      if (m == Method::kMas) overwrites = r.overwrite_events;
+    }
+    table.AddRow({std::to_string(seq), FormatFixed(ms[0], 3), FormatFixed(ms[1], 3),
+                  FormatFixed(ms[2], 3), FormatFixed(ms[3], 3),
+                  FormatSpeedup(ms[1] / ms[3]), std::to_string(overwrites)});
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "Quadratic growth in every column (attention is O(N^2)); the MAS-vs-FLAT\n";
+  std::cout << "gap persists across prefill lengths, and longer prefills start exercising\n";
+  std::cout << "the proactive overwrite as the score strips press on the 5 MB L1.\n";
+  return 0;
+}

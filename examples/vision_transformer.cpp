@@ -1,0 +1,56 @@
+// Vision-transformer inference on the edge: schedules every ViT variant of
+// Table 1 and reports per-image attention latency and energy for FLAT vs
+// MAS-Attention — the short-sequence regime (N = 196/256) where per-tile
+// overheads, not DRAM bandwidth, dominate.
+//
+//   $ ./vision_transformer
+#include <iostream>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+int main() {
+  using namespace mas;
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  std::cout << "=== ViT attention inference on the simulated edge device ===\n\n";
+
+  // Transformer depth per variant (attention layers per forward pass).
+  struct Variant {
+    const char* table1_name;
+    int depth;
+  };
+  const Variant variants[] = {
+      {"ViT-B/14", 12}, {"ViT-L/14", 24}, {"ViT-H/14", 32},
+      {"ViT-B/16", 12}, {"ViT-L/16", 24}, {"ViT-H/16", 32},
+  };
+
+  TextTable table({"Variant", "layers", "FLAT ms/img", "MAS ms/img", "speedup",
+                   "FLAT uJ/img", "MAS uJ/img", "energy saved"});
+  for (const Variant& var : variants) {
+    const NetworkWorkload net = FindNetwork(var.table1_name);
+    const auto flat = MakeScheduler(Method::kFlat);
+    const auto mas = MakeScheduler(Method::kMas);
+    const auto flat_r =
+        flat->Simulate(net.shape, search::AutoTile(*flat, net.shape, hw, em), hw, em);
+    const auto mas_r =
+        mas->Simulate(net.shape, search::AutoTile(*mas, net.shape, hw, em), hw, em);
+    const double flat_ms = var.depth * flat_r.cycles / (hw.frequency_ghz * 1e6);
+    const double mas_ms = var.depth * mas_r.cycles / (hw.frequency_ghz * 1e6);
+    const double flat_uj = var.depth * flat_r.energy.total_pj() / 1e6;
+    const double mas_uj = var.depth * mas_r.energy.total_pj() / 1e6;
+    table.AddRow({var.table1_name, std::to_string(var.depth), FormatFixed(flat_ms, 3),
+                  FormatFixed(mas_ms, 3), FormatSpeedup(flat_ms / mas_ms),
+                  FormatFixed(flat_uj, 1), FormatFixed(mas_uj, 1),
+                  FormatPercent(1.0 - mas_uj / flat_uj)});
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "Short sequences leave the MAC array partially filled (N=196 is not a\n";
+  std::cout << "multiple of 16), so tuned tilings and MAC/VEC overlap matter more than\n";
+  std::cout << "bandwidth here — the regime where the paper reports up to 1.77x vs FLAT.\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace mas::cli {
+
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+std::string* ArgParser::AddString(const std::string& name, const std::string& default_value,
+                                  const std::string& help) {
+  MAS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::kString;
+  flag.default_text = default_value.empty() ? "\"\"" : default_value;
+  flag.string_value = std::make_unique<std::string>(default_value);
+  flags_.push_back(std::move(flag));
+  return flags_.back().string_value.get();
+}
+
+std::int64_t* ArgParser::AddInt(const std::string& name, std::int64_t default_value,
+                                const std::string& help) {
+  MAS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::kInt;
+  flag.default_text = std::to_string(default_value);
+  flag.int_value = std::make_unique<std::int64_t>(default_value);
+  flags_.push_back(std::move(flag));
+  return flags_.back().int_value.get();
+}
+
+double* ArgParser::AddDouble(const std::string& name, double default_value,
+                             const std::string& help) {
+  MAS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::kDouble;
+  flag.default_text = std::to_string(default_value);
+  flag.double_value = std::make_unique<double>(default_value);
+  flags_.push_back(std::move(flag));
+  return flags_.back().double_value.get();
+}
+
+bool* ArgParser::AddBool(const std::string& name, bool default_value, const std::string& help) {
+  MAS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::kBool;
+  flag.default_text = default_value ? "true" : "false";
+  flag.bool_value = std::make_unique<bool>(default_value);
+  flags_.push_back(std::move(flag));
+  return flags_.back().bool_value.get();
+}
+
+ArgParser::Flag* ArgParser::Find(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void ArgParser::Assign(Flag& flag, const std::string& text) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *flag.string_value = text;
+      return;
+    case Kind::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      MAS_CHECK(end != nullptr && *end == '\0' && !text.empty())
+          << "--" << flag.name << " expects an integer, got '" << text << "'";
+      *flag.int_value = v;
+      return;
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      MAS_CHECK(end != nullptr && *end == '\0' && !text.empty())
+          << "--" << flag.name << " expects a number, got '" << text << "'";
+      *flag.double_value = v;
+      return;
+    }
+    case Kind::kBool:
+      if (text == "true" || text == "1") {
+        *flag.bool_value = true;
+      } else if (text == "false" || text == "0") {
+        *flag.bool_value = false;
+      } else {
+        MAS_FAIL() << "--" << flag.name << " expects true/false, got '" << text << "'";
+      }
+      return;
+  }
+}
+
+bool ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (!LooksLikeFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    Flag* flag = Find(name);
+    MAS_CHECK(flag != nullptr) << "unknown flag --" << name << " (see --help)";
+    if (eq != std::string::npos) {
+      Assign(*flag, arg.substr(eq + 1));
+    } else if (flag->kind == Kind::kBool) {
+      *flag->bool_value = true;  // bare --flag sets a boolean
+    } else {
+      MAS_CHECK(i + 1 < argc) << "--" << name << " expects a value";
+      Assign(*flag, argv[++i]);
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::Usage(const std::string& program_name) const {
+  std::string out = description_ + "\n\nusage: " + program_name + " [flags]\n\nflags:\n";
+  for (const Flag& flag : flags_) {
+    std::string line = "  --" + flag.name;
+    if (line.size() < 26) line.resize(26, ' ');
+    out += line + flag.help + " (default: " + flag.default_text + ")\n";
+  }
+  out += "  --help                  print this message\n";
+  return out;
+}
+
+}  // namespace mas::cli

@@ -1,0 +1,67 @@
+// Tiny declarative command-line flag parser for the tools/ binaries.
+//
+// Flags are registered with a name, help text, and a default; Parse()
+// consumes `--name=value` / `--name value` / bare `--bool-flag` forms and
+// leaves positional arguments available. Unknown flags are an error (tools
+// should not silently ignore typos). No global state — each tool builds its
+// own ArgParser.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mas::cli {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  // Registration. The returned pointer stays valid for the parser's lifetime
+  // and is filled during Parse().
+  std::string* AddString(const std::string& name, const std::string& default_value,
+                         const std::string& help);
+  std::int64_t* AddInt(const std::string& name, std::int64_t default_value,
+                       const std::string& help);
+  double* AddDouble(const std::string& name, double default_value, const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  // Parses argv. Returns false (after printing usage) when --help was given;
+  // throws mas::Error on malformed or unknown flags.
+  bool Parse(int argc, const char* const* argv);
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Usage text assembled from the registrations.
+  std::string Usage(const std::string& program_name) const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::string default_text;
+    // Exactly one is used, per kind.
+    std::unique_ptr<std::string> string_value;
+    std::unique_ptr<std::int64_t> int_value;
+    std::unique_ptr<double> double_value;
+    std::unique_ptr<bool> bool_value;
+  };
+
+  Flag* Find(const std::string& name);
+  void Assign(Flag& flag, const std::string& text);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mas::cli

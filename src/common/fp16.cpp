@@ -1,0 +1,100 @@
+#include "common/fp16.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mas {
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x80000000u;
+constexpr int kF32ExpBias = 127;
+constexpr int kF16ExpBias = 15;
+
+std::uint32_t BitsOf(float f) { return std::bit_cast<std::uint32_t>(f); }
+float FloatOf(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+}  // namespace
+
+bool Fp16::IsNan() const {
+  return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+}
+
+bool Fp16::IsInf() const {
+  return (bits_ & 0x7FFFu) == 0x7C00u;
+}
+
+std::uint16_t Fp16::FromFloat(float value) {
+  const std::uint32_t f = BitsOf(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
+  const std::uint32_t abs = f & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf or NaN. Preserve NaN-ness by forcing a nonzero mantissa.
+    const std::uint16_t mant = (abs > 0x7F800000u) ? 0x0200u : 0x0000u;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | mant);
+  }
+
+  const int exp32 = static_cast<int>(abs >> 23) - kF32ExpBias;
+  std::uint32_t mant32 = abs & 0x007FFFFFu;
+
+  if (exp32 > 15) {
+    // Overflows fp16 range -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exp32 >= -14) {
+    // Normal fp16. Round mantissa 23 -> 10 bits, round-to-nearest-even.
+    std::uint32_t mant = mant32 >> 13;
+    const std::uint32_t rem = mant32 & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (mant & 1u))) {
+      ++mant;
+    }
+    std::uint32_t result = (static_cast<std::uint32_t>(exp32 + kF16ExpBias) << 10) + mant;
+    // Mantissa carry may bump the exponent (and may legitimately reach inf).
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  if (exp32 >= -24) {
+    // Subnormal fp16: implicit leading 1 joins the mantissa, then shift.
+    mant32 |= 0x00800000u;
+    // Value = mant32 * 2^(exp32-23); fp16 subnormal = mant16 * 2^-24,
+    // so mant16 = mant32 >> (-exp32 - 1), with shift in [14, 23].
+    const int shift = -exp32 - 1;
+    std::uint32_t mant = mant32 >> shift;
+    const std::uint32_t rem = mant32 & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (mant & 1u))) {
+      ++mant;
+    }
+    return static_cast<std::uint16_t>(sign | mant);
+  }
+
+  // Underflows to signed zero.
+  return sign;
+}
+
+float Fp16::ToFloatImpl(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x03FFu;
+
+  if (exp == 0x1Fu) {  // inf / nan
+    return FloatOf(sign | 0x7F800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return FloatOf(sign);  // signed zero
+    // Subnormal: normalize by shifting the mantissa up.
+    int e = -1;
+    std::uint32_t m = mant;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x0400u) == 0);
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(kF32ExpBias - kF16ExpBias - e);
+    return FloatOf(sign | (exp32 << 23) | ((m & 0x03FFu) << 13));
+  }
+  const std::uint32_t exp32 = exp + (kF32ExpBias - kF16ExpBias);
+  return FloatOf(sign | (exp32 << 23) | (mant << 13));
+}
+
+}  // namespace mas

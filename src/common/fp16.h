@@ -1,0 +1,57 @@
+// Software IEEE 754 binary16 ("half") type.
+//
+// The paper's §5.6 capacity analysis and the edge datapath assume FP16
+// operands; this header provides a portable storage type with exact
+// round-trip conversion semantics (round-to-nearest-even on narrowing),
+// so simulator byte accounting and functional golden checks agree on
+// element sizes regardless of host hardware support.
+#pragma once
+
+#include <cstdint>
+
+namespace mas {
+
+// IEEE binary16 value held as its 16-bit pattern. Arithmetic is performed by
+// widening to float; assignment narrows with round-to-nearest-even. This is a
+// storage/interchange type, not a fast math type.
+class Fp16 {
+ public:
+  constexpr Fp16() = default;
+  Fp16(float value) : bits_(FromFloat(value)) {}
+
+  // Reinterpret a raw bit pattern as an Fp16.
+  static constexpr Fp16 FromBits(std::uint16_t bits) {
+    Fp16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  std::uint16_t bits() const { return bits_; }
+  float ToFloat() const { return ToFloatImpl(bits_); }
+  operator float() const { return ToFloat(); }
+
+  Fp16& operator+=(Fp16 rhs) { return *this = Fp16(ToFloat() + rhs.ToFloat()); }
+  Fp16& operator-=(Fp16 rhs) { return *this = Fp16(ToFloat() - rhs.ToFloat()); }
+  Fp16& operator*=(Fp16 rhs) { return *this = Fp16(ToFloat() * rhs.ToFloat()); }
+  Fp16& operator/=(Fp16 rhs) { return *this = Fp16(ToFloat() / rhs.ToFloat()); }
+
+  friend bool operator==(Fp16 a, Fp16 b) { return a.ToFloat() == b.ToFloat(); }
+  friend bool operator!=(Fp16 a, Fp16 b) { return !(a == b); }
+  friend bool operator<(Fp16 a, Fp16 b) { return a.ToFloat() < b.ToFloat(); }
+
+  bool IsNan() const;
+  bool IsInf() const;
+
+ private:
+  static std::uint16_t FromFloat(float value);
+  static float ToFloatImpl(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+inline Fp16 operator+(Fp16 a, Fp16 b) { return Fp16(a.ToFloat() + b.ToFloat()); }
+inline Fp16 operator-(Fp16 a, Fp16 b) { return Fp16(a.ToFloat() - b.ToFloat()); }
+inline Fp16 operator*(Fp16 a, Fp16 b) { return Fp16(a.ToFloat() * b.ToFloat()); }
+inline Fp16 operator/(Fp16 a, Fp16 b) { return Fp16(a.ToFloat() / b.ToFloat()); }
+
+}  // namespace mas

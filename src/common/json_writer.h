@@ -1,0 +1,128 @@
+// Minimal streaming JSON writer.
+//
+// Emits syntactically valid JSON without building a document tree: callers
+// open objects/arrays and write keyed or plain values; commas and quoting are
+// handled by the writer. Used by the trace exporters (Chrome trace format)
+// and the mas_run CLI's --format=json output. Writing is append-only and
+// single-pass, which keeps the exporters O(tasks) with no intermediate DOM.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mas {
+
+// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string JsonEscape(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // --- structure ---
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('{'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close('['); }
+
+  // Keyed variants for use inside objects.
+  JsonWriter& BeginObject(const std::string& key) { return KeyThen(key).Open('{'); }
+  JsonWriter& BeginArray(const std::string& key) { return KeyThen(key).Open('['); }
+
+  // --- values ---
+  JsonWriter& Value(const std::string& v) {
+    Separate();
+    out_ += '"';
+    out_ += JsonEscape(v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Value(std::int64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(std::uint64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(double v) {
+    Separate();
+    // JSON has no NaN/Inf; encode them as null (the conventional fallback).
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& KeyValue(const std::string& key, T&& v) {
+    KeyThen(key);
+    return Value(std::forward<T>(v));
+  }
+
+  // Finishes and returns the document. All containers must be closed.
+  std::string Take() {
+    MAS_CHECK(depth_.empty()) << "unbalanced JSON: " << depth_.size() << " open containers";
+    return std::move(out_);
+  }
+
+  const std::string& Peek() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_ += c;
+    depth_.push_back(c);
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& Close(char open) {
+    MAS_CHECK(!depth_.empty() && depth_.back() == open)
+        << "mismatched JSON close for '" << open << "'";
+    depth_.pop_back();
+    out_ += open == '{' ? '}' : ']';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& KeyThen(const std::string& key) {
+    MAS_CHECK(!depth_.empty() && depth_.back() == '{') << "key outside object: " << key;
+    Separate();
+    out_ += '"';
+    out_ += JsonEscape(key);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+  }
+  void Separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;  // value follows its key directly
+    }
+    if (!fresh_ && !depth_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string out_;
+  std::vector<char> depth_;
+  bool fresh_ = true;        // no element yet in the current container
+  bool pending_key_ = false; // a key was just written; next value attaches
+};
+
+}  // namespace mas

@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr.
+//
+// The searches and the simulator can emit a lot of diagnostics; benches run
+// quiet by default and tests can raise verbosity for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mas
+
+#define MAS_LOG(level) ::mas::detail::LogMessage(::mas::LogLevel::level, __FILE__, __LINE__)

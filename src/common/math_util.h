@@ -1,0 +1,65 @@
+// Small arithmetic helpers shared across the simulator and schedulers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mas {
+
+// Ceiling division for non-negative integers. Requires b > 0.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+// Round `a` up to the next multiple of `b`. Requires b > 0.
+template <typename T>
+constexpr T RoundUp(T a, T b) {
+  return CeilDiv(a, b) * b;
+}
+
+// Geometric mean of positive values; empty input -> 0.
+inline double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    MAS_CHECK(v > 0.0) << "GeoMean requires positive values, got " << v;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+// All divisors of n in ascending order. Requires n >= 1.
+inline std::vector<std::int64_t> Divisors(std::int64_t n) {
+  MAS_CHECK(n >= 1) << "Divisors requires n >= 1, got " << n;
+  std::vector<std::int64_t> small, large;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) large.push_back(n / d);
+    }
+  }
+  for (auto it = large.rbegin(); it != large.rend(); ++it) small.push_back(*it);
+  return small;
+}
+
+// Candidate tile sizes for a dimension of extent n: every divisor plus the
+// powers of two <= n (deduplicated, ascending). Non-divisor tile sizes are
+// legal — the last tile is simply smaller — and the paper's search space
+// includes them.
+inline std::vector<std::int64_t> TileCandidates(std::int64_t n) {
+  std::vector<std::int64_t> cands = Divisors(n);
+  for (std::int64_t p = 1; p <= n; p *= 2) {
+    cands.push_back(p);
+    if (p > (INT64_MAX / 2)) break;
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  return cands;
+}
+
+}  // namespace mas

@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// All stochastic components (tensor initialization for golden checks, the
+// genetic-algorithm and MCTS tiling searches) draw from this generator so
+// that every test, bench, and example is reproducible from a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mas {
+
+// xoshiro256** by Blackman & Vigna: small, fast, and statistically strong
+// enough for workload generation and search heuristics.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). Requires bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi);
+
+  // Bernoulli trial with probability p of true.
+  bool NextBool(double p = 0.5);
+
+  // Standard normal via Box-Muller (cached pair).
+  double NextGaussian();
+
+  // Pick an index weighted by non-negative weights (at least one positive).
+  std::size_t NextWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mas

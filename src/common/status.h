@@ -1,0 +1,70 @@
+// Error handling for the MAS-Attention library.
+//
+// The library is exception-based (per C++ Core Guidelines E.2): invariant
+// violations and invalid arguments throw mas::Error, which carries a
+// formatted message plus the source location of the check that fired.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mas {
+
+// Library-wide exception type. Thrown by MAS_CHECK / MAS_THROW on broken
+// preconditions, invalid configurations, or internal invariant violations.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string message, std::source_location loc)
+      : std::runtime_error(Format(message, loc)), raw_message_(std::move(message)) {}
+
+  // Message without the source-location prefix (useful in tests).
+  const std::string& raw_message() const noexcept { return raw_message_; }
+
+ private:
+  static std::string Format(const std::string& message, std::source_location loc) {
+    std::ostringstream os;
+    os << loc.file_name() << ":" << loc.line() << ": " << message;
+    return os.str();
+  }
+
+  std::string raw_message_;
+};
+
+namespace detail {
+
+// Stream-composable message builder so checks can write
+// `MAS_CHECK(x > 0) << "x was " << x;`.
+class CheckFailure {
+ public:
+  explicit CheckFailure(const char* condition, std::source_location loc)
+      : loc_(loc) {
+    stream_ << "check failed: " << condition;
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailure() noexcept(false) { throw Error(stream_.str(), loc_); }
+
+ private:
+  std::ostringstream stream_;
+  std::source_location loc_;
+};
+
+}  // namespace detail
+}  // namespace mas
+
+// Precondition / invariant check. On failure throws mas::Error. Additional
+// context may be streamed: MAS_CHECK(a == b) << " a=" << a << " b=" << b;
+#define MAS_CHECK(cond)                                                      \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::mas::detail::CheckFailure(#cond " ", std::source_location::current())
+
+// Unconditional failure with a streamed message.
+#define MAS_FAIL() ::mas::detail::CheckFailure("failure", std::source_location::current())

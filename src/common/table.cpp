@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace mas {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MAS_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  MAS_CHECK(cells.size() == header_.size())
+      << "row has " << cells.size() << " cells, expected " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRule() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c], '-');
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << "\n";
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+std::string TextTable::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << escape(row[c]);
+      if (c + 1 < row.size()) os << ",";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return os.str();
+}
+
+std::string FormatFixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string FormatSpeedup(double value) { return FormatFixed(value, 2) + "x"; }
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatFixed(fraction * 100.0, digits) + "%";
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  MAS_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << text;
+  MAS_CHECK(out.good()) << "write to " << path << " failed";
+}
+
+}  // namespace mas

@@ -1,0 +1,51 @@
+// Plain-text table and CSV rendering for the bench harnesses.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// text; this helper keeps column alignment and CSV escaping in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mas {
+
+// A rectangular table of strings with a header row. Rows may be added with
+// heterogeneous cell producers via AddRow; rendering right-pads columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends one row. Must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: a separator row rendered as dashes.
+  void AddRule();
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  // Render as an aligned monospace table.
+  std::string ToString() const;
+
+  // Render as RFC-4180-style CSV (quotes cells containing , " or newline).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector marks a rule
+};
+
+// Formats a double with `digits` decimal places.
+std::string FormatFixed(double value, int digits);
+
+// Formats a speedup as e.g. "2.75x".
+std::string FormatSpeedup(double value);
+
+// Formats a fraction as a percentage, e.g. 0.5403 -> "54.03%".
+std::string FormatPercent(double fraction, int digits = 2);
+
+// Writes `text` to `path`, throwing mas::Error on I/O failure.
+void WriteFile(const std::string& path, const std::string& text);
+
+}  // namespace mas

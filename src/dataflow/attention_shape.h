@@ -1,0 +1,93 @@
+// Attention workload shapes and tiling configurations.
+//
+// An AttentionShape is the (B, H, N, E) problem instance of paper Eq. 1-3; a
+// TilingConfig carries the four tiling factors of the multi-tiered scheme
+// (§4.2): B_b, H_h (batch/head block), N_Q (query-row block / row
+// granularity for softmax) and N_KV (sub-matrix granularity along the
+// key/value sequence dimension for the two MatMuls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace mas {
+
+// One attention layer instance: Q ∈ R^{B x H x N x E}, K, V ∈ R^{B x H x Nkv x E}.
+//
+// `kv_len == 0` (the default) means self-attention: key/value length equals
+// the query length. A positive `kv_len` models cross-attention (e.g. the SD
+// UNet's text-conditioning layers, N_kv = 77) and autoregressive decode
+// (N = 1 query row against an N_kv-entry KV cache).
+struct AttentionShape {
+  std::string name = "attention";
+  std::int64_t batch = 1;   // B
+  std::int64_t heads = 1;   // H
+  std::int64_t seq_len = 1; // N: query sequence length
+  std::int64_t embed = 1;   // E (per-head embedding)
+  std::int64_t kv_len = 0;  // N_kv: key/value length; 0 = same as seq_len
+
+  // Key/value sequence length (resolves the self-attention default).
+  std::int64_t kv() const { return kv_len > 0 ? kv_len : seq_len; }
+
+  void Validate() const {
+    MAS_CHECK(batch >= 1 && heads >= 1 && seq_len >= 1 && embed >= 1 && kv_len >= 0)
+        << "invalid attention shape " << ToString();
+  }
+
+  // Total multiply-accumulates of the two MatMuls (QK^T and PV).
+  std::int64_t TotalMacs() const { return 2 * batch * heads * seq_len * kv() * embed; }
+  // Total elements of the score matrix C = QK^T (softmax workload size).
+  std::int64_t ScoreElements() const { return batch * heads * seq_len * kv(); }
+  // Bytes of a query-side operand tensor (Q or O) at `element_bytes` precision.
+  std::int64_t OperandBytes(std::int64_t element_bytes) const {
+    return batch * heads * seq_len * embed * element_bytes;
+  }
+  // Bytes of a key/value-side operand tensor (K or V).
+  std::int64_t KvOperandBytes(std::int64_t element_bytes) const {
+    return batch * heads * kv() * embed * element_bytes;
+  }
+
+  std::string ToString() const {
+    std::string out = name + "(B=" + std::to_string(batch) + ",H=" + std::to_string(heads) +
+                      ",N=" + std::to_string(seq_len) + ",E=" + std::to_string(embed);
+    if (kv_len > 0) out += ",Nkv=" + std::to_string(kv_len);
+    return out + ")";
+  }
+};
+
+// Tiling factors of the multi-tiered scheme. All factors are clamped against
+// the shape when iterating, so non-divisor factors are legal (the last block
+// is short).
+struct TilingConfig {
+  std::int64_t bb = 1;    // B_b: batch block
+  std::int64_t hh = 1;    // H_h: head block
+  std::int64_t nq = 1;    // N_Q: query-row block (softmax row granularity)
+  std::int64_t nkv = 1;   // N_KV: key/value sequence sub-block
+
+  void Validate(const AttentionShape& s) const {
+    MAS_CHECK(bb >= 1 && bb <= s.batch) << "B_b=" << bb << " out of range for " << s.ToString();
+    MAS_CHECK(hh >= 1 && hh <= s.heads) << "H_h=" << hh << " out of range for " << s.ToString();
+    MAS_CHECK(nq >= 1 && nq <= s.seq_len) << "N_Q=" << nq << " out of range for " << s.ToString();
+    MAS_CHECK(nkv >= 1 && nkv <= s.kv())
+        << "N_KV=" << nkv << " out of range for " << s.ToString();
+  }
+
+  // Number of row-block iterations T_r (Alg. 1 line 2).
+  std::int64_t RowBlocks(const AttentionShape& s) const {
+    return CeilDiv(s.batch, bb) * CeilDiv(s.heads, hh) * CeilDiv(s.seq_len, nq);
+  }
+  // Number of key/value sub-blocks T_c (Alg. 2/4 line 3).
+  std::int64_t KvBlocks(const AttentionShape& s) const { return CeilDiv(s.kv(), nkv); }
+
+  std::string ToString() const {
+    return "tiling(Bb=" + std::to_string(bb) + ",Hh=" + std::to_string(hh) +
+           ",Nq=" + std::to_string(nq) + ",Nkv=" + std::to_string(nkv) + ")";
+  }
+
+  bool operator==(const TilingConfig&) const = default;
+};
+
+}  // namespace mas

@@ -1,0 +1,84 @@
+#include "dataflow/workloads.h"
+
+#include "common/status.h"
+
+namespace mas {
+
+std::vector<NetworkWorkload> Table1Networks() {
+  // Columns per Table 1: #Heads, #Seq, Hidden size, Emb_{K,V}. Batch 1
+  // (single inference request, the paper's edge scenario).
+  auto mk = [](std::string name, std::int64_t heads, std::int64_t seq, std::int64_t hidden,
+               std::int64_t emb) {
+    NetworkWorkload w;
+    w.name = name;
+    w.shape = AttentionShape{std::move(name), 1, heads, seq, emb};
+    w.hidden = hidden;
+    return w;
+  };
+  return {
+      mk("BERT-Base & T5-Base", 12, 512, 768, 64),
+      mk("BERT-Large & T5-Large", 16, 512, 1024, 64),
+      mk("BERT-Small", 8, 512, 512, 64),
+      mk("Llama3-8B & T5-3B (T5-XL)", 32, 512, 4096, 128),
+      mk("T5-Mini & T5-Small", 8, 512, 256, 32),
+      mk("ViT-B/14", 12, 196, 768, 64),
+      mk("ViT-L/14", 16, 196, 1024, 64),
+      mk("ViT-H/14", 16, 196, 1280, 80),
+      mk("ViT-B/16", 12, 256, 768, 64),
+      mk("ViT-L/16", 16, 256, 1024, 64),
+      mk("ViT-H/16", 16, 256, 1280, 80),
+      mk("XLM", 8, 512, 1024, 128),
+  };
+}
+
+NetworkWorkload FindNetwork(const std::string& name) {
+  for (const auto& w : Table1Networks()) {
+    if (w.name == name) return w;
+  }
+  MAS_FAIL() << "unknown network '" << name << "'";
+}
+
+std::vector<UNetAttentionUnit> SdUnetAttentionUnits() {
+  // Reduced SD-1.5 UNet (§5.2.2): 15 attention units across the latent
+  // resolution pyramid; the largest units run at 64x64 latents (N = 4096)
+  // with 2 heads and E = 64.
+  auto shape = [](std::string name, std::int64_t heads, std::int64_t seq,
+                  std::int64_t emb) {
+    return AttentionShape{std::move(name), 1, heads, seq, emb};
+  };
+  return {
+      {shape("sd_unet_attn_64x64", 2, 4096, 64), 2},   // down0 + up3
+      {shape("sd_unet_attn_32x32", 4, 1024, 64), 4},   // down1 x2 + up2 x2
+      {shape("sd_unet_attn_16x16", 8, 256, 64), 5},    // down2 x2 + up1 x3
+      {shape("sd_unet_attn_8x8", 8, 64, 64), 4},       // down3 + mid + up0 x2
+  };
+}
+
+std::vector<UNetAttentionUnit> SdUnetCrossAttentionUnits() {
+  // Same resolution pyramid as the self-attention inventory, but the K/V
+  // operands come from the CLIP text encoder: N_kv = 77 prompt tokens.
+  auto shape = [](std::string name, std::int64_t heads, std::int64_t seq, std::int64_t emb) {
+    return AttentionShape{std::move(name), 1, heads, seq, emb, /*kv_len=*/77};
+  };
+  return {
+      {shape("sd_unet_xattn_64x64", 2, 4096, 64), 2},
+      {shape("sd_unet_xattn_32x32", 4, 1024, 64), 4},
+      {shape("sd_unet_xattn_16x16", 8, 256, 64), 5},
+      {shape("sd_unet_xattn_8x8", 8, 64, 64), 4},
+  };
+}
+
+std::vector<NetworkWorkload> DecodeWorkloads(const std::vector<std::int64_t>& context_lengths) {
+  std::vector<NetworkWorkload> workloads;
+  for (std::int64_t ctx : context_lengths) {
+    MAS_CHECK(ctx >= 1) << "context length must be positive, got " << ctx;
+    NetworkWorkload w;
+    w.name = "llama3-decode-ctx" + std::to_string(ctx);
+    w.shape = AttentionShape{w.name, 1, 32, /*seq_len=*/1, /*embed=*/128, /*kv_len=*/ctx};
+    w.hidden = 4096;
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+}  // namespace mas

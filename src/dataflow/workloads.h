@@ -1,0 +1,53 @@
+// Workload definitions: the paper's Table 1 networks plus the §5.2.2
+// Stable-Diffusion-1.5 UNet attention suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/attention_shape.h"
+
+namespace mas {
+
+// A named network whose attention layer we evaluate (Table 1 row).
+struct NetworkWorkload {
+  std::string name;       // e.g. "BERT-Base & T5-Base"
+  AttentionShape shape;   // the attention layer instance (B=1)
+  std::int64_t hidden = 0;  // hidden size (H * E head split per Table 1)
+};
+
+// All 12 Table-1 rows in paper order.
+std::vector<NetworkWorkload> Table1Networks();
+
+// Looks a network up by (exact) name; throws if absent.
+NetworkWorkload FindNetwork(const std::string& name);
+
+// One attention unit of the reduced SD-1.5 UNet (§5.2.2) plus the share of
+// end-to-end latency it represents.
+struct UNetAttentionUnit {
+  AttentionShape shape;
+  int count = 1;  // identical units at this resolution
+};
+
+// The reduced Stable Diffusion 1.5 UNet attention inventory: 15 attention
+// units across the UNet's resolution levels; the largest has H=2, N=4096,
+// E=64 per §5.2.2. Shapes follow SD-1.5's self-attention blocks at
+// 64x64 / 32x32 / 16x16 / 8x8 latent resolutions.
+std::vector<UNetAttentionUnit> SdUnetAttentionUnits();
+
+// The matching *cross*-attention inventory: each transformer block of the
+// SD-1.5 UNet pairs its self-attention with a text-conditioning
+// cross-attention whose key/value length is the CLIP prompt length
+// (N_kv = 77). These are extremely K/V-light, query-heavy layers — the
+// opposite corner of the tiling space from Table 1's square workloads.
+std::vector<UNetAttentionUnit> SdUnetCrossAttentionUnits();
+
+// Autoregressive-decode attention workloads (one new token against a KV
+// cache): N = 1 query row, N_kv = context length. The paper's stream
+// pipeline degenerates here (a single softmax row per head), making decode
+// the natural stress test for the scheduler-selection logic in examples.
+// Returns shapes for the given context lengths on a Llama3-8B-class head
+// layout (H=32, E=128).
+std::vector<NetworkWorkload> DecodeWorkloads(const std::vector<std::int64_t>& context_lengths);
+
+}  // namespace mas

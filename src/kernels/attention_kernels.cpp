@@ -1,0 +1,163 @@
+#include "kernels/attention_kernels.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace mas {
+
+TensorF MatMulTransposed(const TensorF& a, const TensorF& bt) {
+  const Shape4& sa = a.shape();
+  const Shape4& sb = bt.shape();
+  MAS_CHECK(sa.b == sb.b && sa.h == sb.h) << "batch/head mismatch";
+  MAS_CHECK(sa.e == sb.e) << "inner-dim mismatch: " << sa.e << " vs " << sb.e;
+  TensorF c(sa.b, sa.h, sa.n, sb.n);
+  for (std::int64_t b = 0; b < sa.b; ++b)
+    for (std::int64_t h = 0; h < sa.h; ++h)
+      for (std::int64_t m = 0; m < sa.n; ++m)
+        for (std::int64_t n = 0; n < sb.n; ++n) {
+          float acc = 0.0f;
+          for (std::int64_t k = 0; k < sa.e; ++k) {
+            acc += a.at(b, h, m, k) * bt.at(b, h, n, k);
+          }
+          c.at(b, h, m, n) = acc;
+        }
+  return c;
+}
+
+TensorF MatMul(const TensorF& a, const TensorF& b) {
+  const Shape4& sa = a.shape();
+  const Shape4& sb = b.shape();
+  MAS_CHECK(sa.b == sb.b && sa.h == sb.h) << "batch/head mismatch";
+  MAS_CHECK(sa.e == sb.n) << "inner-dim mismatch: " << sa.e << " vs " << sb.n;
+  TensorF c(sa.b, sa.h, sa.n, sb.e);
+  for (std::int64_t bb = 0; bb < sa.b; ++bb)
+    for (std::int64_t h = 0; h < sa.h; ++h)
+      for (std::int64_t m = 0; m < sa.n; ++m)
+        for (std::int64_t n = 0; n < sb.e; ++n) {
+          float acc = 0.0f;
+          for (std::int64_t k = 0; k < sa.e; ++k) {
+            acc += a.at(bb, h, m, k) * b.at(bb, h, k, n);
+          }
+          c.at(bb, h, m, n) = acc;
+        }
+  return c;
+}
+
+TensorF SoftmaxRows(const TensorF& c) {
+  const Shape4& s = c.shape();
+  TensorF p(s);
+  for (std::int64_t b = 0; b < s.b; ++b)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t m = 0; m < s.n; ++m) {
+        float row_max = -std::numeric_limits<float>::infinity();
+        for (std::int64_t n = 0; n < s.e; ++n) {
+          row_max = std::max(row_max, c.at(b, h, m, n));
+        }
+        float sum = 0.0f;
+        for (std::int64_t n = 0; n < s.e; ++n) {
+          const float e = std::exp(c.at(b, h, m, n) - row_max);
+          p.at(b, h, m, n) = e;
+          sum += e;
+        }
+        for (std::int64_t n = 0; n < s.e; ++n) {
+          p.at(b, h, m, n) /= sum;
+        }
+      }
+  return p;
+}
+
+TensorF ReferenceAttention(const TensorF& q, const TensorF& k, const TensorF& v, float scale) {
+  TensorF c = MatMulTransposed(q, k);
+  if (scale != 1.0f) {
+    for (std::int64_t i = 0; i < c.elements(); ++i) c.data()[i] *= scale;
+  }
+  const TensorF p = SoftmaxRows(c);
+  return MatMul(p, v);
+}
+
+TensorF TiledQKT(const TensorF& q_i, const TensorF& k_i, std::int64_t n_kv) {
+  const Shape4& sq = q_i.shape();
+  const Shape4& sk = k_i.shape();
+  MAS_CHECK(n_kv >= 1) << "n_kv must be positive";
+  MAS_CHECK(sq.b == sk.b && sq.h == sk.h && sq.e == sk.e) << "Q/K shape mismatch";
+  TensorF c(sq.b, sq.h, sq.n, sk.n);
+  // Stream K in blocks of n_kv rows (Alg. 2 line 6-9): each block produces the
+  // corresponding column strip of C_i.
+  for (std::int64_t j0 = 0; j0 < sk.n; j0 += n_kv) {
+    const std::int64_t jl = std::min(n_kv, sk.n - j0);
+    const TensorF k_blk = k_i.Slice(0, sk.b, 0, sk.h, j0, jl, 0, sk.e);
+    const TensorF c_blk = MatMulTransposed(q_i, k_blk);
+    c.Place(c_blk, 0, 0, 0, j0);
+  }
+  return c;
+}
+
+TensorF TiledSoftmax(const TensorF& c_i) {
+  const Shape4& s = c_i.shape();
+  TensorF p(s);
+  // Alg. 3: T_l = N_Q row blocks of height 1, softmaxed independently.
+  for (std::int64_t r = 0; r < s.n; ++r) {
+    const TensorF row = c_i.Slice(0, s.b, 0, s.h, r, 1, 0, s.e);
+    p.Place(SoftmaxRows(row), 0, 0, r, 0);
+  }
+  return p;
+}
+
+TensorF TiledPV(const TensorF& p_i, const TensorF& v_i, std::int64_t n_kv) {
+  const Shape4& sp = p_i.shape();
+  const Shape4& sv = v_i.shape();
+  MAS_CHECK(n_kv >= 1) << "n_kv must be positive";
+  MAS_CHECK(sp.b == sv.b && sp.h == sv.h) << "P/V batch mismatch";
+  MAS_CHECK(sp.e == sv.n) << "P cols " << sp.e << " != V rows " << sv.n;
+  TensorF o(sp.b, sp.h, sp.n, sv.e);
+  // Alg. 4: accumulate O_i += P_{i,j} V_{i,j} over key/value blocks.
+  for (std::int64_t j0 = 0; j0 < sv.n; j0 += n_kv) {
+    const std::int64_t jl = std::min(n_kv, sv.n - j0);
+    const TensorF p_blk = p_i.Slice(0, sp.b, 0, sp.h, 0, sp.n, j0, jl);
+    const TensorF v_blk = v_i.Slice(0, sv.b, 0, sv.h, j0, jl, 0, sv.e);
+    const TensorF partial = MatMul(p_blk, v_blk);
+    for (std::int64_t b = 0; b < sp.b; ++b)
+      for (std::int64_t h = 0; h < sp.h; ++h)
+        for (std::int64_t m = 0; m < sp.n; ++m)
+          for (std::int64_t e = 0; e < sv.e; ++e)
+            o.at(b, h, m, e) += partial.at(b, h, m, e);
+  }
+  return o;
+}
+
+TensorF OnlineSoftmaxRows(const TensorF& c, std::int64_t block) {
+  const Shape4& s = c.shape();
+  MAS_CHECK(block >= 1) << "block must be positive";
+  TensorF p(s);
+  for (std::int64_t b = 0; b < s.b; ++b)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t m = 0; m < s.n; ++m) {
+        // Pass 1: running max + rescaled running sum over blocks (the FuseMax
+        // einsum decomposition keeps (max, sum) as streaming state).
+        float run_max = -std::numeric_limits<float>::infinity();
+        float run_sum = 0.0f;
+        for (std::int64_t j0 = 0; j0 < s.e; j0 += block) {
+          const std::int64_t jl = std::min(block, s.e - j0);
+          float blk_max = -std::numeric_limits<float>::infinity();
+          for (std::int64_t j = 0; j < jl; ++j) {
+            blk_max = std::max(blk_max, c.at(b, h, m, j0 + j));
+          }
+          const float new_max = std::max(run_max, blk_max);
+          float blk_sum = 0.0f;
+          for (std::int64_t j = 0; j < jl; ++j) {
+            blk_sum += std::exp(c.at(b, h, m, j0 + j) - new_max);
+          }
+          run_sum = run_sum * std::exp(run_max - new_max) + blk_sum;
+          run_max = new_max;
+        }
+        // Pass 2: normalize with the final (max, sum).
+        for (std::int64_t j = 0; j < s.e; ++j) {
+          p.at(b, h, m, j) = std::exp(c.at(b, h, m, j) - run_max) / run_sum;
+        }
+      }
+  return p;
+}
+
+}  // namespace mas

@@ -1,0 +1,51 @@
+// Functional attention numerics.
+//
+// These kernels are the "golden data check" layer (paper §5.1): every
+// scheduler has a functional twin that performs the same tile decomposition
+// on real tensors and must reproduce `ReferenceAttention` bit-for-bit in the
+// tile ordering sense (exact attention — no approximation is permitted).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace mas {
+
+// C = A · Bᵀ over the last two dims, batched over (b, h).
+// A: (B,H,M,K), Bt: (B,H,N,K) -> C: (B,H,M,N).
+TensorF MatMulTransposed(const TensorF& a, const TensorF& bt);
+
+// C = A · B over the last two dims, batched over (b, h).
+// A: (B,H,M,K), B: (B,H,K,N) -> C: (B,H,M,N).
+TensorF MatMul(const TensorF& a, const TensorF& b);
+
+// Numerically-stable row-wise softmax over the last dim (paper Eq. 2):
+// subtract the row max, exponentiate, normalize.
+TensorF SoftmaxRows(const TensorF& c);
+
+// Reference exact attention O = softmax(QKᵀ)V (paper Eq. 1-3).
+// Q: (B,H,Nq,E), K: (B,H,Nk,E), V: (B,H,Nk,E) -> O: (B,H,Nq,E).
+// `scale` multiplies QKᵀ before softmax (1/sqrt(E) in transformer use;
+// the paper's workloads treat attention as given Q,K,V so scale defaults 1).
+TensorF ReferenceAttention(const TensorF& q, const TensorF& k, const TensorF& v,
+                           float scale = 1.0f);
+
+// --- Tiled building blocks mirroring the paper's Algorithms 2-4. ---
+
+// Algorithm 2: produce C_i = Q_i Kᵀ by streaming K in blocks of `n_kv` rows.
+// Functionally identical to MatMulTransposed(q_i, k); the blocked traversal
+// matches the DMA/compute order the simulator charges for.
+TensorF TiledQKT(const TensorF& q_i, const TensorF& k_i, std::int64_t n_kv);
+
+// Algorithm 3: row-granularity softmax of C_i (processes one row at a time).
+TensorF TiledSoftmax(const TensorF& c_i);
+
+// Algorithm 4: produce O_i = P_i V by streaming V in blocks of `n_kv` rows and
+// accumulating partial products.
+TensorF TiledPV(const TensorF& p_i, const TensorF& v_i, std::int64_t n_kv);
+
+// Two-pass online softmax row update used by the FuseMax functional twin
+// (max/sum running reduction then normalization), validating that the
+// einsum-decomposed softmax matches SoftmaxRows.
+TensorF OnlineSoftmaxRows(const TensorF& c, std::int64_t block);
+
+}  // namespace mas

@@ -1,0 +1,244 @@
+#include "report/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "search/tiling_search.h"
+
+namespace mas::report {
+
+namespace {
+
+double Mega(double v) { return v / 1e6; }
+double Giga(double v) { return v / 1e9; }
+
+}  // namespace
+
+const MethodRun& NetworkComparison::Run(Method m) const {
+  for (const auto& run : runs) {
+    if (run.method == m) return run;
+  }
+  MAS_FAIL() << "method " << MethodName(m) << " missing for " << network.name;
+}
+
+namespace {
+
+// FuseMax's evaluation protocol in the paper (§5.5): its tilings were the
+// *manually selected* sizes from the original FuseMax work, not searched —
+// it is explicitly excluded from the Fig. 7 search-convergence study. The
+// natural manual mapping of the einsum cascade onto a spatial-array design
+// is array-native granularity: tiles matching the PE mesh dimensions.
+TilingConfig FuseMaxManualTiling(const Scheduler& sched, const AttentionShape& shape,
+                                 const sim::HardwareConfig& hw,
+                                 const sim::EnergyModel& em) {
+  const auto& cc = hw.cores.front();
+  const TilingConfig manual{1, 1, std::min(cc.mac_rows, shape.seq_len),
+                            std::min(cc.mac_cols, shape.kv())};
+  if (sched.Fits(shape, manual, hw)) return manual;
+  // Fall back to a searched tiling when the manual one cannot fit (tiny L1).
+  return search::AutoTile(sched, shape, hw, em);
+}
+
+}  // namespace
+
+std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
+                                             const sim::HardwareConfig& hw,
+                                             const sim::EnergyModel& em) {
+  std::vector<NetworkComparison> comparisons;
+  const auto schedulers = AllSchedulers();
+  for (const NetworkWorkload& net : networks) {
+    NetworkComparison cmp;
+    cmp.network = net;
+    for (const auto& sched : schedulers) {
+      MethodRun run;
+      run.method = sched->method();
+      run.tiling = run.method == Method::kFuseMax
+                       ? FuseMaxManualTiling(*sched, net.shape, hw, em)
+                       : search::AutoTile(*sched, net.shape, hw, em);
+      run.sim = sched->Simulate(net.shape, run.tiling, hw, em);
+      cmp.runs.push_back(std::move(run));
+    }
+    comparisons.push_back(std::move(cmp));
+  }
+  return comparisons;
+}
+
+TextTable BuildCycleTable(const std::vector<NetworkComparison>& comparisons) {
+  std::vector<std::string> header = {"Network"};
+  for (Method m : AllMethods()) header.push_back(std::string(MethodName(m)) + " Mcyc");
+  for (Method m : AllMethods()) {
+    if (m != Method::kMas) header.push_back("vs " + std::string(MethodName(m)));
+  }
+  TextTable table(header);
+
+  std::vector<std::vector<double>> speedups(AllMethods().size());
+  for (const auto& cmp : comparisons) {
+    const double mas_cycles = static_cast<double>(cmp.Run(Method::kMas).sim.cycles);
+    std::vector<std::string> row = {cmp.network.name};
+    for (Method m : AllMethods()) {
+      row.push_back(FormatFixed(Mega(static_cast<double>(cmp.Run(m).sim.cycles)), 3));
+    }
+    std::size_t mi = 0;
+    for (Method m : AllMethods()) {
+      if (m == Method::kMas) {
+        ++mi;
+        continue;
+      }
+      const double speedup = static_cast<double>(cmp.Run(m).sim.cycles) / mas_cycles;
+      speedups[mi].push_back(speedup);
+      row.push_back(FormatSpeedup(speedup));
+      ++mi;
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.AddRule();
+  std::vector<std::string> geo_row = {"Geometric Mean"};
+  for (std::size_t i = 0; i < AllMethods().size(); ++i) geo_row.push_back("-");
+  for (std::size_t mi = 0; mi < AllMethods().size(); ++mi) {
+    if (AllMethods()[mi] == Method::kMas) continue;
+    geo_row.push_back(FormatSpeedup(GeoMean(speedups[mi])));
+  }
+  table.AddRow(std::move(geo_row));
+  return table;
+}
+
+TextTable BuildEnergyTable(const std::vector<NetworkComparison>& comparisons) {
+  std::vector<std::string> header = {"Network"};
+  for (Method m : AllMethods()) header.push_back(std::string(MethodName(m)) + " GpJ");
+  for (Method m : AllMethods()) {
+    if (m != Method::kMas) header.push_back("sav vs " + std::string(MethodName(m)));
+  }
+  TextTable table(header);
+
+  std::vector<std::vector<double>> ratios(AllMethods().size());
+  for (const auto& cmp : comparisons) {
+    const double mas_energy = cmp.Run(Method::kMas).sim.energy.total_pj();
+    std::vector<std::string> row = {cmp.network.name};
+    for (Method m : AllMethods()) {
+      row.push_back(FormatFixed(Giga(cmp.Run(m).sim.energy.total_pj()), 3));
+    }
+    std::size_t mi = 0;
+    for (Method m : AllMethods()) {
+      if (m == Method::kMas) {
+        ++mi;
+        continue;
+      }
+      const double other = cmp.Run(m).sim.energy.total_pj();
+      const double savings = 1.0 - mas_energy / other;
+      ratios[mi].push_back(other / mas_energy);  // geomean on ratios, like the paper
+      row.push_back(FormatPercent(savings));
+      ++mi;
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.AddRule();
+  std::vector<std::string> geo_row = {"Geometric Mean"};
+  for (std::size_t i = 0; i < AllMethods().size(); ++i) geo_row.push_back("-");
+  for (std::size_t mi = 0; mi < AllMethods().size(); ++mi) {
+    if (AllMethods()[mi] == Method::kMas) continue;
+    geo_row.push_back(FormatPercent(1.0 - 1.0 / GeoMean(ratios[mi])));
+  }
+  table.AddRow(std::move(geo_row));
+  return table;
+}
+
+TextTable BuildEnergyBreakdownTable(const std::vector<NetworkComparison>& comparisons) {
+  TextTable table({"Network", "Method", "DRAM GpJ", "L1 GpJ", "L0 GpJ", "PE-MAC GpJ",
+                   "PE-VEC GpJ", "Total GpJ"});
+  for (const auto& cmp : comparisons) {
+    for (const auto& run : cmp.runs) {
+      const auto& e = run.sim.energy;
+      table.AddRow({cmp.network.name, MethodName(run.method), FormatFixed(Giga(e.dram_pj), 3),
+                    FormatFixed(Giga(e.l1_pj), 3), FormatFixed(Giga(e.l0_pj), 3),
+                    FormatFixed(Giga(e.mac_pe_pj), 3), FormatFixed(Giga(e.vec_pe_pj), 3),
+                    FormatFixed(Giga(e.total_pj()), 3)});
+    }
+    table.AddRule();
+  }
+  return table;
+}
+
+TextTable BuildNormalizedTimeTable(const std::vector<NetworkComparison>& comparisons,
+                                   const std::vector<Method>& methods) {
+  std::vector<std::string> header = {"Network"};
+  for (Method m : methods) header.push_back(MethodName(m));
+  for (Method m : methods) {
+    if (m != Method::kMas) header.push_back("MAS speedup vs " + std::string(MethodName(m)));
+  }
+  TextTable table(header);
+  std::vector<std::vector<double>> speedups(methods.size());
+  for (const auto& cmp : comparisons) {
+    double worst = 0.0;
+    for (Method m : methods) {
+      worst = std::max(worst, static_cast<double>(cmp.Run(m).sim.cycles));
+    }
+    std::vector<std::string> row = {cmp.network.name};
+    for (Method m : methods) {
+      row.push_back(FormatFixed(static_cast<double>(cmp.Run(m).sim.cycles) / worst, 3));
+    }
+    const double mas_cycles = static_cast<double>(cmp.Run(Method::kMas).sim.cycles);
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      if (methods[mi] == Method::kMas) continue;
+      const double speedup = static_cast<double>(cmp.Run(methods[mi]).sim.cycles) / mas_cycles;
+      speedups[mi].push_back(speedup);
+      row.push_back(FormatSpeedup(speedup));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.AddRule();
+  std::vector<std::string> geo_row = {"Geometric Mean"};
+  for (std::size_t i = 0; i < methods.size(); ++i) geo_row.push_back("-");
+  for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+    if (methods[mi] == Method::kMas) continue;
+    geo_row.push_back(FormatSpeedup(GeoMean(speedups[mi])));
+  }
+  table.AddRow(std::move(geo_row));
+  return table;
+}
+
+TextTable BuildDramAccessTable(const std::vector<NetworkComparison>& comparisons) {
+  TextTable table({"Network", "FLAT reads MB", "MAS reads MB", "read ratio", "FLAT writes MB",
+                   "MAS writes MB", "write ratio", "MAS overwrites", "MAS reload KB"});
+  for (const auto& cmp : comparisons) {
+    const auto& flat = cmp.Run(Method::kFlat).sim;
+    const auto& mas = cmp.Run(Method::kMas).sim;
+    const double mb = 1024.0 * 1024.0;
+    table.AddRow({cmp.network.name, FormatFixed(flat.dram_read_bytes / mb, 2),
+                  FormatFixed(mas.dram_read_bytes / mb, 2),
+                  FormatFixed(static_cast<double>(mas.dram_read_bytes) /
+                                  static_cast<double>(flat.dram_read_bytes),
+                              2),
+                  FormatFixed(flat.dram_write_bytes / mb, 2),
+                  FormatFixed(mas.dram_write_bytes / mb, 2),
+                  FormatFixed(static_cast<double>(mas.dram_write_bytes) /
+                                  static_cast<double>(flat.dram_write_bytes),
+                              2),
+                  std::to_string(mas.overwrite_events),
+                  FormatFixed(mas.reload_bytes / 1024.0, 1)});
+  }
+  return table;
+}
+
+double GeomeanSpeedup(const std::vector<NetworkComparison>& comparisons, Method baseline) {
+  std::vector<double> values;
+  for (const auto& cmp : comparisons) {
+    values.push_back(static_cast<double>(cmp.Run(baseline).sim.cycles) /
+                     static_cast<double>(cmp.Run(Method::kMas).sim.cycles));
+  }
+  return GeoMean(values);
+}
+
+double GeomeanSavings(const std::vector<NetworkComparison>& comparisons, Method baseline) {
+  std::vector<double> ratios;
+  for (const auto& cmp : comparisons) {
+    ratios.push_back(cmp.Run(baseline).sim.energy.total_pj() /
+                     cmp.Run(Method::kMas).sim.energy.total_pj());
+  }
+  return 1.0 - 1.0 / GeoMean(ratios);
+}
+
+}  // namespace mas::report

@@ -1,0 +1,60 @@
+// Evaluation harness shared by the bench binaries: runs every (network,
+// method) pair with offline-tuned tilings and assembles the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "sim/energy_model.h"
+#include "sim/hardware_config.h"
+
+namespace mas::report {
+
+// One (network, method) evaluation with its tuned tiling.
+struct MethodRun {
+  Method method;
+  TilingConfig tiling;
+  sim::SimResult sim;
+};
+
+struct NetworkComparison {
+  NetworkWorkload network;
+  std::vector<MethodRun> runs;  // in AllMethods() order
+
+  const MethodRun& Run(Method m) const;
+};
+
+// Tunes (coarse grid per §4.2 — the benches that study search quality use
+// the full GA/MCTS searches) and simulates every method on every network.
+std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
+                                             const sim::HardwareConfig& hw,
+                                             const sim::EnergyModel& em);
+
+// Table 2: cycles (1e6) per method and MAS-vs-others speedups + geomeans.
+TextTable BuildCycleTable(const std::vector<NetworkComparison>& comparisons);
+
+// Table 3: energy (1e9 pJ) per method and MAS-vs-others savings + geomeans.
+TextTable BuildEnergyTable(const std::vector<NetworkComparison>& comparisons);
+
+// Fig. 6: per-network per-method energy breakdown (DRAM / L1 / L0 / PE-MAC /
+// PE-VEC) in 1e9 pJ.
+TextTable BuildEnergyBreakdownTable(const std::vector<NetworkComparison>& comparisons);
+
+// Fig. 5-style normalized execution time (normalized to the slowest method
+// per network) for a subset of methods.
+TextTable BuildNormalizedTimeTable(const std::vector<NetworkComparison>& comparisons,
+                                   const std::vector<Method>& methods);
+
+// §5.4: DRAM read/write bytes, MAS vs FLAT.
+TextTable BuildDramAccessTable(const std::vector<NetworkComparison>& comparisons);
+
+// Geomean of MAS speedup versus `baseline` across the comparisons.
+double GeomeanSpeedup(const std::vector<NetworkComparison>& comparisons, Method baseline);
+
+// Geomean of MAS energy savings fraction versus `baseline`.
+double GeomeanSavings(const std::vector<NetworkComparison>& comparisons, Method baseline);
+
+}  // namespace mas::report

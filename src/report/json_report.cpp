@@ -1,0 +1,87 @@
+#include "report/json_report.h"
+
+#include "common/json_writer.h"
+
+namespace mas::report {
+
+namespace {
+
+void WriteShape(JsonWriter& w, const AttentionShape& shape) {
+  w.BeginObject("shape");
+  w.KeyValue("name", shape.name);
+  w.KeyValue("batch", shape.batch);
+  w.KeyValue("heads", shape.heads);
+  w.KeyValue("seq_len", shape.seq_len);
+  w.KeyValue("embed", shape.embed);
+  w.KeyValue("kv_len", shape.kv());
+  w.KeyValue("total_macs", shape.TotalMacs());
+  w.EndObject();
+}
+
+void WriteRunBody(JsonWriter& w, Method method, const TilingConfig& tiling,
+                  const sim::HardwareConfig& hw, const sim::SimResult& r) {
+  w.KeyValue("method", std::string(MethodName(method)));
+  w.BeginObject("tiling");
+  w.KeyValue("bb", tiling.bb);
+  w.KeyValue("hh", tiling.hh);
+  w.KeyValue("nq", tiling.nq);
+  w.KeyValue("nkv", tiling.nkv);
+  w.EndObject();
+  w.KeyValue("cycles", static_cast<std::uint64_t>(r.cycles));
+  w.KeyValue("latency_ms", static_cast<double>(r.cycles) / (hw.frequency_ghz * 1e6));
+  w.BeginObject("energy_pj");
+  w.KeyValue("dram", r.energy.dram_pj);
+  w.KeyValue("l1", r.energy.l1_pj);
+  w.KeyValue("l0", r.energy.l0_pj);
+  w.KeyValue("mac_pe", r.energy.mac_pe_pj);
+  w.KeyValue("vec_pe", r.energy.vec_pe_pj);
+  w.KeyValue("total", r.energy.total_pj());
+  w.EndObject();
+  w.KeyValue("dram_read_bytes", r.dram_read_bytes);
+  w.KeyValue("dram_write_bytes", r.dram_write_bytes);
+  w.KeyValue("peak_l1_bytes", r.peak_l1_bytes);
+  w.KeyValue("mac_utilization", r.MacUtilization());
+  w.KeyValue("overwrite_events", r.overwrite_events);
+  w.KeyValue("reload_bytes", r.reload_bytes);
+  w.BeginArray("resources");
+  for (const auto& res : r.resources) {
+    w.BeginObject();
+    w.KeyValue("name", res.name);
+    w.KeyValue("busy_cycles", static_cast<std::uint64_t>(res.busy_cycles));
+    w.KeyValue("tasks", static_cast<std::uint64_t>(res.task_count));
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+std::string RunJson(const AttentionShape& shape, Method method, const TilingConfig& tiling,
+                    const sim::HardwareConfig& hw, const sim::SimResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteShape(w, shape);
+  w.KeyValue("hardware", hw.name);
+  WriteRunBody(w, method, tiling, hw, result);
+  w.EndObject();
+  return w.Take();
+}
+
+std::string RunsJson(const AttentionShape& shape, const sim::HardwareConfig& hw,
+                     const std::vector<NamedRun>& runs) {
+  JsonWriter w;
+  w.BeginObject();
+  WriteShape(w, shape);
+  w.KeyValue("hardware", hw.name);
+  w.BeginArray("runs");
+  for (const NamedRun& run : runs) {
+    w.BeginObject();
+    WriteRunBody(w, run.method, run.tiling, hw, run.result);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace mas::report

@@ -1,0 +1,30 @@
+// JSON serialization of simulation outcomes for machine consumption
+// (the mas_run CLI's --format=json, CI dashboards, notebooks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/attention_shape.h"
+#include "schedulers/scheduler.h"
+#include "sim/engine.h"
+#include "sim/hardware_config.h"
+
+namespace mas::report {
+
+// One simulated run as a JSON object (shape, method, tiling, hardware name,
+// cycles, latency, energy breakdown, DRAM traffic, utilization, overwrite
+// statistics).
+std::string RunJson(const AttentionShape& shape, Method method, const TilingConfig& tiling,
+                    const sim::HardwareConfig& hw, const sim::SimResult& result);
+
+// An array of runs (e.g. all methods on one shape) as a JSON document.
+struct NamedRun {
+  Method method;
+  TilingConfig tiling;
+  sim::SimResult result;
+};
+std::string RunsJson(const AttentionShape& shape, const sim::HardwareConfig& hw,
+                     const std::vector<NamedRun>& runs);
+
+}  // namespace mas::report

@@ -1,0 +1,98 @@
+// ScheduleBuilder: thin emission layer over the engine + cost model.
+//
+// Scheduler implementations express their dataflow as a sequence of emit
+// calls; issue order *is* execution order within each in-order resource
+// queue, exactly as on the modeled hardware (DMA descriptor ring, in-order
+// MAC/VEC pipelines). Cross-resource synchronization is expressed through
+// task dependencies.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace mas::detail {
+
+using sim::TaskId;
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(const sim::HardwareConfig& hw, const sim::EnergyModel& em,
+                  bool record_timeline)
+      : engine_(hw, record_timeline), cm_(hw, em), record_(record_timeline) {}
+
+  const sim::HardwareConfig& hw() const { return engine_.hw(); }
+  const sim::CostModel& cost_model() const { return cm_; }
+
+  // DRAM <-> L1 transfer. Each core owns a DMA descriptor ring; the rings
+  // arbitrate round-robin for the single DRAM bus (see Engine::Run), so one
+  // core's queued-ahead transfers cannot starve another core's demand loads.
+  TaskId Dma(const char* name, int core, std::int64_t bytes, bool is_read,
+             std::vector<TaskId> deps = {}) {
+    return Emit(name, sim::ResourceKind::kDma, core, cm_.Dma(bytes, is_read),
+                std::move(deps));
+  }
+
+  // Batched MatMul tile on `core`'s MAC unit.
+  TaskId Mac(const char* name, int core, std::int64_t groups, std::int64_t m, std::int64_t k,
+             std::int64_t n, std::vector<TaskId> deps = {}) {
+    return Emit(name, sim::ResourceKind::kMac, core, cm_.MacTile(groups, m, k, n, core),
+                std::move(deps));
+  }
+
+  // Batched softmax tile on `core`'s VEC unit.
+  TaskId Vec(const char* name, int core, std::int64_t groups, std::int64_t rows,
+             std::int64_t row_len, std::vector<TaskId> deps = {},
+             std::int64_t extra_lane_ops = 0) {
+    return Emit(name, sim::ResourceKind::kVec, core,
+                cm_.VecSoftmax(groups, rows, row_len, core, extra_lane_ops),
+                std::move(deps));
+  }
+
+  // Generic element-wise pass on `core`'s VEC unit.
+  TaskId VecElem(const char* name, int core, std::int64_t elements, std::int64_t ops_per_elem,
+                 std::vector<TaskId> deps = {}) {
+    return Emit(name, sim::ResourceKind::kVec, core,
+                cm_.VecElementwise(elements, ops_per_elem, core), std::move(deps));
+  }
+
+  // Charges L1 read+write energy for on-chip data reorganization without
+  // occupying a compute resource (TileFlow's inter-stage shuffles).
+  void ChargeL1Shuffle(std::int64_t bytes) { extra_energy_ += cm_.L1Shuffle(bytes).energy; }
+
+  // Runs the schedule and merges scheduler-reported statistics.
+  sim::SimResult Finish(std::int64_t peak_l1_bytes, std::int64_t overwrite_events = 0,
+                        std::int64_t reload_bytes = 0) {
+    sim::SimResult result = engine_.Run();
+    result.energy += extra_energy_;
+    result.peak_l1_bytes = peak_l1_bytes;
+    result.overwrite_events = overwrite_events;
+    result.reload_bytes = reload_bytes;
+    return result;
+  }
+
+ private:
+  TaskId Emit(const char* name, sim::ResourceKind resource, int core, sim::TaskCost cost,
+              std::vector<TaskId> deps) {
+    sim::TaskSpec spec;
+    if (record_) spec.name = name;
+    spec.resource = resource;
+    spec.core = core;
+    spec.duration = cost.cycles;
+    spec.deps = std::move(deps);
+    spec.energy = cost.energy;
+    spec.dram_read_bytes = cost.dram_read_bytes;
+    spec.dram_write_bytes = cost.dram_write_bytes;
+    return engine_.AddTask(std::move(spec));
+  }
+
+  sim::Engine engine_;
+  sim::CostModel cm_;
+  bool record_;
+  sim::EnergyBreakdown extra_energy_;
+};
+
+}  // namespace mas::detail

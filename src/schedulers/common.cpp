@@ -1,0 +1,133 @@
+#include "schedulers/common.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "kernels/attention_kernels.h"
+
+namespace mas::detail {
+
+std::vector<RowBlock> EnumerateRowBlocks(const AttentionShape& shape,
+                                         const TilingConfig& tiling) {
+  shape.Validate();
+  tiling.Validate(shape);
+  std::vector<RowBlock> blocks;
+  for (std::int64_t b0 = 0; b0 < shape.batch; b0 += tiling.bb) {
+    const std::int64_t bl = std::min(tiling.bb, shape.batch - b0);
+    for (std::int64_t h0 = 0; h0 < shape.heads; h0 += tiling.hh) {
+      const std::int64_t hl = std::min(tiling.hh, shape.heads - h0);
+      for (std::int64_t n0 = 0; n0 < shape.seq_len; n0 += tiling.nq) {
+        const std::int64_t nl = std::min(tiling.nq, shape.seq_len - n0);
+        blocks.push_back({b0, bl, h0, hl, n0, nl});
+      }
+    }
+  }
+  return blocks;
+}
+
+std::vector<std::vector<RowBlock>> ShardAcrossCores(const std::vector<RowBlock>& blocks,
+                                                    const sim::HardwareConfig& hw) {
+  const std::int64_t cores = hw.num_cores();
+  std::vector<std::vector<RowBlock>> shards(static_cast<std::size_t>(cores));
+  if (blocks.empty()) return shards;
+
+  // Group boundaries: keep a (b,h) group's row blocks contiguous on one core.
+  // Assign groups to cores greedily by remaining capacity weight
+  // (longest-processing-time style), where a core's weight is its MAC
+  // throughput and a group's load is its row count.
+  struct Group {
+    std::size_t first, last;  // [first, last) into blocks
+    std::int64_t load;
+  };
+  std::vector<Group> groups;
+  std::size_t start = 0;
+  for (std::size_t idx = 1; idx <= blocks.size(); ++idx) {
+    if (idx == blocks.size() || blocks[idx].first_in_group()) {
+      std::int64_t load = 0;
+      for (std::size_t j = start; j < idx; ++j) {
+        load += blocks[j].groups() * blocks[j].rows();
+      }
+      groups.push_back({start, idx, load});
+      start = idx;
+    }
+  }
+
+  std::vector<double> core_weight(static_cast<std::size_t>(cores));
+  std::vector<double> core_load(static_cast<std::size_t>(cores), 0.0);
+  for (std::int64_t c = 0; c < cores; ++c) {
+    const auto& cc = hw.cores[static_cast<std::size_t>(c)];
+    core_weight[static_cast<std::size_t>(c)] =
+        static_cast<double>(cc.mac_rows * cc.mac_cols);
+  }
+  for (const Group& g : groups) {
+    // Pick the core with the smallest normalized load.
+    std::size_t best = 0;
+    double best_score = core_load[0] / core_weight[0];
+    for (std::size_t c = 1; c < static_cast<std::size_t>(cores); ++c) {
+      const double score = core_load[c] / core_weight[c];
+      if (score < best_score) {
+        best = c;
+        best_score = score;
+      }
+    }
+    for (std::size_t j = g.first; j < g.last; ++j) shards[best].push_back(blocks[j]);
+    core_load[best] += static_cast<double>(g.load);
+  }
+  return shards;
+}
+
+std::vector<KvBlock> EnumerateKvBlocks(const AttentionShape& shape,
+                                       const TilingConfig& tiling) {
+  std::vector<KvBlock> blocks;
+  for (std::int64_t n0 = 0; n0 < shape.kv(); n0 += tiling.nkv) {
+    blocks.push_back({n0, std::min(tiling.nkv, shape.kv() - n0)});
+  }
+  return blocks;
+}
+
+std::int64_t PerCoreL1Budget(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) {
+  const auto shards = ShardAcrossCores(EnumerateRowBlocks(shape, tiling), hw);
+  std::int64_t active = 0;
+  for (const auto& s : shards) {
+    if (!s.empty()) ++active;
+  }
+  return hw.l1_bytes / std::max<std::int64_t>(active, 1);
+}
+
+BlockBytes ComputeBlockBytes(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) {
+  const std::int64_t eb = hw.element_bytes;
+  const std::int64_t groups = std::min(tiling.bb, shape.batch) * std::min(tiling.hh, shape.heads);
+  const std::int64_t rows = std::min(tiling.nq, shape.seq_len);
+  BlockBytes bytes;
+  bytes.q = groups * rows * shape.embed * eb;
+  bytes.c = groups * rows * shape.kv() * eb;
+  bytes.o = groups * rows * shape.embed * eb;
+  bytes.kv_group = groups * shape.kv() * shape.embed * eb;
+  bytes.kv_tile = groups * std::min(tiling.nkv, shape.kv()) * shape.embed * eb;
+  return bytes;
+}
+
+TensorF ExecuteFusedRowBlocks(const TensorF& q, const TensorF& k, const TensorF& v,
+                              const TilingConfig& tiling) {
+  const Shape4& s = q.shape();
+  const Shape4& skv = k.shape();
+  MAS_CHECK(skv.b == s.b && skv.h == s.h && skv.e == s.e) << "Q/K batch/head/embed mismatch";
+  MAS_CHECK(v.shape() == skv) << "K/V must share shape";
+  AttentionShape shape{"exec", s.b, s.h, s.n, s.e, skv.n == s.n ? 0 : skv.n};
+  TensorF o(s);
+  for (const RowBlock& rb : EnumerateRowBlocks(shape, tiling)) {
+    const TensorF q_i = q.Slice(rb.b0, rb.bl, rb.h0, rb.hl, rb.n0, rb.nl, 0, s.e);
+    const TensorF k_i = k.Slice(rb.b0, rb.bl, rb.h0, rb.hl, 0, skv.n, 0, s.e);
+    const TensorF v_i = v.Slice(rb.b0, rb.bl, rb.h0, rb.hl, 0, skv.n, 0, s.e);
+    const TensorF c_i = TiledQKT(q_i, k_i, tiling.nkv);       // Alg. 2
+    const TensorF p_i = TiledSoftmax(c_i);                    // Alg. 3
+    const TensorF o_i = TiledPV(p_i, v_i, tiling.nkv);        // Alg. 4
+    o.Place(o_i, rb.b0, rb.h0, rb.n0, 0);
+  }
+  return o;
+}
+
+}  // namespace mas::detail

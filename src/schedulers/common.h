@@ -1,0 +1,69 @@
+// Shared machinery for the scheduler implementations: row-block enumeration,
+// core sharding, L1 footprint bookkeeping, and the fused functional twin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/attention_shape.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/hardware_config.h"
+#include "tensor/tensor.h"
+
+namespace mas::detail {
+
+// One row-block iteration of Alg. 1: a (groups = bl*hl) x rows x E chunk of Q
+// (and the matching strip of C, P, O).
+struct RowBlock {
+  std::int64_t b0 = 0, bl = 1;  // batch origin/extent
+  std::int64_t h0 = 0, hl = 1;  // head origin/extent
+  std::int64_t n0 = 0, nl = 1;  // query-row origin/extent
+  std::int64_t groups() const { return bl * hl; }
+  std::int64_t rows() const { return nl; }
+  // True when this block starts a new (batch, head) group (n0 == 0), i.e. K/V
+  // for the group must be (re)established on-chip.
+  bool first_in_group() const { return n0 == 0; }
+};
+
+// Enumerates Alg. 1 line 2: T_r row blocks in (batch, head, row) order.
+std::vector<RowBlock> EnumerateRowBlocks(const AttentionShape& shape,
+                                         const TilingConfig& tiling);
+
+// Splits row blocks across cores proportionally to MAC throughput, keeping
+// each (batch, head) group's blocks on one core (K/V residency is per group).
+// Returns one block list per core.
+std::vector<std::vector<RowBlock>> ShardAcrossCores(const std::vector<RowBlock>& blocks,
+                                                    const sim::HardwareConfig& hw);
+
+// One key/value sub-block of Alg. 2/4 line 3.
+struct KvBlock {
+  std::int64_t n0 = 0, nl = 1;
+};
+std::vector<KvBlock> EnumerateKvBlocks(const AttentionShape& shape,
+                                       const TilingConfig& tiling);
+
+// Equal split of the shared L1 across the cores that actually receive work
+// under `tiling` (the paper's L1 is a single shared 5 MB scratchpad; every
+// active core holds its own working set in it simultaneously).
+std::int64_t PerCoreL1Budget(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw);
+
+// Per-row-block on-chip buffer sizes in bytes.
+struct BlockBytes {
+  std::int64_t q = 0;       // Q_i
+  std::int64_t c = 0;       // C_i (= P_i)
+  std::int64_t o = 0;       // O_i
+  std::int64_t kv_group = 0;  // full K (or V) for the (b,h) group
+  std::int64_t kv_tile = 0;   // one K/V sub-block
+};
+BlockBytes ComputeBlockBytes(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw);
+
+// Functional twin shared by every fused scheduler (FLAT / TileFlow / MAS):
+// per row block compute C_i (Alg. 2), P_i (Alg. 3), O_i (Alg. 4). All three
+// produce numerically identical O; only the hardware schedule differs.
+TensorF ExecuteFusedRowBlocks(const TensorF& q, const TensorF& k, const TensorF& v,
+                              const TilingConfig& tiling);
+
+}  // namespace mas::detail

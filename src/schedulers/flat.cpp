@@ -1,0 +1,120 @@
+// FLAT (Kao et al. 2023), the paper's primary baseline.
+//
+// Fully fused row-granularity dataflow: per row block i, C_i = Q_i K^T is
+// computed on-chip, softmaxed in place, multiplied by V and only O_i is
+// written to DRAM — no intermediate round trips. The tiled stages execute
+// *sequentially* (the MAC unit idles while the VEC unit softmaxes and vice
+// versa); DMA transfers overlap with compute via double buffering. K and V
+// stay resident on-chip for a whole (batch, head) group when they fit,
+// otherwise they are streamed per sub-block.
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+using detail::KvBlock;
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+namespace {
+
+// Working set excluding K/V: two Q blocks (double-buffered), one C/P strip
+// (softmax is in place: P_i reuses C_i's buffer — this is why FLAT handles
+// 2x the sequence length MAS does, paper §5.6), one O block.
+std::int64_t WorkingBytes(const detail::BlockBytes& bytes) {
+  return 2 * bytes.q + bytes.c + 2 * bytes.o;
+}
+
+bool CanResideKv(const detail::BlockBytes& bytes, std::int64_t l1_budget) {
+  return WorkingBytes(bytes) + 2 * bytes.kv_group <= l1_budget;
+}
+
+}  // namespace
+
+bool FlatScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                         const sim::HardwareConfig& hw) const {
+  tiling.Validate(shape);
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  // Streaming fallback footprint: double-buffered K and V sub-blocks,
+  // within this core's share of the L1 (every active core holds its own
+  // working set in the shared scratchpad).
+  return WorkingBytes(bytes) + 4 * bytes.kv_tile <=
+         detail::PerCoreL1Budget(shape, tiling, hw);
+}
+
+sim::SimResult FlatScheduler::Simulate(const AttentionShape& shape, const TilingConfig& tiling,
+                                       const sim::HardwareConfig& hw,
+                                       const sim::EnergyModel& em,
+                                       bool record_timeline) const {
+  MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
+  ScheduleBuilder b(hw, em, record_timeline);
+  const std::int64_t eb = hw.element_bytes;
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  const bool resident = CanResideKv(bytes, detail::PerCoreL1Budget(shape, tiling, hw));
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const auto kvs = detail::EnumerateKvBlocks(shape, tiling);
+
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    TaskId k_group = sim::kNoTask;
+    TaskId v_group = sim::kNoTask;
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      if (resident && rb.first_in_group()) {
+        // Establish K/V residency for the new (batch, head) group.
+        k_group = b.Dma("load K group", core, groups * shape.kv() * shape.embed * eb, true);
+        v_group = b.Dma("load V group", core, groups * shape.kv() * shape.embed * eb, true);
+      }
+      const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
+
+      // Stage 1: C_i = Q_i K^T on the MAC unit.
+      std::vector<TaskId> c_macs;
+      for (const KvBlock& kv : kvs) {
+        std::vector<TaskId> deps = {q_load};
+        if (resident) {
+          deps.push_back(k_group);
+        } else {
+          deps.push_back(b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true));
+        }
+        c_macs.push_back(b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed,
+                               kv.nl, std::move(deps)));
+      }
+
+      // Stage 2: P_i = softmax(C_i) in place on the VEC unit. The following
+      // PV MAC tasks depend on it, serializing the stages (FLAT dataflow).
+      const TaskId vec = b.Vec("P_i = softmax(C_i)", core, groups, rb.rows(), shape.kv(),
+                               std::move(c_macs));
+
+      // Stage 3: O_i = P_i V accumulated on the MAC unit.
+      TaskId last_mac = sim::kNoTask;
+      for (const KvBlock& kv : kvs) {
+        std::vector<TaskId> deps = {vec};
+        if (resident) {
+          deps.push_back(v_group);
+        } else {
+          deps.push_back(b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true));
+        }
+        if (last_mac != sim::kNoTask) deps.push_back(last_mac);
+        last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
+                         std::move(deps));
+      }
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+    }
+  }
+
+  const std::int64_t peak =
+      WorkingBytes(bytes) + (resident ? 2 * bytes.kv_group : 4 * bytes.kv_tile);
+  return b.Finish(peak);
+}
+
+TensorF FlatScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                               const TilingConfig& tiling) const {
+  return detail::ExecuteFusedRowBlocks(q, k, v, tiling);
+}
+
+}  // namespace mas

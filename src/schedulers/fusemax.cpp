@@ -1,0 +1,220 @@
+// FuseMax (Nayak et al. 2024) scaled down to the edge device (paper §5.1).
+//
+// Attention is decomposed into an einsum cascade executed in a single fused
+// pass with *online* softmax: per key/value sub-block j, the MAC unit
+// computes the score block C_j, the VEC unit folds it into running
+// (max, sum) statistics and exponentiates, and the MAC unit accumulates the
+// weighted-V contribution — with the accumulator rescaled on the VEC unit
+// whenever the running max moves. MAC and VEC ping-pong at sub-block
+// granularity, overlapping like MAS but with extra vector work (rescales)
+// and tighter per-block coupling. No full C/P strip is ever materialized,
+// so FuseMax has the smallest on-chip footprint of the fused methods.
+#include <algorithm>
+#include <limits>
+
+#include "common/math_util.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+using detail::KvBlock;
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+namespace {
+
+std::int64_t BlockStateBytes(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) {
+  const std::int64_t eb = hw.element_bytes;
+  const std::int64_t groups = std::min(tiling.bb, shape.batch) * std::min(tiling.hh, shape.heads);
+  const std::int64_t rows = std::min(tiling.nq, shape.seq_len);
+  const std::int64_t nkv = std::min(tiling.nkv, shape.kv());
+  const std::int64_t c_blk = groups * rows * nkv * eb;    // one score sub-block
+  const std::int64_t stats = 2 * groups * rows * eb;      // running (max, sum)
+  return 2 * c_blk + stats;
+}
+
+std::int64_t WorkingBytes(const AttentionShape& shape, const TilingConfig& tiling,
+                          const sim::HardwareConfig& hw) {
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  return 2 * bytes.q + 2 * bytes.o + BlockStateBytes(shape, tiling, hw);
+}
+
+bool CanResideKv(const AttentionShape& shape, const TilingConfig& tiling,
+                 const sim::HardwareConfig& hw) {
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  return WorkingBytes(shape, tiling, hw) + 2 * bytes.kv_group <=
+         detail::PerCoreL1Budget(shape, tiling, hw);
+}
+
+}  // namespace
+
+bool FuseMaxScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                            const sim::HardwareConfig& hw) const {
+  tiling.Validate(shape);
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  return WorkingBytes(shape, tiling, hw) + 4 * bytes.kv_tile <=
+         detail::PerCoreL1Budget(shape, tiling, hw);
+}
+
+sim::SimResult FuseMaxScheduler::Simulate(const AttentionShape& shape,
+                                          const TilingConfig& tiling,
+                                          const sim::HardwareConfig& hw,
+                                          const sim::EnergyModel& em,
+                                          bool record_timeline) const {
+  MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
+  ScheduleBuilder b(hw, em, record_timeline);
+  const std::int64_t eb = hw.element_bytes;
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  const bool resident = CanResideKv(shape, tiling, hw);
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const auto kvs = detail::EnumerateKvBlocks(shape, tiling);
+
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    const auto& cc = hw.cores[static_cast<std::size_t>(core)];
+    // Online update per element: running-max compare, subtract, exp, sum
+    // fold, plus the multiply of the P block into the accumulator path.
+    const std::int64_t update_ops =
+        cc.vec_cost_max + cc.vec_cost_sub + cc.vec_cost_exp + cc.vec_cost_sum;
+    TaskId k_group = sim::kNoTask;
+    TaskId v_group = sim::kNoTask;
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      if (resident && rb.first_in_group()) {
+        k_group = b.Dma("load K group", core, groups * shape.kv() * shape.embed * eb, true);
+        v_group = b.Dma("load V group", core, groups * shape.kv() * shape.embed * eb, true);
+      }
+      const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
+
+      // Einsum cascade: C_j -> online update U_j -> PV_j accumulate, with the
+      // MAC unit running C_{j+1} while the VEC unit folds block j (ping-pong
+      // scheduling per the FuseMax paper). The in-order MAC queue receives
+      // C_0, C_1, PV_0, C_2, PV_1, ... — PV_j waits on U_j.
+      std::vector<TaskId> c_macs(kvs.size(), sim::kNoTask);
+      std::vector<TaskId> updates(kvs.size(), sim::kNoTask);
+      std::vector<TaskId> pv_macs(kvs.size(), sim::kNoTask);
+      auto emit_c = [&](std::size_t j) {
+        const KvBlock& kv = kvs[j];
+        std::vector<TaskId> deps = {q_load};
+        if (resident) {
+          deps.push_back(k_group);
+        } else {
+          deps.push_back(b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true));
+        }
+        c_macs[j] = b.Mac("C_j = Q_i K_j^T", core, groups, rb.rows(), shape.embed, kv.nl,
+                          std::move(deps));
+      };
+      auto emit_update = [&](std::size_t j) {
+        const KvBlock& kv = kvs[j];
+        std::vector<TaskId> deps = {c_macs[j]};
+        if (j > 0) deps.push_back(updates[j - 1]);  // running stats carry
+        updates[j] = b.VecElem("online update U_j", core, groups * rb.rows() * kv.nl,
+                               update_ops, std::move(deps));
+        // Accumulator rescale when the running max moves: one multiply-add
+        // over the O accumulator per block.
+        updates[j] = b.VecElem("rescale O acc", core, groups * rb.rows() * shape.embed, 2,
+                               {updates[j]});
+      };
+      auto emit_pv = [&](std::size_t j) {
+        const KvBlock& kv = kvs[j];
+        std::vector<TaskId> deps = {updates[j]};
+        if (resident) {
+          deps.push_back(v_group);
+        } else {
+          deps.push_back(b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true));
+        }
+        if (j > 0 && pv_macs[j - 1] != sim::kNoTask) deps.push_back(pv_macs[j - 1]);
+        pv_macs[j] = b.Mac("O_i += P_j V_j", core, groups, rb.rows(), kv.nl, shape.embed,
+                           std::move(deps));
+      };
+
+      emit_c(0);
+      for (std::size_t j = 1; j < kvs.size(); ++j) {
+        emit_c(j);
+        emit_update(j - 1);
+        emit_pv(j - 1);
+      }
+      emit_update(kvs.size() - 1);
+      emit_pv(kvs.size() - 1);
+
+      // Final normalization of the accumulator by the running sum.
+      const TaskId norm = b.VecElem("normalize O_i", core, groups * rb.rows() * shape.embed,
+                                    cc.vec_cost_div, {pv_macs.back()});
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {norm});
+    }
+  }
+
+  const std::int64_t peak = WorkingBytes(shape, tiling, hw) +
+                            (resident ? 2 * bytes.kv_group : 4 * bytes.kv_tile);
+  return b.Finish(peak);
+}
+
+TensorF FuseMaxScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                                  const TilingConfig& tiling) const {
+  const Shape4& s = q.shape();
+  const Shape4& skv = k.shape();
+  MAS_CHECK(skv.b == s.b && skv.h == s.h && skv.e == s.e) << "Q/K batch/head/embed mismatch";
+  MAS_CHECK(v.shape() == skv) << "K/V must share shape";
+  const std::int64_t nkv_len = skv.n;
+  AttentionShape shape{"fusemax", s.b, s.h, s.n, s.e, nkv_len == s.n ? 0 : nkv_len};
+  TensorF o(s);
+  for (const RowBlock& rb : detail::EnumerateRowBlocks(shape, tiling)) {
+    const TensorF q_i = q.Slice(rb.b0, rb.bl, rb.h0, rb.hl, rb.n0, rb.nl, 0, s.e);
+    // Online-softmax single pass over key/value sub-blocks: running
+    // (max, sum) per row, with accumulator rescaling — the einsum cascade.
+    TensorF o_i(rb.bl, rb.hl, rb.nl, s.e);
+    TensorF run_max(rb.bl, rb.hl, rb.nl, 1);
+    TensorF run_sum(rb.bl, rb.hl, rb.nl, 1);
+    run_max.Fill(-std::numeric_limits<float>::infinity());
+    run_sum.Fill(0.0f);
+    for (std::int64_t j0 = 0; j0 < nkv_len; j0 += tiling.nkv) {
+      const std::int64_t jl = std::min(tiling.nkv, nkv_len - j0);
+      const TensorF k_blk = k.Slice(rb.b0, rb.bl, rb.h0, rb.hl, j0, jl, 0, s.e);
+      const TensorF v_blk = v.Slice(rb.b0, rb.bl, rb.h0, rb.hl, j0, jl, 0, s.e);
+      const TensorF c_blk = MatMulTransposed(q_i, k_blk);
+      for (std::int64_t bb = 0; bb < rb.bl; ++bb)
+        for (std::int64_t hh = 0; hh < rb.hl; ++hh)
+          for (std::int64_t r = 0; r < rb.nl; ++r) {
+            float blk_max = -std::numeric_limits<float>::infinity();
+            for (std::int64_t c = 0; c < jl; ++c) {
+              blk_max = std::max(blk_max, c_blk.at(bb, hh, r, c));
+            }
+            const float old_max = run_max.at(bb, hh, r, 0);
+            const float new_max = std::max(old_max, blk_max);
+            const float rescale = std::exp(old_max - new_max);
+            // Rescale accumulator and running sum to the new max.
+            for (std::int64_t e = 0; e < s.e; ++e) {
+              o_i.at(bb, hh, r, e) *= rescale;
+            }
+            float blk_sum = 0.0f;
+            for (std::int64_t c = 0; c < jl; ++c) {
+              const float p = std::exp(c_blk.at(bb, hh, r, c) - new_max);
+              blk_sum += p;
+              for (std::int64_t e = 0; e < s.e; ++e) {
+                o_i.at(bb, hh, r, e) += p * v_blk.at(bb, hh, c, e);
+              }
+            }
+            run_sum.at(bb, hh, r, 0) = run_sum.at(bb, hh, r, 0) * rescale + blk_sum;
+            run_max.at(bb, hh, r, 0) = new_max;
+          }
+    }
+    // Final normalization.
+    for (std::int64_t bb = 0; bb < rb.bl; ++bb)
+      for (std::int64_t hh = 0; hh < rb.hl; ++hh)
+        for (std::int64_t r = 0; r < rb.nl; ++r) {
+          const float inv = 1.0f / run_sum.at(bb, hh, r, 0);
+          for (std::int64_t e = 0; e < s.e; ++e) {
+            o_i.at(bb, hh, r, e) *= inv;
+          }
+        }
+    o.Place(o_i, rb.b0, rb.h0, rb.n0, 0);
+  }
+  return o;
+}
+
+}  // namespace mas

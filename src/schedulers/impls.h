@@ -1,0 +1,127 @@
+// Concrete scheduler classes. Exposed for white-box tests; library users
+// should go through MakeScheduler()/AllSchedulers() in scheduler.h.
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace mas {
+
+// Unfused baseline: C = QK^T fully materialized in DRAM, then softmax, then
+// O = PV — three sequential phases with DRAM round trips for C and P.
+class LayerWiseScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kLayerWise; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+};
+
+// Pipelines QK^T with softmax (C stays on-chip); P round-trips through DRAM;
+// O = PV runs as a separate unfused phase.
+class SoftPipeScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kSoftPipe; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+};
+
+// FLAT (Kao et al.): fully fused row-granularity dataflow; tiled stages run
+// sequentially (MAC idles during softmax and vice versa), I/O overlaps.
+class FlatScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kFlat; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+};
+
+// TileFlow-style fused pipeline (approximated per paper §5.1): sub-tile
+// pipelining overlaps MAC and VEC within a computation round, with a barrier
+// between rounds and extra on-chip data movement from the finer tiling tree.
+class TileFlowScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kTileFlow; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+};
+
+// FuseMax scaled to the edge device: einsum cascade with online (two-pass
+// streaming) softmax; MAC and VEC ping-pong at key/value-block granularity in
+// a single fused pass, with per-block accumulator rescaling on the VEC unit.
+class FuseMaxScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kFuseMax; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+};
+
+// MAS-Attention (the paper's contribution): semi-synchronous stream
+// processing per Alg. 1 — MAC issue order C1, C2, [PV_{i-2}, C_i]..., with
+// softmax running concurrently on the VEC unit — plus the §4.3 proactive
+// buffer overwrite (evict resident K/V to protect P_i, reload + redo after).
+class MasScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kMas; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+
+  // Statistics from the most recent Simulate() L1 play (exposed for tests and
+  // the Fig. 2/3 bench): number of overwrite activations and reloaded bytes
+  // are already in SimResult; this reports which operand was chosen.
+  struct OverwriteProfile {
+    std::int64_t v_overwrites = 0;  // Fig. 2: V evicted while MAC in PV
+    std::int64_t k_overwrites = 0;  // Fig. 3: K evicted while MAC in QK^T
+  };
+  static OverwriteProfile ProfileOverwrites(const AttentionShape&, const TilingConfig&,
+                                            const sim::HardwareConfig&);
+};
+
+// Ablation: the MAS stream pipeline with the proactive overwrite disabled.
+// When the second pipeline strip does not fit next to the protected softmax
+// results, the scheduler cannot evict resident K/V — the pipelined rounds
+// have to drain one strip at a time, i.e. the dataflow degenerates to FLAT's
+// sequential round order for the pressured schedule (modeled whole-schedule:
+// if a dry run of the MAS L1 play would trigger any overwrite, the schedule
+// is emitted in FLAT order). Not part of AllMethods(); used by
+// bench_ablation_overwrite and the overwrite tests.
+class MasNoOverwriteScheduler final : public Scheduler {
+ public:
+  Method method() const override { return Method::kMasNoOverwrite; }
+  bool Fits(const AttentionShape&, const TilingConfig&,
+            const sim::HardwareConfig&) const override;
+  sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
+                          const sim::HardwareConfig&, const sim::EnergyModel&,
+                          bool record_timeline) const override;
+  TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                  const TilingConfig&) const override;
+};
+
+}  // namespace mas

@@ -1,0 +1,130 @@
+// Layer-Wise baseline (paper §5.1): the unfused attention execution.
+//
+// Three strictly sequential phases with DRAM round trips for the
+// intermediates: (1) C = QK^T streamed tile-by-tile and written to DRAM,
+// (2) P = softmax(C) read back, softmaxed, written to DRAM, (3) O = PV read
+// back and accumulated. This is the memory-bound workflow the paper uses as
+// the unfused reference point.
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+using detail::KvBlock;
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+namespace {
+
+// Per-phase peak L1 footprints (double-buffered streaming).
+struct LayerWiseFootprint {
+  std::int64_t phase1;  // Q_i + 2x K tile + 2x C tile strip
+  std::int64_t phase2;  // 2x C strip (in/out)
+  std::int64_t phase3;  // P strip + 2x V tile + O_i
+  std::int64_t Peak() const { return std::max({phase1, phase2, phase3}); }
+};
+
+LayerWiseFootprint Footprint(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) {
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  const std::int64_t eb = hw.element_bytes;
+  const std::int64_t groups = std::min(tiling.bb, shape.batch) * std::min(tiling.hh, shape.heads);
+  const std::int64_t rows = std::min(tiling.nq, shape.seq_len);
+  const std::int64_t nkv = std::min(tiling.nkv, shape.kv());
+  const std::int64_t c_tile = groups * rows * nkv * eb;
+  LayerWiseFootprint fp;
+  fp.phase1 = 2 * bytes.q + 2 * bytes.kv_tile + 2 * c_tile;
+  fp.phase2 = 2 * bytes.c;
+  fp.phase3 = bytes.c + 2 * bytes.kv_tile + 2 * bytes.o;
+  return fp;
+}
+
+}  // namespace
+
+bool LayerWiseScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                              const sim::HardwareConfig& hw) const {
+  tiling.Validate(shape);
+  return Footprint(shape, tiling, hw).Peak() <= detail::PerCoreL1Budget(shape, tiling, hw);
+}
+
+sim::SimResult LayerWiseScheduler::Simulate(const AttentionShape& shape,
+                                            const TilingConfig& tiling,
+                                            const sim::HardwareConfig& hw,
+                                            const sim::EnergyModel& em,
+                                            bool record_timeline) const {
+  MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
+  ScheduleBuilder b(hw, em, record_timeline);
+  const std::int64_t eb = hw.element_bytes;
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const auto kvs = detail::EnumerateKvBlocks(shape, tiling);
+
+  // --- Phase 1: C = QK^T, streamed through L1, C written to DRAM. ---
+  std::vector<TaskId> phase1_ends;
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
+      for (const KvBlock& kv : kvs) {
+        const TaskId k_load = b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true);
+        const TaskId mac =
+            b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed, kv.nl,
+                  {q_load, k_load});
+        const TaskId store = b.Dma("store C_ij", core, groups * rb.rows() * kv.nl * eb, false, {mac});
+        phase1_ends.push_back(store);
+      }
+    }
+  }
+
+  // --- Phase 2: P = softmax(C), row strips round-trip through DRAM. ---
+  // A zero-byte DMA task acts as the inter-phase barrier (layer-wise
+  // execution starts an operator only after the previous one fully finished).
+  const TaskId barrier1 = b.Dma("barrier C complete", 0, 0, true, std::move(phase1_ends));
+  std::vector<TaskId> phase2_ends;
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t strip = rb.groups() * rb.rows() * shape.kv() * eb;
+      const TaskId c_load = b.Dma("load C_i", core, strip, true, {barrier1});
+      const TaskId vec =
+          b.Vec("P_i = softmax(C_i)", core, rb.groups(), rb.rows(), shape.kv(), {c_load});
+      phase2_ends.push_back(b.Dma("store P_i", core, strip, false, {vec}));
+    }
+  }
+
+  // --- Phase 3: O = PV, P read back, O accumulated and stored. ---
+  const TaskId barrier2 = b.Dma("barrier P complete", 0, 0, true, std::move(phase2_ends));
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      const TaskId p_load =
+          b.Dma("load P_i", core, groups * rb.rows() * shape.kv() * eb, true, {barrier2});
+      TaskId last_mac = sim::kNoTask;
+      for (const KvBlock& kv : kvs) {
+        const TaskId v_load = b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true);
+        std::vector<TaskId> deps = {p_load, v_load};
+        if (last_mac != sim::kNoTask) deps.push_back(last_mac);
+        last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
+                         std::move(deps));
+      }
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+    }
+  }
+
+  return b.Finish(Footprint(shape, tiling, hw).Peak());
+}
+
+TensorF LayerWiseScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                                    const TilingConfig& tiling) const {
+  (void)tiling;  // the unfused path is tiling-independent numerically
+  const TensorF c = MatMulTransposed(q, k);
+  const TensorF p = SoftmaxRows(c);
+  return MatMul(p, v);
+}
+
+}  // namespace mas

@@ -1,0 +1,536 @@
+// MAS-Attention (paper §4): semi-synchronous MAC/VEC stream processing.
+//
+// The MAC issue order follows Algorithm 1 exactly:
+//
+//     C_1 ; [C_2 || S_1] ; { [PV_{i-2} || S_{i-1}] ; C_i }_{i=3..Tr} ;
+//     [PV_{Tr-1} || S_Tr] ; PV_Tr
+//
+// where S_i = softmax(C_i) runs on the VEC unit concurrently with the MAC
+// unit's PV / QK^T tiles of neighbouring iterations. Within a round, data
+// dependencies are honored (S_i needs C_i; PV_i needs S_i; C_i waits for
+// PV_{i-2} per Alg. 1 line 16 — enforced by the in-order MAC queue).
+// Softmax is computed in place (P_i reuses C_i's buffer), so the on-chip
+// working set holds at most two C/P strips — the §5.6 pipelining bound that
+// halves MAS's maximum sequence length relative to FLAT.
+//
+// Proactive buffer overwrite (§4.3, Figs. 2-3): K/V are kept resident
+// per (batch, head) group when possible. When the strip for C_i cannot be
+// allocated while P_{i-1} must be protected (softmax results exist only
+// on-chip and are irrecoverable), the scheduler overwrites a *reloadable*
+// operand instead: the V matrix if the MAC unit is amid P_{i-2}V (Fig. 2),
+// else the K matrix (Fig. 3). The halted MatMul resumes after the softmax
+// completes: the overwritten matrix is reloaded from DRAM (extra reads,
+// §5.4) and the interrupted tile is recomputed.
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "common/math_util.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+#include "sim/l1_tracker.h"
+
+namespace mas {
+
+using detail::KvBlock;
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+namespace {
+
+// Static staging excluding K/V and the C/P strips: double-buffered Q and O.
+std::int64_t StagingBytes(const detail::BlockBytes& bytes) {
+  return 2 * bytes.q + 2 * bytes.o;
+}
+
+// §5.6 pipelining bound: two C/P strips plus staging plus streamed K/V
+// sub-blocks must fit; K/V group residency is optional (overwritable).
+std::int64_t MinFootprint(const detail::BlockBytes& bytes) {
+  return StagingBytes(bytes) + 2 * bytes.c + 4 * bytes.kv_tile;
+}
+
+// Statistics shared between Simulate() and ProfileOverwrites().
+struct PlayStats {
+  std::int64_t peak_l1 = 0;
+  std::int64_t overwrites = 0;
+  std::int64_t v_overwrites = 0;
+  std::int64_t k_overwrites = 0;
+  std::int64_t reload_bytes = 0;
+};
+
+// Per-core emission of the Alg. 1 pipeline. When `builder` is null the
+// pipeline is only *played* against the L1 tracker (used by
+// ProfileOverwrites and Fits-adjacent analysis) without emitting tasks.
+class MasPipeline {
+ public:
+  MasPipeline(ScheduleBuilder* builder, const AttentionShape& shape,
+              const TilingConfig& tiling, const sim::HardwareConfig& hw, int core,
+              std::int64_t l1_budget, const std::vector<RowBlock>& blocks)
+      : b_(builder),
+        shape_(shape),
+        tiling_(tiling),
+        hw_(hw),
+        core_(core),
+        tracker_(l1_budget),
+        blocks_(blocks),
+        kvs_(detail::EnumerateKvBlocks(shape, tiling)),
+        bytes_(detail::ComputeBlockBytes(shape, tiling, hw)) {
+    tracker_.Alloc("staging", StagingBytes(bytes_));
+    // Residency is attempted when K+V for a group fit next to one strip
+    // (the optimistic, FLAT-like bound); the second pipeline strip is what
+    // the proactive overwrite later fights for.
+    try_resident_ = StagingBytes(bytes_) + bytes_.c + 2 * bytes_.kv_group <= l1_budget;
+  }
+
+  PlayStats Run() {
+    const std::int64_t tr = static_cast<std::int64_t>(blocks_.size());
+    if (tr == 0) return Collect();
+    EmitC(0);
+    if (tr >= 2) {
+      EmitC(1);
+      EmitVec(0);
+      for (std::int64_t i = 2; i < tr; ++i) {
+        EmitPV(i - 2);
+        EmitVec(i - 1);
+        EmitC(i);
+      }
+      EmitPV(tr - 2);
+      EmitVec(tr - 1);
+      EmitPV(tr - 1);
+    } else {
+      EmitVec(0);
+      EmitPV(0);
+    }
+    return Collect();
+  }
+
+ private:
+  struct GroupState {
+    std::int64_t key = -1;       // (b0 << 32) | h0 of the group
+    TaskId k_dep = sim::kNoTask;  // load/reload task the K consumer depends on
+    TaskId v_dep = sim::kNoTask;
+    bool k_live = false;  // resident in L1
+    bool v_live = false;
+    bool k_streaming = false;  // demoted to per-tile streaming
+    bool v_streaming = false;
+    // Overwritten by a P_i under pressure (§4.3); the operand is reloaded
+    // from DRAM and becomes resident again once the strip transient passes
+    // (the paper: "the MAC unit can resume ... by reloading either the V or
+    // K matrix from DRAM"). Distinct from `*_streaming`, which is the
+    // fallback when residency never fits at all.
+    bool k_evicted = false;
+    bool v_evicted = false;
+  };
+
+  struct IterState {
+    std::vector<TaskId> c_macs;
+    TaskId vec = sim::kNoTask;
+    std::string cbuf;
+    std::size_t group;  // index into groups_
+  };
+
+  std::int64_t GroupKey(const RowBlock& rb) const {
+    return (rb.b0 << 20) | rb.h0;
+  }
+
+  PlayStats Collect() {
+    stats_.peak_l1 = tracker_.peak();
+    return stats_;
+  }
+
+  // --- emission helpers (no-ops on the builder when only playing) ---
+  TaskId Dma(const char* name, std::int64_t bytes, bool read,
+             std::vector<TaskId> deps = {}) {
+    return b_ ? b_->Dma(name, core_, bytes, read, std::move(deps)) : sim::kNoTask;
+  }
+  TaskId Mac(const char* name, std::int64_t groups, std::int64_t m, std::int64_t k,
+             std::int64_t n, std::vector<TaskId> deps = {}) {
+    return b_ ? b_->Mac(name, core_, groups, m, k, n, std::move(deps)) : sim::kNoTask;
+  }
+  TaskId Vec(const char* name, std::int64_t groups, std::int64_t rows, std::int64_t row_len,
+             std::vector<TaskId> deps = {}) {
+    return b_ ? b_->Vec(name, core_, groups, rows, row_len, std::move(deps)) : sim::kNoTask;
+  }
+
+  // Ensures streamed-tile staging exists (counted once).
+  void EnsureStreamStaging() {
+    if (!tracker_.IsLive("kv_stream")) {
+      DemoteForSpace(4 * bytes_.kv_tile);
+      tracker_.Alloc("kv_stream", 4 * bytes_.kv_tile);
+    }
+  }
+
+  // Quiet demotion: evicts resident K/V buffers (newest group first) until
+  // `need` bytes fit. Used at group transitions where nothing is in flight
+  // yet, so no halt/reload bookkeeping is required — subsequent consumers
+  // simply stream their tiles. Returns false if space cannot be made.
+  bool DemoteForSpace(std::int64_t need) {
+    while (!tracker_.CanFit(need)) {
+      bool evicted = false;
+      for (std::size_t g = groups_.size(); g-- > 0 && !evicted;) {
+        GroupState& gs = groups_[g];
+        if (gs.v_live) {
+          tracker_.Free(VName(g));
+          gs.v_live = false;
+          gs.v_streaming = true;
+          evicted = true;
+        } else if (gs.k_live) {
+          tracker_.Free(KName(g));
+          gs.k_live = false;
+          gs.k_streaming = true;
+          evicted = true;
+        }
+      }
+      if (!evicted) return false;
+    }
+    return true;
+  }
+
+  // Establishes (or reuses) group state for block i; loads resident K/V.
+  std::size_t EnterGroup(const RowBlock& rb) {
+    const std::int64_t key = GroupKey(rb);
+    if (!groups_.empty() && groups_.back().key == key) return groups_.size() - 1;
+
+    GroupState g;
+    g.key = key;
+    const std::int64_t kv_bytes = rb.groups() * shape_.kv() * shape_.embed *
+                                  hw_.element_bytes;
+    // Previous group's K is no longer needed for QK^T once we move on.
+    if (!groups_.empty()) {
+      GroupState& prev = groups_.back();
+      if (prev.k_live) {
+        tracker_.Free(KName(groups_.size() - 1));
+        prev.k_live = false;
+      }
+    }
+    if (try_resident_ && tracker_.CanFit(2 * kv_bytes)) {
+      tracker_.Alloc(KName(groups_.size()), kv_bytes);
+      tracker_.Alloc(VName(groups_.size()), kv_bytes);
+      g.k_live = g.v_live = true;
+      g.k_dep = Dma("load K group", kv_bytes, true);
+      g.v_dep = Dma("load V group", kv_bytes, true);
+    } else {
+      g.k_streaming = g.v_streaming = true;
+      EnsureStreamStaging();  // demotes older residency quietly if needed
+    }
+    groups_.push_back(g);
+    return groups_.size() - 1;
+  }
+
+  std::string KName(std::size_t g) const { return "K." + std::to_string(g); }
+  std::string VName(std::size_t g) const { return "V." + std::to_string(g); }
+  std::string CName(std::int64_t i) const { return "C." + std::to_string(i); }
+
+  // Frees the C/P strip of iteration `i` (its PV has been issued).
+  void ReleaseStrip(std::int64_t i) {
+    auto& it = iters_[static_cast<std::size_t>(i)];
+    if (!it.cbuf.empty()) {
+      tracker_.Free(it.cbuf);
+      it.cbuf.clear();
+    }
+  }
+
+  // Allocates the C_i strip, triggering the proactive overwrite when needed.
+  void AllocStrip(std::int64_t i, std::int64_t strip_bytes, bool pv_in_flight,
+                  std::size_t pv_group) {
+    if (i >= 2) ReleaseStrip(i - 2);
+    const TaskId halt_until = (i >= 1) ? iters_[static_cast<std::size_t>(i - 1)].vec
+                                       : sim::kNoTask;
+    // An operand evicted in an earlier round is reloaded and becomes
+    // resident again once it fits ("the MAC unit can resume its process by
+    // reloading either the V or K matrix from DRAM", §4.3); while pressure
+    // persists it bounces — overwritten again this round and reloaded for
+    // its consumers, which is where §5.4.2's extra DRAM reads come from.
+    Repromote(halt_until, strip_bytes);
+
+    if (tracker_.CanFit(strip_bytes)) {
+      tracker_.Alloc(CName(i), strip_bytes);
+      iters_.back().cbuf = CName(i);
+      return;
+    }
+
+    // Proactive overwrite (§4.3). P_{i-1} (the strip of iteration i-1) must
+    // be protected — softmax results exist only on-chip. Overwrite a
+    // reloadable operand instead: V if the MAC unit is amid PV (Fig. 2),
+    // else K (Fig. 3). The halted MatMul resumes after S_{i-1} completes.
+    auto overwrite = [&](bool prefer_v) -> bool {
+      for (int attempt = 0; attempt < 2 && !tracker_.CanFit(strip_bytes); ++attempt) {
+        const bool take_v = (attempt == 0) ? prefer_v : !prefer_v;
+        if (take_v) {
+          if (!TakeVictim(/*is_v=*/true, pv_group, halt_until)) continue;
+        } else {
+          if (!TakeVictim(/*is_v=*/false, iters_.back().group, halt_until)) continue;
+        }
+      }
+      return tracker_.CanFit(strip_bytes);
+    };
+    if (!overwrite(pv_in_flight)) {
+      // Residual pressure (e.g. stale residency from an older group at a
+      // transition round): demote quietly to streaming until the strip fits,
+      // making sure the streamed-tile staging is accounted for.
+      DemoteForSpace(strip_bytes);
+      EnsureStreamStaging();
+      DemoteForSpace(strip_bytes);
+    }
+    MAS_CHECK(tracker_.CanFit(strip_bytes))
+        << "MAS overwrite could not free enough L1 for " << CName(i) << " ("
+        << strip_bytes << " B, " << tracker_.free_bytes() << " free) — Fits() should have "
+        << "rejected " << tiling_.ToString();
+    tracker_.Alloc(CName(i), strip_bytes);
+    iters_.back().cbuf = CName(i);
+  }
+
+  // Handles evicted (overwritten) operands of the current group at the start
+  // of a round: reloads them from DRAM for this round's consumers. If the
+  // operand fits alongside this round's strip it becomes resident again;
+  // otherwise it stays in the evicted (bouncing) state, counting a fresh
+  // overwrite — the softmax will clobber it again.
+  void Repromote(TaskId halt_until, std::int64_t strip_bytes) {
+    if (iters_.empty()) return;
+    GroupState& gs = groups_[iters_.back().group];
+    const std::int64_t kv_bytes = bytes_.kv_group;
+    auto handle = [&](bool is_v, bool& evicted, bool& live, TaskId& dep) {
+      if (!evicted) return;
+      // After the first halt event the schedule *expects* the bounce: the
+      // refetch is issued as soon as the bus frees (no softmax dependency —
+      // by the time this round's consumers run, the clobbering softmax has
+      // long finished), so the extra DRAM reads of §5.4.2 cost bandwidth but
+      // stay off the critical path ("unnoticeable" latency impact).
+      (void)halt_until;
+      dep = Dma(is_v ? "reload V group (overwrite)" : "reload K group (overwrite)", kv_bytes,
+                true);
+      stats_.reload_bytes += kv_bytes;
+      if (tracker_.CanFit(strip_bytes + kv_bytes)) {
+        tracker_.Alloc(is_v ? VName(iters_.back().group) : KName(iters_.back().group),
+                       kv_bytes);
+        live = true;
+        evicted = false;
+      }
+      // Else: still pressured — the operand stays in the bouncing state and
+      // this round's softmax output will reuse its space again.
+    };
+    handle(/*is_v=*/false, gs.k_evicted, gs.k_live, gs.k_dep);
+    handle(/*is_v=*/true, gs.v_evicted, gs.v_live, gs.v_dep);
+  }
+
+  // Evicts K or V of `g` to protect the softmax output; emits the halt
+  // bookkeeping (reload of the interrupted tile + redone MAC tile). The
+  // operand enters the evicted state and is reloaded by Repromote() at the
+  // next round. Returns false when that operand was not resident.
+  bool TakeVictim(bool is_v, std::size_t g, TaskId halt_until) {
+    GroupState& gs = groups_[g];
+    const bool live = is_v ? gs.v_live : gs.k_live;
+    if (!live) return false;
+    const std::string name = is_v ? VName(g) : KName(g);
+    tracker_.Free(name);
+    ++stats_.overwrites;
+    if (is_v) {
+      ++stats_.v_overwrites;
+      gs.v_live = false;
+      gs.v_evicted = true;
+    } else {
+      ++stats_.k_overwrites;
+      gs.k_live = false;
+      gs.k_evicted = true;
+    }
+    // The interrupted MatMul redoes one sub-block tile after its operand
+    // tile is refetched; the refetch cannot start before the protected
+    // softmax finishes ("stop the MAC ... resume after P_i is stored").
+    const std::int64_t tile = bytes_.kv_tile;
+    std::vector<TaskId> reload_deps;
+    if (halt_until != sim::kNoTask) reload_deps.push_back(halt_until);
+    const TaskId reload = Dma(is_v ? "reload V tile (overwrite)" : "reload K tile (overwrite)",
+                              tile, true, std::move(reload_deps));
+    stats_.reload_bytes += tile;
+    if (is_v) {
+      gs.v_dep = reload;
+    } else {
+      gs.k_dep = reload;
+    }
+    EmitRedoTile(is_v, reload);
+    return true;
+  }
+
+  // One redone MAC tile after an overwrite (the halted MatMul's repair).
+  void EmitRedoTile(bool is_v, TaskId reload) {
+    const RowBlock& rb = blocks_[iters_.size() - 1];
+    const std::int64_t nkv = std::min(tiling_.nkv, shape_.kv());
+    std::vector<TaskId> redo_deps;
+    if (reload != sim::kNoTask) redo_deps.push_back(reload);
+    if (is_v) {
+      Mac("redo O tile (overwrite)", rb.groups(), rb.rows(), nkv, shape_.embed,
+          std::move(redo_deps));
+    } else {
+      Mac("redo C tile (overwrite)", rb.groups(), rb.rows(), shape_.embed, nkv,
+          std::move(redo_deps));
+    }
+  }
+
+  void EmitC(std::int64_t i) {
+    const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
+    const std::size_t g = EnterGroup(rb);
+    IterState iter;
+    iter.group = g;
+    iters_.push_back(iter);
+
+    const std::int64_t eb = hw_.element_bytes;
+    const std::int64_t strip = rb.groups() * rb.rows() * shape_.kv() * eb;
+    const bool pv_in_flight = i >= 2;
+    const std::size_t pv_group = pv_in_flight
+                                     ? iters_[static_cast<std::size_t>(i - 2)].group
+                                     : g;
+    AllocStrip(i, strip, pv_in_flight, pv_group);
+
+    const TaskId q_load = Dma("load Q_i", rb.groups() * rb.rows() * shape_.embed * eb, true);
+    GroupState& gs = groups_[g];
+    auto& it = iters_.back();
+    for (const KvBlock& kv : kvs_) {
+      std::vector<TaskId> deps;
+      if (q_load != sim::kNoTask) deps.push_back(q_load);
+      if (gs.k_streaming) {
+        const TaskId k_load =
+            Dma("stream K_ij", rb.groups() * kv.nl * shape_.embed * eb, true);
+        if (k_load != sim::kNoTask) deps.push_back(k_load);
+      } else if (gs.k_dep != sim::kNoTask) {
+        deps.push_back(gs.k_dep);
+      }
+      it.c_macs.push_back(Mac("C_ij = Q_i K_ij^T", rb.groups(), rb.rows(), shape_.embed,
+                              kv.nl, std::move(deps)));
+    }
+  }
+
+  void EmitVec(std::int64_t i) {
+    const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
+    auto& it = iters_[static_cast<std::size_t>(i)];
+    std::vector<TaskId> deps;
+    for (TaskId t : it.c_macs) {
+      if (t != sim::kNoTask) deps.push_back(t);
+    }
+    it.vec = Vec("P_i = softmax(C_i)", rb.groups(), rb.rows(), shape_.kv(),
+                 std::move(deps));
+  }
+
+  void EmitPV(std::int64_t i) {
+    const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
+    auto& it = iters_[static_cast<std::size_t>(i)];
+    GroupState& gs = groups_[it.group];
+    const std::int64_t eb = hw_.element_bytes;
+
+    TaskId last_mac = sim::kNoTask;
+    for (const KvBlock& kv : kvs_) {
+      std::vector<TaskId> deps;
+      if (it.vec != sim::kNoTask) deps.push_back(it.vec);
+      if (gs.v_streaming) {
+        const TaskId v_load =
+            Dma("stream V_ij", rb.groups() * kv.nl * shape_.embed * eb, true);
+        if (v_load != sim::kNoTask) deps.push_back(v_load);
+      } else if (gs.v_dep != sim::kNoTask) {
+        deps.push_back(gs.v_dep);
+      }
+      if (last_mac != sim::kNoTask) deps.push_back(last_mac);
+      last_mac = Mac("O_i += P_ij V_ij", rb.groups(), rb.rows(), kv.nl, shape_.embed,
+                     std::move(deps));
+    }
+    if (last_mac != sim::kNoTask) {
+      Dma("store O_i", rb.groups() * rb.rows() * shape_.embed * eb, false, {last_mac});
+    }
+
+    // If this is the group's final row block, its V residency can be freed.
+    const bool last_of_group = (static_cast<std::size_t>(i) + 1 == blocks_.size()) ||
+                               (GroupKey(blocks_[static_cast<std::size_t>(i) + 1]) != gs.key);
+    if (last_of_group && gs.v_live) {
+      tracker_.Free(VName(it.group));
+      gs.v_live = false;
+    }
+    if (last_of_group && gs.k_live) {
+      tracker_.Free(KName(it.group));
+      gs.k_live = false;
+    }
+  }
+
+  ScheduleBuilder* b_;
+  const AttentionShape& shape_;
+  const TilingConfig& tiling_;
+  const sim::HardwareConfig& hw_;
+  int core_;
+  sim::L1Tracker tracker_;
+  const std::vector<RowBlock>& blocks_;
+  std::vector<KvBlock> kvs_;
+  detail::BlockBytes bytes_;
+  bool try_resident_ = false;
+  std::vector<GroupState> groups_;
+  std::vector<IterState> iters_;
+  PlayStats stats_;
+};
+
+std::int64_t ActiveCores(const std::vector<std::vector<RowBlock>>& shards) {
+  std::int64_t active = 0;
+  for (const auto& s : shards) {
+    if (!s.empty()) ++active;
+  }
+  return std::max<std::int64_t>(active, 1);
+}
+
+}  // namespace
+
+bool MasScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                        const sim::HardwareConfig& hw) const {
+  tiling.Validate(shape);
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+  return MinFootprint(bytes) <= budget;
+}
+
+sim::SimResult MasScheduler::Simulate(const AttentionShape& shape, const TilingConfig& tiling,
+                                      const sim::HardwareConfig& hw,
+                                      const sim::EnergyModel& em,
+                                      bool record_timeline) const {
+  MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
+  ScheduleBuilder b(hw, em, record_timeline);
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+
+  PlayStats total;
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    const auto& shard = shards[static_cast<std::size_t>(core)];
+    if (shard.empty()) continue;
+    MasPipeline pipeline(&b, shape, tiling, hw, core, budget, shard);
+    const PlayStats stats = pipeline.Run();
+    total.peak_l1 += stats.peak_l1;
+    total.overwrites += stats.overwrites;
+    total.reload_bytes += stats.reload_bytes;
+  }
+  return b.Finish(total.peak_l1, total.overwrites, total.reload_bytes);
+}
+
+TensorF MasScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                              const TilingConfig& tiling) const {
+  // The stream-processing schedule reorders work across iterations but every
+  // tile computes the same values; numerically MAS is the fused row-block
+  // decomposition of Alg. 2-4 (the golden-data check of §5.1).
+  return detail::ExecuteFusedRowBlocks(q, k, v, tiling);
+}
+
+MasScheduler::OverwriteProfile MasScheduler::ProfileOverwrites(
+    const AttentionShape& shape, const TilingConfig& tiling, const sim::HardwareConfig& hw) {
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+  OverwriteProfile profile;
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    const auto& shard = shards[static_cast<std::size_t>(core)];
+    if (shard.empty()) continue;
+    MasPipeline pipeline(nullptr, shape, tiling, hw, core, budget, shard);
+    const PlayStats stats = pipeline.Run();
+    profile.v_overwrites += stats.v_overwrites;
+    profile.k_overwrites += stats.k_overwrites;
+  }
+  return profile;
+}
+
+}  // namespace mas

@@ -1,0 +1,54 @@
+// MAS-Attention without the §4.3 proactive buffer overwrite (ablation).
+//
+// The stream pipeline needs two C/P strips on-chip (the one being softmaxed
+// plus the one the MAC unit is filling). The full MAS design frees space for
+// the second strip by evicting resident K/V — a reloadable operand — and
+// halting/redoing the interrupted MatMul tile. With that mechanism removed,
+// a schedule whose working set would have needed the overwrite can only keep
+// one strip live at a time: every pressured round must fully drain
+// (C_i -> S_i -> PV_i) before the next begins, which is exactly FLAT's
+// sequential round order.
+//
+// The fallback is modeled whole-schedule: a dry run of the MAS L1 play
+// decides whether any overwrite would fire; if so the schedule is emitted in
+// FLAT order (sequential stages, no MAC/VEC overlap), otherwise the MAS
+// pipeline is used unchanged. This slightly overstates the loss when only a
+// few rounds are pressured, which makes the ablation's measured benefit of
+// the overwrite an upper bound — stated as such in DESIGN.md.
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+bool MasNoOverwriteScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                                   const sim::HardwareConfig& hw) const {
+  // Same capacity envelope as MAS: the fallback path never needs *more* L1
+  // than the pipeline (it holds strictly fewer live strips).
+  return MasScheduler().Fits(shape, tiling, hw);
+}
+
+sim::SimResult MasNoOverwriteScheduler::Simulate(const AttentionShape& shape,
+                                                 const TilingConfig& tiling,
+                                                 const sim::HardwareConfig& hw,
+                                                 const sim::EnergyModel& em,
+                                                 bool record_timeline) const {
+  const auto profile = MasScheduler::ProfileOverwrites(shape, tiling, hw);
+  if (profile.v_overwrites + profile.k_overwrites == 0) {
+    // No pressure: identical to the full MAS pipeline.
+    return MasScheduler().Simulate(shape, tiling, hw, em, record_timeline);
+  }
+  // Pressure without an escape hatch: sequential rounds (FLAT dataflow).
+  sim::SimResult result = FlatScheduler().Simulate(shape, tiling, hw, em, record_timeline);
+  result.overwrite_events = 0;
+  result.reload_bytes = 0;
+  return result;
+}
+
+TensorF MasNoOverwriteScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                                         const TilingConfig& tiling) const {
+  // Numerically both the pipelined and the drained order compute the same
+  // fused row-block decomposition.
+  return detail::ExecuteFusedRowBlocks(q, k, v, tiling);
+}
+
+}  // namespace mas

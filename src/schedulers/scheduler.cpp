@@ -1,0 +1,45 @@
+#include "schedulers/scheduler.h"
+
+#include "common/status.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kLayerWise: return "Layer-Wise";
+    case Method::kSoftPipe: return "Soft-Pipe";
+    case Method::kFlat: return "FLAT";
+    case Method::kTileFlow: return "TileFlow";
+    case Method::kFuseMax: return "FuseMax";
+    case Method::kMas: return "MAS-Attention";
+    case Method::kMasNoOverwrite: return "MAS (no overwrite)";
+  }
+  return "?";
+}
+
+std::vector<Method> AllMethods() {
+  return {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
+          Method::kTileFlow,  Method::kFuseMax,  Method::kMas};
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(Method method) {
+  switch (method) {
+    case Method::kLayerWise: return std::make_unique<LayerWiseScheduler>();
+    case Method::kSoftPipe: return std::make_unique<SoftPipeScheduler>();
+    case Method::kFlat: return std::make_unique<FlatScheduler>();
+    case Method::kTileFlow: return std::make_unique<TileFlowScheduler>();
+    case Method::kFuseMax: return std::make_unique<FuseMaxScheduler>();
+    case Method::kMas: return std::make_unique<MasScheduler>();
+    case Method::kMasNoOverwrite: return std::make_unique<MasNoOverwriteScheduler>();
+  }
+  MAS_FAIL() << "unknown method";
+}
+
+std::vector<std::unique_ptr<Scheduler>> AllSchedulers() {
+  std::vector<std::unique_ptr<Scheduler>> out;
+  for (Method m : AllMethods()) out.push_back(MakeScheduler(m));
+  return out;
+}
+
+}  // namespace mas

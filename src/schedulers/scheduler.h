@@ -1,0 +1,84 @@
+// Scheduler interface: the six attention dataflows evaluated in the paper.
+//
+// Each scheduler owns two faithful renditions of its dataflow:
+//  * Simulate(): builds the tiled task graph (DMA / MAC / VEC tasks with
+//    dependencies reflecting the dataflow's issue order) and plays it on the
+//    event-driven engine, returning cycles, energy and DRAM traffic.
+//  * Execute(): the functional twin — computes O from real Q, K, V tensors
+//    using the same tile decomposition, for the golden-data check (§5.1).
+//
+// Methods (paper §5.1 baselines + the contribution):
+//  kLayerWise — unfused; C and P round-trip through DRAM.
+//  kSoftPipe  — QK^T and softmax fused/pipelined; P round-trips through DRAM.
+//  kFlat      — FLAT (Kao et al. 2023): fully fused, sequential tiled stages.
+//  kTileFlow  — TileFlow-style fused pipeline with sub-tile tree, per-round
+//               barriers (approximation per paper §5.1).
+//  kFuseMax   — FuseMax (Nayak et al. 2024) scaled to the edge device:
+//               einsum cascade with online softmax, single pass.
+//  kMas       — MAS-Attention: semi-synchronous MAC/VEC stream processing
+//               with multi-tiered tiling and proactive buffer overwrite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/attention_shape.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/energy_model.h"
+#include "sim/hardware_config.h"
+#include "tensor/tensor.h"
+
+namespace mas {
+
+enum class Method {
+  kLayerWise = 0,
+  kSoftPipe = 1,
+  kFlat = 2,
+  kTileFlow = 3,
+  kFuseMax = 4,
+  kMas = 5,
+  // Ablation variant, not part of AllMethods()/the paper tables: the MAS
+  // stream pipeline with the §4.3 proactive overwrite disabled. Under L1
+  // pressure it cannot evict K/V to make room for the second pipeline strip,
+  // so the affected rounds serialize (FLAT-order fallback).
+  kMasNoOverwrite = 6,
+};
+
+const char* MethodName(Method method);
+
+// All methods in the paper's column order (excludes ablation variants such
+// as kMasNoOverwrite).
+std::vector<Method> AllMethods();
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual Method method() const = 0;
+  std::string name() const { return MethodName(method()); }
+
+  // Whether `tiling` is feasible for this dataflow on `hw` (on-chip capacity
+  // and pipelining constraints). Search uses this to prune the space. For
+  // MAS, tilings that need the proactive overwrite are still feasible; only
+  // tilings violating the §5.6 pipelining bound are rejected.
+  virtual bool Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                    const sim::HardwareConfig& hw) const = 0;
+
+  // Simulates the schedule. Requires Fits(...) to hold.
+  virtual sim::SimResult Simulate(const AttentionShape& shape, const TilingConfig& tiling,
+                                  const sim::HardwareConfig& hw, const sim::EnergyModel& em,
+                                  bool record_timeline = false) const = 0;
+
+  // Functional twin on fp32 tensors. Q,K,V: (B,H,N,E); returns O (B,H,N,E).
+  virtual TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                          const TilingConfig& tiling) const = 0;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(Method method);
+
+// All six schedulers in paper column order.
+std::vector<std::unique_ptr<Scheduler>> AllSchedulers();
+
+}  // namespace mas

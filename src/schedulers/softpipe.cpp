@@ -1,0 +1,125 @@
+// Soft-Pipe baseline (paper §5.1): pipelines the first MatMul with softmax.
+//
+// Phase A fuses C_i = Q_i K^T with P_i = softmax(C_i): C stays on-chip and
+// while the VEC unit softmaxes C_i, the MAC unit may compute C_{i+1}. The
+// resulting P rows are written back to DRAM. Phase B then computes O = PV
+// sequentially (unfused), reloading P.
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+using detail::KvBlock;
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+namespace {
+
+std::int64_t FootprintA(const AttentionShape& shape, const TilingConfig& tiling,
+                        const sim::HardwareConfig& hw) {
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  // Two C strips in flight (softmax of i overlapping MatMul of i+1), two Q
+  // blocks, streamed K tiles (double-buffered).
+  return 2 * bytes.c + 2 * bytes.q + 2 * bytes.kv_tile;
+}
+
+std::int64_t FootprintB(const AttentionShape& shape, const TilingConfig& tiling,
+                        const sim::HardwareConfig& hw) {
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  return bytes.c + 2 * bytes.kv_tile + 2 * bytes.o;
+}
+
+}  // namespace
+
+bool SoftPipeScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) const {
+  tiling.Validate(shape);
+  return std::max(FootprintA(shape, tiling, hw), FootprintB(shape, tiling, hw)) <=
+         detail::PerCoreL1Budget(shape, tiling, hw);
+}
+
+sim::SimResult SoftPipeScheduler::Simulate(const AttentionShape& shape,
+                                           const TilingConfig& tiling,
+                                           const sim::HardwareConfig& hw,
+                                           const sim::EnergyModel& em,
+                                           bool record_timeline) const {
+  MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
+  ScheduleBuilder b(hw, em, record_timeline);
+  const std::int64_t eb = hw.element_bytes;
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const auto kvs = detail::EnumerateKvBlocks(shape, tiling);
+
+  // --- Phase A: fused, pipelined C_i -> P_i; P stored to DRAM. ---
+  // No cross-iteration dependencies between MAC and VEC tasks: the in-order
+  // queues let C_{i+1} (MAC) run while P_i (VEC) is computed — the pipeline.
+  std::vector<TaskId> phase_a_ends;
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
+      std::vector<TaskId> c_macs;
+      for (const KvBlock& kv : kvs) {
+        const TaskId k_load = b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true);
+        c_macs.push_back(b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed,
+                               kv.nl, {q_load, k_load}));
+      }
+      const TaskId vec = b.Vec("P_i = softmax(C_i)", core, groups, rb.rows(), shape.kv(),
+                               std::move(c_macs));
+      phase_a_ends.push_back(
+          b.Dma("store P_i", core, groups * rb.rows() * shape.kv() * eb, false, {vec}));
+    }
+  }
+
+  // --- Phase B: unfused O = PV after all of P is materialized in DRAM. ---
+  const TaskId barrier = b.Dma("barrier P complete", 0, 0, true, std::move(phase_a_ends));
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      const TaskId p_load =
+          b.Dma("load P_i", core, groups * rb.rows() * shape.kv() * eb, true, {barrier});
+      TaskId last_mac = sim::kNoTask;
+      for (const KvBlock& kv : kvs) {
+        const TaskId v_load = b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true);
+        std::vector<TaskId> deps = {p_load, v_load};
+        if (last_mac != sim::kNoTask) deps.push_back(last_mac);
+        last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
+                         std::move(deps));
+      }
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+    }
+  }
+
+  return b.Finish(std::max(FootprintA(shape, tiling, hw), FootprintB(shape, tiling, hw)));
+}
+
+TensorF SoftPipeScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                                   const TilingConfig& tiling) const {
+  const Shape4& s = q.shape();
+  const std::int64_t nkv_len = k.shape().n;
+  AttentionShape shape{"softpipe", s.b, s.h, s.n, s.e, nkv_len == s.n ? 0 : nkv_len};
+  // Phase A: per row block, fused C_i -> P_i; P kept (models the DRAM copy).
+  TensorF p(Shape4{s.b, s.h, s.n, nkv_len});
+  for (const RowBlock& rb : detail::EnumerateRowBlocks(shape, tiling)) {
+    const TensorF q_i = q.Slice(rb.b0, rb.bl, rb.h0, rb.hl, rb.n0, rb.nl, 0, s.e);
+    const TensorF k_i = k.Slice(rb.b0, rb.bl, rb.h0, rb.hl, 0, nkv_len, 0, s.e);
+    const TensorF c_i = TiledQKT(q_i, k_i, tiling.nkv);
+    p.Place(TiledSoftmax(c_i), rb.b0, rb.h0, rb.n0, 0);
+  }
+  // Phase B: O = PV per row block.
+  TensorF o(s);
+  for (const RowBlock& rb : detail::EnumerateRowBlocks(shape, tiling)) {
+    const TensorF p_i = p.Slice(rb.b0, rb.bl, rb.h0, rb.hl, rb.n0, rb.nl, 0, nkv_len);
+    const TensorF v_i = v.Slice(rb.b0, rb.bl, rb.h0, rb.hl, 0, nkv_len, 0, s.e);
+    o.Place(TiledPV(p_i, v_i, tiling.nkv), rb.b0, rb.h0, rb.n0, 0);
+  }
+  return o;
+}
+
+}  // namespace mas

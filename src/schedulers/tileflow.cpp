@@ -1,0 +1,153 @@
+// TileFlow-style fused pipeline (paper §5.1 baseline, approximated — the
+// original paper does not publish full implementation details).
+//
+// All three attention operators are fused on-chip and pipelined at sub-tile
+// granularity *within* a computation round: the softmax of a key/value
+// sub-block starts as soon as that sub-block's scores are computed (online
+// partial max/sum), overlapping the MAC and VEC units. A normalization pass
+// closes each round and a barrier separates rounds (the tree-based analysis
+// synchronizes per fusion level), so — unlike MAS — no cross-round
+// MAC/VEC overlap exists. The finer tiling tree also re-materializes
+// intermediate sub-tiles through L1, which costs on-chip energy (the paper's
+// Fig. 6 shows TileFlow's high L1 energy).
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+using detail::KvBlock;
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+namespace {
+
+std::int64_t WorkingBytes(const detail::BlockBytes& bytes) {
+  // One strip (in-place), double-buffered Q/O, plus per-stage sub-tile
+  // staging for the pipeline (one extra C sub-tile per stage boundary).
+  return 2 * bytes.q + bytes.c + 2 * bytes.o + 2 * bytes.kv_tile;
+}
+
+bool CanResideKv(const detail::BlockBytes& bytes, std::int64_t l1_budget) {
+  return WorkingBytes(bytes) + 2 * bytes.kv_group <= l1_budget;
+}
+
+}  // namespace
+
+bool TileFlowScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) const {
+  tiling.Validate(shape);
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  return WorkingBytes(bytes) + 4 * bytes.kv_tile <=
+         detail::PerCoreL1Budget(shape, tiling, hw);
+}
+
+sim::SimResult TileFlowScheduler::Simulate(const AttentionShape& shape,
+                                           const TilingConfig& tiling,
+                                           const sim::HardwareConfig& hw,
+                                           const sim::EnergyModel& em,
+                                           bool record_timeline) const {
+  MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
+  ScheduleBuilder b(hw, em, record_timeline);
+  const std::int64_t eb = hw.element_bytes;
+  const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
+  const bool resident = CanResideKv(bytes, detail::PerCoreL1Budget(shape, tiling, hw));
+  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+  const auto shards = detail::ShardAcrossCores(blocks, hw);
+  const auto kvs = detail::EnumerateKvBlocks(shape, tiling);
+
+  // Per-element VEC lane cost of the partial (per sub-block) pass: running
+  // max update, subtract, exponentiate, partial sum — everything except the
+  // final normalization division.
+  for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+    const auto& cc = hw.cores[static_cast<std::size_t>(core)];
+    const std::int64_t partial_ops =
+        cc.vec_cost_max + cc.vec_cost_sub + cc.vec_cost_exp + cc.vec_cost_sum;
+    TaskId k_group = sim::kNoTask;
+    TaskId v_group = sim::kNoTask;
+    TaskId round_barrier = sim::kNoTask;
+    for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
+      const std::int64_t groups = rb.groups();
+      if (resident && rb.first_in_group()) {
+        k_group = b.Dma("load K group", core, groups * shape.kv() * shape.embed * eb, true);
+        v_group = b.Dma("load V group", core, groups * shape.kv() * shape.embed * eb, true);
+      }
+      const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
+
+      // Pipelined C sub-block -> partial softmax per sub-block.
+      std::vector<TaskId> partials;
+      for (const KvBlock& kv : kvs) {
+        std::vector<TaskId> deps = {q_load};
+        if (round_barrier != sim::kNoTask) deps.push_back(round_barrier);
+        if (resident) {
+          deps.push_back(k_group);
+        } else {
+          deps.push_back(b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true));
+        }
+        const TaskId mac = b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed,
+                                 kv.nl, std::move(deps));
+        partials.push_back(b.VecElem("partial softmax C_ij", core,
+                                     groups * rb.rows() * kv.nl, partial_ops, {mac}));
+      }
+      // Normalization closes the softmax across the whole strip.
+      const TaskId norm = b.VecElem("normalize P_i", core,
+                                    groups * rb.rows() * shape.kv(),
+                                    cc.vec_cost_div, std::move(partials));
+
+      TaskId last_mac = sim::kNoTask;
+      for (const KvBlock& kv : kvs) {
+        std::vector<TaskId> deps = {norm};
+        if (resident) {
+          deps.push_back(v_group);
+        } else {
+          deps.push_back(b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true));
+        }
+        if (last_mac != sim::kNoTask) deps.push_back(last_mac);
+        last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
+                         std::move(deps));
+      }
+      const TaskId store =
+          b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+      // Tree-level barrier: the next round's compute starts only after this
+      // round fully drains (no cross-round MAC/VEC overlap).
+      round_barrier = store;
+
+      // The tiling tree re-materializes the C/P strip between fusion levels
+      // (MatMul -> softmax -> MatMul), costing two extra L1 round trips per
+      // strip plus sub-tile staging of the operands.
+      const std::int64_t strip = groups * rb.rows() * shape.kv() * eb;
+      b.ChargeL1Shuffle(2 * strip + bytes.q + bytes.o);
+    }
+  }
+
+  const std::int64_t peak =
+      WorkingBytes(bytes) + (resident ? 2 * bytes.kv_group : 4 * bytes.kv_tile);
+  return b.Finish(peak);
+}
+
+TensorF TileFlowScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                                   const TilingConfig& tiling) const {
+  // Functionally the pipelined partial/normalize softmax is the online
+  // (two-pass streaming) decomposition — exact, validated against
+  // SoftmaxRows by the kernel tests.
+  const Shape4& s = q.shape();
+  const std::int64_t nkv_len = k.shape().n;
+  AttentionShape shape{"tileflow", s.b, s.h, s.n, s.e, nkv_len == s.n ? 0 : nkv_len};
+  TensorF o(s);
+  for (const RowBlock& rb : detail::EnumerateRowBlocks(shape, tiling)) {
+    const TensorF q_i = q.Slice(rb.b0, rb.bl, rb.h0, rb.hl, rb.n0, rb.nl, 0, s.e);
+    const TensorF k_i = k.Slice(rb.b0, rb.bl, rb.h0, rb.hl, 0, nkv_len, 0, s.e);
+    const TensorF v_i = v.Slice(rb.b0, rb.bl, rb.h0, rb.hl, 0, nkv_len, 0, s.e);
+    const TensorF c_i = TiledQKT(q_i, k_i, tiling.nkv);
+    const TensorF p_i = OnlineSoftmaxRows(c_i, tiling.nkv);
+    o.Place(TiledPV(p_i, v_i, tiling.nkv), rb.b0, rb.h0, rb.n0, 0);
+  }
+  return o;
+}
+
+}  // namespace mas

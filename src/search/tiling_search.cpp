@@ -1,0 +1,313 @@
+#include "search/tiling_search.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mas::search {
+
+namespace {
+
+// Prune tilings whose task graphs would be absurdly fine-grained: they are
+// never latency-optimal (per-tile setup dominates) and would blow up search
+// time. This mirrors the paper's bounded search budgets.
+constexpr std::int64_t kMaxTasks = 150000;
+
+std::int64_t EstimatedTasks(const AttentionShape& shape, const TilingConfig& tiling) {
+  return tiling.RowBlocks(shape) * (2 * tiling.KvBlocks(shape) + 6);
+}
+
+std::uint64_t Key(const TilingConfig& t) {
+  return (static_cast<std::uint64_t>(t.bb) << 48) ^ (static_cast<std::uint64_t>(t.hh) << 32) ^
+         (static_cast<std::uint64_t>(t.nq) << 16) ^ static_cast<std::uint64_t>(t.nkv);
+}
+
+// Restricted power-of-two lattice for coarse/grid search: at most `keep`
+// values sampled geometrically across [1, extent] (both endpoints always
+// kept). Sampling the whole range matters: on memory-tight configurations
+// the feasible region sits at *small* tile sizes, so keeping only the
+// largest powers of two would leave nothing between 1 and the first
+// feasible value.
+std::vector<std::int64_t> CoarseLattice(std::int64_t extent, int keep) {
+  std::vector<std::int64_t> all = {extent};
+  for (std::int64_t v = 1; v < extent; v *= 2) all.push_back(v);
+  std::sort(all.begin(), all.end());
+  if (static_cast<int>(all.size()) <= keep || keep < 2) return all;
+  std::vector<std::int64_t> values;
+  const double step = static_cast<double>(all.size() - 1) / (keep - 1);
+  for (int i = 0; i < keep; ++i) {
+    values.push_back(all[static_cast<std::size_t>(std::llround(i * step))]);
+  }
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+void RecordTrace(SearchResult& result, std::int64_t evaluation, double cycles) {
+  if (cycles < result.best_cycles) {
+    result.best_cycles = cycles;
+    result.trace.push_back({evaluation, cycles});
+  }
+}
+
+}  // namespace
+
+TilingProblem::TilingProblem(const Scheduler& scheduler, const AttentionShape& shape,
+                             const sim::HardwareConfig& hw, const sim::EnergyModel& em)
+    : scheduler_(scheduler), shape_(shape), hw_(hw), em_(em) {
+  shape.Validate();
+  bb_ = TileCandidates(shape.batch);
+  hh_ = TileCandidates(shape.heads);
+  nq_ = TileCandidates(shape.seq_len);
+  nkv_ = TileCandidates(shape.kv());
+}
+
+bool TilingProblem::Feasible(const TilingConfig& tiling) const {
+  if (EstimatedTasks(shape_, tiling) > kMaxTasks) return false;
+  return scheduler_.Fits(shape_, tiling, hw_);
+}
+
+double TilingProblem::Evaluate(const TilingConfig& tiling) {
+  const std::uint64_t key = Key(tiling);
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+  double cycles = kInfeasible;
+  if (Feasible(tiling)) {
+    ++evaluations_;
+    cycles = static_cast<double>(scheduler_.Simulate(shape_, tiling, hw_, em_).cycles);
+  }
+  cache_.emplace(key, cycles);
+  return cycles;
+}
+
+sim::SimResult TilingProblem::Simulate(const TilingConfig& tiling) const {
+  return scheduler_.Simulate(shape_, tiling, hw_, em_);
+}
+
+SearchResult GridSearch(TilingProblem& problem, const GridOptions& options) {
+  SearchResult result;
+  const auto bbs = options.coarse
+                       ? CoarseLattice(problem.shape().batch, options.coarse_keep_bb)
+                       : problem.bb_candidates();
+  const auto hhs = options.coarse
+                       ? CoarseLattice(problem.shape().heads, options.coarse_keep_hh)
+                       : problem.hh_candidates();
+  const auto nqs = options.coarse
+                       ? CoarseLattice(problem.shape().seq_len, options.coarse_keep_nq)
+                       : problem.nq_candidates();
+  const auto nkvs = options.coarse
+                        ? CoarseLattice(problem.shape().kv(), options.coarse_keep_nkv)
+                        : problem.nkv_candidates();
+  std::int64_t evals = 0;
+  for (std::int64_t bb : bbs) {
+    for (std::int64_t hh : hhs) {
+      for (std::int64_t nq : nqs) {
+        for (std::int64_t nkv : nkvs) {
+          if (evals >= options.max_evaluations) break;
+          const TilingConfig tiling{bb, hh, nq, nkv};
+          const double cycles = problem.Evaluate(tiling);
+          ++evals;
+          if (cycles < result.best_cycles) {
+            result.best = tiling;
+          }
+          RecordTrace(result, evals, cycles);
+        }
+      }
+    }
+  }
+  result.evaluations = evals;
+  return result;
+}
+
+SearchResult GeneticSearch(TilingProblem& problem, const GaOptions& options) {
+  MAS_CHECK(options.population >= 4) << "GA population too small";
+  Rng rng(options.seed);
+  const std::vector<const std::vector<std::int64_t>*> spaces = {
+      &problem.bb_candidates(), &problem.hh_candidates(), &problem.nq_candidates(),
+      &problem.nkv_candidates()};
+
+  using Genome = std::array<std::size_t, 4>;
+  auto decode = [&](const Genome& g) {
+    return TilingConfig{(*spaces[0])[g[0]], (*spaces[1])[g[1]], (*spaces[2])[g[2]],
+                        (*spaces[3])[g[3]]};
+  };
+  auto random_genome = [&]() {
+    Genome g;
+    for (std::size_t d = 0; d < 4; ++d) {
+      g[d] = static_cast<std::size_t>(rng.NextBelow(spaces[d]->size()));
+    }
+    return g;
+  };
+
+  SearchResult result;
+  std::int64_t evals = 0;
+  auto fitness = [&](const Genome& g) {
+    const TilingConfig tiling = decode(g);
+    const double cycles = problem.Evaluate(tiling);
+    ++evals;
+    if (cycles < result.best_cycles) result.best = tiling;
+    RecordTrace(result, evals, cycles);
+    return cycles;
+  };
+
+  std::vector<Genome> population;
+  std::vector<double> scores;
+  for (std::int64_t i = 0; i < options.population; ++i) {
+    population.push_back(random_genome());
+    scores.push_back(fitness(population.back()));
+  }
+
+  auto tournament_pick = [&]() -> const Genome& {
+    std::size_t best = static_cast<std::size_t>(rng.NextBelow(population.size()));
+    for (std::int64_t t = 1; t < options.tournament; ++t) {
+      const std::size_t cand = static_cast<std::size_t>(rng.NextBelow(population.size()));
+      if (scores[cand] < scores[best]) best = cand;
+    }
+    return population[best];
+  };
+
+  for (std::int64_t gen = 0; gen < options.generations; ++gen) {
+    // Elitism: carry the best genomes over unchanged.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+    std::vector<Genome> next;
+    std::vector<double> next_scores;
+    for (std::int64_t e = 0; e < options.elite && e < static_cast<std::int64_t>(order.size());
+         ++e) {
+      next.push_back(population[order[static_cast<std::size_t>(e)]]);
+      next_scores.push_back(scores[order[static_cast<std::size_t>(e)]]);
+    }
+    while (static_cast<std::int64_t>(next.size()) < options.population) {
+      Genome child = tournament_pick();
+      if (rng.NextBool(options.crossover_rate)) {
+        const Genome& other = tournament_pick();
+        for (std::size_t d = 0; d < 4; ++d) {
+          if (rng.NextBool()) child[d] = other[d];
+        }
+      }
+      for (std::size_t d = 0; d < 4; ++d) {
+        if (rng.NextBool(options.mutation_rate)) {
+          child[d] = static_cast<std::size_t>(rng.NextBelow(spaces[d]->size()));
+        }
+      }
+      next.push_back(child);
+      next_scores.push_back(fitness(child));
+    }
+    population = std::move(next);
+    scores = std::move(next_scores);
+  }
+  result.evaluations = evals;
+  return result;
+}
+
+namespace {
+
+// MCTS over the sequential factor decisions hh -> nq -> nkv -> bb. Each tree
+// node fixes a prefix of factors; leaves are complete tilings. Rollouts
+// complete the prefix uniformly at random; rewards are 1/cycles.
+struct MctsNode {
+  std::vector<std::int64_t> child_visits;
+  std::vector<double> child_value;  // mean reward
+  std::vector<std::unique_ptr<MctsNode>> children;
+  std::int64_t visits = 0;
+};
+
+}  // namespace
+
+SearchResult MctsSearch(TilingProblem& problem, const MctsOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<const std::vector<std::int64_t>*> spaces = {
+      &problem.hh_candidates(), &problem.nq_candidates(), &problem.nkv_candidates(),
+      &problem.bb_candidates()};
+  auto decode = [&](const std::array<std::size_t, 4>& g) {
+    return TilingConfig{(*spaces[3])[g[3]], (*spaces[0])[g[0]], (*spaces[1])[g[1]],
+                        (*spaces[2])[g[2]]};
+  };
+
+  SearchResult result;
+  std::int64_t evals = 0;
+  auto reward_of = [&](const std::array<std::size_t, 4>& g) {
+    const TilingConfig tiling = decode(g);
+    const double cycles = problem.Evaluate(tiling);
+    ++evals;
+    if (cycles < result.best_cycles) result.best = tiling;
+    RecordTrace(result, evals, cycles);
+    if (cycles == TilingProblem::kInfeasible) return 0.0;
+    return 1e6 / cycles;
+  };
+
+  MctsNode root;
+  for (std::int64_t iter = 0; iter < options.iterations; ++iter) {
+    // Selection + expansion down the four decision levels.
+    std::array<std::size_t, 4> choice{};
+    MctsNode* node = &root;
+    std::vector<MctsNode*> path = {node};
+    for (std::size_t depth = 0; depth < 4; ++depth) {
+      const std::size_t width = spaces[depth]->size();
+      if (node->children.empty()) {
+        node->children.resize(width);
+        node->child_visits.assign(width, 0);
+        node->child_value.assign(width, 0.0);
+      }
+      // UCB1 pick; unvisited children first (random among them).
+      std::vector<std::size_t> unvisited;
+      for (std::size_t c = 0; c < width; ++c) {
+        if (node->child_visits[c] == 0) unvisited.push_back(c);
+      }
+      std::size_t pick;
+      if (!unvisited.empty()) {
+        pick = unvisited[rng.NextBelow(unvisited.size())];
+      } else {
+        double best_ucb = -1.0;
+        pick = 0;
+        for (std::size_t c = 0; c < width; ++c) {
+          const double exploit = node->child_value[c];
+          const double explore =
+              options.exploration *
+              std::sqrt(std::log(static_cast<double>(node->visits) + 1.0) /
+                        static_cast<double>(node->child_visits[c]));
+          if (exploit + explore > best_ucb) {
+            best_ucb = exploit + explore;
+            pick = c;
+          }
+        }
+      }
+      choice[depth] = pick;
+      if (!node->children[pick]) node->children[pick] = std::make_unique<MctsNode>();
+      node = node->children[pick].get();
+      path.push_back(node);
+    }
+    const double reward = reward_of(choice);
+    // Backpropagate along the path.
+    MctsNode* cur = &root;
+    cur->visits += 1;
+    for (std::size_t depth = 0; depth < 4; ++depth) {
+      const std::size_t c = choice[depth];
+      cur->child_visits[c] += 1;
+      cur->child_value[c] +=
+          (reward - cur->child_value[c]) / static_cast<double>(cur->child_visits[c]);
+      cur = cur->children[c].get();
+      cur->visits += 1;
+    }
+  }
+  result.evaluations = evals;
+  return result;
+}
+
+TilingConfig AutoTile(const Scheduler& scheduler, const AttentionShape& shape,
+                      const sim::HardwareConfig& hw, const sim::EnergyModel& em) {
+  TilingProblem problem(scheduler, shape, hw, em);
+  GridOptions options;
+  options.coarse = true;
+  const SearchResult result = GridSearch(problem, options);
+  MAS_CHECK(result.found()) << "no feasible tiling for " << scheduler.name() << " on "
+                            << shape.ToString();
+  return result.best;
+}
+
+}  // namespace mas::search

@@ -1,0 +1,118 @@
+// Offline tiling-factor search (paper §4.2, Fig. 7).
+//
+// The multi-tiered tiling scheme exposes four factors (B_b, H_h, N_Q, N_KV);
+// the search evaluates candidate configurations against the simulator
+// (Timeloop's role in the paper) and returns the best-latency feasible
+// configuration. Three strategies are provided, as in the paper:
+//   * GridSearch    — exhaustive over the candidate lattice (used for the
+//                     DaVinci NPU's structured memory model);
+//   * GeneticSearch — population-based refinement (GA);
+//   * MctsSearch    — Monte Carlo Tree Search with UCB over the sequential
+//                     factor choices.
+// Every strategy records a convergence trace (best cycles vs evaluations)
+// which the Fig. 7 bench replots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/attention_shape.h"
+#include "schedulers/scheduler.h"
+#include "sim/energy_model.h"
+#include "sim/hardware_config.h"
+
+namespace mas::search {
+
+// Objective wrapper: evaluates tilings for one (scheduler, shape, hardware)
+// triple, with memoization and infeasibility pruning.
+class TilingProblem {
+ public:
+  TilingProblem(const Scheduler& scheduler, const AttentionShape& shape,
+                const sim::HardwareConfig& hw, const sim::EnergyModel& em);
+
+  // Candidate values per factor (divisors plus powers of two, §4.2's
+  // "distinct tiling search spaces").
+  const std::vector<std::int64_t>& bb_candidates() const { return bb_; }
+  const std::vector<std::int64_t>& hh_candidates() const { return hh_; }
+  const std::vector<std::int64_t>& nq_candidates() const { return nq_; }
+  const std::vector<std::int64_t>& nkv_candidates() const { return nkv_; }
+
+  // Simulated cycles for `tiling`; +inf when infeasible (fails the
+  // scheduler's Fits() or exceeds the task-graph budget). Memoized.
+  double Evaluate(const TilingConfig& tiling);
+
+  // Full simulation of a (feasible) tiling.
+  sim::SimResult Simulate(const TilingConfig& tiling) const;
+
+  bool Feasible(const TilingConfig& tiling) const;
+
+  std::int64_t evaluations() const { return evaluations_; }
+  const AttentionShape& shape() const { return shape_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  static constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+ private:
+  const Scheduler& scheduler_;
+  AttentionShape shape_;
+  const sim::HardwareConfig& hw_;
+  const sim::EnergyModel& em_;
+  std::vector<std::int64_t> bb_, hh_, nq_, nkv_;
+  std::unordered_map<std::uint64_t, double> cache_;
+  std::int64_t evaluations_ = 0;
+};
+
+// One point of the Fig. 7 convergence trace.
+struct TraceEntry {
+  std::int64_t evaluation;  // cumulative simulator evaluations
+  double best_cycles;       // incumbent at that point
+};
+
+struct SearchResult {
+  TilingConfig best;
+  double best_cycles = TilingProblem::kInfeasible;
+  std::int64_t evaluations = 0;
+  std::vector<TraceEntry> trace;
+
+  bool found() const { return best_cycles != TilingProblem::kInfeasible; }
+};
+
+struct GridOptions {
+  std::int64_t max_evaluations = 100000;
+  bool coarse = false;  // restrict to a small power-of-two lattice (fast)
+  // Per-dimension lattice sizes used when `coarse` is set (geometric samples
+  // across [1, extent], endpoints always kept).
+  int coarse_keep_bb = 3;
+  int coarse_keep_hh = 5;
+  int coarse_keep_nq = 8;
+  int coarse_keep_nkv = 8;
+};
+SearchResult GridSearch(TilingProblem& problem, const GridOptions& options = {});
+
+struct GaOptions {
+  std::int64_t population = 24;
+  std::int64_t generations = 40;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.25;
+  std::int64_t tournament = 3;
+  std::int64_t elite = 2;
+  std::uint64_t seed = 1;
+};
+SearchResult GeneticSearch(TilingProblem& problem, const GaOptions& options = {});
+
+struct MctsOptions {
+  std::int64_t iterations = 1000;
+  double exploration = 1.2;  // UCB exploration constant
+  std::uint64_t seed = 1;
+};
+SearchResult MctsSearch(TilingProblem& problem, const MctsOptions& options = {});
+
+// Fast good-enough tiling: coarse grid over a power-of-two lattice. Used by
+// benches and examples as the default offline-tuned configuration.
+TilingConfig AutoTile(const Scheduler& scheduler, const AttentionShape& shape,
+                      const sim::HardwareConfig& hw, const sim::EnergyModel& em);
+
+}  // namespace mas::search

@@ -1,0 +1,67 @@
+// Tile-level cycle/energy/traffic cost model.
+//
+// Maps the primitive tile operations of the attention dataflows (MAC tile
+// MatMul, VEC tile softmax, DMA transfer) to task durations and energy
+// events, given a hardware configuration. This is the Accelergy/Timeloop
+// analytical layer of the reproduction: schedulers only reason in tiles; all
+// hardware knowledge lives here.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/energy_model.h"
+#include "sim/hardware_config.h"
+
+namespace mas::sim {
+
+// Duration plus attached energy/traffic for one task.
+struct TaskCost {
+  std::uint64_t cycles = 0;
+  EnergyBreakdown energy;
+  std::int64_t dram_read_bytes = 0;
+  std::int64_t dram_write_bytes = 0;
+};
+
+class CostModel {
+ public:
+  CostModel(const HardwareConfig& hw, const EnergyModel& em) : hw_(&hw), em_(&em) {}
+
+  const HardwareConfig& hw() const { return *hw_; }
+  const EnergyModel& em() const { return *em_; }
+
+  // Batched MatMul tile: `groups` independent (m x k) * (k x n) products on
+  // core `core`'s output-stationary MAC mesh. Operands are read from L1
+  // through L0; the result is written back to L1.
+  TaskCost MacTile(std::int64_t groups, std::int64_t m, std::int64_t k, std::int64_t n,
+                   int core) const;
+
+  // Batched row-wise softmax: `groups` x `rows` rows of length `row_len` on
+  // core `core`'s VEC unit (max / sub+exp / sum / div passes).
+  // `extra_lane_ops_per_elem` models decompositions that do more vector work
+  // per element (e.g. FuseMax's online-softmax rescaling).
+  TaskCost VecSoftmax(std::int64_t groups, std::int64_t rows, std::int64_t row_len, int core,
+                      std::int64_t extra_lane_ops_per_elem = 0) const;
+
+  // Generic element-wise VEC pass over `elements` values costing
+  // `lane_ops_per_elem` lane-cycles each (used for FuseMax accumulator
+  // rescales and similar).
+  TaskCost VecElementwise(std::int64_t elements, std::int64_t lane_ops_per_elem,
+                          int core) const;
+
+  // DMA transfer of `bytes` between DRAM and L1. `is_read` = DRAM -> L1.
+  TaskCost Dma(std::int64_t bytes, bool is_read) const;
+
+  // Pure L1->L1 data movement charged without occupying the DMA channel
+  // (e.g. layout shuffles); returns energy-only cost with zero duration
+  // attached to the issuing unit.
+  TaskCost L1Shuffle(std::int64_t bytes) const;
+
+ private:
+  const HardwareConfig* hw_;
+  const EnergyModel* em_;
+};
+
+// Integer log2 ceiling (reduction-tree depth); Log2Ceil(1) == 0.
+int Log2Ceil(std::int64_t n);
+
+}  // namespace mas::sim

@@ -1,0 +1,51 @@
+// Accelergy-style per-access energy model.
+//
+// Energy is accumulated in picojoules per component, mirroring the paper's
+// Fig. 6 breakdown: Off-Chip (DRAM), On-Chip (L1, L0), and PEs within the MAC
+// and VEC units. The constants are 16 nm-class per-access costs; as with the
+// cycle model, the claims reproduced are *relative* across schedulers (PE
+// energy is schedule-invariant — paper §5.3.3 — while memory energies
+// differentiate the dataflows).
+#pragma once
+
+#include <cstdint>
+
+namespace mas::sim {
+
+// Per-component energy tallies in picojoules.
+struct EnergyBreakdown {
+  double dram_pj = 0.0;
+  double l1_pj = 0.0;
+  double l0_pj = 0.0;
+  double mac_pe_pj = 0.0;
+  double vec_pe_pj = 0.0;
+
+  double total_pj() const { return dram_pj + l1_pj + l0_pj + mac_pe_pj + vec_pe_pj; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other) {
+    dram_pj += other.dram_pj;
+    l1_pj += other.l1_pj;
+    l0_pj += other.l0_pj;
+    mac_pe_pj += other.mac_pe_pj;
+    vec_pe_pj += other.vec_pe_pj;
+    return *this;
+  }
+};
+
+// Per-access energy constants (pJ). Defaults approximate 16 nm SRAM/LPDDR
+// figures used by Accelergy-style estimators.
+struct EnergyModel {
+  double dram_pj_per_byte = 62.5;   // LPDDR access incl. PHY/IO
+  double l1_pj_per_byte = 4.0;      // large shared SRAM scratchpad
+  double l0_pj_per_byte = 0.5;      // small register file
+  double mac_pj_per_op = 1.2;       // one 16-bit multiply-accumulate
+  double vec_pj_per_lane_op = 0.35; // one 16-bit vector lane micro-op
+
+  double DramTraffic(std::int64_t bytes) const { return dram_pj_per_byte * bytes; }
+  double L1Traffic(std::int64_t bytes) const { return l1_pj_per_byte * bytes; }
+  double L0Traffic(std::int64_t bytes) const { return l0_pj_per_byte * bytes; }
+  double MacOps(std::int64_t ops) const { return mac_pj_per_op * ops; }
+  double VecLaneOps(std::int64_t lane_ops) const { return vec_pj_per_lane_op * lane_ops; }
+};
+
+}  // namespace mas::sim

@@ -1,0 +1,184 @@
+#include "sim/engine.h"
+#include <deque>
+#include <utility>
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace mas::sim {
+
+namespace {
+constexpr std::size_t kMaxTimelineEntries = 200000;
+}
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kDma: return "DMA";
+    case ResourceKind::kMac: return "MAC";
+    case ResourceKind::kVec: return "VEC";
+  }
+  return "?";
+}
+
+double SimResult::MacUtilization() const {
+  if (cycles == 0) return 0.0;
+  std::uint64_t best = 0;
+  for (const auto& r : resources) {
+    if (r.kind == ResourceKind::kMac) best = std::max(best, r.busy_cycles);
+  }
+  return static_cast<double>(best) / static_cast<double>(cycles);
+}
+
+std::uint64_t SimResult::BusyCycles(ResourceKind kind) const {
+  std::uint64_t total = 0;
+  for (const auto& r : resources) {
+    if (r.kind == kind) total += r.busy_cycles;
+  }
+  return total;
+}
+
+Engine::Engine(const HardwareConfig& hw, bool record_timeline)
+    : hw_(hw), record_timeline_(record_timeline) {
+  MAS_CHECK(!hw.cores.empty()) << "hardware needs at least one core";
+  // Queue 0 is the shared DMA channel; then MAC/VEC per core.
+  queues_.push_back({"dma", ResourceKind::kDma, 0, {}, 0, 0, 0, 0});
+  for (int c = 0; c < static_cast<int>(hw.cores.size()); ++c) {
+    queues_.push_back(
+        {"mac" + std::to_string(c), ResourceKind::kMac, c, {}, 0, 0, 0, 0});
+    queues_.push_back(
+        {"vec" + std::to_string(c), ResourceKind::kVec, c, {}, 0, 0, 0, 0});
+  }
+}
+
+std::size_t Engine::QueueIndex(ResourceKind kind, int core) const {
+  if (kind == ResourceKind::kDma) return 0;
+  MAS_CHECK(core >= 0 && core < static_cast<int>(hw_.cores.size()))
+      << "core " << core << " out of range";
+  const std::size_t base = 1 + static_cast<std::size_t>(core) * 2;
+  return kind == ResourceKind::kMac ? base : base + 1;
+}
+
+TaskId Engine::AddTask(TaskSpec spec) {
+  MAS_CHECK(!ran_) << "cannot add tasks after Run()";
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for (TaskId dep : spec.deps) {
+    MAS_CHECK(dep >= 0 && dep < id) << "task " << id << " depends on unknown task " << dep;
+  }
+  queues_[QueueIndex(spec.resource, spec.core)].tasks.push_back(id);
+  tasks_.push_back(std::move(spec));
+  return id;
+}
+
+SimResult Engine::Run() {
+  MAS_CHECK(!ran_) << "Run() may be called once";
+  ran_ = true;
+
+  SimResult result;
+  std::vector<std::uint64_t> finish(tasks_.size(), 0);
+  std::vector<bool> done(tasks_.size(), false);
+
+  std::size_t remaining = tasks_.size();
+
+  auto ready_time = [&](const TaskSpec& t, bool* deps_done) -> std::uint64_t {
+    std::uint64_t ready = 0;
+    *deps_done = true;
+    for (TaskId dep : t.deps) {
+      if (!done[dep]) {
+        *deps_done = false;
+        return 0;
+      }
+      ready = std::max(ready, finish[dep]);
+    }
+    return ready;
+  };
+
+  auto execute = [&](ResourceQueue& q, TaskId id, std::uint64_t ready) {
+    const TaskSpec& t = tasks_[id];
+    const std::uint64_t start = std::max(ready, q.free_at);
+    const std::uint64_t end = start + t.duration;
+    finish[id] = end;
+    done[id] = true;
+    q.free_at = end;
+    q.busy += t.duration;
+    ++q.count;
+    --remaining;
+    result.cycles = std::max(result.cycles, end);
+    result.energy += t.energy;
+    result.dram_read_bytes += t.dram_read_bytes;
+    result.dram_write_bytes += t.dram_write_bytes;
+    if (record_timeline_ && result.timeline.size() < kMaxTimelineEntries) {
+      result.timeline.push_back({t.name, t.resource, t.core, start, end});
+    }
+  };
+
+  // Scratch per-core descriptor rings for DMA bus arbitration.
+  std::vector<std::deque<std::pair<TaskId, std::uint64_t>>> rings_;
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (auto& q : queues_) {
+      if (q.kind == ResourceKind::kDma) {
+        // The DMA engine has one descriptor ring per core, all arbitrating
+        // round-robin for the single DRAM bus: a transfer whose producer has
+        // not finished does not block younger, ready transfers, and one
+        // core's queued-ahead prefetches cannot starve another core's demand
+        // loads (schedulers emit each core's stream back-to-back; strict
+        // FIFO would serialize the cores behind the first core's stores).
+        // Blocked transfers are kept for the next pass; ready ones are
+        // granted the bus per-core FIFO, cores interleaved round-robin.
+        rings_.assign(hw_.cores.size(), {});
+        std::size_t write = q.next;
+        std::size_t ready_count = 0;
+        for (std::size_t s = q.next; s < q.tasks.size(); ++s) {
+          const TaskId id = q.tasks[s];
+          bool deps_done = false;
+          const std::uint64_t ready = ready_time(tasks_[id], &deps_done);
+          if (!deps_done) {
+            q.tasks[write++] = id;
+            continue;
+          }
+          const std::size_t core = static_cast<std::size_t>(
+              std::clamp<int>(tasks_[id].core, 0, static_cast<int>(rings_.size()) - 1));
+          rings_[core].push_back({id, ready});
+          ++ready_count;
+        }
+        q.tasks.resize(write);
+        while (ready_count > 0) {
+          for (std::size_t c = 0; c < rings_.size(); ++c) {
+            const std::size_t ring = (q.rr + c) % rings_.size();
+            if (rings_[ring].empty()) continue;
+            const auto [id, ready] = rings_[ring].front();
+            rings_[ring].pop_front();
+            execute(q, id, ready);
+            progressed = true;
+            --ready_count;
+            q.rr = (ring + 1) % rings_.size();
+            break;
+          }
+        }
+      } else {
+        // Compute pipelines issue strictly in order, like the real MAC/VEC
+        // instruction streams: a blocked head stalls everything behind it.
+        while (q.next < q.tasks.size()) {
+          const TaskId id = q.tasks[q.next];
+          bool deps_done = false;
+          const std::uint64_t ready = ready_time(tasks_[id], &deps_done);
+          if (!deps_done) break;
+          execute(q, id, ready);
+          ++q.next;
+          progressed = true;
+        }
+      }
+    }
+    MAS_CHECK(progressed) << "task graph deadlock: " << remaining
+                          << " tasks blocked (cyclic dependency across in-order queues)";
+  }
+
+  for (const auto& q : queues_) {
+    result.resources.push_back({q.name, q.kind, q.core, q.busy, q.count});
+  }
+  return result;
+}
+
+}  // namespace mas::sim

@@ -1,0 +1,120 @@
+// Event-driven execution engine for the simulated accelerators.
+//
+// Schedulers translate a tiled attention dataflow into a DAG of tasks, each
+// bound to one hardware resource (the DMA channel, or a core's MAC or VEC
+// unit). Resources execute their tasks in issue order (in-order queues, like
+// the real DMA descriptor ring and compute pipelines); a task starts when its
+// dependencies have finished and its resource is free. The engine computes
+// start/finish cycles for every task; the makespan is the schedule latency.
+//
+// This plays the role Timeloop played in the paper: evaluating a concrete
+// mapping against a fixed architecture. Energy is attached to tasks by the
+// cost model and summed into the Fig. 6-style breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy_model.h"
+#include "sim/hardware_config.h"
+
+namespace mas::sim {
+
+enum class ResourceKind { kDma = 0, kMac = 1, kVec = 2 };
+
+const char* ResourceKindName(ResourceKind kind);
+
+using TaskId = std::int64_t;
+constexpr TaskId kNoTask = -1;
+
+// One unit of work bound to a resource.
+struct TaskSpec {
+  std::string name;                 // label for timelines (may be empty)
+  ResourceKind resource = ResourceKind::kDma;
+  int core = 0;                     // ignored for the (shared) DMA channel
+  std::uint64_t duration = 0;       // cycles
+  std::vector<TaskId> deps;         // tasks that must finish first
+  EnergyBreakdown energy;           // energy charged when the task runs
+  std::int64_t dram_read_bytes = 0;
+  std::int64_t dram_write_bytes = 0;
+};
+
+// A scheduled task instance in the timeline.
+struct TimelineEntry {
+  std::string name;
+  ResourceKind resource;
+  int core;
+  std::uint64_t start;
+  std::uint64_t end;
+};
+
+// Per-resource busy statistics.
+struct ResourceStats {
+  std::string name;
+  ResourceKind kind;
+  int core = 0;
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t task_count = 0;
+};
+
+// Aggregate outcome of one simulated schedule.
+struct SimResult {
+  std::uint64_t cycles = 0;  // makespan
+  EnergyBreakdown energy;
+  std::int64_t dram_read_bytes = 0;
+  std::int64_t dram_write_bytes = 0;
+  std::vector<ResourceStats> resources;
+  std::vector<TimelineEntry> timeline;  // populated only when recording
+
+  // Scheduler-reported extras.
+  std::int64_t peak_l1_bytes = 0;
+  std::int64_t overwrite_events = 0;    // proactive-overwrite activations
+  std::int64_t reload_bytes = 0;        // DRAM bytes re-read due to overwrites
+
+  // Fraction of the makespan the busiest MAC unit was active.
+  double MacUtilization() const;
+  // Total busy cycles across resources of a kind.
+  std::uint64_t BusyCycles(ResourceKind kind) const;
+};
+
+class Engine {
+ public:
+  // `record_timeline` keeps per-task start/end entries (bounded); used by the
+  // Fig. 1 dataflow-comparison bench.
+  explicit Engine(const HardwareConfig& hw, bool record_timeline = false);
+
+  // Appends a task to its resource queue. Dependencies must refer to tasks
+  // already added (ids are dense, starting at 0).
+  TaskId AddTask(TaskSpec spec);
+
+  std::int64_t task_count() const { return static_cast<std::int64_t>(tasks_.size()); }
+
+  // Executes all tasks; returns the schedule outcome. May be called once.
+  SimResult Run();
+
+  const HardwareConfig& hw() const { return hw_; }
+
+ private:
+  struct ResourceQueue {
+    std::string name;
+    ResourceKind kind;
+    int core;
+    std::vector<TaskId> tasks;
+    std::size_t next = 0;          // index of the task at queue head
+    std::uint64_t free_at = 0;     // cycle when the resource becomes idle
+    std::uint64_t busy = 0;
+    std::uint64_t count = 0;
+    std::size_t rr = 0;            // round-robin cursor (DMA bus arbitration)
+  };
+
+  std::size_t QueueIndex(ResourceKind kind, int core) const;
+
+  const HardwareConfig hw_;
+  bool record_timeline_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<ResourceQueue> queues_;
+  bool ran_ = false;
+};
+
+}  // namespace mas::sim

@@ -1,0 +1,96 @@
+// Hardware description of the simulated edge accelerators.
+//
+// Two presets are provided:
+//  * EdgeSimConfig()    — the paper's Fig. 4 custom edge architecture
+//    (3.75 GHz, 16 nm, two cores each with a 16x16 MAC mesh + 256-lane VEC
+//    unit and an L0 register file, a shared 5 MB L1, 6 GB DRAM @ 30 GB/s).
+//  * DavinciNpuConfig() — a DaVinci-style NPU stand-in for the Fig. 5
+//    real-hardware study (3 heterogeneous cores: 2x "Ascend Lite" +
+//    1x "Ascend Tiny", per-core on-chip buffers, LPDDR-class bandwidth).
+//
+// Substitution note (see DESIGN.md §2): the paper evaluates with
+// Timeloop/Accelergy/TileFlow and a Huawei MatePad Pro 13.2. We reproduce the
+// *parameters* of those platforms; the event-driven engine in engine.h plays
+// schedules against them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mas::sim {
+
+// One core's compute complement.
+struct CoreConfig {
+  std::string name = "core";
+  // MAC unit: output-stationary mesh of mac_rows x mac_cols multiply-
+  // accumulate PEs; peak throughput = mac_rows*mac_cols MACs/cycle.
+  std::int64_t mac_rows = 16;
+  std::int64_t mac_cols = 16;
+  // Fixed pipeline fill cost charged once per MAC tile task (weight load /
+  // systolic fill).
+  std::int64_t mac_setup_cycles = 16;
+  // VEC unit: SIMD lanes executing element-wise ops.
+  std::int64_t vec_lanes = 256;
+  // Per-element lane-cycle costs of the softmax primitive ops on the VEC
+  // unit. Edge vector units evaluate exp by microcoded polynomial expansion,
+  // which dominates the softmax cost and is what makes MatMul/softmax
+  // overlap profitable (the paper's core premise).
+  std::int64_t vec_cost_max = 1;
+  std::int64_t vec_cost_sub = 1;
+  std::int64_t vec_cost_exp = 48;
+  std::int64_t vec_cost_sum = 1;
+  std::int64_t vec_cost_div = 8;
+  // Fixed issue cost per VEC tile task.
+  std::int64_t vec_setup_cycles = 8;
+  // L0 register file feeding the PE arrays, bytes.
+  std::int64_t l0_bytes = 64 * 1024;
+
+  // Sum of per-element lane-cycles for one full softmax pass.
+  std::int64_t SoftmaxLaneCostPerElement() const {
+    return vec_cost_max + vec_cost_sub + vec_cost_exp + vec_cost_sum + vec_cost_div;
+  }
+};
+
+// Whole-chip description.
+struct HardwareConfig {
+  std::string name = "edge_sim";
+  double frequency_ghz = 3.75;
+  int technology_nm = 16;
+  std::vector<CoreConfig> cores;
+
+  // Shared on-chip L1 scratchpad (bytes) reachable by all cores' units.
+  std::int64_t l1_bytes = 5 * 1024 * 1024;
+  // DRAM: capacity and the DMA channel bandwidth between DRAM and L1.
+  std::int64_t dram_bytes = 6LL * 1024 * 1024 * 1024;
+  double dram_gb_per_s = 30.0;
+  // Fixed per-DMA-task issue latency in cycles (descriptor setup, bus
+  // arbitration). Penalizes very fine-grained transfers.
+  std::int64_t dma_setup_cycles = 64;
+  // Element size in bytes for all tensors (fp16 per the paper's §5.6).
+  std::int64_t element_bytes = 2;
+
+  // DMA bandwidth expressed in bytes per core-clock cycle.
+  double DramBytesPerCycle() const { return dram_gb_per_s / frequency_ghz; }
+
+  std::int64_t num_cores() const { return static_cast<std::int64_t>(cores.size()); }
+
+  // Total MAC throughput across cores, MACs/cycle.
+  std::int64_t TotalMacThroughput() const {
+    std::int64_t total = 0;
+    for (const auto& core : cores) total += core.mac_rows * core.mac_cols;
+    return total;
+  }
+
+  // Human-readable architecture summary (regenerates Fig. 4's content).
+  std::string Describe() const;
+};
+
+// The paper's simulated edge device (Fig. 4).
+HardwareConfig EdgeSimConfig();
+
+// DaVinci-NPU-like stand-in for the Fig. 5 real-hardware experiments:
+// 2x Ascend Lite cores + 1x Ascend Tiny core, per §5.1.
+HardwareConfig DavinciNpuConfig();
+
+}  // namespace mas::sim

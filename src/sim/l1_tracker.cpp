@@ -1,0 +1,53 @@
+#include "sim/l1_tracker.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace mas::sim {
+
+L1Tracker::L1Tracker(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
+  MAS_CHECK(capacity_bytes > 0) << "L1 capacity must be positive";
+}
+
+void L1Tracker::Alloc(const std::string& name, std::int64_t bytes) {
+  MAS_CHECK(bytes >= 0) << "negative allocation " << bytes << " for " << name;
+  MAS_CHECK(!live_.contains(name)) << "buffer '" << name << "' already live";
+  MAS_CHECK(used_ + bytes <= capacity_)
+      << "L1 overflow allocating '" << name << "' (" << bytes << " B): " << used_ << "/"
+      << capacity_ << " used";
+  live_.emplace(name, bytes);
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void L1Tracker::Free(const std::string& name) {
+  auto it = live_.find(name);
+  MAS_CHECK(it != live_.end()) << "freeing unknown buffer '" << name << "'";
+  used_ -= it->second;
+  live_.erase(it);
+}
+
+bool L1Tracker::FreeIfLive(const std::string& name) {
+  auto it = live_.find(name);
+  if (it == live_.end()) return false;
+  used_ -= it->second;
+  live_.erase(it);
+  return true;
+}
+
+bool L1Tracker::IsLive(const std::string& name) const { return live_.contains(name); }
+
+std::int64_t L1Tracker::SizeOf(const std::string& name) const {
+  auto it = live_.find(name);
+  return it == live_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> L1Tracker::LiveBuffers() const {
+  std::vector<std::string> names;
+  names.reserve(live_.size());
+  for (const auto& [name, size] : live_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mas::sim

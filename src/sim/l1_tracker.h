@@ -1,0 +1,51 @@
+// Occupancy tracking for the shared on-chip L1 scratchpad.
+//
+// Schedulers declare named buffer allocations as they build a task graph; the
+// tracker enforces the 5 MB capacity, records the high-water mark, and
+// supports the proactive-overwrite decision (paper §4.3, Figs. 2-3): when a
+// softmax output P_i cannot be placed, the MAS scheduler asks the tracker to
+// evict a reloadable operand (K or V tile) instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mas::sim {
+
+class L1Tracker {
+ public:
+  explicit L1Tracker(std::int64_t capacity_bytes);
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t used() const { return used_; }
+  std::int64_t free_bytes() const { return capacity_ - used_; }
+  std::int64_t peak() const { return peak_; }
+
+  bool CanFit(std::int64_t bytes) const { return used_ + bytes <= capacity_; }
+
+  // Allocates `bytes` under `name`. Fails (throws) if over capacity or the
+  // name is live. Use CanFit first when overflow is an expected outcome.
+  void Alloc(const std::string& name, std::int64_t bytes);
+
+  // Releases a live allocation.
+  void Free(const std::string& name);
+
+  // Releases if live; returns whether anything was freed.
+  bool FreeIfLive(const std::string& name);
+
+  bool IsLive(const std::string& name) const;
+  std::int64_t SizeOf(const std::string& name) const;  // 0 when not live
+
+  // Names of live allocations (unordered).
+  std::vector<std::string> LiveBuffers() const;
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  std::int64_t peak_ = 0;
+  std::unordered_map<std::string, std::int64_t> live_;
+};
+
+}  // namespace mas::sim

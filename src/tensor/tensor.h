@@ -1,0 +1,126 @@
+// Dense 4-D tensor used throughout the functional attention kernels.
+//
+// Attention operands in the paper are Q, K, V ∈ R^{B×H×N×E}; every tensor in
+// this library is logically 4-D (batch, head, rows, cols) with row-major
+// contiguous storage. The class owns its storage; `Slice` returns copies of
+// sub-blocks (tile extraction mirrors DMA loads in the simulator, which also
+// copy), keeping aliasing out of the functional twins entirely.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/fp16.h"
+#include "common/status.h"
+
+namespace mas {
+
+// Shape of a 4-D tensor: (b, h, n, e) = (batch, heads, rows, cols).
+struct Shape4 {
+  std::int64_t b = 1;
+  std::int64_t h = 1;
+  std::int64_t n = 1;
+  std::int64_t e = 1;
+
+  std::int64_t elements() const { return b * h * n * e; }
+  bool operator==(const Shape4&) const = default;
+};
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() : Tensor(Shape4{}) {}
+  explicit Tensor(Shape4 shape) : shape_(shape) {
+    MAS_CHECK(shape.b >= 1 && shape.h >= 1 && shape.n >= 1 && shape.e >= 1)
+        << "invalid shape (" << shape.b << "," << shape.h << "," << shape.n << "," << shape.e
+        << ")";
+    data_.assign(static_cast<std::size_t>(shape.elements()), T{});
+  }
+  Tensor(std::int64_t b, std::int64_t h, std::int64_t n, std::int64_t e)
+      : Tensor(Shape4{b, h, n, e}) {}
+
+  const Shape4& shape() const { return shape_; }
+  std::int64_t elements() const { return shape_.elements(); }
+
+  T& at(std::int64_t b, std::int64_t h, std::int64_t n, std::int64_t e) {
+    return data_[Index(b, h, n, e)];
+  }
+  const T& at(std::int64_t b, std::int64_t h, std::int64_t n, std::int64_t e) const {
+    return data_[Index(b, h, n, e)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void Fill(T value) { data_.assign(data_.size(), value); }
+
+  // Copies the sub-block [b0,b0+bl) × [h0,h0+hl) × [n0,n0+nl) × [e0,e0+el).
+  Tensor Slice(std::int64_t b0, std::int64_t bl, std::int64_t h0, std::int64_t hl,
+               std::int64_t n0, std::int64_t nl, std::int64_t e0, std::int64_t el) const {
+    MAS_CHECK(b0 >= 0 && h0 >= 0 && n0 >= 0 && e0 >= 0) << "negative slice origin";
+    MAS_CHECK(bl >= 1 && hl >= 1 && nl >= 1 && el >= 1) << "empty slice";
+    MAS_CHECK(b0 + bl <= shape_.b && h0 + hl <= shape_.h && n0 + nl <= shape_.n &&
+              e0 + el <= shape_.e)
+        << "slice out of bounds";
+    Tensor out(bl, hl, nl, el);
+    for (std::int64_t b = 0; b < bl; ++b)
+      for (std::int64_t h = 0; h < hl; ++h)
+        for (std::int64_t n = 0; n < nl; ++n)
+          for (std::int64_t e = 0; e < el; ++e)
+            out.at(b, h, n, e) = at(b0 + b, h0 + h, n0 + n, e0 + e);
+    return out;
+  }
+
+  // Writes `block` into this tensor at the given origin (inverse of Slice).
+  void Place(const Tensor& block, std::int64_t b0, std::int64_t h0, std::int64_t n0,
+             std::int64_t e0) {
+    const Shape4& s = block.shape();
+    MAS_CHECK(b0 + s.b <= shape_.b && h0 + s.h <= shape_.h && n0 + s.n <= shape_.n &&
+              e0 + s.e <= shape_.e)
+        << "Place out of bounds";
+    for (std::int64_t b = 0; b < s.b; ++b)
+      for (std::int64_t h = 0; h < s.h; ++h)
+        for (std::int64_t n = 0; n < s.n; ++n)
+          for (std::int64_t e = 0; e < s.e; ++e)
+            at(b0 + b, h0 + h, n0 + n, e0 + e) = block.at(b, h, n, e);
+  }
+
+ private:
+  std::size_t Index(std::int64_t b, std::int64_t h, std::int64_t n, std::int64_t e) const {
+    MAS_CHECK(b >= 0 && b < shape_.b && h >= 0 && h < shape_.h && n >= 0 && n < shape_.n &&
+              e >= 0 && e < shape_.e)
+        << "index (" << b << "," << h << "," << n << "," << e << ") out of bounds";
+    return static_cast<std::size_t>(((b * shape_.h + h) * shape_.n + n) * shape_.e + e);
+  }
+
+  Shape4 shape_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorH = Tensor<Fp16>;
+
+// Fills `t` with uniform values in [lo, hi) from `rng`.
+template <typename T, typename RngT>
+void FillUniform(Tensor<T>& t, RngT& rng, float lo = -1.0f, float hi = 1.0f) {
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    t.data()[i] = T(rng.NextFloat(lo, hi));
+  }
+}
+
+// Maximum absolute elementwise difference; shapes must match.
+template <typename T>
+double MaxAbsDiff(const Tensor<T>& a, const Tensor<T>& b) {
+  MAS_CHECK(a.shape() == b.shape()) << "shape mismatch in MaxAbsDiff";
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < a.elements(); ++i) {
+    const double d = std::abs(static_cast<double>(static_cast<float>(a.data()[i])) -
+                              static_cast<double>(static_cast<float>(b.data()[i])));
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace mas

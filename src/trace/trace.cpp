@@ -1,0 +1,243 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::trace {
+
+namespace {
+
+// Stable lane key: resources ordered DMA, then MAC/VEC interleaved per core.
+struct LaneKey {
+  sim::ResourceKind kind;
+  int core;
+  bool operator<(const LaneKey& o) const {
+    if (core != o.core) return core < o.core;
+    return static_cast<int>(kind) < static_cast<int>(o.kind);
+  }
+};
+
+std::string LaneName(const LaneKey& key) {
+  std::string name = sim::ResourceKindName(key.kind);
+  if (key.kind != sim::ResourceKind::kDma) name += std::to_string(key.core);
+  return name;
+}
+
+std::map<LaneKey, std::vector<const sim::TimelineEntry*>> GroupLanes(
+    const sim::SimResult& result) {
+  MAS_CHECK(!result.timeline.empty())
+      << "timeline empty — simulate with record_timeline = true";
+  std::map<LaneKey, std::vector<const sim::TimelineEntry*>> lanes;
+  for (const auto& entry : result.timeline) {
+    const int core = entry.resource == sim::ResourceKind::kDma ? -1 : entry.core;
+    lanes[{entry.resource, core}].push_back(&entry);
+  }
+  return lanes;
+}
+
+// Sums, over [from, to), the cycles covered by at least one interval.
+std::uint64_t CoveredCycles(std::vector<std::pair<std::uint64_t, std::uint64_t>> spans) {
+  std::sort(spans.begin(), spans.end());
+  std::uint64_t covered = 0, cursor = 0;
+  for (const auto& [s, e] : spans) {
+    const std::uint64_t start = std::max(s, cursor);
+    if (e > start) {
+      covered += e - start;
+      cursor = e;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
+std::string AsciiGantt(const sim::SimResult& result, const GanttOptions& options) {
+  MAS_CHECK(options.width >= 10) << "Gantt width too small: " << options.width;
+  const auto lanes = GroupLanes(result);
+  const std::uint64_t t0 = options.from;
+  const std::uint64_t t1 = options.to > 0 ? options.to : result.cycles;
+  MAS_CHECK(t1 > t0) << "empty Gantt window [" << t0 << "," << t1 << ")";
+  const double bin = static_cast<double>(t1 - t0) / options.width;
+
+  std::string out;
+  out += "cycles [" + std::to_string(t0) + ", " + std::to_string(t1) + "), " +
+         std::to_string(static_cast<std::int64_t>(bin)) + " cycles/column\n";
+  for (const auto& [key, entries] : lanes) {
+    // Busy fraction per column.
+    std::vector<double> busy(static_cast<std::size_t>(options.width), 0.0);
+    for (const auto* e : entries) {
+      const std::uint64_t s = std::max(e->start, t0);
+      const std::uint64_t t = std::min(e->end, t1);
+      if (t <= s) continue;
+      const double c0 = (s - t0) / bin;
+      const double c1 = (t - t0) / bin;
+      for (int c = static_cast<int>(c0); c < options.width && c <= static_cast<int>(c1); ++c) {
+        const double lo = std::max(c0, static_cast<double>(c));
+        const double hi = std::min(c1, static_cast<double>(c + 1));
+        if (hi > lo) busy[static_cast<std::size_t>(c)] += hi - lo;
+      }
+    }
+    std::string lane = LaneName(key);
+    lane.resize(6, ' ');
+    lane += '|';
+    for (double f : busy) lane += f > 0.5 ? '#' : (f > 0.0 ? '+' : '.');
+    lane += '|';
+    out += lane + "\n";
+  }
+  if (options.show_names) {
+    // Legend: first occurrence of each distinct task name per lane.
+    out += "tasks:";
+    std::vector<std::string> seen;
+    for (const auto& entry : result.timeline) {
+      if (entry.name.empty()) continue;
+      if (std::find(seen.begin(), seen.end(), entry.name) != seen.end()) continue;
+      seen.push_back(entry.name);
+      out += " [" + entry.name + "]";
+      if (seen.size() >= 12) {
+        out += " ...";
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const sim::SimResult& result, double frequency_ghz) {
+  MAS_CHECK(frequency_ghz > 0) << "frequency must be positive";
+  MAS_CHECK(!result.timeline.empty())
+      << "timeline empty — simulate with record_timeline = true";
+  // Cycles -> microseconds: us = cycles / (GHz * 1e3).
+  const double us_per_cycle = 1.0 / (frequency_ghz * 1e3);
+
+  // Assign a stable tid per lane.
+  const auto lanes = GroupLanes(result);
+  std::map<std::string, int> tid;
+  int next_tid = 1;
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginArray("traceEvents");
+  // Thread-name metadata so viewers label the lanes.
+  for (const auto& [key, entries] : lanes) {
+    (void)entries;
+    const std::string name = LaneName(key);
+    tid[name] = next_tid++;
+    w.BeginObject();
+    w.KeyValue("name", "thread_name");
+    w.KeyValue("ph", "M");
+    w.KeyValue("pid", 0);
+    w.KeyValue("tid", tid[name]);
+    w.BeginObject("args");
+    w.KeyValue("name", name);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const auto& entry : result.timeline) {
+    const int core = entry.resource == sim::ResourceKind::kDma ? -1 : entry.core;
+    const std::string lane = LaneName({entry.resource, core});
+    w.BeginObject();
+    w.KeyValue("name", entry.name.empty() ? lane : entry.name);
+    w.KeyValue("cat", std::string(sim::ResourceKindName(entry.resource)));
+    w.KeyValue("ph", "X");
+    w.KeyValue("ts", static_cast<double>(entry.start) * us_per_cycle);
+    w.KeyValue("dur", static_cast<double>(entry.end - entry.start) * us_per_cycle);
+    w.KeyValue("pid", 0);
+    w.KeyValue("tid", tid[lane]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KeyValue("displayTimeUnit", "ns");
+  w.EndObject();
+  return w.Take();
+}
+
+std::string TimelineCsv(const sim::SimResult& result) {
+  MAS_CHECK(!result.timeline.empty())
+      << "timeline empty — simulate with record_timeline = true";
+  std::string out = "name,resource,core,start_cycle,end_cycle,duration\n";
+  for (const auto& e : result.timeline) {
+    std::string name = e.name;
+    for (char& c : name) {
+      if (c == ',') c = ';';  // keep the CSV single-quoted-free
+    }
+    out += name + ',' + sim::ResourceKindName(e.resource) + ',' + std::to_string(e.core) +
+           ',' + std::to_string(e.start) + ',' + std::to_string(e.end) + ',' +
+           std::to_string(e.end - e.start) + '\n';
+  }
+  return out;
+}
+
+TimelineSummary Summarize(const sim::SimResult& result) {
+  const auto lanes = GroupLanes(result);
+  TimelineSummary summary;
+  summary.makespan = result.cycles;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> mac_spans, vec_spans;
+  for (const auto& [key, entries] : lanes) {
+    LaneSummary lane;
+    lane.resource = sim::ResourceKindName(key.kind);
+    lane.core = std::max(key.core, 0);
+    lane.first_start = entries.front()->start;
+    for (const auto* e : entries) {
+      lane.busy_cycles += e->end - e->start;
+      ++lane.task_count;
+      lane.first_start = std::min(lane.first_start, e->start);
+      lane.last_end = std::max(lane.last_end, e->end);
+      if (key.kind == sim::ResourceKind::kMac) mac_spans.push_back({e->start, e->end});
+      if (key.kind == sim::ResourceKind::kVec) vec_spans.push_back({e->start, e->end});
+    }
+    lane.utilization = summary.makespan > 0
+                           ? static_cast<double>(lane.busy_cycles) / summary.makespan
+                           : 0.0;
+    summary.lanes.push_back(std::move(lane));
+  }
+
+  // MAC/VEC overlap: cycles covered by both kinds. Computed as
+  // covered(MAC) + covered(VEC) - covered(MAC ∪ VEC).
+  const std::uint64_t mac_cov = CoveredCycles(mac_spans);
+  const std::uint64_t vec_cov = CoveredCycles(vec_spans);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> both = mac_spans;
+  both.insert(both.end(), vec_spans.begin(), vec_spans.end());
+  const std::uint64_t union_cov = CoveredCycles(std::move(both));
+  summary.mac_vec_overlap_cycles = mac_cov + vec_cov - union_cov;
+  return summary;
+}
+
+std::string TimelineSummary::ToString() const {
+  std::string out = "makespan: " + std::to_string(makespan) + " cycles\n";
+  for (const auto& lane : lanes) {
+    std::string name = lane.resource + std::to_string(lane.core);
+    if (lane.resource == "DMA") name = lane.resource;
+    name.resize(6, ' ');
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s busy %10llu cyc (%5.1f%%)  tasks %6llu  span [%llu, %llu)\n",
+                  name.c_str(), static_cast<unsigned long long>(lane.busy_cycles),
+                  100.0 * lane.utilization, static_cast<unsigned long long>(lane.task_count),
+                  static_cast<unsigned long long>(lane.first_start),
+                  static_cast<unsigned long long>(lane.last_end));
+    out += buf;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "MAC/VEC overlap: %llu cycles (%.1f%% of makespan)\n",
+                static_cast<unsigned long long>(mac_vec_overlap_cycles),
+                makespan > 0 ? 100.0 * static_cast<double>(mac_vec_overlap_cycles) /
+                                   static_cast<double>(makespan)
+                             : 0.0);
+  out += buf;
+  return out;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MAS_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  MAS_CHECK(out.good()) << "write to '" << path << "' failed";
+}
+
+}  // namespace mas::trace

@@ -1,0 +1,123 @@
+#include "training/backward_kernels.h"
+
+#include "common/status.h"
+#include "kernels/attention_kernels.h"
+
+namespace mas::training {
+
+namespace {
+
+// C += A (elementwise accumulate; shapes must match).
+void Accumulate(TensorF& into, const TensorF& from) {
+  MAS_CHECK(into.shape() == from.shape()) << "accumulate shape mismatch";
+  for (std::int64_t i = 0; i < into.elements(); ++i) {
+    into.data()[i] += from.data()[i];
+  }
+}
+
+// Batched transpose of the last two dims: (B,H,M,N) -> (B,H,N,M).
+TensorF TransposeLast2(const TensorF& a) {
+  const Shape4& s = a.shape();
+  TensorF out(s.b, s.h, s.e, s.n);
+  for (std::int64_t b = 0; b < s.b; ++b)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t m = 0; m < s.n; ++m)
+        for (std::int64_t n = 0; n < s.e; ++n) out.at(b, h, n, m) = a.at(b, h, m, n);
+  return out;
+}
+
+}  // namespace
+
+TensorF SoftmaxBackwardRows(const TensorF& p, const TensorF& dp) {
+  const Shape4& s = p.shape();
+  MAS_CHECK(dp.shape() == s) << "P/dP shape mismatch";
+  TensorF dc(s);
+  for (std::int64_t b = 0; b < s.b; ++b)
+    for (std::int64_t h = 0; h < s.h; ++h)
+      for (std::int64_t m = 0; m < s.n; ++m) {
+        // rowdot = Σ_k dP_mk * P_mk — the Jacobian's rank-one correction.
+        double rowdot = 0.0;
+        for (std::int64_t n = 0; n < s.e; ++n) {
+          rowdot += static_cast<double>(dp.at(b, h, m, n)) * p.at(b, h, m, n);
+        }
+        for (std::int64_t n = 0; n < s.e; ++n) {
+          dc.at(b, h, m, n) =
+              p.at(b, h, m, n) * (dp.at(b, h, m, n) - static_cast<float>(rowdot));
+        }
+      }
+  return dc;
+}
+
+AttentionGrads ReferenceAttentionBackward(const TensorF& q, const TensorF& k,
+                                          const TensorF& v, const TensorF& dout) {
+  const Shape4& sq = q.shape();
+  const Shape4& skv = k.shape();
+  MAS_CHECK(v.shape() == skv) << "K/V shape mismatch";
+  MAS_CHECK(dout.shape() == sq) << "dO must match Q/O shape";
+
+  const TensorF c = MatMulTransposed(q, k);   // (B,H,N,Nkv)
+  const TensorF p = SoftmaxRows(c);
+  AttentionGrads grads;
+  grads.dv = MatMul(TransposeLast2(p), dout);        // Pᵀ dO  : (B,H,Nkv,E)
+  const TensorF dp = MatMulTransposed(dout, v);      // dO Vᵀ  : (B,H,N,Nkv)
+  const TensorF dc = SoftmaxBackwardRows(p, dp);
+  grads.dq = MatMul(dc, k);                          // dC K   : (B,H,N,E)
+  grads.dk = MatMul(TransposeLast2(dc), q);          // dCᵀ Q  : (B,H,Nkv,E)
+  return grads;
+}
+
+AttentionGrads TiledAttentionBackward(const TensorF& q, const TensorF& k, const TensorF& v,
+                                      const TensorF& dout, std::int64_t nq_block,
+                                      std::int64_t nkv_block) {
+  MAS_CHECK(nq_block >= 1 && nkv_block >= 1) << "invalid backward tiling";
+  const Shape4& sq = q.shape();
+  const Shape4& skv = k.shape();
+  MAS_CHECK(v.shape() == skv) << "K/V shape mismatch";
+  MAS_CHECK(dout.shape() == sq) << "dO must match Q/O shape";
+
+  AttentionGrads grads;
+  grads.dq = TensorF(sq);
+  grads.dk = TensorF(skv);
+  grads.dv = TensorF(skv);
+
+  for (std::int64_t n0 = 0; n0 < sq.n; n0 += nq_block) {
+    const std::int64_t nl = std::min(nq_block, sq.n - n0);
+    const TensorF q_i = q.Slice(0, sq.b, 0, sq.h, n0, nl, 0, sq.e);
+    const TensorF do_i = dout.Slice(0, sq.b, 0, sq.h, n0, nl, 0, sq.e);
+    // Recompute C_i / P_i from Q_i and K (FlashAttention-style backward: the
+    // N x Nkv score strips never survive the forward pass on-chip budgets).
+    const TensorF c_i = TiledQKT(q_i, k, nkv_block);
+    const TensorF p_i = TiledSoftmax(c_i);
+    Accumulate(grads.dv, MatMul(TransposeLast2(p_i), do_i));
+    const TensorF dp_i = MatMulTransposed(do_i, v);
+    const TensorF dc_i = SoftmaxBackwardRows(p_i, dp_i);
+    grads.dq.Place(TiledPV(dc_i, k, nkv_block), 0, 0, n0, 0);  // dQ_i = dC_i K
+    Accumulate(grads.dk, MatMul(TransposeLast2(dc_i), q_i));
+  }
+  return grads;
+}
+
+double NumericalGradient(const TensorF& q, const TensorF& k, const TensorF& v,
+                         const TensorF& seed, int which, std::int64_t b, std::int64_t h,
+                         std::int64_t n, std::int64_t e, float epsilon) {
+  MAS_CHECK(which >= 0 && which <= 2) << "which must be 0 (Q), 1 (K) or 2 (V)";
+  auto loss = [&](const TensorF& qq, const TensorF& kk, const TensorF& vv) {
+    const TensorF o = ReferenceAttention(qq, kk, vv);
+    MAS_CHECK(o.shape() == seed.shape()) << "seed must match O shape";
+    double total = 0.0;
+    for (std::int64_t i = 0; i < o.elements(); ++i) {
+      total += static_cast<double>(o.data()[i]) * seed.data()[i];
+    }
+    return total;
+  };
+  TensorF qp = q, kp = k, vp = v;
+  TensorF& target = which == 0 ? qp : which == 1 ? kp : vp;
+  const float original = target.at(b, h, n, e);
+  target.at(b, h, n, e) = original + epsilon;
+  const double up = loss(qp, kp, vp);
+  target.at(b, h, n, e) = original - epsilon;
+  const double down = loss(qp, kp, vp);
+  return (up - down) / (2.0 * epsilon);
+}
+
+}  // namespace mas::training

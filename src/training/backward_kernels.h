@@ -1,0 +1,54 @@
+// Functional numerics for the attention backward pass (paper §6 future
+// work: "extend MAS-Attention to support training").
+//
+// Forward:   C = QKᵀ,  P = softmax(C) row-wise,  O = PV.
+// Backward, given dO (the gradient of the loss w.r.t. O):
+//   dV = Pᵀ · dO
+//   dP = dO · Vᵀ
+//   dC = P ∘ (dP − rowsum(dP ∘ P))        (softmax Jacobian, row-wise)
+//   dQ = dC · K
+//   dK = dCᵀ · Q
+//
+// On a memory-constrained edge device the N×N matrices C and P cannot be
+// kept from the forward pass; like FlashAttention's backward, the schedulers
+// in backward_scheduler.h *recompute* C and P per row block from Q and K,
+// which these kernels also provide as the reference decomposition.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace mas::training {
+
+// Gradients of the three attention inputs.
+struct AttentionGrads {
+  TensorF dq;  // (B,H,N,E)
+  TensorF dk;  // (B,H,Nkv,E)
+  TensorF dv;  // (B,H,Nkv,E)
+};
+
+// Row-wise softmax backward: given P = softmax(C) and dP, returns
+// dC = P ∘ (dP − rowsum(dP ∘ P)).
+TensorF SoftmaxBackwardRows(const TensorF& p, const TensorF& dp);
+
+// Reference attention backward. Q: (B,H,N,E); K, V: (B,H,Nkv,E);
+// dout: (B,H,N,E). Recomputes P internally.
+AttentionGrads ReferenceAttentionBackward(const TensorF& q, const TensorF& k,
+                                          const TensorF& v, const TensorF& dout);
+
+// Tiled backward over query row blocks (the decomposition both backward
+// schedulers execute): per row block, recompute C_i and P_i, then accumulate
+// dV += P_iᵀ dO_i, dK += dC_iᵀ Q_i and produce dQ_i = dC_i K.
+// Numerically identical to ReferenceAttentionBackward up to accumulation
+// order.
+AttentionGrads TiledAttentionBackward(const TensorF& q, const TensorF& k, const TensorF& v,
+                                      const TensorF& dout, std::int64_t nq_block,
+                                      std::int64_t nkv_block);
+
+// Finite-difference gradient of a scalar loss L = sum(O ∘ seed) w.r.t. one
+// input element, for gradient checking. `which` selects the tensor: 0 = Q,
+// 1 = K, 2 = V.
+double NumericalGradient(const TensorF& q, const TensorF& k, const TensorF& v,
+                         const TensorF& seed, int which, std::int64_t b, std::int64_t h,
+                         std::int64_t n, std::int64_t e, float epsilon = 1e-3f);
+
+}  // namespace mas::training

@@ -1,0 +1,307 @@
+#include "training/backward_scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math_util.h"
+#include "schedulers/builder.h"
+#include "schedulers/common.h"
+
+namespace mas::training {
+
+using detail::RowBlock;
+using detail::ScheduleBuilder;
+using sim::TaskId;
+
+const char* BackwardMethodName(BackwardMethod method) {
+  switch (method) {
+    case BackwardMethod::kSequential: return "Backward-Sequential";
+    case BackwardMethod::kStream: return "Backward-Stream";
+  }
+  return "?";
+}
+
+namespace {
+
+// Per-block on-chip footprint pieces (bytes).
+struct BackwardBytes {
+  std::int64_t q = 0;        // Q_i (dO_i and dQ_i are the same size)
+  std::int64_t strip = 0;    // one score-sized strip (C_i/P_i or dP_i/dC_i)
+  std::int64_t kv_group = 0; // K (or V, or a dK/dV accumulator) per group
+  std::int64_t kv_tile = 0;  // one streamed K/V sub-block
+};
+
+BackwardBytes ComputeBytes(const AttentionShape& shape, const TilingConfig& tiling,
+                           const sim::HardwareConfig& hw) {
+  const detail::BlockBytes fwd = detail::ComputeBlockBytes(shape, tiling, hw);
+  BackwardBytes bytes;
+  bytes.q = fwd.q;
+  bytes.strip = fwd.c;
+  bytes.kv_group = fwd.kv_group;
+  bytes.kv_tile = fwd.kv_tile;
+  return bytes;
+}
+
+// Q_i, dO_i, dQ_i (double-buffered) + the dK/dV accumulators, which must
+// stay resident for the whole (batch, head) group.
+std::int64_t StagingBytes(const BackwardBytes& bytes) {
+  return 6 * bytes.q + 2 * bytes.kv_group;
+}
+
+// `blocks_in_flight` = 1 for the sequential chain, 2 for the stream pipeline
+// (block i's strips coexist with block i±1's). Each in-flight block holds
+// two strips: C_i/P_i (softmax in place) and dP_i/dC_i (backward in place).
+std::int64_t MinFootprint(const BackwardBytes& bytes, int blocks_in_flight) {
+  return StagingBytes(bytes) + blocks_in_flight * 2 * bytes.strip + 4 * bytes.kv_tile;
+}
+
+bool CanResideKv(const BackwardBytes& bytes, int blocks_in_flight, std::int64_t budget) {
+  return StagingBytes(bytes) + blocks_in_flight * 2 * bytes.strip + 2 * bytes.kv_group <=
+         budget;
+}
+
+std::int64_t ActiveCores(const std::vector<std::vector<RowBlock>>& shards) {
+  std::int64_t active = 0;
+  for (const auto& s : shards) {
+    if (!s.empty()) ++active;
+  }
+  return std::max<std::int64_t>(active, 1);
+}
+
+// Emits the task graph for one core's shard. The `stream` flag selects the
+// MAS-style software pipeline; with it off, every block's chain is fully
+// ordered through the in-order queues (FLAT-style).
+class BackwardPipeline {
+ public:
+  BackwardPipeline(ScheduleBuilder& b, const AttentionShape& shape,
+                   const TilingConfig& tiling, const sim::HardwareConfig& hw, int core,
+                   std::int64_t budget, const std::vector<RowBlock>& blocks, bool stream)
+      : b_(b),
+        shape_(shape),
+        tiling_(tiling),
+        hw_(hw),
+        core_(core),
+        blocks_(blocks),
+        stream_(stream),
+        bytes_(ComputeBytes(shape, tiling, hw)),
+        resident_(CanResideKv(bytes_, stream ? 2 : 1, budget)) {}
+
+  void Run() {
+    const std::int64_t tr = static_cast<std::int64_t>(blocks_.size());
+    if (tr == 0) return;
+    if (!stream_ || tr == 1) {
+      for (std::int64_t i = 0; i < tr; ++i) {
+        EmitFront(i);
+        EmitVecChain(i);
+        EmitBack(i);
+      }
+      FlushGroupStores();
+      return;
+    }
+    // Stream pipeline (Alg. 1 generalized): front half of block i+1 runs on
+    // the MAC unit while the VEC unit processes block i; the gradient
+    // MatMuls of block i-1 fill the remaining MAC slots.
+    EmitFront(0);
+    EmitVecChain(0);
+    for (std::int64_t i = 1; i < tr; ++i) {
+      EmitFront(i);      // MAC: C_i, dP_i — overlaps VEC chain of i-1
+      EmitVecChain(i);   // VEC: S_i, dsoftmax_i
+      EmitBack(i - 1);   // MAC: dQ/dV/dK of i-1 — overlaps VEC chain of i
+    }
+    EmitBack(tr - 1);
+    FlushGroupStores();
+  }
+
+ private:
+  struct IterState {
+    TaskId c_mac = sim::kNoTask;
+    TaskId dp_mac = sim::kNoTask;
+    TaskId vec_soft = sim::kNoTask;
+    TaskId vec_dsoft = sim::kNoTask;
+    TaskId q_load = sim::kNoTask;
+    TaskId do_load = sim::kNoTask;
+  };
+
+  // Loads for block i and the two front MatMuls (C_i, dP_i).
+  void EmitFront(std::int64_t i) {
+    const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
+    const std::int64_t eb = hw_.element_bytes;
+    const std::int64_t groups = rb.groups();
+    if (rb.first_in_group() || k_dep_ == sim::kNoTask) {
+      EnterGroup(rb);
+    }
+    IterState it;
+    it.q_load = b_.Dma("load Q_i", core_, groups * rb.rows() * shape_.embed * eb, true);
+    it.do_load = b_.Dma("load dO_i", core_, groups * rb.rows() * shape_.embed * eb, true);
+    std::vector<TaskId> c_deps = {it.q_load};
+    if (k_dep_ != sim::kNoTask) c_deps.push_back(k_dep_);
+    it.c_mac = b_.Mac("C_i = Q_i K^T (recompute)", core_, groups, rb.rows(), shape_.embed,
+                      shape_.kv(), std::move(c_deps));
+    std::vector<TaskId> dp_deps = {it.do_load};
+    if (v_dep_ != sim::kNoTask) dp_deps.push_back(v_dep_);
+    it.dp_mac = b_.Mac("dP_i = dO_i V^T", core_, groups, rb.rows(), shape_.embed,
+                       shape_.kv(), std::move(dp_deps));
+    iters_.push_back(it);
+  }
+
+  // The two VEC stages of block i. The sequential (FLAT-style) dataflow
+  // executes *stages* in order — the VEC stage starts only after the whole
+  // front MatMul stage (C_i and dP_i) finished — while the stream dataflow
+  // lets the softmax begin as soon as its own producer C_i is done.
+  void EmitVecChain(std::int64_t i) {
+    const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
+    auto& it = iters_[static_cast<std::size_t>(i)];
+    std::vector<TaskId> soft_deps = {it.c_mac};
+    if (!stream_) soft_deps.push_back(it.dp_mac);
+    it.vec_soft = b_.Vec("P_i = softmax(C_i)", core_, rb.groups(), rb.rows(), shape_.kv(),
+                         std::move(soft_deps));
+    // Softmax backward per element: two multiplies, a subtract and a fused
+    // row-sum fold — no exponentials, so it is much lighter than the forward
+    // softmax.
+    it.vec_dsoft = b_.VecElem("dC_i = P*(dP - rowdot)", core_,
+                              rb.groups() * rb.rows() * shape_.kv(), 4,
+                              {it.vec_soft, it.dp_mac});
+  }
+
+  // The three gradient MatMuls of block i and the dQ_i store.
+  void EmitBack(std::int64_t i) {
+    const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
+    const std::int64_t eb = hw_.element_bytes;
+    const std::int64_t groups = rb.groups();
+    auto& it = iters_[static_cast<std::size_t>(i)];
+
+    std::vector<TaskId> dq_deps = {it.vec_dsoft};
+    if (k_dep_ != sim::kNoTask) dq_deps.push_back(k_dep_);
+    const TaskId dq = b_.Mac("dQ_i = dC_i K", core_, groups, rb.rows(), shape_.kv(),
+                             shape_.embed, std::move(dq_deps));
+    b_.Dma("store dQ_i", core_, groups * rb.rows() * shape_.embed * eb, false, {dq});
+
+    // Accumulator updates chain on the previous accumulation of the group.
+    std::vector<TaskId> dv_deps = {it.vec_soft};
+    if (dv_chain_ != sim::kNoTask) dv_deps.push_back(dv_chain_);
+    dv_chain_ = b_.Mac("dV += P_i^T dO_i", core_, groups, shape_.kv(), rb.rows(),
+                       shape_.embed, std::move(dv_deps));
+    std::vector<TaskId> dk_deps = {it.vec_dsoft};
+    if (dk_chain_ != sim::kNoTask) dk_deps.push_back(dk_chain_);
+    dk_chain_ = b_.Mac("dK += dC_i^T Q_i", core_, groups, shape_.kv(), rb.rows(),
+                       shape_.embed, std::move(dk_deps));
+
+    const bool last_of_group =
+        static_cast<std::size_t>(i) + 1 == blocks_.size() ||
+        blocks_[static_cast<std::size_t>(i) + 1].first_in_group();
+    if (last_of_group) pending_group_rows_ = rb;
+  }
+
+  // Group transition: write the finished dK/dV accumulators back and load
+  // the next group's K and V (resident) or arm streaming.
+  void EnterGroup(const RowBlock& rb) {
+    FlushGroupStores();
+    const std::int64_t eb = hw_.element_bytes;
+    const std::int64_t kv_bytes = rb.groups() * shape_.kv() * shape_.embed * eb;
+    if (resident_) {
+      k_dep_ = b_.Dma("load K group", core_, kv_bytes, true);
+      v_dep_ = b_.Dma("load V group", core_, kv_bytes, true);
+    } else {
+      // Streamed: charge the per-block K/V traffic with the block MatMuls.
+      // For simplicity the whole-group bytes are issued as one streaming
+      // descriptor per use-site group (the cost model charges identical
+      // DRAM traffic; finer interleavings only shift start cycles).
+      k_dep_ = b_.Dma("stream K group", core_, kv_bytes, true);
+      v_dep_ = b_.Dma("stream V group", core_, kv_bytes, true);
+    }
+    group_rb_ = rb;
+    have_group_ = true;
+  }
+
+  void FlushGroupStores() {
+    if (!have_group_) return;
+    const std::int64_t eb = hw_.element_bytes;
+    const std::int64_t kv_bytes = group_rb_.groups() * shape_.kv() * shape_.embed * eb;
+    if (dk_chain_ != sim::kNoTask) {
+      b_.Dma("store dK group", core_, kv_bytes, false, {dk_chain_});
+    }
+    if (dv_chain_ != sim::kNoTask) {
+      b_.Dma("store dV group", core_, kv_bytes, false, {dv_chain_});
+    }
+    dk_chain_ = sim::kNoTask;
+    dv_chain_ = sim::kNoTask;
+  }
+
+  ScheduleBuilder& b_;
+  const AttentionShape& shape_;
+  const TilingConfig& tiling_;
+  const sim::HardwareConfig& hw_;
+  int core_;
+  const std::vector<RowBlock>& blocks_;
+  bool stream_;
+  BackwardBytes bytes_;
+  bool resident_;
+  std::vector<IterState> iters_;
+  TaskId k_dep_ = sim::kNoTask;
+  TaskId v_dep_ = sim::kNoTask;
+  TaskId dk_chain_ = sim::kNoTask;
+  TaskId dv_chain_ = sim::kNoTask;
+  RowBlock group_rb_;
+  RowBlock pending_group_rows_;
+  bool have_group_ = false;
+};
+
+class BackwardImpl final : public BackwardScheduler {
+ public:
+  explicit BackwardImpl(BackwardMethod method) : method_(method) {}
+
+  BackwardMethod method() const override { return method_; }
+
+  bool Fits(const AttentionShape& shape, const TilingConfig& tiling,
+            const sim::HardwareConfig& hw) const override {
+    tiling.Validate(shape);
+    const BackwardBytes bytes = ComputeBytes(shape, tiling, hw);
+    const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+    const auto shards = detail::ShardAcrossCores(blocks, hw);
+    const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+    return MinFootprint(bytes, method_ == BackwardMethod::kStream ? 2 : 1) <= budget;
+  }
+
+  sim::SimResult Simulate(const AttentionShape& shape, const TilingConfig& tiling,
+                          const sim::HardwareConfig& hw, const sim::EnergyModel& em,
+                          bool record_timeline) const override {
+    MAS_CHECK(Fits(shape, tiling, hw))
+        << "backward tiling does not fit: " << tiling.ToString();
+    ScheduleBuilder b(hw, em, record_timeline);
+    const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
+    const auto shards = detail::ShardAcrossCores(blocks, hw);
+    const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+    const int in_flight = method_ == BackwardMethod::kStream ? 2 : 1;
+    const BackwardBytes bytes = ComputeBytes(shape, tiling, hw);
+    for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
+      const auto& shard = shards[static_cast<std::size_t>(core)];
+      if (shard.empty()) continue;
+      BackwardPipeline pipeline(b, shape, tiling, hw, core, budget, shard,
+                                method_ == BackwardMethod::kStream);
+      pipeline.Run();
+    }
+    const std::int64_t peak =
+        StagingBytes(bytes) + in_flight * 2 * bytes.strip +
+        (CanResideKv(bytes, in_flight, budget) ? 2 * bytes.kv_group : 4 * bytes.kv_tile);
+    return b.Finish(peak);
+  }
+
+ private:
+  BackwardMethod method_;
+};
+
+}  // namespace
+
+AttentionGrads BackwardScheduler::Execute(const TensorF& q, const TensorF& k,
+                                          const TensorF& v, const TensorF& dout,
+                                          const TilingConfig& tiling) const {
+  // Both dataflows execute the identical tile decomposition; only the
+  // hardware schedule differs.
+  return TiledAttentionBackward(q, k, v, dout, tiling.nq, tiling.nkv);
+}
+
+std::unique_ptr<BackwardScheduler> MakeBackwardScheduler(BackwardMethod method) {
+  return std::make_unique<BackwardImpl>(method);
+}
+
+}  // namespace mas::training

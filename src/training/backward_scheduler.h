@@ -1,0 +1,72 @@
+// Backward-pass attention dataflows on the simulated edge accelerator —
+// the paper's §6 future-work direction, built on the same engine, cost
+// model and tiling machinery as the forward schedulers.
+//
+// Per query row block i the backward pass executes (recompute style):
+//
+//   MAC: C_i   = Q_i Kᵀ               (recompute, forward strips don't survive)
+//   VEC: P_i   = softmax(C_i)
+//   MAC: dP_i  = dO_i Vᵀ              (independent of P_i!)
+//   VEC: dC_i  = P_i ∘ (dP_i − rowsum(dP_i ∘ P_i))
+//   MAC: dQ_i  = dC_i K
+//   MAC: dV   += P_iᵀ dO_i
+//   MAC: dK   += dC_iᵀ Q_i
+//
+// Two schedulers:
+//  * kSequential — FLAT-style: the chain runs in order; the MAC unit idles
+//    during the two VEC stages and vice versa.
+//  * kStream     — MAS-style semi-synchronous pipeline: while the VEC unit
+//    softmaxes / backpropagates row block i, the MAC unit runs the
+//    independent MatMuls of neighbouring blocks (C_{i+1}, dP_{i+1} and the
+//    dQ/dV/dK of block i−1), mirroring Algorithm 1's warm-up / regular /
+//    finalize rounds.
+//
+// The backward pass has five MatMuls per block against two VEC stages, so
+// the MAC:VEC work ratio is higher than forward — the stream pipeline still
+// wins, but by less; bench_training_backward quantifies this.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dataflow/attention_shape.h"
+#include "sim/energy_model.h"
+#include "sim/engine.h"
+#include "sim/hardware_config.h"
+#include "training/backward_kernels.h"
+
+namespace mas::training {
+
+enum class BackwardMethod {
+  kSequential = 0,
+  kStream = 1,
+};
+
+const char* BackwardMethodName(BackwardMethod method);
+
+class BackwardScheduler {
+ public:
+  virtual ~BackwardScheduler() = default;
+
+  virtual BackwardMethod method() const = 0;
+  std::string name() const { return BackwardMethodName(method()); }
+
+  // On-chip feasibility: staging + score strips (2 per in-flight block) +
+  // resident-or-streamed K/V + the dK/dV accumulators.
+  virtual bool Fits(const AttentionShape& shape, const TilingConfig& tiling,
+                    const sim::HardwareConfig& hw) const = 0;
+
+  // Simulates one attention layer's backward pass.
+  virtual sim::SimResult Simulate(const AttentionShape& shape, const TilingConfig& tiling,
+                                  const sim::HardwareConfig& hw, const sim::EnergyModel& em,
+                                  bool record_timeline = false) const = 0;
+
+  // Functional twin (same tile decomposition; golden-checked against
+  // ReferenceAttentionBackward).
+  AttentionGrads Execute(const TensorF& q, const TensorF& k, const TensorF& v,
+                         const TensorF& dout, const TilingConfig& tiling) const;
+};
+
+std::unique_ptr<BackwardScheduler> MakeBackwardScheduler(BackwardMethod method);
+
+}  // namespace mas::training

@@ -1,0 +1,130 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace mas::cli {
+namespace {
+
+TEST(ArgParser, DefaultsSurviveEmptyArgv) {
+  ArgParser parser("test");
+  const std::string* s = parser.AddString("name", "fallback", "h");
+  const std::int64_t* i = parser.AddInt("count", 7, "h");
+  const double* d = parser.AddDouble("rate", 1.5, "h");
+  const bool* b = parser.AddBool("verbose", false, "h");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv));
+  EXPECT_EQ(*s, "fallback");
+  EXPECT_EQ(*i, 7);
+  EXPECT_DOUBLE_EQ(*d, 1.5);
+  EXPECT_FALSE(*b);
+}
+
+TEST(ArgParser, EqualsForm) {
+  ArgParser parser("test");
+  const std::string* s = parser.AddString("name", "", "h");
+  const std::int64_t* i = parser.AddInt("count", 0, "h");
+  const char* argv[] = {"prog", "--name=abc", "--count=42"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_EQ(*s, "abc");
+  EXPECT_EQ(*i, 42);
+}
+
+TEST(ArgParser, SpaceForm) {
+  ArgParser parser("test");
+  const std::string* s = parser.AddString("name", "", "h");
+  const double* d = parser.AddDouble("rate", 0.0, "h");
+  const char* argv[] = {"prog", "--name", "xyz", "--rate", "2.25"};
+  ASSERT_TRUE(parser.Parse(5, argv));
+  EXPECT_EQ(*s, "xyz");
+  EXPECT_DOUBLE_EQ(*d, 2.25);
+}
+
+TEST(ArgParser, BareBoolSetsTrue) {
+  ArgParser parser("test");
+  const bool* b = parser.AddBool("verbose", false, "h");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_TRUE(*b);
+}
+
+TEST(ArgParser, ExplicitBoolValues) {
+  ArgParser parser("test");
+  const bool* a = parser.AddBool("a", false, "h");
+  const bool* b = parser.AddBool("b", true, "h");
+  const char* argv[] = {"prog", "--a=true", "--b=false"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+  ArgParser parser("test");
+  parser.AddInt("n", 0, "h");
+  const char* argv[] = {"prog", "first", "--n=1", "second"};
+  ASSERT_TRUE(parser.Parse(4, argv));
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  ArgParser parser("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(parser.Parse(2, argv), Error);
+}
+
+TEST(ArgParser, MalformedIntThrows) {
+  ArgParser parser("test");
+  parser.AddInt("n", 0, "h");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(parser.Parse(2, argv), Error);
+}
+
+TEST(ArgParser, MalformedBoolThrows) {
+  ArgParser parser("test");
+  parser.AddBool("b", false, "h");
+  const char* argv[] = {"prog", "--b=maybe"};
+  EXPECT_THROW(parser.Parse(2, argv), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser parser("test");
+  parser.AddInt("n", 0, "h");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(parser.Parse(2, argv), Error);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser parser("test");
+  parser.AddInt("n", 0, "h");
+  EXPECT_THROW(parser.AddString("n", "", "h"), Error);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser("test");
+  parser.AddInt("n", 0, "h");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.Parse(2, argv));
+}
+
+TEST(ArgParser, UsageListsFlagsAndDefaults) {
+  ArgParser parser("my tool");
+  parser.AddInt("iterations", 10, "how many iterations");
+  parser.AddString("mode", "fast", "run mode");
+  const std::string usage = parser.Usage("tool");
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--iterations"), std::string::npos);
+  EXPECT_NE(usage.find("how many iterations"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+  EXPECT_NE(usage.find("--mode"), std::string::npos);
+  EXPECT_NE(usage.find("default: fast"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeIntAccepted) {
+  ArgParser parser("test");
+  const std::int64_t* n = parser.AddInt("n", 0, "h");
+  const char* argv[] = {"prog", "--n=-5"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_EQ(*n, -5);
+}
+
+}  // namespace
+}  // namespace mas::cli

@@ -1,0 +1,153 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "sim/hardware_config.h"
+
+namespace mas::sim {
+namespace {
+
+class CostModelTest : public testing::Test {
+ protected:
+  HardwareConfig hw_ = EdgeSimConfig();
+  EnergyModel em_;
+  CostModel cm_{hw_, em_};
+};
+
+TEST_F(CostModelTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(256), 8);
+  EXPECT_EQ(Log2Ceil(257), 9);
+  EXPECT_THROW(Log2Ceil(0), Error);
+}
+
+TEST_F(CostModelTest, MacTileCyclesMatchArrayModel) {
+  // 32x64x32 on a 16x16 output-stationary array: 2*2 output tiles, each
+  // accumulating over k=64 cycles, plus the fixed setup.
+  const TaskCost c = cm_.MacTile(1, 32, 64, 32, 0);
+  const auto& core = hw_.cores[0];
+  EXPECT_EQ(c.cycles, static_cast<std::uint64_t>(2 * 2 * 64 + core.mac_setup_cycles));
+}
+
+TEST_F(CostModelTest, MacTileRoundsUpPartialTiles) {
+  // m=17 needs 2 row passes; n=1 needs 1 column pass.
+  const TaskCost c = cm_.MacTile(1, 17, 8, 1, 0);
+  const auto& core = hw_.cores[0];
+  EXPECT_EQ(c.cycles, static_cast<std::uint64_t>(2 * 1 * 8 + core.mac_setup_cycles));
+}
+
+TEST_F(CostModelTest, MacTileGroupsScaleLinearly) {
+  const TaskCost one = cm_.MacTile(1, 16, 16, 16, 0);
+  const TaskCost four = cm_.MacTile(4, 16, 16, 16, 0);
+  const auto setup = static_cast<std::uint64_t>(hw_.cores[0].mac_setup_cycles);
+  EXPECT_EQ(four.cycles - setup, 4 * (one.cycles - setup));
+  EXPECT_DOUBLE_EQ(four.energy.mac_pe_pj, 4 * one.energy.mac_pe_pj);
+}
+
+TEST_F(CostModelTest, MacEnergyCountsRealOpsNotPadding) {
+  // PE energy is schedule-invariant (paper §5.3.3): a ragged 17x8x1 tile
+  // charges exactly 17*8*1 MAC ops even though the array is underutilized.
+  const TaskCost c = cm_.MacTile(1, 17, 8, 1, 0);
+  EXPECT_DOUBLE_EQ(c.energy.mac_pe_pj, em_.MacOps(17 * 8 * 1));
+}
+
+TEST_F(CostModelTest, VecSoftmaxCyclesMatchPassModel) {
+  const auto& core = hw_.cores[0];
+  const std::int64_t row_len = 512;
+  const TaskCost c = cm_.VecSoftmax(1, 1, row_len, 0);
+  const std::int64_t chunks = (row_len + core.vec_lanes - 1) / core.vec_lanes;
+  const std::int64_t per_row =
+      chunks * core.SoftmaxLaneCostPerElement() + 2 * Log2Ceil(core.vec_lanes);
+  EXPECT_EQ(c.cycles, static_cast<std::uint64_t>(per_row + core.vec_setup_cycles));
+}
+
+TEST_F(CostModelTest, VecSoftmaxRowsScaleLinearly) {
+  const auto setup = static_cast<std::uint64_t>(hw_.cores[0].vec_setup_cycles);
+  const TaskCost one = cm_.VecSoftmax(1, 1, 256, 0);
+  const TaskCost eight = cm_.VecSoftmax(2, 4, 256, 0);
+  EXPECT_EQ(eight.cycles - setup, 8 * (one.cycles - setup));
+}
+
+TEST_F(CostModelTest, VecSoftmaxExtraOpsIncreaseCost) {
+  const TaskCost base = cm_.VecSoftmax(1, 4, 256, 0);
+  const TaskCost extra = cm_.VecSoftmax(1, 4, 256, 0, /*extra_lane_ops_per_elem=*/8);
+  EXPECT_GT(extra.cycles, base.cycles);
+  EXPECT_GT(extra.energy.vec_pe_pj, base.energy.vec_pe_pj);
+}
+
+TEST_F(CostModelTest, VecElementwiseZeroIsFree) {
+  EXPECT_EQ(cm_.VecElementwise(0, 4, 0).cycles, 0u);
+  EXPECT_EQ(cm_.VecElementwise(100, 0, 0).cycles, 0u);
+}
+
+TEST_F(CostModelTest, DmaBandwidthModel) {
+  // Edge config: 30 GB/s at 3.75 GHz = 8 B/cycle.
+  const TaskCost c = cm_.Dma(8000, true);
+  EXPECT_EQ(c.cycles, static_cast<std::uint64_t>(1000 + hw_.dma_setup_cycles));
+  EXPECT_EQ(c.dram_read_bytes, 8000);
+  EXPECT_EQ(c.dram_write_bytes, 0);
+}
+
+TEST_F(CostModelTest, DmaWriteDirection) {
+  const TaskCost c = cm_.Dma(64, false);
+  EXPECT_EQ(c.dram_read_bytes, 0);
+  EXPECT_EQ(c.dram_write_bytes, 64);
+}
+
+TEST_F(CostModelTest, DmaZeroBytesIsBarrier) {
+  const TaskCost c = cm_.Dma(0, true);
+  EXPECT_EQ(c.cycles, 0u);
+  EXPECT_EQ(c.dram_read_bytes, 0);
+  EXPECT_DOUBLE_EQ(c.energy.total_pj(), 0.0);
+}
+
+TEST_F(CostModelTest, DmaEnergyChargesDramAndL1) {
+  const TaskCost c = cm_.Dma(1000, true);
+  EXPECT_DOUBLE_EQ(c.energy.dram_pj, em_.DramTraffic(1000));
+  EXPECT_DOUBLE_EQ(c.energy.l1_pj, em_.L1Traffic(1000));
+  EXPECT_DOUBLE_EQ(c.energy.l0_pj, 0.0);
+}
+
+TEST_F(CostModelTest, L1ShuffleEnergyOnly) {
+  const TaskCost c = cm_.L1Shuffle(500);
+  EXPECT_EQ(c.cycles, 0u);
+  EXPECT_DOUBLE_EQ(c.energy.l1_pj, em_.L1Traffic(1000));  // read + write
+}
+
+TEST_F(CostModelTest, HeterogeneousCoresDiffer) {
+  const HardwareConfig npu = DavinciNpuConfig();
+  const CostModel cm(npu, em_);
+  // Ascend Tiny (core 2, 8x8 array) needs 4x the passes of a Lite core.
+  const TaskCost lite = cm.MacTile(1, 32, 16, 32, 0);
+  const TaskCost tiny = cm.MacTile(1, 32, 16, 32, 2);
+  EXPECT_GT(tiny.cycles, lite.cycles);
+  // PE energy identical (same real ops).
+  EXPECT_DOUBLE_EQ(tiny.energy.mac_pe_pj, lite.energy.mac_pe_pj);
+}
+
+TEST_F(CostModelTest, InvalidArgsRejected) {
+  EXPECT_THROW(cm_.MacTile(0, 1, 1, 1, 0), mas::Error);
+  EXPECT_THROW(cm_.MacTile(1, 0, 1, 1, 0), mas::Error);
+  EXPECT_THROW(cm_.VecSoftmax(1, 0, 1, 0), mas::Error);
+  EXPECT_THROW(cm_.Dma(-1, true), mas::Error);
+  EXPECT_THROW(cm_.L1Shuffle(-1), mas::Error);
+}
+
+TEST_F(CostModelTest, EnergyBreakdownSumsComponents) {
+  EnergyBreakdown e;
+  e.dram_pj = 1;
+  e.l1_pj = 2;
+  e.l0_pj = 3;
+  e.mac_pe_pj = 4;
+  e.vec_pe_pj = 5;
+  EXPECT_DOUBLE_EQ(e.total_pj(), 15.0);
+  EnergyBreakdown f = e;
+  f += e;
+  EXPECT_DOUBLE_EQ(f.total_pj(), 30.0);
+}
+
+}  // namespace
+}  // namespace mas::sim

@@ -1,0 +1,207 @@
+// Cross-attention (N_kv != N) and autoregressive-decode (N = 1) coverage.
+//
+// The paper evaluates square self-attention; this library additionally
+// supports rectangular score matrices: SD-UNet text conditioning
+// (N_kv = 77 prompt tokens) and decode against a KV cache (one query row).
+// These tests pin down (a) the shape accessors, (b) functional correctness
+// of every scheduler's twin on rectangular shapes, and (c) simulator
+// invariants that must continue to hold when K/V and Q lengths diverge.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataflow/workloads.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+#include "tensor/tensor.h"
+
+namespace mas {
+namespace {
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+sim::EnergyModel Em() { return sim::EnergyModel{}; }
+
+TEST(CrossShape, KvDefaultsToSeqLen) {
+  const AttentionShape self{"self", 1, 4, 128, 32};
+  EXPECT_EQ(self.kv(), 128);
+  EXPECT_EQ(self.TotalMacs(), 2 * 4 * 128 * 128 * 32);
+  EXPECT_EQ(self.ScoreElements(), 4 * 128 * 128);
+}
+
+TEST(CrossShape, ExplicitKvLen) {
+  const AttentionShape cross{"cross", 1, 4, 128, 32, 77};
+  EXPECT_EQ(cross.kv(), 77);
+  EXPECT_EQ(cross.TotalMacs(), 2 * 4 * 128 * 77 * 32);
+  EXPECT_EQ(cross.ScoreElements(), 4 * 128 * 77);
+  EXPECT_EQ(cross.OperandBytes(2), 4 * 128 * 32 * 2);   // Q / O side
+  EXPECT_EQ(cross.KvOperandBytes(2), 4 * 77 * 32 * 2);  // K / V side
+}
+
+TEST(CrossShape, ToStringMentionsKvOnlyWhenSet) {
+  const AttentionShape self{"a", 1, 2, 64, 16};
+  const AttentionShape cross{"a", 1, 2, 64, 16, 48};
+  EXPECT_EQ(self.ToString().find("Nkv"), std::string::npos);
+  EXPECT_NE(cross.ToString().find("Nkv=48"), std::string::npos);
+}
+
+TEST(CrossShape, TilingValidatesAgainstKv) {
+  const AttentionShape cross{"cross", 1, 2, 128, 16, 48};
+  TilingConfig ok{1, 1, 64, 48};
+  ok.Validate(cross);  // nkv up to kv() is legal
+  const TilingConfig bad{1, 1, 64, 64};  // nkv beyond kv()
+  EXPECT_THROW(bad.Validate(cross), Error);
+}
+
+TEST(CrossShape, KvBlockCountUsesKvLen) {
+  const AttentionShape cross{"cross", 1, 2, 128, 16, 80};
+  const TilingConfig tiling{1, 1, 64, 32};
+  EXPECT_EQ(tiling.KvBlocks(cross), 3);  // ceil(80/32)
+  EXPECT_EQ(tiling.RowBlocks(cross), 2 * 2);
+}
+
+TEST(CrossKernels, ReferenceAttentionRectangular) {
+  Rng rng(7);
+  const std::int64_t nq = 24, nkv = 10, e = 8;
+  TensorF q(1, 2, nq, e), k(1, 2, nkv, e), v(1, 2, nkv, e);
+  FillUniform(q, rng);
+  FillUniform(k, rng);
+  FillUniform(v, rng);
+  const TensorF o = ReferenceAttention(q, k, v);
+  EXPECT_EQ(o.shape(), (Shape4{1, 2, nq, e}));
+  // Softmax rows sum to one: each output row is a convex combination of V
+  // rows, so it stays within V's column-wise min/max envelope.
+  for (std::int64_t h = 0; h < 2; ++h)
+    for (std::int64_t col = 0; col < e; ++col) {
+      float lo = v.at(0, h, 0, col), hi = lo;
+      for (std::int64_t r = 1; r < nkv; ++r) {
+        lo = std::min(lo, v.at(0, h, r, col));
+        hi = std::max(hi, v.at(0, h, r, col));
+      }
+      for (std::int64_t r = 0; r < nq; ++r) {
+        EXPECT_GE(o.at(0, h, r, col), lo - 1e-5f);
+        EXPECT_LE(o.at(0, h, r, col), hi + 1e-5f);
+      }
+    }
+}
+
+// Golden check for every scheduler twin on a rectangular (cross-attention)
+// shape, including non-divisor tilings.
+class CrossGolden : public testing::TestWithParam<Method> {};
+
+TEST_P(CrossGolden, MatchesReferenceOnCrossAttention) {
+  Rng rng(11);
+  const std::int64_t nq = 40, nkv = 18, e = 8;
+  TensorF q(1, 3, nq, e), k(1, 3, nkv, e), v(1, 3, nkv, e);
+  FillUniform(q, rng);
+  FillUniform(k, rng);
+  FillUniform(v, rng);
+  const TensorF ref = ReferenceAttention(q, k, v);
+  const auto sched = MakeScheduler(GetParam());
+  const TensorF o = sched->Execute(q, k, v, TilingConfig{1, 2, 16, 7});
+  EXPECT_LT(MaxAbsDiff(o, ref), 2e-5) << sched->name();
+}
+
+TEST_P(CrossGolden, MatchesReferenceOnDecode) {
+  Rng rng(13);
+  const std::int64_t ctx = 50, e = 16;
+  TensorF q(1, 4, 1, e), k(1, 4, ctx, e), v(1, 4, ctx, e);
+  FillUniform(q, rng);
+  FillUniform(k, rng);
+  FillUniform(v, rng);
+  const TensorF ref = ReferenceAttention(q, k, v);
+  const auto sched = MakeScheduler(GetParam());
+  const TensorF o = sched->Execute(q, k, v, TilingConfig{1, 2, 1, 16});
+  EXPECT_LT(MaxAbsDiff(o, ref), 2e-5) << sched->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CrossGolden, testing::ValuesIn(AllMethods()),
+                         [](const testing::TestParamInfo<Method>& info) {
+                           std::string name = MethodName(info.param);
+                           std::string out;
+                           for (char ch : name) {
+                             if (std::isalnum(static_cast<unsigned char>(ch))) out += ch;
+                           }
+                           return out;
+                         });
+
+TEST(CrossSim, AllMethodsSimulateCrossAttention) {
+  const AttentionShape shape{"xattn", 1, 4, 1024, 64, 77};
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    const TilingConfig tiling = search::AutoTile(*sched, shape, Hw(), Em());
+    const auto r = sched->Simulate(shape, tiling, Hw(), Em());
+    EXPECT_GT(r.cycles, 0u) << sched->name();
+    EXPECT_LE(r.peak_l1_bytes, Hw().l1_bytes) << sched->name();
+  }
+}
+
+TEST(CrossSim, DramWritesAreQuerySided) {
+  // O is (B,H,N,E) regardless of kv_len: fused methods write exactly that.
+  const AttentionShape shape{"xattn", 1, 4, 1024, 64, 77};
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto r =
+      mas->Simulate(shape, search::AutoTile(*mas, shape, Hw(), Em()), Hw(), Em());
+  EXPECT_EQ(r.dram_write_bytes, shape.OperandBytes(Hw().element_bytes));
+}
+
+TEST(CrossSim, ComputeFloorScalesWithKv) {
+  // Halving kv_len halves the MAC work; the simulated cycles of the compute-
+  // bound fused methods must drop accordingly (within scheduling slack).
+  const AttentionShape full{"x", 1, 8, 512, 64, 512};
+  const AttentionShape half{"x", 1, 8, 512, 64, 256};
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto r_full =
+      mas->Simulate(full, search::AutoTile(*mas, full, Hw(), Em()), Hw(), Em());
+  const auto r_half =
+      mas->Simulate(half, search::AutoTile(*mas, half, Hw(), Em()), Hw(), Em());
+  const double ratio = static_cast<double>(r_full.cycles) / r_half.cycles;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(CrossSim, DecodeWorkloadsSimulateAcrossContexts) {
+  for (const auto& w : DecodeWorkloads({256, 1024, 4096})) {
+    const auto mas = MakeScheduler(Method::kMas);
+    const TilingConfig tiling = search::AutoTile(*mas, w.shape, Hw(), Em());
+    const auto r = mas->Simulate(w.shape, tiling, Hw(), Em());
+    EXPECT_GT(r.cycles, 0u) << w.name;
+    // Decode writes one row per head.
+    EXPECT_EQ(r.dram_write_bytes, w.shape.OperandBytes(Hw().element_bytes)) << w.name;
+  }
+}
+
+TEST(CrossSim, DecodeIsDmaBound) {
+  // One query row against a long KV cache: arithmetic intensity collapses to
+  // O(1) MACs per K/V byte, so the DMA channel, not the MAC mesh, must be the
+  // bottleneck resource.
+  const auto w = DecodeWorkloads({4096}).front();
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto r =
+      mas->Simulate(w.shape, search::AutoTile(*mas, w.shape, Hw(), Em()), Hw(), Em());
+  EXPECT_GT(static_cast<double>(r.BusyCycles(sim::ResourceKind::kDma)),
+            0.5 * static_cast<double>(r.cycles));
+}
+
+TEST(CrossWorkloads, SdCrossAttentionInventory) {
+  const auto units = SdUnetCrossAttentionUnits();
+  int total = 0;
+  for (const auto& u : units) {
+    EXPECT_EQ(u.shape.kv(), 77) << u.shape.name;
+    EXPECT_GE(u.shape.seq_len, 64) << "latent side spans the resolution pyramid";
+    total += u.count;
+  }
+  // At the higher resolutions the latent (query) side dominates the prompt.
+  EXPECT_GT(units.front().shape.seq_len, units.front().shape.kv());
+  EXPECT_EQ(total, 15);  // one cross-attention per transformer block
+}
+
+TEST(CrossWorkloads, DecodeShapesAreSingleRow) {
+  for (const auto& w : DecodeWorkloads({128, 512})) {
+    EXPECT_EQ(w.shape.seq_len, 1);
+    EXPECT_GT(w.shape.kv(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace mas

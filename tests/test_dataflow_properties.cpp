@@ -1,0 +1,148 @@
+// Property sweeps over the tiling/dataflow machinery every scheduler builds
+// on: row-block enumeration must partition the iteration space exactly,
+// sharding must partition the blocks while keeping (batch, head) groups
+// whole, and the byte model must be monotone in the tile factors.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "schedulers/common.h"
+#include "sim/hardware_config.h"
+
+namespace mas::detail {
+namespace {
+
+struct Case {
+  AttentionShape shape;
+  TilingConfig tiling;
+};
+
+std::vector<Case> Cases() {
+  std::vector<Case> cases;
+  const std::vector<AttentionShape> shapes = {
+      {"square", 1, 4, 64, 16},          {"odd", 1, 3, 50, 16},
+      {"tall", 2, 2, 128, 8},            {"cross", 1, 4, 96, 16, 33},
+      {"decode", 1, 8, 1, 32, 77},       {"single", 1, 1, 7, 4},
+  };
+  const std::vector<TilingConfig> tilings = {
+      {1, 1, 1, 1}, {1, 2, 16, 8}, {1, 4, 64, 64}, {2, 1, 7, 5}, {1, 3, 33, 17},
+  };
+  for (const auto& shape : shapes) {
+    for (const auto& tiling : tilings) {
+      // Clamp factors into range (Validate requires it).
+      TilingConfig t = tiling;
+      t.bb = std::min(t.bb, shape.batch);
+      t.hh = std::min(t.hh, shape.heads);
+      t.nq = std::min(t.nq, shape.seq_len);
+      t.nkv = std::min(t.nkv, shape.kv());
+      cases.push_back({shape, t});
+    }
+  }
+  return cases;
+}
+
+class DataflowSweep : public testing::TestWithParam<Case> {};
+
+TEST_P(DataflowSweep, RowBlocksPartitionIterationSpace) {
+  const auto& [shape, tiling] = GetParam();
+  const auto blocks = EnumerateRowBlocks(shape, tiling);
+  EXPECT_EQ(static_cast<std::int64_t>(blocks.size()), tiling.RowBlocks(shape));
+
+  // Every (b, h, n) coordinate is covered by exactly one block.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>, int> covered;
+  for (const RowBlock& rb : blocks) {
+    EXPECT_GE(rb.bl, 1);
+    EXPECT_GE(rb.hl, 1);
+    EXPECT_GE(rb.nl, 1);
+    EXPECT_LE(rb.nl, tiling.nq);
+    for (std::int64_t b = rb.b0; b < rb.b0 + rb.bl; ++b)
+      for (std::int64_t h = rb.h0; h < rb.h0 + rb.hl; ++h)
+        for (std::int64_t n = rb.n0; n < rb.n0 + rb.nl; ++n) covered[{b, h, n}]++;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(covered.size()),
+            shape.batch * shape.heads * shape.seq_len);
+  for (const auto& [coord, count] : covered) {
+    ASSERT_EQ(count, 1);
+  }
+}
+
+TEST_P(DataflowSweep, KvBlocksPartitionKvAxis) {
+  const auto& [shape, tiling] = GetParam();
+  const auto kvs = EnumerateKvBlocks(shape, tiling);
+  EXPECT_EQ(static_cast<std::int64_t>(kvs.size()), tiling.KvBlocks(shape));
+  std::int64_t cursor = 0;
+  for (const KvBlock& kv : kvs) {
+    EXPECT_EQ(kv.n0, cursor);  // contiguous, in order
+    EXPECT_GE(kv.nl, 1);
+    EXPECT_LE(kv.nl, tiling.nkv);
+    cursor += kv.nl;
+  }
+  EXPECT_EQ(cursor, shape.kv());
+}
+
+TEST_P(DataflowSweep, ShardingPartitionsBlocksAndKeepsGroupsWhole) {
+  const auto& [shape, tiling] = GetParam();
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const auto blocks = EnumerateRowBlocks(shape, tiling);
+  const auto shards = ShardAcrossCores(blocks, hw);
+  ASSERT_EQ(static_cast<std::int64_t>(shards.size()), hw.num_cores());
+
+  // Partition: total count preserved, each (b0,h0,n0) appears once.
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen;
+  std::size_t total = 0;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::set<std::size_t>> group_cores;
+  for (std::size_t core = 0; core < shards.size(); ++core) {
+    for (const RowBlock& rb : shards[core]) {
+      EXPECT_TRUE(seen.insert({rb.b0, rb.h0, rb.n0}).second);
+      group_cores[{rb.b0, rb.h0}].insert(core);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, blocks.size());
+  // A (batch, head) group never spans cores (K/V residency is per group).
+  for (const auto& [group, cores] : group_cores) {
+    EXPECT_EQ(cores.size(), 1u);
+  }
+}
+
+TEST_P(DataflowSweep, BlockBytesMatchDimensions) {
+  const auto& [shape, tiling] = GetParam();
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const BlockBytes bytes = ComputeBlockBytes(shape, tiling, hw);
+  const std::int64_t groups =
+      std::min(tiling.bb, shape.batch) * std::min(tiling.hh, shape.heads);
+  const std::int64_t rows = std::min(tiling.nq, shape.seq_len);
+  EXPECT_EQ(bytes.q, groups * rows * shape.embed * hw.element_bytes);
+  EXPECT_EQ(bytes.c, groups * rows * shape.kv() * hw.element_bytes);
+  EXPECT_EQ(bytes.o, bytes.q);
+  EXPECT_EQ(bytes.kv_group, groups * shape.kv() * shape.embed * hw.element_bytes);
+  EXPECT_LE(bytes.kv_tile, bytes.kv_group);
+  EXPECT_GT(bytes.kv_tile, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DataflowSweep, testing::ValuesIn(Cases()),
+                         [](const testing::TestParamInfo<Case>& info) {
+                           const auto& c = info.param;
+                           // Clamping can collapse distinct tilings to the
+                           // same factors; the index keeps names unique.
+                           return "i" + std::to_string(info.index) + "_" + c.shape.name +
+                                  "_bb" + std::to_string(c.tiling.bb) + "hh" +
+                                  std::to_string(c.tiling.hh) + "nq" +
+                                  std::to_string(c.tiling.nq) + "nkv" +
+                                  std::to_string(c.tiling.nkv);
+                         });
+
+TEST(PerCoreBudget, SplitsAcrossActiveCoresOnly) {
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();  // 2 cores, 5 MB
+  // One head and one block: a single group -> one active core -> full L1.
+  const AttentionShape one_group{"one", 1, 1, 32, 16};
+  EXPECT_EQ(PerCoreL1Budget(one_group, {1, 1, 32, 32}, hw), hw.l1_bytes);
+  // Many groups spread across both cores -> equal split.
+  const AttentionShape many{"many", 1, 8, 64, 16};
+  EXPECT_EQ(PerCoreL1Budget(many, {1, 1, 32, 32}, hw), hw.l1_bytes / 2);
+}
+
+}  // namespace
+}  // namespace mas::detail

@@ -1,0 +1,92 @@
+#include "common/fp16.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mas {
+namespace {
+
+TEST(Fp16, ZeroRoundTrips) {
+  EXPECT_EQ(Fp16(0.0f).bits(), 0u);
+  EXPECT_EQ(Fp16(0.0f).ToFloat(), 0.0f);
+  EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000u);
+  EXPECT_TRUE(std::signbit(Fp16(-0.0f).ToFloat()));
+}
+
+TEST(Fp16, SmallIntegersExact) {
+  for (int i = -2048; i <= 2048; ++i) {
+    // Integers up to 2^11 are exactly representable in binary16.
+    EXPECT_EQ(Fp16(static_cast<float>(i)).ToFloat(), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(Fp16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Fp16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(Fp16(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Fp16(65504.0f).bits(), 0x7BFFu);  // max finite half
+}
+
+TEST(Fp16, OverflowBecomesInf) {
+  EXPECT_TRUE(Fp16(65520.0f).IsInf());  // rounds up past max finite
+  EXPECT_TRUE(Fp16(1e10f).IsInf());
+  EXPECT_TRUE(Fp16(-1e10f).IsInf());
+  EXPECT_LT(Fp16(-1e10f).ToFloat(), 0.0f);
+}
+
+TEST(Fp16, InfAndNanPropagate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(Fp16(inf).IsInf());
+  EXPECT_FALSE(Fp16(inf).IsNan());
+  EXPECT_TRUE(Fp16(std::nanf("")).IsNan());
+  EXPECT_TRUE(std::isnan(Fp16(std::nanf("")).ToFloat()));
+}
+
+TEST(Fp16, SubnormalsRepresented) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Fp16(tiny).bits(), 0x0001u);
+  EXPECT_EQ(Fp16(tiny).ToFloat(), tiny);
+  // Halfway below the smallest subnormal underflows to zero (ties-to-even).
+  EXPECT_EQ(Fp16(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; ties go to
+  // the even mantissa (1.0).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Fp16(halfway).bits(), 0x3C00u);
+  // Slightly above the halfway point rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -18);
+  EXPECT_EQ(Fp16(above).bits(), 0x3C01u);
+}
+
+TEST(Fp16, ArithmeticWidensToFloat) {
+  const Fp16 a(1.5f), b(2.25f);
+  EXPECT_EQ((a + b).ToFloat(), 3.75f);
+  EXPECT_EQ((a * b).ToFloat(), 3.375f);
+  EXPECT_EQ((b - a).ToFloat(), 0.75f);
+  EXPECT_EQ((b / a).ToFloat(), 1.5f);
+}
+
+TEST(Fp16, ComparisonOperators) {
+  EXPECT_TRUE(Fp16(1.0f) < Fp16(2.0f));
+  EXPECT_TRUE(Fp16(1.0f) == Fp16(1.0f));
+  EXPECT_TRUE(Fp16(1.0f) != Fp16(1.5f));
+}
+
+// Exhaustive property: every finite half round-trips bit-exactly through
+// float and back.
+TEST(Fp16, AllFiniteBitsRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const Fp16 h = Fp16::FromBits(static_cast<std::uint16_t>(bits));
+    if (h.IsNan()) continue;
+    const Fp16 back(h.ToFloat());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,63 @@
+#include "sim/hardware_config.h"
+
+#include <gtest/gtest.h>
+
+namespace mas::sim {
+namespace {
+
+TEST(HardwareConfig, EdgeSimMatchesPaperFig4) {
+  const HardwareConfig hw = EdgeSimConfig();
+  EXPECT_EQ(hw.name, "edge_sim");
+  EXPECT_DOUBLE_EQ(hw.frequency_ghz, 3.75);
+  EXPECT_EQ(hw.technology_nm, 16);
+  EXPECT_EQ(hw.l1_bytes, 5 * 1024 * 1024);
+  EXPECT_EQ(hw.dram_bytes, 6LL * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(hw.dram_gb_per_s, 30.0);
+  ASSERT_EQ(hw.num_cores(), 2);
+  for (const auto& core : hw.cores) {
+    EXPECT_EQ(core.mac_rows, 16);
+    EXPECT_EQ(core.mac_cols, 16);
+    EXPECT_EQ(core.vec_lanes, 256);
+  }
+}
+
+TEST(HardwareConfig, EdgeSimBandwidthIsEightBytesPerCycle) {
+  const HardwareConfig hw = EdgeSimConfig();
+  EXPECT_DOUBLE_EQ(hw.DramBytesPerCycle(), 8.0);
+}
+
+TEST(HardwareConfig, EdgeSimTotalMacThroughput) {
+  // Two 16x16 meshes: 512 MACs/cycle — the Table 2 compute floor.
+  EXPECT_EQ(EdgeSimConfig().TotalMacThroughput(), 512);
+}
+
+TEST(HardwareConfig, DavinciNpuHasThreeHeterogeneousCores) {
+  const HardwareConfig npu = DavinciNpuConfig();
+  ASSERT_EQ(npu.num_cores(), 3);
+  // 2x Ascend Lite + 1x Ascend Tiny (paper §5.1).
+  EXPECT_EQ(npu.cores[0].mac_rows, 16);
+  EXPECT_EQ(npu.cores[1].mac_rows, 16);
+  EXPECT_EQ(npu.cores[2].mac_rows, 8);
+  EXPECT_LT(npu.cores[2].vec_lanes, npu.cores[0].vec_lanes);
+}
+
+TEST(HardwareConfig, SoftmaxLaneCostSumsPrimitives) {
+  CoreConfig core;
+  core.vec_cost_max = 1;
+  core.vec_cost_sub = 2;
+  core.vec_cost_exp = 3;
+  core.vec_cost_sum = 4;
+  core.vec_cost_div = 5;
+  EXPECT_EQ(core.SoftmaxLaneCostPerElement(), 15);
+}
+
+TEST(HardwareConfig, DescribeMentionsKeyParameters) {
+  const std::string desc = EdgeSimConfig().Describe();
+  EXPECT_NE(desc.find("5 MB"), std::string::npos);
+  EXPECT_NE(desc.find("30 GB/s"), std::string::npos);
+  EXPECT_NE(desc.find("16x16"), std::string::npos);
+  EXPECT_NE(desc.find("256 lanes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mas::sim

@@ -1,0 +1,128 @@
+#include "report/harness.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "sim/hardware_config.h"
+
+namespace mas::report {
+namespace {
+
+// Use a two-network subset so the full comparison stays fast in unit tests;
+// the bench binaries run all twelve.
+std::vector<NetworkWorkload> Subset() {
+  return {FindNetwork("BERT-Small"), FindNetwork("ViT-B/16")};
+}
+
+class HarnessTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hw_ = new sim::HardwareConfig(sim::EdgeSimConfig());
+    em_ = new sim::EnergyModel();
+    comparisons_ = new std::vector<NetworkComparison>(RunComparison(Subset(), *hw_, *em_));
+  }
+  static void TearDownTestSuite() {
+    delete comparisons_;
+    delete em_;
+    delete hw_;
+    comparisons_ = nullptr;
+    em_ = nullptr;
+    hw_ = nullptr;
+  }
+  static sim::HardwareConfig* hw_;
+  static sim::EnergyModel* em_;
+  static std::vector<NetworkComparison>* comparisons_;
+};
+
+sim::HardwareConfig* HarnessTest::hw_ = nullptr;
+sim::EnergyModel* HarnessTest::em_ = nullptr;
+std::vector<NetworkComparison>* HarnessTest::comparisons_ = nullptr;
+
+TEST_F(HarnessTest, RunsAllMethodsPerNetwork) {
+  ASSERT_EQ(comparisons_->size(), 2u);
+  for (const auto& cmp : *comparisons_) {
+    EXPECT_EQ(cmp.runs.size(), AllMethods().size());
+    for (Method m : AllMethods()) {
+      EXPECT_GT(cmp.Run(m).sim.cycles, 0u);
+    }
+  }
+}
+
+TEST_F(HarnessTest, RunLookupThrowsOnMissing) {
+  NetworkComparison empty;
+  empty.network = Subset()[0];
+  EXPECT_THROW(empty.Run(Method::kMas), Error);
+}
+
+TEST_F(HarnessTest, CycleTableShape) {
+  const TextTable t = BuildCycleTable(*comparisons_);
+  // Header: network + 6 cycle columns + 5 speedup columns.
+  EXPECT_EQ(t.num_cols(), 1u + 6u + 5u);
+  // Rows: 2 networks + rule + geomean.
+  EXPECT_EQ(t.num_rows(), 4u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("BERT-Small"), std::string::npos);
+  EXPECT_NE(s.find("Geometric Mean"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);  // speedups formatted
+}
+
+TEST_F(HarnessTest, EnergyTableShape) {
+  const TextTable t = BuildEnergyTable(*comparisons_);
+  EXPECT_EQ(t.num_cols(), 1u + 6u + 5u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("%"), std::string::npos);
+}
+
+TEST_F(HarnessTest, BreakdownComponentsSumToTotal) {
+  const TextTable t = BuildEnergyBreakdownTable(*comparisons_);
+  EXPECT_EQ(t.num_cols(), 8u);
+  for (const auto& cmp : *comparisons_) {
+    for (const auto& run : cmp.runs) {
+      const auto& e = run.sim.energy;
+      EXPECT_NEAR(e.total_pj(),
+                  e.dram_pj + e.l1_pj + e.l0_pj + e.mac_pe_pj + e.vec_pe_pj, 1e-6);
+    }
+  }
+}
+
+TEST_F(HarnessTest, NormalizedTimeInUnitRange) {
+  const std::vector<Method> methods = {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
+                                       Method::kMas};
+  const TextTable t = BuildNormalizedTimeTable(*comparisons_, methods);
+  EXPECT_EQ(t.num_cols(), 1u + 4u + 3u);
+  // MAS normalized value must be <= 1 (it never exceeds the slowest).
+  for (const auto& cmp : *comparisons_) {
+    double worst = 0.0;
+    for (Method m : methods) {
+      worst = std::max(worst, static_cast<double>(cmp.Run(m).sim.cycles));
+    }
+    EXPECT_LE(cmp.Run(Method::kMas).sim.cycles, worst);
+  }
+}
+
+TEST_F(HarnessTest, DramAccessTableRatios) {
+  const TextTable t = BuildDramAccessTable(*comparisons_);
+  EXPECT_EQ(t.num_cols(), 9u);
+  for (const auto& cmp : *comparisons_) {
+    const auto& flat = cmp.Run(Method::kFlat).sim;
+    const auto& mas = cmp.Run(Method::kMas).sim;
+    EXPECT_EQ(mas.dram_write_bytes, flat.dram_write_bytes) << cmp.network.name;
+  }
+}
+
+TEST_F(HarnessTest, GeomeanSpeedupAboveOne) {
+  EXPECT_GT(GeomeanSpeedup(*comparisons_, Method::kLayerWise), 1.5);
+  EXPECT_GT(GeomeanSpeedup(*comparisons_, Method::kFlat), 1.0);
+}
+
+TEST_F(HarnessTest, GeomeanSavingsSensible) {
+  const double vs_layerwise = GeomeanSavings(*comparisons_, Method::kLayerWise);
+  EXPECT_GT(vs_layerwise, 0.2);
+  EXPECT_LT(vs_layerwise, 1.0);
+}
+
+}  // namespace
+}  // namespace mas::report

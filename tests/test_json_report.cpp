@@ -1,0 +1,105 @@
+#include "report/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+namespace mas::report {
+namespace {
+
+struct Fixture {
+  AttentionShape shape{"tiny", 1, 2, 64, 16};
+  sim::HardwareConfig hw = sim::EdgeSimConfig();
+  sim::EnergyModel em;
+  TilingConfig tiling{1, 1, 32, 32};
+
+  NamedRun Run(Method m) const {
+    const auto sched = MakeScheduler(m);
+    return {m, tiling, sched->Simulate(shape, tiling, hw, em)};
+  }
+};
+
+bool BalancedJson(const std::string& json) {
+  std::int64_t depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(RunJsonTest, ContainsAllSections) {
+  Fixture f;
+  const NamedRun run = f.Run(Method::kMas);
+  const std::string json = RunJson(f.shape, run.method, run.tiling, f.hw, run.result);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  for (const char* key :
+       {"\"shape\"", "\"hardware\"", "\"method\"", "\"tiling\"", "\"cycles\"",
+        "\"latency_ms\"", "\"energy_pj\"", "\"dram_read_bytes\"", "\"mac_utilization\"",
+        "\"overwrite_events\"", "\"resources\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"method\":\"MAS-Attention\""), std::string::npos);
+}
+
+TEST(RunJsonTest, ShapeFieldsCorrect) {
+  Fixture f;
+  const NamedRun run = f.Run(Method::kFlat);
+  const std::string json = RunJson(f.shape, run.method, run.tiling, f.hw, run.result);
+  EXPECT_NE(json.find("\"batch\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"heads\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"seq_len\":64"), std::string::npos);
+  EXPECT_NE(json.find("\"embed\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"kv_len\":64"), std::string::npos);
+}
+
+TEST(RunsJsonTest, OneEntryPerRun) {
+  Fixture f;
+  std::vector<NamedRun> runs;
+  for (Method m : {Method::kLayerWise, Method::kFlat, Method::kMas}) {
+    runs.push_back(f.Run(m));
+  }
+  const std::string json = RunsJson(f.shape, f.hw, runs);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"method\":", pos)) != std::string::npos) {
+    ++count;
+    pos += 9;
+  }
+  EXPECT_EQ(count, runs.size());
+}
+
+TEST(RunsJsonTest, CyclesMatchSimulation) {
+  Fixture f;
+  const NamedRun run = f.Run(Method::kMas);
+  const std::string json = RunsJson(f.shape, f.hw, {run});
+  EXPECT_NE(json.find("\"cycles\":" + std::to_string(run.result.cycles)),
+            std::string::npos);
+}
+
+TEST(RunsJsonTest, CrossAttentionKvLenSerialized) {
+  Fixture f;
+  f.shape = AttentionShape{"xattn", 1, 2, 64, 16, 48};
+  f.tiling = TilingConfig{1, 1, 32, 48};
+  const NamedRun run = f.Run(Method::kMas);
+  const std::string json = RunsJson(f.shape, f.hw, {run});
+  EXPECT_NE(json.find("\"kv_len\":48"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mas::report

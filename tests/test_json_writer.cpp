@@ -1,0 +1,111 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace mas {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainText) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.Take(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter w;
+  w.BeginArray().EndArray();
+  EXPECT_EQ(w.Take(), "[]");
+}
+
+TEST(JsonWriterTest, KeyValuePairs) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("a", std::int64_t{1});
+  w.KeyValue("b", "two");
+  w.KeyValue("c", true);
+  w.EndObject();
+  EXPECT_EQ(w.Take(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriterTest, ArrayOfValues) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::int64_t{1}).Value(std::int64_t{2}).Value(std::int64_t{3});
+  w.EndArray();
+  EXPECT_EQ(w.Take(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginArray("xs");
+  w.BeginObject();
+  w.KeyValue("k", std::int64_t{7});
+  w.EndObject();
+  w.EndArray();
+  w.BeginObject("meta");
+  w.KeyValue("ok", false);
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.Take(), R"({"xs":[{"k":7}],"meta":{"ok":false}})");
+}
+
+TEST(JsonWriterTest, DoubleFormatting) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(1.5);
+  w.Value(0.0);
+  w.EndArray();
+  EXPECT_EQ(w.Take(), "[1.5,0]");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.Take(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("ke\"y", "va\\lue");
+  w.EndObject();
+  EXPECT_EQ(w.Take(), R"({"ke\"y":"va\\lue"})");
+}
+
+TEST(JsonWriterTest, UnbalancedTakeThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_THROW(w.Take(), Error);
+}
+
+TEST(JsonWriterTest, MismatchedCloseThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_THROW(w.EndArray(), Error);
+}
+
+TEST(JsonWriterTest, KeyOutsideObjectThrows) {
+  JsonWriter w;
+  w.BeginArray();
+  EXPECT_THROW(w.KeyValue("k", std::int64_t{1}), Error);
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,190 @@
+#include "kernels/attention_kernels.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace mas {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TensorF Random(Shape4 s, std::uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  TensorF t(s);
+  FillUniform(t, rng, lo, hi);
+  return t;
+}
+
+TEST(MatMulTransposed, TinyKnownValues) {
+  TensorF a(1, 1, 2, 2), b(1, 1, 2, 2);
+  // a = [[1,2],[3,4]], b = [[5,6],[7,8]] -> a b^T = [[17,23],[39,53]]
+  a.at(0, 0, 0, 0) = 1; a.at(0, 0, 0, 1) = 2; a.at(0, 0, 1, 0) = 3; a.at(0, 0, 1, 1) = 4;
+  b.at(0, 0, 0, 0) = 5; b.at(0, 0, 0, 1) = 6; b.at(0, 0, 1, 0) = 7; b.at(0, 0, 1, 1) = 8;
+  const TensorF c = MatMulTransposed(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0, 0), 17.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0, 1), 23.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 1, 0), 39.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 1, 1), 53.0f);
+}
+
+TEST(MatMul, TinyKnownValues) {
+  TensorF a(1, 1, 2, 2), b(1, 1, 2, 2);
+  a.at(0, 0, 0, 0) = 1; a.at(0, 0, 0, 1) = 2; a.at(0, 0, 1, 0) = 3; a.at(0, 0, 1, 1) = 4;
+  b.at(0, 0, 0, 0) = 5; b.at(0, 0, 0, 1) = 6; b.at(0, 0, 1, 0) = 7; b.at(0, 0, 1, 1) = 8;
+  const TensorF c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 1, 1), 50.0f);
+}
+
+TEST(MatMul, ShapeMismatchRejected) {
+  TensorF a(1, 1, 2, 3), b(1, 1, 4, 2);
+  EXPECT_THROW(MatMul(a, b), Error);       // inner 3 vs 4
+  TensorF bt(1, 1, 4, 4);
+  EXPECT_THROW(MatMulTransposed(a, bt), Error);  // inner 3 vs 4
+  TensorF b2(2, 1, 3, 2);
+  EXPECT_THROW(MatMul(a, b2), Error);      // batch mismatch
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  const TensorF c = Random({2, 3, 8, 16}, 1, -4.0f, 4.0f);
+  const TensorF p = SoftmaxRows(c);
+  for (std::int64_t b = 0; b < 2; ++b)
+    for (std::int64_t h = 0; h < 3; ++h)
+      for (std::int64_t r = 0; r < 8; ++r) {
+        double sum = 0.0;
+        for (std::int64_t e = 0; e < 16; ++e) {
+          EXPECT_GT(p.at(b, h, r, e), 0.0f);
+          sum += p.at(b, h, r, e);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+      }
+}
+
+TEST(SoftmaxRows, StableForLargeMagnitudes) {
+  TensorF c(1, 1, 1, 3);
+  c.at(0, 0, 0, 0) = 1000.0f;
+  c.at(0, 0, 0, 1) = 1000.0f;
+  c.at(0, 0, 0, 2) = -1000.0f;
+  const TensorF p = SoftmaxRows(c);
+  EXPECT_NEAR(p.at(0, 0, 0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(p.at(0, 0, 0, 1), 0.5f, 1e-6);
+  EXPECT_NEAR(p.at(0, 0, 0, 2), 0.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(p.at(0, 0, 0, 0)));
+}
+
+TEST(SoftmaxRows, UniformInputGivesUniformOutput) {
+  TensorF c(1, 1, 2, 5);
+  c.Fill(3.25f);
+  const TensorF p = SoftmaxRows(c);
+  for (std::int64_t e = 0; e < 5; ++e) {
+    EXPECT_NEAR(p.at(0, 0, 0, e), 0.2f, 1e-6);
+  }
+}
+
+TEST(ReferenceAttention, MatchesManualComposition) {
+  const TensorF q = Random({1, 2, 6, 4}, 2);
+  const TensorF k = Random({1, 2, 6, 4}, 3);
+  const TensorF v = Random({1, 2, 6, 4}, 4);
+  const TensorF o = ReferenceAttention(q, k, v);
+  const TensorF expected = MatMul(SoftmaxRows(MatMulTransposed(q, k)), v);
+  EXPECT_LT(MaxAbsDiff(o, expected), kTol);
+}
+
+TEST(ReferenceAttention, ScaleApplied) {
+  const TensorF q = Random({1, 1, 4, 4}, 5);
+  const TensorF k = Random({1, 1, 4, 4}, 6);
+  const TensorF v = Random({1, 1, 4, 4}, 7);
+  const float scale = 0.5f;
+  const TensorF o = ReferenceAttention(q, k, v, scale);
+  TensorF c = MatMulTransposed(q, k);
+  for (std::int64_t i = 0; i < c.elements(); ++i) c.data()[i] *= scale;
+  const TensorF expected = MatMul(SoftmaxRows(c), v);
+  EXPECT_LT(MaxAbsDiff(o, expected), kTol);
+}
+
+TEST(ReferenceAttention, IdentityValueSelection) {
+  // With one-hot rows in QK^T dominated by a single huge score, attention
+  // selects the corresponding V row.
+  TensorF q(1, 1, 2, 2), k(1, 1, 2, 2), v(1, 1, 2, 3);
+  q.at(0, 0, 0, 0) = 100.0f;  // row 0 aligns with k row 0
+  q.at(0, 0, 1, 1) = 100.0f;  // row 1 aligns with k row 1
+  k.at(0, 0, 0, 0) = 1.0f;
+  k.at(0, 0, 1, 1) = 1.0f;
+  for (std::int64_t e = 0; e < 3; ++e) {
+    v.at(0, 0, 0, e) = static_cast<float>(e);
+    v.at(0, 0, 1, e) = static_cast<float>(10 + e);
+  }
+  const TensorF o = ReferenceAttention(q, k, v);
+  for (std::int64_t e = 0; e < 3; ++e) {
+    EXPECT_NEAR(o.at(0, 0, 0, e), static_cast<float>(e), 1e-4);
+    EXPECT_NEAR(o.at(0, 0, 1, e), static_cast<float>(10 + e), 1e-4);
+  }
+}
+
+// --- Tiled kernels (Algorithms 2-4) against the untiled references. ---
+
+struct TiledCase {
+  std::int64_t n;
+  std::int64_t e;
+  std::int64_t nkv;
+};
+
+class TiledKernelTest : public testing::TestWithParam<TiledCase> {};
+
+TEST_P(TiledKernelTest, TiledQKTMatchesReference) {
+  const auto& tc = GetParam();
+  const TensorF q = Random({1, 2, tc.n, tc.e}, 11);
+  const TensorF k = Random({1, 2, tc.n, tc.e}, 12);
+  EXPECT_LT(MaxAbsDiff(TiledQKT(q, k, tc.nkv), MatMulTransposed(q, k)), kTol);
+}
+
+TEST_P(TiledKernelTest, TiledSoftmaxMatchesReference) {
+  const auto& tc = GetParam();
+  const TensorF c = Random({1, 2, tc.n, tc.n}, 13, -3.0f, 3.0f);
+  EXPECT_LT(MaxAbsDiff(TiledSoftmax(c), SoftmaxRows(c)), kTol);
+}
+
+TEST_P(TiledKernelTest, TiledPVMatchesReference) {
+  const auto& tc = GetParam();
+  const TensorF c = Random({1, 2, tc.n, tc.n}, 14, -3.0f, 3.0f);
+  const TensorF p = SoftmaxRows(c);
+  const TensorF v = Random({1, 2, tc.n, tc.e}, 15);
+  EXPECT_LT(MaxAbsDiff(TiledPV(p, v, tc.nkv), MatMul(p, v)), kTol);
+}
+
+TEST_P(TiledKernelTest, OnlineSoftmaxMatchesReference) {
+  const auto& tc = GetParam();
+  const TensorF c = Random({1, 2, tc.n, tc.n}, 16, -5.0f, 5.0f);
+  EXPECT_LT(MaxAbsDiff(OnlineSoftmaxRows(c, tc.nkv), SoftmaxRows(c)), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledKernelTest,
+    testing::Values(TiledCase{8, 4, 8},    // single block
+                    TiledCase{8, 4, 3},    // non-divisor block
+                    TiledCase{16, 8, 4},   // even split
+                    TiledCase{17, 5, 4},   // odd sizes
+                    TiledCase{32, 16, 1},  // one column at a time
+                    TiledCase{12, 6, 5}),  // ragged tail
+    [](const testing::TestParamInfo<TiledCase>& info) {
+      return "n" + std::to_string(info.param.n) + "_e" + std::to_string(info.param.e) +
+             "_kv" + std::to_string(info.param.nkv);
+    });
+
+TEST(TiledKernels, RejectInvalidBlockSize) {
+  const TensorF q = Random({1, 1, 4, 4}, 17);
+  const TensorF k = Random({1, 1, 4, 4}, 18);
+  EXPECT_THROW(TiledQKT(q, k, 0), Error);
+  EXPECT_THROW(TiledPV(q, k, 0), Error);
+  EXPECT_THROW(OnlineSoftmaxRows(q, 0), Error);
+}
+
+}  // namespace
+}  // namespace mas

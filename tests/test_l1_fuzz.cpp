@@ -1,0 +1,74 @@
+// Randomized alloc/free fuzzing of the L1 occupancy tracker: the tracker's
+// accounting must stay exact against a shadow model under arbitrary
+// interleavings, and its invariants (used <= capacity, peak monotone,
+// used = sum of live sizes) must never break.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/l1_tracker.h"
+
+namespace mas::sim {
+namespace {
+
+class L1Fuzz : public testing::TestWithParam<int> {};
+
+TEST_P(L1Fuzz, ShadowModelAgreesOverRandomOps) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::int64_t capacity = 64 * 1024;
+  L1Tracker tracker(capacity);
+  std::map<std::string, std::int64_t> shadow;
+  std::int64_t shadow_used = 0;
+  std::int64_t shadow_peak = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::string name = "buf" + std::to_string(rng.NextBelow(24));
+    const bool live = shadow.count(name) > 0;
+    if (!live && rng.NextBool(0.6)) {
+      const std::int64_t bytes = 1 + static_cast<std::int64_t>(rng.NextBelow(8 * 1024));
+      if (shadow_used + bytes <= capacity) {
+        ASSERT_TRUE(tracker.CanFit(bytes));
+        tracker.Alloc(name, bytes);
+        shadow[name] = bytes;
+        shadow_used += bytes;
+        shadow_peak = std::max(shadow_peak, shadow_used);
+      } else {
+        EXPECT_FALSE(tracker.CanFit(bytes));
+        EXPECT_THROW(tracker.Alloc(name, bytes), Error);
+      }
+    } else if (live) {
+      if (rng.NextBool()) {
+        tracker.Free(name);
+      } else {
+        EXPECT_TRUE(tracker.FreeIfLive(name));
+      }
+      shadow_used -= shadow[name];
+      shadow.erase(name);
+    } else {
+      // Free of a dead buffer must throw; FreeIfLive must be a no-op.
+      EXPECT_THROW(tracker.Free(name), Error);
+      EXPECT_FALSE(tracker.FreeIfLive(name));
+    }
+
+    // Invariants after every step.
+    ASSERT_EQ(tracker.used(), shadow_used);
+    ASSERT_EQ(tracker.peak(), shadow_peak);
+    ASSERT_LE(tracker.used(), tracker.capacity());
+    ASSERT_EQ(tracker.free_bytes(), capacity - shadow_used);
+    std::int64_t live_sum = 0;
+    for (const auto& buf : tracker.LiveBuffers()) {
+      ASSERT_TRUE(shadow.count(buf));
+      ASSERT_EQ(tracker.SizeOf(buf), shadow.at(buf));
+      live_sum += tracker.SizeOf(buf);
+    }
+    ASSERT_EQ(live_sum, shadow_used);
+    ASSERT_EQ(tracker.LiveBuffers().size(), shadow.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, L1Fuzz, testing::Range(1, 9));
+
+}  // namespace
+}  // namespace mas::sim

@@ -1,0 +1,117 @@
+#include "sim/l1_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace mas::sim {
+namespace {
+
+TEST(L1Tracker, AllocFreeAccounting) {
+  L1Tracker t(1000);
+  EXPECT_EQ(t.capacity(), 1000);
+  EXPECT_EQ(t.used(), 0);
+  t.Alloc("a", 400);
+  EXPECT_EQ(t.used(), 400);
+  EXPECT_EQ(t.free_bytes(), 600);
+  t.Alloc("b", 600);
+  EXPECT_EQ(t.used(), 1000);
+  t.Free("a");
+  EXPECT_EQ(t.used(), 600);
+  t.Free("b");
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(L1Tracker, PeakIsHighWaterMark) {
+  L1Tracker t(1000);
+  t.Alloc("a", 300);
+  t.Alloc("b", 500);
+  t.Free("a");
+  t.Alloc("c", 100);
+  EXPECT_EQ(t.peak(), 800);
+}
+
+TEST(L1Tracker, OverflowThrows) {
+  L1Tracker t(100);
+  t.Alloc("a", 60);
+  EXPECT_THROW(t.Alloc("b", 50), Error);
+  EXPECT_EQ(t.used(), 60);  // failed alloc leaves state unchanged
+}
+
+TEST(L1Tracker, CanFitPredictsAlloc) {
+  L1Tracker t(100);
+  t.Alloc("a", 60);
+  EXPECT_TRUE(t.CanFit(40));
+  EXPECT_FALSE(t.CanFit(41));
+}
+
+TEST(L1Tracker, DuplicateNameRejected) {
+  L1Tracker t(100);
+  t.Alloc("a", 10);
+  EXPECT_THROW(t.Alloc("a", 10), Error);
+}
+
+TEST(L1Tracker, FreeUnknownRejected) {
+  L1Tracker t(100);
+  EXPECT_THROW(t.Free("ghost"), Error);
+}
+
+TEST(L1Tracker, FreeIfLive) {
+  L1Tracker t(100);
+  t.Alloc("a", 10);
+  EXPECT_TRUE(t.FreeIfLive("a"));
+  EXPECT_FALSE(t.FreeIfLive("a"));
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(L1Tracker, SizeOfAndLiveness) {
+  L1Tracker t(100);
+  t.Alloc("a", 42);
+  EXPECT_TRUE(t.IsLive("a"));
+  EXPECT_EQ(t.SizeOf("a"), 42);
+  EXPECT_FALSE(t.IsLive("b"));
+  EXPECT_EQ(t.SizeOf("b"), 0);
+}
+
+TEST(L1Tracker, ZeroByteAllocationLegal) {
+  L1Tracker t(10);
+  t.Alloc("empty", 0);
+  EXPECT_TRUE(t.IsLive("empty"));
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(L1Tracker, LiveBuffersLists) {
+  L1Tracker t(100);
+  t.Alloc("a", 1);
+  t.Alloc("b", 2);
+  auto live = t.LiveBuffers();
+  EXPECT_EQ(live.size(), 2u);
+}
+
+TEST(L1Tracker, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(L1Tracker(0), Error);
+  EXPECT_THROW(L1Tracker(-5), Error);
+}
+
+TEST(L1Tracker, RejectsNegativeAllocation) {
+  L1Tracker t(100);
+  EXPECT_THROW(t.Alloc("a", -1), Error);
+}
+
+// Eviction pattern used by the proactive overwrite: freeing a victim makes
+// room for the protected buffer.
+TEST(L1Tracker, OverwritePattern) {
+  L1Tracker t(100);
+  t.Alloc("K", 30);
+  t.Alloc("V", 30);
+  t.Alloc("C1", 35);
+  EXPECT_FALSE(t.CanFit(35));  // C2 does not fit
+  t.Free("V");                 // proactive overwrite of V
+  EXPECT_TRUE(t.CanFit(35));
+  t.Alloc("C2", 35);
+  EXPECT_EQ(t.used(), 100);
+  EXPECT_EQ(t.peak(), 100);
+}
+
+}  // namespace
+}  // namespace mas::sim

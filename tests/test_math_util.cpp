@@ -1,0 +1,79 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace mas {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(512, 16), 32);
+  EXPECT_EQ(CeilDiv<std::int64_t>(196, 16), 13);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 8), 0);
+  EXPECT_EQ(RoundUp(1, 8), 8);
+  EXPECT_EQ(RoundUp(8, 8), 8);
+  EXPECT_EQ(RoundUp(9, 8), 16);
+}
+
+TEST(MathUtil, GeoMeanBasics) {
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeoMean({4.0}), 4.0);
+  EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(MathUtil, GeoMeanRejectsNonPositive) {
+  EXPECT_THROW(GeoMean({1.0, 0.0}), Error);
+  EXPECT_THROW(GeoMean({-1.0}), Error);
+}
+
+TEST(MathUtil, DivisorsOfTwelve) {
+  const std::vector<std::int64_t> expected = {1, 2, 3, 4, 6, 12};
+  EXPECT_EQ(Divisors(12), expected);
+}
+
+TEST(MathUtil, DivisorsOfPrime) {
+  const std::vector<std::int64_t> expected = {1, 13};
+  EXPECT_EQ(Divisors(13), expected);
+}
+
+TEST(MathUtil, DivisorsOfOne) {
+  const std::vector<std::int64_t> expected = {1};
+  EXPECT_EQ(Divisors(1), expected);
+}
+
+TEST(MathUtil, DivisorsRejectsNonPositive) {
+  EXPECT_THROW(Divisors(0), Error);
+  EXPECT_THROW(Divisors(-4), Error);
+}
+
+TEST(MathUtil, TileCandidatesIncludeDivisorsAndPowersOfTwo) {
+  const auto cands = TileCandidates(12);
+  // Divisors of 12 plus powers of two <= 12: {1,2,3,4,6,8,12}.
+  const std::vector<std::int64_t> expected = {1, 2, 3, 4, 6, 8, 12};
+  EXPECT_EQ(cands, expected);
+}
+
+TEST(MathUtil, TileCandidatesSortedUnique) {
+  for (std::int64_t n : {1, 2, 7, 196, 512, 4096}) {
+    const auto cands = TileCandidates(n);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(cands.front(), 1);
+    EXPECT_EQ(cands.back(), n);
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+      EXPECT_LT(cands[i - 1], cands[i]);
+      EXPECT_LE(cands[i], n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mas

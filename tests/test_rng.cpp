@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace mas {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.NextBelow(0), Error);
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit in 500 draws
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);  // zero weight never picked
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedRejectsAllZero) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.NextWeighted(weights), Error);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(23);
+  for (std::size_t n : {0u, 1u, 2u, 17u, 100u}) {
+    auto perm = rng.Permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<std::size_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(sorted[i], i);
+    }
+  }
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(29);
+  const auto perm = rng.Permutation(50);
+  int fixed_points = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 10);  // expected ~1 fixed point
+}
+
+}  // namespace
+}  // namespace mas

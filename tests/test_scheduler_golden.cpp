@@ -1,0 +1,119 @@
+// Golden-data checks (paper §5.1): every scheduler's functional twin must
+// reproduce the reference exact attention for every tiling, shape and method.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/attention_kernels.h"
+#include "schedulers/scheduler.h"
+#include "tensor/tensor.h"
+
+namespace mas {
+namespace {
+
+constexpr double kTol = 2e-5;
+
+struct GoldenCase {
+  Method method;
+  std::int64_t b, h, n, e;
+  TilingConfig tiling;
+};
+
+std::string CaseName(const testing::TestParamInfo<GoldenCase>& info) {
+  const auto& c = info.param;
+  std::string name = MethodName(c.method);
+  for (char& ch : name) {
+    if (ch == '-' || ch == ' ') ch = '_';
+  }
+  return name + "_b" + std::to_string(c.b) + "h" + std::to_string(c.h) + "n" +
+         std::to_string(c.n) + "e" + std::to_string(c.e) + "_hh" + std::to_string(c.tiling.hh) +
+         "nq" + std::to_string(c.tiling.nq) + "kv" + std::to_string(c.tiling.nkv);
+}
+
+class GoldenTest : public testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTest, MatchesReferenceAttention) {
+  const GoldenCase& c = GetParam();
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(c.n * 1315423911 + c.e));
+  TensorF q(c.b, c.h, c.n, c.e), k(c.b, c.h, c.n, c.e), v(c.b, c.h, c.n, c.e);
+  FillUniform(q, rng);
+  FillUniform(k, rng);
+  FillUniform(v, rng);
+  const TensorF expected = ReferenceAttention(q, k, v);
+  const auto scheduler = MakeScheduler(c.method);
+  const TensorF actual = scheduler->Execute(q, k, v, c.tiling);
+  EXPECT_LT(MaxAbsDiff(actual, expected), kTol) << scheduler->name();
+}
+
+std::vector<GoldenCase> AllGoldenCases() {
+  std::vector<GoldenCase> cases;
+  struct ShapeAndTilings {
+    std::int64_t b, h, n, e;
+    std::vector<TilingConfig> tilings;
+  };
+  const std::vector<ShapeAndTilings> shapes = {
+      // Single head, single block.
+      {1, 1, 8, 4, {{1, 1, 8, 8}, {1, 1, 4, 4}, {1, 1, 1, 1}}},
+      // Multi-head with head blocking.
+      {1, 4, 16, 8, {{1, 4, 16, 16}, {1, 2, 8, 4}, {1, 3, 5, 7}}},
+      // Batched with batch blocking and ragged tiles.
+      {2, 3, 12, 6, {{2, 3, 12, 12}, {1, 2, 5, 5}}},
+      // Longer sequence, small embed (T5-Mini-like, scaled down).
+      {1, 2, 48, 8, {{1, 2, 16, 16}, {1, 1, 12, 24}}},
+  };
+  for (Method m : AllMethods()) {
+    for (const auto& st : shapes) {
+      for (const auto& tiling : st.tilings) {
+        cases.push_back({m, st.b, st.h, st.n, st.e, tiling});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethodsAllShapes, GoldenTest, testing::ValuesIn(AllGoldenCases()),
+                         CaseName);
+
+// All six functional twins agree with each other bit-for-bit-ish on the same
+// inputs (they are all exact attention).
+TEST(GoldenCross, AllMethodsAgree) {
+  Rng rng(77);
+  const std::int64_t b = 1, h = 2, n = 24, e = 8;
+  TensorF q(b, h, n, e), k(b, h, n, e), v(b, h, n, e);
+  FillUniform(q, rng);
+  FillUniform(k, rng);
+  FillUniform(v, rng);
+  const TilingConfig tiling{1, 1, 8, 8};
+  const auto schedulers = AllSchedulers();
+  const TensorF base = schedulers.front()->Execute(q, k, v, tiling);
+  for (std::size_t i = 1; i < schedulers.size(); ++i) {
+    EXPECT_LT(MaxAbsDiff(schedulers[i]->Execute(q, k, v, tiling), base), kTol)
+        << schedulers[i]->name();
+  }
+}
+
+// Softmax rows of the functional output are convex combinations of V rows:
+// outputs stay within V's per-column envelope.
+TEST(GoldenProperty, OutputWithinValueEnvelope) {
+  Rng rng(123);
+  const std::int64_t n = 16, e = 4;
+  TensorF q(1, 1, n, e), k(1, 1, n, e), v(1, 1, n, e);
+  FillUniform(q, rng, -2.0f, 2.0f);
+  FillUniform(k, rng, -2.0f, 2.0f);
+  FillUniform(v, rng, -3.0f, 3.0f);
+  const auto mas = MakeScheduler(Method::kMas);
+  const TensorF o = mas->Execute(q, k, v, TilingConfig{1, 1, 4, 4});
+  for (std::int64_t col = 0; col < e; ++col) {
+    float lo = 1e9f, hi = -1e9f;
+    for (std::int64_t r = 0; r < n; ++r) {
+      lo = std::min(lo, v.at(0, 0, r, col));
+      hi = std::max(hi, v.at(0, 0, r, col));
+    }
+    for (std::int64_t r = 0; r < n; ++r) {
+      EXPECT_GE(o.at(0, 0, r, col), lo - 1e-4f);
+      EXPECT_LE(o.at(0, 0, r, col), hi + 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,229 @@
+// Simulation-level invariants across the six schedulers.
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+namespace mas {
+namespace {
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+sim::EnergyModel Em() { return sim::EnergyModel{}; }
+
+AttentionShape BertBase() { return FindNetwork("BERT-Base & T5-Base").shape; }
+
+// Tuned tilings per method (coarse autotune) for BERT-Base.
+TilingConfig Tuned(Method m, const AttentionShape& shape) {
+  const auto sched = MakeScheduler(m);
+  return search::AutoTile(*sched, shape, Hw(), Em());
+}
+
+TEST(SchedulerSim, AllMethodsProduceNonTrivialSchedules) {
+  const AttentionShape shape = BertBase();
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    const TilingConfig tiling = Tuned(m, shape);
+    const sim::SimResult r = sched->Simulate(shape, tiling, Hw(), Em());
+    EXPECT_GT(r.cycles, 0u) << sched->name();
+    EXPECT_GT(r.energy.total_pj(), 0.0) << sched->name();
+    EXPECT_GT(r.dram_read_bytes, 0) << sched->name();
+    EXPECT_GT(r.dram_write_bytes, 0) << sched->name();
+    EXPECT_GT(r.peak_l1_bytes, 0) << sched->name();
+    EXPECT_LE(r.peak_l1_bytes, Hw().l1_bytes) << sched->name();
+  }
+}
+
+TEST(SchedulerSim, MacComputeFloorRespected) {
+  // No schedule can beat total MACs / total MAC throughput.
+  const AttentionShape shape = BertBase();
+  const std::uint64_t floor =
+      static_cast<std::uint64_t>(shape.TotalMacs() / Hw().TotalMacThroughput());
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    const sim::SimResult r = sched->Simulate(shape, Tuned(m, shape), Hw(), Em());
+    EXPECT_GE(r.cycles, floor) << sched->name();
+  }
+}
+
+TEST(SchedulerSim, MasApproachesComputeFloor) {
+  // The paper's headline: with tuned tilings MAS hits (near) full MAC
+  // utilization — cycles within ~15% of the dual-core MAC floor.
+  const AttentionShape shape = BertBase();
+  const auto mas = MakeScheduler(Method::kMas);
+  const sim::SimResult r = mas->Simulate(shape, Tuned(Method::kMas, shape), Hw(), Em());
+  const double floor = static_cast<double>(shape.TotalMacs()) /
+                       static_cast<double>(Hw().TotalMacThroughput());
+  EXPECT_LT(static_cast<double>(r.cycles), 1.15 * floor);
+}
+
+TEST(SchedulerSim, PaperOrderingHolds) {
+  // Table 2's qualitative ordering under tuned tilings:
+  // MAS < TileFlow/FuseMax < FLAT < Soft-Pipe < Layer-Wise.
+  const AttentionShape shape = BertBase();
+  std::map<Method, std::uint64_t> cycles;
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    cycles[m] = sched->Simulate(shape, Tuned(m, shape), Hw(), Em()).cycles;
+  }
+  EXPECT_LT(cycles[Method::kMas], cycles[Method::kFlat]);
+  EXPECT_LT(cycles[Method::kMas], cycles[Method::kSoftPipe]);
+  EXPECT_LT(cycles[Method::kMas], cycles[Method::kLayerWise]);
+  EXPECT_LE(cycles[Method::kMas], cycles[Method::kTileFlow]);
+  EXPECT_LE(cycles[Method::kMas], cycles[Method::kFuseMax]);
+  EXPECT_LT(cycles[Method::kFlat], cycles[Method::kSoftPipe]);
+  EXPECT_LT(cycles[Method::kSoftPipe], cycles[Method::kLayerWise]);
+}
+
+TEST(SchedulerSim, DramWritesEqualMasVsFlat) {
+  // §5.4.1: both confine DRAM writes to the final O — identical write bytes.
+  const AttentionShape shape = BertBase();
+  const auto flat = MakeScheduler(Method::kFlat);
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto flat_r = flat->Simulate(shape, Tuned(Method::kFlat, shape), Hw(), Em());
+  const auto mas_r = mas->Simulate(shape, Tuned(Method::kMas, shape), Hw(), Em());
+  EXPECT_EQ(flat_r.dram_write_bytes, mas_r.dram_write_bytes);
+  // And the writes are exactly one O tensor.
+  EXPECT_EQ(flat_r.dram_write_bytes, shape.OperandBytes(Hw().element_bytes));
+}
+
+TEST(SchedulerSim, MasReadsAtLeastFlat) {
+  // §5.4.2: MAS matches or exceeds FLAT's DRAM reads (overwrite reloads).
+  const AttentionShape shape = BertBase();
+  const auto flat = MakeScheduler(Method::kFlat);
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto flat_r = flat->Simulate(shape, Tuned(Method::kFlat, shape), Hw(), Em());
+  const auto mas_r = mas->Simulate(shape, Tuned(Method::kMas, shape), Hw(), Em());
+  EXPECT_GE(mas_r.dram_read_bytes, flat_r.dram_read_bytes);
+}
+
+TEST(SchedulerSim, LayerWiseMovesIntermediatesThroughDram) {
+  // Layer-Wise writes C and P to DRAM: its write traffic must include both
+  // score-matrix round trips on top of O.
+  const AttentionShape shape = BertBase();
+  const auto lw = MakeScheduler(Method::kLayerWise);
+  const auto r = lw->Simulate(shape, Tuned(Method::kLayerWise, shape), Hw(), Em());
+  const std::int64_t eb = Hw().element_bytes;
+  const std::int64_t score_bytes = shape.ScoreElements() * eb;
+  const std::int64_t o_bytes = shape.OperandBytes(eb);
+  EXPECT_EQ(r.dram_write_bytes, 2 * score_bytes + o_bytes);  // C + P + O
+}
+
+TEST(SchedulerSim, SoftPipeWritesPOnly) {
+  const AttentionShape shape = BertBase();
+  const auto sp = MakeScheduler(Method::kSoftPipe);
+  const auto r = sp->Simulate(shape, Tuned(Method::kSoftPipe, shape), Hw(), Em());
+  const std::int64_t eb = Hw().element_bytes;
+  EXPECT_EQ(r.dram_write_bytes, shape.ScoreElements() * eb + shape.OperandBytes(eb));
+}
+
+TEST(SchedulerSim, PeEnergyScheduleInvariant) {
+  // §5.3.3: MAC-PE energy identical across methods (same real MACs); VEC-PE
+  // energy may differ only for methods with extra vector work (TileFlow's
+  // split passes, FuseMax's online rescales).
+  const AttentionShape shape = BertBase();
+  std::map<Method, sim::SimResult> results;
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    results.emplace(m, sched->Simulate(shape, Tuned(m, shape), Hw(), Em()));
+  }
+  // Tolerance is relative: the MAC count is identical but the per-tile pJ
+  // contributions are accumulated in different orders for different tilings.
+  const double base_mac = results.at(Method::kLayerWise).energy.mac_pe_pj;
+  const double tol = base_mac * 1e-9;
+  for (Method m : {Method::kSoftPipe, Method::kFlat, Method::kTileFlow}) {
+    EXPECT_NEAR(results.at(m).energy.mac_pe_pj, base_mac, tol) << MethodName(m);
+  }
+  // MAS may redo interrupted tiles (>= base); FuseMax runs the same MACs.
+  EXPECT_GE(results.at(Method::kMas).energy.mac_pe_pj, base_mac - tol);
+  EXPECT_NEAR(results.at(Method::kFuseMax).energy.mac_pe_pj, base_mac, tol);
+}
+
+TEST(SchedulerSim, EnergyOrderingMatchesPaper) {
+  // Table 3's qualitative shape: MAS saves big vs Layer-Wise/Soft-Pipe/
+  // TileFlow and is close to FLAT.
+  const AttentionShape shape = BertBase();
+  std::map<Method, double> energy;
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    energy[m] = sched->Simulate(shape, Tuned(m, shape), Hw(), Em()).energy.total_pj();
+  }
+  EXPECT_LT(energy[Method::kMas], energy[Method::kLayerWise]);
+  EXPECT_LT(energy[Method::kMas], energy[Method::kSoftPipe]);
+  EXPECT_LT(energy[Method::kMas], energy[Method::kTileFlow]);
+  // FLAT is within ~25% of MAS either way (paper: 0.02%..54% savings).
+  EXPECT_LT(std::abs(energy[Method::kFlat] - energy[Method::kMas]) / energy[Method::kMas],
+            0.6);
+}
+
+TEST(SchedulerSim, InfeasibleTilingRejected) {
+  // A tiling whose C strip alone exceeds L1 must be rejected by Fits and
+  // refused by Simulate.
+  const AttentionShape shape = FindNetwork("Llama3-8B & T5-3B (T5-XL)").shape;
+  const TilingConfig huge{1, 32, 512, 512};  // C strip = 32*512*512*2 = 16 MB
+  for (Method m : AllMethods()) {
+    const auto sched = MakeScheduler(m);
+    EXPECT_FALSE(sched->Fits(shape, huge, Hw())) << sched->name();
+    EXPECT_THROW(sched->Simulate(shape, huge, Hw(), Em()), Error) << sched->name();
+  }
+}
+
+TEST(SchedulerSim, TimelineRecordsAllResources) {
+  const AttentionShape shape{"tiny", 1, 2, 64, 16};
+  const auto mas = MakeScheduler(Method::kMas);
+  const TilingConfig tiling{1, 1, 32, 32};
+  const auto r = mas->Simulate(shape, tiling, Hw(), Em(), /*record_timeline=*/true);
+  ASSERT_FALSE(r.timeline.empty());
+  bool saw_mac = false, saw_vec = false, saw_dma = false;
+  for (const auto& entry : r.timeline) {
+    saw_mac |= entry.resource == sim::ResourceKind::kMac;
+    saw_vec |= entry.resource == sim::ResourceKind::kVec;
+    saw_dma |= entry.resource == sim::ResourceKind::kDma;
+    EXPECT_LE(entry.start, entry.end);
+    EXPECT_FALSE(entry.name.empty());
+  }
+  EXPECT_TRUE(saw_mac);
+  EXPECT_TRUE(saw_vec);
+  EXPECT_TRUE(saw_dma);
+}
+
+// Parameterized sweep: the qualitative MAS < FLAT ordering holds across all
+// Table-1 networks, not just BERT-Base.
+class NetworkSweep : public testing::TestWithParam<NetworkWorkload> {};
+
+TEST_P(NetworkSweep, MasBeatsFlat) {
+  const AttentionShape& shape = GetParam().shape;
+  const auto flat = MakeScheduler(Method::kFlat);
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto flat_r = flat->Simulate(shape, Tuned(Method::kFlat, shape), Hw(), Em());
+  const auto mas_r = mas->Simulate(shape, Tuned(Method::kMas, shape), Hw(), Em());
+  EXPECT_LT(mas_r.cycles, flat_r.cycles) << shape.ToString();
+}
+
+TEST_P(NetworkSweep, MasBeatsLayerWiseByALot) {
+  const AttentionShape& shape = GetParam().shape;
+  const auto lw = MakeScheduler(Method::kLayerWise);
+  const auto mas = MakeScheduler(Method::kMas);
+  const auto lw_r = lw->Simulate(shape, Tuned(Method::kLayerWise, shape), Hw(), Em());
+  const auto mas_r = mas->Simulate(shape, Tuned(Method::kMas, shape), Hw(), Em());
+  EXPECT_GT(static_cast<double>(lw_r.cycles) / static_cast<double>(mas_r.cycles), 1.5)
+      << shape.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, NetworkSweep, testing::ValuesIn(Table1Networks()),
+                         [](const testing::TestParamInfo<NetworkWorkload>& info) {
+                           std::string name = info.param.name;
+                           std::string out;
+                           for (char ch : name) {
+                             if (std::isalnum(static_cast<unsigned char>(ch))) out += ch;
+                           }
+                           return out;
+                         });
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mas {
+namespace {
+
+TEST(Status, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(MAS_CHECK(1 + 1 == 2));
+}
+
+TEST(Status, CheckThrowsOnFalse) {
+  EXPECT_THROW(MAS_CHECK(false), Error);
+}
+
+TEST(Status, MessageCarriesConditionAndContext) {
+  try {
+    const int x = 3;
+    MAS_CHECK(x == 4) << "x was " << x;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x == 4"), std::string::npos);
+    EXPECT_NE(msg.find("x was 3"), std::string::npos);
+    EXPECT_NE(msg.find("test_status.cpp"), std::string::npos);
+    EXPECT_NE(e.raw_message().find("x was 3"), std::string::npos);
+  }
+}
+
+TEST(Status, FailAlwaysThrows) {
+  try {
+    MAS_FAIL() << "unreachable branch " << 7;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unreachable branch 7"), std::string::npos);
+  }
+}
+
+TEST(Status, ErrorIsRuntimeError) {
+  // Callers may catch std::runtime_error generically.
+  EXPECT_THROW(MAS_CHECK(false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace mas {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only one"}), Error);
+  EXPECT_THROW(t.AddRow({"1", "2", "3"}), Error);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);
+  const std::size_t width = line.size();
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.size(), width) << "misaligned line: '" << line << "'";
+  }
+}
+
+TEST(TextTable, RuleRendersDashes) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("-"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // rule counts as a row slot
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"a", "b"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"has\"quote", "multi\nline"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(TextTable, CsvSkipsRules) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv, "a\n1\n2\n");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(FormatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatFixed(1.0, 3), "1.000");
+  EXPECT_EQ(FormatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Speedup) { EXPECT_EQ(FormatSpeedup(2.749), "2.75x"); }
+
+TEST(Format, Percent) {
+  EXPECT_EQ(FormatPercent(0.5403), "54.03%");
+  EXPECT_EQ(FormatPercent(-0.2142), "-21.42%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(WriteFile, RoundTrips) {
+  const std::string path = testing::TempDir() + "/mas_table_test.txt";
+  WriteFile(path, "hello\nworld\n");
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFile, FailsOnBadPath) {
+  EXPECT_THROW(WriteFile("/nonexistent_dir_zzz/file.txt", "x"), Error);
+}
+
+}  // namespace
+}  // namespace mas

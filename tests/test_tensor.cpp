@@ -1,0 +1,117 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mas {
+namespace {
+
+TEST(Tensor, DefaultIsScalarLike) {
+  TensorF t;
+  EXPECT_EQ(t.elements(), 1);
+  EXPECT_EQ(t.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, ShapeAndZeroInit) {
+  TensorF t(2, 3, 4, 5);
+  EXPECT_EQ(t.elements(), 120);
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    EXPECT_EQ(t.data()[i], 0.0f);
+  }
+}
+
+TEST(Tensor, RejectsInvalidShape) {
+  EXPECT_THROW(TensorF(Shape4{0, 1, 1, 1}), Error);
+  EXPECT_THROW(TensorF(Shape4{1, -1, 1, 1}), Error);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  TensorF t(2, 2, 2, 2);
+  float v = 0.0f;
+  for (std::int64_t b = 0; b < 2; ++b)
+    for (std::int64_t h = 0; h < 2; ++h)
+      for (std::int64_t n = 0; n < 2; ++n)
+        for (std::int64_t e = 0; e < 2; ++e) t.at(b, h, n, e) = v++;
+  // Last dim is contiguous.
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(t.data()[i], static_cast<float>(i));
+  }
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  TensorF t(1, 2, 3, 4);
+  EXPECT_THROW(t.at(1, 0, 0, 0), Error);
+  EXPECT_THROW(t.at(0, 2, 0, 0), Error);
+  EXPECT_THROW(t.at(0, 0, 3, 0), Error);
+  EXPECT_THROW(t.at(0, 0, 0, 4), Error);
+  EXPECT_THROW(t.at(0, 0, 0, -1), Error);
+}
+
+TEST(Tensor, SlicePlaceRoundTrip) {
+  Rng rng(5);
+  TensorF t(2, 3, 8, 4);
+  FillUniform(t, rng);
+  const TensorF block = t.Slice(1, 1, 1, 2, 2, 4, 0, 4);
+  EXPECT_EQ(block.shape(), (Shape4{1, 2, 4, 4}));
+  for (std::int64_t h = 0; h < 2; ++h)
+    for (std::int64_t n = 0; n < 4; ++n)
+      for (std::int64_t e = 0; e < 4; ++e)
+        EXPECT_EQ(block.at(0, h, n, e), t.at(1, 1 + h, 2 + n, e));
+
+  TensorF copy(t.shape());
+  copy.Place(block, 1, 1, 2, 0);
+  for (std::int64_t h = 0; h < 2; ++h)
+    for (std::int64_t n = 0; n < 4; ++n)
+      for (std::int64_t e = 0; e < 4; ++e)
+        EXPECT_EQ(copy.at(1, 1 + h, 2 + n, e), t.at(1, 1 + h, 2 + n, e));
+}
+
+TEST(Tensor, SliceRejectsOutOfBounds) {
+  TensorF t(1, 1, 4, 4);
+  EXPECT_THROW(t.Slice(0, 1, 0, 1, 2, 3, 0, 4), Error);  // rows 2..5 > 4
+  EXPECT_THROW(t.Slice(0, 1, 0, 1, 0, 0, 0, 4), Error);  // empty extent
+  EXPECT_THROW(t.Slice(0, 1, 0, 1, -1, 2, 0, 4), Error); // negative origin
+}
+
+TEST(Tensor, PlaceRejectsOverflow) {
+  TensorF t(1, 1, 4, 4);
+  TensorF block(1, 1, 3, 3);
+  EXPECT_THROW(t.Place(block, 0, 0, 2, 0), Error);
+}
+
+TEST(Tensor, FillUniformWithinRange) {
+  Rng rng(9);
+  TensorF t(1, 2, 16, 16);
+  FillUniform(t, rng, -2.0f, 3.0f);
+  float lo = 1e9f, hi = -1e9f;
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    lo = std::min(lo, t.data()[i]);
+    hi = std::max(hi, t.data()[i]);
+  }
+  EXPECT_GE(lo, -2.0f);
+  EXPECT_LT(hi, 3.0f);
+  EXPECT_LT(lo, 0.0f);  // actually spans the range
+  EXPECT_GT(hi, 1.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  TensorF a(1, 1, 2, 2), b(1, 1, 2, 2);
+  a.at(0, 0, 1, 1) = 1.0f;
+  b.at(0, 0, 1, 1) = 1.5f;
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 0.5);
+  TensorF c(1, 1, 2, 3);
+  EXPECT_THROW(MaxAbsDiff(a, c), Error);
+}
+
+TEST(Tensor, HalfPrecisionStorage) {
+  TensorH t(1, 1, 2, 2);
+  t.at(0, 0, 0, 0) = Fp16(1.5f);
+  EXPECT_EQ(static_cast<float>(t.at(0, 0, 0, 0)), 1.5f);
+  t.Fill(Fp16(2.0f));
+  EXPECT_EQ(static_cast<float>(t.at(0, 0, 1, 1)), 2.0f);
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,201 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "sim/hardware_config.h"
+
+namespace mas::trace {
+namespace {
+
+// A small recorded MAS schedule shared by most tests.
+sim::SimResult RecordedResult() {
+  const AttentionShape shape{"tiny", 1, 2, 64, 16};
+  const auto mas = MakeScheduler(Method::kMas);
+  return mas->Simulate(shape, TilingConfig{1, 1, 32, 32}, sim::EdgeSimConfig(),
+                       sim::EnergyModel{}, /*record_timeline=*/true);
+}
+
+sim::SimResult UnrecordedResult() {
+  const AttentionShape shape{"tiny", 1, 2, 64, 16};
+  const auto mas = MakeScheduler(Method::kMas);
+  return mas->Simulate(shape, TilingConfig{1, 1, 32, 32}, sim::EdgeSimConfig(),
+                       sim::EnergyModel{});
+}
+
+TEST(AsciiGanttTest, RendersOneLanePerResource) {
+  const auto r = RecordedResult();
+  const std::string gantt = AsciiGantt(r);
+  EXPECT_NE(gantt.find("DMA"), std::string::npos);
+  EXPECT_NE(gantt.find("MAC0"), std::string::npos);
+  EXPECT_NE(gantt.find("VEC0"), std::string::npos);
+  // Busy markers must appear (the schedule does real work).
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(AsciiGanttTest, RespectsWidth) {
+  const auto r = RecordedResult();
+  GanttOptions opts;
+  opts.width = 40;
+  opts.show_names = false;
+  const std::string gantt = AsciiGantt(r, opts);
+  // Every lane line is label(6) + '|' + width + '|'.
+  std::size_t pos = gantt.find('\n') + 1;  // skip header
+  while (pos < gantt.size()) {
+    const std::size_t end = gantt.find('\n', pos);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - pos, 6u + 1u + 40u + 1u);
+    pos = end + 1;
+  }
+}
+
+TEST(AsciiGanttTest, WindowClipping) {
+  const auto r = RecordedResult();
+  GanttOptions opts;
+  opts.from = r.cycles / 2;
+  opts.to = r.cycles;
+  const std::string gantt = AsciiGantt(r, opts);
+  EXPECT_NE(gantt.find(std::to_string(r.cycles / 2)), std::string::npos);
+}
+
+TEST(AsciiGanttTest, ThrowsWithoutTimeline) {
+  const auto r = UnrecordedResult();
+  EXPECT_THROW(AsciiGantt(r), Error);
+}
+
+TEST(AsciiGanttTest, RejectsTinyWidth) {
+  const auto r = RecordedResult();
+  GanttOptions opts;
+  opts.width = 2;
+  EXPECT_THROW(AsciiGantt(r, opts), Error);
+}
+
+TEST(ChromeTraceTest, ProducesValidShapedJson) {
+  const auto r = RecordedResult();
+  const std::string json = ChromeTraceJson(r, 3.75);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity check).
+  std::int64_t depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTraceTest, EventCountMatchesTimeline) {
+  const auto r = RecordedResult();
+  const std::string json = ChromeTraceJson(r, 3.75);
+  std::size_t events = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 8;
+  }
+  EXPECT_EQ(events, r.timeline.size());
+}
+
+TEST(ChromeTraceTest, RejectsNonPositiveFrequency) {
+  const auto r = RecordedResult();
+  EXPECT_THROW(ChromeTraceJson(r, 0.0), Error);
+}
+
+TEST(TimelineCsvTest, HeaderAndRowCount) {
+  const auto r = RecordedResult();
+  const std::string csv = TimelineCsv(r);
+  EXPECT_EQ(csv.find("name,resource,core,start_cycle,end_cycle,duration\n"), 0u);
+  const std::size_t rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, r.timeline.size() + 1);  // + header
+}
+
+TEST(TimelineCsvTest, DurationsConsistent) {
+  const auto r = RecordedResult();
+  for (const auto& e : r.timeline) {
+    EXPECT_LE(e.start, e.end);
+  }
+}
+
+TEST(SummarizeTest, LaneAccountingMatchesEngineStats) {
+  const auto r = RecordedResult();
+  const TimelineSummary summary = Summarize(r);
+  EXPECT_EQ(summary.makespan, r.cycles);
+  // Busy cycles per lane must agree with the engine's resource stats.
+  for (const auto& lane : summary.lanes) {
+    for (const auto& res : r.resources) {
+      const bool same_kind = lane.resource == sim::ResourceKindName(res.kind);
+      const bool same_core = res.kind == sim::ResourceKind::kDma || lane.core == res.core;
+      if (same_kind && same_core && res.task_count > 0) {
+        EXPECT_EQ(lane.busy_cycles, res.busy_cycles) << lane.resource << lane.core;
+        EXPECT_EQ(lane.task_count, res.task_count);
+      }
+    }
+  }
+}
+
+TEST(SummarizeTest, UtilizationBounded) {
+  const TimelineSummary summary = Summarize(RecordedResult());
+  for (const auto& lane : summary.lanes) {
+    EXPECT_GE(lane.utilization, 0.0);
+    EXPECT_LE(lane.utilization, 1.0 + 1e-9);
+    EXPECT_LE(lane.first_start, lane.last_end);
+    EXPECT_LE(lane.last_end, summary.makespan);
+  }
+}
+
+TEST(SummarizeTest, MasOverlapsMacAndVec) {
+  // The point of MAS: nonzero MAC/VEC co-busy time.
+  const TimelineSummary summary = Summarize(RecordedResult());
+  EXPECT_GT(summary.mac_vec_overlap_cycles, 0u);
+  EXPECT_LE(summary.mac_vec_overlap_cycles, summary.makespan);
+}
+
+TEST(SummarizeTest, FlatOverlapsLessThanMas) {
+  // Fig. 1 quantified: on the same workload/tiling, FLAT's sequential stages
+  // leave strictly less MAC/VEC overlap than MAS's stream pipeline.
+  const AttentionShape shape{"tiny", 1, 4, 128, 32};
+  const TilingConfig tiling{1, 1, 32, 64};
+  const auto hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  const auto flat_r =
+      MakeScheduler(Method::kFlat)->Simulate(shape, tiling, hw, em, true);
+  const auto mas_r = MakeScheduler(Method::kMas)->Simulate(shape, tiling, hw, em, true);
+  const auto flat_s = Summarize(flat_r);
+  const auto mas_s = Summarize(mas_r);
+  EXPECT_LT(flat_s.mac_vec_overlap_cycles, mas_s.mac_vec_overlap_cycles);
+}
+
+TEST(SummarizeTest, ToStringMentionsEveryLane) {
+  const TimelineSummary summary = Summarize(RecordedResult());
+  const std::string text = summary.ToString();
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("MAC/VEC overlap"), std::string::npos);
+  for (const auto& lane : summary.lanes) {
+    EXPECT_NE(text.find(lane.resource), std::string::npos);
+  }
+}
+
+TEST(WriteFileTest, RoundTrips) {
+  const std::string path = testing::TempDir() + "/mas_trace_test.txt";
+  WriteFile(path, "hello\nworld\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileTest, ThrowsOnBadPath) {
+  EXPECT_THROW(WriteFile("/nonexistent-dir-zz/x.txt", "data"), Error);
+}
+
+}  // namespace
+}  // namespace mas::trace

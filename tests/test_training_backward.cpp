@@ -1,0 +1,201 @@
+// Backward-pass attention: gradient correctness and schedule invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/attention_kernels.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+#include "training/backward_kernels.h"
+#include "training/backward_scheduler.h"
+
+namespace mas::training {
+namespace {
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+sim::EnergyModel Em() { return sim::EnergyModel{}; }
+
+struct Problem {
+  TensorF q, k, v, dout;
+  Problem(std::int64_t b, std::int64_t h, std::int64_t n, std::int64_t e,
+          std::int64_t nkv = 0, std::uint64_t seed = 17)
+      : q(b, h, n, e),
+        k(b, h, nkv > 0 ? nkv : n, e),
+        v(b, h, nkv > 0 ? nkv : n, e),
+        dout(b, h, n, e) {
+    Rng rng(seed);
+    FillUniform(q, rng);
+    FillUniform(k, rng);
+    FillUniform(v, rng);
+    FillUniform(dout, rng);
+  }
+};
+
+TEST(SoftmaxBackward, ZeroGradientForUniformDp) {
+  // softmax backward of a constant dP row is exactly zero (the Jacobian's
+  // rows sum to zero): dC = P*(c - sum(c*P)) = P*(c - c) = 0.
+  Rng rng(3);
+  TensorF c(1, 1, 4, 8);
+  FillUniform(c, rng);
+  const TensorF p = SoftmaxRows(c);
+  TensorF dp(1, 1, 4, 8);
+  dp.Fill(0.7f);
+  const TensorF dc = SoftmaxBackwardRows(p, dp);
+  for (std::int64_t i = 0; i < dc.elements(); ++i) {
+    EXPECT_NEAR(dc.data()[i], 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxBackward, RowsSumToZero) {
+  // For any dP, the dC row sums to zero (softmax outputs are constrained to
+  // the simplex, so gradients live in its tangent space).
+  Rng rng(5);
+  TensorF c(1, 2, 6, 10), dp(1, 2, 6, 10);
+  FillUniform(c, rng);
+  FillUniform(dp, rng);
+  const TensorF dc = SoftmaxBackwardRows(SoftmaxRows(c), dp);
+  for (std::int64_t h = 0; h < 2; ++h)
+    for (std::int64_t m = 0; m < 6; ++m) {
+      double row = 0.0;
+      for (std::int64_t n = 0; n < 10; ++n) row += dc.at(0, h, m, n);
+      EXPECT_NEAR(row, 0.0, 1e-5);
+    }
+}
+
+TEST(ReferenceBackward, MatchesNumericalGradients) {
+  // Central-difference check of a handful of elements in each input.
+  Problem p(1, 2, 6, 4);
+  const AttentionGrads grads = ReferenceAttentionBackward(p.q, p.k, p.v, p.dout);
+  struct Probe {
+    int which;
+    std::int64_t h, n, e;
+  };
+  const Probe probes[] = {
+      {0, 0, 0, 0}, {0, 1, 3, 2}, {1, 0, 5, 1}, {1, 1, 2, 3}, {2, 0, 4, 0}, {2, 1, 1, 2},
+  };
+  for (const Probe& probe : probes) {
+    const double numeric =
+        NumericalGradient(p.q, p.k, p.v, p.dout, probe.which, 0, probe.h, probe.n, probe.e);
+    const TensorF& g = probe.which == 0 ? grads.dq : probe.which == 1 ? grads.dk : grads.dv;
+    EXPECT_NEAR(g.at(0, probe.h, probe.n, probe.e), numeric, 5e-3)
+        << "which=" << probe.which << " h=" << probe.h << " n=" << probe.n
+        << " e=" << probe.e;
+  }
+}
+
+TEST(TiledBackward, MatchesReferenceAcrossTilings) {
+  Problem p(1, 2, 24, 8);
+  const AttentionGrads ref = ReferenceAttentionBackward(p.q, p.k, p.v, p.dout);
+  for (const auto& [nq, nkv] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {24, 24}, {8, 8}, {5, 7}, {1, 24}, {24, 1}}) {
+    const AttentionGrads tiled = TiledAttentionBackward(p.q, p.k, p.v, p.dout, nq, nkv);
+    EXPECT_LT(MaxAbsDiff(tiled.dq, ref.dq), 1e-4) << nq << "," << nkv;
+    EXPECT_LT(MaxAbsDiff(tiled.dk, ref.dk), 1e-4) << nq << "," << nkv;
+    EXPECT_LT(MaxAbsDiff(tiled.dv, ref.dv), 1e-4) << nq << "," << nkv;
+  }
+}
+
+TEST(TiledBackward, CrossAttentionShapes) {
+  Problem p(1, 2, 20, 8, /*nkv=*/12);
+  const AttentionGrads ref = ReferenceAttentionBackward(p.q, p.k, p.v, p.dout);
+  const AttentionGrads tiled = TiledAttentionBackward(p.q, p.k, p.v, p.dout, 8, 5);
+  EXPECT_LT(MaxAbsDiff(tiled.dq, ref.dq), 1e-4);
+  EXPECT_LT(MaxAbsDiff(tiled.dk, ref.dk), 1e-4);
+  EXPECT_LT(MaxAbsDiff(tiled.dv, ref.dv), 1e-4);
+  EXPECT_EQ(tiled.dk.shape().n, 12);
+  EXPECT_EQ(tiled.dq.shape().n, 20);
+}
+
+TEST(BackwardSchedulers, ExecuteGoldenCheck) {
+  Problem p(1, 3, 32, 8);
+  const AttentionGrads ref = ReferenceAttentionBackward(p.q, p.k, p.v, p.dout);
+  for (BackwardMethod m : {BackwardMethod::kSequential, BackwardMethod::kStream}) {
+    const auto sched = MakeBackwardScheduler(m);
+    const AttentionGrads got = sched->Execute(p.q, p.k, p.v, p.dout, TilingConfig{1, 1, 8, 16});
+    EXPECT_LT(MaxAbsDiff(got.dq, ref.dq), 1e-4) << sched->name();
+    EXPECT_LT(MaxAbsDiff(got.dk, ref.dk), 1e-4) << sched->name();
+    EXPECT_LT(MaxAbsDiff(got.dv, ref.dv), 1e-4) << sched->name();
+  }
+}
+
+TEST(BackwardSchedulers, SimulateProducesWork) {
+  const AttentionShape shape{"bwd", 1, 8, 512, 64};
+  const TilingConfig tiling{1, 1, 64, 512};
+  for (BackwardMethod m : {BackwardMethod::kSequential, BackwardMethod::kStream}) {
+    const auto sched = MakeBackwardScheduler(m);
+    ASSERT_TRUE(sched->Fits(shape, tiling, Hw())) << sched->name();
+    const auto r = sched->Simulate(shape, tiling, Hw(), Em());
+    EXPECT_GT(r.cycles, 0u) << sched->name();
+    EXPECT_GT(r.dram_read_bytes, 0) << sched->name();
+    // Writes: dQ (N x E) + dK + dV (Nkv x E each) per head.
+    const std::int64_t eb = Hw().element_bytes;
+    EXPECT_EQ(r.dram_write_bytes,
+              shape.OperandBytes(eb) + 2 * shape.KvOperandBytes(eb))
+        << sched->name();
+  }
+}
+
+TEST(BackwardSchedulers, StreamBeatsSequential) {
+  // The headline of the extension: MAS-style pipelining helps backward too.
+  const AttentionShape shape{"bwd", 1, 8, 512, 64};
+  const TilingConfig tiling{1, 1, 64, 512};
+  const auto seq = MakeBackwardScheduler(BackwardMethod::kSequential);
+  const auto stream = MakeBackwardScheduler(BackwardMethod::kStream);
+  const auto r_seq = seq->Simulate(shape, tiling, Hw(), Em());
+  const auto r_stream = stream->Simulate(shape, tiling, Hw(), Em());
+  EXPECT_LT(r_stream.cycles, r_seq.cycles);
+}
+
+TEST(BackwardSchedulers, BackwardCostsMoreThanForwardFloor) {
+  // Five MatMuls per block vs forward's two: backward cycles must exceed
+  // 2x the forward MAC floor.
+  const AttentionShape shape{"bwd", 1, 8, 512, 64};
+  const TilingConfig tiling{1, 1, 64, 512};
+  const auto stream = MakeBackwardScheduler(BackwardMethod::kStream);
+  const auto r = stream->Simulate(shape, tiling, Hw(), Em());
+  const double fwd_floor = static_cast<double>(shape.TotalMacs()) /
+                           static_cast<double>(Hw().TotalMacThroughput());
+  EXPECT_GT(static_cast<double>(r.cycles), 2.0 * fwd_floor);
+}
+
+TEST(BackwardSchedulers, MacWorkIdenticalAcrossDataflows) {
+  const AttentionShape shape{"bwd", 1, 4, 256, 64};
+  const TilingConfig tiling{1, 1, 64, 256};
+  const auto seq = MakeBackwardScheduler(BackwardMethod::kSequential);
+  const auto stream = MakeBackwardScheduler(BackwardMethod::kStream);
+  const auto r_seq = seq->Simulate(shape, tiling, Hw(), Em());
+  const auto r_stream = stream->Simulate(shape, tiling, Hw(), Em());
+  const double tol = r_seq.energy.mac_pe_pj * 1e-9;
+  EXPECT_NEAR(r_stream.energy.mac_pe_pj, r_seq.energy.mac_pe_pj, tol);
+  EXPECT_NEAR(r_stream.energy.vec_pe_pj, r_seq.energy.vec_pe_pj, tol);
+}
+
+TEST(BackwardSchedulers, InfeasibleTilingRejected) {
+  const AttentionShape shape{"bwd", 1, 32, 4096, 128};
+  const TilingConfig huge{1, 32, 4096, 4096};
+  for (BackwardMethod m : {BackwardMethod::kSequential, BackwardMethod::kStream}) {
+    const auto sched = MakeBackwardScheduler(m);
+    EXPECT_FALSE(sched->Fits(shape, huge, Hw())) << sched->name();
+    EXPECT_THROW(sched->Simulate(shape, huge, Hw(), Em()), Error) << sched->name();
+  }
+}
+
+TEST(BackwardSchedulers, StreamNeedsMoreL1ThanSequential) {
+  // The stream pipeline keeps two blocks in flight; on a budget sized
+  // between the two footprints, only the sequential dataflow fits.
+  const AttentionShape shape{"bwd", 1, 1, 2048, 64};
+  const TilingConfig tiling{1, 1, 128, 256};
+  sim::HardwareConfig hw = Hw();
+  hw.cores.resize(1);
+  const auto seq = MakeBackwardScheduler(BackwardMethod::kSequential);
+  const auto stream = MakeBackwardScheduler(BackwardMethod::kStream);
+  // Find a budget where they diverge.
+  bool diverged = false;
+  for (std::int64_t mb = 1; mb <= 8 && !diverged; ++mb) {
+    hw.l1_bytes = mb * 1024 * 1024;
+    diverged = seq->Fits(shape, tiling, hw) && !stream->Fits(shape, tiling, hw);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace mas::training

@@ -1,0 +1,107 @@
+#include "dataflow/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "dataflow/attention_shape.h"
+
+namespace mas {
+namespace {
+
+TEST(Workloads, TwelveTable1Rows) {
+  EXPECT_EQ(Table1Networks().size(), 12u);
+}
+
+TEST(Workloads, Table1ValuesMatchPaper) {
+  const auto nets = Table1Networks();
+  // Spot-check each row against the paper's Table 1.
+  struct Expect {
+    const char* name;
+    std::int64_t heads, seq, hidden, emb;
+  };
+  const Expect expects[] = {
+      {"BERT-Base & T5-Base", 12, 512, 768, 64},
+      {"BERT-Large & T5-Large", 16, 512, 1024, 64},
+      {"BERT-Small", 8, 512, 512, 64},
+      {"Llama3-8B & T5-3B (T5-XL)", 32, 512, 4096, 128},
+      {"T5-Mini & T5-Small", 8, 512, 256, 32},
+      {"ViT-B/14", 12, 196, 768, 64},
+      {"ViT-L/14", 16, 196, 1024, 64},
+      {"ViT-H/14", 16, 196, 1280, 80},
+      {"ViT-B/16", 12, 256, 768, 64},
+      {"ViT-L/16", 16, 256, 1024, 64},
+      {"ViT-H/16", 16, 256, 1280, 80},
+      {"XLM", 8, 512, 1024, 128},
+  };
+  ASSERT_EQ(nets.size(), std::size(expects));
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    EXPECT_EQ(nets[i].name, expects[i].name);
+    EXPECT_EQ(nets[i].shape.heads, expects[i].heads) << nets[i].name;
+    EXPECT_EQ(nets[i].shape.seq_len, expects[i].seq) << nets[i].name;
+    EXPECT_EQ(nets[i].hidden, expects[i].hidden) << nets[i].name;
+    EXPECT_EQ(nets[i].shape.embed, expects[i].emb) << nets[i].name;
+    EXPECT_EQ(nets[i].shape.batch, 1) << nets[i].name;
+  }
+}
+
+TEST(Workloads, FindNetwork) {
+  EXPECT_EQ(FindNetwork("XLM").shape.heads, 8);
+  EXPECT_THROW(FindNetwork("GPT-99"), Error);
+}
+
+TEST(Workloads, SdUnetHasFifteenUnits) {
+  std::int64_t total = 0;
+  for (const auto& unit : SdUnetAttentionUnits()) total += unit.count;
+  EXPECT_EQ(total, 15);
+}
+
+TEST(Workloads, SdUnetLargestMatchesPaper) {
+  // §5.2.2: largest attention layer has 2 heads, seq 4096, embed 64.
+  const auto units = SdUnetAttentionUnits();
+  const auto& largest = units.front();
+  EXPECT_EQ(largest.shape.heads, 2);
+  EXPECT_EQ(largest.shape.seq_len, 4096);
+  EXPECT_EQ(largest.shape.embed, 64);
+}
+
+TEST(AttentionShape, TotalMacs) {
+  // BERT-Base: 2 * 1 * 12 * 512^2 * 64.
+  const AttentionShape s{"bert", 1, 12, 512, 64};
+  EXPECT_EQ(s.TotalMacs(), 2LL * 12 * 512 * 512 * 64);
+  EXPECT_EQ(s.ScoreElements(), 12LL * 512 * 512);
+  EXPECT_EQ(s.OperandBytes(2), 12LL * 512 * 64 * 2);
+}
+
+TEST(AttentionShape, ValidateRejectsBadDims) {
+  AttentionShape s{"bad", 0, 1, 1, 1};
+  EXPECT_THROW(s.Validate(), Error);
+}
+
+TEST(TilingConfig, RowAndKvBlockCounts) {
+  const AttentionShape s{"t", 1, 12, 512, 64};
+  const TilingConfig t{1, 4, 128, 256};
+  EXPECT_EQ(t.RowBlocks(s), 1 * 3 * 4);
+  EXPECT_EQ(t.KvBlocks(s), 2);
+}
+
+TEST(TilingConfig, NonDivisorFactorsCeil) {
+  const AttentionShape s{"t", 1, 12, 196, 64};
+  const TilingConfig t{1, 8, 128, 128};
+  EXPECT_EQ(t.RowBlocks(s), 2 * 2);  // ceil(12/8) * ceil(196/128)
+  EXPECT_EQ(t.KvBlocks(s), 2);
+}
+
+TEST(TilingConfig, ValidateRange) {
+  const AttentionShape s{"t", 1, 12, 512, 64};
+  TilingConfig bad{1, 13, 128, 128};  // hh > heads
+  EXPECT_THROW(bad.Validate(s), Error);
+  TilingConfig bad2{1, 1, 0, 128};
+  EXPECT_THROW(bad2.Validate(s), Error);
+  TilingConfig bad3{1, 1, 128, 1024};  // nkv > seq
+  EXPECT_THROW(bad3.Validate(s), Error);
+  TilingConfig good{1, 12, 512, 512};
+  EXPECT_NO_THROW(good.Validate(s));
+}
+
+}  // namespace
+}  // namespace mas

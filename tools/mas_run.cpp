@@ -1,0 +1,166 @@
+// mas_run: simulate attention schedulers from the command line.
+//
+// Examples:
+//   # one Table-1 network, every method, tuned tilings, text table
+//   $ mas_run --network "BERT-Base & T5-Base"
+//
+//   # custom shape (B,H,N,E[,Nkv]) with an explicit tiling, JSON output
+//   $ mas_run --shape 1,12,512,64 --method MAS-Attention \
+//             --tiling 1,1,64,512 --format json
+//
+//   # cross-attention decode step on the NPU preset with a tighter L1
+//   $ mas_run --shape 1,32,1,128,4096 --hw npu --l1-mb 2
+//
+//   # export the MAS schedule timeline for chrome://tracing
+//   $ mas_run --network BERT-Small --method MAS-Attention --trace /tmp/mas
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "cli/args.h"
+#include "common/table.h"
+#include "dataflow/workloads.h"
+#include "report/json_report.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace mas;
+
+std::vector<std::int64_t> ParseIntList(const std::string& text) {
+  std::vector<std::int64_t> values;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    MAS_CHECK(!item.empty()) << "empty element in list '" << text << "'";
+    values.push_back(std::atoll(item.c_str()));
+  }
+  return values;
+}
+
+AttentionShape ShapeFromFlag(const std::string& text) {
+  const auto v = ParseIntList(text);
+  MAS_CHECK(v.size() == 4 || v.size() == 5)
+      << "--shape expects B,H,N,E or B,H,N,E,Nkv; got '" << text << "'";
+  AttentionShape shape{"custom", v[0], v[1], v[2], v[3], v.size() == 5 ? v[4] : 0};
+  shape.Validate();
+  return shape;
+}
+
+std::vector<Method> MethodsFromFlag(const std::string& text) {
+  if (text == "all") return AllMethods();
+  for (Method m : AllMethods()) {
+    if (text == MethodName(m)) return {m};
+  }
+  if (text == MethodName(Method::kMasNoOverwrite)) return {Method::kMasNoOverwrite};
+  std::string options;
+  for (Method m : AllMethods()) options += std::string(" '") + MethodName(m) + "'";
+  MAS_FAIL() << "unknown method '" << text << "'; options: all" << options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mas;
+  cli::ArgParser parser(
+      "mas_run — simulate attention dataflow schedulers (MAS-Attention reproduction)");
+  const std::string* network = parser.AddString("network", "", "Table-1 network name");
+  const std::string* shape_flag =
+      parser.AddString("shape", "", "custom shape B,H,N,E[,Nkv] (overrides --network)");
+  const std::string* method_flag =
+      parser.AddString("method", "all", "method name or 'all'");
+  const std::string* hw_flag = parser.AddString("hw", "edge", "hardware preset: edge | npu");
+  const std::int64_t* l1_mb = parser.AddInt("l1-mb", 0, "override L1 capacity (MiB)");
+  const std::int64_t* cores = parser.AddInt("cores", 0, "override core count");
+  const double* bandwidth =
+      parser.AddDouble("bandwidth-gbs", 0.0, "override DRAM bandwidth (GB/s)");
+  const std::string* tiling_flag =
+      parser.AddString("tiling", "", "fixed tiling Bb,Hh,Nq,Nkv (default: autotune)");
+  const std::string* format = parser.AddString("format", "table", "output: table | json");
+  const std::string* trace_prefix =
+      parser.AddString("trace", "", "export timeline (<prefix>.trace.json/.timeline.csv)");
+
+  try {
+    if (!parser.Parse(argc, argv)) return 0;
+
+    sim::HardwareConfig hw =
+        *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
+    MAS_CHECK(*hw_flag == "npu" || *hw_flag == "edge")
+        << "unknown --hw '" << *hw_flag << "' (edge | npu)";
+    if (*l1_mb > 0) hw.l1_bytes = *l1_mb * 1024 * 1024;
+    if (*cores > 0) {
+      MAS_CHECK(*cores <= 64) << "--cores out of range";
+      const sim::CoreConfig proto = hw.cores.front();
+      hw.cores.assign(static_cast<std::size_t>(*cores), proto);
+    }
+    if (*bandwidth > 0.0) hw.dram_gb_per_s = *bandwidth;
+
+    AttentionShape shape;
+    if (!shape_flag->empty()) {
+      shape = ShapeFromFlag(*shape_flag);
+    } else if (!network->empty()) {
+      shape = FindNetwork(*network).shape;
+    } else {
+      shape = FindNetwork("BERT-Base & T5-Base").shape;
+    }
+
+    const sim::EnergyModel em;
+    const std::vector<Method> methods = MethodsFromFlag(*method_flag);
+
+    std::vector<report::NamedRun> runs;
+    for (Method m : methods) {
+      const auto sched = MakeScheduler(m);
+      TilingConfig tiling;
+      if (!tiling_flag->empty()) {
+        const auto v = ParseIntList(*tiling_flag);
+        MAS_CHECK(v.size() == 4) << "--tiling expects Bb,Hh,Nq,Nkv";
+        tiling = TilingConfig{v[0], v[1], v[2], v[3]};
+        MAS_CHECK(sched->Fits(shape, tiling, hw))
+            << tiling.ToString() << " does not fit for " << sched->name();
+      } else {
+        tiling = search::AutoTile(*sched, shape, hw, em);
+      }
+      const bool want_trace = !trace_prefix->empty() && methods.size() == 1;
+      runs.push_back({m, tiling, sched->Simulate(shape, tiling, hw, em, want_trace)});
+    }
+
+    if (*format == "json") {
+      std::cout << report::RunsJson(shape, hw, runs) << "\n";
+    } else {
+      MAS_CHECK(*format == "table") << "unknown --format '" << *format << "' (table | json)";
+      std::cout << shape.ToString() << " on " << hw.name << "\n";
+      TextTable table({"Method", "tiling", "Mcycles", "ms", "energy GpJ", "DRAM MB",
+                       "MAC util", "overwrites"});
+      for (const auto& run : runs) {
+        const auto& r = run.result;
+        table.AddRow({MethodName(run.method), run.tiling.ToString(),
+                      FormatFixed(r.cycles / 1e6, 3),
+                      FormatFixed(r.cycles / (hw.frequency_ghz * 1e6), 3),
+                      FormatFixed(r.energy.total_pj() / 1e9, 3),
+                      FormatFixed((r.dram_read_bytes + r.dram_write_bytes) / (1024.0 * 1024.0),
+                                  2),
+                      FormatPercent(r.MacUtilization()), std::to_string(r.overwrite_events)});
+      }
+      std::cout << table.ToString();
+    }
+
+    if (!trace_prefix->empty()) {
+      MAS_CHECK(runs.size() == 1)
+          << "--trace needs a single --method (got " << runs.size() << " runs)";
+      const auto& r = runs.front().result;
+      trace::WriteFile(*trace_prefix + ".trace.json",
+                       trace::ChromeTraceJson(r, hw.frequency_ghz));
+      trace::WriteFile(*trace_prefix + ".timeline.csv", trace::TimelineCsv(r));
+      std::cerr << "wrote " << *trace_prefix << ".trace.json and " << *trace_prefix
+                << ".timeline.csv\n";
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
