@@ -4,46 +4,63 @@
 // round trips grow O(N^2), the fused methods stay compute-bound until the
 // score strips press on L1, and MAS's overlap advantage is roughly
 // N-invariant until the §5.6 pipelining bound bites.
+//
+// Runs on the SweepRunner and doubles as its determinism/throughput proof:
+// the full 6-method x N grid is evaluated serially (--jobs=1 semantics) and
+// again on 8 worker threads, the two aggregated JSON documents are compared
+// byte-for-byte, and both wall-clock times are printed.
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
 #include "dataflow/workloads.h"
+#include "runner/sweep_runner.h"
 #include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
 #include "sim/hardware_config.h"
 
 int main() {
   using namespace mas;
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
-  const sim::EnergyModel em;
 
-  std::cout << "=== Sequence-length sweep (H=12, E=64) ===\n";
+  std::cout << "=== Sequence-length sweep (H=12, E=64) on the SweepRunner ===\n";
   std::cout << hw.Describe() << "\n";
 
-  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kFuseMax,
-                                       Method::kMas};
-  TextTable table({"N", "Layer-Wise Mcyc", "FLAT Mcyc", "FuseMax Mcyc", "MAS Mcyc",
-                   "MAS vs LW", "MAS vs FLAT", "MAS overwrites"});
-  for (std::int64_t n = 128; n <= 8192; n *= 2) {
-    AttentionShape shape{"sweep_n" + std::to_string(n), 1, 12, n, 64};
-    std::vector<double> mcyc;
-    std::int64_t overwrites = 0;
-    for (Method m : methods) {
-      const auto sched = MakeScheduler(m);
-      const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
-      const auto r = sched->Simulate(shape, tiling, hw, em);
-      mcyc.push_back(r.cycles / 1e6);
-      if (m == Method::kMas) overwrites = r.overwrite_events;
-    }
-    table.AddRow({std::to_string(n), FormatFixed(mcyc[0], 3), FormatFixed(mcyc[1], 3),
-                  FormatFixed(mcyc[2], 3), FormatFixed(mcyc[3], 3),
-                  FormatSpeedup(mcyc[0] / mcyc[3]), FormatSpeedup(mcyc[1] / mcyc[3]),
-                  std::to_string(overwrites)});
+  runner::SweepGrid grid;
+  grid.methods = AllMethods();
+  grid.hardware = {hw};
+  // MAS_SWEEP_MAX_N trims the sweep for quick runs; clamp so a low or
+  // unparsable value still leaves at least the N=128 point.
+  const char* env_max = std::getenv("MAS_SWEEP_MAX_N");
+  const std::int64_t max_n = std::max<std::int64_t>(128, env_max != nullptr ? std::atoll(env_max) : 2048);
+  for (std::int64_t n = 128; n <= max_n; n *= 2) {
+    grid.shapes.push_back(AttentionShape{"sweep_n" + std::to_string(n), 1, 12, n, 64});
   }
-  std::cout << table.ToString() << "\n";
+
+  // Serial reference pass, then the same grid on 8 worker threads with a
+  // fresh runner (empty cache) so the timing comparison is honest.
+  runner::SweepRunner serial(runner::SweepOptions{/*jobs=*/1, /*cache=*/true});
+  const runner::SweepReport serial_report = serial.Run(grid);
+
+  runner::SweepRunner threaded(runner::SweepOptions{/*jobs=*/8, /*cache=*/true});
+  const runner::SweepReport threaded_report = threaded.Run(grid);
+
+  std::cout << threaded_report.SpeedupTable().ToString() << "\n";
   std::cout << "All columns grow O(N^2); the MAS-vs-Layer-Wise gap widens with N (the C/P\n";
   std::cout << "round trips Layer-Wise pays scale with the score matrix), while MAS-vs-FLAT\n";
   std::cout << "stays near its Table-2 level until long sequences shrink the feasible strip\n";
-  std::cout << "sizes and the proactive overwrite starts firing.\n";
-  return 0;
+  std::cout << "sizes and the proactive overwrite starts firing.\n\n";
+
+  const bool identical = serial_report.ToJson() == threaded_report.ToJson();
+  std::cout << "Runner: " << serial_report.stats.total_jobs << " jobs\n";
+  std::cout << "  --jobs=1 wall-clock: " << FormatFixed(serial_report.stats.wall_seconds, 3)
+            << " s\n";
+  std::cout << "  --jobs=8 wall-clock: " << FormatFixed(threaded_report.stats.wall_seconds, 3)
+            << " s  ("
+            << FormatSpeedup(serial_report.stats.wall_seconds /
+                             threaded_report.stats.wall_seconds)
+            << " vs serial)\n";
+  std::cout << "  aggregated JSON byte-identical across thread counts: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  return identical ? 0 : 1;
 }

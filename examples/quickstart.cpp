@@ -4,15 +4,16 @@
 //
 //   $ ./quickstart
 //
-// Walks through the full public API: define a workload shape, autotune the
-// tiling, simulate on the edge device, and run the functional golden check.
+// Walks through the full public API: define a workload shape, batch-evaluate
+// methods through the SweepRunner (which autotunes tilings and can fan work
+// across threads), and run the functional golden check.
 #include <iostream>
 
 #include "common/rng.h"
 #include "common/table.h"
 #include "kernels/attention_kernels.h"
+#include "runner/sweep_runner.h"
 #include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
 #include "sim/hardware_config.h"
 #include "tensor/tensor.h"
 
@@ -30,35 +31,37 @@ int main() {
   std::cout << "Workload: " << shape.ToString() << " ("
             << FormatFixed(shape.TotalMacs() / 1e6, 0) << "M MACs)\n\n";
 
-  // 3. Autotune a tiling for MAS-Attention and for the FLAT baseline.
-  const auto mas = MakeScheduler(Method::kMas);
-  const auto flat = MakeScheduler(Method::kFlat);
-  const TilingConfig mas_tiling = search::AutoTile(*mas, shape, hw, em);
-  const TilingConfig flat_tiling = search::AutoTile(*flat, shape, hw, em);
-  std::cout << "Tuned tilings: MAS " << mas_tiling.ToString() << ", FLAT "
-            << flat_tiling.ToString() << "\n\n";
+  // 3. Batch-evaluate MAS-Attention against the FLAT baseline through the
+  //    SweepRunner: one declarative grid, autotuned tilings, two worker
+  //    threads (results are identical for any thread count).
+  runner::SweepGrid grid;
+  grid.shapes = {shape};
+  grid.methods = {Method::kMas, Method::kFlat};
+  grid.hardware = {hw};
 
-  // 4. Simulate both schedules.
-  const sim::SimResult mas_r = mas->Simulate(shape, mas_tiling, hw, em);
-  const sim::SimResult flat_r = flat->Simulate(shape, flat_tiling, hw, em);
-  TextTable table({"Method", "Mcycles", "latency ms", "energy GpJ", "MAC util",
-                   "DRAM reads MB"});
-  auto add = [&](const char* name, const sim::SimResult& r) {
-    table.AddRow({name, FormatFixed(r.cycles / 1e6, 3),
-                  FormatFixed(r.cycles / (hw.frequency_ghz * 1e6), 3),
-                  FormatFixed(r.energy.total_pj() / 1e9, 3), FormatPercent(r.MacUtilization()),
-                  FormatFixed(r.dram_read_bytes / (1024.0 * 1024.0), 2)});
-  };
-  add("MAS-Attention", mas_r);
-  add("FLAT", flat_r);
-  std::cout << table.ToString() << "\n";
+  runner::SweepRunner sweep(runner::SweepOptions{/*jobs=*/2, /*cache=*/true}, em);
+  const runner::SweepReport report = sweep.Run(grid);
+  const runner::JobResult* mas_run =
+      report.Find(shape.name, Method::kMas, hw.name);
+  const runner::JobResult* flat_run =
+      report.Find(shape.name, Method::kFlat, hw.name);
+  if (mas_run == nullptr || flat_run == nullptr) {
+    std::cerr << "sweep failed\n";
+    return 1;
+  }
+  std::cout << "Tuned tilings: MAS " << mas_run->tiling.ToString() << ", FLAT "
+            << flat_run->tiling.ToString() << "\n\n";
+
+  // 4. Compare the simulated schedules.
+  std::cout << report.ToTable().ToString() << "\n";
   std::cout << "Speedup: "
-            << FormatSpeedup(static_cast<double>(flat_r.cycles) /
-                             static_cast<double>(mas_r.cycles))
+            << FormatSpeedup(static_cast<double>(flat_run->sim.cycles) /
+                             static_cast<double>(mas_run->sim.cycles))
             << " over FLAT\n\n";
 
   // 5. Golden-data check (paper §5.1): the functional twin must reproduce
   //    exact attention. Use a scaled-down shape so this runs instantly.
+  const auto mas = MakeScheduler(Method::kMas);
   Rng rng(2024);
   const std::int64_t n = 64, e = 16;
   TensorF q(1, 4, n, e), k(1, 4, n, e), v(1, 4, n, e);

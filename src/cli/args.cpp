@@ -1,5 +1,6 @@
 #include "cli/args.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 
@@ -129,6 +130,74 @@ bool ArgParser::Parse(int argc, const char* const* argv) {
     }
   }
   return true;
+}
+
+namespace {
+
+std::int64_t ParsePositiveInt(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  MAS_CHECK(!text.empty() && end != nullptr && *end == '\0')
+      << what << " expects an integer, got '" << text << "'";
+  MAS_CHECK(errno != ERANGE) << what << " out of range: '" << text << "'";
+  MAS_CHECK(v > 0) << what << " expects a positive value, got " << v;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> ParseInt64Sequence(const std::string& text) {
+  MAS_CHECK(!text.empty()) << "empty sequence";
+
+  // Comma list (also covers the single-value case).
+  if (text.find(':') == std::string::npos) {
+    std::vector<std::int64_t> values;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      const std::size_t comma = text.find(',', pos);
+      const std::string item =
+          text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      values.push_back(ParsePositiveInt(item, "sequence element"));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return values;
+  }
+
+  // start:end[:*k | :+k] range.
+  const std::size_t c1 = text.find(':');
+  const std::size_t c2 = text.find(':', c1 + 1);
+  const std::string start_text = text.substr(0, c1);
+  const std::string end_text =
+      text.substr(c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  const std::string step_text = c2 == std::string::npos ? "*2" : text.substr(c2 + 1);
+
+  const std::int64_t start = ParsePositiveInt(start_text, "range start");
+  const std::int64_t end = ParsePositiveInt(end_text, "range end");
+  MAS_CHECK(start <= end) << "range start " << start << " exceeds end " << end;
+  MAS_CHECK(step_text.size() >= 2 && (step_text[0] == '*' || step_text[0] == '+'))
+      << "range step must be *K or +K, got '" << step_text << "'";
+  const std::int64_t k = ParsePositiveInt(step_text.substr(1), "range step");
+
+  // Overflow-safe stepping: advance only while the next value provably fits
+  // under `end` (v <= end/k  <=>  v*k <= end for positive int64s).
+  std::vector<std::int64_t> values;
+  if (step_text[0] == '*') {
+    MAS_CHECK(k >= 2) << "geometric step *" << k << " does not advance";
+    for (std::int64_t v = start;;) {
+      values.push_back(v);
+      if (v > end / k) break;
+      v *= k;
+    }
+  } else {
+    for (std::int64_t v = start;;) {
+      values.push_back(v);
+      if (v > end - k) break;
+      v += k;
+    }
+  }
+  return values;
 }
 
 std::string ArgParser::Usage(const std::string& program_name) const {

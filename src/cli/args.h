@@ -64,4 +64,15 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+// Parses the sweep sequence grammar used by flags like --seq:
+//   "512"            -> {512}
+//   "128,256,512"    -> explicit comma list
+//   "128:1024"       -> geometric range with the default *2 step
+//   "128:4096:*2"    -> geometric range: start, start*2, ... while <= end
+//   "128:640:+128"   -> arithmetic range: start, start+128, ... while <= end
+// The end point is inclusive when the step lands on it exactly. Throws
+// mas::Error on malformed text, non-positive values, or steps that do not
+// advance (*1, +0).
+std::vector<std::int64_t> ParseInt64Sequence(const std::string& text);
+
 }  // namespace mas::cli

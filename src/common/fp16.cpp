@@ -1,6 +1,5 @@
 #include "common/fp16.h"
 
-#include <bit>
 #include <cstring>
 
 namespace mas {
@@ -10,8 +9,17 @@ constexpr std::uint32_t kF32SignMask = 0x80000000u;
 constexpr int kF32ExpBias = 127;
 constexpr int kF16ExpBias = 15;
 
-std::uint32_t BitsOf(float f) { return std::bit_cast<std::uint32_t>(f); }
-float FloatOf(std::uint32_t u) { return std::bit_cast<float>(u); }
+// memcpy-based bit casts (std::bit_cast is C++20).
+std::uint32_t BitsOf(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+float FloatOf(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
 
 }  // namespace
 

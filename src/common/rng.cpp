@@ -1,11 +1,14 @@
 #include "common/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "common/status.h"
 
 namespace mas {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}  // namespace
 namespace {
 
 std::uint64_t SplitMix64(std::uint64_t& x) {
@@ -76,9 +79,9 @@ double Rng::NextGaussian() {
   const double u1 = 1.0 - NextDouble();
   const double u2 = NextDouble();
   const double mag = std::sqrt(-2.0 * std::log(u1));
-  cached_gaussian_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  cached_gaussian_ = mag * std::sin(2.0 * kPi * u2);
   has_cached_gaussian_ = true;
-  return mag * std::cos(2.0 * std::numbers::pi * u2);
+  return mag * std::cos(2.0 * kPi * u2);
 }
 
 std::size_t Rng::NextWeighted(const std::vector<double>& weights) {

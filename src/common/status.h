@@ -5,25 +5,45 @@
 // formatted message plus the source location of the check that fired.
 #pragma once
 
-#include <source_location>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace mas {
 
+// C++17-compatible stand-in for std::source_location (C++20), built on the
+// compiler intrinsics GCC/Clang expose in all standard modes.
+class SourceLocation {
+ public:
+  static SourceLocation current(const char* file = __builtin_FILE(),
+                                std::uint32_t line = __builtin_LINE()) {
+    SourceLocation loc;
+    loc.file_ = file;
+    loc.line_ = line;
+    return loc;
+  }
+
+  const char* file_name() const noexcept { return file_; }
+  std::uint32_t line() const noexcept { return line_; }
+
+ private:
+  const char* file_ = "";
+  std::uint32_t line_ = 0;
+};
+
 // Library-wide exception type. Thrown by MAS_CHECK / MAS_THROW on broken
 // preconditions, invalid configurations, or internal invariant violations.
 class Error : public std::runtime_error {
  public:
-  Error(std::string message, std::source_location loc)
+  Error(std::string message, SourceLocation loc)
       : std::runtime_error(Format(message, loc)), raw_message_(std::move(message)) {}
 
   // Message without the source-location prefix (useful in tests).
   const std::string& raw_message() const noexcept { return raw_message_; }
 
  private:
-  static std::string Format(const std::string& message, std::source_location loc) {
+  static std::string Format(const std::string& message, SourceLocation loc) {
     std::ostringstream os;
     os << loc.file_name() << ":" << loc.line() << ": " << message;
     return os.str();
@@ -38,7 +58,7 @@ namespace detail {
 // `MAS_CHECK(x > 0) << "x was " << x;`.
 class CheckFailure {
  public:
-  explicit CheckFailure(const char* condition, std::source_location loc)
+  explicit CheckFailure(const char* condition, SourceLocation loc)
       : loc_(loc) {
     stream_ << "check failed: " << condition;
   }
@@ -53,7 +73,7 @@ class CheckFailure {
 
  private:
   std::ostringstream stream_;
-  std::source_location loc_;
+  SourceLocation loc_;
 };
 
 }  // namespace detail
@@ -64,7 +84,7 @@ class CheckFailure {
 #define MAS_CHECK(cond)                                                      \
   if (cond) {                                                                \
   } else                                                                     \
-    ::mas::detail::CheckFailure(#cond " ", std::source_location::current())
+    ::mas::detail::CheckFailure(#cond " ", SourceLocation::current())
 
 // Unconditional failure with a streamed message.
-#define MAS_FAIL() ::mas::detail::CheckFailure("failure", std::source_location::current())
+#define MAS_FAIL() ::mas::detail::CheckFailure("failure", SourceLocation::current())

@@ -87,7 +87,10 @@ struct TilingConfig {
            ",Nq=" + std::to_string(nq) + ",Nkv=" + std::to_string(nkv) + ")";
   }
 
-  bool operator==(const TilingConfig&) const = default;
+  bool operator==(const TilingConfig& o) const {
+    return bb == o.bb && hh == o.hh && nq == o.nq && nkv == o.nkv;
+  }
+  bool operator!=(const TilingConfig& o) const { return !(*this == o); }
 };
 
 }  // namespace mas

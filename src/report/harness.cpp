@@ -5,7 +5,7 @@
 
 #include "common/math_util.h"
 #include "common/status.h"
-#include "search/tiling_search.h"
+#include "runner/sweep_runner.h"
 
 namespace mas::report {
 
@@ -23,42 +23,34 @@ const MethodRun& NetworkComparison::Run(Method m) const {
   MAS_FAIL() << "method " << MethodName(m) << " missing for " << network.name;
 }
 
-namespace {
-
-// FuseMax's evaluation protocol in the paper (§5.5): its tilings were the
-// *manually selected* sizes from the original FuseMax work, not searched —
-// it is explicitly excluded from the Fig. 7 search-convergence study. The
-// natural manual mapping of the einsum cascade onto a spatial-array design
-// is array-native granularity: tiles matching the PE mesh dimensions.
-TilingConfig FuseMaxManualTiling(const Scheduler& sched, const AttentionShape& shape,
-                                 const sim::HardwareConfig& hw,
-                                 const sim::EnergyModel& em) {
-  const auto& cc = hw.cores.front();
-  const TilingConfig manual{1, 1, std::min(cc.mac_rows, shape.seq_len),
-                            std::min(cc.mac_cols, shape.kv())};
-  if (sched.Fits(shape, manual, hw)) return manual;
-  // Fall back to a searched tiling when the manual one cannot fit (tiny L1).
-  return search::AutoTile(sched, shape, hw, em);
-}
-
-}  // namespace
-
 std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
                                              const sim::HardwareConfig& hw,
-                                             const sim::EnergyModel& em) {
+                                             const sim::EnergyModel& em, int jobs) {
+  // The (network x method) grid runs on the sweep runner under the paper's
+  // tiling protocol (AutoTile everywhere except FuseMax's §5.5 manual
+  // array-native tiling). Grid order is shape-major with methods innermost,
+  // so the flat result list maps back onto per-network AllMethods() rows.
+  runner::SweepGrid grid;
+  for (const NetworkWorkload& net : networks) grid.shapes.push_back(net.shape);
+  grid.methods = AllMethods();
+  grid.hardware = {hw};
+  grid.policy = runner::TilingPolicy::kPaperProtocol;
+
+  runner::SweepOptions options;
+  options.jobs = jobs;
+  runner::SweepRunner sweep_runner(options, em);
+  const runner::SweepReport report = sweep_runner.Run(grid);
+
   std::vector<NetworkComparison> comparisons;
-  const auto schedulers = AllSchedulers();
+  std::size_t i = 0;
   for (const NetworkWorkload& net : networks) {
     NetworkComparison cmp;
     cmp.network = net;
-    for (const auto& sched : schedulers) {
-      MethodRun run;
-      run.method = sched->method();
-      run.tiling = run.method == Method::kFuseMax
-                       ? FuseMaxManualTiling(*sched, net.shape, hw, em)
-                       : search::AutoTile(*sched, net.shape, hw, em);
-      run.sim = sched->Simulate(net.shape, run.tiling, hw, em);
-      cmp.runs.push_back(std::move(run));
+    for (Method m : AllMethods()) {
+      const runner::JobResult& r = report.results[i++];
+      MAS_CHECK(r.job.method == m && r.ok())
+          << "sweep failed for " << MethodName(m) << " on " << net.name << ": " << r.error;
+      cmp.runs.push_back(MethodRun{m, r.tiling, r.sim});
     }
     comparisons.push_back(std::move(cmp));
   }

@@ -29,9 +29,12 @@ struct NetworkComparison {
 
 // Tunes (coarse grid per §4.2 — the benches that study search quality use
 // the full GA/MCTS searches) and simulates every method on every network.
+// Evaluations run on the runner::SweepRunner; `jobs` > 1 spreads the
+// (network x method) grid across that many worker threads. Results are
+// identical for any thread count.
 std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
                                              const sim::HardwareConfig& hw,
-                                             const sim::EnergyModel& em);
+                                             const sim::EnergyModel& em, int jobs = 1);
 
 // Table 2: cycles (1e6) per method and MAS-vs-others speedups + geomeans.
 TextTable BuildCycleTable(const std::vector<NetworkComparison>& comparisons);

@@ -4,9 +4,7 @@
 
 namespace mas::report {
 
-namespace {
-
-void WriteShape(JsonWriter& w, const AttentionShape& shape) {
+void WriteShapeJson(JsonWriter& w, const AttentionShape& shape) {
   w.BeginObject("shape");
   w.KeyValue("name", shape.name);
   w.KeyValue("batch", shape.batch);
@@ -18,8 +16,8 @@ void WriteShape(JsonWriter& w, const AttentionShape& shape) {
   w.EndObject();
 }
 
-void WriteRunBody(JsonWriter& w, Method method, const TilingConfig& tiling,
-                  const sim::HardwareConfig& hw, const sim::SimResult& r) {
+void WriteRunBodyJson(JsonWriter& w, Method method, const TilingConfig& tiling,
+                      const sim::HardwareConfig& hw, const sim::SimResult& r) {
   w.KeyValue("method", std::string(MethodName(method)));
   w.BeginObject("tiling");
   w.KeyValue("bb", tiling.bb);
@@ -54,15 +52,13 @@ void WriteRunBody(JsonWriter& w, Method method, const TilingConfig& tiling,
   w.EndArray();
 }
 
-}  // namespace
-
 std::string RunJson(const AttentionShape& shape, Method method, const TilingConfig& tiling,
                     const sim::HardwareConfig& hw, const sim::SimResult& result) {
   JsonWriter w;
   w.BeginObject();
-  WriteShape(w, shape);
+  WriteShapeJson(w, shape);
   w.KeyValue("hardware", hw.name);
-  WriteRunBody(w, method, tiling, hw, result);
+  WriteRunBodyJson(w, method, tiling, hw, result);
   w.EndObject();
   return w.Take();
 }
@@ -71,12 +67,12 @@ std::string RunsJson(const AttentionShape& shape, const sim::HardwareConfig& hw,
                      const std::vector<NamedRun>& runs) {
   JsonWriter w;
   w.BeginObject();
-  WriteShape(w, shape);
+  WriteShapeJson(w, shape);
   w.KeyValue("hardware", hw.name);
   w.BeginArray("runs");
   for (const NamedRun& run : runs) {
     w.BeginObject();
-    WriteRunBody(w, run.method, run.tiling, hw, run.result);
+    WriteRunBodyJson(w, run.method, run.tiling, hw, run.result);
     w.EndObject();
   }
   w.EndArray();

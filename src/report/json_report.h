@@ -10,7 +10,22 @@
 #include "sim/engine.h"
 #include "sim/hardware_config.h"
 
+namespace mas {
+class JsonWriter;
+}
+
 namespace mas::report {
+
+// Streaming building blocks, exposed so other report producers (the sweep
+// runner, future service frontends) emit byte-compatible objects.
+//
+// Writes the "shape" object field of a run document.
+void WriteShapeJson(JsonWriter& w, const AttentionShape& shape);
+// Writes the body fields of one run (method, tiling, cycles, latency, energy
+// breakdown, DRAM traffic, utilization, overwrite statistics) into the
+// currently open object.
+void WriteRunBodyJson(JsonWriter& w, Method method, const TilingConfig& tiling,
+                      const sim::HardwareConfig& hw, const sim::SimResult& r);
 
 // One simulated run as a JSON object (shape, method, tiling, hardware name,
 // cycles, latency, energy breakdown, DRAM traffic, utilization, overwrite

@@ -1,0 +1,435 @@
+#include "runner/sweep_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+#include "report/json_report.h"
+#include "runner/thread_pool.h"
+#include "search/tiling_search.h"
+
+namespace mas::runner {
+
+namespace {
+
+// Serializes every hardware parameter that feeds the cost model, so two
+// presets that merely share a name never alias in the cache. Doubles are
+// streamed at max_digits10 so configs differing past the default 6
+// significant digits still get distinct keys.
+void AppendHwKey(std::ostringstream& os, const sim::HardwareConfig& hw) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "|hw:" << hw.frequency_ghz << ',' << hw.l1_bytes << ',' << hw.dram_bytes << ','
+     << hw.dram_gb_per_s << ',' << hw.dma_setup_cycles << ',' << hw.element_bytes;
+  for (const auto& c : hw.cores) {
+    os << ";c:" << c.mac_rows << ',' << c.mac_cols << ',' << c.mac_setup_cycles << ','
+       << c.vec_lanes << ',' << c.vec_cost_max << ',' << c.vec_cost_sub << ','
+       << c.vec_cost_exp << ',' << c.vec_cost_sum << ',' << c.vec_cost_div << ','
+       << c.vec_setup_cycles << ',' << c.l0_bytes;
+  }
+}
+
+// Group identity for cross-method comparisons: one (shape, hardware) point.
+std::string GroupKey(const JobResult& r) {
+  std::ostringstream os;
+  const AttentionShape& s = r.job.shape;
+  os << s.name << '|' << s.batch << ',' << s.heads << ',' << s.seq_len << ',' << s.embed
+     << ',' << s.kv_len;
+  AppendHwKey(os, r.job.hw);
+  return os.str();
+}
+
+// The paper's §5.5 FuseMax protocol: manually selected array-native tiles
+// (PE-mesh granularity) rather than a searched configuration; falls back to
+// the search when the manual mapping cannot fit.
+TilingConfig FuseMaxManualTiling(const Scheduler& sched, const AttentionShape& shape,
+                                 const sim::HardwareConfig& hw,
+                                 const sim::EnergyModel& em) {
+  const auto& cc = hw.cores.front();
+  const TilingConfig manual{1, 1, std::min(cc.mac_rows, shape.seq_len),
+                            std::min(cc.mac_cols, shape.kv())};
+  if (sched.Fits(shape, manual, hw)) return manual;
+  return search::AutoTile(sched, shape, hw, em);
+}
+
+// Methods in order of first appearance across the report (keeps table/JSON
+// column order deterministic and independent of thread count).
+std::vector<Method> MethodsInOrder(const std::vector<JobResult>& results) {
+  std::vector<Method> methods;
+  for (const auto& r : results) {
+    if (std::find(methods.begin(), methods.end(), r.job.method) == methods.end()) {
+      methods.push_back(r.job.method);
+    }
+  }
+  return methods;
+}
+
+// (shape, hardware) groups in order of first appearance, each holding its
+// member result indices.
+struct Group {
+  std::string key;
+  std::vector<std::size_t> members;
+};
+
+std::vector<Group> GroupsInOrder(const std::vector<JobResult>& results) {
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::string key = GroupKey(results[i]);
+    auto [it, inserted] = index.emplace(std::move(key), groups.size());
+    if (inserted) {
+      groups.push_back(Group{it->first, {i}});
+    } else {
+      groups[it->second].members.push_back(i);
+    }
+  }
+  return groups;
+}
+
+const JobResult* GroupMember(const std::vector<JobResult>& results, const Group& group,
+                             Method m) {
+  for (std::size_t i : group.members) {
+    if (results[i].job.method == m && results[i].ok()) return &results[i];
+  }
+  return nullptr;
+}
+
+// Geomean of target-vs-baseline cycles over precomputed groups (shared by
+// GeomeanSpeedup and ToJson so the grouping is built once per document).
+double GeomeanFromGroups(const std::vector<JobResult>& results,
+                         const std::vector<Group>& groups, Method target,
+                         Method baseline) {
+  double log_sum = 0.0;
+  std::int64_t count = 0;
+  for (const Group& group : groups) {
+    const JobResult* t = GroupMember(results, group, target);
+    const JobResult* b = GroupMember(results, group, baseline);
+    if (t == nullptr || b == nullptr || t->sim.cycles == 0) continue;
+    log_sum += std::log(static_cast<double>(b->sim.cycles) /
+                        static_cast<double>(t->sim.cycles));
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / count);
+}
+
+}  // namespace
+
+std::string SweepJob::CacheKey() const {
+  std::ostringstream os;
+  // Shape name is display-only; two differently named shapes with the same
+  // dimensions simulate identically and should share one cache entry.
+  os << "m:" << static_cast<int>(method) << "|s:" << shape.batch << ',' << shape.heads << ','
+     << shape.seq_len << ',' << shape.embed << ',' << shape.kv_len;
+  AppendHwKey(os, hw);
+  if (tiling.has_value()) {
+    os << "|t:" << tiling->bb << ',' << tiling->hh << ',' << tiling->nq << ',' << tiling->nkv;
+  } else {
+    os << "|p:" << static_cast<int>(policy);
+  }
+  return os.str();
+}
+
+std::vector<SweepJob> SweepGrid::Jobs() const {
+  MAS_CHECK(!shapes.empty()) << "sweep grid has no shapes";
+  MAS_CHECK(!methods.empty()) << "sweep grid has no methods";
+  MAS_CHECK(!hardware.empty()) << "sweep grid has no hardware configs";
+  std::vector<SweepJob> jobs;
+  jobs.reserve(shapes.size() * methods.size() * hardware.size());
+  for (const AttentionShape& shape : shapes) {
+    for (const sim::HardwareConfig& hw : hardware) {
+      for (Method method : methods) {
+        SweepJob job;
+        job.shape = shape;
+        job.method = method;
+        job.hw = hw;
+        job.tiling = tiling;
+        job.policy = policy;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+SweepRunner::SweepRunner(SweepOptions options, sim::EnergyModel energy_model)
+    : options_(options), energy_model_(energy_model) {
+  MAS_CHECK(options_.jobs >= 1) << "SweepOptions::jobs must be >= 1, got " << options_.jobs;
+}
+
+SweepRunner::CacheEntry SweepRunner::Evaluate(const SweepJob& job) const {
+  CacheEntry entry;
+  try {
+    job.shape.Validate();
+    const auto sched = MakeScheduler(job.method);
+    if (job.tiling.has_value()) {
+      job.tiling->Validate(job.shape);
+      MAS_CHECK(sched->Fits(job.shape, *job.tiling, job.hw))
+          << job.tiling->ToString() << " does not fit for " << sched->name() << " on "
+          << job.shape.ToString();
+      entry.tiling = *job.tiling;
+    } else if (job.policy == TilingPolicy::kPaperProtocol &&
+               job.method == Method::kFuseMax) {
+      entry.tiling = FuseMaxManualTiling(*sched, job.shape, job.hw, energy_model_);
+    } else {
+      entry.tiling = search::AutoTile(*sched, job.shape, job.hw, energy_model_);
+    }
+    entry.sim = sched->Simulate(job.shape, entry.tiling, job.hw, energy_model_);
+  } catch (const std::exception& e) {
+    entry.error = e.what();
+  }
+  return entry;
+}
+
+SweepReport SweepRunner::Run(const SweepGrid& grid) { return RunJobs(grid.Jobs()); }
+
+SweepReport SweepRunner::RunJobs(const std::vector<SweepJob>& jobs) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  SweepReport report;
+  report.results.resize(jobs.size());
+  report.stats.total_jobs = static_cast<std::int64_t>(jobs.size());
+
+  // Deduplicate up front (single-threaded) so the execution phase is a plain
+  // parallel-for over unique work items; this keeps cache-hit accounting and
+  // results independent of worker interleaving.
+  std::vector<std::string> keys(jobs.size());
+  std::vector<std::size_t> job_to_unique(jobs.size());
+  std::vector<std::size_t> unique_jobs;  // representative job index per item
+  if (options_.cache) {
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      keys[i] = jobs[i].CacheKey();
+      auto [it, inserted] = seen.emplace(keys[i], unique_jobs.size());
+      if (inserted) unique_jobs.push_back(i);
+      job_to_unique[i] = it->second;
+    }
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      job_to_unique[i] = i;
+      unique_jobs.push_back(i);
+    }
+  }
+
+  // Resolve persistent-cache hits, then execute the remainder concurrently.
+  std::vector<CacheEntry> entries(unique_jobs.size());
+  std::vector<char> precached(unique_jobs.size(), 0);
+  std::vector<std::size_t> to_run;
+  for (std::size_t u = 0; u < unique_jobs.size(); ++u) {
+    if (options_.cache) {
+      auto it = cache_.find(keys[unique_jobs[u]]);
+      if (it != cache_.end()) {
+        entries[u] = it->second;
+        precached[u] = 1;
+        continue;
+      }
+    }
+    to_run.push_back(u);
+  }
+
+  ParallelFor(to_run.size(), options_.jobs, [&](std::size_t i) {
+    const std::size_t u = to_run[i];
+    entries[u] = Evaluate(jobs[unique_jobs[u]]);
+  });
+
+  if (options_.cache) {
+    for (std::size_t u : to_run) cache_[keys[unique_jobs[u]]] = entries[u];
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::size_t u = job_to_unique[i];
+    JobResult& r = report.results[i];
+    r.job = jobs[i];
+    r.tiling = entries[u].tiling;
+    r.sim = entries[u].sim;
+    r.error = entries[u].error;
+    // A job is a cache hit unless it is the representative of a unique item
+    // that actually executed this Run().
+    r.from_cache = !(unique_jobs[u] == i && !precached[u]);
+    if (!r.ok()) ++report.stats.failed_jobs;
+    if (r.from_cache) {
+      ++report.stats.cache_hits;
+    } else {
+      ++report.stats.simulated_jobs;
+    }
+  }
+
+  report.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+TextTable SweepReport::ToTable() const {
+  TextTable table({"Shape", "HW", "Method", "tiling", "Mcycles", "ms", "energy GpJ",
+                   "DRAM MB", "MAC util", "overwrites", "status"});
+  for (const JobResult& r : results) {
+    if (!r.ok()) {
+      table.AddRow({r.job.shape.ToString(), r.job.hw.name, MethodName(r.job.method), "-", "-",
+                    "-", "-", "-", "-", "-", "error: " + r.error});
+      continue;
+    }
+    const auto& s = r.sim;
+    table.AddRow(
+        {r.job.shape.ToString(), r.job.hw.name, MethodName(r.job.method),
+         r.tiling.ToString(), FormatFixed(s.cycles / 1e6, 3),
+         FormatFixed(s.cycles / (r.job.hw.frequency_ghz * 1e6), 3),
+         FormatFixed(s.energy.total_pj() / 1e9, 3),
+         FormatFixed((s.dram_read_bytes + s.dram_write_bytes) / (1024.0 * 1024.0), 2),
+         FormatPercent(s.MacUtilization()), std::to_string(s.overwrite_events),
+         r.from_cache ? "cached" : "ok"});
+  }
+  return table;
+}
+
+TextTable SweepReport::SpeedupTable(Method target) const {
+  const std::vector<Method> methods = MethodsInOrder(results);
+  std::vector<std::string> header = {"Shape", "HW"};
+  for (Method m : methods) header.push_back(std::string(MethodName(m)) + " Mcyc");
+  for (Method m : methods) {
+    if (m != target) {
+      header.push_back(std::string(MethodName(target)) + " vs " + MethodName(m));
+    }
+  }
+  TextTable table(header);
+
+  std::vector<std::vector<double>> speedups(methods.size());
+  for (const Group& group : GroupsInOrder(results)) {
+    const JobResult* target_run = GroupMember(results, group, target);
+    std::vector<std::string> row = {results[group.members.front()].job.shape.ToString(),
+                                    results[group.members.front()].job.hw.name};
+    for (Method m : methods) {
+      const JobResult* run = GroupMember(results, group, m);
+      row.push_back(run ? FormatFixed(run->sim.cycles / 1e6, 3) : "-");
+    }
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      if (methods[mi] == target) continue;
+      const JobResult* run = GroupMember(results, group, methods[mi]);
+      if (target_run != nullptr && run != nullptr && target_run->sim.cycles > 0) {
+        const double speedup = static_cast<double>(run->sim.cycles) /
+                               static_cast<double>(target_run->sim.cycles);
+        speedups[mi].push_back(speedup);
+        row.push_back(FormatSpeedup(speedup));
+      } else {
+        row.push_back("-");
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.AddRule();
+  std::vector<std::string> geo = {"Geomean", "-"};
+  for (std::size_t mi = 0; mi < methods.size(); ++mi) geo.push_back("-");
+  for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+    if (methods[mi] == target) continue;
+    if (speedups[mi].empty()) {
+      geo.push_back("-");
+      continue;
+    }
+    double log_sum = 0.0;
+    for (double v : speedups[mi]) log_sum += std::log(v);
+    geo.push_back(FormatSpeedup(std::exp(log_sum / speedups[mi].size())));
+  }
+  table.AddRow(std::move(geo));
+  return table;
+}
+
+double SweepReport::GeomeanSpeedup(Method target, Method baseline) const {
+  return GeomeanFromGroups(results, GroupsInOrder(results), target, baseline);
+}
+
+std::string SweepReport::ToJson(Method target) const {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.BeginObject("sweep");
+  w.KeyValue("total_jobs", stats.total_jobs);
+  w.KeyValue("failed_jobs", stats.failed_jobs);
+  w.KeyValue("cache_hits", stats.cache_hits);
+  w.KeyValue("simulated_jobs", stats.simulated_jobs);
+  // wall_seconds deliberately omitted: the document must be byte-identical
+  // across thread counts and machines for the determinism guarantee.
+  w.EndObject();
+
+  w.BeginArray("results");
+  for (const JobResult& r : results) {
+    w.BeginObject();
+    report::WriteShapeJson(w, r.job.shape);
+    w.KeyValue("hardware", r.job.hw.name);
+    if (r.ok()) {
+      report::WriteRunBodyJson(w, r.job.method, r.tiling, r.job.hw, r.sim);
+      w.KeyValue("from_cache", r.from_cache);
+    } else {
+      w.KeyValue("method", std::string(MethodName(r.job.method)));
+      w.KeyValue("error", r.error);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  const std::vector<Method> methods = MethodsInOrder(results);
+  w.BeginObject("summary");
+  w.BeginArray("method_totals");
+  for (Method m : methods) {
+    std::uint64_t cycles = 0;
+    sim::EnergyBreakdown energy;
+    std::int64_t dram_bytes = 0;
+    std::int64_t n = 0;
+    for (const JobResult& r : results) {
+      if (r.job.method != m || !r.ok()) continue;
+      cycles += r.sim.cycles;
+      energy += r.sim.energy;
+      dram_bytes += r.sim.dram_read_bytes + r.sim.dram_write_bytes;
+      ++n;
+    }
+    w.BeginObject();
+    w.KeyValue("method", std::string(MethodName(m)));
+    w.KeyValue("jobs", n);
+    w.KeyValue("total_cycles", cycles);
+    w.KeyValue("total_dram_bytes", dram_bytes);
+    w.BeginObject("total_energy_pj");
+    w.KeyValue("dram", energy.dram_pj);
+    w.KeyValue("l1", energy.l1_pj);
+    w.KeyValue("l0", energy.l0_pj);
+    w.KeyValue("mac_pe", energy.mac_pe_pj);
+    w.KeyValue("vec_pe", energy.vec_pe_pj);
+    w.KeyValue("total", energy.total_pj());
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  const bool has_target =
+      std::find(methods.begin(), methods.end(), target) != methods.end();
+  if (has_target) {
+    const std::vector<Group> groups = GroupsInOrder(results);
+    w.BeginObject("geomean_speedup");
+    w.KeyValue("target", std::string(MethodName(target)));
+    w.BeginObject("vs");
+    for (Method m : methods) {
+      if (m == target) continue;
+      const double geomean = GeomeanFromGroups(results, groups, target, m);
+      if (geomean > 0.0) w.KeyValue(MethodName(m), geomean);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+const JobResult* SweepReport::Find(const std::string& shape_name, Method method,
+                                   const std::string& hw_name) const {
+  for (const JobResult& r : results) {
+    if (r.job.shape.name == shape_name && r.job.method == method &&
+        r.job.hw.name == hw_name && r.ok()) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mas::runner

@@ -1,0 +1,160 @@
+// SweepRunner: concurrent batch evaluation of attention-dataflow simulations.
+//
+// The benches and the mas_run CLI all reduce to the same pattern — evaluate a
+// grid of (method x shape x hardware) points, each via an offline tiling
+// choice plus one Simulate() call — but the seed did so one point at a time on
+// one thread. SweepRunner turns that pattern into a first-class subsystem:
+//
+//  * a declarative SweepGrid expands into a deterministic job list
+//    (shape-major, then hardware, then method — the paper's table order);
+//  * jobs execute on a pool of worker threads (SweepOptions::jobs);
+//  * identical jobs are deduplicated through a keyed result cache that also
+//    persists across Run() calls on the same runner, so refining a sweep only
+//    pays for the new points;
+//  * results land in per-job slots and are aggregated in grid order, so the
+//    report (table or JSON) is byte-identical regardless of thread count.
+//
+// Thread-safety: the Scheduler implementations are stateless (const methods,
+// no data members — audited for this PR), and search::AutoTile builds its
+// TilingProblem memo locally per call. Each worker nevertheless gets its own
+// Scheduler instance via MakeScheduler(), so even a future stateful scheduler
+// would stay safe as long as its state is per-instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/table.h"
+#include "dataflow/attention_shape.h"
+#include "schedulers/scheduler.h"
+#include "sim/energy_model.h"
+#include "sim/hardware_config.h"
+
+namespace mas::runner {
+
+// How a job picks its tiling when none is fixed.
+enum class TilingPolicy {
+  kAutoTile = 0,      // search::AutoTile for every method (mas_run behavior)
+  kPaperProtocol = 1, // AutoTile, except FuseMax uses the paper's §5.5 manual
+                      // array-native tiling (harness/table behavior)
+};
+
+// One (method, shape, hardware) evaluation request.
+struct SweepJob {
+  AttentionShape shape;
+  Method method = Method::kMas;
+  sim::HardwareConfig hw;
+  std::optional<TilingConfig> tiling;  // fixed tiling; nullopt = policy
+  TilingPolicy policy = TilingPolicy::kAutoTile;
+
+  // Stable identity for deduplication: every field that can change the
+  // simulation outcome is serialized (shape dims, method, tiling request and
+  // the full hardware parameter set — not just its preset name).
+  std::string CacheKey() const;
+};
+
+// Declarative cross product. Jobs() expands shapes x hardware x methods in
+// deterministic order (shape-major; methods innermost so per-shape method
+// groups stay contiguous, mirroring the paper's tables).
+struct SweepGrid {
+  std::vector<AttentionShape> shapes;
+  std::vector<Method> methods;
+  std::vector<sim::HardwareConfig> hardware;
+  std::optional<TilingConfig> tiling;
+  TilingPolicy policy = TilingPolicy::kAutoTile;
+
+  std::vector<SweepJob> Jobs() const;
+};
+
+// Outcome of one job. `error` is non-empty when the job failed (e.g. a fixed
+// tiling that does not fit); failures are per-job, never abort the sweep.
+struct JobResult {
+  SweepJob job;
+  TilingConfig tiling;   // resolved tiling actually simulated
+  sim::SimResult sim;
+  bool from_cache = false;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+struct SweepStats {
+  std::int64_t total_jobs = 0;
+  std::int64_t simulated_jobs = 0;  // unique (method, shape, hw) evaluations
+  std::int64_t cache_hits = 0;      // duplicates served from the result cache
+  std::int64_t failed_jobs = 0;
+  double wall_seconds = 0.0;
+};
+
+struct SweepOptions {
+  int jobs = 1;       // worker threads; 1 = fully serial reference mode
+  bool cache = true;  // dedup identical jobs and reuse across Run() calls
+};
+
+// Aggregated sweep outcome. Results are in grid order; every aggregation
+// below iterates that order, so output is deterministic by construction
+// (SweepStats::wall_seconds is deliberately excluded from ToJson()).
+struct SweepReport {
+  std::vector<JobResult> results;
+  SweepStats stats;
+
+  // Per-job rows: shape, hardware, method, tiling, cycles, latency, energy,
+  // DRAM traffic, MAC utilization, overwrites.
+  TextTable ToTable() const;
+
+  // Cross-job summary: one row per (shape, hardware) with each method's
+  // Mcycles and the speedup of `target` over every other method, plus a
+  // geomean footer. Jobs whose method set lacks `target` are skipped.
+  TextTable SpeedupTable(Method target = Method::kMas) const;
+
+  // Machine-readable aggregate: per-job rows plus cross-job summaries
+  // (per-method cycle/energy totals and geomean speedups vs `target` when it
+  // is present). Deterministic: identical grids produce identical bytes
+  // regardless of SweepOptions::jobs.
+  std::string ToJson(Method target = Method::kMas) const;
+
+  // First successful result matching (shape name, method, hw name), or
+  // nullptr.
+  const JobResult* Find(const std::string& shape_name, Method method,
+                        const std::string& hw_name) const;
+
+  // Geomean of target-vs-baseline cycle speedup across all (shape, hw) groups
+  // containing both methods. Returns 0 when no group qualifies.
+  double GeomeanSpeedup(Method target, Method baseline) const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {},
+                       sim::EnergyModel energy_model = {});
+
+  // Expands the grid and runs it. Safe to call repeatedly; the result cache
+  // carries over between calls (when options.cache is set).
+  SweepReport Run(const SweepGrid& grid);
+
+  // Runs an explicit job list (kept in the given order in the report).
+  SweepReport RunJobs(const std::vector<SweepJob>& jobs);
+
+  std::int64_t cache_size() const { return static_cast<std::int64_t>(cache_.size()); }
+  void ClearCache() { cache_.clear(); }
+
+  const SweepOptions& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    TilingConfig tiling;
+    sim::SimResult sim;
+    std::string error;
+  };
+
+  CacheEntry Evaluate(const SweepJob& job) const;
+
+  SweepOptions options_;
+  sim::EnergyModel energy_model_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+};
+
+}  // namespace mas::runner

@@ -1,0 +1,62 @@
+// Minimal parallel-for used by the sweep runner.
+//
+// ParallelFor(n, jobs, fn) invokes fn(i) for every i in [0, n) across up to
+// `jobs` worker threads. Work is handed out through an atomic cursor, so the
+// set of indices each worker processes is nondeterministic — callers must
+// write results into per-index slots (never append to shared containers) to
+// keep the overall outcome independent of the interleaving. Exceptions thrown
+// by fn are captured and the first one (by index) is rethrown on the calling
+// thread after all workers join, so a failing item cannot leak threads.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mas::runner {
+
+template <typename Fn>
+void ParallelFor(std::size_t n, int jobs, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(n, jobs < 1 ? 1 : static_cast<std::size_t>(jobs));
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t first_error_index = n;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mas::runner

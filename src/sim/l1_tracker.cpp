@@ -12,7 +12,7 @@ L1Tracker::L1Tracker(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
 
 void L1Tracker::Alloc(const std::string& name, std::int64_t bytes) {
   MAS_CHECK(bytes >= 0) << "negative allocation " << bytes << " for " << name;
-  MAS_CHECK(!live_.contains(name)) << "buffer '" << name << "' already live";
+  MAS_CHECK(live_.count(name) == 0) << "buffer '" << name << "' already live";
   MAS_CHECK(used_ + bytes <= capacity_)
       << "L1 overflow allocating '" << name << "' (" << bytes << " B): " << used_ << "/"
       << capacity_ << " used";
@@ -36,7 +36,7 @@ bool L1Tracker::FreeIfLive(const std::string& name) {
   return true;
 }
 
-bool L1Tracker::IsLive(const std::string& name) const { return live_.contains(name); }
+bool L1Tracker::IsLive(const std::string& name) const { return live_.count(name) > 0; }
 
 std::int64_t L1Tracker::SizeOf(const std::string& name) const {
   auto it = live_.find(name);

@@ -25,7 +25,10 @@ struct Shape4 {
   std::int64_t e = 1;
 
   std::int64_t elements() const { return b * h * n * e; }
-  bool operator==(const Shape4&) const = default;
+  bool operator==(const Shape4& o) const {
+    return b == o.b && h == o.h && n == o.n && e == o.e;
+  }
+  bool operator!=(const Shape4& o) const { return !(*this == o); }
 };
 
 template <typename T>

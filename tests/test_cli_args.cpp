@@ -126,5 +126,58 @@ TEST(ArgParser, NegativeIntAccepted) {
   EXPECT_EQ(*n, -5);
 }
 
+TEST(ParseInt64Sequence, SingleValue) {
+  EXPECT_EQ(ParseInt64Sequence("512"), (std::vector<std::int64_t>{512}));
+}
+
+TEST(ParseInt64Sequence, CommaList) {
+  EXPECT_EQ(ParseInt64Sequence("128,256,512"), (std::vector<std::int64_t>{128, 256, 512}));
+}
+
+TEST(ParseInt64Sequence, GeometricRange) {
+  EXPECT_EQ(ParseInt64Sequence("128:4096:*2"),
+            (std::vector<std::int64_t>{128, 256, 512, 1024, 2048, 4096}));
+  EXPECT_EQ(ParseInt64Sequence("10:1000:*10"), (std::vector<std::int64_t>{10, 100, 1000}));
+}
+
+TEST(ParseInt64Sequence, GeometricRangeIsTheDefaultStep) {
+  EXPECT_EQ(ParseInt64Sequence("128:1024"),
+            (std::vector<std::int64_t>{128, 256, 512, 1024}));
+}
+
+TEST(ParseInt64Sequence, ArithmeticRange) {
+  EXPECT_EQ(ParseInt64Sequence("128:640:+128"),
+            (std::vector<std::int64_t>{128, 256, 384, 512, 640}));
+}
+
+TEST(ParseInt64Sequence, InclusiveEndOnlyWhenStepLandsOnIt) {
+  EXPECT_EQ(ParseInt64Sequence("128:1000:*2"), (std::vector<std::int64_t>{128, 256, 512}));
+}
+
+TEST(ParseInt64Sequence, StepsNearInt64MaxWithoutOverflow) {
+  // 2^62 doubled would overflow int64; the loop must stop cleanly instead.
+  EXPECT_EQ(ParseInt64Sequence("4611686018427387904:9223372036854775807:*2"),
+            (std::vector<std::int64_t>{4611686018427387904LL}));
+  EXPECT_EQ(
+      ParseInt64Sequence("9223372036854775806:9223372036854775807:+3"),
+      (std::vector<std::int64_t>{9223372036854775806LL}));
+}
+
+TEST(ParseInt64Sequence, RejectsOutOfRangeLiterals) {
+  EXPECT_THROW(ParseInt64Sequence("99999999999999999999999"), Error);
+}
+
+TEST(ParseInt64Sequence, RejectsMalformedInput) {
+  EXPECT_THROW(ParseInt64Sequence(""), Error);
+  EXPECT_THROW(ParseInt64Sequence("abc"), Error);
+  EXPECT_THROW(ParseInt64Sequence("128,"), Error);
+  EXPECT_THROW(ParseInt64Sequence("0"), Error);
+  EXPECT_THROW(ParseInt64Sequence("-128"), Error);
+  EXPECT_THROW(ParseInt64Sequence("512:128"), Error);
+  EXPECT_THROW(ParseInt64Sequence("128:512:*1"), Error);
+  EXPECT_THROW(ParseInt64Sequence("128:512:2"), Error);
+  EXPECT_THROW(ParseInt64Sequence("128:512:+0"), Error);
+}
+
 }  // namespace
 }  // namespace mas::cli

@@ -1,0 +1,225 @@
+#include "runner/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/workloads.h"
+#include "runner/thread_pool.h"
+#include "schedulers/scheduler.h"
+#include "sim/hardware_config.h"
+
+namespace mas::runner {
+namespace {
+
+// Small shapes keep the autotune cheap; two of them exercise grouping.
+std::vector<AttentionShape> TinyShapes() {
+  return {AttentionShape{"tiny_a", 1, 2, 64, 16}, AttentionShape{"tiny_b", 1, 4, 32, 16}};
+}
+
+SweepGrid TinyGrid() {
+  SweepGrid grid;
+  grid.shapes = TinyShapes();
+  grid.methods = AllMethods();
+  grid.hardware = {sim::EdgeSimConfig()};
+  return grid;
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> visits(257);
+  for (auto& v : visits) v = 0;
+  ParallelFor(visits.size(), 8, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesTheFirstExceptionByIndex) {
+  try {
+    ParallelFor(64, 4, [&](std::size_t i) {
+      if (i == 7 || i == 60) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(SweepGrid, ExpandsShapeMajorWithMethodsInnermost) {
+  SweepGrid grid = TinyGrid();
+  const std::vector<SweepJob> jobs = grid.Jobs();
+  ASSERT_EQ(jobs.size(), grid.shapes.size() * grid.methods.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].shape.name, grid.shapes[i / grid.methods.size()].name);
+    EXPECT_EQ(jobs[i].method, grid.methods[i % grid.methods.size()]);
+  }
+}
+
+TEST(SweepGrid, RejectsEmptyDimensions) {
+  SweepGrid grid;
+  grid.methods = AllMethods();
+  grid.hardware = {sim::EdgeSimConfig()};
+  EXPECT_THROW(grid.Jobs(), Error);
+}
+
+TEST(SweepJob, CacheKeyIgnoresDisplayNameButNotParameters) {
+  SweepJob a;
+  a.shape = AttentionShape{"first", 1, 2, 64, 16};
+  SweepJob b = a;
+  b.shape.name = "second";
+  EXPECT_EQ(a.CacheKey(), b.CacheKey());
+
+  SweepJob other_method = a;
+  other_method.method = Method::kFlat;
+  EXPECT_NE(a.CacheKey(), other_method.CacheKey());
+
+  SweepJob other_hw = a;
+  other_hw.hw.l1_bytes /= 2;
+  EXPECT_NE(a.CacheKey(), other_hw.CacheKey());
+
+  SweepJob fixed = a;
+  fixed.tiling = TilingConfig{1, 1, 16, 16};
+  EXPECT_NE(a.CacheKey(), fixed.CacheKey());
+}
+
+TEST(SweepRunner, DeterministicAcrossThreadCounts) {
+  const SweepGrid grid = TinyGrid();
+
+  SweepRunner serial(SweepOptions{/*jobs=*/1, /*cache=*/true});
+  SweepRunner threaded(SweepOptions{/*jobs=*/8, /*cache=*/true});
+  const SweepReport a = serial.Run(grid);
+  const SweepReport b = threaded.Run(grid);
+
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_EQ(a.ToTable().ToString(), b.ToTable().ToString());
+  EXPECT_EQ(a.SpeedupTable().ToString(), b.SpeedupTable().ToString());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].sim.cycles, b.results[i].sim.cycles) << "job " << i;
+    EXPECT_EQ(a.results[i].tiling, b.results[i].tiling) << "job " << i;
+  }
+}
+
+TEST(SweepRunner, DeduplicatesIdenticalJobsWithinOneRun) {
+  SweepGrid grid = TinyGrid();
+  std::vector<SweepJob> jobs = grid.Jobs();
+  const std::size_t unique = jobs.size();
+  // Append a full duplicate of the job list (with different display names,
+  // which must not defeat deduplication).
+  for (std::size_t i = 0; i < unique; ++i) {
+    SweepJob dup = jobs[i];
+    dup.shape.name += "_again";
+    jobs.push_back(dup);
+  }
+
+  SweepRunner runner(SweepOptions{/*jobs=*/4, /*cache=*/true});
+  const SweepReport report = runner.RunJobs(jobs);
+
+  EXPECT_EQ(report.stats.total_jobs, static_cast<std::int64_t>(2 * unique));
+  EXPECT_EQ(report.stats.simulated_jobs, static_cast<std::int64_t>(unique));
+  EXPECT_EQ(report.stats.cache_hits, static_cast<std::int64_t>(unique));
+  for (std::size_t i = 0; i < unique; ++i) {
+    EXPECT_FALSE(report.results[i].from_cache);
+    EXPECT_TRUE(report.results[unique + i].from_cache);
+    EXPECT_EQ(report.results[i].sim.cycles, report.results[unique + i].sim.cycles);
+  }
+}
+
+TEST(SweepRunner, CachePersistsAcrossRuns) {
+  const SweepGrid grid = TinyGrid();
+  SweepRunner runner(SweepOptions{/*jobs=*/2, /*cache=*/true});
+
+  const SweepReport first = runner.Run(grid);
+  EXPECT_EQ(first.stats.simulated_jobs, first.stats.total_jobs);
+  EXPECT_EQ(runner.cache_size(), first.stats.total_jobs);
+
+  const SweepReport second = runner.Run(grid);
+  EXPECT_EQ(second.stats.simulated_jobs, 0);
+  EXPECT_EQ(second.stats.cache_hits, second.stats.total_jobs);
+  // Cached replay returns the same simulation outcomes (the cache/bookkeeping
+  // fields are the only legitimate difference between the two reports).
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].sim.cycles, second.results[i].sim.cycles);
+    EXPECT_EQ(first.results[i].tiling, second.results[i].tiling);
+    EXPECT_TRUE(second.results[i].from_cache);
+  }
+
+  runner.ClearCache();
+  EXPECT_EQ(runner.cache_size(), 0);
+}
+
+TEST(SweepRunner, CacheCanBeDisabled) {
+  SweepGrid grid = TinyGrid();
+  grid.shapes.resize(1);
+  grid.methods = {Method::kMas, Method::kMas};
+
+  SweepRunner runner(SweepOptions{/*jobs=*/2, /*cache=*/false});
+  const SweepReport report = runner.Run(grid);
+  EXPECT_EQ(report.stats.simulated_jobs, report.stats.total_jobs);
+  EXPECT_EQ(report.stats.cache_hits, 0);
+  EXPECT_EQ(runner.cache_size(), 0);
+}
+
+TEST(SweepRunner, InfeasibleFixedTilingFailsThatJobOnly) {
+  SweepGrid grid;
+  grid.shapes = {AttentionShape{"tiny", 1, 2, 64, 16}};
+  grid.methods = {Method::kMas, Method::kFlat};
+  grid.hardware = {sim::EdgeSimConfig()};
+  // An L1 too small for any schedule makes the fixed tiling infeasible.
+  grid.hardware[0].l1_bytes = 64;
+  grid.tiling = TilingConfig{1, 2, 64, 64};
+
+  SweepRunner runner(SweepOptions{/*jobs=*/2, /*cache=*/true});
+  const SweepReport report = runner.Run(grid);
+  EXPECT_EQ(report.stats.failed_jobs, report.stats.total_jobs);
+  for (const JobResult& r : report.results) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("does not fit"), std::string::npos) << r.error;
+  }
+  // Failures surface in the aggregates rather than aborting them.
+  EXPECT_NE(report.ToJson().find("\"error\""), std::string::npos);
+  EXPECT_EQ(report.ToTable().num_rows(), report.results.size());
+}
+
+TEST(SweepRunner, FindLocatesResultsByNameMethodAndHardware) {
+  const SweepGrid grid = TinyGrid();
+  SweepRunner runner(SweepOptions{/*jobs=*/2, /*cache=*/true});
+  const SweepReport report = runner.Run(grid);
+
+  const JobResult* hit = report.Find("tiny_a", Method::kMas, "edge_sim");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->job.shape.name, "tiny_a");
+  EXPECT_EQ(hit->job.method, Method::kMas);
+  EXPECT_EQ(report.Find("tiny_a", Method::kMas, "no_such_hw"), nullptr);
+  EXPECT_EQ(report.Find("no_such_shape", Method::kMas, "edge_sim"), nullptr);
+}
+
+// Cross-method invariant on the paper's default shapes (Table 1): the MAS
+// stream pipeline never loses to FLAT's sequential rounds — its schedule
+// overlaps the same MAC work with the softmax instead of serializing it.
+TEST(SweepRunner, MasNeverSlowerThanFlatOnTable1Networks) {
+  SweepGrid grid;
+  for (const NetworkWorkload& net : Table1Networks()) grid.shapes.push_back(net.shape);
+  grid.methods = {Method::kFlat, Method::kMas};
+  grid.hardware = {sim::EdgeSimConfig()};
+  grid.policy = TilingPolicy::kPaperProtocol;
+
+  SweepRunner runner(SweepOptions{/*jobs=*/8, /*cache=*/true});
+  const SweepReport report = runner.Run(grid);
+  ASSERT_EQ(report.stats.failed_jobs, 0);
+
+  for (const NetworkWorkload& net : Table1Networks()) {
+    const JobResult* mas = report.Find(net.shape.name, Method::kMas, "edge_sim");
+    const JobResult* flat = report.Find(net.shape.name, Method::kFlat, "edge_sim");
+    ASSERT_NE(mas, nullptr) << net.name;
+    ASSERT_NE(flat, nullptr) << net.name;
+    EXPECT_LE(mas->sim.cycles, flat->sim.cycles) << net.name;
+  }
+  EXPECT_GE(report.GeomeanSpeedup(Method::kMas, Method::kFlat), 1.0);
+}
+
+}  // namespace
+}  // namespace mas::runner

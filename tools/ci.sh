@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI replica: configure, build, test, and smoke-run a tiny sweep.
+# Usage: tools/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Smoke: a tiny sweep must succeed and be deterministic across thread counts.
+"$BUILD_DIR/mas_run" --methods=MAS-Attention,FLAT --seq=64,128 --heads=2 --embed=16 \
+    --jobs=1 --format=json > "$BUILD_DIR/smoke_jobs1.json"
+"$BUILD_DIR/mas_run" --methods=MAS-Attention,FLAT --seq=64,128 --heads=2 --embed=16 \
+    --jobs=8 --format=json > "$BUILD_DIR/smoke_jobs8.json"
+cmp "$BUILD_DIR/smoke_jobs1.json" "$BUILD_DIR/smoke_jobs8.json"
+echo "ci: build + tests + sweep smoke OK"

@@ -1,18 +1,26 @@
 // mas_run: simulate attention schedulers from the command line.
 //
+// Single points and declarative sweeps share one path: flags build a
+// runner::SweepGrid, the thread-pooled runner::SweepRunner evaluates it, and
+// the aggregated report is printed as a table or JSON. Identical grids print
+// identical output for any --jobs value.
+//
 // Examples:
 //   # one Table-1 network, every method, tuned tilings, text table
 //   $ mas_run --network "BERT-Base & T5-Base"
 //
 //   # custom shape (B,H,N,E[,Nkv]) with an explicit tiling, JSON output
-//   $ mas_run --shape 1,12,512,64 --method MAS-Attention \
+//   $ mas_run --shape 1,12,512,64 --methods MAS-Attention \
 //             --tiling 1,1,64,512 --format json
+//
+//   # sweep: all methods x N in {128,256,...,4096} on 8 worker threads
+//   $ mas_run --methods=all --seq=128:4096:*2 --jobs=8 --summary
 //
 //   # cross-attention decode step on the NPU preset with a tighter L1
 //   $ mas_run --shape 1,32,1,128,4096 --hw npu --l1-mb 2
 //
 //   # export the MAS schedule timeline for chrome://tracing
-//   $ mas_run --network BERT-Small --method MAS-Attention --trace /tmp/mas
+//   $ mas_run --network BERT-Small --methods MAS-Attention --trace /tmp/mas
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -21,9 +29,8 @@
 #include "cli/args.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "report/json_report.h"
+#include "runner/sweep_runner.h"
 #include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
 #include "sim/hardware_config.h"
 #include "trace/trace.h"
 
@@ -52,14 +59,34 @@ AttentionShape ShapeFromFlag(const std::string& text) {
 }
 
 std::vector<Method> MethodsFromFlag(const std::string& text) {
-  if (text == "all") return AllMethods();
-  for (Method m : AllMethods()) {
-    if (text == MethodName(m)) return {m};
+  std::vector<Method> methods;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "all") {
+      for (Method m : AllMethods()) methods.push_back(m);
+      continue;
+    }
+    bool found = false;
+    for (Method m : AllMethods()) {
+      if (item == MethodName(m)) {
+        methods.push_back(m);
+        found = true;
+        break;
+      }
+    }
+    if (!found && item == MethodName(Method::kMasNoOverwrite)) {
+      methods.push_back(Method::kMasNoOverwrite);
+      found = true;
+    }
+    if (!found) {
+      std::string options;
+      for (Method m : AllMethods()) options += std::string(" '") + MethodName(m) + "'";
+      MAS_FAIL() << "unknown method '" << item << "'; options: all" << options;
+    }
   }
-  if (text == MethodName(Method::kMasNoOverwrite)) return {Method::kMasNoOverwrite};
-  std::string options;
-  for (Method m : AllMethods()) options += std::string(" '") + MethodName(m) + "'";
-  MAS_FAIL() << "unknown method '" << text << "'; options: all" << options;
+  MAS_CHECK(!methods.empty()) << "--methods selected no methods";
+  return methods;
 }
 
 }  // namespace
@@ -71,8 +98,18 @@ int main(int argc, char** argv) {
   const std::string* network = parser.AddString("network", "", "Table-1 network name");
   const std::string* shape_flag =
       parser.AddString("shape", "", "custom shape B,H,N,E[,Nkv] (overrides --network)");
-  const std::string* method_flag =
-      parser.AddString("method", "all", "method name or 'all'");
+  const std::string* methods_flag = parser.AddString(
+      "methods", "all", "comma-separated method names, or 'all'");
+  const std::string* method_alias =
+      parser.AddString("method", "", "alias for --methods (kept for compatibility)");
+  const std::string* seq_flag = parser.AddString(
+      "seq", "",
+      "sweep query sequence lengths: N | a,b,c | start:end[:*k|:+k] (enables sweep mode)");
+  const std::int64_t* batch = parser.AddInt("batch", 1, "sweep shape: batch size B");
+  const std::int64_t* heads = parser.AddInt("heads", 12, "sweep shape: head count H");
+  const std::int64_t* embed = parser.AddInt("embed", 64, "sweep shape: head embedding E");
+  const std::int64_t* kv = parser.AddInt("kv", 0, "sweep shape: KV length (0 = self-attention)");
+  const std::int64_t* jobs = parser.AddInt("jobs", 1, "worker threads for the sweep");
   const std::string* hw_flag = parser.AddString("hw", "edge", "hardware preset: edge | npu");
   const std::int64_t* l1_mb = parser.AddInt("l1-mb", 0, "override L1 capacity (MiB)");
   const std::int64_t* cores = parser.AddInt("cores", 0, "override core count");
@@ -81,6 +118,8 @@ int main(int argc, char** argv) {
   const std::string* tiling_flag =
       parser.AddString("tiling", "", "fixed tiling Bb,Hh,Nq,Nkv (default: autotune)");
   const std::string* format = parser.AddString("format", "table", "output: table | json");
+  const bool* summary = parser.AddBool(
+      "summary", false, "also print the cross-method speedup table (table format)");
   const std::string* trace_prefix =
       parser.AddString("trace", "", "export timeline (<prefix>.trace.json/.timeline.csv)");
 
@@ -99,64 +138,85 @@ int main(int argc, char** argv) {
     }
     if (*bandwidth > 0.0) hw.dram_gb_per_s = *bandwidth;
 
-    AttentionShape shape;
-    if (!shape_flag->empty()) {
-      shape = ShapeFromFlag(*shape_flag);
-    } else if (!network->empty()) {
-      shape = FindNetwork(*network).shape;
-    } else {
-      shape = FindNetwork("BERT-Base & T5-Base").shape;
-    }
-
-    const sim::EnergyModel em;
-    const std::vector<Method> methods = MethodsFromFlag(*method_flag);
-
-    std::vector<report::NamedRun> runs;
-    for (Method m : methods) {
-      const auto sched = MakeScheduler(m);
-      TilingConfig tiling;
-      if (!tiling_flag->empty()) {
-        const auto v = ParseIntList(*tiling_flag);
-        MAS_CHECK(v.size() == 4) << "--tiling expects Bb,Hh,Nq,Nkv";
-        tiling = TilingConfig{v[0], v[1], v[2], v[3]};
-        MAS_CHECK(sched->Fits(shape, tiling, hw))
-            << tiling.ToString() << " does not fit for " << sched->name();
-      } else {
-        tiling = search::AutoTile(*sched, shape, hw, em);
+    runner::SweepGrid grid;
+    MAS_CHECK(method_alias->empty() || *methods_flag == "all")
+        << "--method and --methods are aliases; pass only one";
+    grid.methods = MethodsFromFlag(method_alias->empty() ? *methods_flag : *method_alias);
+    grid.hardware = {hw};
+    if (!seq_flag->empty()) {
+      MAS_CHECK(shape_flag->empty() && network->empty())
+          << "--seq sweeps define shapes via --batch/--heads/--embed/--kv; drop "
+             "--shape/--network";
+      for (std::int64_t n : cli::ParseInt64Sequence(*seq_flag)) {
+        AttentionShape shape{"seq" + std::to_string(n), *batch, *heads, n, *embed, *kv};
+        shape.Validate();
+        grid.shapes.push_back(std::move(shape));
       }
-      const bool want_trace = !trace_prefix->empty() && methods.size() == 1;
-      runs.push_back({m, tiling, sched->Simulate(shape, tiling, hw, em, want_trace)});
+    } else if (!shape_flag->empty()) {
+      grid.shapes.push_back(ShapeFromFlag(*shape_flag));
+    } else if (!network->empty()) {
+      grid.shapes.push_back(FindNetwork(*network).shape);
+    } else {
+      grid.shapes.push_back(FindNetwork("BERT-Base & T5-Base").shape);
     }
+    if (!tiling_flag->empty()) {
+      const auto v = ParseIntList(*tiling_flag);
+      MAS_CHECK(v.size() == 4) << "--tiling expects Bb,Hh,Nq,Nkv";
+      grid.tiling = TilingConfig{v[0], v[1], v[2], v[3]};
+    }
+
+    runner::SweepOptions options;
+    options.jobs = static_cast<int>(*jobs);
+    runner::SweepRunner sweep_runner(options);
+    const runner::SweepReport report = sweep_runner.Run(grid);
 
     if (*format == "json") {
-      std::cout << report::RunsJson(shape, hw, runs) << "\n";
+      std::cout << report.ToJson() << "\n";
     } else {
       MAS_CHECK(*format == "table") << "unknown --format '" << *format << "' (table | json)";
-      std::cout << shape.ToString() << " on " << hw.name << "\n";
-      TextTable table({"Method", "tiling", "Mcycles", "ms", "energy GpJ", "DRAM MB",
-                       "MAC util", "overwrites"});
-      for (const auto& run : runs) {
-        const auto& r = run.result;
-        table.AddRow({MethodName(run.method), run.tiling.ToString(),
-                      FormatFixed(r.cycles / 1e6, 3),
-                      FormatFixed(r.cycles / (hw.frequency_ghz * 1e6), 3),
-                      FormatFixed(r.energy.total_pj() / 1e9, 3),
-                      FormatFixed((r.dram_read_bytes + r.dram_write_bytes) / (1024.0 * 1024.0),
-                                  2),
-                      FormatPercent(r.MacUtilization()), std::to_string(r.overwrite_events)});
+      if (grid.shapes.size() == 1) {
+        std::cout << grid.shapes.front().ToString() << " on " << hw.name << "\n";
       }
-      std::cout << table.ToString();
+      std::cout << report.ToTable().ToString();
+      if (*summary && grid.methods.size() > 1) {
+        std::cout << "\n" << report.SpeedupTable().ToString();
+      }
     }
+    std::fprintf(stderr,
+                 "sweep: %lld jobs (%lld simulated, %lld cache hits, %lld failed) on %lld "
+                 "threads in %.3f s\n",
+                 static_cast<long long>(report.stats.total_jobs),
+                 static_cast<long long>(report.stats.simulated_jobs),
+                 static_cast<long long>(report.stats.cache_hits),
+                 static_cast<long long>(report.stats.failed_jobs),
+                 static_cast<long long>(*jobs), report.stats.wall_seconds);
 
     if (!trace_prefix->empty()) {
-      MAS_CHECK(runs.size() == 1)
-          << "--trace needs a single --method (got " << runs.size() << " runs)";
-      const auto& r = runs.front().result;
+      MAS_CHECK(report.results.size() == 1)
+          << "--trace needs a single method and shape (got " << report.results.size()
+          << " runs)";
+      const runner::JobResult& run = report.results.front();
+      MAS_CHECK(run.ok()) << "cannot trace failed run: " << run.error;
+      // Re-simulate the single resolved point with timeline recording on (the
+      // sweep itself never records timelines — they are per-task-sized).
+      const sim::EnergyModel em;
+      const auto sched = MakeScheduler(run.job.method);
+      const sim::SimResult traced =
+          sched->Simulate(run.job.shape, run.tiling, hw, em, /*record_timeline=*/true);
       trace::WriteFile(*trace_prefix + ".trace.json",
-                       trace::ChromeTraceJson(r, hw.frequency_ghz));
-      trace::WriteFile(*trace_prefix + ".timeline.csv", trace::TimelineCsv(r));
+                       trace::ChromeTraceJson(traced, hw.frequency_ghz));
+      trace::WriteFile(*trace_prefix + ".timeline.csv", trace::TimelineCsv(traced));
       std::cerr << "wrote " << *trace_prefix << ".trace.json and " << *trace_prefix
                 << ".timeline.csv\n";
+    }
+    if (report.stats.failed_jobs > 0) {
+      for (const auto& r : report.results) {
+        if (!r.ok()) {
+          std::cerr << "error: " << MethodName(r.job.method) << " on "
+                    << r.job.shape.ToString() << ": " << r.error << "\n";
+        }
+      }
+      return 1;
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
