@@ -1,0 +1,235 @@
+// Engine + search microbenchmark: tracks the perf trajectory of the
+// simulation core from PR 2 on, and proves the rewrite did not change a
+// single output bit.
+//
+// Two measurements per Table-1 network:
+//   * engine micro — build+run wall-clock of one representative schedule
+//     (the AutoTile tiling) under (a) the seed path: polling reference
+//     scheduler, fresh engine per simulation, and (b) the event path:
+//     dependency-counter scheduler on a Reset()-reused arena engine.
+//   * AutoTile — full coarse-grid search wall-clock under (a) the serial
+//     seed path and (b) the event engine at --jobs workers.
+// Both paths must produce byte-identical outputs (cycles, energy breakdown,
+// DRAM traffic, chosen tiling); the bench aborts loudly if they diverge.
+//
+// Emits BENCH_engine.json (see README "Engine benchmark" for the format);
+// CI's Release job uploads it as an artifact so the trajectory is recorded
+// per commit. No timing assertions — numbers are hardware-dependent.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/math_util.h"
+#include "common/status.h"
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/engine.h"
+#include "sim/hardware_config.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool SameResult(const mas::sim::SimResult& a, const mas::sim::SimResult& b) {
+  return a.cycles == b.cycles && a.energy.dram_pj == b.energy.dram_pj &&
+         a.energy.l1_pj == b.energy.l1_pj && a.energy.l0_pj == b.energy.l0_pj &&
+         a.energy.mac_pe_pj == b.energy.mac_pe_pj &&
+         a.energy.vec_pe_pj == b.energy.vec_pe_pj &&
+         a.dram_read_bytes == b.dram_read_bytes && a.dram_write_bytes == b.dram_write_bytes;
+}
+
+struct Row {
+  std::string network;
+  std::string method;
+  std::int64_t tasks = 0;
+  // One representative simulate (build + run), seconds.
+  double sim_reference_s = 0.0;
+  double sim_event_s = 0.0;
+  // Full AutoTile search, seconds.
+  double autotile_reference_s = 0.0;
+  double autotile_serial_s = 0.0;
+  double autotile_parallel_s = 0.0;
+};
+
+}  // namespace
+
+namespace {
+
+int RunBench(int argc, char** argv) {
+  using namespace mas;
+  cli::ArgParser args(
+      "Engine micro + AutoTile search benchmark (seed path vs event engine). "
+      "Emits BENCH_engine.json.");
+  std::int64_t* jobs = args.AddInt("jobs", 8, "worker threads for the parallel search");
+  bool* quick = args.AddBool("quick", false,
+                             "restrict to 3 networks x {MAS, FLAT} (CI smoke)");
+  std::string* out_path = args.AddString("out", "BENCH_engine.json", "output JSON path");
+  std::string* methods_flag =
+      args.AddString("methods", "all", "comma list of methods or 'all'");
+  if (!args.Parse(argc, argv)) return 0;
+
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  std::vector<NetworkWorkload> networks = Table1Networks();
+  std::vector<Method> methods;
+  if (*quick) {
+    networks.resize(3);
+    methods = {Method::kMas, Method::kFlat};
+  } else {
+    methods = ParseMethodList(*methods_flag);  // "all" or a comma list
+  }
+  MAS_CHECK(!networks.empty() && !methods.empty()) << "nothing selected to benchmark";
+  std::cout << "=== Engine microbenchmark: seed path vs event-driven engine ===\n"
+            << "networks=" << networks.size() << " methods=" << methods.size()
+            << " jobs=" << *jobs
+            << " hardware_threads=" << std::thread::hardware_concurrency() << "\n\n";
+
+  std::vector<Row> rows;
+  double ref_total = 0.0, serial_total = 0.0, parallel_total = 0.0;
+  std::vector<double> autotile_speedups;
+
+  for (const auto& net : networks) {
+    for (Method m : methods) {
+      const auto sched = MakeScheduler(m);
+      Row row;
+      row.network = net.name;
+      row.method = sched->name();
+
+      // --- Full AutoTile search, seed path (serial, polling, no reuse). ---
+      search::TilingProblem ref_problem(*sched, net.shape, hw, em);
+      ref_problem.set_reference_mode(true);
+      search::GridOptions grid;
+      grid.coarse = true;
+      auto t0 = Clock::now();
+      const search::SearchResult ref_search = search::GridSearch(ref_problem, grid);
+      auto t1 = Clock::now();
+      row.autotile_reference_s = Seconds(t0, t1);
+
+      // --- Full AutoTile search, event engine, serial. ---
+      search::TilingProblem serial_problem(*sched, net.shape, hw, em);
+      t0 = Clock::now();
+      const search::SearchResult serial_search = search::GridSearch(serial_problem, grid);
+      t1 = Clock::now();
+      row.autotile_serial_s = Seconds(t0, t1);
+
+      // --- Full AutoTile search, event engine, --jobs workers. ---
+      search::TilingProblem parallel_problem(*sched, net.shape, hw, em);
+      grid.jobs = static_cast<int>(*jobs);
+      t0 = Clock::now();
+      const search::SearchResult parallel_search =
+          search::GridSearch(parallel_problem, grid);
+      t1 = Clock::now();
+      row.autotile_parallel_s = Seconds(t0, t1);
+
+      // The three paths must agree bit-for-bit.
+      MAS_CHECK(ref_search.best == serial_search.best &&
+                ref_search.best == parallel_search.best &&
+                ref_search.best_cycles == serial_search.best_cycles &&
+                ref_search.best_cycles == parallel_search.best_cycles &&
+                ref_search.evaluations == parallel_search.evaluations)
+          << "search paths diverged on " << net.name << " / " << sched->name();
+
+      // --- One representative simulate at the tuned tiling. ---
+      const TilingConfig tiling = ref_search.best;
+      sim::Engine ref_engine(hw);
+      ref_engine.set_use_reference_scheduler(true);
+      t0 = Clock::now();
+      const sim::SimResult ref_sim =
+          sched->Simulate(net.shape, tiling, hw, em, false, &ref_engine);
+      t1 = Clock::now();
+      row.sim_reference_s = Seconds(t0, t1);
+      row.tasks = ref_engine.task_count();
+
+      sim::Engine fast_engine(hw);
+      sched->Simulate(net.shape, tiling, hw, em, false, &fast_engine);  // warm arenas
+      t0 = Clock::now();
+      const sim::SimResult fast_sim =
+          sched->Simulate(net.shape, tiling, hw, em, false, &fast_engine);
+      t1 = Clock::now();
+      row.sim_event_s = Seconds(t0, t1);
+      MAS_CHECK(SameResult(ref_sim, fast_sim))
+          << "engine outputs diverged on " << net.name << " / " << sched->name();
+
+      ref_total += row.autotile_reference_s;
+      serial_total += row.autotile_serial_s;
+      parallel_total += row.autotile_parallel_s;
+      if (row.autotile_parallel_s > 0.0) {
+        autotile_speedups.push_back(row.autotile_reference_s / row.autotile_parallel_s);
+      }
+      std::printf("%-28s %-14s tasks=%-7lld autotile ref=%6.3fs serial=%6.3fs "
+                  "jobs%lld=%6.3fs (%.2fx)\n",
+                  row.network.c_str(), row.method.c_str(),
+                  static_cast<long long>(row.tasks), row.autotile_reference_s,
+                  row.autotile_serial_s, static_cast<long long>(*jobs),
+                  row.autotile_parallel_s,
+                  row.autotile_reference_s / row.autotile_parallel_s);
+      rows.push_back(row);
+    }
+  }
+
+  const double geomean = GeoMean(autotile_speedups);
+  std::printf("\nAutoTile totals: reference=%.2fs serial=%.2fs jobs%lld=%.2fs\n",
+              ref_total, serial_total, static_cast<long long>(*jobs), parallel_total);
+  std::printf("Speedup (seed path -> event engine @ jobs=%lld): total %.2fx, "
+              "per-search geomean %.2fx\n",
+              static_cast<long long>(*jobs), ref_total / parallel_total, geomean);
+  std::printf("All outputs byte-identical across paths.\n");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "engine_micro");
+  json.KeyValue("hardware", hw.name);
+  json.KeyValue("hardware_threads",
+                static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  json.KeyValue("jobs", *jobs);
+  json.KeyValue("quick", *quick);
+  json.KeyValue("autotile_reference_total_s", ref_total);
+  json.KeyValue("autotile_serial_total_s", serial_total);
+  json.KeyValue("autotile_parallel_total_s", parallel_total);
+  json.KeyValue("autotile_speedup_total", ref_total / parallel_total);
+  json.KeyValue("autotile_speedup_geomean", geomean);
+  json.KeyValue("outputs_identical", true);
+  json.BeginArray("rows");
+  for (const Row& row : rows) {
+    json.BeginObject();
+    json.KeyValue("network", row.network);
+    json.KeyValue("method", row.method);
+    json.KeyValue("tasks", row.tasks);
+    json.KeyValue("sim_reference_s", row.sim_reference_s);
+    json.KeyValue("sim_event_s", row.sim_event_s);
+    json.KeyValue("autotile_reference_s", row.autotile_reference_s);
+    json.KeyValue("autotile_serial_s", row.autotile_serial_s);
+    json.KeyValue("autotile_parallel_s", row.autotile_parallel_s);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out(*out_path);
+  MAS_CHECK(out.good()) << "cannot write " << *out_path;
+  out << json.Take() << "\n";
+  std::cout << "wrote " << *out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunBench(argc, argv);
+  } catch (const mas::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

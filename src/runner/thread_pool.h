@@ -19,14 +19,30 @@
 
 namespace mas::runner {
 
+// Worker count actually used for (n items, requested jobs): clamped to the
+// machine so --jobs=8 on a 2-thread box does not oversubscribe.
+// hardware_concurrency() may return 0 ("not computable"); treat that as
+// unknown and honor the requested job count. Shared with callers that
+// provision per-worker scratch (e.g. the tiling search's engines).
+inline std::size_t EffectiveWorkers(std::size_t n, int jobs) {
+  const std::size_t hardware = std::thread::hardware_concurrency() == 0
+                                   ? static_cast<std::size_t>(-1)
+                                   : std::thread::hardware_concurrency();
+  return std::min<std::size_t>(
+      {n, jobs < 1 ? std::size_t{1} : static_cast<std::size_t>(jobs), hardware});
+}
+
+// As ParallelFor below, but fn receives (worker, i) where `worker` is a dense
+// id in [0, workers). Callers use it to hand each worker thread its own
+// reusable scratch state (the tiling search gives each worker one
+// sim::Engine whose arenas persist across evaluations).
 template <typename Fn>
-void ParallelFor(std::size_t n, int jobs, Fn&& fn) {
+void ParallelForWorkers(std::size_t n, int jobs, Fn&& fn) {
   if (n == 0) return;
-  const std::size_t workers =
-      std::min<std::size_t>(n, jobs < 1 ? 1 : static_cast<std::size_t>(jobs));
+  const std::size_t workers = EffectiveWorkers(n, jobs);
 
   if (workers == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(std::size_t{0}, i);
     return;
   }
 
@@ -35,12 +51,12 @@ void ParallelFor(std::size_t n, int jobs, Fn&& fn) {
   std::size_t first_error_index = n;
   std::exception_ptr first_error;
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t worker_id) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        fn(i);
+        fn(worker_id, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error || i < first_error_index) {
@@ -53,10 +69,15 @@ void ParallelFor(std::size_t n, int jobs, Fn&& fn) {
 
   std::vector<std::thread> threads;
   threads.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker, t);
   for (auto& thread : threads) thread.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+template <typename Fn>
+void ParallelFor(std::size_t n, int jobs, Fn&& fn) {
+  ParallelForWorkers(n, jobs, [&fn](std::size_t, std::size_t i) { fn(i); });
 }
 
 }  // namespace mas::runner

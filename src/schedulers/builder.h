@@ -5,58 +5,75 @@
 // queue, exactly as on the modeled hardware (DMA descriptor ring, in-order
 // MAC/VEC pipelines). Cross-resource synchronization is expressed through
 // task dependencies.
+//
+// Emission is allocation-free on the hot (non-timeline) path: dependency
+// lists are passed as sim::DepSpan views (stack-backed sim::DepList at the
+// small call sites), names are only interned when the timeline is recorded,
+// and the builder can target a caller-owned engine — the tiling search hands
+// each worker one engine that is Reset() and refilled per candidate, so the
+// thousands of Simulate() calls of an AutoTile reuse one set of arenas.
 #pragma once
 
-#include <string>
-#include <utility>
-#include <vector>
+#include <memory>
 
+#include "common/status.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
 namespace mas::detail {
 
+using sim::DepList;
+using sim::DepSpan;
 using sim::TaskId;
 
 class ScheduleBuilder {
  public:
+  // With `reuse == nullptr` the builder owns a fresh engine; otherwise it
+  // Reset()s and refills the caller's engine (which must have been built for
+  // compatible hardware — same core count).
   ScheduleBuilder(const sim::HardwareConfig& hw, const sim::EnergyModel& em,
-                  bool record_timeline)
-      : engine_(hw, record_timeline), cm_(hw, em), record_(record_timeline) {}
+                  bool record_timeline, sim::Engine* reuse = nullptr)
+      : owned_(reuse ? nullptr : std::make_unique<sim::Engine>(hw, record_timeline)),
+        engine_(reuse ? *reuse : *owned_),
+        cm_(hw, em),
+        record_(record_timeline) {
+    if (reuse) {
+      MAS_CHECK(reuse->hw().cores.size() == hw.cores.size())
+          << "reused engine was built for different hardware";
+      reuse->Reset(record_timeline);
+    }
+  }
 
-  const sim::HardwareConfig& hw() const { return engine_.hw(); }
+  const sim::HardwareConfig& hw() const { return cm_.hw(); }
   const sim::CostModel& cost_model() const { return cm_; }
 
   // DRAM <-> L1 transfer. Each core owns a DMA descriptor ring; the rings
   // arbitrate round-robin for the single DRAM bus (see Engine::Run), so one
   // core's queued-ahead transfers cannot starve another core's demand loads.
   TaskId Dma(const char* name, int core, std::int64_t bytes, bool is_read,
-             std::vector<TaskId> deps = {}) {
-    return Emit(name, sim::ResourceKind::kDma, core, cm_.Dma(bytes, is_read),
-                std::move(deps));
+             DepSpan deps = {}) {
+    return Emit(name, sim::ResourceKind::kDma, core, cm_.Dma(bytes, is_read), deps);
   }
 
   // Batched MatMul tile on `core`'s MAC unit.
   TaskId Mac(const char* name, int core, std::int64_t groups, std::int64_t m, std::int64_t k,
-             std::int64_t n, std::vector<TaskId> deps = {}) {
+             std::int64_t n, DepSpan deps = {}) {
     return Emit(name, sim::ResourceKind::kMac, core, cm_.MacTile(groups, m, k, n, core),
-                std::move(deps));
+                deps);
   }
 
   // Batched softmax tile on `core`'s VEC unit.
   TaskId Vec(const char* name, int core, std::int64_t groups, std::int64_t rows,
-             std::int64_t row_len, std::vector<TaskId> deps = {},
-             std::int64_t extra_lane_ops = 0) {
+             std::int64_t row_len, DepSpan deps = {}, std::int64_t extra_lane_ops = 0) {
     return Emit(name, sim::ResourceKind::kVec, core,
-                cm_.VecSoftmax(groups, rows, row_len, core, extra_lane_ops),
-                std::move(deps));
+                cm_.VecSoftmax(groups, rows, row_len, core, extra_lane_ops), deps);
   }
 
   // Generic element-wise pass on `core`'s VEC unit.
   TaskId VecElem(const char* name, int core, std::int64_t elements, std::int64_t ops_per_elem,
-                 std::vector<TaskId> deps = {}) {
+                 DepSpan deps = {}) {
     return Emit(name, sim::ResourceKind::kVec, core,
-                cm_.VecElementwise(elements, ops_per_elem, core), std::move(deps));
+                cm_.VecElementwise(elements, ops_per_elem, core), deps);
   }
 
   // Charges L1 read+write energy for on-chip data reorganization without
@@ -76,20 +93,14 @@ class ScheduleBuilder {
 
  private:
   TaskId Emit(const char* name, sim::ResourceKind resource, int core, sim::TaskCost cost,
-              std::vector<TaskId> deps) {
-    sim::TaskSpec spec;
-    if (record_) spec.name = name;
-    spec.resource = resource;
-    spec.core = core;
-    spec.duration = cost.cycles;
-    spec.deps = std::move(deps);
-    spec.energy = cost.energy;
-    spec.dram_read_bytes = cost.dram_read_bytes;
-    spec.dram_write_bytes = cost.dram_write_bytes;
-    return engine_.AddTask(std::move(spec));
+              DepSpan deps) {
+    return engine_.AddTask(resource, core, cost.cycles, deps, cost.energy,
+                           cost.dram_read_bytes, cost.dram_write_bytes,
+                           record_ ? engine_.InternName(name) : sim::kNoName);
   }
 
-  sim::Engine engine_;
+  std::unique_ptr<sim::Engine> owned_;
+  sim::Engine& engine_;
   sim::CostModel cm_;
   bool record_;
   sim::EnergyBreakdown extra_energy_;

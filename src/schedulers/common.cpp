@@ -86,14 +86,15 @@ std::vector<KvBlock> EnumerateKvBlocks(const AttentionShape& shape,
   return blocks;
 }
 
+std::int64_t ActiveCoreCount(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw) {
+  const std::int64_t groups = CeilDiv(shape.batch, tiling.bb) * CeilDiv(shape.heads, tiling.hh);
+  return std::max<std::int64_t>(std::min(hw.num_cores(), groups), 1);
+}
+
 std::int64_t PerCoreL1Budget(const AttentionShape& shape, const TilingConfig& tiling,
                              const sim::HardwareConfig& hw) {
-  const auto shards = ShardAcrossCores(EnumerateRowBlocks(shape, tiling), hw);
-  std::int64_t active = 0;
-  for (const auto& s : shards) {
-    if (!s.empty()) ++active;
-  }
-  return hw.l1_bytes / std::max<std::int64_t>(active, 1);
+  return hw.l1_bytes / ActiveCoreCount(shape, tiling, hw);
 }
 
 BlockBytes ComputeBlockBytes(const AttentionShape& shape, const TilingConfig& tiling,

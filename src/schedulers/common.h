@@ -43,6 +43,15 @@ struct KvBlock {
 std::vector<KvBlock> EnumerateKvBlocks(const AttentionShape& shape,
                                        const TilingConfig& tiling);
 
+// Number of cores that receive work under `tiling`. Closed form of
+// "non-empty shards after ShardAcrossCores(EnumerateRowBlocks(...))": the
+// greedy group assignment always prefers an idle core (score 0) over any
+// loaded one, and every (batch, head) group produces at least one row block,
+// so exactly min(#cores, #groups) cores are active. Kept O(1) because the
+// tiling search calls it for every lattice cell via Fits().
+std::int64_t ActiveCoreCount(const AttentionShape& shape, const TilingConfig& tiling,
+                             const sim::HardwareConfig& hw);
+
 // Equal split of the shared L1 across the cores that actually receive work
 // under `tiling` (the paper's L1 is a single shared 5 MB scratchpad; every
 // active core holds its own working set in it simultaneously).

@@ -50,9 +50,10 @@ bool FlatScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling
 sim::SimResult FlatScheduler::Simulate(const AttentionShape& shape, const TilingConfig& tiling,
                                        const sim::HardwareConfig& hw,
                                        const sim::EnergyModel& em,
-                                       bool record_timeline) const {
+                                       bool record_timeline,
+                                       sim::Engine* engine) const {
   MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
-  ScheduleBuilder b(hw, em, record_timeline);
+  ScheduleBuilder b(hw, em, record_timeline, engine);
   const std::int64_t eb = hw.element_bytes;
   const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
   const bool resident = CanResideKv(bytes, detail::PerCoreL1Budget(shape, tiling, hw));
@@ -60,6 +61,7 @@ sim::SimResult FlatScheduler::Simulate(const AttentionShape& shape, const Tiling
   const auto shards = detail::ShardAcrossCores(blocks, hw);
   const auto kvs = detail::EnumerateKvBlocks(shape, tiling);
 
+  std::vector<TaskId> c_macs;  // reused across row blocks (capacity persists)
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
     TaskId k_group = sim::kNoTask;
     TaskId v_group = sim::kNoTask;
@@ -73,27 +75,27 @@ sim::SimResult FlatScheduler::Simulate(const AttentionShape& shape, const Tiling
       const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
 
       // Stage 1: C_i = Q_i K^T on the MAC unit.
-      std::vector<TaskId> c_macs;
+      c_macs.clear();
       for (const KvBlock& kv : kvs) {
-        std::vector<TaskId> deps = {q_load};
+        detail::DepList deps = {q_load};
         if (resident) {
           deps.push_back(k_group);
         } else {
           deps.push_back(b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true));
         }
-        c_macs.push_back(b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed,
-                               kv.nl, std::move(deps)));
+        c_macs.push_back(
+            b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed, kv.nl, deps));
       }
 
       // Stage 2: P_i = softmax(C_i) in place on the VEC unit. The following
       // PV MAC tasks depend on it, serializing the stages (FLAT dataflow).
-      const TaskId vec = b.Vec("P_i = softmax(C_i)", core, groups, rb.rows(), shape.kv(),
-                               std::move(c_macs));
+      const TaskId vec =
+          b.Vec("P_i = softmax(C_i)", core, groups, rb.rows(), shape.kv(), c_macs);
 
       // Stage 3: O_i = P_i V accumulated on the MAC unit.
       TaskId last_mac = sim::kNoTask;
       for (const KvBlock& kv : kvs) {
-        std::vector<TaskId> deps = {vec};
+        detail::DepList deps = {vec};
         if (resident) {
           deps.push_back(v_group);
         } else {
@@ -101,9 +103,9 @@ sim::SimResult FlatScheduler::Simulate(const AttentionShape& shape, const Tiling
         }
         if (last_mac != sim::kNoTask) deps.push_back(last_mac);
         last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
-                         std::move(deps));
+                         deps);
       }
-      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, detail::DepList{last_mac});
     }
   }
 

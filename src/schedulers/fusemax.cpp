@@ -65,9 +65,10 @@ sim::SimResult FuseMaxScheduler::Simulate(const AttentionShape& shape,
                                           const TilingConfig& tiling,
                                           const sim::HardwareConfig& hw,
                                           const sim::EnergyModel& em,
-                                          bool record_timeline) const {
+                                          bool record_timeline,
+                                          sim::Engine* engine) const {
   MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
-  ScheduleBuilder b(hw, em, record_timeline);
+  ScheduleBuilder b(hw, em, record_timeline, engine);
   const std::int64_t eb = hw.element_bytes;
   const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
   const bool resident = CanResideKv(shape, tiling, hw);
@@ -83,6 +84,7 @@ sim::SimResult FuseMaxScheduler::Simulate(const AttentionShape& shape,
         cc.vec_cost_max + cc.vec_cost_sub + cc.vec_cost_exp + cc.vec_cost_sum;
     TaskId k_group = sim::kNoTask;
     TaskId v_group = sim::kNoTask;
+    std::vector<TaskId> c_macs, updates, pv_macs;  // reused across row blocks
     for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
       const std::int64_t groups = rb.groups();
       if (resident && rb.first_in_group()) {
@@ -95,34 +97,34 @@ sim::SimResult FuseMaxScheduler::Simulate(const AttentionShape& shape,
       // MAC unit running C_{j+1} while the VEC unit folds block j (ping-pong
       // scheduling per the FuseMax paper). The in-order MAC queue receives
       // C_0, C_1, PV_0, C_2, PV_1, ... — PV_j waits on U_j.
-      std::vector<TaskId> c_macs(kvs.size(), sim::kNoTask);
-      std::vector<TaskId> updates(kvs.size(), sim::kNoTask);
-      std::vector<TaskId> pv_macs(kvs.size(), sim::kNoTask);
+      c_macs.assign(kvs.size(), sim::kNoTask);
+      updates.assign(kvs.size(), sim::kNoTask);
+      pv_macs.assign(kvs.size(), sim::kNoTask);
       auto emit_c = [&](std::size_t j) {
         const KvBlock& kv = kvs[j];
-        std::vector<TaskId> deps = {q_load};
+        detail::DepList deps = {q_load};
         if (resident) {
           deps.push_back(k_group);
         } else {
           deps.push_back(b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true));
         }
         c_macs[j] = b.Mac("C_j = Q_i K_j^T", core, groups, rb.rows(), shape.embed, kv.nl,
-                          std::move(deps));
+                          deps);
       };
       auto emit_update = [&](std::size_t j) {
         const KvBlock& kv = kvs[j];
-        std::vector<TaskId> deps = {c_macs[j]};
+        detail::DepList deps = {c_macs[j]};
         if (j > 0) deps.push_back(updates[j - 1]);  // running stats carry
         updates[j] = b.VecElem("online update U_j", core, groups * rb.rows() * kv.nl,
-                               update_ops, std::move(deps));
+                               update_ops, deps);
         // Accumulator rescale when the running max moves: one multiply-add
         // over the O accumulator per block.
         updates[j] = b.VecElem("rescale O acc", core, groups * rb.rows() * shape.embed, 2,
-                               {updates[j]});
+                               detail::DepList{updates[j]});
       };
       auto emit_pv = [&](std::size_t j) {
         const KvBlock& kv = kvs[j];
-        std::vector<TaskId> deps = {updates[j]};
+        detail::DepList deps = {updates[j]};
         if (resident) {
           deps.push_back(v_group);
         } else {
@@ -130,7 +132,7 @@ sim::SimResult FuseMaxScheduler::Simulate(const AttentionShape& shape,
         }
         if (j > 0 && pv_macs[j - 1] != sim::kNoTask) deps.push_back(pv_macs[j - 1]);
         pv_macs[j] = b.Mac("O_i += P_j V_j", core, groups, rb.rows(), kv.nl, shape.embed,
-                           std::move(deps));
+                           deps);
       };
 
       emit_c(0);
@@ -144,8 +146,8 @@ sim::SimResult FuseMaxScheduler::Simulate(const AttentionShape& shape,
 
       // Final normalization of the accumulator by the running sum.
       const TaskId norm = b.VecElem("normalize O_i", core, groups * rb.rows() * shape.embed,
-                                    cc.vec_cost_div, {pv_macs.back()});
-      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {norm});
+                                    cc.vec_cost_div, detail::DepList{pv_macs.back()});
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, detail::DepList{norm});
     }
   }
 

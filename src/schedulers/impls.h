@@ -15,7 +15,7 @@ class LayerWiseScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 };
@@ -29,7 +29,7 @@ class SoftPipeScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 };
@@ -43,7 +43,7 @@ class FlatScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 };
@@ -58,7 +58,7 @@ class TileFlowScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 };
@@ -73,7 +73,7 @@ class FuseMaxScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 };
@@ -89,7 +89,7 @@ class MasScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 
@@ -119,7 +119,7 @@ class MasNoOverwriteScheduler final : public Scheduler {
             const sim::HardwareConfig&) const override;
   sim::SimResult Simulate(const AttentionShape&, const TilingConfig&,
                           const sim::HardwareConfig&, const sim::EnergyModel&,
-                          bool record_timeline) const override;
+                          bool record_timeline, sim::Engine* engine) const override;
   TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                   const TilingConfig&) const override;
 };

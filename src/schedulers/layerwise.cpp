@@ -57,9 +57,10 @@ sim::SimResult LayerWiseScheduler::Simulate(const AttentionShape& shape,
                                             const TilingConfig& tiling,
                                             const sim::HardwareConfig& hw,
                                             const sim::EnergyModel& em,
-                                            bool record_timeline) const {
+                                            bool record_timeline,
+                                            sim::Engine* engine) const {
   MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
-  ScheduleBuilder b(hw, em, record_timeline);
+  ScheduleBuilder b(hw, em, record_timeline, engine);
   const std::int64_t eb = hw.element_bytes;
   const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
   const auto shards = detail::ShardAcrossCores(blocks, hw);
@@ -75,8 +76,8 @@ sim::SimResult LayerWiseScheduler::Simulate(const AttentionShape& shape,
         const TaskId k_load = b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true);
         const TaskId mac =
             b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed, kv.nl,
-                  {q_load, k_load});
-        const TaskId store = b.Dma("store C_ij", core, groups * rb.rows() * kv.nl * eb, false, {mac});
+                  detail::DepList{q_load, k_load});
+        const TaskId store = b.Dma("store C_ij", core, groups * rb.rows() * kv.nl * eb, false, detail::DepList{mac});
         phase1_ends.push_back(store);
       }
     }
@@ -85,34 +86,34 @@ sim::SimResult LayerWiseScheduler::Simulate(const AttentionShape& shape,
   // --- Phase 2: P = softmax(C), row strips round-trip through DRAM. ---
   // A zero-byte DMA task acts as the inter-phase barrier (layer-wise
   // execution starts an operator only after the previous one fully finished).
-  const TaskId barrier1 = b.Dma("barrier C complete", 0, 0, true, std::move(phase1_ends));
+  const TaskId barrier1 = b.Dma("barrier C complete", 0, 0, true, phase1_ends);
   std::vector<TaskId> phase2_ends;
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
     for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
       const std::int64_t strip = rb.groups() * rb.rows() * shape.kv() * eb;
-      const TaskId c_load = b.Dma("load C_i", core, strip, true, {barrier1});
+      const TaskId c_load = b.Dma("load C_i", core, strip, true, detail::DepList{barrier1});
       const TaskId vec =
-          b.Vec("P_i = softmax(C_i)", core, rb.groups(), rb.rows(), shape.kv(), {c_load});
-      phase2_ends.push_back(b.Dma("store P_i", core, strip, false, {vec}));
+          b.Vec("P_i = softmax(C_i)", core, rb.groups(), rb.rows(), shape.kv(), detail::DepList{c_load});
+      phase2_ends.push_back(b.Dma("store P_i", core, strip, false, detail::DepList{vec}));
     }
   }
 
   // --- Phase 3: O = PV, P read back, O accumulated and stored. ---
-  const TaskId barrier2 = b.Dma("barrier P complete", 0, 0, true, std::move(phase2_ends));
+  const TaskId barrier2 = b.Dma("barrier P complete", 0, 0, true, phase2_ends);
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
     for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
       const std::int64_t groups = rb.groups();
       const TaskId p_load =
-          b.Dma("load P_i", core, groups * rb.rows() * shape.kv() * eb, true, {barrier2});
+          b.Dma("load P_i", core, groups * rb.rows() * shape.kv() * eb, true, detail::DepList{barrier2});
       TaskId last_mac = sim::kNoTask;
       for (const KvBlock& kv : kvs) {
         const TaskId v_load = b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true);
-        std::vector<TaskId> deps = {p_load, v_load};
+        detail::DepList deps = {p_load, v_load};
         if (last_mac != sim::kNoTask) deps.push_back(last_mac);
         last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
-                         std::move(deps));
+                         deps);
       }
-      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, detail::DepList{last_mac});
     }
   }
 

@@ -141,17 +141,16 @@ class MasPipeline {
   }
 
   // --- emission helpers (no-ops on the builder when only playing) ---
-  TaskId Dma(const char* name, std::int64_t bytes, bool read,
-             std::vector<TaskId> deps = {}) {
-    return b_ ? b_->Dma(name, core_, bytes, read, std::move(deps)) : sim::kNoTask;
+  TaskId Dma(const char* name, std::int64_t bytes, bool read, sim::DepSpan deps = {}) {
+    return b_ ? b_->Dma(name, core_, bytes, read, deps) : sim::kNoTask;
   }
   TaskId Mac(const char* name, std::int64_t groups, std::int64_t m, std::int64_t k,
-             std::int64_t n, std::vector<TaskId> deps = {}) {
-    return b_ ? b_->Mac(name, core_, groups, m, k, n, std::move(deps)) : sim::kNoTask;
+             std::int64_t n, sim::DepSpan deps = {}) {
+    return b_ ? b_->Mac(name, core_, groups, m, k, n, deps) : sim::kNoTask;
   }
   TaskId Vec(const char* name, std::int64_t groups, std::int64_t rows, std::int64_t row_len,
-             std::vector<TaskId> deps = {}) {
-    return b_ ? b_->Vec(name, core_, groups, rows, row_len, std::move(deps)) : sim::kNoTask;
+             sim::DepSpan deps = {}) {
+    return b_ ? b_->Vec(name, core_, groups, rows, row_len, deps) : sim::kNoTask;
   }
 
   // Ensures streamed-tile staging exists (counted once).
@@ -339,10 +338,10 @@ class MasPipeline {
     // tile is refetched; the refetch cannot start before the protected
     // softmax finishes ("stop the MAC ... resume after P_i is stored").
     const std::int64_t tile = bytes_.kv_tile;
-    std::vector<TaskId> reload_deps;
+    sim::DepList reload_deps;
     if (halt_until != sim::kNoTask) reload_deps.push_back(halt_until);
     const TaskId reload = Dma(is_v ? "reload V tile (overwrite)" : "reload K tile (overwrite)",
-                              tile, true, std::move(reload_deps));
+                              tile, true, reload_deps);
     stats_.reload_bytes += tile;
     if (is_v) {
       gs.v_dep = reload;
@@ -357,14 +356,12 @@ class MasPipeline {
   void EmitRedoTile(bool is_v, TaskId reload) {
     const RowBlock& rb = blocks_[iters_.size() - 1];
     const std::int64_t nkv = std::min(tiling_.nkv, shape_.kv());
-    std::vector<TaskId> redo_deps;
+    sim::DepList redo_deps;
     if (reload != sim::kNoTask) redo_deps.push_back(reload);
     if (is_v) {
-      Mac("redo O tile (overwrite)", rb.groups(), rb.rows(), nkv, shape_.embed,
-          std::move(redo_deps));
+      Mac("redo O tile (overwrite)", rb.groups(), rb.rows(), nkv, shape_.embed, redo_deps);
     } else {
-      Mac("redo C tile (overwrite)", rb.groups(), rb.rows(), shape_.embed, nkv,
-          std::move(redo_deps));
+      Mac("redo C tile (overwrite)", rb.groups(), rb.rows(), shape_.embed, nkv, redo_deps);
     }
   }
 
@@ -387,7 +384,7 @@ class MasPipeline {
     GroupState& gs = groups_[g];
     auto& it = iters_.back();
     for (const KvBlock& kv : kvs_) {
-      std::vector<TaskId> deps;
+      sim::DepList deps;
       if (q_load != sim::kNoTask) deps.push_back(q_load);
       if (gs.k_streaming) {
         const TaskId k_load =
@@ -396,20 +393,17 @@ class MasPipeline {
       } else if (gs.k_dep != sim::kNoTask) {
         deps.push_back(gs.k_dep);
       }
-      it.c_macs.push_back(Mac("C_ij = Q_i K_ij^T", rb.groups(), rb.rows(), shape_.embed,
-                              kv.nl, std::move(deps)));
+      it.c_macs.push_back(
+          Mac("C_ij = Q_i K_ij^T", rb.groups(), rb.rows(), shape_.embed, kv.nl, deps));
     }
   }
 
   void EmitVec(std::int64_t i) {
     const RowBlock& rb = blocks_[static_cast<std::size_t>(i)];
     auto& it = iters_[static_cast<std::size_t>(i)];
-    std::vector<TaskId> deps;
-    for (TaskId t : it.c_macs) {
-      if (t != sim::kNoTask) deps.push_back(t);
-    }
-    it.vec = Vec("P_i = softmax(C_i)", rb.groups(), rb.rows(), shape_.kv(),
-                 std::move(deps));
+    // When emitting (builder non-null) every C MAC id is valid; when only
+    // playing, Vec() ignores the list anyway — no filtering pass needed.
+    it.vec = Vec("P_i = softmax(C_i)", rb.groups(), rb.rows(), shape_.kv(), it.c_macs);
   }
 
   void EmitPV(std::int64_t i) {
@@ -420,7 +414,7 @@ class MasPipeline {
 
     TaskId last_mac = sim::kNoTask;
     for (const KvBlock& kv : kvs_) {
-      std::vector<TaskId> deps;
+      sim::DepList deps;
       if (it.vec != sim::kNoTask) deps.push_back(it.vec);
       if (gs.v_streaming) {
         const TaskId v_load =
@@ -430,11 +424,10 @@ class MasPipeline {
         deps.push_back(gs.v_dep);
       }
       if (last_mac != sim::kNoTask) deps.push_back(last_mac);
-      last_mac = Mac("O_i += P_ij V_ij", rb.groups(), rb.rows(), kv.nl, shape_.embed,
-                     std::move(deps));
+      last_mac = Mac("O_i += P_ij V_ij", rb.groups(), rb.rows(), kv.nl, shape_.embed, deps);
     }
     if (last_mac != sim::kNoTask) {
-      Dma("store O_i", rb.groups() * rb.rows() * shape_.embed * eb, false, {last_mac});
+      Dma("store O_i", rb.groups() * rb.rows() * shape_.embed * eb, false, sim::DepList{last_mac});
     }
 
     // If this is the group's final row block, its V residency can be freed.
@@ -465,35 +458,25 @@ class MasPipeline {
   PlayStats stats_;
 };
 
-std::int64_t ActiveCores(const std::vector<std::vector<RowBlock>>& shards) {
-  std::int64_t active = 0;
-  for (const auto& s : shards) {
-    if (!s.empty()) ++active;
-  }
-  return std::max<std::int64_t>(active, 1);
-}
-
 }  // namespace
 
 bool MasScheduler::Fits(const AttentionShape& shape, const TilingConfig& tiling,
                         const sim::HardwareConfig& hw) const {
   tiling.Validate(shape);
   const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
-  const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
-  const auto shards = detail::ShardAcrossCores(blocks, hw);
-  const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
-  return MinFootprint(bytes) <= budget;
+  return MinFootprint(bytes) <= detail::PerCoreL1Budget(shape, tiling, hw);
 }
 
 sim::SimResult MasScheduler::Simulate(const AttentionShape& shape, const TilingConfig& tiling,
                                       const sim::HardwareConfig& hw,
                                       const sim::EnergyModel& em,
-                                      bool record_timeline) const {
+                                      bool record_timeline,
+                                      sim::Engine* engine) const {
   MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
-  ScheduleBuilder b(hw, em, record_timeline);
+  ScheduleBuilder b(hw, em, record_timeline, engine);
   const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
   const auto shards = detail::ShardAcrossCores(blocks, hw);
-  const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+  const std::int64_t budget = hw.l1_bytes / detail::ActiveCoreCount(shape, tiling, hw);
 
   PlayStats total;
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
@@ -520,7 +503,7 @@ MasScheduler::OverwriteProfile MasScheduler::ProfileOverwrites(
     const AttentionShape& shape, const TilingConfig& tiling, const sim::HardwareConfig& hw) {
   const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
   const auto shards = detail::ShardAcrossCores(blocks, hw);
-  const std::int64_t budget = hw.l1_bytes / ActiveCores(shards);
+  const std::int64_t budget = hw.l1_bytes / detail::ActiveCoreCount(shape, tiling, hw);
   OverwriteProfile profile;
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
     const auto& shard = shards[static_cast<std::size_t>(core)];

@@ -31,14 +31,16 @@ sim::SimResult MasNoOverwriteScheduler::Simulate(const AttentionShape& shape,
                                                  const TilingConfig& tiling,
                                                  const sim::HardwareConfig& hw,
                                                  const sim::EnergyModel& em,
-                                                 bool record_timeline) const {
+                                                 bool record_timeline,
+                                                 sim::Engine* engine) const {
   const auto profile = MasScheduler::ProfileOverwrites(shape, tiling, hw);
   if (profile.v_overwrites + profile.k_overwrites == 0) {
     // No pressure: identical to the full MAS pipeline.
-    return MasScheduler().Simulate(shape, tiling, hw, em, record_timeline);
+    return MasScheduler().Simulate(shape, tiling, hw, em, record_timeline, engine);
   }
   // Pressure without an escape hatch: sequential rounds (FLAT dataflow).
-  sim::SimResult result = FlatScheduler().Simulate(shape, tiling, hw, em, record_timeline);
+  sim::SimResult result =
+      FlatScheduler().Simulate(shape, tiling, hw, em, record_timeline, engine);
   result.overwrite_events = 0;
   result.reload_bytes = 0;
   return result;

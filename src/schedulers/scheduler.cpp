@@ -1,5 +1,7 @@
 #include "schedulers/scheduler.h"
 
+#include <sstream>
+
 #include "common/status.h"
 #include "schedulers/impls.h"
 
@@ -21,6 +23,37 @@ const char* MethodName(Method method) {
 std::vector<Method> AllMethods() {
   return {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
           Method::kTileFlow,  Method::kFuseMax,  Method::kMas};
+}
+
+std::vector<Method> ParseMethodList(const std::string& text) {
+  std::vector<Method> methods;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "all") {
+      for (Method m : AllMethods()) methods.push_back(m);
+      continue;
+    }
+    bool found = false;
+    for (Method m : AllMethods()) {
+      if (item == MethodName(m)) {
+        methods.push_back(m);
+        found = true;
+        break;
+      }
+    }
+    if (!found && item == MethodName(Method::kMasNoOverwrite)) {
+      methods.push_back(Method::kMasNoOverwrite);
+      found = true;
+    }
+    if (!found) {
+      std::string options;
+      for (Method m : AllMethods()) options += std::string(" '") + MethodName(m) + "'";
+      MAS_FAIL() << "unknown method '" << item << "'; options: all" << options;
+    }
+  }
+  MAS_CHECK(!methods.empty()) << "method list selected no methods";
+  return methods;
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(Method method) {

@@ -52,6 +52,11 @@ const char* MethodName(Method method);
 // as kMasNoOverwrite).
 std::vector<Method> AllMethods();
 
+// Parses a comma-separated method-name list; "all" expands to AllMethods()
+// and the ablation name "MAS (no overwrite)" is accepted. Throws on unknown
+// names or an empty selection. Shared by mas_run and the benches.
+std::vector<Method> ParseMethodList(const std::string& text);
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -66,10 +71,13 @@ class Scheduler {
   virtual bool Fits(const AttentionShape& shape, const TilingConfig& tiling,
                     const sim::HardwareConfig& hw) const = 0;
 
-  // Simulates the schedule. Requires Fits(...) to hold.
+  // Simulates the schedule. Requires Fits(...) to hold. When `engine` is
+  // non-null it is Reset() and reused (its arena capacity carries across
+  // calls — the tiling search's hot path); otherwise a fresh engine is built.
   virtual sim::SimResult Simulate(const AttentionShape& shape, const TilingConfig& tiling,
                                   const sim::HardwareConfig& hw, const sim::EnergyModel& em,
-                                  bool record_timeline = false) const = 0;
+                                  bool record_timeline = false,
+                                  sim::Engine* engine = nullptr) const = 0;
 
   // Functional twin on fp32 tensors. Q,K,V: (B,H,N,E); returns O (B,H,N,E).
   virtual TensorF Execute(const TensorF& q, const TensorF& k, const TensorF& v,

@@ -48,9 +48,10 @@ sim::SimResult SoftPipeScheduler::Simulate(const AttentionShape& shape,
                                            const TilingConfig& tiling,
                                            const sim::HardwareConfig& hw,
                                            const sim::EnergyModel& em,
-                                           bool record_timeline) const {
+                                           bool record_timeline,
+                                           sim::Engine* engine) const {
   MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
-  ScheduleBuilder b(hw, em, record_timeline);
+  ScheduleBuilder b(hw, em, record_timeline, engine);
   const std::int64_t eb = hw.element_bytes;
   const auto blocks = detail::EnumerateRowBlocks(shape, tiling);
   const auto shards = detail::ShardAcrossCores(blocks, hw);
@@ -60,39 +61,40 @@ sim::SimResult SoftPipeScheduler::Simulate(const AttentionShape& shape,
   // No cross-iteration dependencies between MAC and VEC tasks: the in-order
   // queues let C_{i+1} (MAC) run while P_i (VEC) is computed — the pipeline.
   std::vector<TaskId> phase_a_ends;
+  std::vector<TaskId> c_macs;  // reused across row blocks
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
     for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
       const std::int64_t groups = rb.groups();
       const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
-      std::vector<TaskId> c_macs;
+      c_macs.clear();
       for (const KvBlock& kv : kvs) {
         const TaskId k_load = b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true);
         c_macs.push_back(b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed,
-                               kv.nl, {q_load, k_load}));
+                               kv.nl, detail::DepList{q_load, k_load}));
       }
-      const TaskId vec = b.Vec("P_i = softmax(C_i)", core, groups, rb.rows(), shape.kv(),
-                               std::move(c_macs));
+      const TaskId vec =
+          b.Vec("P_i = softmax(C_i)", core, groups, rb.rows(), shape.kv(), c_macs);
       phase_a_ends.push_back(
-          b.Dma("store P_i", core, groups * rb.rows() * shape.kv() * eb, false, {vec}));
+          b.Dma("store P_i", core, groups * rb.rows() * shape.kv() * eb, false, detail::DepList{vec}));
     }
   }
 
   // --- Phase B: unfused O = PV after all of P is materialized in DRAM. ---
-  const TaskId barrier = b.Dma("barrier P complete", 0, 0, true, std::move(phase_a_ends));
+  const TaskId barrier = b.Dma("barrier P complete", 0, 0, true, phase_a_ends);
   for (int core = 0; core < static_cast<int>(shards.size()); ++core) {
     for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
       const std::int64_t groups = rb.groups();
       const TaskId p_load =
-          b.Dma("load P_i", core, groups * rb.rows() * shape.kv() * eb, true, {barrier});
+          b.Dma("load P_i", core, groups * rb.rows() * shape.kv() * eb, true, detail::DepList{barrier});
       TaskId last_mac = sim::kNoTask;
       for (const KvBlock& kv : kvs) {
         const TaskId v_load = b.Dma("load V_ij", core, groups * kv.nl * shape.embed * eb, true);
-        std::vector<TaskId> deps = {p_load, v_load};
+        detail::DepList deps = {p_load, v_load};
         if (last_mac != sim::kNoTask) deps.push_back(last_mac);
         last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
-                         std::move(deps));
+                         deps);
       }
-      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+      b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, detail::DepList{last_mac});
     }
   }
 

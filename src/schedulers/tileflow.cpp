@@ -51,9 +51,10 @@ sim::SimResult TileFlowScheduler::Simulate(const AttentionShape& shape,
                                            const TilingConfig& tiling,
                                            const sim::HardwareConfig& hw,
                                            const sim::EnergyModel& em,
-                                           bool record_timeline) const {
+                                           bool record_timeline,
+                                           sim::Engine* engine) const {
   MAS_CHECK(Fits(shape, tiling, hw)) << "tiling does not fit: " << tiling.ToString();
-  ScheduleBuilder b(hw, em, record_timeline);
+  ScheduleBuilder b(hw, em, record_timeline, engine);
   const std::int64_t eb = hw.element_bytes;
   const detail::BlockBytes bytes = detail::ComputeBlockBytes(shape, tiling, hw);
   const bool resident = CanResideKv(bytes, detail::PerCoreL1Budget(shape, tiling, hw));
@@ -71,6 +72,7 @@ sim::SimResult TileFlowScheduler::Simulate(const AttentionShape& shape,
     TaskId k_group = sim::kNoTask;
     TaskId v_group = sim::kNoTask;
     TaskId round_barrier = sim::kNoTask;
+    std::vector<TaskId> partials;  // reused across row blocks
     for (const RowBlock& rb : shards[static_cast<std::size_t>(core)]) {
       const std::int64_t groups = rb.groups();
       if (resident && rb.first_in_group()) {
@@ -80,9 +82,9 @@ sim::SimResult TileFlowScheduler::Simulate(const AttentionShape& shape,
       const TaskId q_load = b.Dma("load Q_i", core, groups * rb.rows() * shape.embed * eb, true);
 
       // Pipelined C sub-block -> partial softmax per sub-block.
-      std::vector<TaskId> partials;
+      partials.clear();
       for (const KvBlock& kv : kvs) {
-        std::vector<TaskId> deps = {q_load};
+        detail::DepList deps = {q_load};
         if (round_barrier != sim::kNoTask) deps.push_back(round_barrier);
         if (resident) {
           deps.push_back(k_group);
@@ -90,18 +92,18 @@ sim::SimResult TileFlowScheduler::Simulate(const AttentionShape& shape,
           deps.push_back(b.Dma("load K_ij", core, groups * kv.nl * shape.embed * eb, true));
         }
         const TaskId mac = b.Mac("C_ij = Q_i K_ij^T", core, groups, rb.rows(), shape.embed,
-                                 kv.nl, std::move(deps));
+                                 kv.nl, deps);
         partials.push_back(b.VecElem("partial softmax C_ij", core,
-                                     groups * rb.rows() * kv.nl, partial_ops, {mac}));
+                                     groups * rb.rows() * kv.nl, partial_ops, detail::DepList{mac}));
       }
       // Normalization closes the softmax across the whole strip.
       const TaskId norm = b.VecElem("normalize P_i", core,
                                     groups * rb.rows() * shape.kv(),
-                                    cc.vec_cost_div, std::move(partials));
+                                    cc.vec_cost_div, partials);
 
       TaskId last_mac = sim::kNoTask;
       for (const KvBlock& kv : kvs) {
-        std::vector<TaskId> deps = {norm};
+        detail::DepList deps = {norm};
         if (resident) {
           deps.push_back(v_group);
         } else {
@@ -109,10 +111,10 @@ sim::SimResult TileFlowScheduler::Simulate(const AttentionShape& shape,
         }
         if (last_mac != sim::kNoTask) deps.push_back(last_mac);
         last_mac = b.Mac("O_i += P_ij V_ij", core, groups, rb.rows(), kv.nl, shape.embed,
-                         std::move(deps));
+                         deps);
       }
       const TaskId store =
-          b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, {last_mac});
+          b.Dma("store O_i", core, groups * rb.rows() * shape.embed * eb, false, detail::DepList{last_mac});
       // Tree-level barrier: the next round's compute starts only after this
       // round fully drains (no cross-round MAC/VEC overlap).
       round_barrier = store;

@@ -4,10 +4,13 @@
 #include <array>
 #include <cmath>
 #include <memory>
+#include <unordered_set>
 
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "runner/thread_pool.h"
+#include "sim/engine.h"
 
 namespace mas::search {
 
@@ -20,11 +23,6 @@ constexpr std::int64_t kMaxTasks = 150000;
 
 std::int64_t EstimatedTasks(const AttentionShape& shape, const TilingConfig& tiling) {
   return tiling.RowBlocks(shape) * (2 * tiling.KvBlocks(shape) + 6);
-}
-
-std::uint64_t Key(const TilingConfig& t) {
-  return (static_cast<std::uint64_t>(t.bb) << 48) ^ (static_cast<std::uint64_t>(t.hh) << 32) ^
-         (static_cast<std::uint64_t>(t.nq) << 16) ^ static_cast<std::uint64_t>(t.nkv);
 }
 
 // Restricted power-of-two lattice for coarse/grid search: at most `keep`
@@ -56,6 +54,23 @@ void RecordTrace(SearchResult& result, std::int64_t evaluation, double cycles) {
 
 }  // namespace
 
+std::size_t TilingProblem::TilingKeyHash::operator()(const TilingKey& k) const {
+  // splitmix64-style mixing of the four full-width factors; unlike the seed's
+  // shifted-XOR packing this backs a key that compares all four fields, so a
+  // hash collision can never return the wrong entry.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+    h *= 0xFF51AFD7ED558CCDull;
+    return h ^ (h >> 33);
+  };
+  std::uint64_t h = 0x2545F4914F6CDD1Dull;
+  h = mix(h, static_cast<std::uint64_t>(k.bb));
+  h = mix(h, static_cast<std::uint64_t>(k.hh));
+  h = mix(h, static_cast<std::uint64_t>(k.nq));
+  h = mix(h, static_cast<std::uint64_t>(k.nkv));
+  return static_cast<std::size_t>(h);
+}
+
 TilingProblem::TilingProblem(const Scheduler& scheduler, const AttentionShape& shape,
                              const sim::HardwareConfig& hw, const sim::EnergyModel& em)
     : scheduler_(scheduler), shape_(shape), hw_(hw), em_(em) {
@@ -66,21 +81,112 @@ TilingProblem::TilingProblem(const Scheduler& scheduler, const AttentionShape& s
   nkv_ = TileCandidates(shape.kv());
 }
 
+TilingProblem::CacheShard& TilingProblem::ShardFor(const TilingKey& key) const {
+  return cache_[TilingKeyHash{}(key) % kCacheShards];
+}
+
 bool TilingProblem::Feasible(const TilingConfig& tiling) const {
   if (EstimatedTasks(shape_, tiling) > kMaxTasks) return false;
   return scheduler_.Fits(shape_, tiling, hw_);
 }
 
-double TilingProblem::Evaluate(const TilingConfig& tiling) {
-  const std::uint64_t key = Key(tiling);
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
-  double cycles = kInfeasible;
-  if (Feasible(tiling)) {
-    ++evaluations_;
-    cycles = static_cast<double>(scheduler_.Simulate(shape_, tiling, hw_, em_).cycles);
+double TilingProblem::Measure(const TilingConfig& tiling, sim::Engine* engine) const {
+  if (!Feasible(tiling)) return kInfeasible;
+  if (reference_mode_) {
+    // Seed-path evaluation: a fresh engine per simulation (no arena reuse)
+    // running the polling reference scheduler. Used as the baseline side of
+    // bench_engine_micro; results are identical to the fast path.
+    sim::Engine fresh(hw_);
+    fresh.set_use_reference_scheduler(true);
+    return static_cast<double>(
+        scheduler_.Simulate(shape_, tiling, hw_, em_, /*record_timeline=*/false, &fresh)
+            .cycles);
   }
-  cache_.emplace(key, cycles);
+  return static_cast<double>(
+      scheduler_.Simulate(shape_, tiling, hw_, em_, /*record_timeline=*/false, engine)
+          .cycles);
+}
+
+void TilingProblem::EnsureWorkerEngines(std::size_t workers) {
+  if (reference_mode_) return;  // reference Measure() builds fresh engines
+  while (engines_.size() < std::max<std::size_t>(workers, 1)) {
+    engines_.push_back(std::make_unique<sim::Engine>(hw_));
+  }
+}
+
+double TilingProblem::Evaluate(const TilingConfig& tiling) {
+  const TilingKey key = KeyOf(tiling);
+  CacheShard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Promote a prefetched entry: it is observed — and therefore counted —
+      // here, exactly where the serial search would have simulated it.
+      if (it->second.speculative) {
+        it->second.speculative = false;
+        if (it->second.cycles != kInfeasible) ++evaluations_;
+      }
+      return it->second.cycles;
+    }
+  }
+  EnsureWorkerEngines(1);
+  const double cycles =
+      Measure(tiling, reference_mode_ ? nullptr : engines_[0].get());
+  if (cycles != kInfeasible) ++evaluations_;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, CacheEntry{cycles, false});
   return cycles;
+}
+
+bool TilingProblem::PeekCycles(const TilingConfig& tiling, double* cycles) const {
+  const TilingKey key = KeyOf(tiling);
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *cycles = it->second.cycles;
+  return true;
+}
+
+void TilingProblem::Prefetch(const TilingConfig* tilings, std::size_t count, int jobs) {
+  if (jobs <= 1) return;  // nothing to overlap; Evaluate() will do the work
+  // Unique, uncached work items in first-occurrence order.
+  std::vector<TilingConfig> work;
+  {
+    std::unordered_set<TilingKey, TilingKeyHash> seen;
+    for (std::size_t i = 0; i < count; ++i) {
+      const TilingKey key = KeyOf(tilings[i]);
+      if (!seen.insert(key).second) continue;
+      CacheShard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.map.count(key)) continue;
+      work.push_back(tilings[i]);
+    }
+  }
+  if (work.empty()) return;
+  EnsureWorkerEngines(runner::EffectiveWorkers(work.size(), jobs));
+  std::vector<double> measured(work.size(), kInfeasible);
+  runner::ParallelForWorkers(work.size(), jobs, [&](std::size_t worker, std::size_t i) {
+    measured[i] = Measure(
+        work[i], reference_mode_ || worker >= engines_.size() ? nullptr
+                                                              : engines_[worker].get());
+  });
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const TilingKey key = KeyOf(work[i]);
+    CacheShard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(key, CacheEntry{measured[i], /*speculative=*/true});
+  }
+}
+
+void TilingProblem::EvaluateBatch(const std::vector<TilingConfig>& tilings,
+                                  std::vector<double>& cycles, int jobs) {
+  Prefetch(tilings.data(), tilings.size(), jobs);
+  // Serial memo replay: Evaluate() remains the single source of truth for the
+  // evaluations() counter, so batch results match the serial loop exactly.
+  cycles.resize(tilings.size());
+  for (std::size_t i = 0; i < tilings.size(); ++i) cycles[i] = Evaluate(tilings[i]);
 }
 
 sim::SimResult TilingProblem::Simulate(const TilingConfig& tiling) const {
@@ -101,22 +207,31 @@ SearchResult GridSearch(TilingProblem& problem, const GridOptions& options) {
   const auto nkvs = options.coarse
                         ? CoarseLattice(problem.shape().kv(), options.coarse_keep_nkv)
                         : problem.nkv_candidates();
-  std::int64_t evals = 0;
+
+  // Enumerate the scan up front (bounded by the evaluation budget — an
+  // exhausted budget terminates the WHOLE scan, not just the innermost
+  // loop), then evaluate as one batch and reduce in grid order.
+  std::vector<TilingConfig> cells;
+  const std::int64_t budget = std::max<std::int64_t>(options.max_evaluations, 0);
   for (std::int64_t bb : bbs) {
     for (std::int64_t hh : hhs) {
       for (std::int64_t nq : nqs) {
         for (std::int64_t nkv : nkvs) {
-          if (evals >= options.max_evaluations) break;
-          const TilingConfig tiling{bb, hh, nq, nkv};
-          const double cycles = problem.Evaluate(tiling);
-          ++evals;
-          if (cycles < result.best_cycles) {
-            result.best = tiling;
-          }
-          RecordTrace(result, evals, cycles);
+          if (static_cast<std::int64_t>(cells.size()) >= budget) goto scan_done;
+          cells.push_back(TilingConfig{bb, hh, nq, nkv});
         }
       }
     }
+  }
+scan_done:
+  std::vector<double> cycles;
+  problem.EvaluateBatch(cells, cycles, options.jobs);
+
+  std::int64_t evals = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ++evals;
+    if (cycles[i] < result.best_cycles) result.best = cells[i];
+    RecordTrace(result, evals, cycles[i]);
   }
   result.evaluations = evals;
   return result;
@@ -144,21 +259,31 @@ SearchResult GeneticSearch(TilingProblem& problem, const GaOptions& options) {
 
   SearchResult result;
   std::int64_t evals = 0;
-  auto fitness = [&](const Genome& g) {
-    const TilingConfig tiling = decode(g);
-    const double cycles = problem.Evaluate(tiling);
-    ++evals;
-    if (cycles < result.best_cycles) result.best = tiling;
-    RecordTrace(result, evals, cycles);
-    return cycles;
+  // Evaluates a cohort of genomes as one parallel batch, then replays the
+  // best/trace reduction in cohort order — the same sequence of Evaluate()
+  // calls the serial loop made (genome creation never reads fitness results
+  // within a generation, so batching does not disturb the rng stream).
+  std::vector<TilingConfig> batch_tilings;
+  std::vector<double> batch_cycles;
+  auto evaluate_cohort = [&](const std::vector<Genome>& cohort) {
+    batch_tilings.clear();
+    for (const Genome& g : cohort) batch_tilings.push_back(decode(g));
+    problem.EvaluateBatch(batch_tilings, batch_cycles, options.jobs);
+    std::vector<double> scores(cohort.size());
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      ++evals;
+      if (batch_cycles[i] < result.best_cycles) result.best = batch_tilings[i];
+      RecordTrace(result, evals, batch_cycles[i]);
+      scores[i] = batch_cycles[i];
+    }
+    return scores;
   };
 
   std::vector<Genome> population;
-  std::vector<double> scores;
   for (std::int64_t i = 0; i < options.population; ++i) {
     population.push_back(random_genome());
-    scores.push_back(fitness(population.back()));
   }
+  std::vector<double> scores = evaluate_cohort(population);
 
   auto tournament_pick = [&]() -> const Genome& {
     std::size_t best = static_cast<std::size_t>(rng.NextBelow(population.size()));
@@ -182,7 +307,10 @@ SearchResult GeneticSearch(TilingProblem& problem, const GaOptions& options) {
       next.push_back(population[order[static_cast<std::size_t>(e)]]);
       next_scores.push_back(scores[order[static_cast<std::size_t>(e)]]);
     }
-    while (static_cast<std::int64_t>(next.size()) < options.population) {
+    // Create the whole offspring cohort first (pure rng work against the
+    // *previous* generation's scores), then evaluate it as one batch.
+    std::vector<Genome> offspring;
+    while (static_cast<std::int64_t>(next.size() + offspring.size()) < options.population) {
       Genome child = tournament_pick();
       if (rng.NextBool(options.crossover_rate)) {
         const Genome& other = tournament_pick();
@@ -195,8 +323,12 @@ SearchResult GeneticSearch(TilingProblem& problem, const GaOptions& options) {
           child[d] = static_cast<std::size_t>(rng.NextBelow(spaces[d]->size()));
         }
       }
-      next.push_back(child);
-      next_scores.push_back(fitness(child));
+      offspring.push_back(child);
+    }
+    std::vector<double> offspring_scores = evaluate_cohort(offspring);
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      next.push_back(offspring[i]);
+      next_scores.push_back(offspring_scores[i]);
     }
     population = std::move(next);
     scores = std::move(next_scores);
@@ -217,13 +349,81 @@ struct MctsNode {
   std::int64_t visits = 0;
 };
 
+std::unique_ptr<MctsNode> CloneTree(const MctsNode& node) {
+  auto copy = std::make_unique<MctsNode>();
+  copy->child_visits = node.child_visits;
+  copy->child_value = node.child_value;
+  copy->visits = node.visits;
+  copy->children.resize(node.children.size());
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    if (node.children[c]) copy->children[c] = CloneTree(*node.children[c]);
+  }
+  return copy;
+}
+
+using Spaces = std::vector<const std::vector<std::int64_t>*>;
+
+// Selection + expansion down the four decision levels (UCB1; unvisited
+// children first, random among them). Mutates the tree only by expanding
+// empty child slots.
+std::array<std::size_t, 4> SelectLeaf(MctsNode& root, Rng& rng, const Spaces& spaces,
+                                      double exploration) {
+  std::array<std::size_t, 4> choice{};
+  MctsNode* node = &root;
+  for (std::size_t depth = 0; depth < 4; ++depth) {
+    const std::size_t width = spaces[depth]->size();
+    if (node->children.empty()) {
+      node->children.resize(width);
+      node->child_visits.assign(width, 0);
+      node->child_value.assign(width, 0.0);
+    }
+    std::vector<std::size_t> unvisited;
+    for (std::size_t c = 0; c < width; ++c) {
+      if (node->child_visits[c] == 0) unvisited.push_back(c);
+    }
+    std::size_t pick;
+    if (!unvisited.empty()) {
+      pick = unvisited[rng.NextBelow(unvisited.size())];
+    } else {
+      double best_ucb = -1.0;
+      pick = 0;
+      for (std::size_t c = 0; c < width; ++c) {
+        const double exploit = node->child_value[c];
+        const double explore =
+            exploration * std::sqrt(std::log(static_cast<double>(node->visits) + 1.0) /
+                                    static_cast<double>(node->child_visits[c]));
+        if (exploit + explore > best_ucb) {
+          best_ucb = exploit + explore;
+          pick = c;
+        }
+      }
+    }
+    choice[depth] = pick;
+    if (!node->children[pick]) node->children[pick] = std::make_unique<MctsNode>();
+    node = node->children[pick].get();
+  }
+  return choice;
+}
+
+void Backprop(MctsNode& root, const std::array<std::size_t, 4>& choice, double reward) {
+  MctsNode* cur = &root;
+  cur->visits += 1;
+  for (std::size_t depth = 0; depth < 4; ++depth) {
+    const std::size_t c = choice[depth];
+    cur->child_visits[c] += 1;
+    cur->child_value[c] +=
+        (reward - cur->child_value[c]) / static_cast<double>(cur->child_visits[c]);
+    cur = cur->children[c].get();
+    cur->visits += 1;
+  }
+}
+
 }  // namespace
 
 SearchResult MctsSearch(TilingProblem& problem, const MctsOptions& options) {
   Rng rng(options.seed);
-  const std::vector<const std::vector<std::int64_t>*> spaces = {
-      &problem.hh_candidates(), &problem.nq_candidates(), &problem.nkv_candidates(),
-      &problem.bb_candidates()};
+  const Spaces spaces = {&problem.hh_candidates(), &problem.nq_candidates(),
+                         &problem.nkv_candidates(), &problem.bb_candidates()};
   auto decode = [&](const std::array<std::size_t, 4>& g) {
     return TilingConfig{(*spaces[3])[g[3]], (*spaces[0])[g[0]], (*spaces[1])[g[1]],
                         (*spaces[2])[g[2]]};
@@ -242,68 +442,52 @@ SearchResult MctsSearch(TilingProblem& problem, const MctsOptions& options) {
   };
 
   MctsNode root;
-  for (std::int64_t iter = 0; iter < options.iterations; ++iter) {
-    // Selection + expansion down the four decision levels.
-    std::array<std::size_t, 4> choice{};
-    MctsNode* node = &root;
-    std::vector<MctsNode*> path = {node};
-    for (std::size_t depth = 0; depth < 4; ++depth) {
-      const std::size_t width = spaces[depth]->size();
-      if (node->children.empty()) {
-        node->children.resize(width);
-        node->child_visits.assign(width, 0);
-        node->child_value.assign(width, 0.0);
-      }
-      // UCB1 pick; unvisited children first (random among them).
-      std::vector<std::size_t> unvisited;
-      for (std::size_t c = 0; c < width; ++c) {
-        if (node->child_visits[c] == 0) unvisited.push_back(c);
-      }
-      std::size_t pick;
-      if (!unvisited.empty()) {
-        pick = unvisited[rng.NextBelow(unvisited.size())];
-      } else {
-        double best_ucb = -1.0;
-        pick = 0;
-        for (std::size_t c = 0; c < width; ++c) {
-          const double exploit = node->child_value[c];
-          const double explore =
-              options.exploration *
-              std::sqrt(std::log(static_cast<double>(node->visits) + 1.0) /
-                        static_cast<double>(node->child_visits[c]));
-          if (exploit + explore > best_ucb) {
-            best_ucb = exploit + explore;
-            pick = c;
-          }
+  const std::int64_t wave = options.jobs > 1 ? options.jobs : 1;
+  std::vector<TilingConfig> leaves;
+  std::int64_t iter = 0;
+  while (iter < options.iterations) {
+    const std::int64_t batch = std::min(wave, options.iterations - iter);
+    if (batch > 1) {
+      // Speculation: predict the next `batch` rollout leaves on a clone of
+      // the tree (seeded with a copy of the rng, so the first prediction is
+      // exact) and prefetch their simulations in parallel. Unknown leaves
+      // backpropagate a zero reward on the clone — a virtual loss that
+      // steers later predictions away, for diversity. The authoritative
+      // iterations below replay serially against the warmed cache.
+      std::unique_ptr<MctsNode> scout = CloneTree(root);
+      Rng scout_rng = rng;
+      leaves.clear();
+      for (std::int64_t j = 0; j < batch; ++j) {
+        const std::array<std::size_t, 4> choice =
+            SelectLeaf(*scout, scout_rng, spaces, options.exploration);
+        const TilingConfig tiling = decode(choice);
+        leaves.push_back(tiling);
+        double predicted = 0.0;
+        double cached;
+        if (problem.PeekCycles(tiling, &cached) && cached != TilingProblem::kInfeasible) {
+          predicted = 1e6 / cached;
         }
+        Backprop(*scout, choice, predicted);
       }
-      choice[depth] = pick;
-      if (!node->children[pick]) node->children[pick] = std::make_unique<MctsNode>();
-      node = node->children[pick].get();
-      path.push_back(node);
+      problem.Prefetch(leaves.data(), leaves.size(), options.jobs);
     }
-    const double reward = reward_of(choice);
-    // Backpropagate along the path.
-    MctsNode* cur = &root;
-    cur->visits += 1;
-    for (std::size_t depth = 0; depth < 4; ++depth) {
-      const std::size_t c = choice[depth];
-      cur->child_visits[c] += 1;
-      cur->child_value[c] +=
-          (reward - cur->child_value[c]) / static_cast<double>(cur->child_visits[c]);
-      cur = cur->children[c].get();
-      cur->visits += 1;
+    for (std::int64_t j = 0; j < batch; ++j) {
+      const std::array<std::size_t, 4> choice =
+          SelectLeaf(root, rng, spaces, options.exploration);
+      Backprop(root, choice, reward_of(choice));
     }
+    iter += batch;
   }
   result.evaluations = evals;
   return result;
 }
 
 TilingConfig AutoTile(const Scheduler& scheduler, const AttentionShape& shape,
-                      const sim::HardwareConfig& hw, const sim::EnergyModel& em) {
+                      const sim::HardwareConfig& hw, const sim::EnergyModel& em, int jobs) {
   TilingProblem problem(scheduler, shape, hw, em);
   GridOptions options;
   options.coarse = true;
+  options.jobs = jobs;
   const SearchResult result = GridSearch(problem, options);
   MAS_CHECK(result.found()) << "no feasible tiling for " << scheduler.name() << " on "
                             << shape.ToString();

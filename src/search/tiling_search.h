@@ -11,11 +11,19 @@
 //                     factor choices.
 // Every strategy records a convergence trace (best cycles vs evaluations)
 // which the Fig. 7 bench replots.
+//
+// All three strategies batch their simulator calls across the thread pool
+// when `jobs > 1` (grid cells, GA generations, speculative MCTS leaves); the
+// reductions replay in the serial order, so a SearchResult — best, trace,
+// evaluation counts — is byte-identical for any thread count.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +36,14 @@ namespace mas::search {
 
 // Objective wrapper: evaluates tilings for one (scheduler, shape, hardware)
 // triple, with memoization and infeasibility pruning.
+//
+// Threading contract: the public API is driven by ONE orchestrating thread
+// (the search loop). Parallelism is internal — EvaluateBatch/Prefetch fan
+// simulator calls out to worker threads, each with its own engine, and the
+// workers never touch the memo cache or the evaluations() counter. The
+// cache is sharded + locked so those internals stay safe if a future caller
+// overlaps Prefetch with cache reads, not to make Evaluate() itself
+// concurrently callable.
 class TilingProblem {
  public:
   TilingProblem(const Scheduler& scheduler, const AttentionShape& shape,
@@ -41,8 +57,28 @@ class TilingProblem {
   const std::vector<std::int64_t>& nkv_candidates() const { return nkv_; }
 
   // Simulated cycles for `tiling`; +inf when infeasible (fails the
-  // scheduler's Fits() or exceeds the task-graph budget). Memoized.
+  // scheduler's Fits() or exceeds the task-graph budget). Memoized in a
+  // sharded, collision-free cache keyed by the full tiling tuple.
   double Evaluate(const TilingConfig& tiling);
+
+  // Evaluates a batch of tilings using up to `jobs` worker threads, filling
+  // `cycles[i]` for `tilings[i]`. Results — including the evaluations()
+  // counter — are byte-identical to calling Evaluate() serially in order:
+  // unique uncached tilings are simulated in parallel (each worker owns a
+  // reusable engine), then the memo replay runs in the serial order.
+  void EvaluateBatch(const std::vector<TilingConfig>& tilings, std::vector<double>& cycles,
+                     int jobs);
+
+  // Speculatively warms the cache with `tilings` (parallel, up to `jobs`
+  // workers) WITHOUT advancing evaluations(): a later Evaluate() that hits a
+  // speculative entry promotes it and counts it then, exactly as if it had
+  // simulated on the spot. Lets MCTS prefetch predicted rollout leaves while
+  // staying byte-identical to the serial search.
+  void Prefetch(const TilingConfig* tilings, std::size_t count, int jobs);
+
+  // Reads the cached cycles for `tiling` (speculative or not) without
+  // promoting or counting anything. Returns false when not cached.
+  bool PeekCycles(const TilingConfig& tiling, double* cycles) const;
 
   // Full simulation of a (feasible) tiling.
   sim::SimResult Simulate(const TilingConfig& tiling) const;
@@ -53,16 +89,53 @@ class TilingProblem {
   const AttentionShape& shape() const { return shape_; }
   const Scheduler& scheduler() const { return scheduler_; }
 
+  // Evaluate via the seed path instead: a fresh engine per simulation running
+  // the polling reference scheduler, no arena reuse. Produces identical
+  // results; exists so bench_engine_micro (and tests) can compare the
+  // event-driven fast path against the seed baseline in-process.
+  void set_reference_mode(bool on) { reference_mode_ = on; }
+
   static constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
  private:
+  // Collision-free cache key: the full tiling tuple (the seed packed the four
+  // factors into 16-bit lanes of one u64, which silently collided — and could
+  // return a wrong cached cycle count — once any extent reached 65536).
+  struct TilingKey {
+    std::int64_t bb, hh, nq, nkv;
+    bool operator==(const TilingKey& o) const {
+      return bb == o.bb && hh == o.hh && nq == o.nq && nkv == o.nkv;
+    }
+  };
+  struct TilingKeyHash {
+    std::size_t operator()(const TilingKey& k) const;
+  };
+  struct CacheEntry {
+    double cycles = kInfeasible;
+    bool speculative = false;  // prefetched; not yet counted in evaluations_
+  };
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<TilingKey, CacheEntry, TilingKeyHash> map;
+  };
+  static constexpr std::size_t kCacheShards = 16;
+
+  static TilingKey KeyOf(const TilingConfig& t) { return {t.bb, t.hh, t.nq, t.nkv}; }
+  CacheShard& ShardFor(const TilingKey& key) const;
+  // Simulated cycles (or kInfeasible), reusing `engine` across calls.
+  double Measure(const TilingConfig& tiling, sim::Engine* engine) const;
+  void EnsureWorkerEngines(std::size_t workers);
+
   const Scheduler& scheduler_;
   AttentionShape shape_;
   const sim::HardwareConfig& hw_;
   const sim::EnergyModel& em_;
   std::vector<std::int64_t> bb_, hh_, nq_, nkv_;
-  std::unordered_map<std::uint64_t, double> cache_;
+  mutable std::array<CacheShard, kCacheShards> cache_;
+  // One reusable engine per worker (index 0 doubles as the serial engine).
+  std::vector<std::unique_ptr<sim::Engine>> engines_;
   std::int64_t evaluations_ = 0;
+  bool reference_mode_ = false;
 };
 
 // One point of the Fig. 7 convergence trace.
@@ -89,6 +162,8 @@ struct GridOptions {
   int coarse_keep_hh = 5;
   int coarse_keep_nq = 8;
   int coarse_keep_nkv = 8;
+  // Simulator worker threads; results are identical for any value.
+  int jobs = 1;
 };
 SearchResult GridSearch(TilingProblem& problem, const GridOptions& options = {});
 
@@ -100,6 +175,9 @@ struct GaOptions {
   std::int64_t tournament = 3;
   std::int64_t elite = 2;
   std::uint64_t seed = 1;
+  // Simulator worker threads (one generation's offspring evaluate as a
+  // batch); results are identical for any value.
+  int jobs = 1;
 };
 SearchResult GeneticSearch(TilingProblem& problem, const GaOptions& options = {});
 
@@ -107,12 +185,20 @@ struct MctsOptions {
   std::int64_t iterations = 1000;
   double exploration = 1.2;  // UCB exploration constant
   std::uint64_t seed = 1;
+  // Simulator worker threads. Parallelism is speculative (predicted rollout
+  // leaves are prefetched into the evaluation cache on a cloned tree); the
+  // authoritative search replays serially, so results are identical for any
+  // value.
+  int jobs = 1;
 };
 SearchResult MctsSearch(TilingProblem& problem, const MctsOptions& options = {});
 
 // Fast good-enough tiling: coarse grid over a power-of-two lattice. Used by
-// benches and examples as the default offline-tuned configuration.
+// benches and examples as the default offline-tuned configuration. `jobs`
+// parallelizes the grid evaluation; the chosen tiling is identical for any
+// thread count.
 TilingConfig AutoTile(const Scheduler& scheduler, const AttentionShape& shape,
-                      const sim::HardwareConfig& hw, const sim::EnergyModel& em);
+                      const sim::HardwareConfig& hw, const sim::EnergyModel& em,
+                      int jobs = 1);
 
 }  // namespace mas::search

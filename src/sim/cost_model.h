@@ -5,10 +5,17 @@
 // events, given a hardware configuration. This is the Accelergy/Timeloop
 // analytical layer of the reproduction: schedulers only reason in tiles; all
 // hardware knowledge lives here.
+//
+// All methods are defined inline: they are leaf arithmetic on the schedule
+// emission hot path (one call per task), and inlining them into the
+// schedulers' emit loops is worth several percent of a tiling search.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
+#include "common/math_util.h"
+#include "common/status.h"
 #include "sim/energy_model.h"
 #include "sim/hardware_config.h"
 
@@ -22,6 +29,18 @@ struct TaskCost {
   std::int64_t dram_write_bytes = 0;
 };
 
+// Integer log2 ceiling (reduction-tree depth); Log2Ceil(1) == 0.
+inline int Log2Ceil(std::int64_t n) {
+  MAS_CHECK(n >= 1) << "Log2Ceil requires n >= 1";
+  int bits = 0;
+  std::int64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
 class CostModel {
  public:
   CostModel(const HardwareConfig& hw, const EnergyModel& em) : hw_(&hw), em_(&em) {}
@@ -33,35 +52,115 @@ class CostModel {
   // core `core`'s output-stationary MAC mesh. Operands are read from L1
   // through L0; the result is written back to L1.
   TaskCost MacTile(std::int64_t groups, std::int64_t m, std::int64_t k, std::int64_t n,
-                   int core) const;
+                   int core) const {
+    MAS_CHECK(groups >= 1 && m >= 1 && k >= 1 && n >= 1)
+        << "invalid MAC tile " << groups << "x(" << m << "," << k << "," << n << ")";
+    const CoreConfig& cc = hw_->cores.at(static_cast<std::size_t>(core));
+    const std::int64_t row_passes = CeilDiv(m, cc.mac_rows);
+    const std::int64_t col_passes = CeilDiv(n, cc.mac_cols);
+
+    TaskCost cost;
+    // Output-stationary: each (mac_rows x mac_cols) output tile takes k cycles
+    // to accumulate; setup charged once per task (weights/systolic fill).
+    cost.cycles = static_cast<std::uint64_t>(groups * row_passes * col_passes * k) +
+                  static_cast<std::uint64_t>(cc.mac_setup_cycles);
+
+    // PE energy counts real MACs only (schedule-invariant, paper §5.3.3).
+    const std::int64_t macs = groups * m * k * n;
+    cost.energy.mac_pe_pj = em_->MacOps(macs);
+
+    // L1 traffic: A is re-read once per column pass, B once per row pass, the
+    // result written once. L0 sees the operand stream into the array plus the
+    // result drain.
+    const std::int64_t eb = hw_->element_bytes;
+    const std::int64_t a_bytes = groups * m * k * eb;
+    const std::int64_t b_bytes = groups * k * n * eb;
+    const std::int64_t out_bytes = groups * m * n * eb;
+    const std::int64_t l1_bytes = a_bytes * col_passes + b_bytes * row_passes + out_bytes;
+    cost.energy.l1_pj = em_->L1Traffic(l1_bytes);
+    cost.energy.l0_pj = em_->L0Traffic(l1_bytes + out_bytes);
+    return cost;
+  }
 
   // Batched row-wise softmax: `groups` x `rows` rows of length `row_len` on
   // core `core`'s VEC unit (max / sub+exp / sum / div passes).
   // `extra_lane_ops_per_elem` models decompositions that do more vector work
   // per element (e.g. FuseMax's online-softmax rescaling).
   TaskCost VecSoftmax(std::int64_t groups, std::int64_t rows, std::int64_t row_len, int core,
-                      std::int64_t extra_lane_ops_per_elem = 0) const;
+                      std::int64_t extra_lane_ops_per_elem = 0) const {
+    MAS_CHECK(groups >= 1 && rows >= 1 && row_len >= 1)
+        << "invalid softmax tile " << groups << "x" << rows << "x" << row_len;
+    const CoreConfig& cc = hw_->cores.at(static_cast<std::size_t>(core));
+    const std::int64_t chunks = CeilDiv(row_len, cc.vec_lanes);
+    const std::int64_t per_elem = cc.SoftmaxLaneCostPerElement() + extra_lane_ops_per_elem;
+    // Two tree reductions per row (max and sum) cost log2(lanes) extra cycles.
+    const std::int64_t per_row = chunks * per_elem + 2 * Log2Ceil(cc.vec_lanes);
+
+    TaskCost cost;
+    cost.cycles = static_cast<std::uint64_t>(groups * rows * per_row) +
+                  static_cast<std::uint64_t>(cc.vec_setup_cycles);
+
+    const std::int64_t elements = groups * rows * row_len;
+    cost.energy.vec_pe_pj = em_->VecLaneOps(elements * per_elem);
+
+    // L1: read C row once, write P row once. L0: each of the four passes
+    // streams the row through the register file (read + write).
+    const std::int64_t eb = hw_->element_bytes;
+    cost.energy.l1_pj = em_->L1Traffic(2 * elements * eb);
+    cost.energy.l0_pj = em_->L0Traffic(8 * elements * eb);
+    return cost;
+  }
 
   // Generic element-wise VEC pass over `elements` values costing
   // `lane_ops_per_elem` lane-cycles each (used for FuseMax accumulator
   // rescales and similar).
   TaskCost VecElementwise(std::int64_t elements, std::int64_t lane_ops_per_elem,
-                          int core) const;
+                          int core) const {
+    MAS_CHECK(elements >= 0 && lane_ops_per_elem >= 0) << "invalid elementwise op";
+    const CoreConfig& cc = hw_->cores.at(static_cast<std::size_t>(core));
+    TaskCost cost;
+    if (elements == 0 || lane_ops_per_elem == 0) return cost;
+    cost.cycles = static_cast<std::uint64_t>(CeilDiv(elements, cc.vec_lanes) *
+                                             lane_ops_per_elem) +
+                  static_cast<std::uint64_t>(cc.vec_setup_cycles);
+    cost.energy.vec_pe_pj = em_->VecLaneOps(elements * lane_ops_per_elem);
+    const std::int64_t eb = hw_->element_bytes;
+    cost.energy.l1_pj = em_->L1Traffic(2 * elements * eb);
+    cost.energy.l0_pj = em_->L0Traffic(2 * elements * eb);
+    return cost;
+  }
 
   // DMA transfer of `bytes` between DRAM and L1. `is_read` = DRAM -> L1.
-  TaskCost Dma(std::int64_t bytes, bool is_read) const;
+  TaskCost Dma(std::int64_t bytes, bool is_read) const {
+    MAS_CHECK(bytes >= 0) << "negative DMA size";
+    TaskCost cost;
+    if (bytes == 0) return cost;
+    const double bpc = hw_->DramBytesPerCycle();
+    cost.cycles = static_cast<std::uint64_t>(std::ceil(static_cast<double>(bytes) / bpc)) +
+                  static_cast<std::uint64_t>(hw_->dma_setup_cycles);
+    cost.energy.dram_pj = em_->DramTraffic(bytes);
+    cost.energy.l1_pj = em_->L1Traffic(bytes);  // written into / read out of L1
+    if (is_read) {
+      cost.dram_read_bytes = bytes;
+    } else {
+      cost.dram_write_bytes = bytes;
+    }
+    return cost;
+  }
 
   // Pure L1->L1 data movement charged without occupying the DMA channel
   // (e.g. layout shuffles); returns energy-only cost with zero duration
   // attached to the issuing unit.
-  TaskCost L1Shuffle(std::int64_t bytes) const;
+  TaskCost L1Shuffle(std::int64_t bytes) const {
+    MAS_CHECK(bytes >= 0) << "negative shuffle size";
+    TaskCost cost;
+    cost.energy.l1_pj = em_->L1Traffic(2 * bytes);  // read + write
+    return cost;
+  }
 
  private:
   const HardwareConfig* hw_;
   const EnergyModel* em_;
 };
-
-// Integer log2 ceiling (reduction-tree depth); Log2Ceil(1) == 0.
-int Log2Ceil(std::int64_t n);
 
 }  // namespace mas::sim

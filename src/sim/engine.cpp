@@ -1,8 +1,7 @@
 #include "sim/engine.h"
-#include <deque>
-#include <utility>
 
 #include <algorithm>
+#include <utility>
 
 #include "common/status.h"
 
@@ -41,79 +40,144 @@ std::uint64_t SimResult::BusyCycles(ResourceKind kind) const {
 Engine::Engine(const HardwareConfig& hw, bool record_timeline)
     : hw_(hw), record_timeline_(record_timeline) {
   MAS_CHECK(!hw.cores.empty()) << "hardware needs at least one core";
-  // Queue 0 is the shared DMA channel; then MAC/VEC per core.
-  queues_.push_back({"dma", ResourceKind::kDma, 0, {}, 0, 0, 0, 0});
+  // Queue 0 is the shared DMA channel; then MAC/VEC per core. Names are built
+  // once here (and stay) so repeated Run() cycles never rebuild them.
+  queues_.push_back({"dma", ResourceKind::kDma, 0, {}, 0, 0, 0, 0, 0});
   for (int c = 0; c < static_cast<int>(hw.cores.size()); ++c) {
     queues_.push_back(
-        {"mac" + std::to_string(c), ResourceKind::kMac, c, {}, 0, 0, 0, 0});
+        {"mac" + std::to_string(c), ResourceKind::kMac, c, {}, 0, 0, 0, 0, 0});
     queues_.push_back(
-        {"vec" + std::to_string(c), ResourceKind::kVec, c, {}, 0, 0, 0, 0});
+        {"vec" + std::to_string(c), ResourceKind::kVec, c, {}, 0, 0, 0, 0, 0});
   }
+  rings_.resize(hw.cores.size());
 }
 
-std::size_t Engine::QueueIndex(ResourceKind kind, int core) const {
-  if (kind == ResourceKind::kDma) return 0;
-  MAS_CHECK(core >= 0 && core < static_cast<int>(hw_.cores.size()))
-      << "core " << core << " out of range";
-  const std::size_t base = 1 + static_cast<std::size_t>(core) * 2;
-  return kind == ResourceKind::kMac ? base : base + 1;
-}
-
-TaskId Engine::AddTask(TaskSpec spec) {
-  MAS_CHECK(!ran_) << "cannot add tasks after Run()";
-  const TaskId id = static_cast<TaskId>(tasks_.size());
-  for (TaskId dep : spec.deps) {
-    MAS_CHECK(dep >= 0 && dep < id) << "task " << id << " depends on unknown task " << dep;
-  }
-  queues_[QueueIndex(spec.resource, spec.core)].tasks.push_back(id);
-  tasks_.push_back(std::move(spec));
+NameId Engine::InternName(std::string_view name) {
+  if (!record_timeline_ || name.empty()) return kNoName;
+  auto it = name_ids_.find(name);  // transparent: no temporary string
+  if (it != name_ids_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
   return id;
 }
 
+TaskId Engine::AddTask(const TaskSpec& spec) {
+  return AddTask(spec.resource, spec.core, spec.duration, DepSpan(spec.deps), spec.energy,
+                 spec.dram_read_bytes, spec.dram_write_bytes, InternName(spec.name));
+}
+
+void Engine::Reset() {
+  tasks_.clear();
+  side_.clear();
+  deps_.clear();
+  for (auto& q : queues_) {
+    q.tasks.clear();
+    q.next = 0;
+    q.free_at = 0;
+    q.busy = 0;
+    q.count = 0;
+    q.rr = 0;
+  }
+  ran_ = false;
+}
+
+void Engine::Reset(bool record_timeline) {
+  record_timeline_ = record_timeline;
+  Reset();
+}
+
+void Engine::AppendResourceStats(SimResult& result) const {
+  result.resources.reserve(queues_.size());
+  for (const auto& q : queues_) {
+    result.resources.push_back({q.name, q.kind, q.core, q.busy, q.count});
+  }
+}
+
+void Engine::RecordTimelineEntry(const Task& t, std::uint64_t start, std::uint64_t end,
+                                 SimResult& result) const {
+  if (result.timeline.size() >= kMaxTimelineEntries) return;
+  result.timeline.push_back(
+      {t.name == kNoName ? std::string() : names_[static_cast<std::size_t>(t.name)],
+       t.resource, t.core, start, end});
+}
+
+// Dependency-counter event scheduling. The schedule this computes — and every
+// derived statistic — is identical to RunReference()'s: the pass loop below
+// visits queues in the same order, and a task becomes visible to its queue in
+// exactly the pass where the polling scan would have found its dependencies
+// done (a counter hitting zero is the same observation the seed's per-pass
+// dependency re-poll made, at O(1) instead of O(deps) per look). What changes
+// is the cost: each dependency edge is touched exactly once (when its
+// producer finishes), and passes with no ready DMA work skip the descriptor
+// scan entirely.
 SimResult Engine::Run() {
+  if (use_reference_scheduler_) return RunReference();
+  return RunEvent();
+}
+
+SimResult Engine::RunEvent() {
   MAS_CHECK(!ran_) << "Run() may be called once";
   ran_ = true;
+  MAS_CHECK(deps_.size() < UINT32_MAX && tasks_.size() < UINT32_MAX)
+      << "task graph too large";
 
   SimResult result;
-  std::vector<std::uint64_t> finish(tasks_.size(), 0);
-  std::vector<bool> done(tasks_.size(), false);
+  const std::size_t n = tasks_.size();
+  state_.assign(n, TaskState{});
 
-  std::size_t remaining = tasks_.size();
-
-  auto ready_time = [&](const TaskSpec& t, bool* deps_done) -> std::uint64_t {
-    std::uint64_t ready = 0;
-    *deps_done = true;
-    for (TaskId dep : t.deps) {
-      if (!done[dep]) {
-        *deps_done = false;
-        return 0;
-      }
-      ready = std::max(ready, finish[dep]);
+  // Successor CSR (counting sort over the dependency arena).
+  succ_offset_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks_[i];
+    state_[i].remaining = t.dep_count;
+    state_[i].is_dma = t.resource == ResourceKind::kDma ? 1 : 0;
+    for (std::uint32_t d = 0; d < t.dep_count; ++d) {
+      ++succ_offset_[static_cast<std::size_t>(deps_[t.dep_offset + d]) + 1];
     }
-    return ready;
-  };
+  }
+  for (std::size_t i = 1; i <= n; ++i) succ_offset_[i] += succ_offset_[i - 1];
+  succ_.resize(deps_.size());
+  succ_fill_.assign(succ_offset_.begin(), succ_offset_.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks_[i];
+    for (std::uint32_t d = 0; d < t.dep_count; ++d) {
+      succ_[succ_fill_[static_cast<std::size_t>(deps_[t.dep_offset + d])]++] =
+          static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::size_t remaining = n;
+  dma_ready_list_.clear();
+  dma_grant_scratch_.clear();
+  for (TaskId id : queues_[0].tasks) {
+    if (state_[static_cast<std::size_t>(id)].remaining == 0) dma_ready_list_.push_back(id);
+  }
 
   auto execute = [&](ResourceQueue& q, TaskId id, std::uint64_t ready) {
-    const TaskSpec& t = tasks_[id];
+    const Task& t = tasks_[static_cast<std::size_t>(id)];
     const std::uint64_t start = std::max(ready, q.free_at);
     const std::uint64_t end = start + t.duration;
-    finish[id] = end;
-    done[id] = true;
     q.free_at = end;
     q.busy += t.duration;
     ++q.count;
     --remaining;
     result.cycles = std::max(result.cycles, end);
-    result.energy += t.energy;
-    result.dram_read_bytes += t.dram_read_bytes;
-    result.dram_write_bytes += t.dram_write_bytes;
-    if (record_timeline_ && result.timeline.size() < kMaxTimelineEntries) {
-      result.timeline.push_back({t.name, t.resource, t.core, start, end});
+    const TaskPayload& payload = side_[static_cast<std::size_t>(id)];
+    result.energy += payload.energy;
+    result.dram_read_bytes += payload.dram_read_bytes;
+    result.dram_write_bytes += payload.dram_write_bytes;
+    if (record_timeline_) RecordTimelineEntry(t, start, end, result);
+    // Retire: each dependency edge is processed exactly once, here.
+    for (std::size_t s = succ_offset_[static_cast<std::size_t>(id)];
+         s < succ_offset_[static_cast<std::size_t>(id) + 1]; ++s) {
+      TaskState& st = state_[succ_[s]];
+      st.ready_time = std::max(st.ready_time, end);
+      if (--st.remaining == 0 && st.is_dma) {
+        dma_ready_list_.push_back(static_cast<TaskId>(succ_[s]));
+      }
     }
   };
-
-  // Scratch per-core descriptor rings for DMA bus arbitration.
-  std::vector<std::deque<std::pair<TaskId, std::uint64_t>>> rings_;
 
   while (remaining > 0) {
     bool progressed = false;
@@ -125,31 +189,29 @@ SimResult Engine::Run() {
         // core's queued-ahead prefetches cannot starve another core's demand
         // loads (schedulers emit each core's stream back-to-back; strict
         // FIFO would serialize the cores behind the first core's stores).
-        // Blocked transfers are kept for the next pass; ready ones are
-        // granted the bus per-core FIFO, cores interleaved round-robin.
-        rings_.assign(hw_.cores.size(), {});
-        std::size_t write = q.next;
-        std::size_t ready_count = 0;
-        for (std::size_t s = q.next; s < q.tasks.size(); ++s) {
-          const TaskId id = q.tasks[s];
-          bool deps_done = false;
-          const std::uint64_t ready = ready_time(tasks_[id], &deps_done);
-          if (!deps_done) {
-            q.tasks[write++] = id;
-            continue;
-          }
+        // Blocked transfers wait on the ready list (appended the moment
+        // their last dependency retires — no rescan); ready ones are granted
+        // the bus per-core FIFO, cores interleaved round-robin. Transfers
+        // becoming ready during this grant phase wait for the next pass,
+        // exactly as under the seed's scan-then-grant order.
+        if (dma_ready_list_.empty()) continue;  // nothing to grant
+        for (auto& ring : rings_) ring.clear();
+        dma_grant_scratch_.swap(dma_ready_list_);
+        std::sort(dma_grant_scratch_.begin(), dma_grant_scratch_.end());
+        std::size_t ready_count = dma_grant_scratch_.size();
+        for (const TaskId id : dma_grant_scratch_) {
           const std::size_t core = static_cast<std::size_t>(
-              std::clamp<int>(tasks_[id].core, 0, static_cast<int>(rings_.size()) - 1));
-          rings_[core].push_back({id, ready});
-          ++ready_count;
+              std::clamp<int>(tasks_[static_cast<std::size_t>(id)].core, 0,
+                              static_cast<int>(rings_.size()) - 1));
+          rings_[core].entries.push_back(
+              {id, state_[static_cast<std::size_t>(id)].ready_time});
         }
-        q.tasks.resize(write);
+        dma_grant_scratch_.clear();
         while (ready_count > 0) {
           for (std::size_t c = 0; c < rings_.size(); ++c) {
             const std::size_t ring = (q.rr + c) % rings_.size();
             if (rings_[ring].empty()) continue;
-            const auto [id, ready] = rings_[ring].front();
-            rings_[ring].pop_front();
+            const auto [id, ready] = rings_[ring].entries[rings_[ring].head++];
             execute(q, id, ready);
             progressed = true;
             --ready_count;
@@ -160,10 +222,135 @@ SimResult Engine::Run() {
       } else {
         // Compute pipelines issue strictly in order, like the real MAC/VEC
         // instruction streams: a blocked head stalls everything behind it.
+        while (q.next < q.tasks.size() &&
+               state_[static_cast<std::size_t>(q.tasks[q.next])].remaining == 0) {
+          const TaskId id = q.tasks[q.next];
+          execute(q, id, state_[static_cast<std::size_t>(id)].ready_time);
+          ++q.next;
+          progressed = true;
+        }
+      }
+    }
+    MAS_CHECK(progressed) << "task graph deadlock: " << remaining
+                          << " tasks blocked (cyclic dependency across in-order queues)";
+  }
+
+  AppendResourceStats(result);
+  return result;
+}
+
+// The seed's polling scheduler with the seed's storage, preserved as the
+// cross-checking oracle for Run() and as the "seed path" baseline of
+// bench_engine_micro. The task list is first materialized the way the seed
+// engine held it — one TaskSpec per task in a growing AoS vector, each with
+// its own heap-allocated dependency list — and the polling loop then
+// re-derives readiness from scratch every pass, rebuilding the DMA
+// descriptor rings per pass, exactly as the original did. Results are
+// identical to Run(); only the cost profile differs.
+SimResult Engine::RunReference() {
+  MAS_CHECK(!ran_) << "Run() may be called once";
+  ran_ = true;
+
+  SimResult result;
+  std::vector<TaskSpec> specs;  // deliberately no reserve(): seed growth pattern
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    TaskSpec spec;
+    spec.resource = t.resource;
+    spec.core = t.core;
+    spec.duration = t.duration;
+    spec.deps.assign(deps_.begin() + static_cast<std::ptrdiff_t>(t.dep_offset),
+                     deps_.begin() + static_cast<std::ptrdiff_t>(t.dep_offset) +
+                         t.dep_count);
+    spec.energy = side_[i].energy;
+    spec.dram_read_bytes = side_[i].dram_read_bytes;
+    spec.dram_write_bytes = side_[i].dram_write_bytes;
+    if (t.name != kNoName) spec.name = names_[static_cast<std::size_t>(t.name)];
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<std::uint64_t> finish(specs.size(), 0);
+  std::vector<bool> done(specs.size(), false);
+
+  std::size_t remaining = specs.size();
+
+  auto ready_time = [&](const TaskSpec& t, bool* deps_done) -> std::uint64_t {
+    std::uint64_t ready = 0;
+    *deps_done = true;
+    for (TaskId dep : t.deps) {
+      if (!done[static_cast<std::size_t>(dep)]) {
+        *deps_done = false;
+        return 0;
+      }
+      ready = std::max(ready, finish[static_cast<std::size_t>(dep)]);
+    }
+    return ready;
+  };
+
+  auto execute = [&](ResourceQueue& q, TaskId id, std::uint64_t ready) {
+    const TaskSpec& t = specs[static_cast<std::size_t>(id)];
+    const std::uint64_t start = std::max(ready, q.free_at);
+    const std::uint64_t end = start + t.duration;
+    finish[static_cast<std::size_t>(id)] = end;
+    done[static_cast<std::size_t>(id)] = true;
+    q.free_at = end;
+    q.busy += t.duration;
+    ++q.count;
+    --remaining;
+    result.cycles = std::max(result.cycles, end);
+    result.energy += t.energy;
+    result.dram_read_bytes += t.dram_read_bytes;
+    result.dram_write_bytes += t.dram_write_bytes;
+    if (record_timeline_ && result.timeline.size() < kMaxTimelineEntries) {
+      result.timeline.push_back({t.name, t.resource, static_cast<int>(t.core), start, end});
+    }
+  };
+
+  // Scratch per-core descriptor rings, reallocated per pass like the seed.
+  std::vector<std::vector<std::pair<TaskId, std::uint64_t>>> rings;
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (auto& q : queues_) {
+      if (q.kind == ResourceKind::kDma) {
+        rings.assign(hw_.cores.size(), {});
+        std::size_t write = q.next;
+        std::size_t ready_count = 0;
+        for (std::size_t s = q.next; s < q.tasks.size(); ++s) {
+          const TaskId id = q.tasks[s];
+          bool deps_done = false;
+          const std::uint64_t ready =
+              ready_time(specs[static_cast<std::size_t>(id)], &deps_done);
+          if (!deps_done) {
+            q.tasks[write++] = id;
+            continue;
+          }
+          const std::size_t core = static_cast<std::size_t>(
+              std::clamp<int>(specs[static_cast<std::size_t>(id)].core, 0,
+                              static_cast<int>(rings.size()) - 1));
+          rings[core].push_back({id, ready});
+          ++ready_count;
+        }
+        q.tasks.resize(write);
+        std::vector<std::size_t> heads(rings.size(), 0);
+        while (ready_count > 0) {
+          for (std::size_t c = 0; c < rings.size(); ++c) {
+            const std::size_t ring = (q.rr + c) % rings.size();
+            if (heads[ring] >= rings[ring].size()) continue;
+            const auto [id, ready] = rings[ring][heads[ring]++];
+            execute(q, id, ready);
+            progressed = true;
+            --ready_count;
+            q.rr = (ring + 1) % rings.size();
+            break;
+          }
+        }
+      } else {
         while (q.next < q.tasks.size()) {
           const TaskId id = q.tasks[q.next];
           bool deps_done = false;
-          const std::uint64_t ready = ready_time(tasks_[id], &deps_done);
+          const std::uint64_t ready =
+              ready_time(specs[static_cast<std::size_t>(id)], &deps_done);
           if (!deps_done) break;
           execute(q, id, ready);
           ++q.next;
@@ -175,9 +362,7 @@ SimResult Engine::Run() {
                           << " tasks blocked (cyclic dependency across in-order queues)";
   }
 
-  for (const auto& q : queues_) {
-    result.resources.push_back({q.name, q.kind, q.core, q.busy, q.count});
-  }
+  AppendResourceStats(result);
   return result;
 }
 

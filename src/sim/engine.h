@@ -10,12 +10,25 @@
 // This plays the role Timeloop played in the paper: evaluating a concrete
 // mapping against a fixed architecture. Energy is attached to tasks by the
 // cost model and summed into the Fig. 6-style breakdown.
+//
+// The engine is built for the tiling search's hot loop (thousands of
+// Simulate() calls per AutoTile): tasks live in flat arenas (dependencies are
+// (offset, count) slices into one shared id arena, names are interned ids
+// materialized only when the timeline is recorded), Run() schedules with
+// per-task remaining-dependency counters instead of re-polling queues, and
+// Reset() lets one engine — and all of its arena capacity — be reused across
+// simulations. RunReference() keeps the original O(passes x tasks x deps)
+// polling scheduler as a cross-checking oracle; both produce identical
+// results (see test_engine_properties.cpp).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/energy_model.h"
 #include "sim/hardware_config.h"
 
@@ -28,7 +41,59 @@ const char* ResourceKindName(ResourceKind kind);
 using TaskId = std::int64_t;
 constexpr TaskId kNoTask = -1;
 
-// One unit of work bound to a resource.
+// Interned task-name handle; kNoName when the timeline is not recorded.
+using NameId = std::int32_t;
+constexpr NameId kNoName = -1;
+
+// Non-owning view over a dependency list; implicitly constructible from the
+// common sources so emit sites never copy.
+struct DepSpan {
+  const TaskId* ids = nullptr;
+  std::size_t count = 0;
+
+  DepSpan() = default;
+  DepSpan(const TaskId* data, std::size_t n) : ids(data), count(n) {}
+  DepSpan(const std::vector<TaskId>& v) : ids(v.data()), count(v.size()) {}  // NOLINT
+  // Deliberately NO initializer_list constructor: a span over a braced
+  // list's backing array dangles after the declaration statement. Braced
+  // call sites use the stack-backed DepList (which owns its storage).
+
+  const TaskId* begin() const { return ids; }
+  const TaskId* end() const { return ids + count; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
+// Fixed-capacity inline dependency list for the schedulers' per-task lists
+// (which are tiny — a producer, an operand load, a pipeline predecessor).
+// Never touches the heap; overflow is a programming error.
+class DepList {
+ public:
+  static constexpr std::size_t kCapacity = 8;
+
+  DepList() = default;
+  DepList(std::initializer_list<TaskId> list) {
+    for (TaskId id : list) push_back(id);
+  }
+
+  void push_back(TaskId id) {
+    MAS_CHECK(size_ < kCapacity) << "DepList overflow (capacity " << kCapacity << ")";
+    ids_[size_++] = id;
+  }
+  void clear() { size_ = 0; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  operator DepSpan() const { return DepSpan(ids_, size_); }  // NOLINT
+
+ private:
+  TaskId ids_[kCapacity];
+  std::size_t size_ = 0;
+};
+
+// One unit of work bound to a resource. Convenience description for tests and
+// ad-hoc graphs; AddTask(TaskSpec) copies it into the engine's arenas. The
+// schedulers' hot path uses the arena AddTask overload directly.
 struct TaskSpec {
   std::string name;                 // label for timelines (may be empty)
   ResourceKind resource = ResourceKind::kDma;
@@ -84,18 +149,71 @@ class Engine {
   // Fig. 1 dataflow-comparison bench.
   explicit Engine(const HardwareConfig& hw, bool record_timeline = false);
 
+  // Interns `name` for timeline labels. Returns kNoName (and stores nothing)
+  // when the timeline is not recorded, so the fast path never allocates.
+  NameId InternName(std::string_view name);
+
   // Appends a task to its resource queue. Dependencies must refer to tasks
-  // already added (ids are dense, starting at 0).
-  TaskId AddTask(TaskSpec spec);
+  // already added (ids are dense, starting at 0). The dependency ids are
+  // copied into the engine's flat arena; `deps` may point at stack storage.
+  // Defined inline below: this is the emission hot path.
+  TaskId AddTask(ResourceKind resource, int core, std::uint64_t duration, DepSpan deps,
+                 const EnergyBreakdown& energy = EnergyBreakdown{},
+                 std::int64_t dram_read_bytes = 0, std::int64_t dram_write_bytes = 0,
+                 NameId name = kNoName);
+
+  // Convenience overload copying a TaskSpec (interns the name when recording).
+  TaskId AddTask(const TaskSpec& spec);
 
   std::int64_t task_count() const { return static_cast<std::int64_t>(tasks_.size()); }
 
-  // Executes all tasks; returns the schedule outcome. May be called once.
+  // Executes all tasks via dependency-counter event scheduling; returns the
+  // schedule outcome. May be called once per build (see Reset()).
   SimResult Run();
 
+  // The original polling scheduler (O(passes x tasks x deps)), kept as a
+  // cross-checking oracle and as the "seed path" baseline in
+  // bench_engine_micro. Produces results identical to Run().
+  SimResult RunReference();
+
+  // Discards all tasks (keeping arena/queue capacity and interned names) so
+  // the engine can be rebuilt and Run() again. This is what makes a tiling
+  // search's thousands of Simulate() calls allocation-free after the first.
+  void Reset();
+  // As above, also switching the timeline-recording mode.
+  void Reset(bool record_timeline);
+
+  bool record_timeline() const { return record_timeline_; }
   const HardwareConfig& hw() const { return hw_; }
 
+  // When set, Run() executes the polling reference scheduler instead of the
+  // event-driven one (results are identical; only speed differs). Survives
+  // Reset(). Used by bench_engine_micro's "seed path" baseline and by the
+  // equivalence tests.
+  void set_use_reference_scheduler(bool use) { use_reference_scheduler_ = use; }
+  bool use_reference_scheduler() const { return use_reference_scheduler_; }
+
  private:
+  // Arena task record (32 bytes of scheduling state): dependencies live in
+  // deps_ as an (offset, count) slice. Energy/DRAM payloads sit in a parallel
+  // side arena (side_) so the scheduling loops touch only this record; the
+  // payload is read once, when the task executes — keeping the accumulation
+  // order (and therefore the floating-point energy sum) bit-identical to the
+  // seed engine's.
+  struct Task {
+    std::uint64_t duration = 0;
+    std::size_t dep_offset = 0;
+    std::uint32_t dep_count = 0;
+    ResourceKind resource = ResourceKind::kDma;
+    std::int32_t core = 0;
+    NameId name = kNoName;
+  };
+  struct TaskPayload {
+    EnergyBreakdown energy;
+    std::int64_t dram_read_bytes = 0;
+    std::int64_t dram_write_bytes = 0;
+  };
+
   struct ResourceQueue {
     std::string name;
     ResourceKind kind;
@@ -108,13 +226,94 @@ class Engine {
     std::size_t rr = 0;            // round-robin cursor (DMA bus arbitration)
   };
 
+  // Per-core DMA descriptor ring (persistent scratch; see satellite note in
+  // engine.cpp — the seed reallocated these every arbitration pass).
+  struct Ring {
+    std::vector<std::pair<TaskId, std::uint64_t>> entries;  // (task, ready)
+    std::size_t head = 0;
+
+    void clear() { entries.clear(); head = 0; }
+    bool empty() const { return head >= entries.size(); }
+  };
+
   std::size_t QueueIndex(ResourceKind kind, int core) const;
+  void AppendResourceStats(SimResult& result) const;
+  void RecordTimelineEntry(const Task& t, std::uint64_t start, std::uint64_t end,
+                           SimResult& result) const;
 
   const HardwareConfig hw_;
   bool record_timeline_;
-  std::vector<TaskSpec> tasks_;
+  std::vector<Task> tasks_;
+  std::vector<TaskPayload> side_;     // energy/DRAM payloads, parallel to tasks_
+  std::vector<TaskId> deps_;          // flat dependency arena
   std::vector<ResourceQueue> queues_;
   bool ran_ = false;
+
+  // Interned names (kept across Reset()). The transparent comparator lets
+  // InternName look up a string_view without materializing a std::string.
+  std::vector<std::string> names_;
+  std::map<std::string, NameId, std::less<>> name_ids_;
+
+  SimResult RunEvent();
+
+  bool use_reference_scheduler_ = false;
+
+  // Per-task retire state, packed so each dependency-edge retirement touches
+  // exactly one cache line: earliest start time, outstanding-dependency
+  // count, and whether the task is a DMA transfer (so retirement can feed
+  // the DMA ready list without touching the task record).
+  struct TaskState {
+    std::uint64_t ready_time = 0;
+    std::uint32_t remaining = 0;
+    std::uint32_t is_dma = 0;
+  };
+
+  // Run() scratch, reused across Reset() cycles (32-bit indices: the search
+  // caps task graphs far below 2^32 tasks/edges).
+  std::vector<TaskState> state_;
+  std::vector<std::uint32_t> succ_offset_;  // CSR successor index (size n+1)
+  std::vector<std::uint32_t> succ_fill_;
+  std::vector<std::uint32_t> succ_;
+  std::vector<Ring> rings_;
+  // DMA transfers whose dependencies completed but that have not yet been
+  // granted the bus. Replaces the seed's per-pass rescan of every blocked
+  // descriptor: ids are appended as they become ready and sorted ascending at
+  // each grant phase — identical to the pending-order scan, because queue
+  // order is AddTask order is id order.
+  std::vector<TaskId> dma_ready_list_;
+  std::vector<TaskId> dma_grant_scratch_;
 };
+
+inline TaskId Engine::AddTask(ResourceKind resource, int core, std::uint64_t duration,
+                              DepSpan deps, const EnergyBreakdown& energy,
+                              std::int64_t dram_read_bytes, std::int64_t dram_write_bytes,
+                              NameId name) {
+  MAS_CHECK(!ran_) << "cannot add tasks after Run()";
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for (TaskId dep : deps) {
+    MAS_CHECK(dep >= 0 && dep < id) << "task " << id << " depends on unknown task " << dep;
+  }
+  queues_[QueueIndex(resource, core)].tasks.push_back(id);
+
+  Task t;
+  t.duration = duration;
+  t.dep_offset = deps_.size();
+  t.dep_count = static_cast<std::uint32_t>(deps.size());
+  t.resource = resource;
+  t.core = core;
+  t.name = name;
+  side_.push_back({energy, dram_read_bytes, dram_write_bytes});
+  deps_.insert(deps_.end(), deps.begin(), deps.end());
+  tasks_.push_back(t);
+  return id;
+}
+
+inline std::size_t Engine::QueueIndex(ResourceKind kind, int core) const {
+  if (kind == ResourceKind::kDma) return 0;
+  MAS_CHECK(core >= 0 && core < static_cast<int>(hw_.cores.size()))
+      << "core " << core << " out of range";
+  const std::size_t base = 1 + static_cast<std::size_t>(core) * 2;
+  return kind == ResourceKind::kMac ? base : base + 1;
+}
 
 }  // namespace mas::sim

@@ -154,13 +154,13 @@ class BackwardPipeline {
     std::vector<TaskId> soft_deps = {it.c_mac};
     if (!stream_) soft_deps.push_back(it.dp_mac);
     it.vec_soft = b_.Vec("P_i = softmax(C_i)", core_, rb.groups(), rb.rows(), shape_.kv(),
-                         std::move(soft_deps));
+                         soft_deps);
     // Softmax backward per element: two multiplies, a subtract and a fused
     // row-sum fold — no exponentials, so it is much lighter than the forward
     // softmax.
     it.vec_dsoft = b_.VecElem("dC_i = P*(dP - rowdot)", core_,
                               rb.groups() * rb.rows() * shape_.kv(), 4,
-                              {it.vec_soft, it.dp_mac});
+                              detail::DepList{it.vec_soft, it.dp_mac});
   }
 
   // The three gradient MatMuls of block i and the dQ_i store.
@@ -170,21 +170,21 @@ class BackwardPipeline {
     const std::int64_t groups = rb.groups();
     auto& it = iters_[static_cast<std::size_t>(i)];
 
-    std::vector<TaskId> dq_deps = {it.vec_dsoft};
+    detail::DepList dq_deps = {it.vec_dsoft};
     if (k_dep_ != sim::kNoTask) dq_deps.push_back(k_dep_);
     const TaskId dq = b_.Mac("dQ_i = dC_i K", core_, groups, rb.rows(), shape_.kv(),
-                             shape_.embed, std::move(dq_deps));
-    b_.Dma("store dQ_i", core_, groups * rb.rows() * shape_.embed * eb, false, {dq});
+                             shape_.embed, dq_deps);
+    b_.Dma("store dQ_i", core_, groups * rb.rows() * shape_.embed * eb, false, detail::DepList{dq});
 
     // Accumulator updates chain on the previous accumulation of the group.
-    std::vector<TaskId> dv_deps = {it.vec_soft};
+    detail::DepList dv_deps = {it.vec_soft};
     if (dv_chain_ != sim::kNoTask) dv_deps.push_back(dv_chain_);
     dv_chain_ = b_.Mac("dV += P_i^T dO_i", core_, groups, shape_.kv(), rb.rows(),
-                       shape_.embed, std::move(dv_deps));
-    std::vector<TaskId> dk_deps = {it.vec_dsoft};
+                       shape_.embed, dv_deps);
+    detail::DepList dk_deps = {it.vec_dsoft};
     if (dk_chain_ != sim::kNoTask) dk_deps.push_back(dk_chain_);
     dk_chain_ = b_.Mac("dK += dC_i^T Q_i", core_, groups, shape_.kv(), rb.rows(),
-                       shape_.embed, std::move(dk_deps));
+                       shape_.embed, dk_deps);
 
     const bool last_of_group =
         static_cast<std::size_t>(i) + 1 == blocks_.size() ||
@@ -218,10 +218,10 @@ class BackwardPipeline {
     const std::int64_t eb = hw_.element_bytes;
     const std::int64_t kv_bytes = group_rb_.groups() * shape_.kv() * shape_.embed * eb;
     if (dk_chain_ != sim::kNoTask) {
-      b_.Dma("store dK group", core_, kv_bytes, false, {dk_chain_});
+      b_.Dma("store dK group", core_, kv_bytes, false, detail::DepList{dk_chain_});
     }
     if (dv_chain_ != sim::kNoTask) {
-      b_.Dma("store dV group", core_, kv_bytes, false, {dv_chain_});
+      b_.Dma("store dV group", core_, kv_bytes, false, detail::DepList{dv_chain_});
     }
     dk_chain_ = sim::kNoTask;
     dv_chain_ = sim::kNoTask;

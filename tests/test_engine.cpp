@@ -182,6 +182,39 @@ TEST(Engine, RunTwiceRejected) {
   EXPECT_THROW(engine.AddTask(Task(ResourceKind::kMac, 0, 1)), Error);
 }
 
+TEST(Engine, ResetAllowsRebuildAndRun) {
+  Engine engine(TwoCoreHw());
+  engine.AddTask(Task(ResourceKind::kMac, 0, 10));
+  engine.AddTask(Task(ResourceKind::kMac, 0, 5));
+  EXPECT_EQ(engine.Run().cycles, 15u);
+  engine.Reset();
+  EXPECT_EQ(engine.task_count(), 0);
+  // A different schedule on the same (reused) engine: no state may leak.
+  const TaskId a = engine.AddTask(Task(ResourceKind::kDma, 0, 10));
+  engine.AddTask(Task(ResourceKind::kMac, 1, 5, {a}));
+  EXPECT_EQ(engine.Run().cycles, 15u);
+  EXPECT_THROW(engine.Run(), Error);  // still one Run() per build
+}
+
+TEST(Engine, ResetSwitchesTimelineRecording) {
+  Engine engine(TwoCoreHw(), /*record_timeline=*/false);
+  TaskSpec t = Task(ResourceKind::kVec, 0, 3);
+  t.name = "S_1";
+  engine.AddTask(t);
+  EXPECT_TRUE(engine.Run().timeline.empty());
+  engine.Reset(/*record_timeline=*/true);
+  engine.AddTask(t);
+  const SimResult r = engine.Run();
+  ASSERT_EQ(r.timeline.size(), 1u);
+  EXPECT_EQ(r.timeline[0].name, "S_1");
+}
+
+TEST(Engine, DepListOverflowRejected) {
+  DepList deps;
+  for (std::size_t i = 0; i < DepList::kCapacity; ++i) deps.push_back(0);
+  EXPECT_THROW(deps.push_back(0), Error);
+}
+
 TEST(Engine, CrossCoreDependencySynchronizes) {
   Engine engine(TwoCoreHw());
   const TaskId m0 = engine.AddTask(Task(ResourceKind::kMac, 0, 10));

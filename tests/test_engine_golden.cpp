@@ -1,0 +1,103 @@
+// Golden-equivalence tests for the engine rewrite.
+//
+// tests/golden_engine_table1.inc pins (AutoTile tiling, cycles, energy
+// breakdown, DRAM traffic, per-resource busy cycles/task counts) for every
+// Table-1 network x scheduler on the Fig. 4 edge config, captured from the
+// original polling engine (the PR 1 seed). The event-driven engine — and any
+// future rewrite — must reproduce them bit-for-bit: cycle counts exactly,
+// energy doubles to the last ulp (the accumulation order is part of the
+// contract). Regenerate with tools/gen_golden_engine only when an
+// *intentional* model change invalidates the values.
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+namespace mas {
+namespace {
+
+struct GoldenRow {
+  const char* network;
+  int method;
+  std::int64_t tiling[4];  // bb, hh, nq, nkv
+  std::uint64_t cycles;
+  double energy[5];  // dram, l1, l0, mac, vec (pJ)
+  std::int64_t dram_read_bytes;
+  std::int64_t dram_write_bytes;
+  std::vector<std::uint64_t> busy;        // per resource: dma, mac0, vec0, ...
+  std::vector<std::uint64_t> task_count;  // same order
+};
+
+const std::vector<GoldenRow>& GoldenRows() {
+  static const std::vector<GoldenRow> rows = {
+#include "golden_engine_table1.inc"
+  };
+  return rows;
+}
+
+class EngineGolden : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineGolden, MatchesSeedEngineBitForBit) {
+  const GoldenRow& row = GoldenRows()[GetParam()];
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+  const NetworkWorkload net = FindNetwork(row.network);
+  const auto sched = MakeScheduler(static_cast<Method>(row.method));
+
+  // The offline search must land on the seed's tiling (same lattice, same
+  // cycle estimates, same tie-breaks)...
+  const TilingConfig tiling = search::AutoTile(*sched, net.shape, hw, em);
+  EXPECT_EQ(tiling.bb, row.tiling[0]) << sched->name();
+  EXPECT_EQ(tiling.hh, row.tiling[1]) << sched->name();
+  EXPECT_EQ(tiling.nq, row.tiling[2]) << sched->name();
+  EXPECT_EQ(tiling.nkv, row.tiling[3]) << sched->name();
+
+  // ...and the simulation must reproduce the seed SimResult exactly.
+  const sim::SimResult r = sched->Simulate(net.shape, tiling, hw, em);
+  EXPECT_EQ(r.cycles, row.cycles);
+  EXPECT_EQ(r.energy.dram_pj, row.energy[0]);
+  EXPECT_EQ(r.energy.l1_pj, row.energy[1]);
+  EXPECT_EQ(r.energy.l0_pj, row.energy[2]);
+  EXPECT_EQ(r.energy.mac_pe_pj, row.energy[3]);
+  EXPECT_EQ(r.energy.vec_pe_pj, row.energy[4]);
+  EXPECT_EQ(r.dram_read_bytes, row.dram_read_bytes);
+  EXPECT_EQ(r.dram_write_bytes, row.dram_write_bytes);
+  ASSERT_EQ(r.resources.size(), row.busy.size());
+  for (std::size_t i = 0; i < row.busy.size(); ++i) {
+    EXPECT_EQ(r.resources[i].busy_cycles, row.busy[i]) << r.resources[i].name;
+    EXPECT_EQ(r.resources[i].task_count, row.task_count[i]) << r.resources[i].name;
+  }
+
+  // The retained polling reference scheduler agrees with the event-driven
+  // run on the same schedule (independent cross-check of the rewrite).
+  sim::Engine ref_engine(hw);
+  ref_engine.set_use_reference_scheduler(true);
+  const sim::SimResult ref =
+      sched->Simulate(net.shape, tiling, hw, em, /*record_timeline=*/false, &ref_engine);
+  EXPECT_EQ(ref.cycles, row.cycles);
+  EXPECT_EQ(ref.energy.l1_pj, row.energy[1]);
+  EXPECT_EQ(ref.dram_read_bytes, row.dram_read_bytes);
+}
+
+std::string GoldenName(const testing::TestParamInfo<std::size_t>& info) {
+  const GoldenRow& row = GoldenRows()[info.index];
+  std::string name = std::string(row.network) + "_" +
+                     MethodName(static_cast<Method>(row.method));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworksAllSchedulers, EngineGolden,
+                         testing::Range<std::size_t>(0, GoldenRows().size()), GoldenName);
+
+}  // namespace
+}  // namespace mas

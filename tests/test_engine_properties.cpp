@@ -151,6 +151,64 @@ TEST_P(EngineProperty, Deterministic) {
   EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
 }
 
+TEST_P(EngineProperty, EventRunMatchesPollingReference) {
+  // The dependency-counter scheduler must agree with the retained seed
+  // polling scheduler on arbitrary DAGs — cycles, busy stats, traffic,
+  // energy (bit-equal doubles: same accumulation order) and the timeline.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const RandomDag dag = MakeRandomDag(rng, 80, 2);
+  const HardwareConfig hw = EdgeSimConfig();
+
+  Engine fast(hw, /*record_timeline=*/true);
+  for (const TaskSpec& t : dag.tasks) fast.AddTask(t);
+  const SimResult a = fast.Run();
+
+  Engine reference(hw, /*record_timeline=*/true);
+  reference.set_use_reference_scheduler(true);
+  for (const TaskSpec& t : dag.tasks) reference.AddTask(t);
+  const SimResult b = reference.Run();
+
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
+  EXPECT_EQ(a.energy.mac_pe_pj, b.energy.mac_pe_pj);
+  ASSERT_EQ(a.resources.size(), b.resources.size());
+  for (std::size_t i = 0; i < a.resources.size(); ++i) {
+    EXPECT_EQ(a.resources[i].busy_cycles, b.resources[i].busy_cycles);
+    EXPECT_EQ(a.resources[i].task_count, b.resources[i].task_count);
+  }
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].name, b.timeline[i].name);
+    EXPECT_EQ(a.timeline[i].start, b.timeline[i].start);
+    EXPECT_EQ(a.timeline[i].end, b.timeline[i].end);
+  }
+}
+
+TEST_P(EngineProperty, ResetReuseIsIdenticalToFreshEngine) {
+  // One engine rebuilt via Reset() across many different DAGs must behave
+  // exactly like a fresh engine each time. This also pins the hoisted DMA
+  // descriptor-ring scratch (the seed reallocated the rings every
+  // arbitration pass; the reused engine must clear, not accumulate, them).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const HardwareConfig hw = EdgeSimConfig();
+  Engine reused(hw);
+  for (int round = 0; round < 4; ++round) {
+    const RandomDag dag = MakeRandomDag(rng, 50 + round * 13, 2);
+    if (round > 0) reused.Reset();
+    for (const TaskSpec& t : dag.tasks) reused.AddTask(t);
+    const SimResult via_reuse = reused.Run();
+    const SimResult via_fresh = RunDag(dag);
+    EXPECT_EQ(via_reuse.cycles, via_fresh.cycles);
+    EXPECT_EQ(via_reuse.dram_read_bytes, via_fresh.dram_read_bytes);
+    EXPECT_EQ(via_reuse.energy.mac_pe_pj, via_fresh.energy.mac_pe_pj);
+    ASSERT_EQ(via_reuse.resources.size(), via_fresh.resources.size());
+    for (std::size_t i = 0; i < via_reuse.resources.size(); ++i) {
+      EXPECT_EQ(via_reuse.resources[i].busy_cycles, via_fresh.resources[i].busy_cycles);
+      EXPECT_EQ(via_reuse.resources[i].task_count, via_fresh.resources[i].task_count);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty, testing::Range(1, 13));
 
 TEST(EngineDma, OutOfOrderDmaDoesNotBlockReadyTransfers) {

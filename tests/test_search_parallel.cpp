@@ -1,0 +1,173 @@
+// Determinism and regression tests for the parallel tiling search.
+//
+// The contract under test: for any `jobs`, every strategy produces a
+// SearchResult byte-identical to the serial run — best tiling, best cycles,
+// evaluation counts, and the full convergence trace. Plus regressions for
+// the seed bugs fixed in this PR: the GridSearch budget check that only
+// broke the innermost loop, and the 16-bit-packed evaluation-cache key that
+// collided for tile extents >= 65536.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "schedulers/scheduler.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+namespace mas::search {
+namespace {
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+sim::EnergyModel Em() { return sim::EnergyModel{}; }
+
+AttentionShape SmallShape() { return AttentionShape{"small", 1, 4, 128, 32}; }
+
+void ExpectSameSearchResult(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_cycles, b.best_cycles);  // bit-equal doubles
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].evaluation, b.trace[i].evaluation);
+    EXPECT_EQ(a.trace[i].best_cycles, b.trace[i].best_cycles);
+  }
+}
+
+TEST(ParallelSearch, GridIdenticalAcrossThreadCounts) {
+  const auto mas = MakeScheduler(Method::kMas);
+  const sim::HardwareConfig hw = Hw();
+  const sim::EnergyModel em = Em();
+  GridOptions serial_opts;
+  serial_opts.coarse = true;
+  TilingProblem serial_problem(*mas, SmallShape(), hw, em);
+  const SearchResult serial = GridSearch(serial_problem, serial_opts);
+
+  for (int jobs : {2, 8}) {
+    GridOptions opts = serial_opts;
+    opts.jobs = jobs;
+    TilingProblem problem(*mas, SmallShape(), hw, em);
+    const SearchResult parallel = GridSearch(problem, opts);
+    ExpectSameSearchResult(serial, parallel);
+    EXPECT_EQ(serial_problem.evaluations(), problem.evaluations());
+  }
+}
+
+TEST(ParallelSearch, GeneticIdenticalAcrossThreadCounts) {
+  const auto flat = MakeScheduler(Method::kFlat);
+  const sim::HardwareConfig hw = Hw();
+  const sim::EnergyModel em = Em();
+  GaOptions serial_opts;
+  serial_opts.population = 12;
+  serial_opts.generations = 8;
+  serial_opts.seed = 7;
+  TilingProblem serial_problem(*flat, SmallShape(), hw, em);
+  const SearchResult serial = GeneticSearch(serial_problem, serial_opts);
+
+  for (int jobs : {2, 8}) {
+    GaOptions opts = serial_opts;
+    opts.jobs = jobs;
+    TilingProblem problem(*flat, SmallShape(), hw, em);
+    const SearchResult parallel = GeneticSearch(problem, opts);
+    ExpectSameSearchResult(serial, parallel);
+    EXPECT_EQ(serial_problem.evaluations(), problem.evaluations());
+  }
+}
+
+TEST(ParallelSearch, MctsIdenticalAcrossThreadCounts) {
+  // MCTS parallelism is speculative (prefetched leaves on a cloned tree);
+  // the authoritative serial replay must be unaffected, including the
+  // evaluations() counter (speculative entries only count once observed).
+  const auto mas = MakeScheduler(Method::kMas);
+  const sim::HardwareConfig hw = Hw();
+  const sim::EnergyModel em = Em();
+  MctsOptions serial_opts;
+  serial_opts.iterations = 150;
+  serial_opts.seed = 11;
+  TilingProblem serial_problem(*mas, SmallShape(), hw, em);
+  const SearchResult serial = MctsSearch(serial_problem, serial_opts);
+
+  for (int jobs : {2, 8}) {
+    MctsOptions opts = serial_opts;
+    opts.jobs = jobs;
+    TilingProblem problem(*mas, SmallShape(), hw, em);
+    const SearchResult parallel = MctsSearch(problem, opts);
+    ExpectSameSearchResult(serial, parallel);
+    EXPECT_EQ(serial_problem.evaluations(), problem.evaluations());
+  }
+}
+
+TEST(ParallelSearch, ReferenceModeIdenticalToFastPath) {
+  // The bench's "seed path" evaluation (polling engine, no arena reuse)
+  // must agree with the fast path bit-for-bit.
+  const auto mas = MakeScheduler(Method::kMas);
+  const sim::HardwareConfig hw = Hw();
+  const sim::EnergyModel em = Em();
+  GridOptions opts;
+  opts.coarse = true;
+  TilingProblem fast(*mas, SmallShape(), hw, em);
+  const SearchResult fast_result = GridSearch(fast, opts);
+  TilingProblem ref(*mas, SmallShape(), hw, em);
+  ref.set_reference_mode(true);
+  const SearchResult ref_result = GridSearch(ref, opts);
+  ExpectSameSearchResult(fast_result, ref_result);
+}
+
+TEST(GridSearchBudget, ExhaustedBudgetStopsTheWholeScan) {
+  // Seed bug: `if (evals >= max) break;` only left the innermost nkv loop,
+  // so the scan kept spinning through the outer lattice. The fixed scan must
+  // stop at exactly max_evaluations lattice cells — counted in result.
+  const auto mas = MakeScheduler(Method::kMas);
+  const sim::HardwareConfig hw = Hw();
+  const sim::EnergyModel em = Em();
+  TilingProblem problem(*mas, SmallShape(), hw, em);
+  GridOptions opts;
+  opts.max_evaluations = 17;
+  const SearchResult r = GridSearch(problem, opts);
+  EXPECT_EQ(r.evaluations, 17);
+
+  // The cells visited must be the first 17 in scan order: an unbudgeted scan
+  // restricted to those cells gives the same incumbent and trace.
+  TilingProblem redo_problem(*mas, SmallShape(), hw, em);
+  GridOptions unbounded;
+  const SearchResult full = GridSearch(redo_problem, unbounded);
+  ASSERT_GE(full.evaluations, 17);
+  // The budgeted trace must be a prefix of the full scan's trace.
+  ASSERT_LE(r.trace.size(), full.trace.size());
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i].evaluation, full.trace[i].evaluation);
+    EXPECT_EQ(r.trace[i].best_cycles, full.trace[i].best_cycles);
+  }
+}
+
+TEST(EvaluationCache, NoCollisionsForHugeTileExtents) {
+  // Seed bug: Key() packed the four factors into 16-bit lanes of one u64
+  // with shifted XOR, so an N_KV >= 65536 (reachable via bench_limits_maxseq
+  // style long-context shapes) bled into the N_Q lane:
+  //   (3<<16) ^ 16384  ==  (2<<16) ^ (65536 + 16384)
+  // After evaluating the *feasible* tiling A = (1,1,3,16384), the seed cache
+  // would return A's finite cycle count for the *infeasible* tiling
+  // B = (1,1,2,81920) — a silently wrong search result. The tuple-keyed
+  // cache must keep them distinct.
+  const auto flat = MakeScheduler(Method::kFlat);
+  const sim::HardwareConfig hw = Hw();
+  const sim::EnergyModel em = Em();
+  const AttentionShape huge{"long_ctx", 1, 1, 64, 16, /*kv_len=*/1 << 17};
+  TilingProblem problem(*flat, huge, hw, em);
+
+  const TilingConfig a{1, 1, 3, 16384};
+  const TilingConfig b{1, 1, 2, 81920};
+  ASSERT_TRUE(problem.Feasible(a));
+  ASSERT_FALSE(problem.Feasible(b));  // 4 double-buffered 2.6 MB K/V tiles > L1
+
+  const double cycles_a = problem.Evaluate(a);
+  EXPECT_NE(cycles_a, TilingProblem::kInfeasible);
+  // Under the seed key this lookup hit A's entry and returned finite cycles.
+  EXPECT_EQ(problem.Evaluate(b), TilingProblem::kInfeasible);
+  // Both entries round-trip unchanged.
+  EXPECT_EQ(problem.Evaluate(a), cycles_a);
+  EXPECT_EQ(problem.Evaluate(b), TilingProblem::kInfeasible);
+}
+
+}  // namespace
+}  // namespace mas::search

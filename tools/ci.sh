@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI replica: configure, build, test, and smoke-run a tiny sweep.
+# Local CI replica: configure, build, test, and smoke-run a tiny sweep plus
+# the engine microbenchmark (Release is the default build type).
 # Usage: tools/ci.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -17,4 +18,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 "$BUILD_DIR/mas_run" --methods=MAS-Attention,FLAT --seq=64,128 --heads=2 --embed=16 \
     --jobs=8 --format=json > "$BUILD_DIR/smoke_jobs8.json"
 cmp "$BUILD_DIR/smoke_jobs1.json" "$BUILD_DIR/smoke_jobs8.json"
-echo "ci: build + tests + sweep smoke OK"
+
+# Engine perf trajectory: the quick seed-path vs event-engine comparison also
+# asserts byte-identical outputs across engines and thread counts. No timing
+# thresholds — BENCH_engine.json just records the numbers per commit.
+"$BUILD_DIR/bench_engine_micro" --quick --jobs=8 --out="$BUILD_DIR/BENCH_engine.json"
+
+echo "ci: build + tests + sweep smoke + engine bench OK"

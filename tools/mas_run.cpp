@@ -59,34 +59,7 @@ AttentionShape ShapeFromFlag(const std::string& text) {
 }
 
 std::vector<Method> MethodsFromFlag(const std::string& text) {
-  std::vector<Method> methods;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (item == "all") {
-      for (Method m : AllMethods()) methods.push_back(m);
-      continue;
-    }
-    bool found = false;
-    for (Method m : AllMethods()) {
-      if (item == MethodName(m)) {
-        methods.push_back(m);
-        found = true;
-        break;
-      }
-    }
-    if (!found && item == MethodName(Method::kMasNoOverwrite)) {
-      methods.push_back(Method::kMasNoOverwrite);
-      found = true;
-    }
-    if (!found) {
-      std::string options;
-      for (Method m : AllMethods()) options += std::string(" '") + MethodName(m) + "'";
-      MAS_FAIL() << "unknown method '" << item << "'; options: all" << options;
-    }
-  }
-  MAS_CHECK(!methods.empty()) << "--methods selected no methods";
-  return methods;
+  return ParseMethodList(text);  // shared with the benches (scheduler.h)
 }
 
 }  // namespace
