@@ -6,11 +6,12 @@
 // sizes). The printed series are the convergence traces: each line is one
 // (method, algorithm) pair, sampled at its incumbent-improvement points.
 #include <iostream>
+#include <limits>
 
 #include "common/table.h"
 #include "dataflow/workloads.h"
 #include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "search/strategy.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
@@ -32,21 +33,24 @@ int main(int argc, char** argv) {
                    "improvement"});
   for (Method m : methods) {
     const auto sched = MakeScheduler(m);
+    // The GA and MCTS strategies through the registry surface, sharing one
+    // SearchSpec template (common seed; per-strategy budget knobs).
     for (const char* alg : {"GA", "MCTS"}) {
       search::TilingProblem problem(*sched, shape, hw, em);
-      search::SearchResult result;
+      search::SearchSpec spec;
+      spec.seed = 7;
+      // The bench's CLI budget drives generations/iterations below; disable
+      // the spec's common cap so large CLI budgets are never truncated.
+      spec.budget = std::numeric_limits<std::int64_t>::max();
       if (std::string(alg) == "GA") {
-        search::GaOptions opts;
-        opts.population = 24;
-        opts.generations = budget / opts.population;
-        opts.seed = 7;
-        result = search::GeneticSearch(problem, opts);
+        spec.strategy = "ga";
+        spec.population = 24;
+        spec.generations = budget / spec.population;
       } else {
-        search::MctsOptions opts;
-        opts.iterations = budget;
-        opts.seed = 7;
-        result = search::MctsSearch(problem, opts);
+        spec.strategy = "mcts";
+        spec.iterations = budget;
       }
+      const search::SearchResult result = search::RunSearch(problem, spec);
       if (!result.found()) {
         table.AddRow({sched->name(), alg, std::to_string(result.evaluations), "-", "-", "-"});
         continue;

@@ -3,11 +3,12 @@
 // for MAS-Attention on every network (paper: 64.5x for BERT-Base/T5-Base,
 // 16.1x for BERT-Large/Small classes, up to 66.2x for ViTs, 32.2x for XLM).
 #include <iostream>
+#include <limits>
 
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "schedulers/registry.h"
+#include "search/strategy.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
@@ -21,13 +22,17 @@ int main(int argc, char** argv) {
             << budget << ") ===\n\n";
   TextTable table({"Network", "first feasible Mcyc", "tuned Mcyc", "improvement",
                    "tuned tiling"});
-  const auto mas = MakeScheduler(Method::kMas);
+  // Registry surface: scheduler by name, MCTS strategy via one SearchSpec.
+  const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
+  search::SearchSpec spec;
+  spec.strategy = "mcts";
+  spec.iterations = budget;
+  spec.seed = 11;
+  // The CLI budget is the iteration count; keep the common cap out of the way.
+  spec.budget = std::numeric_limits<std::int64_t>::max();
   for (const auto& net : Table1Networks()) {
     search::TilingProblem problem(*mas, net.shape, hw, em);
-    search::MctsOptions opts;
-    opts.iterations = budget;
-    opts.seed = 11;
-    const auto result = search::MctsSearch(problem, opts);
+    const auto result = search::RunSearch(problem, spec);
     if (!result.found()) {
       table.AddRow({net.name, "-", "-", "-", "-"});
       continue;

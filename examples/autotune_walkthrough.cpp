@@ -5,13 +5,17 @@
 // shape or a new hardware configuration.
 //
 //   $ ./autotune_walkthrough [budget]
+//
+// Uses the registry surface: strategies are selected by name through
+// search::StrategyRegistry behind one SearchSpec (the facade mas::Planner
+// drives on every plan-store miss).
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "schedulers/registry.h"
+#include "search/strategy.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
@@ -22,7 +26,7 @@ int main(int argc, char** argv) {
   if (argc > 1) budget = std::atoll(argv[1]);
 
   const AttentionShape shape = FindNetwork("XLM").shape;
-  const auto mas = MakeScheduler(Method::kMas);
+  const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
 
   std::cout << "=== Autotuning MAS-Attention for " << shape.ToString() << " ===\n\n";
 
@@ -36,40 +40,40 @@ int main(int argc, char** argv) {
                    probe.nq_candidates().size() * probe.nkv_candidates().size()
             << " tilings\n\n";
 
+  // One spec per registered strategy; common fields (seed, budget) are set
+  // once, per-strategy knobs where they matter.
+  search::SearchSpec grid_spec;  // exhaustive grid (the paper's NPU search)
+  grid_spec.strategy = "grid";
+  search::SearchSpec ga_spec;
+  ga_spec.strategy = "ga";
+  ga_spec.population = 20;
+  ga_spec.generations = budget / ga_spec.population;
+  ga_spec.seed = 13;
+  search::SearchSpec mcts_spec;
+  mcts_spec.strategy = "mcts";
+  mcts_spec.iterations = budget;
+  mcts_spec.seed = 13;
+
+  const std::vector<std::pair<const char*, const search::SearchSpec*>> runs = {
+      {"Grid (exhaustive)", &grid_spec},
+      {"Genetic Algorithm", &ga_spec},
+      {"MCTS", &mcts_spec}};
+
   TextTable table({"Algorithm", "evaluations", "best tiling", "best Mcycles"});
-  // Exhaustive grid (what the paper uses on the DaVinci NPU).
-  {
+  for (const auto& [label, spec_ptr] : runs) {
+    const search::SearchSpec& spec = *spec_ptr;
     search::TilingProblem problem(*mas, shape, hw, em);
-    const auto r = search::GridSearch(problem);
-    table.AddRow({"Grid (exhaustive)", std::to_string(r.evaluations), r.best.ToString(),
+    const auto r = search::RunSearch(problem, spec);
+    table.AddRow({label, std::to_string(r.evaluations), r.best.ToString(),
                   FormatFixed(r.best_cycles / 1e6, 3)});
-  }
-  // Genetic algorithm.
-  {
-    search::TilingProblem problem(*mas, shape, hw, em);
-    search::GaOptions opts;
-    opts.population = 20;
-    opts.generations = budget / opts.population;
-    opts.seed = 13;
-    const auto r = search::GeneticSearch(problem, opts);
-    table.AddRow({"Genetic Algorithm", std::to_string(r.evaluations), r.best.ToString(),
-                  FormatFixed(r.best_cycles / 1e6, 3)});
-  }
-  // MCTS.
-  {
-    search::TilingProblem problem(*mas, shape, hw, em);
-    search::MctsOptions opts;
-    opts.iterations = budget;
-    opts.seed = 13;
-    const auto r = search::MctsSearch(problem, opts);
-    table.AddRow({"MCTS", std::to_string(r.evaluations), r.best.ToString(),
-                  FormatFixed(r.best_cycles / 1e6, 3)});
-    std::cout << "MCTS convergence:";
-    for (const auto& pt : r.trace) {
-      std::cout << " (" << pt.evaluation << ", " << FormatFixed(pt.best_cycles / 1e6, 2)
-                << "M)";
+    if (spec.strategy == "mcts") {
+      std::cout << "MCTS convergence:";
+      for (const auto& pt : r.trace) {
+        std::cout << " (" << pt.evaluation << ", " << FormatFixed(pt.best_cycles / 1e6, 2)
+                  << "M)";
+      }
+      std::cout << "\n\n";
     }
-    std::cout << "\n\n";
   }
   std::cout << table.ToString() << "\n";
   std::cout << "Heuristic searches reach (near-)grid-optimal tilings with a fraction of\n";

@@ -4,19 +4,21 @@
 // LLM-on-smartphone scenario.
 //
 //   $ ./llm_prefill [max_seq]
+//
+// Uses the mas::Planner facade: methods are string keys into the scheduler
+// registry, tilings resolve through the plan store (tuned once per shape,
+// reused thereafter), and Simulate() plays the plan on the engine.
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "planner/planner.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
   using namespace mas;
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
-  const sim::EnergyModel em;
   std::int64_t max_seq = 2048;
   if (argc > 1) max_seq = std::atoll(argv[1]);
 
@@ -24,9 +26,10 @@ int main(int argc, char** argv) {
   std::cout << hw.Describe() << "\n";
 
   const NetworkWorkload base = FindNetwork("Llama3-8B & T5-3B (T5-XL)");
-  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kFuseMax,
-                                       Method::kMas};
+  const std::vector<std::string> methods = {"Layer-Wise", "FLAT", "FuseMax",
+                                            "MAS-Attention"};
 
+  Planner planner;
   TextTable table({"prefill len", "Layer-Wise ms", "FLAT ms", "FuseMax ms", "MAS ms",
                    "MAS vs FLAT", "MAS overwrites"});
   for (std::int64_t seq = 256; seq <= max_seq; seq *= 2) {
@@ -35,12 +38,11 @@ int main(int argc, char** argv) {
     shape.seq_len = seq;
     std::vector<double> ms;
     std::int64_t overwrites = 0;
-    for (Method m : methods) {
-      const auto sched = MakeScheduler(m);
-      const TilingConfig tiling = search::AutoTile(*sched, shape, hw, em);
-      const auto r = sched->Simulate(shape, tiling, hw, em);
+    for (const std::string& m : methods) {
+      const TuningPlan plan = planner.Plan(shape, m, hw);
+      const auto r = planner.Simulate(plan, hw);
       ms.push_back(r.cycles / (hw.frequency_ghz * 1e6));
-      if (m == Method::kMas) overwrites = r.overwrite_events;
+      if (m == "MAS-Attention") overwrites = r.overwrite_events;
     }
     table.AddRow({std::to_string(seq), FormatFixed(ms[0], 3), FormatFixed(ms[1], 3),
                   FormatFixed(ms[2], 3), FormatFixed(ms[3], 3),

@@ -4,18 +4,19 @@
 // overheads, not DRAM bandwidth, dominate.
 //
 //   $ ./vision_transformer
+//
+// Uses the mas::Planner facade: one planner tunes (and caches) the tiling
+// per (variant, method) and plays the plan on the engine.
 #include <iostream>
 
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "planner/planner.h"
 #include "sim/hardware_config.h"
 
 int main() {
   using namespace mas;
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
-  const sim::EnergyModel em;
 
   std::cout << "=== ViT attention inference on the simulated edge device ===\n\n";
 
@@ -29,16 +30,13 @@ int main() {
       {"ViT-B/16", 12}, {"ViT-L/16", 24}, {"ViT-H/16", 32},
   };
 
+  Planner planner;
   TextTable table({"Variant", "layers", "FLAT ms/img", "MAS ms/img", "speedup",
                    "FLAT uJ/img", "MAS uJ/img", "energy saved"});
   for (const Variant& var : variants) {
     const NetworkWorkload net = FindNetwork(var.table1_name);
-    const auto flat = MakeScheduler(Method::kFlat);
-    const auto mas = MakeScheduler(Method::kMas);
-    const auto flat_r =
-        flat->Simulate(net.shape, search::AutoTile(*flat, net.shape, hw, em), hw, em);
-    const auto mas_r =
-        mas->Simulate(net.shape, search::AutoTile(*mas, net.shape, hw, em), hw, em);
+    const auto flat_r = planner.Simulate(planner.Plan(net.shape, "FLAT", hw), hw);
+    const auto mas_r = planner.Simulate(planner.Plan(net.shape, "MAS-Attention", hw), hw);
     const double flat_ms = var.depth * flat_r.cycles / (hw.frequency_ghz * 1e6);
     const double mas_ms = var.depth * mas_r.cycles / (hw.frequency_ghz * 1e6);
     const double flat_uj = var.depth * flat_r.energy.total_pj() / 1e6;

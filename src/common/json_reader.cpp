@@ -1,0 +1,341 @@
+#include "common/json_reader.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace mas::json {
+
+bool Value::AsBool() const {
+  MAS_CHECK(type_ == Type::kBool) << "JSON value is not a bool";
+  return bool_;
+}
+
+std::int64_t Value::AsInt64() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) {
+    // Range-check before the cast: float-to-int conversion of an
+    // out-of-range value is undefined behavior. The bounds are exact
+    // doubles (-2^63 and 2^63); the upper compare is strict because 2^63
+    // itself does not fit.
+    MAS_CHECK(double_ >= -9223372036854775808.0 && double_ < 9223372036854775808.0)
+        << "JSON number " << double_ << " is out of int64 range";
+    const std::int64_t as_int = static_cast<std::int64_t>(double_);
+    MAS_CHECK(static_cast<double>(as_int) == double_)
+        << "JSON number " << double_ << " is not an exact integer";
+    return as_int;
+  }
+  MAS_FAIL() << "JSON value is not a number";
+}
+
+double Value::AsDouble() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  MAS_CHECK(type_ == Type::kDouble) << "JSON value is not a number";
+  return double_;
+}
+
+const std::string& Value::AsString() const {
+  MAS_CHECK(type_ == Type::kString) << "JSON value is not a string";
+  return string_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  MAS_CHECK(type_ == Type::kArray) << "JSON value is not an array";
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::Members() const {
+  MAS_CHECK(type_ == Type::kObject) << "JSON value is not an object";
+  return object_;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  MAS_CHECK(type_ == Type::kObject) << "JSON value is not an object";
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::Get(const std::string& key) const {
+  const Value* v = Find(key);
+  MAS_CHECK(v != nullptr) << "JSON object has no key '" << key << "'";
+  return *v;
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.type_ = Type::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::Int(std::int64_t v) {
+  Value out;
+  out.type_ = Type::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.type_ = Type::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::Array(std::vector<Value> items) {
+  Value out;
+  out.type_ = Type::kArray;
+  out.array_ = std::move(items);
+  return out;
+}
+
+Value Value::Object(std::vector<std::pair<std::string, Value>> members) {
+  Value out;
+  out.type_ = Type::kObject;
+  out.object_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over the raw bytes. Positions in error messages
+// are 0-based byte offsets into the document.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue(/*depth=*/0);
+    SkipWhitespace();
+    MAS_CHECK(pos_ == text_.size())
+        << "trailing garbage after JSON document at offset " << pos_;
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    MAS_FAIL() << "JSON parse error at offset " << pos_ << ": " << what;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const {
+    if (AtEnd()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char Take() {
+    const char c = Peek();
+    ++pos_;
+    return c;
+  }
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "', got '" + Peek() + "'");
+    ++pos_;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void ExpectLiteral(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (AtEnd() || text_[pos_] != *p) Fail(std::string("bad literal (expected ") + literal + ")");
+      ++pos_;
+    }
+  }
+
+  Value ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting too deep");
+    SkipWhitespace();
+    const char c = Peek();
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return Value::String(ParseString());
+      case 't': ExpectLiteral("true"); return Value::Bool(true);
+      case 'f': ExpectLiteral("false"); return Value::Bool(false);
+      case 'n': ExpectLiteral("null"); return Value::Null();
+      default: return ParseNumber();
+    }
+  }
+
+  Value ParseObject(int depth) {
+    Expect('{');
+    std::vector<std::pair<std::string, Value>> members;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Value::Object(std::move(members));
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (Peek() != '"') Fail("expected object key string");
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      members.emplace_back(std::move(key), ParseValue(depth + 1));
+      SkipWhitespace();
+      const char sep = Take();
+      if (sep == '}') break;
+      if (sep != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+    return Value::Object(std::move(members));
+  }
+
+  Value ParseArray(int depth) {
+    Expect('[');
+    std::vector<Value> items;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return Value::Array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(ParseValue(depth + 1));
+      SkipWhitespace();
+      const char sep = Take();
+      if (sep == ']') break;
+      if (sep != ',') {
+        --pos_;
+        Fail("expected ',' or ']' in array");
+      }
+    }
+    return Value::Array(std::move(items));
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      const char c = Take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = Take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = Take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              --pos_;
+              Fail("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separately encoded units; the writer never emits
+          // them for this repo's ASCII artifacts).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          --pos_;
+          Fail(std::string("bad escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Fail("bad number");
+    }
+    bool integral = true;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (!AtEnd() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("bad number (no digits after '.')");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (!AtEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        Fail("bad number (no exponent digits)");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Value::Int(static_cast<std::int64_t>(v));
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) Fail("bad number '" + token + "'");
+    return Value::Double(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Parse(const std::string& text) { return Parser(text).ParseDocument(); }
+
+}  // namespace mas::json

@@ -1,0 +1,71 @@
+// Minimal JSON reader: the parsing twin of common/json_writer.h.
+//
+// Parse() turns a complete RFC 8259 document into a small immutable DOM
+// (json::Value). It exists for the artifacts this repo itself emits —
+// persisted tuning plans, bench JSON — so it favors strictness over
+// leniency: malformed, truncated, or trailing-garbage input throws
+// mas::Error with the byte offset, and all structural errors (mismatched
+// brackets, bad escapes, duplicate-free keys are NOT enforced) are detected
+// rather than papered over.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mas::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() = default;  // null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw mas::Error on a type mismatch.
+  bool AsBool() const;
+  // Integral access: kInt directly, or a kDouble holding an exactly
+  // representable integer (JSON writers may emit either form).
+  std::int64_t AsInt64() const;
+  double AsDouble() const;  // any number
+  const std::string& AsString() const;
+  const std::vector<Value>& AsArray() const;
+
+  // Object access. Members preserve document order.
+  const std::vector<std::pair<std::string, Value>>& Members() const;
+  const Value* Find(const std::string& key) const;  // nullptr when absent
+  const Value& Get(const std::string& key) const;   // throws when absent
+
+  // Construction (used by the parser; handy for tests).
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int(std::int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+// Parses a complete JSON document (exactly one top-level value, surrounded
+// only by whitespace). Throws mas::Error on malformed input.
+Value Parse(const std::string& text);
+
+}  // namespace mas::json

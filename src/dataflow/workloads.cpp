@@ -35,7 +35,12 @@ NetworkWorkload FindNetwork(const std::string& name) {
   for (const auto& w : Table1Networks()) {
     if (w.name == name) return w;
   }
-  MAS_FAIL() << "unknown network '" << name << "'";
+  std::string options;
+  for (const auto& w : Table1Networks()) {
+    if (!options.empty()) options += ", ";
+    options += "'" + w.name + "'";
+  }
+  MAS_FAIL() << "unknown network '" << name << "'; options: " << options;
 }
 
 std::vector<UNetAttentionUnit> SdUnetAttentionUnits() {

@@ -1,0 +1,346 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/status.h"
+#include "schedulers/registry.h"
+
+namespace mas {
+
+namespace {
+
+void AppendRequestPrefix(std::ostringstream& os, const std::string& method,
+                         const AttentionShape& shape, const sim::HardwareConfig& hw) {
+  // Shape display name is excluded: two differently named shapes with the
+  // same dimensions plan (and simulate) identically.
+  os << "m:" << method << "|s:" << shape.batch << ',' << shape.heads << ','
+     << shape.seq_len << ',' << shape.embed << ',' << shape.kv_len << '|' << hw.CacheKey();
+}
+
+}  // namespace
+
+std::string PlanKey(const std::string& method, const AttentionShape& shape,
+                    const sim::HardwareConfig& hw, TilingPolicy policy) {
+  std::ostringstream os;
+  AppendRequestPrefix(os, method, shape, hw);
+  os << "|p:" << static_cast<int>(policy);
+  return os.str();
+}
+
+std::string PlanKey(const std::string& method, const AttentionShape& shape,
+                    const sim::HardwareConfig& hw, const TilingConfig& fixed_tiling) {
+  std::ostringstream os;
+  AppendRequestPrefix(os, method, shape, hw);
+  os << "|t:" << fixed_tiling.bb << ',' << fixed_tiling.hh << ',' << fixed_tiling.nq << ','
+     << fixed_tiling.nkv;
+  return os.str();
+}
+
+// ----------------------------------------------------------------- TuningPlan
+
+void TuningPlan::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.KeyValue("key", key);
+  w.KeyValue("method", method);
+  w.BeginObject("shape");
+  w.KeyValue("name", shape.name);
+  w.KeyValue("batch", shape.batch);
+  w.KeyValue("heads", shape.heads);
+  w.KeyValue("seq_len", shape.seq_len);
+  w.KeyValue("embed", shape.embed);
+  // Raw kv_len (0 = self-attention), unlike report JSON's resolved kv():
+  // the plan must round-trip the request exactly.
+  w.KeyValue("kv_len", shape.kv_len);
+  w.EndObject();
+  w.KeyValue("hardware", hardware);
+  w.BeginObject("tiling");
+  w.KeyValue("bb", tiling.bb);
+  w.KeyValue("hh", tiling.hh);
+  w.KeyValue("nq", tiling.nq);
+  w.KeyValue("nkv", tiling.nkv);
+  w.EndObject();
+  w.KeyValue("predicted_cycles", predicted_cycles);
+  w.BeginObject("search");
+  w.KeyValue("strategy", strategy);
+  w.KeyValue("seed", static_cast<std::uint64_t>(seed));
+  w.KeyValue("evaluations", evaluations);
+  w.EndObject();
+  w.EndObject();
+}
+
+TuningPlan TuningPlan::FromJson(const json::Value& v) {
+  MAS_CHECK(v.is_object()) << "tuning plan JSON is not an object";
+  TuningPlan plan;
+  plan.key = v.Get("key").AsString();
+  MAS_CHECK(!plan.key.empty()) << "tuning plan has an empty key";
+  plan.method = v.Get("method").AsString();
+
+  const json::Value& shape = v.Get("shape");
+  plan.shape.name = shape.Get("name").AsString();
+  plan.shape.batch = shape.Get("batch").AsInt64();
+  plan.shape.heads = shape.Get("heads").AsInt64();
+  plan.shape.seq_len = shape.Get("seq_len").AsInt64();
+  plan.shape.embed = shape.Get("embed").AsInt64();
+  plan.shape.kv_len = shape.Get("kv_len").AsInt64();
+  plan.shape.Validate();
+
+  plan.hardware = v.Get("hardware").AsString();
+
+  const json::Value& tiling = v.Get("tiling");
+  plan.tiling.bb = tiling.Get("bb").AsInt64();
+  plan.tiling.hh = tiling.Get("hh").AsInt64();
+  plan.tiling.nq = tiling.Get("nq").AsInt64();
+  plan.tiling.nkv = tiling.Get("nkv").AsInt64();
+  plan.tiling.Validate(plan.shape);
+
+  plan.predicted_cycles = v.Get("predicted_cycles").AsDouble();
+
+  const json::Value& search = v.Get("search");
+  plan.strategy = search.Get("strategy").AsString();
+  plan.seed = static_cast<std::uint64_t>(search.Get("seed").AsInt64());
+  plan.evaluations = search.Get("evaluations").AsInt64();
+  MAS_CHECK(plan.evaluations >= 0) << "tuning plan has negative evaluations";
+
+  // Cross-check the key against the fields it encodes (the hardware segment
+  // cannot be recomputed from the plan — only its name is stored — but the
+  // method/shape prefix and a fixed plan's tiling suffix can): a merged or
+  // hand-edited store whose key and payload disagree must fail at load, not
+  // serve wrong-shape plans at lookup.
+  {
+    std::ostringstream prefix;
+    prefix << "m:" << plan.method << "|s:" << plan.shape.batch << ',' << plan.shape.heads
+           << ',' << plan.shape.seq_len << ',' << plan.shape.embed << ','
+           << plan.shape.kv_len << '|';
+    MAS_CHECK(plan.key.compare(0, prefix.str().size(), prefix.str()) == 0)
+        << "tuning plan key does not match its method/shape fields: " << plan.key;
+    if (plan.strategy == "fixed") {
+      std::ostringstream suffix;
+      suffix << "|t:" << plan.tiling.bb << ',' << plan.tiling.hh << ',' << plan.tiling.nq
+             << ',' << plan.tiling.nkv;
+      const std::string want = suffix.str();
+      MAS_CHECK(plan.key.size() >= want.size() &&
+                plan.key.compare(plan.key.size() - want.size(), want.size(), want) == 0)
+          << "fixed tuning plan key does not match its tiling: " << plan.key;
+    }
+  }
+  return plan;
+}
+
+// ------------------------------------------------------------------ PlanStore
+
+const TuningPlan* PlanStore::Find(const std::string& key) const {
+  auto it = plans_.find(key);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+void PlanStore::Put(TuningPlan plan) {
+  MAS_CHECK(!plan.key.empty()) << "cannot store a tuning plan without a key";
+  plans_[plan.key] = std::move(plan);
+}
+
+std::string PlanStore::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("version", 1);
+  w.BeginArray("plans");
+  // std::map iterates in key order: identical stores → identical bytes.
+  for (const auto& [key, plan] : plans_) plan.WriteJson(w);
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+PlanStore PlanStore::FromJson(const std::string& text) {
+  const json::Value doc = json::Parse(text);
+  MAS_CHECK(doc.is_object()) << "plan store JSON is not an object";
+  const std::int64_t version = doc.Get("version").AsInt64();
+  MAS_CHECK(version == 1) << "unsupported plan store version " << version;
+  PlanStore store;
+  for (const json::Value& entry : doc.Get("plans").AsArray()) {
+    store.Put(TuningPlan::FromJson(entry));
+  }
+  return store;
+}
+
+bool PlanStore::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;  // missing (or unreadable) file: no-op
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  MAS_CHECK(!in.bad()) << "I/O error reading plan cache '" << path << "'";
+  PlanStore loaded = FromJson(buffer.str());
+  for (auto& [key, plan] : loaded.plans_) plans_[key] = std::move(plan);
+  return true;
+}
+
+void PlanStore::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MAS_CHECK(out.is_open()) << "cannot open plan cache '" << path << "' for writing";
+  out << ToJson() << '\n';
+  out.flush();
+  MAS_CHECK(out.good()) << "I/O error writing plan cache '" << path << "'";
+}
+
+// -------------------------------------------------------------------- Planner
+
+Planner::Planner(sim::EnergyModel energy_model, PlannerOptions options)
+    : energy_model_(energy_model), options_(std::move(options)) {}
+
+TuningPlan Planner::Plan(const AttentionShape& shape, const std::string& method,
+                         const sim::HardwareConfig& hw, TilingPolicy policy) {
+  return PlanImpl(shape, method, hw, policy);
+}
+
+TuningPlan Planner::Plan(const AttentionShape& shape, Method method,
+                         const sim::HardwareConfig& hw, TilingPolicy policy) {
+  return PlanImpl(shape, SchedulerRegistry::Instance().Info(method).name, hw, policy);
+}
+
+TuningPlan Planner::PlanImpl(const AttentionShape& shape, const std::string& method,
+                             const sim::HardwareConfig& hw, TilingPolicy policy) {
+  shape.Validate();
+  SchedulerRegistry& registry = SchedulerRegistry::Instance();
+  const SchedulerInfo* info = registry.Find(method);
+  if (info == nullptr) {
+    MAS_FAIL() << "unknown method '" << method
+               << "'; options: " << registry.AvailableNames();
+  }
+  // The search spec is part of the plan's identity: a store warmed with
+  // grid-tuned plans must not silently satisfy a request for (say) an MCTS
+  // tuning with a different budget — those retune under their own key.
+  const std::string key =
+      PlanKey(info->name, shape, hw, policy) + '|' + options_.spec.IdentityKey();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const TuningPlan* hit = store_.Find(key)) {
+      ++plans_reused_;
+      return *hit;
+    }
+  }
+
+  const auto sched = registry.Create(info->method);
+  TuningPlan plan;
+  plan.method = info->name;
+  plan.shape = shape;
+  plan.hardware = hw.name;
+  plan.key = key;
+
+  if (policy == TilingPolicy::kPaperProtocol && info->method == Method::kFuseMax) {
+    // The paper's §5.5 FuseMax protocol: manually selected array-native
+    // tiles (PE-mesh granularity) rather than a searched configuration;
+    // falls back to the configured search when the manual mapping cannot
+    // fit.
+    const auto& cc = hw.cores.front();
+    const TilingConfig manual{1, 1, std::min(cc.mac_rows, shape.seq_len),
+                              std::min(cc.mac_cols, shape.kv())};
+    if (sched->Fits(shape, manual, hw)) {
+      plan.tiling = manual;
+      plan.strategy = "manual";
+      plan.predicted_cycles =
+          static_cast<double>(sched->Simulate(shape, manual, hw, energy_model_).cycles);
+    }
+  }
+  if (plan.strategy.empty()) {
+    search::TilingProblem problem(*sched, shape, hw, energy_model_);
+    const search::SearchResult result = search::RunSearch(problem, options_.spec);
+    MAS_CHECK(result.found()) << "no feasible tiling for " << sched->name() << " on "
+                              << shape.ToString();
+    plan.tiling = result.best;
+    plan.predicted_cycles = result.best_cycles;
+    plan.strategy = options_.spec.strategy;
+    plan.seed = options_.spec.seed;
+    plan.evaluations = result.evaluations;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const TuningPlan* hit = store_.Find(key)) {
+    // Lost a race with a concurrent Plan() for the same key: keep the stored
+    // plan as the single durable truth.
+    ++plans_reused_;
+    return *hit;
+  }
+  search_evaluations_ += plan.evaluations;
+  ++plans_tuned_;
+  store_.Put(plan);
+  return plan;
+}
+
+TuningPlan Planner::PlanFixed(const AttentionShape& shape, const std::string& method,
+                              const sim::HardwareConfig& hw, const TilingConfig& tiling) {
+  shape.Validate();
+  SchedulerRegistry& registry = SchedulerRegistry::Instance();
+  const SchedulerInfo* info = registry.Find(method);
+  if (info == nullptr) {
+    MAS_FAIL() << "unknown method '" << method
+               << "'; options: " << registry.AvailableNames();
+  }
+  tiling.Validate(shape);
+  const std::string key = PlanKey(info->name, shape, hw, tiling);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const TuningPlan* hit = store_.Find(key)) {
+      ++plans_reused_;
+      return *hit;
+    }
+  }
+
+  const auto sched = registry.Create(info->method);
+  MAS_CHECK(sched->Fits(shape, tiling, hw))
+      << tiling.ToString() << " does not fit for " << sched->name() << " on "
+      << shape.ToString();
+  TuningPlan plan;
+  plan.method = info->name;
+  plan.shape = shape;
+  plan.hardware = hw.name;
+  plan.key = key;
+  plan.tiling = tiling;
+  plan.strategy = "fixed";
+  // One up-front simulate fills predicted_cycles (the searched path gets it
+  // free from the search); callers that immediately Simulate() the plan pay
+  // it once more, but the plan — and the price — is store-amortized.
+  plan.predicted_cycles =
+      static_cast<double>(sched->Simulate(shape, tiling, hw, energy_model_).cycles);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const TuningPlan* hit = store_.Find(key)) {
+    ++plans_reused_;
+    return *hit;
+  }
+  ++plans_tuned_;
+  store_.Put(plan);
+  return plan;
+}
+
+TuningPlan Planner::PlanFixed(const AttentionShape& shape, Method method,
+                              const sim::HardwareConfig& hw, const TilingConfig& tiling) {
+  return PlanFixed(shape, SchedulerRegistry::Instance().Info(method).name, hw, tiling);
+}
+
+sim::SimResult Planner::Simulate(const TuningPlan& plan, const sim::HardwareConfig& hw,
+                                 bool record_timeline, sim::Engine* engine) const {
+  const auto sched = SchedulerRegistry::Instance().Create(plan.method);
+  return sched->Simulate(plan.shape, plan.tiling, hw, energy_model_, record_timeline,
+                         engine);
+}
+
+std::int64_t Planner::search_evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return search_evaluations_;
+}
+
+std::int64_t Planner::plans_tuned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_tuned_;
+}
+
+std::int64_t Planner::plans_reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_reused_;
+}
+
+}  // namespace mas

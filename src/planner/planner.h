@@ -1,0 +1,171 @@
+// mas::Planner — the session facade over the paper's two-phase workflow.
+//
+// Phase 1 (offline, §4.2): Plan() resolves a (shape, method, hardware,
+// policy) request to a durable TuningPlan. The method is a string key into
+// the SchedulerRegistry; the tiling comes from the strategy named in
+// PlannerOptions::spec (StrategyRegistry) — unless the plan store already
+// holds a plan for the identical request, in which case the stored plan is
+// returned with ZERO new search evaluations (warm start).
+//
+// Phase 2 (online): Simulate() plays a plan's tiling on the event engine and
+// returns the bit-exact SimResult — identical to calling the scheduler
+// directly with the same tiling.
+//
+// Plans are durable artifacts: PlanStore round-trips through JSON
+// (common/json_writer + common/json_reader), so `mas_run
+// --plan-cache=plans.json` persists tuning across processes instead of
+// re-running the search in every binary.
+//
+// Thread-safety: one Planner may be shared by worker threads (the sweep
+// runner does). Plan()/PlanFixed()/counters are mutex-guarded; searches for
+// distinct keys run concurrently outside the lock. store() hands out the
+// unguarded PlanStore — call Load/Save from single-threaded setup/teardown
+// phases only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dataflow/attention_shape.h"
+#include "schedulers/scheduler.h"
+#include "search/strategy.h"
+#include "sim/energy_model.h"
+#include "sim/engine.h"
+#include "sim/hardware_config.h"
+
+namespace mas {
+
+class JsonWriter;
+namespace json {
+class Value;
+}
+
+// How a plan picks its tiling when none is fixed. (Historically
+// runner::TilingPolicy; the runner keeps a compat alias.)
+enum class TilingPolicy {
+  kAutoTile = 0,       // the configured search strategy for every method
+  kPaperProtocol = 1,  // as kAutoTile, except FuseMax uses the paper's §5.5
+                       // manual array-native tiling (table/harness behavior)
+};
+
+// Stable identity of a plan request: method name, shape dims (display name
+// excluded), the full hardware parameter set, and the tiling request
+// (policy, or a fixed tiling). Shared by the plan store and the sweep
+// runner's result cache, so the two layers agree on what "the same job" is.
+std::string PlanKey(const std::string& method, const AttentionShape& shape,
+                    const sim::HardwareConfig& hw, TilingPolicy policy);
+std::string PlanKey(const std::string& method, const AttentionShape& shape,
+                    const sim::HardwareConfig& hw, const TilingConfig& fixed_tiling);
+
+// One offline tuning decision, durable across processes.
+struct TuningPlan {
+  std::string method;    // canonical scheduler name (registry key)
+  AttentionShape shape;  // problem instance (name kept for display)
+  std::string hardware;  // hardware display name (identity lives in `key`)
+  std::string key;       // PlanKey() of the originating request
+
+  TilingConfig tiling;            // resolved tiling
+  double predicted_cycles = 0.0;  // simulated cycles of `tiling` at plan time
+
+  // Search provenance.
+  std::string strategy;  // "grid" / "ga" / "mcts" / "manual" / "fixed"
+  std::uint64_t seed = 0;
+  std::int64_t evaluations = 0;  // simulator evaluations the search spent
+
+  // Serialization. WriteJson emits one JSON object into `w`; FromJson
+  // rebuilds a plan and throws mas::Error on missing fields, type
+  // mismatches, or invalid values.
+  void WriteJson(JsonWriter& w) const;
+  static TuningPlan FromJson(const json::Value& v);
+};
+
+// Keyed collection of plans with a deterministic JSON representation
+// (entries sorted by key; identical stores serialize to identical bytes).
+class PlanStore {
+ public:
+  const TuningPlan* Find(const std::string& key) const;
+  void Put(TuningPlan plan);  // upserts by plan.key
+  std::size_t size() const { return plans_.size(); }
+  bool empty() const { return plans_.empty(); }
+  void Clear() { plans_.clear(); }
+
+  // {"version":1,"plans":[...]} — see README "Plan-cache file format".
+  std::string ToJson() const;
+  // Throws mas::Error on malformed JSON, an unsupported version, or
+  // mismatched plan objects.
+  static PlanStore FromJson(const std::string& text);
+
+  // File round-trip. LoadFile merges the file's plans into this store and
+  // returns false (without modifying anything) when the file cannot be
+  // opened (e.g. it does not exist yet); read errors and parse failures
+  // throw. SaveFile writes ToJson() plus a trailing newline.
+  bool LoadFile(const std::string& path);
+  void SaveFile(const std::string& path) const;
+
+ private:
+  std::map<std::string, TuningPlan> plans_;
+};
+
+struct PlannerOptions {
+  // Strategy + knobs used on a plan-store miss. The default reproduces
+  // search::AutoTile (coarse power-of-two grid), so plans match the legacy
+  // per-call tuning bit-for-bit.
+  search::SearchSpec spec = search::SearchSpec::AutoTileDefault();
+};
+
+class Planner {
+ public:
+  explicit Planner(sim::EnergyModel energy_model = {}, PlannerOptions options = {});
+
+  // Offline phase: resolve (shape, method, hw, policy) to a TuningPlan.
+  // Store hit: returns the stored plan, zero search evaluations. Miss: runs
+  // the configured strategy, records the plan, and counts its evaluations
+  // in search_evaluations(). Throws when the method is unknown (listing the
+  // registry) or no feasible tiling exists.
+  TuningPlan Plan(const AttentionShape& shape, const std::string& method,
+                  const sim::HardwareConfig& hw,
+                  TilingPolicy policy = TilingPolicy::kAutoTile);
+  // Compat overload for the Method enum.
+  TuningPlan Plan(const AttentionShape& shape, Method method, const sim::HardwareConfig& hw,
+                  TilingPolicy policy = TilingPolicy::kAutoTile);
+
+  // As Plan(), but with a caller-chosen tiling: validates it, checks the
+  // dataflow's Fits(), and records provenance "fixed" (no search).
+  TuningPlan PlanFixed(const AttentionShape& shape, const std::string& method,
+                       const sim::HardwareConfig& hw, const TilingConfig& tiling);
+  TuningPlan PlanFixed(const AttentionShape& shape, Method method,
+                       const sim::HardwareConfig& hw, const TilingConfig& tiling);
+
+  // Online phase: plays the plan's schedule. Bit-identical to calling the
+  // scheduler's Simulate() with the same tiling/hardware.
+  sim::SimResult Simulate(const TuningPlan& plan, const sim::HardwareConfig& hw,
+                          bool record_timeline = false, sim::Engine* engine = nullptr) const;
+
+  // The durable plan collection (load before / save after a run; unguarded).
+  PlanStore& store() { return store_; }
+  const PlanStore& store() const { return store_; }
+
+  // Session counters (monotonic since construction).
+  std::int64_t search_evaluations() const;  // simulator evals spent in searches
+  std::int64_t plans_tuned() const;         // store misses that ran a search
+  std::int64_t plans_reused() const;        // store hits
+
+  const PlannerOptions& options() const { return options_; }
+  const sim::EnergyModel& energy_model() const { return energy_model_; }
+
+ private:
+  TuningPlan PlanImpl(const AttentionShape& shape, const std::string& method,
+                      const sim::HardwareConfig& hw, TilingPolicy policy);
+
+  sim::EnergyModel energy_model_;
+  PlannerOptions options_;
+  PlanStore store_;
+  mutable std::mutex mu_;
+  std::int64_t search_evaluations_ = 0;
+  std::int64_t plans_tuned_ = 0;
+  std::int64_t plans_reused_ = 0;
+};
+
+}  // namespace mas

@@ -26,10 +26,11 @@ const MethodRun& NetworkComparison::Run(Method m) const {
 std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
                                              const sim::HardwareConfig& hw,
                                              const sim::EnergyModel& em, int jobs) {
-  // The (network x method) grid runs on the sweep runner under the paper's
-  // tiling protocol (AutoTile everywhere except FuseMax's §5.5 manual
-  // array-native tiling). Grid order is shape-major with methods innermost,
-  // so the flat result list maps back onto per-network AllMethods() rows.
+  // The (network x method) grid runs on the Planner-backed sweep runner
+  // under the paper's tiling protocol (the default search strategy
+  // everywhere except FuseMax's §5.5 manual array-native tiling). Grid
+  // order is shape-major with methods innermost, so the flat result list
+  // maps back onto per-network AllMethods() rows.
   runner::SweepGrid grid;
   for (const NetworkWorkload& net : networks) grid.shapes.push_back(net.shape);
   grid.methods = AllMethods();

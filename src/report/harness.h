@@ -29,7 +29,8 @@ struct NetworkComparison {
 
 // Tunes (coarse grid per §4.2 — the benches that study search quality use
 // the full GA/MCTS searches) and simulates every method on every network.
-// Evaluations run on the runner::SweepRunner; `jobs` > 1 spreads the
+// Evaluations run on the Planner-backed runner::SweepRunner (registry
+// schedulers, strategy search, plan store); `jobs` > 1 spreads the
 // (network x method) grid across that many worker threads. Results are
 // identical for any thread count.
 std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -11,49 +10,18 @@
 #include "common/status.h"
 #include "report/json_report.h"
 #include "runner/thread_pool.h"
-#include "search/tiling_search.h"
 
 namespace mas::runner {
 
 namespace {
-
-// Serializes every hardware parameter that feeds the cost model, so two
-// presets that merely share a name never alias in the cache. Doubles are
-// streamed at max_digits10 so configs differing past the default 6
-// significant digits still get distinct keys.
-void AppendHwKey(std::ostringstream& os, const sim::HardwareConfig& hw) {
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << "|hw:" << hw.frequency_ghz << ',' << hw.l1_bytes << ',' << hw.dram_bytes << ','
-     << hw.dram_gb_per_s << ',' << hw.dma_setup_cycles << ',' << hw.element_bytes;
-  for (const auto& c : hw.cores) {
-    os << ";c:" << c.mac_rows << ',' << c.mac_cols << ',' << c.mac_setup_cycles << ','
-       << c.vec_lanes << ',' << c.vec_cost_max << ',' << c.vec_cost_sub << ','
-       << c.vec_cost_exp << ',' << c.vec_cost_sum << ',' << c.vec_cost_div << ','
-       << c.vec_setup_cycles << ',' << c.l0_bytes;
-  }
-}
 
 // Group identity for cross-method comparisons: one (shape, hardware) point.
 std::string GroupKey(const JobResult& r) {
   std::ostringstream os;
   const AttentionShape& s = r.job.shape;
   os << s.name << '|' << s.batch << ',' << s.heads << ',' << s.seq_len << ',' << s.embed
-     << ',' << s.kv_len;
-  AppendHwKey(os, r.job.hw);
+     << ',' << s.kv_len << '|' << r.job.hw.CacheKey();
   return os.str();
-}
-
-// The paper's §5.5 FuseMax protocol: manually selected array-native tiles
-// (PE-mesh granularity) rather than a searched configuration; falls back to
-// the search when the manual mapping cannot fit.
-TilingConfig FuseMaxManualTiling(const Scheduler& sched, const AttentionShape& shape,
-                                 const sim::HardwareConfig& hw,
-                                 const sim::EnergyModel& em) {
-  const auto& cc = hw.cores.front();
-  const TilingConfig manual{1, 1, std::min(cc.mac_rows, shape.seq_len),
-                            std::min(cc.mac_cols, shape.kv())};
-  if (sched.Fits(shape, manual, hw)) return manual;
-  return search::AutoTile(sched, shape, hw, em);
 }
 
 // Methods in order of first appearance across the report (keeps table/JSON
@@ -119,18 +87,13 @@ double GeomeanFromGroups(const std::vector<JobResult>& results,
 }  // namespace
 
 std::string SweepJob::CacheKey() const {
-  std::ostringstream os;
-  // Shape name is display-only; two differently named shapes with the same
-  // dimensions simulate identically and should share one cache entry.
-  os << "m:" << static_cast<int>(method) << "|s:" << shape.batch << ',' << shape.heads << ','
-     << shape.seq_len << ',' << shape.embed << ',' << shape.kv_len;
-  AppendHwKey(os, hw);
-  if (tiling.has_value()) {
-    os << "|t:" << tiling->bb << ',' << tiling->hh << ',' << tiling->nq << ',' << tiling->nkv;
-  } else {
-    os << "|p:" << static_cast<int>(policy);
-  }
-  return os.str();
+  // The dedup cache and the plan store key the same request the same way
+  // (shape display name excluded on both sides). The planner additionally
+  // appends its SearchSpec fingerprint to policy-based plan keys; the
+  // runner's key omits it because one runner has exactly one spec.
+  const std::string name = MethodName(method);
+  return tiling.has_value() ? PlanKey(name, shape, hw, *tiling)
+                            : PlanKey(name, shape, hw, policy);
 }
 
 std::vector<SweepJob> SweepGrid::Jobs() const {
@@ -155,29 +118,21 @@ std::vector<SweepJob> SweepGrid::Jobs() const {
   return jobs;
 }
 
-SweepRunner::SweepRunner(SweepOptions options, sim::EnergyModel energy_model)
-    : options_(options), energy_model_(energy_model) {
+SweepRunner::SweepRunner(SweepOptions options, sim::EnergyModel energy_model,
+                         PlannerOptions planner_options)
+    : options_(options), planner_(energy_model, std::move(planner_options)) {
   MAS_CHECK(options_.jobs >= 1) << "SweepOptions::jobs must be >= 1, got " << options_.jobs;
 }
 
-SweepRunner::CacheEntry SweepRunner::Evaluate(const SweepJob& job) const {
+SweepRunner::CacheEntry SweepRunner::Evaluate(const SweepJob& job) {
   CacheEntry entry;
   try {
-    job.shape.Validate();
-    const auto sched = MakeScheduler(job.method);
-    if (job.tiling.has_value()) {
-      job.tiling->Validate(job.shape);
-      MAS_CHECK(sched->Fits(job.shape, *job.tiling, job.hw))
-          << job.tiling->ToString() << " does not fit for " << sched->name() << " on "
-          << job.shape.ToString();
-      entry.tiling = *job.tiling;
-    } else if (job.policy == TilingPolicy::kPaperProtocol &&
-               job.method == Method::kFuseMax) {
-      entry.tiling = FuseMaxManualTiling(*sched, job.shape, job.hw, energy_model_);
-    } else {
-      entry.tiling = search::AutoTile(*sched, job.shape, job.hw, energy_model_);
-    }
-    entry.sim = sched->Simulate(job.shape, entry.tiling, job.hw, energy_model_);
+    const TuningPlan plan =
+        job.tiling.has_value()
+            ? planner_.PlanFixed(job.shape, job.method, job.hw, *job.tiling)
+            : planner_.Plan(job.shape, job.method, job.hw, job.policy);
+    entry.tiling = plan.tiling;
+    entry.sim = planner_.Simulate(plan, job.hw);
   } catch (const std::exception& e) {
     entry.error = e.what();
   }
@@ -188,6 +143,8 @@ SweepReport SweepRunner::Run(const SweepGrid& grid) { return RunJobs(grid.Jobs()
 
 SweepReport SweepRunner::RunJobs(const std::vector<SweepJob>& jobs) {
   const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t evals_before = planner_.search_evaluations();
+  const std::int64_t reused_before = planner_.plans_reused();
 
   SweepReport report;
   report.results.resize(jobs.size());
@@ -257,6 +214,8 @@ SweepReport SweepRunner::RunJobs(const std::vector<SweepJob>& jobs) {
     }
   }
 
+  report.stats.search_evaluations = planner_.search_evaluations() - evals_before;
+  report.stats.plans_reused = planner_.plans_reused() - reused_before;
   report.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;

@@ -2,23 +2,25 @@
 //
 // The benches and the mas_run CLI all reduce to the same pattern — evaluate a
 // grid of (method x shape x hardware) points, each via an offline tiling
-// choice plus one Simulate() call — but the seed did so one point at a time on
-// one thread. SweepRunner turns that pattern into a first-class subsystem:
+// choice plus one Simulate() call — and since the Planner facade landed the
+// runner is a thin concurrency layer over it:
 //
 //  * a declarative SweepGrid expands into a deterministic job list
 //    (shape-major, then hardware, then method — the paper's table order);
-//  * jobs execute on a pool of worker threads (SweepOptions::jobs);
+//  * jobs execute on a pool of worker threads (SweepOptions::jobs), each
+//    resolving its tiling through the shared mas::Planner (plan store +
+//    registered search strategies) and simulating the resulting plan;
 //  * identical jobs are deduplicated through a keyed result cache that also
 //    persists across Run() calls on the same runner, so refining a sweep only
-//    pays for the new points;
+//    pays for the new points; the cache key IS the planner's PlanKey(), so
+//    the two layers agree on job identity;
 //  * results land in per-job slots and are aggregated in grid order, so the
 //    report (table or JSON) is byte-identical regardless of thread count.
 //
-// Thread-safety: the Scheduler implementations are stateless (const methods,
-// no data members — audited for this PR), and search::AutoTile builds its
-// TilingProblem memo locally per call. Each worker nevertheless gets its own
-// Scheduler instance via MakeScheduler(), so even a future stateful scheduler
-// would stay safe as long as its state is per-instance.
+// Warm starts across processes: load a plan file into planner().store()
+// before Run() (mas_run's --plan-cache flag does this) and every covered job
+// skips its search entirely — SweepStats::search_evaluations drops to zero
+// while the report bytes stay identical.
 #pragma once
 
 #include <cstdint>
@@ -29,18 +31,15 @@
 
 #include "common/table.h"
 #include "dataflow/attention_shape.h"
+#include "planner/planner.h"
 #include "schedulers/scheduler.h"
 #include "sim/energy_model.h"
 #include "sim/hardware_config.h"
 
 namespace mas::runner {
 
-// How a job picks its tiling when none is fixed.
-enum class TilingPolicy {
-  kAutoTile = 0,      // search::AutoTile for every method (mas_run behavior)
-  kPaperProtocol = 1, // AutoTile, except FuseMax uses the paper's §5.5 manual
-                      // array-native tiling (harness/table behavior)
-};
+// Compat alias: TilingPolicy moved to planner/planner.h with the facade.
+using TilingPolicy = mas::TilingPolicy;
 
 // One (method, shape, hardware) evaluation request.
 struct SweepJob {
@@ -52,7 +51,10 @@ struct SweepJob {
 
   // Stable identity for deduplication: every field that can change the
   // simulation outcome is serialized (shape dims, method, tiling request and
-  // the full hardware parameter set — not just its preset name).
+  // the full hardware parameter set — not just its preset name). This is
+  // the planner's PlanKey() for the job (the planner's own store keys
+  // additionally carry its SearchSpec fingerprint; a runner has one spec,
+  // so its dedup key can omit it).
   std::string CacheKey() const;
 };
 
@@ -86,6 +88,13 @@ struct SweepStats {
   std::int64_t simulated_jobs = 0;  // unique (method, shape, hw) evaluations
   std::int64_t cache_hits = 0;      // duplicates served from the result cache
   std::int64_t failed_jobs = 0;
+  // Simulator evaluations the planner's searches spent during this Run()
+  // (deterministic for any thread count; zero when every job's plan came
+  // warm from the plan store).
+  std::int64_t search_evaluations = 0;
+  // Plans served from the store during this Run() (pre-loaded plan caches
+  // and duplicate tiling requests land here).
+  std::int64_t plans_reused = 0;
   double wall_seconds = 0.0;
 };
 
@@ -96,7 +105,8 @@ struct SweepOptions {
 
 // Aggregated sweep outcome. Results are in grid order; every aggregation
 // below iterates that order, so output is deterministic by construction
-// (SweepStats::wall_seconds is deliberately excluded from ToJson()).
+// (SweepStats' wall clock and planner counters are deliberately excluded
+// from ToJson()).
 struct SweepReport {
   std::vector<JobResult> results;
   SweepStats stats;
@@ -128,8 +138,8 @@ struct SweepReport {
 
 class SweepRunner {
  public:
-  explicit SweepRunner(SweepOptions options = {},
-                       sim::EnergyModel energy_model = {});
+  explicit SweepRunner(SweepOptions options = {}, sim::EnergyModel energy_model = {},
+                       PlannerOptions planner_options = {});
 
   // Expands the grid and runs it. Safe to call repeatedly; the result cache
   // carries over between calls (when options.cache is set).
@@ -137,6 +147,11 @@ class SweepRunner {
 
   // Runs an explicit job list (kept in the given order in the report).
   SweepReport RunJobs(const std::vector<SweepJob>& jobs);
+
+  // The shared planning facade: load a plan cache into planner().store()
+  // before Run() to warm-start, save it afterwards to persist new tunings.
+  Planner& planner() { return planner_; }
+  const Planner& planner() const { return planner_; }
 
   std::int64_t cache_size() const { return static_cast<std::int64_t>(cache_.size()); }
   void ClearCache() { cache_.clear(); }
@@ -150,10 +165,10 @@ class SweepRunner {
     std::string error;
   };
 
-  CacheEntry Evaluate(const SweepJob& job) const;
+  CacheEntry Evaluate(const SweepJob& job);
 
   SweepOptions options_;
-  sim::EnergyModel energy_model_;
+  Planner planner_;
   std::unordered_map<std::string, CacheEntry> cache_;
 };
 

@@ -13,6 +13,7 @@
 #include "schedulers/builder.h"
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
@@ -117,6 +118,13 @@ sim::SimResult FlatScheduler::Simulate(const AttentionShape& shape, const Tiling
 TensorF FlatScheduler::Execute(const TensorF& q, const TensorF& k, const TensorF& v,
                                const TilingConfig& tiling) const {
   return detail::ExecuteFusedRowBlocks(q, k, v, tiling);
+}
+
+void RegisterFlatScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"FLAT", /*paper_column=*/2, /*is_ablation=*/false,
+                    "FLAT (Kao et al. 2023): fully fused, sequential tiled stages", Method::kFlat},
+      [] { return std::make_unique<FlatScheduler>(); });
 }
 
 }  // namespace mas

@@ -17,6 +17,7 @@
 #include "schedulers/builder.h"
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
@@ -217,6 +218,13 @@ TensorF FuseMaxScheduler::Execute(const TensorF& q, const TensorF& k, const Tens
     o.Place(o_i, rb.b0, rb.h0, rb.n0, 0);
   }
   return o;
+}
+
+void RegisterFuseMaxScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"FuseMax", /*paper_column=*/4, /*is_ablation=*/false,
+                    "FuseMax (Nayak et al. 2024): einsum cascade with online softmax, single pass", Method::kFuseMax},
+      [] { return std::make_unique<FuseMaxScheduler>(); });
 }
 
 }  // namespace mas

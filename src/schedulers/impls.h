@@ -124,4 +124,17 @@ class MasNoOverwriteScheduler final : public Scheduler {
                   const TilingConfig&) const override;
 };
 
+// Registration hooks: each scheduler's translation unit registers its own
+// SchedulerInfo + factory with SchedulerRegistry::Instance(). They are called
+// once by SchedulerRegistry::EnsureBuiltins(), which also guarantees the
+// archive members are linked (a pure static-initializer scheme could be
+// dropped by the archiver when nothing else references the object file).
+void RegisterLayerWiseScheduler();
+void RegisterSoftPipeScheduler();
+void RegisterFlatScheduler();
+void RegisterTileFlowScheduler();
+void RegisterFuseMaxScheduler();
+void RegisterMasScheduler();
+void RegisterMasNoOverwriteScheduler();
+
 }  // namespace mas

@@ -12,6 +12,7 @@
 #include "schedulers/builder.h"
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
@@ -126,6 +127,13 @@ TensorF LayerWiseScheduler::Execute(const TensorF& q, const TensorF& k, const Te
   const TensorF c = MatMulTransposed(q, k);
   const TensorF p = SoftmaxRows(c);
   return MatMul(p, v);
+}
+
+void RegisterLayerWiseScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"Layer-Wise", /*paper_column=*/0, /*is_ablation=*/false,
+                    "unfused baseline: C and P round-trip through DRAM", Method::kLayerWise},
+      [] { return std::make_unique<LayerWiseScheduler>(); });
 }
 
 }  // namespace mas

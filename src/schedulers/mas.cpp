@@ -29,6 +29,7 @@
 #include "schedulers/builder.h"
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 #include "sim/l1_tracker.h"
 
 namespace mas {
@@ -514,6 +515,13 @@ MasScheduler::OverwriteProfile MasScheduler::ProfileOverwrites(
     profile.k_overwrites += stats.k_overwrites;
   }
   return profile;
+}
+
+void RegisterMasScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"MAS-Attention", /*paper_column=*/5, /*is_ablation=*/false,
+                    "semi-synchronous MAC/VEC stream processing with proactive buffer overwrite", Method::kMas},
+      [] { return std::make_unique<MasScheduler>(); });
 }
 
 }  // namespace mas

@@ -17,6 +17,7 @@
 // the overwrite an upper bound — stated as such in DESIGN.md.
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
@@ -51,6 +52,13 @@ TensorF MasNoOverwriteScheduler::Execute(const TensorF& q, const TensorF& k, con
   // Numerically both the pipelined and the drained order compute the same
   // fused row-block decomposition.
   return detail::ExecuteFusedRowBlocks(q, k, v, tiling);
+}
+
+void RegisterMasNoOverwriteScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"MAS (no overwrite)", /*paper_column=*/-1, /*is_ablation=*/true,
+                    "ablation: the MAS stream pipeline with the proactive overwrite disabled", Method::kMasNoOverwrite},
+      [] { return std::make_unique<MasNoOverwriteScheduler>(); });
 }
 
 }  // namespace mas

@@ -1,0 +1,164 @@
+#include "schedulers/registry.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "schedulers/impls.h"
+
+namespace mas {
+
+SchedulerRegistry& SchedulerRegistry::Instance() {
+  static SchedulerRegistry* registry = new SchedulerRegistry();  // never destroyed
+  return *registry;
+}
+
+void SchedulerRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [] {
+    // Each hook lives in its scheduler's translation unit and registers that
+    // dataflow; calling them here (rather than relying on static
+    // initializers) guarantees the archive members are linked and the
+    // catalog is complete before the first lookup.
+    RegisterLayerWiseScheduler();
+    RegisterSoftPipeScheduler();
+    RegisterFlatScheduler();
+    RegisterTileFlowScheduler();
+    RegisterFuseMaxScheduler();
+    RegisterMasScheduler();
+    RegisterMasNoOverwriteScheduler();
+  });
+}
+
+void SchedulerRegistry::Register(SchedulerInfo info, Factory factory) {
+  MAS_CHECK(!info.name.empty()) << "scheduler registration needs a name";
+  MAS_CHECK(factory != nullptr) << "scheduler '" << info.name << "' registered without factory";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    MAS_CHECK(e.info.name != info.name)
+        << "scheduler name '" << info.name << "' registered twice";
+    MAS_CHECK(e.info.method != info.method)
+        << "scheduler compat id " << static_cast<int>(info.method)
+        << " registered twice ('" << e.info.name << "' and '" << info.name << "')";
+  }
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+const SchedulerRegistry::Entry* SchedulerRegistry::FindEntryLocked(
+    const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const SchedulerRegistry::Entry* SchedulerRegistry::FindEntryLocked(Method method) const {
+  for (const Entry& e : entries_) {
+    if (e.info.method == method) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const SchedulerRegistry::Entry*> SchedulerRegistry::OrderedLocked(
+    bool include_ablations) const {
+  std::vector<const Entry*> ordered;
+  for (const Entry& e : entries_) {
+    if (e.info.is_ablation && !include_ablations) continue;
+    ordered.push_back(&e);
+  }
+  // Paper columns first (ascending), then ablations / unnumbered entries in
+  // registration order.
+  std::stable_sort(ordered.begin(), ordered.end(), [](const Entry* a, const Entry* b) {
+    const bool a_col = a->info.paper_column >= 0 && !a->info.is_ablation;
+    const bool b_col = b->info.paper_column >= 0 && !b->info.is_ablation;
+    if (a_col != b_col) return a_col;
+    if (a_col && b_col) return a->info.paper_column < b->info.paper_column;
+    return false;
+  });
+  return ordered;
+}
+
+const SchedulerInfo* SchedulerRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = FindEntryLocked(name);
+  return e == nullptr ? nullptr : &e->info;
+}
+
+const SchedulerInfo* SchedulerRegistry::FindByMethod(Method method) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = FindEntryLocked(method);
+  return e == nullptr ? nullptr : &e->info;
+}
+
+const SchedulerInfo& SchedulerRegistry::Info(Method method) const {
+  const SchedulerInfo* info = FindByMethod(method);
+  MAS_CHECK(info != nullptr) << "method id " << static_cast<int>(method)
+                             << " is not registered";
+  return *info;
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::Create(const std::string& name) const {
+  EnsureBuiltins();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* e = FindEntryLocked(name);
+    if (e != nullptr) factory = e->factory;
+  }
+  if (factory == nullptr) {
+    MAS_FAIL() << "unknown method '" << name << "'; options: " << AvailableNames();
+  }
+  return factory();
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::Create(Method method) const {
+  EnsureBuiltins();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* e = FindEntryLocked(method);
+    if (e != nullptr) factory = e->factory;
+  }
+  MAS_CHECK(factory != nullptr) << "method id " << static_cast<int>(method)
+                                << " is not registered";
+  return factory();
+}
+
+Method SchedulerRegistry::Resolve(const std::string& name) const {
+  const SchedulerInfo* info = Find(name);
+  if (info == nullptr) {
+    MAS_FAIL() << "unknown method '" << name << "'; options: all, " << AvailableNames();
+  }
+  return info->method;
+}
+
+std::vector<SchedulerInfo> SchedulerRegistry::List(bool include_ablations) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SchedulerInfo> out;
+  for (const Entry* e : OrderedLocked(include_ablations)) out.push_back(e->info);
+  return out;
+}
+
+std::vector<Method> SchedulerRegistry::PaperMethods() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Method> out;
+  for (const Entry* e : OrderedLocked(/*include_ablations=*/false)) {
+    out.push_back(e->info.method);
+  }
+  return out;
+}
+
+std::string SchedulerRegistry::AvailableNames(bool include_ablations) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string names;
+  for (const Entry* e : OrderedLocked(include_ablations)) {
+    if (!names.empty()) names += ", ";
+    names += "'" + e->info.name + "'";
+  }
+  return names;
+}
+
+}  // namespace mas

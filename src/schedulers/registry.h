@@ -1,0 +1,91 @@
+// SchedulerRegistry: the string-keyed catalog behind the public scheduling
+// API.
+//
+// Every dataflow registers itself (name, paper-column index, ablation flag,
+// one-line summary, compat enum id) together with a factory; lookups are by
+// canonical name or by the legacy `Method` enum, which survives purely as a
+// compat alias resolved through the registry. The switch-and-enum plumbing
+// that used to live in scheduler.cpp (MakeScheduler / AllMethods /
+// ParseMethodList) now delegates here, so adding a dataflow is one
+// registration in its own translation unit — no central switch to extend.
+//
+// Thread-safe: registration and lookups may run concurrently (the sweep
+// runner creates per-worker schedulers from a thread pool). Descriptor
+// references returned by Info()/FindByMethod() stay valid for the process
+// lifetime (entries are never erased and live in a stable deque).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "schedulers/scheduler.h"
+
+namespace mas {
+
+// Descriptor of one registered scheduler.
+struct SchedulerInfo {
+  std::string name;       // canonical paper name, e.g. "FLAT"
+  int paper_column = -1;  // 0-based column in the paper's tables; -1 = none
+  bool is_ablation = false;  // excluded from AllMethods()/"all" expansions
+  std::string summary;       // one-line dataflow description
+  Method method = Method::kMas;  // compat enum id
+};
+
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>()>;
+
+  static SchedulerRegistry& Instance();
+
+  // Registers a scheduler. Throws when the name or compat enum id is already
+  // taken.
+  void Register(SchedulerInfo info, Factory factory);
+
+  // Descriptor lookup. Find*() return nullptr when absent; Info() throws for
+  // an unregistered enum id.
+  const SchedulerInfo* Find(const std::string& name) const;
+  const SchedulerInfo* FindByMethod(Method method) const;
+  const SchedulerInfo& Info(Method method) const;
+
+  // Factory dispatch. Unknown names throw an Error listing the available set.
+  std::unique_ptr<Scheduler> Create(const std::string& name) const;
+  std::unique_ptr<Scheduler> Create(Method method) const;
+
+  // Name -> compat enum id; throws (listing the available set) when unknown.
+  Method Resolve(const std::string& name) const;
+
+  // Descriptors in paper-column order; ablations follow in registration
+  // order when included.
+  std::vector<SchedulerInfo> List(bool include_ablations = true) const;
+
+  // Compat enum ids of the non-ablation schedulers in paper-column order
+  // (the body of the legacy AllMethods()).
+  std::vector<Method> PaperMethods() const;
+
+  // "'Layer-Wise', 'Soft-Pipe', ..." — for error messages and --list-methods.
+  std::string AvailableNames(bool include_ablations = true) const;
+
+ private:
+  struct Entry {
+    SchedulerInfo info;
+    Factory factory;
+  };
+
+  SchedulerRegistry() = default;
+  // Runs the built-in registration hooks exactly once before any lookup, so
+  // the catalog is complete regardless of static-initialization order.
+  void EnsureBuiltins() const;
+  const Entry* FindEntryLocked(const std::string& name) const;
+  const Entry* FindEntryLocked(Method method) const;
+  std::vector<const Entry*> OrderedLocked(bool include_ablations) const;
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  // deque: descriptor references stay stable
+};
+
+}  // namespace mas

@@ -3,75 +3,45 @@
 #include <sstream>
 
 #include "common/status.h"
-#include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
+// The legacy enum surface is a thin compat veneer over SchedulerRegistry:
+// names, paper order, the ablation flag, and the factories all live in the
+// per-scheduler registrations.
+
 const char* MethodName(Method method) {
-  switch (method) {
-    case Method::kLayerWise: return "Layer-Wise";
-    case Method::kSoftPipe: return "Soft-Pipe";
-    case Method::kFlat: return "FLAT";
-    case Method::kTileFlow: return "TileFlow";
-    case Method::kFuseMax: return "FuseMax";
-    case Method::kMas: return "MAS-Attention";
-    case Method::kMasNoOverwrite: return "MAS (no overwrite)";
-  }
-  return "?";
+  const SchedulerInfo* info = SchedulerRegistry::Instance().FindByMethod(method);
+  return info == nullptr ? "?" : info->name.c_str();
 }
 
-std::vector<Method> AllMethods() {
-  return {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
-          Method::kTileFlow,  Method::kFuseMax,  Method::kMas};
-}
+std::vector<Method> AllMethods() { return SchedulerRegistry::Instance().PaperMethods(); }
 
 std::vector<Method> ParseMethodList(const std::string& text) {
+  SchedulerRegistry& registry = SchedulerRegistry::Instance();
   std::vector<Method> methods;
   std::stringstream ss(text);
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item == "all") {
-      for (Method m : AllMethods()) methods.push_back(m);
+      for (Method m : registry.PaperMethods()) methods.push_back(m);
       continue;
     }
-    bool found = false;
-    for (Method m : AllMethods()) {
-      if (item == MethodName(m)) {
-        methods.push_back(m);
-        found = true;
-        break;
-      }
-    }
-    if (!found && item == MethodName(Method::kMasNoOverwrite)) {
-      methods.push_back(Method::kMasNoOverwrite);
-      found = true;
-    }
-    if (!found) {
-      std::string options;
-      for (Method m : AllMethods()) options += std::string(" '") + MethodName(m) + "'";
-      MAS_FAIL() << "unknown method '" << item << "'; options: all" << options;
-    }
+    methods.push_back(registry.Resolve(item));  // throws listing the options
   }
   MAS_CHECK(!methods.empty()) << "method list selected no methods";
   return methods;
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(Method method) {
-  switch (method) {
-    case Method::kLayerWise: return std::make_unique<LayerWiseScheduler>();
-    case Method::kSoftPipe: return std::make_unique<SoftPipeScheduler>();
-    case Method::kFlat: return std::make_unique<FlatScheduler>();
-    case Method::kTileFlow: return std::make_unique<TileFlowScheduler>();
-    case Method::kFuseMax: return std::make_unique<FuseMaxScheduler>();
-    case Method::kMas: return std::make_unique<MasScheduler>();
-    case Method::kMasNoOverwrite: return std::make_unique<MasNoOverwriteScheduler>();
-  }
-  MAS_FAIL() << "unknown method";
+  return SchedulerRegistry::Instance().Create(method);
 }
 
 std::vector<std::unique_ptr<Scheduler>> AllSchedulers() {
+  SchedulerRegistry& registry = SchedulerRegistry::Instance();
   std::vector<std::unique_ptr<Scheduler>> out;
-  for (Method m : AllMethods()) out.push_back(MakeScheduler(m));
+  for (Method m : registry.PaperMethods()) out.push_back(registry.Create(m));
   return out;
 }
 

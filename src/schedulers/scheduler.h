@@ -46,15 +46,22 @@ enum class Method {
   kMasNoOverwrite = 6,
 };
 
+// NOTE: the Method enum above survives as a *compat alias*. The source of
+// truth for names, paper order, ablation flags, and factories is the
+// string-keyed SchedulerRegistry (schedulers/registry.h); everything below
+// resolves through it. New code should prefer the registry (and the
+// mas::Planner facade in planner/planner.h) over these shims.
+
 const char* MethodName(Method method);
 
 // All methods in the paper's column order (excludes ablation variants such
-// as kMasNoOverwrite).
+// as kMasNoOverwrite). Equivalent to SchedulerRegistry::PaperMethods().
 std::vector<Method> AllMethods();
 
 // Parses a comma-separated method-name list; "all" expands to AllMethods()
 // and the ablation name "MAS (no overwrite)" is accepted. Throws on unknown
-// names or an empty selection. Shared by mas_run and the benches.
+// names (listing the registered set) or an empty selection. Shared by
+// mas_run and the benches.
 std::vector<Method> ParseMethodList(const std::string& text);
 
 class Scheduler {

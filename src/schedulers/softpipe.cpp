@@ -11,6 +11,7 @@
 #include "schedulers/builder.h"
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
@@ -122,6 +123,13 @@ TensorF SoftPipeScheduler::Execute(const TensorF& q, const TensorF& k, const Ten
     o.Place(TiledPV(p_i, v_i, tiling.nkv), rb.b0, rb.h0, rb.n0, 0);
   }
   return o;
+}
+
+void RegisterSoftPipeScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"Soft-Pipe", /*paper_column=*/1, /*is_ablation=*/false,
+                    "QK^T and softmax fused/pipelined; P round-trips through DRAM", Method::kSoftPipe},
+      [] { return std::make_unique<SoftPipeScheduler>(); });
 }
 
 }  // namespace mas

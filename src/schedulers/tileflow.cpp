@@ -17,6 +17,7 @@
 #include "schedulers/builder.h"
 #include "schedulers/common.h"
 #include "schedulers/impls.h"
+#include "schedulers/registry.h"
 
 namespace mas {
 
@@ -150,6 +151,13 @@ TensorF TileFlowScheduler::Execute(const TensorF& q, const TensorF& k, const Ten
     o.Place(TiledPV(p_i, v_i, tiling.nkv), rb.b0, rb.h0, rb.n0, 0);
   }
   return o;
+}
+
+void RegisterTileFlowScheduler() {
+  SchedulerRegistry::Instance().Register(
+      SchedulerInfo{"TileFlow", /*paper_column=*/3, /*is_ablation=*/false,
+                    "TileFlow-style fused pipeline with sub-tile tree and per-round barriers", Method::kTileFlow},
+      [] { return std::make_unique<TileFlowScheduler>(); });
 }
 
 }  // namespace mas

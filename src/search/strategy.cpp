@@ -1,0 +1,479 @@
+#include "search/strategy.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mas::search {
+
+namespace {
+
+// Restricted power-of-two lattice for the coarse grid: at most `keep` values
+// sampled geometrically across [1, extent] (both endpoints always kept).
+// Sampling the whole range matters: on memory-tight configurations the
+// feasible region sits at *small* tile sizes, so keeping only the largest
+// powers of two would leave nothing between 1 and the first feasible value.
+std::vector<std::int64_t> CoarseLattice(std::int64_t extent, int keep) {
+  std::vector<std::int64_t> all = {extent};
+  for (std::int64_t v = 1; v < extent; v *= 2) all.push_back(v);
+  std::sort(all.begin(), all.end());
+  if (static_cast<int>(all.size()) <= keep || keep < 2) return all;
+  std::vector<std::int64_t> values;
+  const double step = static_cast<double>(all.size() - 1) / (keep - 1);
+  for (int i = 0; i < keep; ++i) {
+    values.push_back(all[static_cast<std::size_t>(std::llround(i * step))]);
+  }
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+void RecordTrace(SearchResult& result, std::int64_t evaluation, double cycles) {
+  if (cycles < result.best_cycles) {
+    result.best_cycles = cycles;
+    result.trace.push_back({evaluation, cycles});
+  }
+}
+
+// ------------------------------------------------------------------- grid
+
+class GridStrategy final : public Strategy {
+ public:
+  const StrategyInfo& info() const override {
+    static const StrategyInfo kInfo{
+        "grid", "exhaustive (or coarse power-of-two) scan of the candidate lattice"};
+    return kInfo;
+  }
+
+  SearchResult Run(TilingProblem& problem, const SearchSpec& spec) const override {
+    SearchResult result;
+    const auto bbs = spec.coarse
+                         ? CoarseLattice(problem.shape().batch, spec.coarse_keep_bb)
+                         : problem.bb_candidates();
+    const auto hhs = spec.coarse
+                         ? CoarseLattice(problem.shape().heads, spec.coarse_keep_hh)
+                         : problem.hh_candidates();
+    const auto nqs = spec.coarse
+                         ? CoarseLattice(problem.shape().seq_len, spec.coarse_keep_nq)
+                         : problem.nq_candidates();
+    const auto nkvs = spec.coarse
+                          ? CoarseLattice(problem.shape().kv(), spec.coarse_keep_nkv)
+                          : problem.nkv_candidates();
+
+    // Enumerate the scan up front (bounded by the evaluation budget — an
+    // exhausted budget terminates the WHOLE scan, not just the innermost
+    // loop), then evaluate as one batch and reduce in grid order.
+    std::vector<TilingConfig> cells;
+    const std::int64_t budget = std::max<std::int64_t>(spec.budget, 0);
+    for (std::int64_t bb : bbs) {
+      for (std::int64_t hh : hhs) {
+        for (std::int64_t nq : nqs) {
+          for (std::int64_t nkv : nkvs) {
+            if (static_cast<std::int64_t>(cells.size()) >= budget) goto scan_done;
+            cells.push_back(TilingConfig{bb, hh, nq, nkv});
+          }
+        }
+      }
+    }
+  scan_done:
+    std::vector<double> cycles;
+    problem.EvaluateBatch(cells, cycles, spec.jobs);
+
+    std::int64_t evals = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ++evals;
+      if (cycles[i] < result.best_cycles) result.best = cells[i];
+      RecordTrace(result, evals, cycles[i]);
+    }
+    result.evaluations = evals;
+    return result;
+  }
+};
+
+// --------------------------------------------------------------------- ga
+
+class GaStrategy final : public Strategy {
+ public:
+  const StrategyInfo& info() const override {
+    static const StrategyInfo kInfo{
+        "ga", "genetic algorithm: tournament selection, crossover, mutation, elitism"};
+    return kInfo;
+  }
+
+  SearchResult Run(TilingProblem& problem, const SearchSpec& spec) const override {
+    MAS_CHECK(spec.population >= 4) << "GA population too small";
+    Rng rng(spec.seed);
+    const std::vector<const std::vector<std::int64_t>*> spaces = {
+        &problem.bb_candidates(), &problem.hh_candidates(), &problem.nq_candidates(),
+        &problem.nkv_candidates()};
+
+    using Genome = std::array<std::size_t, 4>;
+    auto decode = [&](const Genome& g) {
+      return TilingConfig{(*spaces[0])[g[0]], (*spaces[1])[g[1]], (*spaces[2])[g[2]],
+                          (*spaces[3])[g[3]]};
+    };
+    auto random_genome = [&]() {
+      Genome g;
+      for (std::size_t d = 0; d < 4; ++d) {
+        g[d] = static_cast<std::size_t>(rng.NextBelow(spaces[d]->size()));
+      }
+      return g;
+    };
+
+    SearchResult result;
+    std::int64_t evals = 0;
+    // Evaluates a cohort of genomes as one parallel batch, then replays the
+    // best/trace reduction in cohort order — the same sequence of Evaluate()
+    // calls the serial loop made (genome creation never reads fitness
+    // results within a generation, so batching does not disturb the rng
+    // stream).
+    std::vector<TilingConfig> batch_tilings;
+    std::vector<double> batch_cycles;
+    auto evaluate_cohort = [&](const std::vector<Genome>& cohort) {
+      batch_tilings.clear();
+      for (const Genome& g : cohort) batch_tilings.push_back(decode(g));
+      problem.EvaluateBatch(batch_tilings, batch_cycles, spec.jobs);
+      std::vector<double> scores(cohort.size());
+      for (std::size_t i = 0; i < cohort.size(); ++i) {
+        ++evals;
+        if (batch_cycles[i] < result.best_cycles) result.best = batch_tilings[i];
+        RecordTrace(result, evals, batch_cycles[i]);
+        scores[i] = batch_cycles[i];
+      }
+      return scores;
+    };
+
+    std::vector<Genome> population;
+    for (std::int64_t i = 0; i < spec.population; ++i) {
+      population.push_back(random_genome());
+    }
+    std::vector<double> scores = evaluate_cohort(population);
+
+    auto tournament_pick = [&]() -> const Genome& {
+      std::size_t best = static_cast<std::size_t>(rng.NextBelow(population.size()));
+      for (std::int64_t t = 1; t < spec.tournament; ++t) {
+        const std::size_t cand = static_cast<std::size_t>(rng.NextBelow(population.size()));
+        if (scores[cand] < scores[best]) best = cand;
+      }
+      return population[best];
+    };
+
+    for (std::int64_t gen = 0; gen < spec.generations; ++gen) {
+      // Common-budget cap, checked at cohort granularity so the evaluation
+      // stream stays identical to the uncapped run up to the cut.
+      if (evals >= spec.budget) break;
+      // Elitism: carry the best genomes over unchanged.
+      std::vector<std::size_t> order(population.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+      std::vector<Genome> next;
+      std::vector<double> next_scores;
+      for (std::int64_t e = 0;
+           e < spec.elite && e < static_cast<std::int64_t>(order.size()); ++e) {
+        next.push_back(population[order[static_cast<std::size_t>(e)]]);
+        next_scores.push_back(scores[order[static_cast<std::size_t>(e)]]);
+      }
+      // Create the whole offspring cohort first (pure rng work against the
+      // *previous* generation's scores), then evaluate it as one batch.
+      std::vector<Genome> offspring;
+      while (static_cast<std::int64_t>(next.size() + offspring.size()) < spec.population) {
+        Genome child = tournament_pick();
+        if (rng.NextBool(spec.crossover_rate)) {
+          const Genome& other = tournament_pick();
+          for (std::size_t d = 0; d < 4; ++d) {
+            if (rng.NextBool()) child[d] = other[d];
+          }
+        }
+        for (std::size_t d = 0; d < 4; ++d) {
+          if (rng.NextBool(spec.mutation_rate)) {
+            child[d] = static_cast<std::size_t>(rng.NextBelow(spaces[d]->size()));
+          }
+        }
+        offspring.push_back(child);
+      }
+      std::vector<double> offspring_scores = evaluate_cohort(offspring);
+      for (std::size_t i = 0; i < offspring.size(); ++i) {
+        next.push_back(offspring[i]);
+        next_scores.push_back(offspring_scores[i]);
+      }
+      population = std::move(next);
+      scores = std::move(next_scores);
+    }
+    result.evaluations = evals;
+    return result;
+  }
+};
+
+// ------------------------------------------------------------------- mcts
+
+// MCTS over the sequential factor decisions hh -> nq -> nkv -> bb. Each tree
+// node fixes a prefix of factors; leaves are complete tilings. Rollouts
+// complete the prefix uniformly at random; rewards are 1/cycles.
+struct MctsNode {
+  std::vector<std::int64_t> child_visits;
+  std::vector<double> child_value;  // mean reward
+  std::vector<std::unique_ptr<MctsNode>> children;
+  std::int64_t visits = 0;
+};
+
+std::unique_ptr<MctsNode> CloneTree(const MctsNode& node) {
+  auto copy = std::make_unique<MctsNode>();
+  copy->child_visits = node.child_visits;
+  copy->child_value = node.child_value;
+  copy->visits = node.visits;
+  copy->children.resize(node.children.size());
+  for (std::size_t c = 0; c < node.children.size(); ++c) {
+    if (node.children[c]) copy->children[c] = CloneTree(*node.children[c]);
+  }
+  return copy;
+}
+
+using Spaces = std::vector<const std::vector<std::int64_t>*>;
+
+// Selection + expansion down the four decision levels (UCB1; unvisited
+// children first, random among them). Mutates the tree only by expanding
+// empty child slots.
+std::array<std::size_t, 4> SelectLeaf(MctsNode& root, Rng& rng, const Spaces& spaces,
+                                      double exploration) {
+  std::array<std::size_t, 4> choice{};
+  MctsNode* node = &root;
+  for (std::size_t depth = 0; depth < 4; ++depth) {
+    const std::size_t width = spaces[depth]->size();
+    if (node->children.empty()) {
+      node->children.resize(width);
+      node->child_visits.assign(width, 0);
+      node->child_value.assign(width, 0.0);
+    }
+    std::vector<std::size_t> unvisited;
+    for (std::size_t c = 0; c < width; ++c) {
+      if (node->child_visits[c] == 0) unvisited.push_back(c);
+    }
+    std::size_t pick;
+    if (!unvisited.empty()) {
+      pick = unvisited[rng.NextBelow(unvisited.size())];
+    } else {
+      double best_ucb = -1.0;
+      pick = 0;
+      for (std::size_t c = 0; c < width; ++c) {
+        const double exploit = node->child_value[c];
+        const double explore =
+            exploration * std::sqrt(std::log(static_cast<double>(node->visits) + 1.0) /
+                                    static_cast<double>(node->child_visits[c]));
+        if (exploit + explore > best_ucb) {
+          best_ucb = exploit + explore;
+          pick = c;
+        }
+      }
+    }
+    choice[depth] = pick;
+    if (!node->children[pick]) node->children[pick] = std::make_unique<MctsNode>();
+    node = node->children[pick].get();
+  }
+  return choice;
+}
+
+void Backprop(MctsNode& root, const std::array<std::size_t, 4>& choice, double reward) {
+  MctsNode* cur = &root;
+  cur->visits += 1;
+  for (std::size_t depth = 0; depth < 4; ++depth) {
+    const std::size_t c = choice[depth];
+    cur->child_visits[c] += 1;
+    cur->child_value[c] +=
+        (reward - cur->child_value[c]) / static_cast<double>(cur->child_visits[c]);
+    cur = cur->children[c].get();
+    cur->visits += 1;
+  }
+}
+
+class MctsStrategy final : public Strategy {
+ public:
+  const StrategyInfo& info() const override {
+    static const StrategyInfo kInfo{
+        "mcts", "Monte Carlo Tree Search with UCB over the sequential factor choices"};
+    return kInfo;
+  }
+
+  SearchResult Run(TilingProblem& problem, const SearchSpec& spec) const override {
+    Rng rng(spec.seed);
+    const Spaces spaces = {&problem.hh_candidates(), &problem.nq_candidates(),
+                           &problem.nkv_candidates(), &problem.bb_candidates()};
+    auto decode = [&](const std::array<std::size_t, 4>& g) {
+      return TilingConfig{(*spaces[3])[g[3]], (*spaces[0])[g[0]], (*spaces[1])[g[1]],
+                          (*spaces[2])[g[2]]};
+    };
+
+    SearchResult result;
+    std::int64_t evals = 0;
+    auto reward_of = [&](const std::array<std::size_t, 4>& g) {
+      const TilingConfig tiling = decode(g);
+      const double cycles = problem.Evaluate(tiling);
+      ++evals;
+      if (cycles < result.best_cycles) result.best = tiling;
+      RecordTrace(result, evals, cycles);
+      if (cycles == TilingProblem::kInfeasible) return 0.0;
+      return 1e6 / cycles;
+    };
+
+    MctsNode root;
+    // Common-budget cap: each iteration is one Evaluate() call.
+    const std::int64_t iterations = std::min(spec.iterations, spec.budget);
+    const std::int64_t wave = spec.jobs > 1 ? spec.jobs : 1;
+    std::vector<TilingConfig> leaves;
+    std::int64_t iter = 0;
+    while (iter < iterations) {
+      const std::int64_t batch = std::min(wave, iterations - iter);
+      if (batch > 1) {
+        // Speculation: predict the next `batch` rollout leaves on a clone of
+        // the tree (seeded with a copy of the rng, so the first prediction
+        // is exact) and prefetch their simulations in parallel. Unknown
+        // leaves backpropagate a zero reward on the clone — a virtual loss
+        // that steers later predictions away, for diversity. The
+        // authoritative iterations below replay serially against the warmed
+        // cache.
+        std::unique_ptr<MctsNode> scout = CloneTree(root);
+        Rng scout_rng = rng;
+        leaves.clear();
+        for (std::int64_t j = 0; j < batch; ++j) {
+          const std::array<std::size_t, 4> choice =
+              SelectLeaf(*scout, scout_rng, spaces, spec.exploration);
+          const TilingConfig tiling = decode(choice);
+          leaves.push_back(tiling);
+          double predicted = 0.0;
+          double cached;
+          if (problem.PeekCycles(tiling, &cached) && cached != TilingProblem::kInfeasible) {
+            predicted = 1e6 / cached;
+          }
+          Backprop(*scout, choice, predicted);
+        }
+        problem.Prefetch(leaves.data(), leaves.size(), spec.jobs);
+      }
+      for (std::int64_t j = 0; j < batch; ++j) {
+        const std::array<std::size_t, 4> choice =
+            SelectLeaf(root, rng, spaces, spec.exploration);
+        Backprop(root, choice, reward_of(choice));
+      }
+      iter += batch;
+    }
+    result.evaluations = evals;
+    return result;
+  }
+};
+
+}  // namespace
+
+SearchSpec SearchSpec::AutoTileDefault(int jobs) {
+  SearchSpec spec;
+  spec.strategy = "grid";
+  spec.coarse = true;
+  spec.jobs = jobs;
+  return spec;
+}
+
+std::string SearchSpec::IdentityKey() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "spec:" << strategy << ",b=" << budget << ",seed=" << seed;
+  if (strategy == "grid") {
+    os << ",coarse=" << coarse << ',' << coarse_keep_bb << ',' << coarse_keep_hh << ','
+       << coarse_keep_nq << ',' << coarse_keep_nkv;
+  } else if (strategy == "ga") {
+    os << ",pop=" << population << ",gen=" << generations << ",cx=" << crossover_rate
+       << ",mut=" << mutation_rate << ",tour=" << tournament << ",elite=" << elite;
+  } else if (strategy == "mcts") {
+    os << ",iter=" << iterations << ",explore=" << exploration;
+  } else {
+    // Unknown (user-registered) strategy: include every knob conservatively.
+    os << ",coarse=" << coarse << ',' << coarse_keep_bb << ',' << coarse_keep_hh << ','
+       << coarse_keep_nq << ',' << coarse_keep_nkv << ",pop=" << population
+       << ",gen=" << generations << ",cx=" << crossover_rate << ",mut=" << mutation_rate
+       << ",tour=" << tournament << ",elite=" << elite << ",iter=" << iterations
+       << ",explore=" << exploration;
+  }
+  return os.str();
+}
+
+StrategyRegistry& StrategyRegistry::Instance() {
+  static StrategyRegistry* registry = new StrategyRegistry();  // never destroyed
+  return *registry;
+}
+
+void StrategyRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [this] {
+    auto& self = const_cast<StrategyRegistry&>(*this);
+    self.Register({"grid", GridStrategy().info().summary},
+                  [] { return std::make_unique<GridStrategy>(); });
+    self.Register({"ga", GaStrategy().info().summary},
+                  [] { return std::make_unique<GaStrategy>(); });
+    self.Register({"mcts", MctsStrategy().info().summary},
+                  [] { return std::make_unique<MctsStrategy>(); });
+  });
+}
+
+void StrategyRegistry::Register(StrategyInfo info, Factory factory) {
+  MAS_CHECK(!info.name.empty()) << "strategy registration needs a name";
+  MAS_CHECK(factory != nullptr) << "strategy '" << info.name << "' registered without factory";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    MAS_CHECK(e.info.name != info.name)
+        << "strategy name '" << info.name << "' registered twice";
+  }
+  entries_.push_back(Entry{std::move(info), std::move(factory), nullptr});
+}
+
+StrategyRegistry::Entry* StrategyRegistry::FindEntryLocked(const std::string& name) const {
+  for (Entry& e : entries_) {
+    if (e.info.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const Strategy& StrategyRegistry::Get(const std::string& name) const {
+  EnsureBuiltins();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = FindEntryLocked(name);
+    if (e != nullptr) {
+      if (e->instance == nullptr) e->instance = e->factory();
+      return *e->instance;
+    }
+  }
+  MAS_FAIL() << "unknown search strategy '" << name << "'; options: " << AvailableNames();
+}
+
+const StrategyInfo* StrategyRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = FindEntryLocked(name);
+  return e == nullptr ? nullptr : &e->info;
+}
+
+std::vector<StrategyInfo> StrategyRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StrategyInfo> out;
+  for (const Entry& e : entries_) out.push_back(e.info);
+  return out;
+}
+
+std::string StrategyRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string names;
+  for (const Entry& e : entries_) {
+    if (!names.empty()) names += ", ";
+    names += "'" + e.info.name + "'";
+  }
+  return names;
+}
+
+SearchResult RunSearch(TilingProblem& problem, const SearchSpec& spec) {
+  return StrategyRegistry::Instance().Get(spec.strategy).Run(problem, spec);
+}
+
+}  // namespace mas::search

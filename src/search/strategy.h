@@ -1,0 +1,127 @@
+// search::Strategy — the pluggable search surface behind the offline tuning
+// phase (paper §4.2).
+//
+// Grid / GA / MCTS used to be three unrelated free functions with
+// copy-pasted option structs; they are now registry-selectable strategies
+// ("grid", "ga", "mcts") behind one SearchSpec. The legacy free functions in
+// tiling_search.h remain as compat wrappers and return byte-identical
+// SearchResults.
+//
+// SearchSpec carries the fields every strategy honors (budget / seed / jobs)
+// plus per-strategy knobs; a strategy reads only its own section. Strategies
+// are stateless (all run state lives in locals and the TilingProblem), so
+// the registry hands out shared singleton instances.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "search/tiling_search.h"
+
+namespace mas::search {
+
+// One spec for every search strategy.
+struct SearchSpec {
+  std::string strategy = "grid";
+
+  // --- common: honored by every strategy ---
+  // Hard cap on simulator evaluations. Grid truncates its scan to this many
+  // cells; GA stops issuing cohorts and MCTS stops iterating once the count
+  // is reached (checked at cohort / iteration granularity).
+  std::int64_t budget = 100000;
+  std::uint64_t seed = 1;  // rng seed for the stochastic strategies
+  // Simulator worker threads; every strategy is byte-identical for any value
+  // (parallelism is batch prefetch + serial memo replay).
+  int jobs = 1;
+
+  // --- "grid" ---
+  bool coarse = false;  // restrict to a small power-of-two lattice (fast)
+  // Per-dimension lattice sizes used when `coarse` is set (geometric samples
+  // across [1, extent], endpoints always kept).
+  int coarse_keep_bb = 3;
+  int coarse_keep_hh = 5;
+  int coarse_keep_nq = 8;
+  int coarse_keep_nkv = 8;
+
+  // --- "ga" ---
+  std::int64_t population = 24;
+  std::int64_t generations = 40;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.25;
+  std::int64_t tournament = 3;
+  std::int64_t elite = 2;
+
+  // --- "mcts" ---
+  std::int64_t iterations = 1000;
+  double exploration = 1.2;  // UCB exploration constant
+
+  // The spec AutoTile() runs: the coarse power-of-two grid with default
+  // keeps — the repo's "offline-tuned" default configuration.
+  static SearchSpec AutoTileDefault(int jobs = 1);
+
+  // Stable fingerprint of every field that can change this spec's search
+  // outcome (`jobs` excluded: results are identical for any value; inactive
+  // strategies' knobs excluded for the built-in names). The planner appends
+  // it to plan keys so plans tuned under different specs never alias in a
+  // plan store — a warm cache cannot silently override a newly requested
+  // strategy or budget.
+  std::string IdentityKey() const;
+};
+
+struct StrategyInfo {
+  std::string name;     // registry key, e.g. "grid"
+  std::string summary;  // one-line description for --list output
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual const StrategyInfo& info() const = 0;
+  // Runs the search. Must drive all simulator calls through `problem` so
+  // memoization, evaluation counting, and the jobs-independence guarantee
+  // hold (see TilingProblem's threading contract).
+  virtual SearchResult Run(TilingProblem& problem, const SearchSpec& spec) const = 0;
+};
+
+// String-keyed strategy catalog, mirroring SchedulerRegistry. Strategies are
+// stateless; Get() returns a process-lifetime singleton instance.
+class StrategyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Strategy>()>;
+
+  static StrategyRegistry& Instance();
+
+  // Throws when the name is already taken.
+  void Register(StrategyInfo info, Factory factory);
+
+  // Unknown names throw an Error listing the available set.
+  const Strategy& Get(const std::string& name) const;
+  const StrategyInfo* Find(const std::string& name) const;  // nullptr if unknown
+
+  std::vector<StrategyInfo> List() const;  // registration order
+  std::string AvailableNames() const;      // "'grid', 'ga', 'mcts'"
+
+ private:
+  struct Entry {
+    StrategyInfo info;
+    Factory factory;
+    std::unique_ptr<Strategy> instance;  // created lazily by Get()
+  };
+
+  StrategyRegistry() = default;
+  void EnsureBuiltins() const;
+  Entry* FindEntryLocked(const std::string& name) const;
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  mutable std::deque<Entry> entries_;  // deque: Get() references stay stable
+};
+
+// Looks spec.strategy up in the registry and runs it on `problem`.
+SearchResult RunSearch(TilingProblem& problem, const SearchSpec& spec);
+
+}  // namespace mas::search

@@ -3,12 +3,13 @@
 // The multi-tiered tiling scheme exposes four factors (B_b, H_h, N_Q, N_KV);
 // the search evaluates candidate configurations against the simulator
 // (Timeloop's role in the paper) and returns the best-latency feasible
-// configuration. Three strategies are provided, as in the paper:
-//   * GridSearch    — exhaustive over the candidate lattice (used for the
-//                     DaVinci NPU's structured memory model);
-//   * GeneticSearch — population-based refinement (GA);
-//   * MctsSearch    — Monte Carlo Tree Search with UCB over the sequential
-//                     factor choices.
+// configuration. Three strategies are provided, as in the paper — "grid"
+// (exhaustive over the candidate lattice, used for the DaVinci NPU's
+// structured memory model), "ga" (population-based refinement), and "mcts"
+// (UCB tree search over the sequential factor choices). They live behind
+// the search::Strategy interface and StrategyRegistry in search/strategy.h;
+// the GridSearch/GeneticSearch/MctsSearch free functions below are compat
+// wrappers over one SearchSpec and return byte-identical SearchResults.
 // Every strategy records a convergence trace (best cycles vs evaluations)
 // which the Fig. 7 bench replots.
 //
@@ -128,8 +129,11 @@ class TilingProblem {
 
   const Scheduler& scheduler_;
   AttentionShape shape_;
-  const sim::HardwareConfig& hw_;
-  const sim::EnergyModel& em_;
+  // Stored by value: callers routinely pass temporaries (a HardwareConfig
+  // built inline at the call site), which silently dangled when these were
+  // const references.
+  sim::HardwareConfig hw_;
+  sim::EnergyModel em_;
   std::vector<std::int64_t> bb_, hh_, nq_, nkv_;
   mutable std::array<CacheShard, kCacheShards> cache_;
   // One reusable engine per worker (index 0 doubles as the serial engine).
@@ -152,6 +156,13 @@ struct SearchResult {
 
   bool found() const { return best_cycles != TilingProblem::kInfeasible; }
 };
+
+// ---------------------------------------------------------------------------
+// Compat wrappers. The per-strategy option structs below predate
+// search::SearchSpec (strategy.h) and forward to the registered strategies;
+// results are byte-identical to building the equivalent SearchSpec and
+// calling RunSearch(). New code should use SearchSpec directly.
+// ---------------------------------------------------------------------------
 
 struct GridOptions {
   std::int64_t max_evaluations = 100000;

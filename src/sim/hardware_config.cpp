@@ -1,5 +1,6 @@
 #include "sim/hardware_config.h"
 
+#include <limits>
 #include <sstream>
 
 namespace mas::sim {
@@ -15,6 +16,20 @@ std::string HardwareConfig::Describe() const {
     os << "  Core '" << core.name << "': MAC " << core.mac_rows << "x" << core.mac_cols
        << " PE mesh, VEC " << core.vec_lanes << " lanes, L0 " << (core.l0_bytes >> 10)
        << " KB\n";
+  }
+  return os.str();
+}
+
+std::string HardwareConfig::CacheKey() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "hw:" << frequency_ghz << ',' << l1_bytes << ',' << dram_bytes << ','
+     << dram_gb_per_s << ',' << dma_setup_cycles << ',' << element_bytes;
+  for (const auto& c : cores) {
+    os << ";c:" << c.mac_rows << ',' << c.mac_cols << ',' << c.mac_setup_cycles << ','
+       << c.vec_lanes << ',' << c.vec_cost_max << ',' << c.vec_cost_sub << ','
+       << c.vec_cost_exp << ',' << c.vec_cost_sum << ',' << c.vec_cost_div << ','
+       << c.vec_setup_cycles << ',' << c.l0_bytes;
   }
   return os.str();
 }

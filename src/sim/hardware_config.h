@@ -84,6 +84,12 @@ struct HardwareConfig {
 
   // Human-readable architecture summary (regenerates Fig. 4's content).
   std::string Describe() const;
+
+  // Stable identity string over every parameter that feeds the cost model
+  // (the display name is excluded), so two presets that merely share a name
+  // never alias. Doubles are streamed at max_digits10. Shared by the sweep
+  // runner's result cache and the planner's plan store.
+  std::string CacheKey() const;
 };
 
 // The paper's simulated edge device (Fig. 4).

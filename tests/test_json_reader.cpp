@@ -1,0 +1,133 @@
+// common/json_reader tests: DOM parsing, writer round-trips, and the error
+// paths the plan store relies on (truncated / mismatched / trailing input).
+#include "common/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::json {
+namespace {
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(Parse("null").is_null());
+  EXPECT_EQ(Parse("true").AsBool(), true);
+  EXPECT_EQ(Parse("false").AsBool(), false);
+  EXPECT_EQ(Parse("42").AsInt64(), 42);
+  EXPECT_EQ(Parse("-7").AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(Parse("2.5").AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3").AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(Parse("-1.25e-2").AsDouble(), -0.0125);
+  EXPECT_EQ(Parse("\"hi\"").AsString(), "hi");
+  EXPECT_EQ(Parse("  42  ").AsInt64(), 42) << "surrounding whitespace";
+}
+
+TEST(JsonReader, NumbersInterconvert) {
+  // Integral doubles read back as int64 (writers may emit either form).
+  EXPECT_EQ(Parse("3545088").AsInt64(), 3545088);
+  EXPECT_EQ(Parse("3.545088e+06").AsInt64(), 3545088);
+  EXPECT_DOUBLE_EQ(Parse("3545088").AsDouble(), 3545088.0);
+  // Non-integral doubles refuse integral access.
+  EXPECT_THROW(Parse("2.5").AsInt64(), Error);
+  // Out-of-int64-range doubles throw instead of hitting an undefined cast.
+  EXPECT_THROW(Parse("1e300").AsInt64(), Error);
+  EXPECT_THROW(Parse("-1e300").AsInt64(), Error);
+  EXPECT_THROW(Parse("9223372036854775808").AsInt64(), Error);  // 2^63 exactly
+  // Beyond-int64 integers degrade to double rather than overflowing.
+  const Value big = Parse("99999999999999999999");
+  EXPECT_TRUE(big.is_number());
+  EXPECT_GT(big.AsDouble(), 9.9e19);
+}
+
+TEST(JsonReader, ParsesNestedContainers) {
+  const Value v = Parse(R"({"a":[1,2,{"b":"x"}],"c":{"d":null},"e":[]})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.Get("a").AsArray();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].AsInt64(), 1);
+  EXPECT_EQ(a[2].Get("b").AsString(), "x");
+  EXPECT_TRUE(v.Get("c").Get("d").is_null());
+  EXPECT_TRUE(v.Get("e").AsArray().empty());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_THROW(v.Get("missing"), Error);
+  // Members preserve document order.
+  ASSERT_EQ(v.Members().size(), 3u);
+  EXPECT_EQ(v.Members()[0].first, "a");
+  EXPECT_EQ(v.Members()[2].first, "e");
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b\\c\/d\n\t\r\b\f")").AsString(), "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(Parse(R"("Aé€")").AsString(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("name", std::string("MAS (no overwrite) \"quoted\"\n"));
+  w.KeyValue("count", static_cast<std::int64_t>(-12));
+  w.KeyValue("ratio", 0.327);
+  w.KeyValue("flag", true);
+  w.BeginArray("items");
+  w.Value(static_cast<std::int64_t>(1));
+  w.Value("two");
+  w.EndArray();
+  w.EndObject();
+  const std::string text = w.Take();
+
+  const Value v = Parse(text);
+  EXPECT_EQ(v.Get("name").AsString(), "MAS (no overwrite) \"quoted\"\n");
+  EXPECT_EQ(v.Get("count").AsInt64(), -12);
+  EXPECT_DOUBLE_EQ(v.Get("ratio").AsDouble(), 0.327);
+  EXPECT_EQ(v.Get("flag").AsBool(), true);
+  EXPECT_EQ(v.Get("items").AsArray()[1].AsString(), "two");
+}
+
+TEST(JsonReader, RejectsTruncatedInput) {
+  for (const char* bad : {"", "{", "{\"a\":", "{\"a\":1", "[1,2", "\"unterminated",
+                          "{\"a\":1,", "tru", "-"}) {
+    EXPECT_THROW(Parse(bad), Error) << "input: " << bad;
+  }
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  for (const char* bad : {"{a:1}",        // unquoted key
+                          "{\"a\" 1}",    // missing colon
+                          "[1 2]",        // missing comma
+                          "{\"a\":1]",    // mismatched close
+                          "[1,2}",        // mismatched close
+                          "\"bad\\q\"",   // unknown escape
+                          "\"bad\\u12g4\"",  // bad hex digit
+                          "01a",          // garbage number tail
+                          "nul",          // bad literal
+                          "1.e5",         // no digits after '.'
+                          "1e",           // no exponent digits
+                          "\x01"}) {      // control character
+    EXPECT_THROW(Parse(bad), Error) << "input: " << bad;
+  }
+}
+
+TEST(JsonReader, RejectsTrailingGarbage) {
+  EXPECT_THROW(Parse("{} {}"), Error);
+  EXPECT_THROW(Parse("42 43"), Error);
+  EXPECT_THROW(Parse("null,"), Error);
+}
+
+TEST(JsonReader, ErrorsCarryTheByteOffset) {
+  try {
+    Parse("{\"a\": bogus}");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonReader, RejectsAbsurdNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_THROW(Parse(deep), Error);
+}
+
+}  // namespace
+}  // namespace mas::json

@@ -1,0 +1,281 @@
+// mas::Planner facade tests: plan identity, JSON round-trips (including the
+// error paths), warm starts with zero search evaluations, and equivalence
+// with the legacy per-call tuning path.
+#include "planner/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/json_reader.h"
+#include "common/status.h"
+#include "schedulers/registry.h"
+#include "search/tiling_search.h"
+#include "sim/hardware_config.h"
+
+namespace mas {
+namespace {
+
+AttentionShape TinyShape() { return AttentionShape{"tiny", 1, 2, 64, 16}; }
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+
+TEST(PlanKeyTest, DistinguishesEveryRequestComponent) {
+  const AttentionShape shape = TinyShape();
+  const std::string base = PlanKey("FLAT", shape, Hw(), TilingPolicy::kAutoTile);
+
+  EXPECT_NE(base, PlanKey("MAS-Attention", shape, Hw(), TilingPolicy::kAutoTile));
+  EXPECT_NE(base, PlanKey("FLAT", shape, Hw(), TilingPolicy::kPaperProtocol));
+  EXPECT_NE(base, PlanKey("FLAT", shape, Hw(), TilingConfig{1, 1, 16, 16}));
+
+  AttentionShape renamed = shape;
+  renamed.name = "display_only";
+  EXPECT_EQ(base, PlanKey("FLAT", renamed, Hw(), TilingPolicy::kAutoTile))
+      << "display name must not affect identity";
+
+  sim::HardwareConfig smaller = Hw();
+  smaller.l1_bytes /= 2;
+  EXPECT_NE(base, PlanKey("FLAT", shape, smaller, TilingPolicy::kAutoTile));
+}
+
+TEST(PlannerTest, PlanMatchesLegacyAutoTile) {
+  Planner planner;
+  const AttentionShape shape = TinyShape();
+  for (const char* method : {"FLAT", "MAS-Attention"}) {
+    const TuningPlan plan = planner.Plan(shape, method, Hw());
+    const auto sched = SchedulerRegistry::Instance().Create(method);
+    const TilingConfig legacy = search::AutoTile(*sched, shape, Hw(), sim::EnergyModel{});
+    EXPECT_EQ(plan.tiling, legacy) << method;
+    EXPECT_EQ(plan.method, method);
+    EXPECT_EQ(plan.strategy, "grid");
+    EXPECT_GT(plan.evaluations, 0) << method;
+    // Predicted cycles match the actual simulation of the plan.
+    const sim::SimResult sim = planner.Simulate(plan, Hw());
+    EXPECT_EQ(plan.predicted_cycles, static_cast<double>(sim.cycles)) << method;
+    // And the facade's simulation equals the direct scheduler call.
+    const sim::SimResult direct =
+        sched->Simulate(shape, plan.tiling, Hw(), sim::EnergyModel{});
+    EXPECT_EQ(sim.cycles, direct.cycles);
+    EXPECT_EQ(sim.energy.dram_pj, direct.energy.dram_pj);
+    EXPECT_EQ(sim.dram_read_bytes, direct.dram_read_bytes);
+  }
+}
+
+TEST(PlannerTest, SecondPlanIsAStoreHitWithZeroNewEvaluations) {
+  Planner planner;
+  const TuningPlan first = planner.Plan(TinyShape(), "MAS-Attention", Hw());
+  const std::int64_t evals = planner.search_evaluations();
+  EXPECT_GT(evals, 0);
+  EXPECT_EQ(planner.plans_tuned(), 1);
+
+  const TuningPlan second = planner.Plan(TinyShape(), "MAS-Attention", Hw());
+  EXPECT_EQ(planner.search_evaluations(), evals) << "hit must not search";
+  EXPECT_EQ(planner.plans_reused(), 1);
+  EXPECT_EQ(second.tiling, first.tiling);
+  EXPECT_EQ(second.key, first.key);
+}
+
+TEST(PlannerTest, CompatEnumOverloadMatchesStringPath) {
+  Planner a;
+  Planner b;
+  const TuningPlan by_name = a.Plan(TinyShape(), "FLAT", Hw());
+  const TuningPlan by_enum = b.Plan(TinyShape(), Method::kFlat, Hw());
+  EXPECT_EQ(by_name.key, by_enum.key);
+  EXPECT_EQ(by_name.tiling, by_enum.tiling);
+}
+
+TEST(PlannerTest, UnknownMethodErrorListsTheRegistry) {
+  Planner planner;
+  try {
+    planner.Plan(TinyShape(), "NoSuchDataflow", Hw());
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown method 'NoSuchDataflow'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'FLAT'"), std::string::npos) << msg;
+  }
+}
+
+TEST(PlannerTest, PlanFixedValidatesAndRecordsProvenance) {
+  Planner planner;
+  const TuningPlan plan =
+      planner.PlanFixed(TinyShape(), "MAS-Attention", Hw(), TilingConfig{1, 1, 16, 16});
+  EXPECT_EQ(plan.strategy, "fixed");
+  EXPECT_EQ(plan.evaluations, 0);
+  EXPECT_EQ(plan.tiling, (TilingConfig{1, 1, 16, 16}));
+
+  // Out-of-range tiling: Validate() fires.
+  EXPECT_THROW(
+      planner.PlanFixed(TinyShape(), "MAS-Attention", Hw(), TilingConfig{1, 1, 128, 16}),
+      Error);
+  // In-range but infeasible (L1 too small): Fits() fires.
+  sim::HardwareConfig tight = Hw();
+  tight.l1_bytes = 64;
+  try {
+    planner.PlanFixed(TinyShape(), "MAS-Attention", tight, TilingConfig{1, 2, 64, 64});
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not fit"), std::string::npos) << e.what();
+  }
+}
+
+TEST(PlannerTest, PaperProtocolUsesManualFuseMaxTiling) {
+  Planner planner;
+  const AttentionShape shape{"proto", 1, 2, 128, 32};
+  const TuningPlan plan =
+      planner.Plan(shape, "FuseMax", Hw(), TilingPolicy::kPaperProtocol);
+  EXPECT_EQ(plan.strategy, "manual");
+  EXPECT_EQ(plan.evaluations, 0);
+  const sim::HardwareConfig hw = Hw();
+  const auto& cc = hw.cores.front();
+  EXPECT_EQ(plan.tiling.nq, std::min(cc.mac_rows, shape.seq_len));
+  EXPECT_EQ(plan.tiling.nkv, std::min(cc.mac_cols, shape.kv()));
+}
+
+TEST(TuningPlanJson, RoundTripsExactly) {
+  Planner planner;
+  planner.Plan(TinyShape(), "MAS-Attention", Hw());
+  planner.Plan(TinyShape(), "FLAT", Hw());
+  planner.PlanFixed(TinyShape(), "FLAT", Hw(), TilingConfig{1, 1, 16, 16});
+
+  const std::string json = planner.store().ToJson();
+  const PlanStore loaded = PlanStore::FromJson(json);
+  EXPECT_EQ(loaded.size(), planner.store().size());
+  // Byte-identical re-serialization: the determinism contract for the
+  // --plan-cache CI smoke.
+  EXPECT_EQ(loaded.ToJson(), json);
+
+  // Field-level equality through the round trip.
+  const TuningPlan original = planner.Plan(TinyShape(), "MAS-Attention", Hw());
+  const TuningPlan* reloaded = loaded.Find(original.key);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->method, original.method);
+  EXPECT_EQ(reloaded->tiling, original.tiling);
+  EXPECT_EQ(reloaded->predicted_cycles, original.predicted_cycles);
+  EXPECT_EQ(reloaded->strategy, original.strategy);
+  EXPECT_EQ(reloaded->seed, original.seed);
+  EXPECT_EQ(reloaded->evaluations, original.evaluations);
+  EXPECT_EQ(reloaded->shape.name, original.shape.name);
+  EXPECT_EQ(reloaded->shape.kv_len, original.shape.kv_len);
+}
+
+TEST(TuningPlanJson, RejectsTruncatedAndMismatchedInput) {
+  Planner planner;
+  planner.Plan(TinyShape(), "FLAT", Hw());
+  const std::string json = planner.store().ToJson();
+
+  // Truncations at arbitrary cut points must throw, never crash or
+  // half-load.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, json.size() / 4,
+                          json.size() / 2, json.size() - 2}) {
+    EXPECT_THROW(PlanStore::FromJson(json.substr(0, cut)), Error) << "cut=" << cut;
+  }
+
+  // Wrong version.
+  EXPECT_THROW(PlanStore::FromJson(R"({"version":2,"plans":[]})"), Error);
+  // Missing fields.
+  EXPECT_THROW(PlanStore::FromJson(R"({"plans":[]})"), Error);
+  EXPECT_THROW(PlanStore::FromJson(R"({"version":1})"), Error);
+  EXPECT_THROW(PlanStore::FromJson(R"({"version":1,"plans":[{}]})"), Error);
+  // Type mismatches.
+  EXPECT_THROW(PlanStore::FromJson(R"({"version":"1","plans":[]})"), Error);
+  EXPECT_THROW(PlanStore::FromJson(R"({"version":1,"plans":{}})"), Error);
+  // A structurally complete plan with an invalid tiling (nq > seq_len).
+  std::string bad = json;
+  const std::string needle = "\"nq\":";
+  const std::size_t pos = bad.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, needle.size() + 2, "\"nq\":9999");
+  EXPECT_THROW(PlanStore::FromJson(bad), Error);
+}
+
+TEST(PlanStoreFile, PersistsAcrossPlannersWithZeroWarmEvaluations) {
+  const std::string path = ::testing::TempDir() + "/mas_plans_test.json";
+  std::remove(path.c_str());
+
+  TuningPlan cold_plan;
+  std::string cold_json;
+  {
+    Planner cold;
+    EXPECT_FALSE(cold.store().LoadFile(path)) << "missing file is a no-op";
+    cold_plan = cold.Plan(TinyShape(), "MAS-Attention", Hw());
+    EXPECT_GT(cold.search_evaluations(), 0);
+    cold.store().SaveFile(path);
+    cold_json = cold.store().ToJson();
+  }
+  {
+    Planner warm;
+    EXPECT_TRUE(warm.store().LoadFile(path));
+    const TuningPlan plan = warm.Plan(TinyShape(), "MAS-Attention", Hw());
+    EXPECT_EQ(warm.search_evaluations(), 0) << "warm start must not search";
+    EXPECT_EQ(warm.plans_reused(), 1);
+    EXPECT_EQ(warm.plans_tuned(), 0);
+    EXPECT_EQ(plan.tiling, cold_plan.tiling);
+    EXPECT_EQ(plan.predicted_cycles, cold_plan.predicted_cycles);
+    // Saving the reloaded store reproduces the file byte-for-byte.
+    EXPECT_EQ(warm.store().ToJson(), cold_json);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PlannerTest, DifferentSearchSpecsDoNotAliasInTheStore) {
+  // A store warmed under one spec must not satisfy a planner configured
+  // with a different strategy/budget — the stale plan would silently
+  // override the requested search.
+  Planner grid_planner;  // default: AutoTile coarse grid
+  const TuningPlan grid_plan = grid_planner.Plan(TinyShape(), "MAS-Attention", Hw());
+
+  PlannerOptions mcts_options;
+  mcts_options.spec.strategy = "mcts";
+  mcts_options.spec.iterations = 32;
+  mcts_options.spec.seed = 3;
+  Planner mcts_planner(sim::EnergyModel{}, mcts_options);
+  mcts_planner.store() = PlanStore::FromJson(grid_planner.store().ToJson());
+
+  const TuningPlan mcts_plan = mcts_planner.Plan(TinyShape(), "MAS-Attention", Hw());
+  EXPECT_EQ(mcts_planner.plans_tuned(), 1) << "warm grid plan must not satisfy mcts";
+  EXPECT_GT(mcts_planner.search_evaluations(), 0);
+  EXPECT_NE(mcts_plan.key, grid_plan.key);
+  EXPECT_EQ(mcts_plan.strategy, "mcts");
+  EXPECT_EQ(mcts_planner.store().size(), 2u);
+
+  // Same spec, fresh planner: the warm path still works.
+  Planner warm;
+  warm.store() = PlanStore::FromJson(grid_planner.store().ToJson());
+  warm.Plan(TinyShape(), "MAS-Attention", Hw());
+  EXPECT_EQ(warm.plans_tuned(), 0);
+  EXPECT_EQ(warm.search_evaluations(), 0);
+}
+
+TEST(TuningPlanJson, RejectsKeyFieldMismatch) {
+  Planner planner;
+  planner.Plan(TinyShape(), "FLAT", Hw());
+  const std::string json = planner.store().ToJson();
+
+  // Tamper the payload method so it disagrees with the key prefix.
+  std::string tampered = json;
+  const std::string needle = "\"method\":\"FLAT\"";
+  const std::size_t pos = tampered.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, needle.size(), "\"method\":\"TileFlow\"");
+  EXPECT_THROW(PlanStore::FromJson(tampered), Error);
+}
+
+TEST(PlannerTest, SharedAcrossThreadsViaSweepRunnerSemantics) {
+  // Two concurrent Plan() calls for distinct keys must both land in the
+  // store; exercised through the planner directly (the sweep runner adds a
+  // thread pool on top).
+  Planner planner;
+  const AttentionShape a = TinyShape();
+  AttentionShape b = TinyShape();
+  b.name = "tiny2";
+  b.heads = 4;
+  planner.Plan(a, "FLAT", Hw());
+  planner.Plan(b, "FLAT", Hw());
+  EXPECT_EQ(planner.store().size(), 2u);
+  EXPECT_EQ(planner.plans_tuned(), 2);
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,101 @@
+// Acceptance gate for the Planner facade (ISSUE 3): all 84 Table-1 network x
+// scheduler SimResults must remain bit-identical to the pinned seed goldens
+// when produced through mas::Planner — and a warm planner (plan store
+// round-tripped through JSON) must reproduce the identical tilings with ZERO
+// new search evaluations.
+//
+// Reuses tests/golden_engine_table1.inc (see test_engine_golden.cpp for the
+// capture/regeneration protocol).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataflow/workloads.h"
+#include "planner/planner.h"
+#include "schedulers/registry.h"
+#include "sim/hardware_config.h"
+
+namespace mas {
+namespace {
+
+struct GoldenRow {
+  const char* network;
+  int method;
+  std::int64_t tiling[4];  // bb, hh, nq, nkv
+  std::uint64_t cycles;
+  double energy[5];  // dram, l1, l0, mac, vec (pJ)
+  std::int64_t dram_read_bytes;
+  std::int64_t dram_write_bytes;
+  std::vector<std::uint64_t> busy;        // per resource: dma, mac0, vec0, ...
+  std::vector<std::uint64_t> task_count;  // same order
+};
+
+const std::vector<GoldenRow>& GoldenRows() {
+  static const std::vector<GoldenRow> rows = {
+#include "golden_engine_table1.inc"
+  };
+  return rows;
+}
+
+TEST(PlannerGolden, AllTable1RowsBitIdenticalAndWarmStartIsFree) {
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  Planner planner;
+
+  // Cold pass: every (network, scheduler) pair planned and simulated through
+  // the facade must reproduce the pinned seed results bit-for-bit.
+  for (const GoldenRow& row : GoldenRows()) {
+    const std::string method =
+        SchedulerRegistry::Instance().Info(static_cast<Method>(row.method)).name;
+    const NetworkWorkload net = FindNetwork(row.network);
+    const TuningPlan plan = planner.Plan(net.shape, method, hw);
+    ASSERT_EQ(plan.tiling.bb, row.tiling[0]) << method << " on " << row.network;
+    ASSERT_EQ(plan.tiling.hh, row.tiling[1]) << method << " on " << row.network;
+    ASSERT_EQ(plan.tiling.nq, row.tiling[2]) << method << " on " << row.network;
+    ASSERT_EQ(plan.tiling.nkv, row.tiling[3]) << method << " on " << row.network;
+
+    const sim::SimResult r = planner.Simulate(plan, hw);
+    EXPECT_EQ(r.cycles, row.cycles) << method << " on " << row.network;
+    EXPECT_EQ(r.energy.dram_pj, row.energy[0]);
+    EXPECT_EQ(r.energy.l1_pj, row.energy[1]);
+    EXPECT_EQ(r.energy.l0_pj, row.energy[2]);
+    EXPECT_EQ(r.energy.mac_pe_pj, row.energy[3]);
+    EXPECT_EQ(r.energy.vec_pe_pj, row.energy[4]);
+    EXPECT_EQ(r.dram_read_bytes, row.dram_read_bytes);
+    EXPECT_EQ(r.dram_write_bytes, row.dram_write_bytes);
+    ASSERT_EQ(r.resources.size(), row.busy.size());
+    for (std::size_t i = 0; i < row.busy.size(); ++i) {
+      EXPECT_EQ(r.resources[i].busy_cycles, row.busy[i]) << r.resources[i].name;
+      EXPECT_EQ(r.resources[i].task_count, row.task_count[i]) << r.resources[i].name;
+    }
+    // The plan's predicted latency is the simulated one.
+    EXPECT_EQ(plan.predicted_cycles, static_cast<double>(r.cycles));
+  }
+  EXPECT_EQ(planner.plans_tuned(), static_cast<std::int64_t>(GoldenRows().size()));
+  EXPECT_GT(planner.search_evaluations(), 0);
+
+  // Persist the store through its JSON representation, then replan every row
+  // on a fresh planner: identical tilings, zero search evaluations.
+  const std::string json = planner.store().ToJson();
+  Planner warm;
+  warm.store() = PlanStore::FromJson(json);
+  for (const GoldenRow& row : GoldenRows()) {
+    const std::string method =
+        SchedulerRegistry::Instance().Info(static_cast<Method>(row.method)).name;
+    const NetworkWorkload net = FindNetwork(row.network);
+    const TuningPlan plan = warm.Plan(net.shape, method, hw);
+    EXPECT_EQ(plan.tiling.bb, row.tiling[0]) << method << " on " << row.network;
+    EXPECT_EQ(plan.tiling.hh, row.tiling[1]);
+    EXPECT_EQ(plan.tiling.nq, row.tiling[2]);
+    EXPECT_EQ(plan.tiling.nkv, row.tiling[3]);
+  }
+  EXPECT_EQ(warm.search_evaluations(), 0) << "warm replans must not search";
+  EXPECT_EQ(warm.plans_tuned(), 0);
+  EXPECT_EQ(warm.plans_reused(), static_cast<std::int64_t>(GoldenRows().size()));
+  // And the warm store still serializes to the identical bytes.
+  EXPECT_EQ(warm.store().ToJson(), json);
+}
+
+}  // namespace
+}  // namespace mas

@@ -1,0 +1,189 @@
+// Registry surface tests: scheduler and strategy catalogs, compat-enum
+// resolution, and unknown-name error reporting.
+#include "schedulers/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/status.h"
+#include "schedulers/scheduler.h"
+#include "search/strategy.h"
+
+namespace mas {
+namespace {
+
+TEST(SchedulerRegistryTest, AllSevenSchedulersResolveByName) {
+  const char* names[] = {"Layer-Wise", "Soft-Pipe",     "FLAT",
+                         "TileFlow",   "FuseMax",       "MAS-Attention",
+                         "MAS (no overwrite)"};
+  for (const char* name : names) {
+    const SchedulerInfo* info = SchedulerRegistry::Instance().Find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    const auto sched = SchedulerRegistry::Instance().Create(name);
+    ASSERT_NE(sched, nullptr) << name;
+    // The factory's product and the descriptor agree on the compat enum.
+    EXPECT_EQ(sched->method(), info->method) << name;
+    EXPECT_EQ(sched->name(), info->name) << name;
+  }
+}
+
+TEST(SchedulerRegistryTest, PaperOrderMatchesLegacyAllMethods) {
+  const std::vector<Method> methods = SchedulerRegistry::Instance().PaperMethods();
+  ASSERT_EQ(methods.size(), 6u);
+  EXPECT_EQ(methods, AllMethods());
+  // Paper columns are 0..5 in order.
+  const auto list = SchedulerRegistry::Instance().List(/*include_ablations=*/false);
+  ASSERT_EQ(list.size(), 6u);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(list[i].paper_column, static_cast<int>(i)) << list[i].name;
+    EXPECT_FALSE(list[i].is_ablation) << list[i].name;
+    EXPECT_EQ(list[i].method, methods[i]);
+  }
+}
+
+TEST(SchedulerRegistryTest, AblationIsFlaggedAndExcludedFromPaperSet) {
+  const SchedulerInfo* abl = SchedulerRegistry::Instance().Find("MAS (no overwrite)");
+  ASSERT_NE(abl, nullptr);
+  EXPECT_TRUE(abl->is_ablation);
+  EXPECT_EQ(abl->method, Method::kMasNoOverwrite);
+
+  const auto all = SchedulerRegistry::Instance().List(/*include_ablations=*/true);
+  const auto paper = SchedulerRegistry::Instance().List(/*include_ablations=*/false);
+  EXPECT_EQ(all.size(), paper.size() + 1);
+  // Ablations sort after the paper columns.
+  EXPECT_TRUE(all.back().is_ablation);
+}
+
+TEST(SchedulerRegistryTest, UnknownNameErrorListsTheAvailableSet) {
+  try {
+    SchedulerRegistry::Instance().Create("NoSuchMethod");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown method 'NoSuchMethod'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'MAS-Attention'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'FLAT'"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(SchedulerRegistry::Instance().Resolve("typo"), Error);
+}
+
+TEST(SchedulerRegistryTest, MethodNameRoutesThroughTheRegistry) {
+  EXPECT_STREQ(MethodName(Method::kFlat), "FLAT");
+  EXPECT_STREQ(MethodName(Method::kMasNoOverwrite), "MAS (no overwrite)");
+  // Unregistered ids degrade to the legacy placeholder instead of throwing.
+  EXPECT_STREQ(MethodName(static_cast<Method>(1234)), "?");
+  // Returned pointers are stable across calls (deque-backed storage).
+  EXPECT_EQ(MethodName(Method::kMas), MethodName(Method::kMas));
+}
+
+TEST(SchedulerRegistryTest, ParseMethodListResolvesThroughRegistry) {
+  EXPECT_EQ(ParseMethodList("all"), AllMethods());
+  const auto picked = ParseMethodList("FLAT,MAS-Attention,MAS (no overwrite)");
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0], Method::kFlat);
+  EXPECT_EQ(picked[1], Method::kMas);
+  EXPECT_EQ(picked[2], Method::kMasNoOverwrite);
+  EXPECT_THROW(ParseMethodList("FLAT,bogus"), Error);
+  EXPECT_THROW(ParseMethodList(""), Error);
+}
+
+TEST(SchedulerRegistryTest, RejectsDuplicateRegistrations) {
+  // Force the built-in registrations first: Register() itself deliberately
+  // does not (the built-ins register *through* it).
+  ASSERT_NE(SchedulerRegistry::Instance().Find("FLAT"), nullptr);
+  EXPECT_THROW(SchedulerRegistry::Instance().Register(
+                   SchedulerInfo{"FLAT", 2, false, "dup", Method::kFlat},
+                   [] { return SchedulerRegistry::Instance().Create("FLAT"); }),
+               Error);
+}
+
+TEST(StrategyRegistryTest, AllThreeStrategiesResolveByName) {
+  for (const char* name : {"grid", "ga", "mcts"}) {
+    const search::StrategyInfo* info = search::StrategyRegistry::Instance().Find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    const search::Strategy& strategy = search::StrategyRegistry::Instance().Get(name);
+    EXPECT_EQ(strategy.info().name, name);
+    // Singleton instances: repeated lookups return the same object.
+    EXPECT_EQ(&strategy, &search::StrategyRegistry::Instance().Get(name));
+  }
+  std::set<std::string> names;
+  for (const auto& info : search::StrategyRegistry::Instance().List()) {
+    names.insert(info.name);
+  }
+  EXPECT_TRUE(names.count("grid"));
+  EXPECT_TRUE(names.count("ga"));
+  EXPECT_TRUE(names.count("mcts"));
+}
+
+TEST(StrategyRegistryTest, UnknownStrategyErrorListsTheAvailableSet) {
+  try {
+    search::StrategyRegistry::Instance().Get("annealing");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown search strategy 'annealing'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'grid'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'mcts'"), std::string::npos) << msg;
+  }
+}
+
+TEST(StrategyRegistryTest, RunSearchMatchesCompatWrappers) {
+  // The compat free functions and the registry path must be byte-identical.
+  const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
+  const AttentionShape shape{"tiny", 1, 2, 64, 16};
+  const sim::HardwareConfig hw = sim::EdgeSimConfig();
+  const sim::EnergyModel em;
+
+  {
+    search::TilingProblem a(*mas, shape, hw, em);
+    search::TilingProblem b(*mas, shape, hw, em);
+    search::GridOptions opts;
+    opts.coarse = true;
+    const auto wrapped = search::GridSearch(a, opts);
+    const auto direct = search::RunSearch(b, search::SearchSpec::AutoTileDefault());
+    EXPECT_EQ(wrapped.best, direct.best);
+    EXPECT_EQ(wrapped.best_cycles, direct.best_cycles);
+    EXPECT_EQ(wrapped.evaluations, direct.evaluations);
+    ASSERT_EQ(wrapped.trace.size(), direct.trace.size());
+  }
+  {
+    search::TilingProblem a(*mas, shape, hw, em);
+    search::TilingProblem b(*mas, shape, hw, em);
+    search::MctsOptions opts;
+    opts.iterations = 64;
+    opts.seed = 5;
+    const auto wrapped = search::MctsSearch(a, opts);
+    search::SearchSpec spec;
+    spec.strategy = "mcts";
+    spec.iterations = 64;
+    spec.seed = 5;
+    const auto direct = search::RunSearch(b, spec);
+    EXPECT_EQ(wrapped.best, direct.best);
+    EXPECT_EQ(wrapped.best_cycles, direct.best_cycles);
+    EXPECT_EQ(wrapped.evaluations, direct.evaluations);
+  }
+}
+
+// The dangling-reference regression for the satellite fix: TilingProblem must
+// keep working after the HardwareConfig and EnergyModel temporaries passed to
+// its constructor die.
+TEST(TilingProblemLifetime, SurvivesTemporaryHardwareAndEnergyConfigs) {
+  const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
+  const AttentionShape shape{"tiny", 1, 2, 64, 16};
+  auto make_problem = [&] {
+    // Both configs are temporaries scoped to this lambda.
+    return std::make_unique<search::TilingProblem>(*mas, shape, sim::EdgeSimConfig(),
+                                                   sim::EnergyModel{});
+  };
+  auto problem = make_problem();
+  search::TilingProblem stable(*mas, shape, sim::EdgeSimConfig(), sim::EnergyModel{});
+  const TilingConfig tiling{1, 1, 16, 16};
+  EXPECT_TRUE(problem->Feasible(tiling));
+  EXPECT_EQ(problem->Evaluate(tiling), stable.Evaluate(tiling));
+}
+
+}  // namespace
+}  // namespace mas

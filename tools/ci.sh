@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Local CI replica: configure, build, test, and smoke-run a tiny sweep plus
-# the engine microbenchmark (Release is the default build type).
+# Local CI replica: configure, build, test, and smoke-run a tiny sweep, the
+# plan-cache determinism check, and the engine microbenchmark (Release is the
+# default build type), then a Debug ASan/UBSan pass over the registry/planner
+# surface.
 # Usage: tools/ci.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -19,9 +21,36 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     --jobs=8 --format=json > "$BUILD_DIR/smoke_jobs8.json"
 cmp "$BUILD_DIR/smoke_jobs1.json" "$BUILD_DIR/smoke_jobs8.json"
 
+# Plan-cache determinism: the cold run tunes and persists plans; the warm run
+# must perform ZERO search evaluations and emit byte-identical report JSON,
+# and re-saving the loaded plans must leave the cache file byte-identical.
+rm -f "$BUILD_DIR/smoke_plans.json"
+"$BUILD_DIR/mas_run" --methods=MAS-Attention,FLAT --seq=64,128 --heads=2 --embed=16 \
+    --plan-cache="$BUILD_DIR/smoke_plans.json" --format=json \
+    > "$BUILD_DIR/smoke_plan_cold.json" 2> "$BUILD_DIR/smoke_plan_cold.err"
+cp "$BUILD_DIR/smoke_plans.json" "$BUILD_DIR/smoke_plans_cold.json"
+"$BUILD_DIR/mas_run" --methods=MAS-Attention,FLAT --seq=64,128 --heads=2 --embed=16 \
+    --plan-cache="$BUILD_DIR/smoke_plans.json" --format=json \
+    > "$BUILD_DIR/smoke_plan_warm.json" 2> "$BUILD_DIR/smoke_plan_warm.err"
+cmp "$BUILD_DIR/smoke_plan_cold.json" "$BUILD_DIR/smoke_plan_warm.json"
+cmp "$BUILD_DIR/smoke_plans_cold.json" "$BUILD_DIR/smoke_plans.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/smoke_plan_warm.err"
+
 # Engine perf trajectory: the quick seed-path vs event-engine comparison also
 # asserts byte-identical outputs across engines and thread counts. No timing
 # thresholds — BENCH_engine.json just records the numbers per commit.
 "$BUILD_DIR/bench_engine_micro" --quick --jobs=8 --out="$BUILD_DIR/BENCH_engine.json"
 
-echo "ci: build + tests + sweep smoke + engine bench OK"
+# Debug + ASan/UBSan pass over the new public surface (registry, strategies,
+# JSON reader, planner). Builds only the targets it runs to keep the job
+# bounded; the golden planner sweep stays in the Release ctest above.
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DMAS_SANITIZE=ON \
+    -DMAS_BUILD_BENCHES=OFF -DMAS_BUILD_EXAMPLES=OFF
+cmake --build "$SAN_DIR" -j "$JOBS" \
+    --target test_registry test_json_reader test_planner
+"$SAN_DIR/test_registry"
+"$SAN_DIR/test_json_reader"
+"$SAN_DIR/test_planner"
+
+echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + asan OK"

@@ -1,23 +1,39 @@
 // mas_run: simulate attention schedulers from the command line.
 //
 // Single points and declarative sweeps share one path: flags build a
-// runner::SweepGrid, the thread-pooled runner::SweepRunner evaluates it, and
-// the aggregated report is printed as a table or JSON. Identical grids print
-// identical output for any --jobs value.
+// runner::SweepGrid, the thread-pooled, Planner-backed runner::SweepRunner
+// evaluates it, and the aggregated report is printed as a table or JSON.
+// Identical grids print identical output for any --jobs value.
+//
+// Discovery flags are registry-driven: --list-methods walks the
+// SchedulerRegistry (names, paper order, ablation flag), --list-networks the
+// Table-1 catalog, and unknown names in --methods/--network/--strategy fail
+// with the available set.
+//
+// Tuned tilings are durable artifacts: --plan-cache=FILE loads the plan
+// store before the sweep and saves it after, so a second invocation
+// warm-starts with zero search evaluations while printing byte-identical
+// reports.
 //
 // Examples:
 //   # one Table-1 network, every method, tuned tilings, text table
 //   $ mas_run --network "BERT-Base & T5-Base"
 //
 //   # custom shape (B,H,N,E[,Nkv]) with an explicit tiling, JSON output
-//   $ mas_run --shape 1,12,512,64 --methods MAS-Attention \
-//             --tiling 1,1,64,512 --format json
+//   $ mas_run --shape 1,12,512,64 --methods MAS-Attention
+//             --tiling 1,1,64,512 --format json           (one line)
 //
-//   # sweep: all methods x N in {128,256,...,4096} on 8 worker threads
+//   # sweep: all methods x N in {128,256,...,4096} on 8 worker threads,
+//   #        persisting the tuned tilings
 //   $ mas_run --methods=all --seq=128:4096:*2 --jobs=8 --summary
+//             --plan-cache=plans.json                     (one line)
 //
 //   # cross-attention decode step on the NPU preset with a tighter L1
 //   $ mas_run --shape 1,32,1,128,4096 --hw npu --l1-mb 2
+//
+//   # what can I run?
+//   $ mas_run --list-methods
+//   $ mas_run --list-networks
 //
 //   # export the MAS schedule timeline for chrome://tracing
 //   $ mas_run --network BERT-Small --methods MAS-Attention --trace /tmp/mas
@@ -29,8 +45,11 @@
 #include "cli/args.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
+#include "planner/planner.h"
 #include "runner/sweep_runner.h"
+#include "schedulers/registry.h"
 #include "schedulers/scheduler.h"
+#include "search/strategy.h"
 #include "sim/hardware_config.h"
 #include "trace/trace.h"
 
@@ -59,7 +78,31 @@ AttentionShape ShapeFromFlag(const std::string& text) {
 }
 
 std::vector<Method> MethodsFromFlag(const std::string& text) {
-  return ParseMethodList(text);  // shared with the benches (scheduler.h)
+  return ParseMethodList(text);  // registry-backed (schedulers/registry.h)
+}
+
+void PrintMethods() {
+  TextTable table({"Method", "paper column", "ablation", "summary"});
+  for (const SchedulerInfo& info : SchedulerRegistry::Instance().List()) {
+    table.AddRow({info.name,
+                  info.paper_column >= 0 ? std::to_string(info.paper_column) : "-",
+                  info.is_ablation ? "yes" : "no", info.summary});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nSearch strategies (--strategy):\n";
+  for (const search::StrategyInfo& info : search::StrategyRegistry::Instance().List()) {
+    std::cout << "  " << info.name << " — " << info.summary << "\n";
+  }
+}
+
+void PrintNetworks() {
+  TextTable table({"Network", "B", "H", "N", "E", "hidden"});
+  for (const NetworkWorkload& net : Table1Networks()) {
+    table.AddRow({net.name, std::to_string(net.shape.batch), std::to_string(net.shape.heads),
+                  std::to_string(net.shape.seq_len), std::to_string(net.shape.embed),
+                  std::to_string(net.hidden)});
+  }
+  std::cout << table.ToString();
 }
 
 }  // namespace
@@ -75,6 +118,10 @@ int main(int argc, char** argv) {
       "methods", "all", "comma-separated method names, or 'all'");
   const std::string* method_alias =
       parser.AddString("method", "", "alias for --methods (kept for compatibility)");
+  const bool* list_methods = parser.AddBool(
+      "list-methods", false, "list the registered methods and search strategies, then exit");
+  const bool* list_networks =
+      parser.AddBool("list-networks", false, "list the Table-1 networks, then exit");
   const std::string* seq_flag = parser.AddString(
       "seq", "",
       "sweep query sequence lengths: N | a,b,c | start:end[:*k|:+k] (enables sweep mode)");
@@ -90,6 +137,16 @@ int main(int argc, char** argv) {
       parser.AddDouble("bandwidth-gbs", 0.0, "override DRAM bandwidth (GB/s)");
   const std::string* tiling_flag =
       parser.AddString("tiling", "", "fixed tiling Bb,Hh,Nq,Nkv (default: autotune)");
+  const std::string* strategy_flag = parser.AddString(
+      "strategy", "auto",
+      "tiling search strategy: auto (coarse grid) | grid | ga | mcts");
+  const std::int64_t* budget =
+      parser.AddInt("search-budget", 0, "override the search evaluation budget (0 = default)");
+  const std::int64_t* seed =
+      parser.AddInt("search-seed", 0, "override the search rng seed (0 = default)");
+  const std::string* plan_cache = parser.AddString(
+      "plan-cache", "",
+      "persist tuned tilings: load plans from FILE before the sweep, save after");
   const std::string* format = parser.AddString("format", "table", "output: table | json");
   const bool* summary = parser.AddBool(
       "summary", false, "also print the cross-method speedup table (table format)");
@@ -98,6 +155,15 @@ int main(int argc, char** argv) {
 
   try {
     if (!parser.Parse(argc, argv)) return 0;
+
+    if (*list_methods) {
+      PrintMethods();
+      return 0;
+    }
+    if (*list_networks) {
+      PrintNetworks();
+      return 0;
+    }
 
     sim::HardwareConfig hw =
         *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
@@ -138,9 +204,30 @@ int main(int argc, char** argv) {
       grid.tiling = TilingConfig{v[0], v[1], v[2], v[3]};
     }
 
+    // The planner's search spec: "auto" is the AutoTile coarse grid (the
+    // default offline-tuned configuration); any registered strategy name
+    // selects that strategy at full fidelity.
+    PlannerOptions planner_options;
+    if (*strategy_flag != "auto") {
+      // Validates the name against the registry (throws listing options).
+      (void)search::StrategyRegistry::Instance().Get(*strategy_flag);
+      planner_options.spec = search::SearchSpec{};
+      planner_options.spec.strategy = *strategy_flag;
+    }
+    if (*budget > 0) planner_options.spec.budget = *budget;
+    if (*seed > 0) planner_options.spec.seed = static_cast<std::uint64_t>(*seed);
+
     runner::SweepOptions options;
     options.jobs = static_cast<int>(*jobs);
-    runner::SweepRunner sweep_runner(options);
+    runner::SweepRunner sweep_runner(options, sim::EnergyModel{}, planner_options);
+
+    std::size_t plans_loaded = 0;
+    if (!plan_cache->empty()) {
+      if (sweep_runner.planner().store().LoadFile(*plan_cache)) {
+        plans_loaded = sweep_runner.planner().store().size();
+      }
+    }
+
     const runner::SweepReport report = sweep_runner.Run(grid);
 
     if (*format == "json") {
@@ -163,6 +250,18 @@ int main(int argc, char** argv) {
                  static_cast<long long>(report.stats.cache_hits),
                  static_cast<long long>(report.stats.failed_jobs),
                  static_cast<long long>(*jobs), report.stats.wall_seconds);
+    if (!plan_cache->empty()) {
+      sweep_runner.planner().store().SaveFile(*plan_cache);
+      std::fprintf(stderr,
+                   "plan-cache: loaded %lld plans, reused %lld, tuned %lld "
+                   "(%lld search evaluations), saved %lld -> %s\n",
+                   static_cast<long long>(plans_loaded),
+                   static_cast<long long>(report.stats.plans_reused),
+                   static_cast<long long>(sweep_runner.planner().plans_tuned()),
+                   static_cast<long long>(report.stats.search_evaluations),
+                   static_cast<long long>(sweep_runner.planner().store().size()),
+                   plan_cache->c_str());
+    }
 
     if (!trace_prefix->empty()) {
       MAS_CHECK(report.results.size() == 1)
