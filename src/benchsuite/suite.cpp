@@ -1,0 +1,176 @@
+#include "benchsuite/suite.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::bench {
+
+namespace {
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+SuiteContext::SuiteContext(int jobs, std::ostream& out, std::int64_t search_budget)
+    : edge_hw_(sim::EdgeSimConfig()),
+      npu_hw_(sim::DavinciNpuConfig()),
+      jobs_(ResolveJobs(jobs)),
+      search_budget_(search_budget),
+      out_(out),
+      runner_(runner::SweepOptions{/*jobs=*/ResolveJobs(jobs), /*cache=*/true}) {}
+
+SuiteRegistry& SuiteRegistry::Instance() {
+  static SuiteRegistry* registry = new SuiteRegistry();  // never destroyed
+  return *registry;
+}
+
+void SuiteRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [] {
+    // Each hook lives in its suites' translation unit; calling them here
+    // (rather than relying on static initializers) guarantees the archive
+    // members are linked and the catalog is complete before the first
+    // lookup. Registration order is the --list / --all order: the paper's
+    // tables, figures, ablations, then the extension studies.
+    RegisterComparisonSuites();
+    RegisterTimelineSuites();
+    RegisterSearchSuites();
+    RegisterAblationSuites();
+    RegisterExtensionSuites();
+  });
+}
+
+void SuiteRegistry::Register(std::unique_ptr<BenchSuite> suite) {
+  MAS_CHECK(suite != nullptr) << "null suite registration";
+  const SuiteInfo& info = suite->info();
+  MAS_CHECK(!info.name.empty()) << "suite registration needs a name";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : suites_) {
+    MAS_CHECK(existing->info().name != info.name)
+        << "suite name '" << info.name << "' registered twice";
+  }
+  suites_.push_back(std::move(suite));
+}
+
+const BenchSuite* SuiteRegistry::FindSuiteLocked(const std::string& name) const {
+  for (const auto& suite : suites_) {
+    if (suite->info().name == name) return suite.get();
+  }
+  return nullptr;
+}
+
+const BenchSuite& SuiteRegistry::Get(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const BenchSuite* suite = FindSuiteLocked(name);
+  if (suite == nullptr) {
+    MAS_FAIL() << "unknown suite '" << name << "'; options: all, " << AvailableNamesLocked();
+  }
+  return *suite;
+}
+
+const SuiteInfo* SuiteRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const BenchSuite* suite = FindSuiteLocked(name);
+  return suite == nullptr ? nullptr : &suite->info();
+}
+
+std::vector<SuiteInfo> SuiteRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SuiteInfo> out;
+  for (const auto& suite : suites_) out.push_back(suite->info());
+  return out;
+}
+
+std::string SuiteRegistry::AvailableNamesLocked() const {
+  std::string names;
+  for (const auto& suite : suites_) {
+    if (!names.empty()) names += ", ";
+    names += "'" + suite->info().name + "'";
+  }
+  return names;
+}
+
+std::string SuiteRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  return AvailableNamesLocked();
+}
+
+std::vector<const BenchSuite*> SuiteRegistry::Resolve(const std::string& list) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const BenchSuite*> selected;
+  if (list == "all") {
+    for (const auto& suite : suites_) selected.push_back(suite.get());
+    return selected;
+  }
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const BenchSuite* suite = FindSuiteLocked(name);
+    if (suite == nullptr) {
+      MAS_FAIL() << "unknown suite '" << name << "'; options: all, " << AvailableNamesLocked();
+    }
+    selected.push_back(suite);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  MAS_CHECK(!selected.empty()) << "empty suite selection";
+  return selected;
+}
+
+std::vector<report::NetworkComparison> RunTable1Comparison(SuiteContext& ctx,
+                                                           const sim::HardwareConfig& hw) {
+  return report::RunComparison(Table1Networks(), hw, ctx.runner());
+}
+
+void WriteComparisonJson(JsonWriter& json, const std::vector<report::NetworkComparison>& cmps) {
+  json.BeginArray("rows");
+  for (const auto& cmp : cmps) {
+    for (const auto& run : cmp.runs) {
+      const sim::SimResult& r = run.sim;
+      json.BeginObject();
+      json.KeyValue("network", cmp.network.name);
+      json.KeyValue("method", std::string(MethodName(run.method)));
+      json.KeyValue("tiling", run.tiling.ToString());
+      json.KeyValue("cycles", static_cast<std::int64_t>(r.cycles));
+      json.KeyValue("dram_pj", r.energy.dram_pj);
+      json.KeyValue("l1_pj", r.energy.l1_pj);
+      json.KeyValue("l0_pj", r.energy.l0_pj);
+      json.KeyValue("mac_pe_pj", r.energy.mac_pe_pj);
+      json.KeyValue("vec_pe_pj", r.energy.vec_pe_pj);
+      json.KeyValue("total_pj", r.energy.total_pj());
+      json.KeyValue("dram_read_bytes", r.dram_read_bytes);
+      json.KeyValue("dram_write_bytes", r.dram_write_bytes);
+      json.KeyValue("mac_utilization", r.MacUtilization());
+      json.KeyValue("overwrite_events", r.overwrite_events);
+      json.KeyValue("reload_bytes", r.reload_bytes);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+}
+
+void WriteBaselineGeomeans(JsonWriter& json, const std::string& key,
+                           const std::vector<report::NetworkComparison>& cmps,
+                           double (*metric)(const std::vector<report::NetworkComparison>&,
+                                            Method)) {
+  json.BeginObject(key);
+  for (Method m : AllMethods()) {
+    if (m == Method::kMas) continue;
+    json.KeyValue(std::string(MethodName(m)), metric(cmps, m));
+  }
+  json.EndObject();
+}
+
+}  // namespace mas::bench

@@ -1,0 +1,388 @@
+// Ablation suites (DESIGN.md): multi-tiered tiling, the proactive
+// overwrite, DRAM bandwidth sensitivity, and core-count scaling. Tuned
+// baselines resolve through the shared Planner; the hardware sweeps ride the
+// SweepRunner grid (multiple hardware variants, deterministic order).
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "schedulers/registry.h"
+#include "search/tiling_search.h"
+
+namespace mas::bench {
+
+namespace {
+
+// ------------------------------------------------------- ablation_tiling
+// §4.2's multi-tiered tiling: sweep N_Q and N_KV independently around the
+// tuned MAS baseline on BERT-Base, plus the forced-uniform comparison.
+class AblationTilingSuite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "ablation_tiling", "§4.2 ablation",
+        "multi-tiered tiling: independent N_Q / N_KV sweeps around the tuned MAS point"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::HardwareConfig& hw = ctx.edge_hw();
+    const sim::EnergyModel& em = ctx.energy_model();
+    const AttentionShape shape = FindNetwork("BERT-Base & T5-Base").shape;
+    const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
+    const TilingConfig tuned =
+        ctx.planner().Plan(shape, "MAS-Attention", hw, TilingPolicy::kPaperProtocol).tiling;
+
+    out << "=== Ablation: multi-tiered tiling (" << shape.ToString() << ") ===\n";
+    out << "Tuned baseline: " << tuned.ToString() << "\n\n";
+    json.KeyValue("hardware", hw.name);
+    json.KeyValue("workload", shape.ToString());
+    json.KeyValue("tuned_tiling", tuned.ToString());
+
+    out << "--- Sweep N_Q (pipeline/softmax row granularity), others tuned ---\n";
+    TextTable nq_table({"N_Q", "row blocks", "Mcycles", "MAC util", "overwrites", "peak L1 KB"});
+    json.BeginArray("nq_sweep");
+    for (std::int64_t nq : {8, 16, 32, 64, 128, 256, 512}) {
+      TilingConfig t = tuned;
+      t.nq = nq;
+      if (!mas->Fits(shape, t, hw)) {
+        nq_table.AddRow({std::to_string(nq), "-", "does not fit", "-", "-", "-"});
+        continue;
+      }
+      const auto r = mas->Simulate(shape, t, hw, em);
+      nq_table.AddRow({std::to_string(nq), std::to_string(t.RowBlocks(shape)),
+                       FormatFixed(r.cycles / 1e6, 3), FormatPercent(r.MacUtilization()),
+                       std::to_string(r.overwrite_events),
+                       FormatFixed(r.peak_l1_bytes / 1024.0, 0)});
+      json.BeginObject();
+      json.KeyValue("nq", nq);
+      json.KeyValue("cycles", static_cast<std::int64_t>(r.cycles));
+      json.KeyValue("mac_utilization", r.MacUtilization());
+      json.KeyValue("overwrite_events", r.overwrite_events);
+      json.KeyValue("peak_l1_bytes", r.peak_l1_bytes);
+      json.EndObject();
+    }
+    json.EndArray();
+    out << nq_table.ToString() << "\n";
+
+    out << "--- Sweep N_KV (MatMul sub-matrix granularity), others tuned ---\n";
+    TextTable nkv_table({"N_KV", "kv blocks", "Mcycles", "MAC util", "peak L1 KB"});
+    json.BeginArray("nkv_sweep");
+    for (std::int64_t nkv : {16, 32, 64, 128, 256, 512}) {
+      TilingConfig t = tuned;
+      t.nkv = nkv;
+      if (!mas->Fits(shape, t, hw)) {
+        nkv_table.AddRow({std::to_string(nkv), "-", "does not fit", "-", "-"});
+        continue;
+      }
+      const auto r = mas->Simulate(shape, t, hw, em);
+      nkv_table.AddRow({std::to_string(nkv), std::to_string(t.KvBlocks(shape)),
+                        FormatFixed(r.cycles / 1e6, 3), FormatPercent(r.MacUtilization()),
+                        FormatFixed(r.peak_l1_bytes / 1024.0, 0)});
+      json.BeginObject();
+      json.KeyValue("nkv", nkv);
+      json.KeyValue("cycles", static_cast<std::int64_t>(r.cycles));
+      json.KeyValue("mac_utilization", r.MacUtilization());
+      json.KeyValue("peak_l1_bytes", r.peak_l1_bytes);
+      json.EndObject();
+    }
+    json.EndArray();
+    out << nkv_table.ToString() << "\n";
+
+    out << "--- Uniform tiling (N_Q = N_KV forced equal) vs multi-tiered ---\n";
+    TextTable uni({"variant", "tiling", "Mcycles"});
+    const auto tuned_r = mas->Simulate(shape, tuned, hw, em);
+    uni.AddRow({"multi-tiered (tuned)", tuned.ToString(), FormatFixed(tuned_r.cycles / 1e6, 3)});
+    double best_uniform = 0.0;
+    TilingConfig best_uniform_t = tuned;
+    bool uniform_found = false;
+    for (std::int64_t n : {32, 64, 128, 256, 512}) {
+      TilingConfig t = tuned;
+      t.nq = n;
+      t.nkv = n;
+      if (!mas->Fits(shape, t, hw)) continue;
+      const auto r = mas->Simulate(shape, t, hw, em);
+      if (!uniform_found || static_cast<double>(r.cycles) < best_uniform) {
+        best_uniform = static_cast<double>(r.cycles);
+        best_uniform_t = t;
+        uniform_found = true;
+      }
+    }
+    if (uniform_found) {
+      uni.AddRow(
+          {"best uniform", best_uniform_t.ToString(), FormatFixed(best_uniform / 1e6, 3)});
+    } else {
+      uni.AddRow({"best uniform", "none fits", "-"});
+    }
+    out << uni.ToString() << "\n";
+    json.KeyValue("tuned_cycles", static_cast<std::int64_t>(tuned_r.cycles));
+    json.KeyValue("uniform_tiling_found", uniform_found);
+    if (uniform_found) {
+      json.KeyValue("best_uniform_tiling", best_uniform_t.ToString());
+      json.KeyValue("best_uniform_cycles", best_uniform);
+    }
+  }
+};
+
+// ---------------------------------------------------- ablation_overwrite
+// The §4.3 proactive overwrite's value: fixed pressured tiling with the
+// overwrite on vs off (MAS (no overwrite) ablation scheduler), and tuned
+// MAS vs the best tiling that never triggers the overwrite.
+class AblationOverwriteSuite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "ablation_overwrite", "§4.3 ablation",
+        "proactive overwrite on/off under L1 pressure + best overwrite-free tiling"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::EnergyModel& em = ctx.energy_model();
+    sim::HardwareConfig hw = ctx.edge_hw();
+    hw.cores.resize(1);
+    hw.l1_bytes = 1 * 1024 * 1024;  // pressure: 1 MB budget
+
+    const AttentionShape shape{"longseq", 1, 2, 2048, 64};
+    const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
+
+    out << "=== Ablation: proactive overwrite strategy (" << shape.ToString()
+        << ", 1 MB L1, 1 core) ===\n\n";
+    json.KeyValue("workload", shape.ToString());
+    json.KeyValue("l1_bytes", hw.l1_bytes);
+
+    TextTable table({"Variant", "tiling", "Mcycles", "overwrites", "reload KB",
+                     "DRAM reads MB", "energy GpJ"});
+    json.BeginArray("rows");
+    auto add = [&](const std::string& name, const TilingConfig& t, const sim::SimResult& r) {
+      table.AddRow({name, t.ToString(), FormatFixed(r.cycles / 1e6, 3),
+                    std::to_string(r.overwrite_events), FormatFixed(r.reload_bytes / 1024.0, 1),
+                    FormatFixed(r.dram_read_bytes / (1024.0 * 1024.0), 2),
+                    FormatFixed(r.energy.total_pj() / 1e9, 3)});
+      json.BeginObject();
+      json.KeyValue("variant", name);
+      json.KeyValue("tiling", t.ToString());
+      json.KeyValue("cycles", static_cast<std::int64_t>(r.cycles));
+      json.KeyValue("overwrite_events", r.overwrite_events);
+      json.KeyValue("reload_bytes", r.reload_bytes);
+      json.KeyValue("dram_read_bytes", r.dram_read_bytes);
+      json.KeyValue("total_pj", r.energy.total_pj());
+      json.EndObject();
+    };
+
+    // --- View 1: fixed pressured tiling (strips of 96 rows x 2048 cols). ---
+    const TilingConfig pressured{1, 1, 96, 256};
+    const auto with_plan = ctx.planner().PlanFixed(shape, "MAS-Attention", hw, pressured);
+    const auto no_ow_plan = ctx.planner().PlanFixed(shape, "MAS (no overwrite)", hw, pressured);
+    const auto with_fixed = ctx.planner().Simulate(with_plan, hw);
+    const auto without_fixed = ctx.planner().Simulate(no_ow_plan, hw);
+    add("MAS + overwrite, pressured tiling", pressured, with_fixed);
+    add("MAS - overwrite (stalls), same tiling", pressured, without_fixed);
+
+    // --- View 2: searched; overwrite-allowed vs quiet-only tilings. ---
+    const TilingConfig tuned =
+        ctx.planner().Plan(shape, "MAS-Attention", hw, TilingPolicy::kPaperProtocol).tiling;
+    const auto with_tuned = mas->Simulate(shape, tuned, hw, em);
+    search::TilingProblem problem(*mas, shape, hw, em);
+    TilingConfig best_quiet = tuned;
+    double best_quiet_cycles = 0.0;
+    bool quiet_found = false;
+    std::int64_t quiet_evals = 0;
+    for (std::int64_t hh : problem.hh_candidates()) {
+      for (std::int64_t nq : problem.nq_candidates()) {
+        for (std::int64_t nkv : problem.nkv_candidates()) {
+          const TilingConfig t{1, hh, nq, nkv};
+          if (!problem.Feasible(t)) continue;
+          const auto r = mas->Simulate(shape, t, hw, em);
+          ++quiet_evals;
+          if (r.overwrite_events == 0 &&
+              (!quiet_found || static_cast<double>(r.cycles) < best_quiet_cycles)) {
+            best_quiet_cycles = static_cast<double>(r.cycles);
+            best_quiet = t;
+            quiet_found = true;
+          }
+        }
+      }
+    }
+    ctx.AddSearchEvaluations(quiet_evals);
+    add("MAS + overwrite (tuned)", tuned, with_tuned);
+    sim::SimResult quiet;
+    if (quiet_found) {
+      quiet = mas->Simulate(shape, best_quiet, hw, em);
+      add("MAS, best overwrite-free tiling", best_quiet, quiet);
+    } else {
+      table.AddRow({"MAS, best overwrite-free tiling", "none feasible", "-", "-", "-", "-",
+                    "-"});
+    }
+    json.EndArray();
+    out << table.ToString() << "\n";
+
+    const double stall_penalty =
+        static_cast<double>(without_fixed.cycles) / static_cast<double>(with_fixed.cycles);
+    json.KeyValue("stall_penalty", stall_penalty);
+    json.KeyValue("quiet_tiling_found", quiet_found);
+    out << "On the pressured tiling, disabling the overwrite costs "
+        << FormatSpeedup(stall_penalty)
+        << " (the pipeline drains sequentially); the overwrite keeps the overlap\n";
+    out << "at the price of " << FormatFixed(with_fixed.reload_bytes / 1024.0, 1)
+        << " KB of K/V reloads — the paper's \"unnoticeable\" extra reads.\n";
+    if (!quiet_found) {
+      out << "Searched view: NO overwrite-free tiling is feasible here — every feasible\n"
+          << "configuration needs the proactive overwrite to keep the pipeline going.\n";
+    } else {
+      json.KeyValue("overwrite_tuned_wins", with_tuned.cycles <= quiet.cycles);
+      if (with_tuned.cycles <= quiet.cycles) {
+        out << "Searched view: the overwrite-allowed optimum matches or beats the best\n"
+            << "overwrite-free tiling (search can also sidestep pressure here).\n";
+      } else {
+        out << "Searched view: quiet tilings win on this configuration — the search\n"
+            << "avoids pressure outright, as the paper's offline tuner also would.\n";
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------- ablation_bandwidth
+// DRAM bandwidth sensitivity: where each dataflow crosses from memory-bound
+// to compute-bound. Rides one SweepRunner grid over five bandwidth variants.
+class AblationBandwidthSuite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "ablation_bandwidth", "DESIGN.md ablation",
+        "DRAM bandwidth sweep: memory-bound vs compute-bound crossover per dataflow"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const AttentionShape shape = FindNetwork("BERT-Base & T5-Base").shape;
+    const std::vector<double> bandwidths = {7.5, 15.0, 30.0, 60.0, 120.0};
+    const std::vector<Method> methods = {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
+                                         Method::kMas};
+
+    out << "=== Ablation: DRAM bandwidth sweep (" << shape.ToString() << ") ===\n\n";
+    json.KeyValue("workload", shape.ToString());
+
+    runner::SweepGrid grid;
+    grid.shapes = {shape};
+    grid.methods = methods;
+    for (double bw : bandwidths) {
+      sim::HardwareConfig hw = ctx.edge_hw();
+      hw.dram_gb_per_s = bw;
+      grid.hardware.push_back(hw);
+    }
+    const runner::SweepReport sweep = ctx.runner().Run(grid);
+
+    TextTable table({"BW GB/s", "Layer-Wise Mcyc", "Soft-Pipe Mcyc", "FLAT Mcyc", "MAS Mcyc",
+                     "MAS vs FLAT", "MAS vs Layer-Wise"});
+    json.BeginArray("rows");
+    // Grid order: hardware-major (single shape), methods innermost.
+    for (std::size_t b = 0; b < bandwidths.size(); ++b) {
+      std::vector<double> cycles;
+      json.BeginObject();
+      json.KeyValue("dram_gb_per_s", bandwidths[b]);
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const runner::JobResult& r = sweep.results[b * methods.size() + m];
+        MAS_CHECK(r.ok()) << "bandwidth sweep failed: " << r.error;
+        cycles.push_back(static_cast<double>(r.sim.cycles));
+        json.KeyValue(std::string(MethodName(methods[m])) + "_cycles",
+                      static_cast<std::int64_t>(r.sim.cycles));
+      }
+      json.EndObject();
+      table.AddRow({FormatFixed(bandwidths[b], 1), FormatFixed(cycles[0] / 1e6, 3),
+                    FormatFixed(cycles[1] / 1e6, 3), FormatFixed(cycles[2] / 1e6, 3),
+                    FormatFixed(cycles[3] / 1e6, 3), FormatSpeedup(cycles[2] / cycles[3]),
+                    FormatSpeedup(cycles[0] / cycles[3])});
+    }
+    json.EndArray();
+    out << table.ToString() << "\n";
+    out << "Fused methods saturate early (compute-bound); unfused baselines chase\n";
+    out << "bandwidth, so MAS's advantage over Layer-Wise shrinks as BW grows while\n";
+    out << "its advantage over FLAT (MAC/VEC overlap) persists at every bandwidth.\n";
+  }
+};
+
+// -------------------------------------------------------- ablation_cores
+// Core-count scaling at fixed L1/bandwidth: does the MAS-vs-FLAT gap
+// survive more parallelism, and where does the shared DRAM bus saturate?
+class AblationCoresSuite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "ablation_cores", "DESIGN.md ablation",
+        "core-count scaling: MAS-vs-FLAT gap and shared-DRAM saturation"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const AttentionShape shape = FindNetwork("BERT-Base & T5-Base").shape;
+    const std::vector<int> core_counts = {1, 2, 4, 8};
+    const std::vector<Method> methods = {Method::kFlat, Method::kMas};
+
+    out << "=== Ablation: core-count scaling (" << shape.ToString() << ") ===\n\n";
+    json.KeyValue("workload", shape.ToString());
+
+    runner::SweepGrid grid;
+    grid.shapes = {shape};
+    grid.methods = methods;
+    for (int cores : core_counts) {
+      sim::HardwareConfig hw = ctx.edge_hw();
+      const sim::CoreConfig proto = hw.cores.front();
+      hw.cores.assign(static_cast<std::size_t>(cores), proto);
+      grid.hardware.push_back(hw);
+    }
+    const runner::SweepReport sweep = ctx.runner().Run(grid);
+
+    TextTable table({"cores", "FLAT Mcyc", "MAS Mcyc", "MAS vs FLAT", "MAS scaling vs 1 core",
+                     "MAS DMA busy %"});
+    json.BeginArray("rows");
+    double mas_1core = 0.0;
+    for (std::size_t c = 0; c < core_counts.size(); ++c) {
+      const runner::JobResult& flat_r = sweep.results[c * methods.size() + 0];
+      const runner::JobResult& mas_r = sweep.results[c * methods.size() + 1];
+      MAS_CHECK(flat_r.ok() && mas_r.ok()) << "core sweep failed";
+      if (core_counts[c] == 1) mas_1core = static_cast<double>(mas_r.sim.cycles);
+      const double dma_busy =
+          static_cast<double>(mas_r.sim.BusyCycles(sim::ResourceKind::kDma)) /
+          static_cast<double>(mas_r.sim.cycles);
+      table.AddRow(
+          {std::to_string(core_counts[c]), FormatFixed(flat_r.sim.cycles / 1e6, 3),
+           FormatFixed(mas_r.sim.cycles / 1e6, 3),
+           FormatSpeedup(static_cast<double>(flat_r.sim.cycles) /
+                         static_cast<double>(mas_r.sim.cycles)),
+           FormatSpeedup(mas_1core / static_cast<double>(mas_r.sim.cycles)),
+           FormatFixed(100.0 * dma_busy, 0)});
+      json.BeginObject();
+      json.KeyValue("cores", core_counts[c]);
+      json.KeyValue("flat_cycles", static_cast<std::int64_t>(flat_r.sim.cycles));
+      json.KeyValue("mas_cycles", static_cast<std::int64_t>(mas_r.sim.cycles));
+      json.KeyValue("mas_dma_busy_fraction", dma_busy);
+      json.EndObject();
+    }
+    json.EndArray();
+    out << table.ToString() << "\n";
+    out << "MAS's per-core MAC/VEC overlap is orthogonal to multi-core sharding, so the\n";
+    out << "MAS-vs-FLAT gap persists at every core count; the scaling column flattens\n";
+    out << "once the shared 30 GB/s DRAM bus saturates (DMA busy % approaching 100).\n";
+  }
+};
+
+}  // namespace
+
+void RegisterAblationSuites() {
+  SuiteRegistry& registry = SuiteRegistry::Instance();
+  registry.Register(std::make_unique<AblationTilingSuite>());
+  registry.Register(std::make_unique<AblationOverwriteSuite>());
+  registry.Register(std::make_unique<AblationBandwidthSuite>());
+  registry.Register(std::make_unique<AblationCoresSuite>());
+}
+
+}  // namespace mas::bench

@@ -1,0 +1,264 @@
+// The Table-1-grid comparison suites: every artifact here reduces to the
+// (12 networks x 6 methods) sweep with offline-tuned tilings, rendered
+// through a different report::Build*Table lens. They all ride the shared
+// SuiteContext runner, so the grid is evaluated once per hardware preset per
+// mas_bench invocation no matter how many of these suites run — and not at
+// all when the plan cache is warm and the runner cache has the jobs.
+#include <algorithm>
+#include <ostream>
+
+#include "benchsuite/suite.h"
+#include "common/json_writer.h"
+#include "common/math_util.h"
+#include "common/table.h"
+
+namespace mas::bench {
+
+namespace {
+
+// --------------------------------------------------------------- table2
+// Paper Table 2: execution cycles and MAS speedups across the Table-1
+// networks on the simulated edge device (Fig. 4 architecture).
+class Table2Suite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "table2", "Table 2",
+        "cycles and MAS speedups across the 12 Table-1 networks (edge device)"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    out << "=== Table 2: Cycles and Speedup Comparisons Across Networks ===\n";
+    out << ctx.edge_hw().Describe() << "\n";
+
+    const auto cmps = RunTable1Comparison(ctx, ctx.edge_hw());
+    out << report::BuildCycleTable(cmps).ToString() << "\n";
+
+    out << "Tuned tilings (B_b, H_h, N_Q, N_KV):\n";
+    for (const auto& cmp : cmps) {
+      out << "  " << cmp.network.name << ":";
+      for (const auto& run : cmp.runs) {
+        out << "  " << MethodName(run.method) << "=" << run.tiling.ToString();
+      }
+      out << "\n";
+    }
+
+    out << "\nPaper reference geomeans: 5.09x (Layer-Wise), 2.78x (Soft-Pipe), "
+           "1.70x (FLAT), 1.31x (TileFlow), 1.27x (FuseMax)\n";
+    out << "Measured geomeans:        ";
+    bool first = true;
+    for (Method m : AllMethods()) {
+      if (m == Method::kMas) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << FormatSpeedup(report::GeomeanSpeedup(cmps, m)) << " (" << MethodName(m) << ")";
+    }
+    out << "\n";
+
+    json.KeyValue("hardware", ctx.edge_hw().name);
+    WriteComparisonJson(json, cmps);
+    WriteBaselineGeomeans(json, "geomean_speedup_vs", cmps, &report::GeomeanSpeedup);
+  }
+};
+
+// --------------------------------------------------------------- table3
+// Paper Table 3: energy consumption and MAS savings on the edge device.
+class Table3Suite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "table3", "Table 3",
+        "energy consumption and MAS savings across the Table-1 networks"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    out << "=== Table 3: Energy Consumption and Savings Across Networks ===\n";
+    out << ctx.edge_hw().Describe() << "\n";
+
+    const auto cmps = RunTable1Comparison(ctx, ctx.edge_hw());
+    out << report::BuildEnergyTable(cmps).ToString() << "\n";
+
+    out << "Paper reference geomean savings: 52.97% (Layer-Wise), 63.07% (Soft-Pipe), "
+           "18.55% (FLAT), 53.16% (TileFlow), -11.94% (FuseMax)\n";
+    out << "Measured geomean savings:        ";
+    bool first = true;
+    for (Method m : AllMethods()) {
+      if (m == Method::kMas) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << FormatPercent(report::GeomeanSavings(cmps, m)) << " (" << MethodName(m) << ")";
+    }
+    out << "\n";
+
+    json.KeyValue("hardware", ctx.edge_hw().name);
+    WriteComparisonJson(json, cmps);
+    WriteBaselineGeomeans(json, "geomean_savings_vs", cmps, &report::GeomeanSavings);
+  }
+};
+
+// ----------------------------------------------------------------- fig5
+// Paper Fig. 5: normalized execution time on the DaVinci-class NPU for the
+// methods the paper deployed there (TileFlow/FuseMax excluded, §5.1).
+class Fig5Suite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "fig5", "Fig. 5",
+        "normalized execution time on the DaVinci-class NPU stand-in"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    out << "=== Fig. 5: Normalized execution time on the DaVinci-class NPU ===\n";
+    out << ctx.npu_hw().Describe() << "\n";
+
+    const std::vector<Method> methods = {Method::kLayerWise, Method::kSoftPipe, Method::kFlat,
+                                         Method::kMas};
+    const auto cmps = RunTable1Comparison(ctx, ctx.npu_hw());
+    out << report::BuildNormalizedTimeTable(cmps, methods).ToString() << "\n";
+
+    out << "Paper reference (real DaVinci NPU): speedups 1.94x-3.50x vs Layer-Wise,\n";
+    out << "1.35x-2.87x vs Soft-Pipe, 1.30x-1.76x vs FLAT; geomeans 2.33x / 1.73x / "
+           "1.42x.\n";
+    out << "Measured geomeans: "
+        << FormatSpeedup(report::GeomeanSpeedup(cmps, Method::kLayerWise)) << " / "
+        << FormatSpeedup(report::GeomeanSpeedup(cmps, Method::kSoftPipe)) << " / "
+        << FormatSpeedup(report::GeomeanSpeedup(cmps, Method::kFlat)) << "\n";
+
+    json.KeyValue("hardware", ctx.npu_hw().name);
+    json.BeginArray("rows");
+    for (const auto& cmp : cmps) {
+      double worst = 0.0;
+      for (Method m : methods) {
+        worst = std::max(worst, static_cast<double>(cmp.Run(m).sim.cycles));
+      }
+      for (Method m : methods) {
+        const auto& run = cmp.Run(m);
+        json.BeginObject();
+        json.KeyValue("network", cmp.network.name);
+        json.KeyValue("method", std::string(MethodName(m)));
+        json.KeyValue("cycles", static_cast<std::int64_t>(run.sim.cycles));
+        json.KeyValue("normalized_time", static_cast<double>(run.sim.cycles) / worst);
+        json.EndObject();
+      }
+    }
+    json.EndArray();
+    json.BeginObject("geomean_speedup_vs");
+    for (Method m : methods) {
+      if (m == Method::kMas) continue;
+      json.KeyValue(std::string(MethodName(m)), report::GeomeanSpeedup(cmps, m));
+    }
+    json.EndObject();
+  }
+};
+
+// ----------------------------------------------------------------- fig6
+// Paper Fig. 6: per-network per-method energy breakdown across DRAM, L1,
+// L0 and the PE arrays, plus the §5.3.3 schedule-invariance check.
+class Fig6Suite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "fig6", "Fig. 6",
+        "energy breakdown (DRAM / L1 / L0 / PE-MAC / PE-VEC) per network and method"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    out << "=== Fig. 6: Energy breakdown (DRAM / L1 / L0 / PE-MAC / PE-VEC) ===\n";
+    out << ctx.edge_hw().Describe() << "\n";
+
+    const auto cmps = RunTable1Comparison(ctx, ctx.edge_hw());
+    out << report::BuildEnergyBreakdownTable(cmps).ToString() << "\n";
+
+    // §5.3.3 check printed explicitly: PE energy is schedule-invariant.
+    out << "PE-MAC energy spread across methods per network (should be ~0 except MAS "
+           "redo tiles):\n";
+    json.KeyValue("hardware", ctx.edge_hw().name);
+    WriteComparisonJson(json, cmps);
+    json.BeginArray("pe_mac_spread");
+    for (const auto& cmp : cmps) {
+      double lo = 1e300, hi = 0.0;
+      for (const auto& run : cmp.runs) {
+        lo = std::min(lo, run.sim.energy.mac_pe_pj);
+        hi = std::max(hi, run.sim.energy.mac_pe_pj);
+      }
+      const double spread = (hi - lo) / hi;
+      out << "  " << cmp.network.name << ": " << FormatPercent(spread) << "\n";
+      json.BeginObject();
+      json.KeyValue("network", cmp.network.name);
+      json.KeyValue("spread_fraction", spread);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+};
+
+// ---------------------------------------------------------- dram_access
+// Paper §5.4: DRAM access analysis, MAS vs FLAT (identical writes, read
+// inflation where the proactive overwrite reloads K/V).
+class DramAccessSuite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "dram_access", "§5.4",
+        "DRAM read/write analysis, MAS vs FLAT, across the Table-1 networks"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    out << "=== §5.4: DRAM access analysis (MAS vs FLAT) ===\n\n";
+    const auto cmps = RunTable1Comparison(ctx, ctx.edge_hw());
+    out << report::BuildDramAccessTable(cmps).ToString() << "\n";
+
+    bool writes_equal = true;
+    for (const auto& cmp : cmps) {
+      writes_equal &= cmp.Run(Method::kMas).sim.dram_write_bytes ==
+                      cmp.Run(Method::kFlat).sim.dram_write_bytes;
+    }
+    out << "DRAM writes identical across MAS/FLAT for every network: "
+        << (writes_equal ? "yes (matches §5.4.1)" : "NO — mismatch!") << "\n";
+    out << "Paper read inflation: 1.5x (BERT-Base/Large classes), 1.49x (Llama3 class), "
+           "1.0x elsewhere.\n";
+
+    json.KeyValue("hardware", ctx.edge_hw().name);
+    json.KeyValue("writes_identical", writes_equal);
+    json.BeginArray("rows");
+    for (const auto& cmp : cmps) {
+      const auto& flat = cmp.Run(Method::kFlat).sim;
+      const auto& mas = cmp.Run(Method::kMas).sim;
+      json.BeginObject();
+      json.KeyValue("network", cmp.network.name);
+      json.KeyValue("flat_read_bytes", flat.dram_read_bytes);
+      json.KeyValue("mas_read_bytes", mas.dram_read_bytes);
+      json.KeyValue("read_ratio", static_cast<double>(mas.dram_read_bytes) /
+                                      static_cast<double>(flat.dram_read_bytes));
+      json.KeyValue("flat_write_bytes", flat.dram_write_bytes);
+      json.KeyValue("mas_write_bytes", mas.dram_write_bytes);
+      json.KeyValue("mas_overwrite_events", mas.overwrite_events);
+      json.KeyValue("mas_reload_bytes", mas.reload_bytes);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+};
+
+}  // namespace
+
+void RegisterComparisonSuites() {
+  SuiteRegistry& registry = SuiteRegistry::Instance();
+  registry.Register(std::make_unique<Table2Suite>());
+  registry.Register(std::make_unique<Table3Suite>());
+  registry.Register(std::make_unique<Fig5Suite>());
+  registry.Register(std::make_unique<Fig6Suite>());
+  registry.Register(std::make_unique<DramAccessSuite>());
+}
+
+}  // namespace mas::bench

@@ -1,0 +1,200 @@
+// Search-quality suites: Fig. 7's GA/MCTS convergence traces and the §5.5
+// search-improvement study. Unlike the artifact-table suites, the *search
+// itself* is the artifact here, so these run search::RunSearch directly
+// (registry strategies on a TilingProblem) instead of the plan store — a
+// warm plan cache cannot and should not skip them. Their evaluation spend is
+// reported through SuiteContext::AddSearchEvaluations().
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "schedulers/registry.h"
+#include "search/strategy.h"
+
+namespace mas::bench {
+
+namespace {
+
+// ----------------------------------------------------------------- fig7
+// Paper Fig. 7: execution cycles versus search iterations for the GA and
+// MCTS tiling searches across the methods (FuseMax excluded, as in the
+// paper — it used manually selected tilings).
+class Fig7Suite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "fig7", "Fig. 7",
+        "GA and MCTS search convergence traces (cycles vs evaluations, BERT-Base)"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::HardwareConfig& hw = ctx.edge_hw();
+    // The paper converges within ~10K iterations; the default budget is
+    // smaller so the whole suite sweep stays quick (--search-budget raises
+    // it).
+    const std::int64_t budget = ctx.search_budget() > 0 ? ctx.search_budget() : 1500;
+
+    const AttentionShape shape = FindNetwork("BERT-Base & T5-Base").shape;
+    out << "=== Fig. 7: Search convergence (cycles vs evaluations), " << shape.ToString()
+        << ", budget " << budget << " evaluations ===\n\n";
+
+    json.KeyValue("hardware", hw.name);
+    json.KeyValue("workload", shape.ToString());
+    json.KeyValue("budget", budget);
+
+    const std::vector<std::string> methods = {"Layer-Wise", "Soft-Pipe", "FLAT", "TileFlow",
+                                              "MAS-Attention"};
+    TextTable table({"Method", "Algorithm", "evals", "first feasible Mcyc", "final Mcyc",
+                     "improvement"});
+    json.BeginArray("series");
+    for (const std::string& method : methods) {
+      const auto sched = SchedulerRegistry::Instance().Create(method);
+      // The GA and MCTS strategies through the registry surface, sharing one
+      // SearchSpec template (common seed; per-strategy budget knobs).
+      for (const char* alg : {"GA", "MCTS"}) {
+        search::TilingProblem problem(*sched, shape, hw, ctx.energy_model());
+        search::SearchSpec spec;
+        spec.seed = 7;
+        spec.jobs = ctx.jobs();
+        // The budget drives generations/iterations below; disable the
+        // spec's common cap so large budgets are never truncated.
+        spec.budget = std::numeric_limits<std::int64_t>::max();
+        if (std::string(alg) == "GA") {
+          spec.strategy = "ga";
+          spec.population = 24;
+          // At least one generation, so sub-population budgets still search.
+          spec.generations = std::max<std::int64_t>(1, budget / spec.population);
+        } else {
+          spec.strategy = "mcts";
+          spec.iterations = budget;
+        }
+        const search::SearchResult result = search::RunSearch(problem, spec);
+        ctx.AddSearchEvaluations(result.evaluations);
+
+        json.BeginObject();
+        json.KeyValue("method", method);
+        json.KeyValue("algorithm", alg);
+        json.KeyValue("evaluations", result.evaluations);
+        if (!result.found()) {
+          json.KeyValue("found", false);
+          json.EndObject();
+          table.AddRow({method, alg, std::to_string(result.evaluations), "-", "-", "-"});
+          continue;
+        }
+        const double first = result.trace.front().best_cycles;
+        const double final_c = result.best_cycles;
+        json.KeyValue("found", true);
+        json.KeyValue("best_tiling", result.best.ToString());
+        json.KeyValue("first_feasible_cycles", first);
+        json.KeyValue("final_cycles", final_c);
+        json.BeginArray("trace");
+        for (const auto& pt : result.trace) {
+          json.BeginObject();
+          json.KeyValue("evaluation", pt.evaluation);
+          json.KeyValue("best_cycles", pt.best_cycles);
+          json.EndObject();
+        }
+        json.EndArray();
+        json.EndObject();
+
+        table.AddRow({method, alg, std::to_string(result.evaluations),
+                      FormatFixed(first / 1e6, 3), FormatFixed(final_c / 1e6, 3),
+                      FormatSpeedup(first / final_c)});
+        // Print the trace series (evaluation, Mcycles) for plotting.
+        out << method << " / " << alg << " trace:";
+        for (const auto& pt : result.trace) {
+          out << " (" << pt.evaluation << ", " << FormatFixed(pt.best_cycles / 1e6, 3) << ")";
+        }
+        out << "\n";
+      }
+    }
+    json.EndArray();
+
+    out << "\n" << table.ToString() << "\n";
+    out << "Paper reference: every method converges within ~10K iterations; e.g.\n";
+    out << "BERT-Base MAS improves 64.5x from the first sampled tiling (50.33M -> "
+           "0.78M cycles).\n";
+  }
+};
+
+// ---------------------------------------------------- search_improvement
+// Paper §5.5: the cycle improvement delivered by the tiling search — first
+// sampled feasible tiling vs the tuned result for MAS on every network.
+class SearchImprovementSuite final : public BenchSuite {
+ public:
+  const SuiteInfo& info() const override {
+    static const SuiteInfo kInfo{
+        "search_improvement", "§5.5",
+        "tiling-search improvement, first feasible vs tuned MAS tiling per network"};
+    return kInfo;
+  }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::HardwareConfig& hw = ctx.edge_hw();
+    const std::int64_t budget = ctx.search_budget() > 0 ? ctx.search_budget() : 800;
+
+    out << "=== §5.5: Impact of the tiling search (MAS-Attention, MCTS, budget " << budget
+        << ") ===\n\n";
+    TextTable table({"Network", "first feasible Mcyc", "tuned Mcyc", "improvement",
+                     "tuned tiling"});
+    json.KeyValue("hardware", hw.name);
+    json.KeyValue("budget", budget);
+
+    const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
+    search::SearchSpec spec;
+    spec.strategy = "mcts";
+    spec.iterations = budget;
+    spec.seed = 11;
+    spec.jobs = ctx.jobs();
+    // The budget is the iteration count; keep the common cap out of the way.
+    spec.budget = std::numeric_limits<std::int64_t>::max();
+    json.BeginArray("rows");
+    for (const auto& net : Table1Networks()) {
+      search::TilingProblem problem(*mas, net.shape, hw, ctx.energy_model());
+      const auto result = search::RunSearch(problem, spec);
+      ctx.AddSearchEvaluations(result.evaluations);
+      json.BeginObject();
+      json.KeyValue("network", net.name);
+      if (!result.found()) {
+        json.KeyValue("found", false);
+        json.EndObject();
+        table.AddRow({net.name, "-", "-", "-", "-"});
+        continue;
+      }
+      const double first = result.trace.front().best_cycles;
+      json.KeyValue("found", true);
+      json.KeyValue("first_feasible_cycles", first);
+      json.KeyValue("tuned_cycles", result.best_cycles);
+      json.KeyValue("improvement", first / result.best_cycles);
+      json.KeyValue("tuned_tiling", result.best.ToString());
+      json.EndObject();
+      table.AddRow({net.name, FormatFixed(first / 1e6, 3),
+                    FormatFixed(result.best_cycles / 1e6, 3),
+                    FormatSpeedup(first / result.best_cycles), result.best.ToString()});
+    }
+    json.EndArray();
+    out << table.ToString() << "\n";
+    out << "Paper reference improvements: 64.5x (BERT-Base class), 16.1x (BERT-Large/\n";
+    out << "Small classes), 49.7x/24.5x/24.6x (ViT-B,L,H/14), 66.2x/32.2x/32.8x\n";
+    out << "(ViT-B,L,H/16), 32.2x (XLM). Magnitudes depend on how bad the first\n";
+    out << "sampled tiling is; the qualitative claim is convergence to >10x better.\n";
+  }
+};
+
+}  // namespace
+
+void RegisterSearchSuites() {
+  SuiteRegistry& registry = SuiteRegistry::Instance();
+  registry.Register(std::make_unique<Fig7Suite>());
+  registry.Register(std::make_unique<SearchImprovementSuite>());
+}
+
+}  // namespace mas::bench

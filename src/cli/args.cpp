@@ -1,6 +1,7 @@
 #include "cli/args.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 
@@ -79,17 +80,25 @@ void ArgParser::Assign(Flag& flag, const std::string& text) {
       return;
     case Kind::kInt: {
       char* end = nullptr;
+      errno = 0;
       const long long v = std::strtoll(text.c_str(), &end, 10);
-      MAS_CHECK(end != nullptr && *end == '\0' && !text.empty())
+      MAS_CHECK(!text.empty() && end != nullptr && *end == '\0')
           << "--" << flag.name << " expects an integer, got '" << text << "'";
+      MAS_CHECK(errno != ERANGE) << "--" << flag.name << " out of range: '" << text << "'";
       *flag.int_value = v;
       return;
     }
     case Kind::kDouble: {
       char* end = nullptr;
+      errno = 0;
       const double v = std::strtod(text.c_str(), &end);
-      MAS_CHECK(end != nullptr && *end == '\0' && !text.empty())
+      MAS_CHECK(!text.empty() && end != nullptr && *end == '\0')
           << "--" << flag.name << " expects a number, got '" << text << "'";
+      // ERANGE covers both overflow (result clamped to ±HUGE_VAL) and
+      // gradual underflow to a subnormal. Only overflow loses the value —
+      // subnormals parse to their correct nearest double and must pass.
+      MAS_CHECK(errno != ERANGE || (v > -HUGE_VAL && v < HUGE_VAL))
+          << "--" << flag.name << " out of range: '" << text << "'";
       *flag.double_value = v;
       return;
     }

@@ -1,6 +1,29 @@
 #include "common/json_writer.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace mas {
+
+void AppendJsonDouble(std::string& out, double v) {
+  // JSON has no NaN/Inf; encode them as null (the conventional fallback).
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Shortest round-trip output: %.15g is enough for most values; widen to 16
+  // and 17 significant digits (17 = max_digits10, always exact) only when
+  // strtod() of the shorter form does not reproduce the bit pattern. This
+  // keeps "0.1" as "0.1" instead of %.17g's "0.10000000000000001" while
+  // still distinguishing adjacent doubles %.12g silently merged.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    const double parsed = std::strtod(buf, nullptr);
+    if (parsed == v && std::signbit(parsed) == std::signbit(v)) break;
+  }
+  out += buf;
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;

@@ -19,6 +19,12 @@ namespace mas {
 // Escapes `s` per RFC 8259 (quotes, backslash, control characters).
 std::string JsonEscape(const std::string& s);
 
+// Appends the shortest decimal representation of `v` that strtod() parses
+// back to exactly `v` (sign of zero included). Non-finite values append
+// "null" — JSON has no NaN/Inf. Read-modify-write cycles of JSON artifacts
+// (plan caches, bench reports) therefore never perturb stored doubles.
+void AppendJsonDouble(std::string& out, double v);
+
 class JsonWriter {
  public:
   JsonWriter() = default;
@@ -60,14 +66,7 @@ class JsonWriter {
   JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
   JsonWriter& Value(double v) {
     Separate();
-    // JSON has no NaN/Inf; encode them as null (the conventional fallback).
-    if (!std::isfinite(v)) {
-      out_ += "null";
-      return *this;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
-    out_ += buf;
+    AppendJsonDouble(out_, v);
     return *this;
   }
 

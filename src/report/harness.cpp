@@ -26,6 +26,15 @@ const MethodRun& NetworkComparison::Run(Method m) const {
 std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
                                              const sim::HardwareConfig& hw,
                                              const sim::EnergyModel& em, int jobs) {
+  runner::SweepOptions options;
+  options.jobs = jobs;
+  runner::SweepRunner sweep_runner(options, em);
+  return RunComparison(networks, hw, sweep_runner);
+}
+
+std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
+                                             const sim::HardwareConfig& hw,
+                                             runner::SweepRunner& sweep_runner) {
   // The (network x method) grid runs on the Planner-backed sweep runner
   // under the paper's tiling protocol (the default search strategy
   // everywhere except FuseMax's §5.5 manual array-native tiling). Grid
@@ -37,9 +46,6 @@ std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>&
   grid.hardware = {hw};
   grid.policy = runner::TilingPolicy::kPaperProtocol;
 
-  runner::SweepOptions options;
-  options.jobs = jobs;
-  runner::SweepRunner sweep_runner(options, em);
   const runner::SweepReport report = sweep_runner.Run(grid);
 
   std::vector<NetworkComparison> comparisons;

@@ -11,6 +11,10 @@
 #include "sim/energy_model.h"
 #include "sim/hardware_config.h"
 
+namespace mas::runner {
+class SweepRunner;
+}
+
 namespace mas::report {
 
 // One (network, method) evaluation with its tuned tiling.
@@ -36,6 +40,14 @@ struct NetworkComparison {
 std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
                                              const sim::HardwareConfig& hw,
                                              const sim::EnergyModel& em, int jobs = 1);
+
+// As above, but on a caller-owned runner: its planner (plan store, search
+// spec, energy model) and result cache are shared, so repeated comparisons
+// across benchmark suites dedup to cache hits and warm plan caches skip the
+// searches entirely. The bench-suite subsystem runs on this overload.
+std::vector<NetworkComparison> RunComparison(const std::vector<NetworkWorkload>& networks,
+                                             const sim::HardwareConfig& hw,
+                                             runner::SweepRunner& sweep_runner);
 
 // Table 2: cycles (1e6) per method and MAS-vs-others speedups + geomeans.
 TextTable BuildCycleTable(const std::vector<NetworkComparison>& comparisons);

@@ -110,8 +110,8 @@ class MasScheduler final : public Scheduler {
 // have to drain one strip at a time, i.e. the dataflow degenerates to FLAT's
 // sequential round order for the pressured schedule (modeled whole-schedule:
 // if a dry run of the MAS L1 play would trigger any overwrite, the schedule
-// is emitted in FLAT order). Not part of AllMethods(); used by
-// bench_ablation_overwrite and the overwrite tests.
+// is emitted in FLAT order). Not part of AllMethods(); used by the
+// mas_bench ablation_overwrite suite and the overwrite tests.
 class MasNoOverwriteScheduler final : public Scheduler {
  public:
   Method method() const override { return Method::kMasNoOverwrite; }

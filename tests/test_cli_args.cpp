@@ -1,5 +1,7 @@
 #include "cli/args.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace mas::cli {
@@ -116,6 +118,57 @@ TEST(ArgParser, UsageListsFlagsAndDefaults) {
   EXPECT_NE(usage.find("default: 10"), std::string::npos);
   EXPECT_NE(usage.find("--mode"), std::string::npos);
   EXPECT_NE(usage.find("default: fast"), std::string::npos);
+}
+
+TEST(ArgParser, OverflowingIntThrowsInsteadOfSaturating) {
+  // Pre-fix, strtoll's ERANGE saturation silently assigned LLONG_MAX; an
+  // overflowing literal must fail loudly like ParsePositiveInt already does.
+  ArgParser parser("test");
+  const std::int64_t* n = parser.AddInt("search-budget", 7, "h");
+  const char* argv[] = {"prog", "--search-budget=99999999999999999999"};
+  EXPECT_THROW(parser.Parse(2, argv), Error);
+  EXPECT_EQ(*n, 7);  // the default must survive the failed assignment
+
+  ArgParser neg("test");
+  neg.AddInt("n", 0, "h");
+  const char* argv_neg[] = {"prog", "--n=-99999999999999999999"};
+  EXPECT_THROW(neg.Parse(2, argv_neg), Error);
+}
+
+TEST(ArgParser, Int64ExtremesStillParse) {
+  ArgParser parser("test");
+  const std::int64_t* lo = parser.AddInt("lo", 0, "h");
+  const std::int64_t* hi = parser.AddInt("hi", 0, "h");
+  const char* argv[] = {"prog", "--lo=-9223372036854775808", "--hi=9223372036854775807"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_EQ(*lo, std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(*hi, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ArgParser, OverflowingDoubleThrows) {
+  ArgParser parser("test");
+  parser.AddDouble("rate", 0.0, "h");
+  const char* argv[] = {"prog", "--rate=1e99999"};
+  EXPECT_THROW(parser.Parse(2, argv), Error);
+}
+
+TEST(ArgParser, LargeFiniteDoubleStillParses) {
+  ArgParser parser("test");
+  const double* d = parser.AddDouble("rate", 0.0, "h");
+  const char* argv[] = {"prog", "--rate=1.5e308"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_DOUBLE_EQ(*d, 1.5e308);
+}
+
+TEST(ArgParser, SubnormalDoubleStillParses) {
+  // glibc strtod sets ERANGE on gradual underflow even though the returned
+  // subnormal is the correctly rounded value; only overflow must fail.
+  ArgParser parser("test");
+  const double* d = parser.AddDouble("rate", 1.0, "h");
+  const char* argv[] = {"prog", "--rate=1e-320"};
+  ASSERT_TRUE(parser.Parse(2, argv));
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 1e-300);
 }
 
 TEST(ArgParser, NegativeIntAccepted) {

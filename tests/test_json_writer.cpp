@@ -1,9 +1,40 @@
 #include "common/json_writer.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <limits>
+
 #include <gtest/gtest.h>
+
+#include "common/json_reader.h"
 
 namespace mas {
 namespace {
+
+// The awkward doubles the plan cache and bench JSON must never perturb:
+// subnormal-adjacent tiny magnitudes, the classic shortest-vs-exact decimal
+// cases, the 2^53 integer-precision boundary, extremes, and signed zero.
+const double kAwkwardDoubles[] = {
+    1e-300,
+    0.1,
+    9007199254740991.0,  // 2^53 - 1
+    9007199254740992.0,  // 2^53
+    9007199254740993.0,  // 2^53 + 1 (not representable; rounds to 2^53)
+    -0.0,
+    0.0,
+    1.0 / 3.0,
+    0.30000000000000004,           // 0.1 + 0.2
+    6.02214076e23,
+    -1.7976931348623157e308,       // -DBL_MAX
+    std::numeric_limits<double>::max(),
+    std::numeric_limits<double>::min(),          // smallest normal
+    std::numeric_limits<double>::denorm_min(),   // 5e-324
+    3.141592653589793,
+    -2.5e-15,
+    123456789.123456789,
+};
 
 TEST(JsonEscapeTest, PassesPlainText) {
   EXPECT_EQ(JsonEscape("hello world"), "hello world");
@@ -70,6 +101,74 @@ TEST(JsonWriterTest, DoubleFormatting) {
   w.Value(0.0);
   w.EndArray();
   EXPECT_EQ(w.Take(), "[1.5,0]");
+}
+
+TEST(JsonWriterTest, DoubleOutputRoundTripsThroughStrtod) {
+  // %.12g merged adjacent doubles (a plan-cache read-modify-write could
+  // silently change predicted cycles); the writer must emit the shortest
+  // string strtod() parses back bit-exactly, signed zero included.
+  for (double v : kAwkwardDoubles) {
+    std::string text;
+    AppendJsonDouble(text, v);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&parsed, &v, sizeof(double)), 0)
+        << "value " << v << " serialized as '" << text << "'";
+  }
+}
+
+TEST(JsonWriterTest, DoubleOutputIsShortestForm) {
+  // Widening to 17 digits must only happen when needed: the common pretty
+  // decimals stay pretty.
+  std::string text;
+  AppendJsonDouble(text, 0.1);
+  EXPECT_EQ(text, "0.1");
+  text.clear();
+  AppendJsonDouble(text, -0.0);
+  EXPECT_EQ(text, "-0");
+  text.clear();
+  AppendJsonDouble(text, 2.5);
+  EXPECT_EQ(text, "2.5");
+}
+
+TEST(JsonWriterTest, WriterReaderDoubleRoundTripProperty) {
+  // Full artifact cycle: JsonWriter document -> json::Parse -> AsDouble must
+  // reproduce every value exactly. (Signed zero is compared by value: the
+  // reader stores integral-looking numbers as int64, which cannot carry the
+  // sign of zero — the emitted *string* "-0" does, per the strtod test.)
+  JsonWriter w;
+  w.BeginArray();
+  for (double v : kAwkwardDoubles) w.Value(v);
+  w.EndArray();
+  const std::string doc = w.Take();
+
+  const json::Value parsed = json::Parse(doc);
+  const auto& items = parsed.AsArray();
+  ASSERT_EQ(items.size(), std::size(kAwkwardDoubles));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const double got = items[i].AsDouble();
+    const double want = kAwkwardDoubles[i];
+    if (want == 0.0) {
+      EXPECT_EQ(got, want) << "index " << i;
+    } else {
+      EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0)
+          << "index " << i << " value " << want << " in " << doc;
+    }
+  }
+
+  // Re-serializing the parsed values must reproduce the document bytes —
+  // the plan-cache stability guarantee. (Signed zero excepted, per above:
+  // expect the re-serialization of what the reader actually preserved.)
+  JsonWriter again, expected;
+  again.BeginArray();
+  expected.BeginArray();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    again.Value(items[i].AsDouble());
+    const double v = kAwkwardDoubles[i];
+    expected.Value(v == 0.0 ? std::fabs(v) : v);
+  }
+  again.EndArray();
+  expected.EndArray();
+  EXPECT_EQ(again.Take(), expected.Take());
 }
 
 TEST(JsonWriterTest, NonFiniteBecomesNull) {

@@ -142,8 +142,8 @@ TEST(GridSearchBudget, ExhaustedBudgetStopsTheWholeScan) {
 
 TEST(EvaluationCache, NoCollisionsForHugeTileExtents) {
   // Seed bug: Key() packed the four factors into 16-bit lanes of one u64
-  // with shifted XOR, so an N_KV >= 65536 (reachable via bench_limits_maxseq
-  // style long-context shapes) bled into the N_Q lane:
+  // with shifted XOR, so an N_KV >= 65536 (reachable via §5.6
+  // limits_maxseq-style long-context shapes) bled into the N_Q lane:
   //   (3<<16) ^ 16384  ==  (2<<16) ^ (65536 + 16384)
   // After evaluating the *feasible* tiling A = (1,1,3,16384), the seed cache
   // would return A's finite cycle count for the *infeasible* tiling

@@ -5,12 +5,27 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json_reader.h"
 #include "dataflow/workloads.h"
 #include "schedulers/scheduler.h"
 #include "sim/hardware_config.h"
 
 namespace mas::trace {
 namespace {
+
+// Hand-built three-task timeline with cycle counts divisible by 3750
+// (= 3.75 GHz * 1e3 cycles/µs), so every µs value in the exporters is an
+// exact small integer and the goldens below are byte-stable.
+sim::SimResult SyntheticResult() {
+  sim::SimResult r;
+  r.cycles = 15000;
+  r.timeline = {
+      {"load K", sim::ResourceKind::kDma, 0, 0, 3750},
+      {"qk", sim::ResourceKind::kMac, 0, 3750, 11250},
+      {"softmax", sim::ResourceKind::kVec, 0, 11250, 15000},
+  };
+  return r;
+}
 
 // A small recorded MAS schedule shared by most tests.
 sim::SimResult RecordedResult() {
@@ -90,6 +105,82 @@ TEST(ChromeTraceTest, ProducesValidShapedJson) {
     EXPECT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTraceTest, GoldenDocumentAt3750MHzCycleBoundaries) {
+  // Full-document golden: lane metadata in (core, kind) order, then the
+  // timeline entries as "X" events with exact-µs timestamps at 3.75 GHz.
+  const std::string json = ChromeTraceJson(SyntheticResult(), 3.75);
+  EXPECT_EQ(json,
+            "{\"traceEvents\":["
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+            "\"args\":{\"name\":\"DMA\"}},"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,"
+            "\"args\":{\"name\":\"MAC0\"}},"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":3,"
+            "\"args\":{\"name\":\"VEC0\"}},"
+            "{\"name\":\"load K\",\"cat\":\"DMA\",\"ph\":\"X\",\"ts\":0,\"dur\":1,"
+            "\"pid\":0,\"tid\":1},"
+            "{\"name\":\"qk\",\"cat\":\"MAC\",\"ph\":\"X\",\"ts\":1,\"dur\":2,"
+            "\"pid\":0,\"tid\":2},"
+            "{\"name\":\"softmax\",\"cat\":\"VEC\",\"ph\":\"X\",\"ts\":3,\"dur\":1,"
+            "\"pid\":0,\"tid\":3}"
+            "],\"displayTimeUnit\":\"ns\"}");
+}
+
+TEST(ChromeTraceTest, ParsesWithJsonReaderAndConvertsMicroseconds) {
+  // A real recorded schedule: the document must be strictly valid JSON
+  // (common/json_reader throws on anything malformed) and every complete
+  // event's ts/dur must be the cycle values divided by GHz * 1e3.
+  const auto r = RecordedResult();
+  const double ghz = 3.75;
+  const json::Value doc = json::Parse(ChromeTraceJson(r, ghz));
+  const auto& events = doc.Get("traceEvents").AsArray();
+  ASSERT_GT(events.size(), r.timeline.size());  // + one metadata row per lane
+
+  std::size_t complete = 0;
+  for (const auto& event : events) {
+    if (event.Get("ph").AsString() != "X") continue;
+    const auto& entry = r.timeline[complete++];
+    EXPECT_DOUBLE_EQ(event.Get("ts").AsDouble(),
+                     static_cast<double>(entry.start) / (ghz * 1e3));
+    EXPECT_DOUBLE_EQ(event.Get("dur").AsDouble(),
+                     static_cast<double>(entry.end - entry.start) / (ghz * 1e3));
+    EXPECT_EQ(event.Get("pid").AsInt64(), 0);
+  }
+  EXPECT_EQ(complete, r.timeline.size());
+}
+
+TEST(AsciiGanttTest, GoldenRenderingAndMakespanDefault) {
+  GanttOptions opts;
+  opts.width = 10;
+  opts.show_names = false;
+  // to = 0 means "clip at the makespan".
+  const std::string gantt = AsciiGantt(SyntheticResult(), opts);
+  EXPECT_EQ(gantt,
+            "cycles [0, 15000), 1500 cycles/column\n"
+            "DMA   |##+.......|\n"
+            "MAC0  |..+####+..|\n"
+            "VEC0  |.......+##|\n");
+
+  GanttOptions explicit_to = opts;
+  explicit_to.to = 15000;
+  EXPECT_EQ(AsciiGantt(SyntheticResult(), explicit_to), gantt);
+}
+
+TEST(AsciiGanttTest, GoldenWindowClipsEntries) {
+  GanttOptions opts;
+  opts.width = 10;
+  opts.show_names = false;
+  opts.from = 3750;
+  opts.to = 11250;
+  // Only the MAC task intersects [3750, 11250); the DMA and VEC tasks clip
+  // to empty and leave idle lanes.
+  EXPECT_EQ(AsciiGantt(SyntheticResult(), opts),
+            "cycles [3750, 11250), 750 cycles/column\n"
+            "DMA   |..........|\n"
+            "MAC0  |##########|\n"
+            "VEC0  |..........|\n");
 }
 
 TEST(ChromeTraceTest, EventCountMatchesTimeline) {

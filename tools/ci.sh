@@ -41,6 +41,23 @@ grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/smoke_plan_warm.err"
 # thresholds — BENCH_engine.json just records the numbers per commit.
 "$BUILD_DIR/bench_engine_micro" --quick --jobs=8 --out="$BUILD_DIR/BENCH_engine.json"
 
+# Paper-artifact suite driver: the catalog must enumerate, and a warm-cache
+# re-run of the Table-2 suite must perform ZERO search evaluations while
+# emitting byte-identical BENCH_table2.json and plan-cache bytes.
+"$BUILD_DIR/mas_bench" --list
+rm -f "$BUILD_DIR/bench_plans.json"
+"$BUILD_DIR/mas_bench" --suite=table2 --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/bench_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/bench_cold.err"
+cp "$BUILD_DIR/BENCH_table2.json" "$BUILD_DIR/BENCH_table2_cold.json"
+cp "$BUILD_DIR/bench_plans.json" "$BUILD_DIR/bench_plans_cold.json"
+"$BUILD_DIR/mas_bench" --suite=table2 --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/bench_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/bench_warm.err"
+cmp "$BUILD_DIR/BENCH_table2_cold.json" "$BUILD_DIR/BENCH_table2.json"
+cmp "$BUILD_DIR/bench_plans_cold.json" "$BUILD_DIR/bench_plans.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/bench_warm.err"
+
 # Debug + ASan/UBSan pass over the new public surface (registry, strategies,
 # JSON reader, planner). Builds only the targets it runs to keep the job
 # bounded; the golden planner sweep stays in the Release ctest above.
@@ -53,4 +70,4 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
 "$SAN_DIR/test_json_reader"
 "$SAN_DIR/test_planner"
 
-echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + asan OK"
+echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + asan OK"

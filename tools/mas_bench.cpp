@@ -1,0 +1,132 @@
+// mas_bench: the registry-driven paper-artifact benchmark suite driver.
+//
+// Every figure/table the paper's evidence rests on is a named BenchSuite in
+// the SuiteRegistry (src/benchsuite/); this driver selects suites, runs them
+// on one shared SuiteContext (hardware presets + a thread-pooled,
+// Planner-backed SweepRunner), prints the paper-style tables to stdout, and
+// writes one deterministic BENCH_<suite>.json per suite.
+//
+// Tuned tilings are durable artifacts: --plan-cache=FILE loads the plan
+// store before the suites run and saves it after, so a second invocation
+// warm-starts with ZERO search evaluations while emitting byte-identical
+// BENCH_*.json files. (Exception: the convergence suites fig7 /
+// search_improvement and ablation_overwrite's quiet-tiling scan re-run
+// their searches by design — the search itself is their artifact; their
+// spend is reported separately on stderr.)
+//
+// Examples:
+//   $ mas_bench --list
+//   $ mas_bench --suite=table2 --plan-cache=plans.json
+//   $ mas_bench --suite=table2,table3,fig6 --jobs=8 --out-dir=/tmp
+//   $ mas_bench --all
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mas;
+  cli::ArgParser parser(
+      "mas_bench — regenerate the paper's figures/tables as registered benchmark suites");
+  const bool* list =
+      parser.AddBool("list", false, "list the registered suites, then exit");
+  const std::string* suite_flag = parser.AddString(
+      "suite", "", "comma-separated suite names to run (see --list), or 'all'");
+  const bool* all = parser.AddBool("all", false, "run every registered suite");
+  const std::int64_t* jobs =
+      parser.AddInt("jobs", 0, "worker threads (0 = hardware concurrency)");
+  const std::string* plan_cache = parser.AddString(
+      "plan-cache", "",
+      "persist tuned tilings: load plans from FILE before the suites, save after");
+  const std::string* out_dir = parser.AddString(
+      "out-dir", ".", "directory for the BENCH_<suite>.json outputs");
+  const std::string* out_file = parser.AddString(
+      "out", "", "explicit output path (only with a single selected suite)");
+  const std::int64_t* search_budget = parser.AddInt(
+      "search-budget", 0,
+      "evaluation budget for the convergence suites (0 = per-suite default)");
+
+  try {
+    if (!parser.Parse(argc, argv)) return 0;
+
+    bench::SuiteRegistry& registry = bench::SuiteRegistry::Instance();
+    if (*list) {
+      TextTable table({"Suite", "paper artifact", "description"});
+      for (const bench::SuiteInfo& info : registry.List()) {
+        table.AddRow({info.name, info.artifact, info.summary});
+      }
+      std::cout << table.ToString();
+      std::cout << "\nRun with --suite=name[,name...] or --all; outputs land in "
+                   "--out-dir as BENCH_<suite>.json.\n";
+      return 0;
+    }
+
+    MAS_CHECK(*all || !suite_flag->empty())
+        << "select suites with --suite=name[,name...] or --all (see --list)";
+    MAS_CHECK(!*all || suite_flag->empty()) << "--all and --suite are exclusive";
+    const std::vector<const bench::BenchSuite*> suites =
+        registry.Resolve(*all ? "all" : *suite_flag);
+    MAS_CHECK(out_file->empty() || suites.size() == 1)
+        << "--out needs exactly one suite (got " << suites.size() << ")";
+
+    bench::SuiteContext ctx(static_cast<int>(*jobs), std::cout, *search_budget);
+
+    std::size_t plans_loaded = 0;
+    if (!plan_cache->empty()) {
+      if (ctx.planner().store().LoadFile(*plan_cache)) {
+        plans_loaded = ctx.planner().store().size();
+      }
+    }
+    // After a successful load, persist whatever has been tuned even when a
+    // later suite throws — a failure in suite 17 of --all must not discard
+    // the first 16 suites' searches.
+    auto save_plans = [&] {
+      if (plan_cache->empty()) return;
+      ctx.planner().store().SaveFile(*plan_cache);
+      std::fprintf(stderr, "plan-cache: loaded %lld plans, saved %lld -> %s\n",
+                   static_cast<long long>(plans_loaded),
+                   static_cast<long long>(ctx.planner().store().size()),
+                   plan_cache->c_str());
+    };
+
+    try {
+      for (const bench::BenchSuite* suite : suites) {
+        const bench::SuiteInfo& info = suite->info();
+        JsonWriter json;
+        json.BeginObject();
+        json.KeyValue("suite", info.name);
+        json.KeyValue("artifact", info.artifact);
+        suite->Run(ctx, json);
+        json.EndObject();
+
+        const std::string path =
+            !out_file->empty() ? *out_file : *out_dir + "/BENCH_" + info.name + ".json";
+        WriteFile(path, json.Take() + "\n");
+        std::cout << "wrote " << path << "\n\n";
+      }
+    } catch (...) {
+      save_plans();
+      throw;
+    }
+
+    // Machine-greppable run summary (stderr, mirroring mas_run's format):
+    // the warm-cache CI check asserts "tuned 0 (0 search evaluations)".
+    std::fprintf(stderr,
+                 "mas_bench: %zu suites, plans reused %lld, tuned %lld (%lld search "
+                 "evaluations), %lld convergence-suite evaluations\n",
+                 suites.size(), static_cast<long long>(ctx.planner().plans_reused()),
+                 static_cast<long long>(ctx.planner().plans_tuned()),
+                 static_cast<long long>(ctx.planner().search_evaluations()),
+                 static_cast<long long>(ctx.extra_search_evaluations()));
+    save_plans();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
