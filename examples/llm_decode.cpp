@@ -6,60 +6,71 @@
 // that wins prefill (see llm_prefill) buys almost nothing. This example
 // demonstrates the library's cross-shape support and shows *when* the
 // MAS-Attention pipeline pays off — and when it cannot, which is exactly the
-// scheduler-selection question an on-device runtime faces between the
-// prefill and decode phases of the same model.
+// scheduler-selection question the serve::ServeSession answers per phase
+// when it plays whole request traces (see tools/mas_serve).
 //
 //   $ ./llm_decode [max_context]
-#include <cstdlib>
 #include <iostream>
 
+#include "cli/args.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "planner/planner.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
   using namespace mas;
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
-  const sim::EnergyModel em;
   std::int64_t max_context = 8192;
-  if (argc > 1) max_context = std::atoll(argv[1]);
-
-  std::cout << "=== LLM decode attention (Llama3-8B-class layer, KV cache) ===\n";
-  std::cout << hw.Describe() << "\n";
-
-  std::vector<std::int64_t> contexts;
-  for (std::int64_t ctx = 512; ctx <= max_context; ctx *= 2) contexts.push_back(ctx);
-
-  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kMas};
-  TextTable table({"context", "Layer-Wise us", "FLAT us", "MAS us", "MAS vs FLAT",
-                   "DMA-bound %", "KV bytes/step MB"});
-  for (const NetworkWorkload& w : DecodeWorkloads(contexts)) {
-    std::vector<double> us;
-    double dma_frac = 0.0;
-    for (Method m : methods) {
-      const auto sched = MakeScheduler(m);
-      const TilingConfig tiling = search::AutoTile(*sched, w.shape, hw, em);
-      const auto r = sched->Simulate(w.shape, tiling, hw, em);
-      us.push_back(r.cycles / (hw.frequency_ghz * 1e3));
-      if (m == Method::kMas) {
-        dma_frac = static_cast<double>(r.BusyCycles(sim::ResourceKind::kDma)) /
-                   static_cast<double>(r.cycles);
-      }
+  try {
+    if (argc > 1) {
+      // Strict parse (errno/ERANGE): garbage or overflow fails loudly instead
+      // of silently printing an empty table. 2^24 caps the geometric loop.
+      max_context = cli::ParsePositiveInt64(argv[1], "max_context", std::int64_t{1} << 24);
     }
-    const double kv_mb =
-        static_cast<double>(w.shape.KvOperandBytes(hw.element_bytes)) * 2 / (1024.0 * 1024.0);
-    table.AddRow({std::to_string(w.shape.kv()), FormatFixed(us[0], 1), FormatFixed(us[1], 1),
-                  FormatFixed(us[2], 1), FormatSpeedup(us[1] / us[2]),
-                  FormatFixed(100.0 * dma_frac, 0), FormatFixed(kv_mb, 1)});
+
+    std::cout << "=== LLM decode attention (Llama3-8B-class layer, KV cache) ===\n";
+    std::cout << hw.Describe() << "\n";
+
+    std::vector<std::int64_t> contexts;
+    for (std::int64_t ctx = 512; ctx <= max_context;) {
+      contexts.push_back(ctx);
+      if (ctx > max_context / 2) break;  // overflow-safe geometric growth
+      ctx *= 2;
+    }
+
+    const std::vector<std::string> methods = {"Layer-Wise", "FLAT", "MAS-Attention"};
+    Planner planner;
+    TextTable table({"context", "Layer-Wise us", "FLAT us", "MAS us", "MAS vs FLAT",
+                     "DMA-bound %", "KV bytes/step MB"});
+    for (const NetworkWorkload& w : DecodeWorkloads(contexts)) {
+      std::vector<double> us;
+      double dma_frac = 0.0;
+      for (const std::string& m : methods) {
+        const TuningPlan plan = planner.Plan(w.shape, m, hw);
+        const auto r = planner.Simulate(plan, hw);
+        us.push_back(r.cycles / (hw.frequency_ghz * 1e3));
+        if (m == "MAS-Attention") {
+          dma_frac = static_cast<double>(r.BusyCycles(sim::ResourceKind::kDma)) /
+                     static_cast<double>(r.cycles);
+        }
+      }
+      const double kv_mb =
+          static_cast<double>(w.shape.KvOperandBytes(hw.element_bytes)) * 2 / (1024.0 * 1024.0);
+      table.AddRow({std::to_string(w.shape.kv()), FormatFixed(us[0], 1), FormatFixed(us[1], 1),
+                    FormatFixed(us[2], 1), FormatSpeedup(us[1] / us[2]),
+                    FormatFixed(100.0 * dma_frac, 0), FormatFixed(kv_mb, 1)});
+    }
+    std::cout << table.ToString() << "\n";
+    std::cout << "Decode is bandwidth-bound: the per-step latency tracks the KV-cache bytes\n";
+    std::cout << "streamed from DRAM, and MAS's MAC/VEC pipelining gives only a marginal win\n";
+    std::cout << "over FLAT (there is a single softmax row per head to hide). An on-device\n";
+    std::cout << "runtime should pick MAS for prefill and any fused dataflow for decode —\n";
+    std::cout << "which is exactly what the serving simulator does per phase: try\n";
+    std::cout << "  mas_serve --trace=chat --decode-method=FLAT\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  std::cout << table.ToString() << "\n";
-  std::cout << "Decode is bandwidth-bound: the per-step latency tracks the KV-cache bytes\n";
-  std::cout << "streamed from DRAM, and MAS's MAC/VEC pipelining gives only a marginal win\n";
-  std::cout << "over FLAT (there is a single softmax row per head to hide). An on-device\n";
-  std::cout << "runtime should pick MAS for prefill and any fused dataflow for decode —\n";
-  std::cout << "the fusion (not the stream pipeline) is what eliminates the Layer-Wise\n";
-  std::cout << "score-matrix round trips that dominate at long contexts.\n";
   return 0;
 }

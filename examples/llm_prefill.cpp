@@ -8,19 +8,19 @@
 // Uses the mas::Planner facade: methods are string keys into the scheduler
 // registry, tilings resolve through the plan store (tuned once per shape,
 // reused thereafter), and Simulate() plays the plan on the engine.
-#include <cstdlib>
 #include <iostream>
 
+#include "cli/args.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
 #include "planner/planner.h"
 #include "sim/hardware_config.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace mas;
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
   std::int64_t max_seq = 2048;
-  if (argc > 1) max_seq = std::atoll(argv[1]);
+  if (argc > 1) max_seq = cli::ParsePositiveInt64(argv[1], "max_seq", std::int64_t{1} << 24);
 
   std::cout << "=== LLM prefill attention scaling (Llama3-8B-class layer) ===\n";
   std::cout << hw.Describe() << "\n";
@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   Planner planner;
   TextTable table({"prefill len", "Layer-Wise ms", "FLAT ms", "FuseMax ms", "MAS ms",
                    "MAS vs FLAT", "MAS overwrites"});
-  for (std::int64_t seq = 256; seq <= max_seq; seq *= 2) {
+  for (std::int64_t seq = 256; seq <= max_seq;
+       seq = seq > max_seq / 2 ? max_seq + 1 : seq * 2) {  // overflow-safe growth
     AttentionShape shape = base.shape;
     shape.name = "llama_prefill_" + std::to_string(seq);
     shape.seq_len = seq;
@@ -53,4 +54,7 @@ int main(int argc, char** argv) {
   std::cout << "gap persists across prefill lengths, and longer prefills start exercising\n";
   std::cout << "the proactive overwrite as the score strips press on the 5 MB L1.\n";
   return 0;
+} catch (const mas::Error& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

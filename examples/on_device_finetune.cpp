@@ -2,19 +2,19 @@
 // attention layer (forward + backward) on the edge accelerator, across
 // sequence lengths — the workload the paper's §6 future work targets.
 //
-// Forward uses the full MAS-Attention pipeline; backward uses the stream-
-// pipelined backward dataflow from the training extension. The example
-// prints the per-step latency budget split and a tokens/second estimate for
-// a BERT-Base-class layer stack.
+// Forward uses the full MAS-Attention pipeline (tiling resolved through the
+// mas::Planner facade); backward uses the stream-pipelined backward dataflow
+// from the training extension. The example prints the per-step latency
+// budget split and a tokens/second estimate for a BERT-Base-class layer
+// stack.
 //
 //   $ ./on_device_finetune [layers]
-#include <cstdlib>
 #include <iostream>
 
+#include "cli/args.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "planner/planner.h"
 #include "sim/hardware_config.h"
 #include "training/backward_scheduler.h"
 
@@ -24,39 +24,44 @@ int main(int argc, char** argv) {
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
   const sim::EnergyModel em;
   std::int64_t layers = 12;  // BERT-Base depth
-  if (argc > 1) layers = std::atoll(argv[1]);
+  try {
+    if (argc > 1) layers = cli::ParsePositiveInt64(argv[1], "layers", 100000);
 
-  std::cout << "=== On-device fine-tuning: attention fwd+bwd per training step ===\n";
-  std::cout << hw.Describe() << "\n";
-  std::cout << "Model: BERT-Base-class attention stack, " << layers << " layers\n\n";
+    std::cout << "=== On-device fine-tuning: attention fwd+bwd per training step ===\n";
+    std::cout << hw.Describe() << "\n";
+    std::cout << "Model: BERT-Base-class attention stack, " << layers << " layers\n\n";
 
-  const auto fwd = MakeScheduler(Method::kMas);
-  const auto bwd = training::MakeBackwardScheduler(BackwardMethod::kStream);
+    Planner planner;
+    const auto bwd = training::MakeBackwardScheduler(BackwardMethod::kStream);
 
-  TextTable table({"seq len", "fwd ms/layer", "bwd ms/layer", "step ms (stack)",
-                   "bwd share", "tokens/s", "step energy mJ"});
-  for (std::int64_t seq : {128, 256, 512, 1024}) {
-    AttentionShape shape{"finetune", 1, 12, seq, 64};
-    const TilingConfig fwd_tiling = search::AutoTile(*fwd, shape, hw, em);
-    TilingConfig bwd_tiling = fwd_tiling;
-    while (!bwd->Fits(shape, bwd_tiling, hw) && bwd_tiling.nq > 1) bwd_tiling.nq /= 2;
+    TextTable table({"seq len", "fwd ms/layer", "bwd ms/layer", "step ms (stack)",
+                     "bwd share", "tokens/s", "step energy mJ"});
+    for (std::int64_t seq : {128, 256, 512, 1024}) {
+      AttentionShape shape{"finetune", 1, 12, seq, 64};
+      const TuningPlan fwd_plan = planner.Plan(shape, "MAS-Attention", hw);
+      TilingConfig bwd_tiling = fwd_plan.tiling;
+      while (!bwd->Fits(shape, bwd_tiling, hw) && bwd_tiling.nq > 1) bwd_tiling.nq /= 2;
 
-    const auto fwd_r = fwd->Simulate(shape, fwd_tiling, hw, em);
-    const auto bwd_r = bwd->Simulate(shape, bwd_tiling, hw, em);
-    const double fwd_ms = fwd_r.cycles / (hw.frequency_ghz * 1e6);
-    const double bwd_ms = bwd_r.cycles / (hw.frequency_ghz * 1e6);
-    const double step_ms = static_cast<double>(layers) * (fwd_ms + bwd_ms);
-    const double step_mj =
-        static_cast<double>(layers) * (fwd_r.energy.total_pj() + bwd_r.energy.total_pj()) /
-        1e9;
-    table.AddRow({std::to_string(seq), FormatFixed(fwd_ms, 3), FormatFixed(bwd_ms, 3),
-                  FormatFixed(step_ms, 2), FormatPercent(bwd_ms / (fwd_ms + bwd_ms)),
-                  FormatFixed(seq / (step_ms / 1e3), 0), FormatFixed(step_mj, 2)});
+      const auto fwd_r = planner.Simulate(fwd_plan, hw);
+      const auto bwd_r = bwd->Simulate(shape, bwd_tiling, hw, em);
+      const double fwd_ms = fwd_r.cycles / (hw.frequency_ghz * 1e6);
+      const double bwd_ms = bwd_r.cycles / (hw.frequency_ghz * 1e6);
+      const double step_ms = static_cast<double>(layers) * (fwd_ms + bwd_ms);
+      const double step_mj =
+          static_cast<double>(layers) * (fwd_r.energy.total_pj() + bwd_r.energy.total_pj()) /
+          1e9;
+      table.AddRow({std::to_string(seq), FormatFixed(fwd_ms, 3), FormatFixed(bwd_ms, 3),
+                    FormatFixed(step_ms, 2), FormatPercent(bwd_ms / (fwd_ms + bwd_ms)),
+                    FormatFixed(seq / (step_ms / 1e3), 0), FormatFixed(step_mj, 2)});
+    }
+    std::cout << table.ToString() << "\n";
+    std::cout << "The backward pass dominates each step (~5 MatMuls vs forward's 2), which is\n";
+    std::cout << "why the paper defers training support: even with stream pipelining, a\n";
+    std::cout << "training step costs ~3-4x an inference pass of the same layer stack.\n";
+    std::cout << "Attention-only accounting — projection/FFN GEMMs would add on top.\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  std::cout << table.ToString() << "\n";
-  std::cout << "The backward pass dominates each step (~5 MatMuls vs forward's 2), which is\n";
-  std::cout << "why the paper defers training support: even with stream pipelining, a\n";
-  std::cout << "training step costs ~3-4x an inference pass of the same layer stack.\n";
-  std::cout << "Attention-only accounting — projection/FFN GEMMs would add on top.\n";
   return 0;
 }

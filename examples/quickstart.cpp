@@ -13,7 +13,7 @@
 #include "common/table.h"
 #include "kernels/attention_kernels.h"
 #include "runner/sweep_runner.h"
-#include "schedulers/scheduler.h"
+#include "schedulers/registry.h"
 #include "sim/hardware_config.h"
 #include "tensor/tensor.h"
 
@@ -61,7 +61,7 @@ int main() {
 
   // 5. Golden-data check (paper §5.1): the functional twin must reproduce
   //    exact attention. Use a scaled-down shape so this runs instantly.
-  const auto mas = MakeScheduler(Method::kMas);
+  const auto mas = SchedulerRegistry::Instance().Create("MAS-Attention");
   Rng rng(2024);
   const std::int64_t n = 64, e = 16;
   TensorF q(1, 4, n, e), k(1, 4, n, e), v(1, 4, n, e);

@@ -5,62 +5,65 @@
 // overwrite.
 //
 //   $ ./sd_unet_pipeline [denoise_steps]
-#include <cstdlib>
 #include <iostream>
 #include <map>
 
+#include "cli/args.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "planner/planner.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
   using namespace mas;
   const sim::HardwareConfig hw = sim::DavinciNpuConfig();
-  const sim::EnergyModel em;
-  int steps = 20;
-  if (argc > 1) steps = std::atoi(argv[1]);
+  std::int64_t steps = 20;
+  try {
+    if (argc > 1) steps = cli::ParsePositiveInt64(argv[1], "denoise_steps", 100000);
 
-  std::cout << "=== SD-1.5 reduced UNet attention pipeline (" << steps
-            << " denoising steps) ===\n";
-  std::cout << hw.Describe() << "\n";
+    std::cout << "=== SD-1.5 reduced UNet attention pipeline (" << steps
+              << " denoising steps) ===\n";
+    std::cout << hw.Describe() << "\n";
 
-  const auto units = SdUnetAttentionUnits();
-  const std::vector<Method> methods = {Method::kLayerWise, Method::kFlat, Method::kMas};
+    const auto units = SdUnetAttentionUnits();
+    const std::vector<std::string> methods = {"Layer-Wise", "FLAT", "MAS-Attention"};
 
-  TextTable per_unit({"Unit", "count", "N", "H", "Layer-Wise ms", "FLAT ms", "MAS ms",
-                      "MAS overwrites"});
-  std::map<Method, double> step_ms;
-  for (const auto& unit : units) {
-    std::vector<double> ms;
-    std::int64_t overwrites = 0;
-    for (Method m : methods) {
-      const auto sched = MakeScheduler(m);
-      const TilingConfig tiling = search::AutoTile(*sched, unit.shape, hw, em);
-      const auto r = sched->Simulate(unit.shape, tiling, hw, em);
-      const double t = r.cycles / (hw.frequency_ghz * 1e6);
-      ms.push_back(t);
-      step_ms[m] += t * unit.count;
-      if (m == Method::kMas) overwrites = r.overwrite_events;
+    Planner planner;
+    TextTable per_unit({"Unit", "count", "N", "H", "Layer-Wise ms", "FLAT ms", "MAS ms",
+                        "MAS overwrites"});
+    std::map<std::string, double> step_ms;
+    for (const auto& unit : units) {
+      std::vector<double> ms;
+      std::int64_t overwrites = 0;
+      for (const std::string& m : methods) {
+        const TuningPlan plan = planner.Plan(unit.shape, m, hw);
+        const auto r = planner.Simulate(plan, hw);
+        const double t = r.cycles / (hw.frequency_ghz * 1e6);
+        ms.push_back(t);
+        step_ms[m] += t * unit.count;
+        if (m == "MAS-Attention") overwrites = r.overwrite_events;
+      }
+      per_unit.AddRow({unit.shape.name, std::to_string(unit.count),
+                       std::to_string(unit.shape.seq_len), std::to_string(unit.shape.heads),
+                       FormatFixed(ms[0], 3), FormatFixed(ms[1], 3), FormatFixed(ms[2], 3),
+                       std::to_string(overwrites)});
     }
-    per_unit.AddRow({unit.shape.name, std::to_string(unit.count),
-                     std::to_string(unit.shape.seq_len), std::to_string(unit.shape.heads),
-                     FormatFixed(ms[0], 3), FormatFixed(ms[1], 3), FormatFixed(ms[2], 3),
-                     std::to_string(overwrites)});
-  }
-  std::cout << per_unit.ToString() << "\n";
+    std::cout << per_unit.ToString() << "\n";
 
-  TextTable totals({"Method", "attention ms/step", "attention ms/image",
-                    "reduction vs Layer-Wise"});
-  for (Method m : methods) {
-    totals.AddRow({MethodName(m), FormatFixed(step_ms[m], 3),
-                   FormatFixed(step_ms[m] * steps, 1),
-                   FormatPercent(1.0 - step_ms[m] / step_ms[Method::kLayerWise])});
+    TextTable totals({"Method", "attention ms/step", "attention ms/image",
+                      "reduction vs Layer-Wise"});
+    for (const std::string& m : methods) {
+      totals.AddRow({m, FormatFixed(step_ms[m], 3),
+                     FormatFixed(step_ms[m] * static_cast<double>(steps), 1),
+                     FormatPercent(1.0 - step_ms[m] / step_ms["Layer-Wise"])});
+    }
+    std::cout << totals.ToString() << "\n";
+    std::cout << "The 64x64 (N=4096) units dominate: their score strips are megabytes, so\n";
+    std::cout << "the scheduler leans on the proactive overwrite to keep the pipeline fed\n";
+    std::cout << "(paper: 29.4% runtime cut on the largest unit, ~6% end-to-end).\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  std::cout << totals.ToString() << "\n";
-  std::cout << "The 64x64 (N=4096) units dominate: their score strips are megabytes, so\n";
-  std::cout << "the scheduler leans on the proactive overwrite to keep the pipeline fed\n";
-  std::cout << "(paper: 29.4% runtime cut on the largest unit, ~6% end-to-end).\n";
   return 0;
 }

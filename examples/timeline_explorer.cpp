@@ -3,6 +3,10 @@
 // and export the schedule as Chrome-trace JSON + CSV for offline analysis in
 // chrome://tracing / ui.perfetto.dev or a spreadsheet.
 //
+// Methods are string keys into the SchedulerRegistry; the tiling resolves
+// through the mas::Planner facade, and Simulate() replays the plan with
+// timeline recording on.
+//
 //   $ ./timeline_explorer [network] [method] [out_prefix]
 //   $ ./timeline_explorer "BERT-Small" MAS-Attention /tmp/mas
 //   -> /tmp/mas.trace.json, /tmp/mas.timeline.csv
@@ -10,58 +14,49 @@
 #include <string>
 
 #include "dataflow/workloads.h"
-#include "schedulers/scheduler.h"
-#include "search/tiling_search.h"
+#include "planner/planner.h"
+#include "schedulers/registry.h"
 #include "sim/hardware_config.h"
 #include "trace/trace.h"
 
 int main(int argc, char** argv) {
   using namespace mas;
   const std::string network = argc > 1 ? argv[1] : "BERT-Small";
-  const std::string method_name = argc > 2 ? argv[2] : "MAS-Attention";
+  const std::string method = argc > 2 ? argv[2] : "MAS-Attention";
   const std::string out_prefix = argc > 3 ? argv[3] : "";
 
-  const sim::HardwareConfig hw = sim::EdgeSimConfig();
-  const sim::EnergyModel em;
-  const NetworkWorkload net = FindNetwork(network);
+  try {
+    const sim::HardwareConfig hw = sim::EdgeSimConfig();
+    const NetworkWorkload net = FindNetwork(network);
+    MAS_CHECK(SchedulerRegistry::Instance().Find(method) != nullptr)
+        << "unknown method '" << method
+        << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
 
-  Method method = Method::kMas;
-  bool found = false;
-  for (Method m : AllMethods()) {
-    if (method_name == MethodName(m)) {
-      method = m;
-      found = true;
+    Planner planner;
+    const TuningPlan plan = planner.Plan(net.shape, method, hw);
+    const auto result = planner.Simulate(plan, hw, /*record_timeline=*/true);
+
+    std::cout << "=== " << method << " on " << net.shape.ToString() << " ===\n";
+    std::cout << "tuned tiling: " << plan.tiling.ToString() << "\n\n";
+
+    trace::GanttOptions gantt;
+    gantt.width = 100;
+    std::cout << trace::AsciiGantt(result, gantt) << "\n";
+    std::cout << trace::Summarize(result).ToString() << "\n";
+
+    if (!out_prefix.empty()) {
+      const std::string json_path = out_prefix + ".trace.json";
+      const std::string csv_path = out_prefix + ".timeline.csv";
+      trace::WriteFile(json_path, trace::ChromeTraceJson(result, hw.frequency_ghz));
+      trace::WriteFile(csv_path, trace::TimelineCsv(result));
+      std::cout << "wrote " << json_path << " (open in chrome://tracing) and " << csv_path
+                << "\n";
+    } else {
+      std::cout << "pass an output prefix to export Chrome-trace JSON + CSV\n";
     }
-  }
-  if (!found) {
-    std::cerr << "unknown method '" << method_name << "'; options:";
-    for (Method m : AllMethods()) std::cerr << " '" << MethodName(m) << "'";
-    std::cerr << "\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
-  }
-
-  const auto sched = MakeScheduler(method);
-  const TilingConfig tiling = search::AutoTile(*sched, net.shape, hw, em);
-  const auto result =
-      sched->Simulate(net.shape, tiling, hw, em, /*record_timeline=*/true);
-
-  std::cout << "=== " << sched->name() << " on " << net.shape.ToString() << " ===\n";
-  std::cout << "tuned tiling: " << tiling.ToString() << "\n\n";
-
-  trace::GanttOptions gantt;
-  gantt.width = 100;
-  std::cout << trace::AsciiGantt(result, gantt) << "\n";
-  std::cout << trace::Summarize(result).ToString() << "\n";
-
-  if (!out_prefix.empty()) {
-    const std::string json_path = out_prefix + ".trace.json";
-    const std::string csv_path = out_prefix + ".timeline.csv";
-    trace::WriteFile(json_path, trace::ChromeTraceJson(result, hw.frequency_ghz));
-    trace::WriteFile(csv_path, trace::TimelineCsv(result));
-    std::cout << "wrote " << json_path << " (open in chrome://tracing) and " << csv_path
-              << "\n";
-  } else {
-    std::cout << "pass an output prefix to export Chrome-trace JSON + CSV\n";
   }
   return 0;
 }

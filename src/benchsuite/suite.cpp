@@ -42,6 +42,7 @@ void SuiteRegistry::EnsureBuiltins() const {
     RegisterSearchSuites();
     RegisterAblationSuites();
     RegisterExtensionSuites();
+    RegisterServeSuites();
   });
 }
 

@@ -154,5 +154,7 @@ void RegisterSearchSuites();      // fig7, search_improvement
 void RegisterAblationSuites();    // ablation_{tiling,overwrite,bandwidth,cores}
 void RegisterExtensionSuites();   // cross_attention, seq_sweep, limits_maxseq,
                                   // sd_unet_e2e, training_backward
+void RegisterServeSuites();       // serve_llm_chat, serve_decode_heavy,
+                                  // serve_mixed_sd
 
 }  // namespace mas::bench

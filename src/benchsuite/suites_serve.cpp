@@ -1,0 +1,86 @@
+// Serving-scenario suites: trace-driven request-level simulation (prefill +
+// decode continuous batching) on the edge device. These are the first suites
+// that exercise scheduler *selection* across phases — MAS for the
+// compute-bound prefill, a fused dataflow for the DMA-bound decode — rather
+// than one shape at a time.
+//
+// All plans resolve through the context's shared Planner with power-of-two
+// context bucketing, so a persisted plan cache replays every serve suite
+// with zero search evaluations and byte-identical BENCH_serve_*.json.
+#include <ostream>
+#include <string>
+
+#include "benchsuite/suite.h"
+#include "serve/session.h"
+
+namespace mas::bench {
+
+namespace {
+
+// Shared implementation: generate the preset trace, serve it, report.
+class ServeSuite final : public BenchSuite {
+ public:
+  ServeSuite(SuiteInfo info, std::string preset, serve::ServePlannerOptions planner_options,
+             int max_batch)
+      : info_(std::move(info)),
+        preset_(std::move(preset)),
+        planner_options_(std::move(planner_options)),
+        max_batch_(max_batch) {}
+
+  const SuiteInfo& info() const override { return info_; }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::HardwareConfig& hw = ctx.edge_hw();
+    const serve::SyntheticTraceSpec spec = serve::FindTracePreset(preset_);
+    const serve::RequestTrace trace = serve::GenerateTrace(spec);
+
+    out << "=== Serving scenario '" << preset_ << "' (trace-driven, continuous batching) ===\n";
+    out << hw.Describe() << "\n";
+    out << "Model: " << Llama3Geometry().name << " (H=" << Llama3Geometry().heads
+        << ", E=" << Llama3Geometry().embed << "), prefill " << planner_options_.prefill_method
+        << " / decode " << planner_options_.decode_method << ", max batch " << max_batch_
+        << ", context buckets pow2 >= " << planner_options_.min_context_bucket << "\n\n";
+
+    serve::ServePlanner planner(ctx.planner(), hw, Llama3Geometry(), planner_options_);
+    serve::ServeSessionOptions session_options;
+    session_options.max_batch = max_batch_;
+    session_options.jobs = ctx.jobs();
+    serve::ServeSession session(planner, session_options);
+    const serve::ServeResult result = session.Run(trace);
+
+    serve::PrintReport(out, result, hw, planner.plan_count());
+    out << "\n";
+
+    serve::WriteConfigJson(json, hw, Llama3Geometry(), planner_options_, max_batch_,
+                           planner.plan_count());
+    result.WriteJson(json, hw);
+  }
+
+ private:
+  SuiteInfo info_;
+  std::string preset_;
+  serve::ServePlannerOptions planner_options_;
+  int max_batch_;
+};
+
+}  // namespace
+
+void RegisterServeSuites() {
+  SuiteRegistry& registry = SuiteRegistry::Instance();
+  serve::ServePlannerOptions defaults;
+  registry.Register(std::make_unique<ServeSuite>(
+      SuiteInfo{"serve_llm_chat", "serving",
+                "interactive chat trace: prefill/decode continuous batching, TTFT/TPOT"},
+      "chat", defaults, /*max_batch=*/4));
+  registry.Register(std::make_unique<ServeSuite>(
+      SuiteInfo{"serve_decode_heavy", "serving",
+                "long-context decode-dominated trace: DMA-bound serving regime"},
+      "decode_heavy", defaults, /*max_batch=*/2));
+  registry.Register(std::make_unique<ServeSuite>(
+      SuiteInfo{"serve_mixed_sd", "serving",
+                "mixed autoregressive + speculative-decoding trace (N=1 and N=4 steps)"},
+      "mixed_sd", defaults, /*max_batch=*/4));
+}
+
+}  // namespace mas::bench

@@ -141,9 +141,8 @@ bool ArgParser::Parse(int argc, const char* const* argv) {
   return true;
 }
 
-namespace {
-
-std::int64_t ParsePositiveInt(const std::string& text, const std::string& what) {
+std::int64_t ParsePositiveInt64(const std::string& text, const std::string& what,
+                                std::int64_t max_value) {
   char* end = nullptr;
   errno = 0;
   const long long v = std::strtoll(text.c_str(), &end, 10);
@@ -151,7 +150,14 @@ std::int64_t ParsePositiveInt(const std::string& text, const std::string& what) 
       << what << " expects an integer, got '" << text << "'";
   MAS_CHECK(errno != ERANGE) << what << " out of range: '" << text << "'";
   MAS_CHECK(v > 0) << what << " expects a positive value, got " << v;
+  MAS_CHECK(v <= max_value) << what << " must be at most " << max_value << ", got " << v;
   return v;
+}
+
+namespace {
+
+std::int64_t ParsePositiveInt(const std::string& text, const std::string& what) {
+  return ParsePositiveInt64(text, what);
 }
 
 }  // namespace

@@ -64,6 +64,14 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+// Strict positive-integer parser for positional arguments (the examples'
+// `[max_context]`-style operands): full-string strtoll with the errno/ERANGE
+// protocol, so garbage ("12abc", "") and overflowing text throw mas::Error
+// naming `what` instead of silently parsing to 0 or saturating. The result
+// additionally must lie in [1, max_value].
+std::int64_t ParsePositiveInt64(const std::string& text, const std::string& what,
+                                std::int64_t max_value = INT64_MAX);
+
 // Parses the sweep sequence grammar used by flags like --seq:
 //   "512"            -> {512}
 //   "128,256,512"    -> explicit comma list

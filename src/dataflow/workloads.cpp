@@ -73,13 +73,37 @@ std::vector<UNetAttentionUnit> SdUnetCrossAttentionUnits() {
   };
 }
 
+AttentionGeometry Llama3Geometry() { return AttentionGeometry{"llama3_8b", 32, 128}; }
+
+AttentionGeometry BertBaseGeometry() { return AttentionGeometry{"bert_base", 12, 64}; }
+
+AttentionShape PrefillShape(const AttentionGeometry& geometry, std::int64_t prompt_len) {
+  MAS_CHECK(prompt_len >= 1) << "prompt length must be positive, got " << prompt_len;
+  AttentionShape shape{geometry.name + "_prefill_n" + std::to_string(prompt_len), 1,
+                       geometry.heads, prompt_len, geometry.embed};
+  shape.Validate();
+  return shape;
+}
+
+AttentionShape DecodeShape(const AttentionGeometry& geometry, std::int64_t context_len,
+                           std::int64_t queries) {
+  MAS_CHECK(context_len >= 1) << "context length must be positive, got " << context_len;
+  MAS_CHECK(queries >= 1) << "decode query count must be positive, got " << queries;
+  std::string name = geometry.name + "_decode_ctx" + std::to_string(context_len);
+  if (queries > 1) name += "_q" + std::to_string(queries);
+  AttentionShape shape{std::move(name), 1, geometry.heads, /*seq_len=*/queries,
+                       geometry.embed, /*kv_len=*/context_len};
+  shape.Validate();
+  return shape;
+}
+
 std::vector<NetworkWorkload> DecodeWorkloads(const std::vector<std::int64_t>& context_lengths) {
   std::vector<NetworkWorkload> workloads;
   for (std::int64_t ctx : context_lengths) {
-    MAS_CHECK(ctx >= 1) << "context length must be positive, got " << ctx;
     NetworkWorkload w;
     w.name = "llama3-decode-ctx" + std::to_string(ctx);
-    w.shape = AttentionShape{w.name, 1, 32, /*seq_len=*/1, /*embed=*/128, /*kv_len=*/ctx};
+    w.shape = DecodeShape(Llama3Geometry(), ctx);
+    w.shape.name = w.name;  // keep the historical display name
     w.hidden = 4096;
     workloads.push_back(std::move(w));
   }

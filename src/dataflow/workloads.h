@@ -42,12 +42,36 @@ std::vector<UNetAttentionUnit> SdUnetAttentionUnits();
 // opposite corner of the tiling space from Table 1's square workloads.
 std::vector<UNetAttentionUnit> SdUnetCrossAttentionUnits();
 
+// Per-model attention geometry (head count and per-head embedding) for
+// request-level serving, where one model produces many shapes: an N x N
+// prefill per request plus one N_kv-growing decode step per generated token.
+struct AttentionGeometry {
+  std::string name = "model";
+  std::int64_t heads = 1;
+  std::int64_t embed = 1;
+};
+
+// Llama3-8B-class head layout (H=32, E=128) — the repo's serving default.
+AttentionGeometry Llama3Geometry();
+// BERT-Base-class layout (H=12, E=64) — small enough for fast tests.
+AttentionGeometry BertBaseGeometry();
+
+// Prefill phase of one request: N = prompt_len self-attention (square score
+// matrix, the regime where MAS's MAC/VEC overlap wins).
+AttentionShape PrefillShape(const AttentionGeometry& geometry, std::int64_t prompt_len);
+
+// Decode phase of one request: `queries` new tokens (1 = autoregressive,
+// >1 = speculative-decoding verification) against a KV cache of context_len
+// entries. Arithmetic intensity collapses to O(queries) MACs per K/V byte,
+// so decode is DMA-bound and scheduler selection flips relative to prefill.
+AttentionShape DecodeShape(const AttentionGeometry& geometry, std::int64_t context_len,
+                           std::int64_t queries = 1);
+
 // Autoregressive-decode attention workloads (one new token against a KV
 // cache): N = 1 query row, N_kv = context length. The paper's stream
 // pipeline degenerates here (a single softmax row per head), making decode
 // the natural stress test for the scheduler-selection logic in examples.
-// Returns shapes for the given context lengths on a Llama3-8B-class head
-// layout (H=32, E=128).
+// Returns DecodeShape(Llama3Geometry(), ctx) for the given context lengths.
 std::vector<NetworkWorkload> DecodeWorkloads(const std::vector<std::int64_t>& context_lengths);
 
 }  // namespace mas

@@ -1,0 +1,64 @@
+#include "serve/serve_planner.h"
+
+#include <utility>
+
+#include "schedulers/registry.h"
+
+namespace mas::serve {
+
+namespace {
+
+bool IsPowerOfTwo(std::int64_t v) { return v >= 1 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+ServePlanner::ServePlanner(Planner& planner, const sim::HardwareConfig& hw,
+                           AttentionGeometry geometry, ServePlannerOptions options)
+    : planner_(planner), hw_(hw), geometry_(std::move(geometry)), options_(std::move(options)) {
+  MAS_CHECK(IsPowerOfTwo(options_.min_context_bucket))
+      << "min_context_bucket must be a power of two, got " << options_.min_context_bucket;
+  // Fail fast (listing the registry) instead of on the first request.
+  MAS_CHECK(SchedulerRegistry::Instance().Find(options_.prefill_method) != nullptr)
+      << "unknown prefill method '" << options_.prefill_method
+      << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
+  MAS_CHECK(SchedulerRegistry::Instance().Find(options_.decode_method) != nullptr)
+      << "unknown decode method '" << options_.decode_method
+      << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
+}
+
+std::int64_t ServePlanner::Bucket(std::int64_t n, std::int64_t min_bucket) {
+  MAS_CHECK(n >= 1) << "bucketed length must be positive, got " << n;
+  MAS_CHECK(IsPowerOfTwo(min_bucket)) << "min_bucket must be a power of two";
+  std::int64_t bucket = min_bucket;
+  while (bucket < n) {
+    MAS_CHECK(bucket <= (INT64_MAX >> 1)) << "context length " << n << " overflows bucketing";
+    bucket <<= 1;
+  }
+  return bucket;
+}
+
+const TuningPlan& ServePlanner::PrefillPlan(std::int64_t prompt_len) {
+  return Resolve(Phase::kPrefill, Bucket(prompt_len, options_.min_context_bucket), 1);
+}
+
+const TuningPlan& ServePlanner::DecodePlan(std::int64_t context_len, std::int64_t queries) {
+  MAS_CHECK(queries >= 1) << "decode query count must be positive, got " << queries;
+  return Resolve(Phase::kDecode, Bucket(context_len, options_.min_context_bucket), queries);
+}
+
+const TuningPlan& ServePlanner::Resolve(Phase phase, std::int64_t bucket,
+                                        std::int64_t queries) {
+  const auto key = std::make_tuple(static_cast<int>(phase), bucket, queries);
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) return it->second;
+
+  const AttentionShape shape = phase == Phase::kPrefill
+                                   ? PrefillShape(geometry_, bucket)
+                                   : DecodeShape(geometry_, bucket, queries);
+  const std::string& method =
+      phase == Phase::kPrefill ? options_.prefill_method : options_.decode_method;
+  TuningPlan plan = planner_.Plan(shape, method, hw_, options_.policy);
+  return plans_.emplace(key, std::move(plan)).first->second;
+}
+
+}  // namespace mas::serve

@@ -1,0 +1,84 @@
+// serve::ServePlanner — phase-aware plan resolution for request-level
+// serving.
+//
+// A served request needs one prefill plan (N x N self-attention at the
+// prompt length) and one decode plan per generated token (N = speculation
+// query rows against a growing KV cache). Left unbucketed, a thousand-token
+// generation would demand a thousand distinct TuningPlans — a thousand
+// tiling searches. ServePlanner instead rounds every context and prompt
+// length up to its power-of-two bucket (>= min_context_bucket), the same
+// padding real serving runtimes apply to keep compiled-kernel counts
+// bounded: thousands of decode steps then share a handful of plans, and a
+// warm plan cache (mas::Planner's PlanStore) replays an entire trace with
+// ZERO search evaluations.
+//
+// The simulated shape IS the bucketed shape — a conservative padded upper
+// bound, exactly what a bucketed runtime executes. Bucketing semantics are
+// part of the serve JSON contract (see README "Serving simulator").
+//
+// Per-phase methods are independent, because scheduler selection flips
+// between phases: MAS's MAC/VEC overlap wins the compute-bound prefill,
+// while decode is DMA-bound and any fused dataflow (default: FLAT) suffices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "dataflow/workloads.h"
+#include "planner/planner.h"
+#include "sim/hardware_config.h"
+
+namespace mas::serve {
+
+struct ServePlannerOptions {
+  std::string prefill_method = "MAS-Attention";
+  std::string decode_method = "FLAT";
+  // Smallest context/prompt bucket (power of two). Coarser buckets mean
+  // fewer plans but more padding at short contexts.
+  std::int64_t min_context_bucket = 64;
+  TilingPolicy policy = TilingPolicy::kAutoTile;
+};
+
+class ServePlanner {
+ public:
+  // `planner` carries the plan store (load a plan cache into it to
+  // warm-start) and must outlive this object. Throws when the options name
+  // an unregistered method or a non-power-of-two bucket.
+  ServePlanner(Planner& planner, const sim::HardwareConfig& hw, AttentionGeometry geometry,
+               ServePlannerOptions options = {});
+
+  // Rounds `n` up to the enclosing power-of-two bucket (>= min_bucket).
+  static std::int64_t Bucket(std::int64_t n, std::int64_t min_bucket);
+
+  // Plan for a prefill of `prompt_len` tokens, resolved at the bucketed
+  // prompt length. References stay valid for this object's lifetime.
+  const TuningPlan& PrefillPlan(std::int64_t prompt_len);
+  // Plan for one decode step of `queries` rows against `context_len` KV
+  // entries, resolved at the bucketed context length.
+  const TuningPlan& DecodePlan(std::int64_t context_len, std::int64_t queries = 1);
+
+  Planner& planner() { return planner_; }
+  const sim::HardwareConfig& hw() const { return hw_; }
+  const AttentionGeometry& geometry() const { return geometry_; }
+  const ServePlannerOptions& options() const { return options_; }
+
+  // Distinct (phase, bucket, queries) plans resolved so far — the measure of
+  // how much the bucketing compresses a trace's plan demand.
+  std::int64_t plan_count() const { return static_cast<std::int64_t>(plans_.size()); }
+
+ private:
+  enum class Phase { kPrefill = 0, kDecode = 1 };
+  const TuningPlan& Resolve(Phase phase, std::int64_t bucket, std::int64_t queries);
+
+  Planner& planner_;
+  sim::HardwareConfig hw_;
+  AttentionGeometry geometry_;
+  ServePlannerOptions options_;
+  // Local memo so repeated buckets skip even the planner's store lookup.
+  // Values are stable (std::map never invalidates on insert).
+  std::map<std::tuple<int, std::int64_t, std::int64_t>, TuningPlan> plans_;
+};
+
+}  // namespace mas::serve

@@ -1,0 +1,259 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "runner/thread_pool.h"
+
+namespace mas::serve {
+
+double ServeMetrics::TokensPerSecond(double frequency_ghz) const {
+  if (makespan_cycles == 0) return 0.0;
+  const double seconds = static_cast<double>(makespan_cycles) / (frequency_ghz * 1e9);
+  return static_cast<double>(generated_tokens) / seconds;
+}
+
+double ServeMetrics::MakespanMs(double frequency_ghz) const {
+  return static_cast<double>(makespan_cycles) / (frequency_ghz * 1e6);
+}
+
+void ServeResult::WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) const {
+  json.KeyValue("trace", trace_name);
+  json.BeginArray("requests");
+  for (const RequestMetrics& r : requests) {
+    json.BeginObject();
+    json.KeyValue("id", r.id);
+    json.KeyValue("arrival_tick", r.arrival_tick);
+    json.KeyValue("prompt_len", r.prompt_len);
+    json.KeyValue("decode_len", r.decode_len);
+    json.KeyValue("speculation", r.speculation);
+    json.KeyValue("decode_steps", r.decode_steps);
+    json.KeyValue("arrival_cycles", r.arrival_cycles);
+    json.KeyValue("first_token_cycles", r.first_token_cycles);
+    json.KeyValue("finish_cycles", r.finish_cycles);
+    json.KeyValue("ttft_cycles", r.TtftCycles());
+    json.KeyValue("tpot_cycles", r.TpotCycles());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginObject("aggregate");
+  json.KeyValue("requests", metrics.requests);
+  json.KeyValue("prompt_tokens", metrics.prompt_tokens);
+  json.KeyValue("decode_tokens", metrics.decode_tokens);
+  json.KeyValue("generated_tokens", metrics.generated_tokens);
+  json.KeyValue("steps", metrics.steps);
+  json.KeyValue("prefill_sims", metrics.prefill_sims);
+  json.KeyValue("decode_sims", metrics.decode_sims);
+  json.KeyValue("makespan_cycles", metrics.makespan_cycles);
+  json.KeyValue("makespan_ms", metrics.MakespanMs(hw.frequency_ghz));
+  json.KeyValue("mean_ttft_cycles", metrics.mean_ttft_cycles);
+  json.KeyValue("max_ttft_cycles", metrics.max_ttft_cycles);
+  json.KeyValue("mean_tpot_cycles", metrics.mean_tpot_cycles);
+  json.KeyValue("tokens_per_second", metrics.TokensPerSecond(hw.frequency_ghz));
+  json.KeyValue("total_pj", metrics.energy.total_pj());
+  json.KeyValue("dram_pj", metrics.energy.dram_pj);
+  json.KeyValue("dram_read_bytes", metrics.dram_read_bytes);
+  json.KeyValue("dram_write_bytes", metrics.dram_write_bytes);
+  json.EndObject();
+}
+
+void PrintReport(std::ostream& out, const ServeResult& result, const sim::HardwareConfig& hw,
+                 std::int64_t plan_count) {
+  const double to_us = 1.0 / (hw.frequency_ghz * 1e3);
+  TextTable table({"req", "arrive", "prompt", "decode", "spec", "TTFT us", "TPOT us"});
+  for (const RequestMetrics& r : result.requests) {
+    table.AddRow({std::to_string(r.id), std::to_string(r.arrival_tick),
+                  std::to_string(r.prompt_len), std::to_string(r.decode_len),
+                  std::to_string(r.speculation),
+                  FormatFixed(static_cast<double>(r.TtftCycles()) * to_us, 1),
+                  FormatFixed(r.TpotCycles() * to_us, 1)});
+  }
+  out << table.ToString() << "\n";
+
+  const ServeMetrics& m = result.metrics;
+  out << "makespan " << FormatFixed(m.MakespanMs(hw.frequency_ghz), 2) << " ms, "
+      << FormatFixed(m.TokensPerSecond(hw.frequency_ghz), 0) << " tokens/s, mean TTFT "
+      << FormatFixed(m.mean_ttft_cycles * to_us, 1) << " us, mean TPOT "
+      << FormatFixed(m.mean_tpot_cycles * to_us, 1) << " us over " << m.requests
+      << " requests (" << m.prefill_sims << " prefill + " << m.decode_sims
+      << " decode sims, " << plan_count << " distinct plans), energy "
+      << FormatFixed(m.energy.total_pj() / 1e9, 3) << " mJ\n";
+}
+
+void WriteConfigJson(JsonWriter& json, const sim::HardwareConfig& hw,
+                     const AttentionGeometry& geometry, const ServePlannerOptions& options,
+                     int max_batch, std::int64_t plan_count) {
+  json.KeyValue("hardware", hw.name);
+  json.KeyValue("model", geometry.name);
+  json.KeyValue("prefill_method", options.prefill_method);
+  json.KeyValue("decode_method", options.decode_method);
+  json.KeyValue("min_context_bucket", options.min_context_bucket);
+  json.KeyValue("max_batch", max_batch);
+  json.KeyValue("plan_count", plan_count);
+}
+
+ServeSession::ServeSession(ServePlanner& planner, ServeSessionOptions options)
+    : planner_(planner), options_(options) {
+  MAS_CHECK(options_.max_batch >= 1) << "max_batch must be positive, got "
+                                     << options_.max_batch;
+}
+
+ServeResult ServeSession::Run(const RequestTrace& trace) {
+  trace.Validate();
+  const std::size_t n = trace.requests.size();
+
+  // Mutable per-request progress, indexed like trace.requests.
+  struct Progress {
+    bool prefilled = false;
+    std::int64_t decoded = 0;  // decode tokens generated so far
+  };
+  std::vector<Progress> progress(n);
+  std::vector<RequestMetrics> metrics(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServeRequest& r = trace.requests[i];
+    metrics[i].id = r.id;
+    metrics[i].arrival_tick = r.arrival_tick;
+    metrics[i].prompt_len = r.prompt_len;
+    metrics[i].decode_len = r.decode_len;
+    metrics[i].speculation = r.speculation;
+    metrics[i].decode_steps = r.DecodeSteps();
+  }
+
+  ServeResult result;
+  result.trace_name = trace.name;
+  ServeMetrics& agg = result.metrics;
+  agg.requests = static_cast<std::int64_t>(n);
+  agg.prompt_tokens = trace.TotalPromptTokens();
+  agg.decode_tokens = trace.TotalDecodeTokens();
+  // Every request emits its first token at the end of prefill, then
+  // decode_len more: generated = requests + sum(decode_len).
+  agg.generated_tokens = agg.requests + agg.decode_tokens;
+
+  // One reusable engine per simulation worker: arena capacity persists across
+  // the whole trace, so steady-state steps are allocation-free.
+  const std::size_t max_workers = runner::EffectiveWorkers(
+      static_cast<std::size_t>(options_.max_batch), options_.jobs);
+  std::vector<sim::Engine> engines;
+  engines.reserve(max_workers);
+  for (std::size_t w = 0; w < max_workers; ++w) engines.emplace_back(planner_.hw());
+
+  std::size_t next_arrival = 0;  // first not-yet-visible trace index
+  std::deque<std::size_t> waiting;
+  std::vector<std::size_t> batch;
+  std::uint64_t clock = 0;
+  std::size_t finished = 0;
+  std::int64_t tick = 0;
+
+  // Per-step scratch, reused across steps.
+  std::vector<const TuningPlan*> step_plans;
+  std::vector<std::size_t> step_queries;  // decode rows (0 = prefill entry)
+  std::vector<sim::SimResult> step_results;
+
+  while (finished < n) {
+    // Admit arrivals that became visible at or before this tick.
+    while (next_arrival < n && trace.requests[next_arrival].arrival_tick <= tick) {
+      metrics[next_arrival].arrival_cycles = clock;
+      waiting.push_back(next_arrival);
+      ++next_arrival;
+    }
+    // Fill free batch slots FIFO.
+    while (batch.size() < static_cast<std::size_t>(options_.max_batch) && !waiting.empty()) {
+      batch.push_back(waiting.front());
+      waiting.pop_front();
+    }
+    if (batch.empty()) {
+      // Device idle: jump straight to the next arrival (the clock does not
+      // advance — idle cycles are free in this single-device model).
+      MAS_CHECK(next_arrival < n) << "serve session stalled with no runnable requests";
+      tick = trace.requests[next_arrival].arrival_tick;
+      continue;
+    }
+
+    // Resolve this step's plans serially in batch order (planner calls are
+    // deterministic and dedup through the plan store / local memo).
+    step_plans.clear();
+    step_queries.clear();
+    for (std::size_t idx : batch) {
+      const ServeRequest& r = trace.requests[idx];
+      const Progress& p = progress[idx];
+      if (!p.prefilled) {
+        step_plans.push_back(&planner_.PrefillPlan(r.prompt_len));
+        step_queries.push_back(0);
+      } else {
+        const std::int64_t remaining = r.decode_len - p.decoded;
+        const std::int64_t queries = std::min(r.speculation, remaining);
+        const std::int64_t context = r.prompt_len + p.decoded;
+        step_plans.push_back(&planner_.DecodePlan(context, queries));
+        step_queries.push_back(static_cast<std::size_t>(queries));
+      }
+    }
+
+    // Simulate the entries across the workers; each writes its own slot.
+    step_results.assign(batch.size(), sim::SimResult{});
+    runner::ParallelForWorkers(batch.size(), options_.jobs, [&](std::size_t worker,
+                                                                std::size_t i) {
+      step_results[i] =
+          planner_.planner().Simulate(*step_plans[i], planner_.hw(),
+                                      /*record_timeline=*/false, &engines[worker]);
+    });
+
+    // Retire the step in batch order on the single-device clock.
+    std::vector<std::size_t> still_running;
+    still_running.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::size_t idx = batch[i];
+      const ServeRequest& r = trace.requests[idx];
+      Progress& p = progress[idx];
+      const sim::SimResult& sim = step_results[i];
+      clock += sim.cycles;
+      agg.energy += sim.energy;
+      agg.dram_read_bytes += sim.dram_read_bytes;
+      agg.dram_write_bytes += sim.dram_write_bytes;
+      if (step_queries[i] == 0) {
+        ++agg.prefill_sims;
+        p.prefilled = true;
+        metrics[idx].first_token_cycles = clock;
+        if (r.decode_len == 0) {
+          metrics[idx].finish_cycles = clock;
+          ++finished;
+          continue;
+        }
+      } else {
+        ++agg.decode_sims;
+        p.decoded += static_cast<std::int64_t>(step_queries[i]);
+        if (p.decoded >= r.decode_len) {
+          metrics[idx].finish_cycles = clock;
+          ++finished;
+          continue;
+        }
+      }
+      still_running.push_back(idx);
+    }
+    batch = std::move(still_running);
+    ++agg.steps;
+    ++tick;
+  }
+
+  agg.makespan_cycles = clock;
+  double ttft_sum = 0.0, tpot_sum = 0.0;
+  std::int64_t tpot_count = 0;
+  for (const RequestMetrics& m : metrics) {
+    const double ttft = static_cast<double>(m.TtftCycles());
+    ttft_sum += ttft;
+    agg.max_ttft_cycles = std::max(agg.max_ttft_cycles, ttft);
+    if (m.decode_len > 0) {
+      tpot_sum += m.TpotCycles();
+      ++tpot_count;
+    }
+  }
+  if (n > 0) agg.mean_ttft_cycles = ttft_sum / static_cast<double>(n);
+  if (tpot_count > 0) agg.mean_tpot_cycles = tpot_sum / static_cast<double>(tpot_count);
+
+  result.requests = std::move(metrics);
+  return result;
+}
+
+}  // namespace mas::serve

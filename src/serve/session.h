@@ -1,0 +1,134 @@
+// serve::ServeSession — trace-driven serving simulation with continuous
+// batching.
+//
+// The session advances in scheduling rounds ("steps"). At the start of each
+// step it admits every trace request whose arrival_tick has been reached
+// (FIFO, max_batch in-flight); each in-flight request then contributes one
+// phase simulation to the step — its prefill if it has not produced a first
+// token yet, otherwise one decode step against its current KV context. The
+// simulated device is a single accelerator, so a step's entries execute
+// back-to-back in batch order and the session clock advances by each
+// entry's simulated cycles; a request that finishes frees its slot for the
+// next step's admissions (continuous batching).
+//
+// Timing metrics fall out of the cycle clock:
+//   TTFT  = first-token completion - arrival (queueing included),
+//   TPOT  = (finish - first token) / decode tokens,
+//   tokens/s = generated tokens / (makespan / frequency).
+// Energy and DRAM traffic accumulate from the engine SimResults.
+//
+// Determinism: plans resolve serially in batch order through the
+// ServePlanner; only the engine simulations fan out across `jobs` workers,
+// each writing into its entry's slot, and results aggregate in batch order —
+// so the full ServeResult (and its JSON) is byte-identical for any jobs
+// value, and a warm plan cache replays a trace with zero search evaluations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/serve_planner.h"
+#include "serve/trace.h"
+#include "sim/engine.h"
+
+namespace mas {
+class JsonWriter;
+}
+
+namespace mas::serve {
+
+struct ServeSessionOptions {
+  int max_batch = 4;  // in-flight request cap (continuous-batching window)
+  int jobs = 1;       // worker threads simulating a step's batch entries
+};
+
+// Per-request outcome. All timestamps are session-clock cycles.
+struct RequestMetrics {
+  std::int64_t id = 0;
+  std::int64_t arrival_tick = 0;
+  std::int64_t prompt_len = 0;
+  std::int64_t decode_len = 0;
+  std::int64_t speculation = 1;
+  std::int64_t decode_steps = 0;
+
+  std::uint64_t arrival_cycles = 0;      // clock when the request became visible
+  std::uint64_t first_token_cycles = 0;  // clock when its prefill completed
+  std::uint64_t finish_cycles = 0;       // clock when its last token completed
+
+  std::uint64_t TtftCycles() const { return first_token_cycles - arrival_cycles; }
+  // Cycles per generated token after the first; 0 when decode_len == 0.
+  double TpotCycles() const {
+    if (decode_len == 0) return 0.0;
+    return static_cast<double>(finish_cycles - first_token_cycles) /
+           static_cast<double>(decode_len);
+  }
+};
+
+// Aggregate session outcome.
+struct ServeMetrics {
+  std::int64_t requests = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t decode_tokens = 0;
+  std::int64_t generated_tokens = 0;  // first tokens + decode tokens
+  std::int64_t steps = 0;             // scheduling rounds executed
+  std::int64_t prefill_sims = 0;      // phase simulations by kind
+  std::int64_t decode_sims = 0;
+  std::uint64_t makespan_cycles = 0;
+
+  double mean_ttft_cycles = 0.0;
+  double max_ttft_cycles = 0.0;
+  double mean_tpot_cycles = 0.0;  // over requests with decode_len > 0
+
+  sim::EnergyBreakdown energy;
+  std::int64_t dram_read_bytes = 0;
+  std::int64_t dram_write_bytes = 0;
+
+  // Derived from the hardware clock: generated tokens per wall second.
+  double TokensPerSecond(double frequency_ghz) const;
+  double MakespanMs(double frequency_ghz) const;
+};
+
+struct ServeResult {
+  std::string trace_name;
+  std::vector<RequestMetrics> requests;  // in trace (admission) order
+  ServeMetrics metrics;
+
+  // Deterministic machine-readable form: per-request rows plus the
+  // aggregate block (no wall clocks or thread counts — byte-identical for
+  // any jobs value). Emits into an already-open JSON object.
+  void WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) const;
+};
+
+class ServeSession {
+ public:
+  explicit ServeSession(ServePlanner& planner, ServeSessionOptions options = {});
+
+  // Plays the trace to completion and returns the metrics. Throws on an
+  // invalid trace. Safe to call repeatedly (sessions keep no trace state).
+  ServeResult Run(const RequestTrace& trace);
+
+  const ServeSessionOptions& options() const { return options_; }
+
+ private:
+  ServePlanner& planner_;
+  ServeSessionOptions options_;
+};
+
+// Shared reporting between tools/mas_serve and the serve bench suites, so
+// the human-readable tables and the JSON schema cannot drift between the
+// two drivers.
+//
+// PrintReport: the per-request TTFT/TPOT table plus a one-line aggregate
+// summary (makespan, throughput, latency means, sim/plan counts, energy).
+void PrintReport(std::ostream& out, const ServeResult& result, const sim::HardwareConfig& hw,
+                 std::int64_t plan_count);
+// WriteConfigJson: the configuration header keys (hardware, model, phase
+// methods, bucketing, batching, plan count) that precede
+// ServeResult::WriteJson in both drivers' JSON documents.
+void WriteConfigJson(JsonWriter& json, const sim::HardwareConfig& hw,
+                     const AttentionGeometry& geometry, const ServePlannerOptions& options,
+                     int max_batch, std::int64_t plan_count);
+
+}  // namespace mas::serve

@@ -1,0 +1,199 @@
+#include "serve/trace.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mas::serve {
+
+std::int64_t ServeRequest::DecodeSteps() const {
+  return decode_len == 0 ? 0 : CeilDiv(decode_len, speculation);
+}
+
+void ServeRequest::Validate() const {
+  MAS_CHECK(id >= 0) << "request id must be non-negative, got " << id;
+  MAS_CHECK(arrival_tick >= 0) << "request " << id << ": arrival_tick must be non-negative";
+  MAS_CHECK(prompt_len >= 1) << "request " << id << ": prompt_len must be positive";
+  MAS_CHECK(decode_len >= 0) << "request " << id << ": decode_len must be non-negative";
+  MAS_CHECK(speculation >= 1) << "request " << id << ": speculation must be positive";
+}
+
+void RequestTrace::Validate() const {
+  std::set<std::int64_t> ids;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].Validate();
+    MAS_CHECK(ids.insert(requests[i].id).second)
+        << "trace '" << name << "' has duplicate request id " << requests[i].id;
+    if (i == 0) continue;
+    const ServeRequest& prev = requests[i - 1];
+    const ServeRequest& cur = requests[i];
+    MAS_CHECK(prev.arrival_tick < cur.arrival_tick ||
+              (prev.arrival_tick == cur.arrival_tick && prev.id < cur.id))
+        << "trace '" << name << "' not sorted by (arrival_tick, id) at index " << i;
+  }
+}
+
+std::int64_t RequestTrace::TotalPromptTokens() const {
+  std::int64_t total = 0;
+  for (const ServeRequest& r : requests) total += r.prompt_len;
+  return total;
+}
+
+std::int64_t RequestTrace::TotalDecodeTokens() const {
+  std::int64_t total = 0;
+  for (const ServeRequest& r : requests) total += r.decode_len;
+  return total;
+}
+
+std::string RequestTrace::ToJson() const {
+  Validate();
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("version", std::int64_t{1});
+  w.KeyValue("name", name);
+  w.BeginArray("requests");
+  for (const ServeRequest& r : requests) {
+    w.BeginObject();
+    w.KeyValue("id", r.id);
+    w.KeyValue("arrival_tick", r.arrival_tick);
+    w.KeyValue("prompt_len", r.prompt_len);
+    w.KeyValue("decode_len", r.decode_len);
+    w.KeyValue("speculation", r.speculation);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+RequestTrace RequestTrace::FromJson(const std::string& text) {
+  const json::Value doc = json::Parse(text);
+  MAS_CHECK(doc.is_object()) << "trace document must be a JSON object";
+  MAS_CHECK(doc.Get("version").AsInt64() == 1)
+      << "unsupported trace version " << doc.Get("version").AsInt64();
+  RequestTrace trace;
+  trace.name = doc.Get("name").AsString();
+  for (const json::Value& v : doc.Get("requests").AsArray()) {
+    ServeRequest r;
+    r.id = v.Get("id").AsInt64();
+    r.arrival_tick = v.Get("arrival_tick").AsInt64();
+    r.prompt_len = v.Get("prompt_len").AsInt64();
+    r.decode_len = v.Get("decode_len").AsInt64();
+    // Optional for hand-written traces: absent means plain autoregressive.
+    if (const json::Value* spec = v.Find("speculation")) r.speculation = spec->AsInt64();
+    trace.requests.push_back(r);
+  }
+  trace.Validate();
+  return trace;
+}
+
+RequestTrace RequestTrace::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MAS_CHECK(in.is_open()) << "cannot open trace file '" << path << "'";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  MAS_CHECK(!in.bad()) << "I/O error reading trace file '" << path << "'";
+  return FromJson(buffer.str());
+}
+
+void RequestTrace::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MAS_CHECK(out.is_open()) << "cannot open trace file '" << path << "' for writing";
+  out << ToJson() << '\n';
+  out.flush();
+  MAS_CHECK(out.good()) << "I/O error writing trace file '" << path << "'";
+}
+
+RequestTrace GenerateTrace(const SyntheticTraceSpec& spec) {
+  MAS_CHECK(spec.requests >= 1) << "trace spec needs at least one request";
+  MAS_CHECK(spec.prompt_min >= 1 && spec.prompt_min <= spec.prompt_max)
+      << "trace spec prompt range [" << spec.prompt_min << ", " << spec.prompt_max
+      << "] invalid";
+  MAS_CHECK(spec.decode_min >= 0 && spec.decode_min <= spec.decode_max)
+      << "trace spec decode range [" << spec.decode_min << ", " << spec.decode_max
+      << "] invalid";
+  MAS_CHECK(spec.max_arrival_gap >= 0) << "trace spec arrival gap must be non-negative";
+  MAS_CHECK(spec.speculation >= 1) << "trace spec speculation must be positive";
+  MAS_CHECK(spec.speculative_fraction >= 0.0 && spec.speculative_fraction <= 1.0)
+      << "trace spec speculative_fraction must be in [0, 1]";
+
+  Rng rng(spec.seed);
+  RequestTrace trace;
+  trace.name = spec.name;
+  std::int64_t tick = 0;
+  for (std::int64_t i = 0; i < spec.requests; ++i) {
+    ServeRequest r;
+    r.id = i;
+    if (i > 0 && spec.max_arrival_gap > 0) {
+      tick += static_cast<std::int64_t>(
+          rng.NextBelow(static_cast<std::uint64_t>(spec.max_arrival_gap) + 1));
+    }
+    r.arrival_tick = tick;
+    r.prompt_len = spec.prompt_min +
+                   static_cast<std::int64_t>(rng.NextBelow(
+                       static_cast<std::uint64_t>(spec.prompt_max - spec.prompt_min) + 1));
+    r.decode_len = spec.decode_min +
+                   static_cast<std::int64_t>(rng.NextBelow(
+                       static_cast<std::uint64_t>(spec.decode_max - spec.decode_min) + 1));
+    if (spec.speculative_fraction > 0.0 && rng.NextBool(spec.speculative_fraction)) {
+      r.speculation = spec.speculation;
+    }
+    trace.requests.push_back(r);
+  }
+  trace.Validate();
+  return trace;
+}
+
+SyntheticTraceSpec FindTracePreset(const std::string& name, std::int64_t requests) {
+  SyntheticTraceSpec spec;
+  if (name == "chat") {
+    // Interactive chat: short-to-medium prompts, conversational decode tails,
+    // bursty arrivals.
+    spec.name = "chat";
+    spec.requests = 8;
+    spec.seed = 0xC4A7;
+    spec.prompt_min = 96;
+    spec.prompt_max = 768;
+    spec.decode_min = 16;
+    spec.decode_max = 96;
+    spec.max_arrival_gap = 2;
+  } else if (name == "decode_heavy") {
+    // Long-context summarization: big prompts, long generations — the
+    // DMA-bound regime where decode dominates the serving budget.
+    spec.name = "decode_heavy";
+    spec.requests = 4;
+    spec.seed = 0xDECD;
+    spec.prompt_min = 1024;
+    spec.prompt_max = 3072;
+    spec.decode_min = 128;
+    spec.decode_max = 256;
+    spec.max_arrival_gap = 4;
+  } else if (name == "mixed_sd") {
+    // Mixed traffic: half the requests verify 4-token speculative drafts per
+    // decode step (N = 4 query rows), half decode autoregressively (N = 1).
+    spec.name = "mixed_sd";
+    spec.requests = 8;
+    spec.seed = 0x315D;
+    spec.prompt_min = 128;
+    spec.prompt_max = 1024;
+    spec.decode_min = 32;
+    spec.decode_max = 128;
+    spec.max_arrival_gap = 3;
+    spec.speculation = 4;
+    spec.speculative_fraction = 0.5;
+  } else {
+    MAS_FAIL() << "unknown trace preset '" << name << "'; options: " << TracePresetNames();
+  }
+  if (requests > 0) spec.requests = requests;
+  return spec;
+}
+
+std::string TracePresetNames() { return "'chat', 'decode_heavy', 'mixed_sd'"; }
+
+}  // namespace mas::serve

@@ -1,0 +1,87 @@
+// serve::RequestTrace — the request-level workload model behind the serving
+// simulator.
+//
+// A trace is an ordered list of requests, each with an arrival tick (the
+// ServeSession scheduling round at which the request becomes visible), a
+// prompt length (prefill tokens), a decode length (tokens generated after
+// the first), and a speculation width (query rows verified per decode step;
+// 1 = plain autoregressive decode). Traces are durable artifacts with a
+// deterministic JSON representation, and the synthetic generators draw every
+// random field from common/rng so a (spec, seed) pair always reproduces the
+// same trace — the foundation of the serve suites' byte-stable BENCH output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mas::serve {
+
+// One request: arrive at `arrival_tick`, prefill `prompt_len` tokens (which
+// produces the first output token), then generate `decode_len` more tokens
+// in ceil(decode_len / speculation) decode steps.
+struct ServeRequest {
+  std::int64_t id = 0;            // dense, unique; FIFO tie-break within a tick
+  std::int64_t arrival_tick = 0;  // session scheduling round of first visibility
+  std::int64_t prompt_len = 1;    // prefill tokens
+  std::int64_t decode_len = 0;    // generated tokens after the first
+  std::int64_t speculation = 1;   // query rows per decode step (>1 = speculative)
+
+  // Decode steps this request needs: ceil(decode_len / speculation).
+  std::int64_t DecodeSteps() const;
+
+  // Throws mas::Error on non-positive prompt/speculation or negative fields.
+  void Validate() const;
+};
+
+// An ordered request collection. Requests must be sorted by
+// (arrival_tick, id) with unique ids — the order IS the admission order.
+struct RequestTrace {
+  std::string name = "trace";
+  std::vector<ServeRequest> requests;
+
+  void Validate() const;
+
+  std::int64_t TotalPromptTokens() const;
+  std::int64_t TotalDecodeTokens() const;
+
+  // Deterministic JSON round-trip:
+  //   {"version":1,"name":...,"requests":[{"id":...,"arrival_tick":...,
+  //    "prompt_len":...,"decode_len":...,"speculation":...},...]}
+  // FromJson throws mas::Error on malformed documents, an unsupported
+  // version, or requests that fail Validate().
+  std::string ToJson() const;
+  static RequestTrace FromJson(const std::string& text);
+
+  // File round-trip. LoadFile throws when the file cannot be read or parsed.
+  static RequestTrace LoadFile(const std::string& path);
+  void SaveFile(const std::string& path) const;
+};
+
+// Deterministic synthetic trace generator: all stochastic fields come from
+// one common/rng stream seeded with `seed`, so identical specs generate
+// identical traces on every platform and run.
+struct SyntheticTraceSpec {
+  std::string name = "synthetic";
+  std::int64_t requests = 8;
+  std::uint64_t seed = 1;
+  std::int64_t prompt_min = 128;  // uniform prompt length in [min, max]
+  std::int64_t prompt_max = 512;
+  std::int64_t decode_min = 16;   // uniform decode length in [min, max]
+  std::int64_t decode_max = 128;
+  std::int64_t max_arrival_gap = 2;  // uniform inter-arrival gap in [0, gap] ticks
+  std::int64_t speculation = 1;      // decode width of speculative requests
+  double speculative_fraction = 0.0; // Bernoulli share of speculative requests
+};
+RequestTrace GenerateTrace(const SyntheticTraceSpec& spec);
+
+// Named presets behind the serve bench suites and `mas_serve --trace`:
+//   "chat"         — interactive chat: short prompts, medium decode tails
+//   "decode_heavy" — long-context, decode-dominated summarization traffic
+//   "mixed_sd"     — mixed autoregressive + speculative-decoding traffic
+// `requests` overrides the preset's request count when > 0. Unknown names
+// throw an Error listing the preset catalog.
+SyntheticTraceSpec FindTracePreset(const std::string& name, std::int64_t requests = 0);
+std::string TracePresetNames();  // "'chat', 'decode_heavy', 'mixed_sd'"
+
+}  // namespace mas::serve

@@ -232,5 +232,39 @@ TEST(ParseInt64Sequence, RejectsMalformedInput) {
   EXPECT_THROW(ParseInt64Sequence("128:512:+0"), Error);
 }
 
+// The examples' positional-argument parser: strict full-string errno/ERANGE
+// protocol, so "12abc" and overflowing text fail loudly instead of silently
+// parsing to a prefix / 0 / a saturated value (the old std::atoll behavior).
+TEST(ParsePositiveInt64, AcceptsPositiveIntegers) {
+  EXPECT_EQ(ParsePositiveInt64("1", "arg"), 1);
+  EXPECT_EQ(ParsePositiveInt64("8192", "arg"), 8192);
+  EXPECT_EQ(ParsePositiveInt64("9223372036854775807", "arg"), INT64_MAX);
+}
+
+TEST(ParsePositiveInt64, RejectsGarbageInsteadOfParsingZero) {
+  EXPECT_THROW(ParsePositiveInt64("", "arg"), Error);
+  EXPECT_THROW(ParsePositiveInt64("abc", "arg"), Error);
+  EXPECT_THROW(ParsePositiveInt64("12abc", "arg"), Error);  // atoll would give 12
+  EXPECT_THROW(ParsePositiveInt64("0", "arg"), Error);
+  EXPECT_THROW(ParsePositiveInt64("-8", "arg"), Error);
+}
+
+TEST(ParsePositiveInt64, RejectsOverflowInsteadOfSaturating) {
+  EXPECT_THROW(ParsePositiveInt64("9223372036854775808", "arg"), Error);
+  EXPECT_THROW(ParsePositiveInt64("99999999999999999999999", "arg"), Error);
+}
+
+TEST(ParsePositiveInt64, EnforcesCallerCap) {
+  // The examples cap geometric-growth operands (e.g. max_context <= 2^24) so
+  // `ctx *= 2` loops cannot run toward signed overflow.
+  EXPECT_EQ(ParsePositiveInt64("16777216", "arg", std::int64_t{1} << 24), 1 << 24);
+  try {
+    ParsePositiveInt64("16777217", "max_context", std::int64_t{1} << 24);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("max_context"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace mas::cli

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "dataflow/workloads.h"
 #include "kernels/attention_kernels.h"
+#include "schedulers/registry.h"
 #include "schedulers/scheduler.h"
 #include "search/tiling_search.h"
 #include "sim/hardware_config.h"
@@ -168,6 +169,34 @@ TEST(CrossSim, DecodeWorkloadsSimulateAcrossContexts) {
     EXPECT_GT(r.cycles, 0u) << w.name;
     // Decode writes one row per head.
     EXPECT_EQ(r.dram_write_bytes, w.shape.OperandBytes(Hw().element_bytes)) << w.name;
+  }
+}
+
+// Property coverage for the serving simulator's decode regime: every
+// registered scheduler (ablations included) must schedule the N = 1,
+// kv_len ∈ {512, 4096} shapes within the hardware envelope. The exact
+// SimResults are pinned in tests/golden_engine_decode.inc.
+TEST(CrossSim, AllRegisteredSchedulersHandleDecodeShapes) {
+  for (const auto& w : DecodeWorkloads({512, 4096})) {
+    for (const SchedulerInfo& info : SchedulerRegistry::Instance().List()) {
+      const auto sched = SchedulerRegistry::Instance().Create(info.name);
+      const TilingConfig tiling = search::AutoTile(*sched, w.shape, Hw(), Em());
+      const auto r = sched->Simulate(w.shape, tiling, Hw(), Em());
+      EXPECT_GT(r.cycles, 0u) << info.name << " " << w.name;
+      EXPECT_LE(r.peak_l1_bytes, Hw().l1_bytes) << info.name << " " << w.name;
+      // Every method writes at least O (one row per head); the fully fused
+      // dataflows write exactly that, while Layer-Wise / Soft-Pipe also
+      // round-trip intermediate score matrices through DRAM.
+      const std::int64_t o_bytes = w.shape.OperandBytes(Hw().element_bytes);
+      if (info.method == Method::kLayerWise || info.method == Method::kSoftPipe) {
+        EXPECT_GT(r.dram_write_bytes, o_bytes) << info.name << " " << w.name;
+      } else {
+        EXPECT_EQ(r.dram_write_bytes, o_bytes) << info.name << " " << w.name;
+      }
+      // At least the whole KV cache must stream in from DRAM once.
+      EXPECT_GE(r.dram_read_bytes, 2 * w.shape.KvOperandBytes(Hw().element_bytes))
+          << info.name << " " << w.name;
+    }
   }
 }
 

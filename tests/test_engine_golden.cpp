@@ -42,13 +42,32 @@ const std::vector<GoldenRow>& GoldenRows() {
   return rows;
 }
 
-class EngineGolden : public testing::TestWithParam<std::size_t> {};
+// Decode-phase rows (N = 1 query row against a kv_len ∈ {512, 4096} KV
+// cache) for every registered scheduler — the serving simulator's regime,
+// where a single softmax row per head degenerates the stream pipelines.
+const std::vector<GoldenRow>& DecodeGoldenRows() {
+  static const std::vector<GoldenRow> rows = {
+#include "golden_engine_decode.inc"
+  };
+  return rows;
+}
 
-TEST_P(EngineGolden, MatchesSeedEngineBitForBit) {
-  const GoldenRow& row = GoldenRows()[GetParam()];
+// Resolves a golden row's network name: Table-1 first, then the decode
+// workload inventory the decode rows are generated from.
+NetworkWorkload FindGoldenNetwork(const std::string& name) {
+  for (const auto& w : Table1Networks()) {
+    if (w.name == name) return w;
+  }
+  for (const auto& w : DecodeWorkloads({512, 4096})) {
+    if (w.name == name) return w;
+  }
+  MAS_FAIL() << "golden row references unknown network '" << name << "'";
+}
+
+void CheckGoldenRow(const GoldenRow& row) {
   const sim::HardwareConfig hw = sim::EdgeSimConfig();
   const sim::EnergyModel em;
-  const NetworkWorkload net = FindNetwork(row.network);
+  const NetworkWorkload net = FindGoldenNetwork(row.network);
   const auto sched = MakeScheduler(static_cast<Method>(row.method));
 
   // The offline search must land on the seed's tiling (same lattice, same
@@ -86,8 +105,17 @@ TEST_P(EngineGolden, MatchesSeedEngineBitForBit) {
   EXPECT_EQ(ref.dram_read_bytes, row.dram_read_bytes);
 }
 
-std::string GoldenName(const testing::TestParamInfo<std::size_t>& info) {
-  const GoldenRow& row = GoldenRows()[info.index];
+class EngineGolden : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineGolden, MatchesSeedEngineBitForBit) { CheckGoldenRow(GoldenRows()[GetParam()]); }
+
+class EngineGoldenDecode : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineGoldenDecode, MatchesPinnedDecodeResult) {
+  CheckGoldenRow(DecodeGoldenRows()[GetParam()]);
+}
+
+std::string RowName(const GoldenRow& row) {
   std::string name = std::string(row.network) + "_" +
                      MethodName(static_cast<Method>(row.method));
   for (char& c : name) {
@@ -96,8 +124,20 @@ std::string GoldenName(const testing::TestParamInfo<std::size_t>& info) {
   return name;
 }
 
+std::string GoldenName(const testing::TestParamInfo<std::size_t>& info) {
+  return RowName(GoldenRows()[info.index]);
+}
+
+std::string DecodeGoldenName(const testing::TestParamInfo<std::size_t>& info) {
+  return RowName(DecodeGoldenRows()[info.index]);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllNetworksAllSchedulers, EngineGolden,
                          testing::Range<std::size_t>(0, GoldenRows().size()), GoldenName);
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulersDecodeShapes, EngineGoldenDecode,
+                         testing::Range<std::size_t>(0, DecodeGoldenRows().size()),
+                         DecodeGoldenName);
 
 }  // namespace
 }  // namespace mas

@@ -1,0 +1,315 @@
+// Serving-simulator tests: trace model (generation determinism, JSON
+// round-trip, validation), ServePlanner context bucketing, and ServeSession
+// semantics — hand-checkable TTFT/TPOT arithmetic, --jobs independence, and
+// warm-plan-cache replay with zero search evaluations.
+#include <gtest/gtest.h>
+
+#include "common/json_writer.h"
+#include "serve/session.h"
+
+namespace mas::serve {
+namespace {
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+
+ServePlannerOptions FastOptions() {
+  ServePlannerOptions options;
+  options.min_context_bucket = 64;
+  return options;
+}
+
+// Small, fast geometry for the session tests.
+AttentionGeometry Geometry() { return BertBaseGeometry(); }
+
+std::string ResultJson(const ServeResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  result.WriteJson(json, Hw());
+  json.EndObject();
+  return json.Take();
+}
+
+// ------------------------------------------------------------------ traces
+
+TEST(ServeTrace, GeneratorIsDeterministic) {
+  SyntheticTraceSpec spec;
+  spec.requests = 16;
+  spec.seed = 42;
+  spec.speculation = 4;
+  spec.speculative_fraction = 0.5;
+  const RequestTrace a = GenerateTrace(spec);
+  const RequestTrace b = GenerateTrace(spec);
+  ASSERT_EQ(a.requests.size(), 16u);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+
+  spec.seed = 43;
+  EXPECT_NE(GenerateTrace(spec).ToJson(), a.ToJson());
+}
+
+TEST(ServeTrace, JsonRoundTripIsByteStable) {
+  const RequestTrace trace = GenerateTrace(FindTracePreset("mixed_sd"));
+  const std::string json = trace.ToJson();
+  const RequestTrace parsed = RequestTrace::FromJson(json);
+  EXPECT_EQ(parsed.ToJson(), json);
+  EXPECT_EQ(parsed.name, trace.name);
+  EXPECT_EQ(parsed.TotalPromptTokens(), trace.TotalPromptTokens());
+  EXPECT_EQ(parsed.TotalDecodeTokens(), trace.TotalDecodeTokens());
+}
+
+TEST(ServeTrace, SpeculationIsOptionalInJson) {
+  const RequestTrace parsed = RequestTrace::FromJson(
+      R"({"version":1,"name":"hand","requests":[)"
+      R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2}]})");
+  ASSERT_EQ(parsed.requests.size(), 1u);
+  EXPECT_EQ(parsed.requests[0].speculation, 1);
+}
+
+TEST(ServeTrace, ValidationRejectsBadTraces) {
+  RequestTrace unsorted;
+  unsorted.requests = {{0, 5, 10, 1, 1}, {1, 3, 10, 1, 1}};
+  EXPECT_THROW(unsorted.Validate(), Error);
+
+  RequestTrace dup;
+  dup.requests = {{0, 0, 10, 1, 1}, {0, 0, 10, 1, 1}};  // duplicate id, same tick
+  EXPECT_THROW(dup.Validate(), Error);
+
+  RequestTrace dup_across_ticks;
+  dup_across_ticks.requests = {{7, 0, 10, 1, 1}, {7, 1, 10, 1, 1}};
+  EXPECT_THROW(dup_across_ticks.Validate(), Error);
+
+  RequestTrace bad_prompt;
+  bad_prompt.requests = {{0, 0, 0, 1, 1}};
+  EXPECT_THROW(bad_prompt.Validate(), Error);
+
+  EXPECT_THROW(RequestTrace::FromJson("{\"version\":2,\"name\":\"x\",\"requests\":[]}"),
+               Error);
+}
+
+TEST(ServeTrace, PresetCatalog) {
+  EXPECT_EQ(FindTracePreset("chat").name, "chat");
+  EXPECT_EQ(FindTracePreset("decode_heavy").name, "decode_heavy");
+  const SyntheticTraceSpec mixed = FindTracePreset("mixed_sd", 3);
+  EXPECT_EQ(mixed.requests, 3);
+  EXPECT_GT(mixed.speculative_fraction, 0.0);
+  try {
+    FindTracePreset("bogus");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'chat'"), std::string::npos);
+  }
+}
+
+TEST(ServeTrace, DecodeStepsRoundUp) {
+  const ServeRequest r{0, 0, 16, 5, 2};
+  EXPECT_EQ(r.DecodeSteps(), 3);  // 2 + 2 + 1
+  const ServeRequest none{1, 0, 16, 0, 2};
+  EXPECT_EQ(none.DecodeSteps(), 0);
+}
+
+// ---------------------------------------------------------------- bucketing
+
+TEST(ServeBucket, PowerOfTwoSemantics) {
+  EXPECT_EQ(ServePlanner::Bucket(1, 64), 64);
+  EXPECT_EQ(ServePlanner::Bucket(64, 64), 64);
+  EXPECT_EQ(ServePlanner::Bucket(65, 64), 128);
+  EXPECT_EQ(ServePlanner::Bucket(1000, 64), 1024);
+  EXPECT_EQ(ServePlanner::Bucket(1024, 64), 1024);
+  EXPECT_EQ(ServePlanner::Bucket(3, 1), 4);
+  EXPECT_THROW(ServePlanner::Bucket(0, 64), Error);
+  EXPECT_THROW(ServePlanner::Bucket(10, 3), Error);  // non-power-of-two min
+}
+
+TEST(ServeBucket, DecodeStepsShareBucketedPlans) {
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  // Contexts 65..128 all land in the 128 bucket: one plan, one search.
+  const TuningPlan& first = serve_planner.DecodePlan(65);
+  for (std::int64_t ctx = 66; ctx <= 128; ++ctx) {
+    const TuningPlan& plan = serve_planner.DecodePlan(ctx);
+    EXPECT_EQ(&plan, &first);  // same memoized object
+  }
+  EXPECT_EQ(serve_planner.plan_count(), 1);
+  EXPECT_EQ(planner.plans_tuned(), 1);
+  // Speculative width is part of the plan identity.
+  (void)serve_planner.DecodePlan(100, 4);
+  EXPECT_EQ(serve_planner.plan_count(), 2);
+  // The simulated shape is the padded bucket.
+  EXPECT_EQ(first.shape.kv(), 128);
+  EXPECT_EQ(first.shape.seq_len, 1);
+}
+
+TEST(ServeBucket, UnknownMethodsFailFast) {
+  Planner planner;
+  ServePlannerOptions options = FastOptions();
+  options.decode_method = "bogus";
+  EXPECT_THROW(ServePlanner(planner, Hw(), Geometry(), options), Error);
+}
+
+// ------------------------------------------------------------------ session
+
+// Hand-checkable two-request trace: expected TTFT/TPOT assembled from the
+// individual phase simulations in documented batch order.
+TEST(ServeSession, TtftTpotArithmeticOnTwoRequestTrace) {
+  RequestTrace trace;
+  trace.name = "hand";
+  trace.requests = {
+      {0, 0, 100, 2, 1},  // A: prefill 100 (bucket 128), two decode steps
+      {1, 0, 50, 1, 1},   // B: prefill 50 (bucket 64), one decode step
+  };
+
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSessionOptions options;
+  options.max_batch = 2;
+  ServeSession session(serve_planner, options);
+  const ServeResult result = session.Run(trace);
+
+  // Reference cycles for each bucketed phase, via the same planner.
+  auto cycles = [&](const TuningPlan& plan) {
+    return planner.Simulate(plan, Hw()).cycles;
+  };
+  const std::uint64_t pa = cycles(serve_planner.PrefillPlan(100));   // bucket 128
+  const std::uint64_t pb = cycles(serve_planner.PrefillPlan(50));    // bucket 64
+  const std::uint64_t da = cycles(serve_planner.DecodePlan(100));    // bucket 128
+  const std::uint64_t db = cycles(serve_planner.DecodePlan(50));     // bucket 64
+  // A's second decode step (context 101) shares the 128 bucket -> same plan.
+  ASSERT_EQ(&serve_planner.DecodePlan(101), &serve_planner.DecodePlan(100));
+
+  // Step 0: prefill A then prefill B; step 1: decode A, decode B (B done);
+  // step 2: decode A (done).
+  const RequestMetrics& a = result.requests[0];
+  const RequestMetrics& b = result.requests[1];
+  EXPECT_EQ(a.arrival_cycles, 0u);
+  EXPECT_EQ(b.arrival_cycles, 0u);
+  EXPECT_EQ(a.first_token_cycles, pa);
+  EXPECT_EQ(b.first_token_cycles, pa + pb);
+  EXPECT_EQ(a.TtftCycles(), pa);
+  EXPECT_EQ(b.TtftCycles(), pa + pb);
+  EXPECT_EQ(b.finish_cycles, pa + pb + da + db);
+  EXPECT_EQ(a.finish_cycles, pa + pb + da + db + da);
+  EXPECT_DOUBLE_EQ(a.TpotCycles(), static_cast<double>(pb + da + db + da) / 2.0);
+  EXPECT_DOUBLE_EQ(b.TpotCycles(), static_cast<double>(da + db));
+
+  const ServeMetrics& m = result.metrics;
+  EXPECT_EQ(m.makespan_cycles, pa + pb + da + db + da);
+  EXPECT_EQ(m.requests, 2);
+  EXPECT_EQ(m.prompt_tokens, 150);
+  EXPECT_EQ(m.decode_tokens, 3);
+  EXPECT_EQ(m.generated_tokens, 5);
+  EXPECT_EQ(m.steps, 3);
+  EXPECT_EQ(m.prefill_sims, 2);
+  EXPECT_EQ(m.decode_sims, 3);
+  EXPECT_DOUBLE_EQ(m.mean_ttft_cycles, static_cast<double>(pa + (pa + pb)) / 2.0);
+}
+
+TEST(ServeSession, MaxBatchOneSerializesAndArrivalsWaitForTheirTick) {
+  RequestTrace trace;
+  trace.requests = {
+      {0, 0, 64, 0, 1},  // prefill-only request
+      {1, 5, 64, 0, 1},  // arrives at tick 5: after request 0's only step
+  };
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSessionOptions options;
+  options.max_batch = 1;
+  ServeSession session(serve_planner, options);
+  const ServeResult result = session.Run(trace);
+
+  const std::uint64_t p = planner.Simulate(serve_planner.PrefillPlan(64), Hw()).cycles;
+  // Request 1 became visible at tick 5 (clock p, after the idle jump) and
+  // prefilled immediately: TTFT excludes the idle wait.
+  EXPECT_EQ(result.requests[0].finish_cycles, p);
+  EXPECT_EQ(result.requests[1].arrival_cycles, p);
+  EXPECT_EQ(result.requests[1].TtftCycles(), p);
+  EXPECT_EQ(result.metrics.makespan_cycles, 2 * p);
+}
+
+TEST(ServeSession, SpeculativeDecodeTakesFewerSteps) {
+  RequestTrace trace;
+  trace.requests = {{0, 0, 64, 5, 2}};  // 5 tokens, 2 per step -> 3 steps
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSession session(serve_planner, ServeSessionOptions{});
+  const ServeResult result = session.Run(trace);
+  EXPECT_EQ(result.metrics.decode_sims, 3);
+  EXPECT_EQ(result.requests[0].decode_steps, 3);
+  // Four plans: the prefill (bucket 64), q=2 decode at context 64 (bucket
+  // 64), q=2 decode at context 66 (bucket 128), and the q=1 tail step that
+  // verifies the single remaining token (bucket 128).
+  EXPECT_EQ(serve_planner.plan_count(), 4);
+}
+
+TEST(ServeSession, ResultIsIndependentOfJobs) {
+  SyntheticTraceSpec spec;
+  spec.requests = 6;
+  spec.seed = 7;
+  spec.prompt_min = 32;
+  spec.prompt_max = 200;
+  spec.decode_min = 2;
+  spec.decode_max = 10;
+  spec.speculation = 4;
+  spec.speculative_fraction = 0.5;
+  const RequestTrace trace = GenerateTrace(spec);
+
+  std::string baseline;
+  for (int jobs : {1, 2, 8}) {
+    Planner planner;
+    ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+    ServeSessionOptions options;
+    options.max_batch = 3;
+    options.jobs = jobs;
+    ServeSession session(serve_planner, options);
+    const std::string json = ResultJson(session.Run(trace));
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ServeSession, WarmPlanCacheReplaysWithZeroEvaluations) {
+  SyntheticTraceSpec spec;
+  spec.requests = 4;
+  spec.seed = 11;
+  spec.prompt_min = 32;
+  spec.prompt_max = 150;
+  spec.decode_min = 1;
+  spec.decode_max = 6;
+  const RequestTrace trace = GenerateTrace(spec);
+
+  Planner cold;
+  ServePlanner cold_planner(cold, Hw(), Geometry(), FastOptions());
+  ServeSession cold_session(cold_planner, ServeSessionOptions{});
+  const std::string cold_json = ResultJson(cold_session.Run(trace));
+  EXPECT_GT(cold.search_evaluations(), 0);
+  const std::string store_json = cold.store().ToJson();
+
+  // A fresh planner warmed from the serialized store replays the identical
+  // trace without a single search evaluation.
+  Planner warm;
+  warm.store() = PlanStore::FromJson(store_json);
+  ServePlanner warm_planner(warm, Hw(), Geometry(), FastOptions());
+  ServeSession warm_session(warm_planner, ServeSessionOptions{});
+  const std::string warm_json = ResultJson(warm_session.Run(trace));
+  EXPECT_EQ(warm.search_evaluations(), 0);
+  EXPECT_EQ(warm.plans_tuned(), 0);
+  EXPECT_GT(warm.plans_reused(), 0);
+  EXPECT_EQ(warm_json, cold_json);
+  // Re-serializing the loaded store is byte-stable.
+  EXPECT_EQ(warm.store().ToJson(), store_json);
+}
+
+TEST(ServeSession, PhaseMethodsFlipPerPhase) {
+  RequestTrace trace;
+  trace.requests = {{0, 0, 100, 2, 1}};
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSession session(serve_planner, ServeSessionOptions{});
+  (void)session.Run(trace);
+  EXPECT_EQ(serve_planner.PrefillPlan(100).method, "MAS-Attention");
+  EXPECT_EQ(serve_planner.DecodePlan(100).method, "FLAT");
+}
+
+}  // namespace
+}  // namespace mas::serve

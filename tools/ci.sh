@@ -58,6 +58,30 @@ cmp "$BUILD_DIR/BENCH_table2_cold.json" "$BUILD_DIR/BENCH_table2.json"
 cmp "$BUILD_DIR/bench_plans_cold.json" "$BUILD_DIR/bench_plans.json"
 grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/bench_warm.err"
 
+# Serving simulator: a small trace cold then warm against one plan cache.
+# The warm run must perform ZERO search evaluations and reproduce both the
+# mas_serve --out JSON and the serve suite's BENCH_serve_*.json byte for
+# byte (the BENCH run also exercises the suite path with a separate cache).
+rm -f "$BUILD_DIR/serve_plans.json"
+"$BUILD_DIR/mas_serve" --trace=chat --requests=4 --max-batch=2 --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/serve_plans.json" --out="$BUILD_DIR/serve_cold.json" \
+    > /dev/null 2> "$BUILD_DIR/serve_cold.err"
+"$BUILD_DIR/mas_serve" --trace=chat --requests=4 --max-batch=2 --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/serve_plans.json" --out="$BUILD_DIR/serve_warm.json" \
+    > /dev/null 2> "$BUILD_DIR/serve_warm.err"
+cmp "$BUILD_DIR/serve_cold.json" "$BUILD_DIR/serve_warm.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/serve_warm.err"
+rm -f "$BUILD_DIR/serve_bench_plans.json"
+"$BUILD_DIR/mas_bench" --suite=serve_llm_chat --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/serve_bench_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> /dev/null
+cp "$BUILD_DIR/BENCH_serve_llm_chat.json" "$BUILD_DIR/BENCH_serve_llm_chat_cold.json"
+"$BUILD_DIR/mas_bench" --suite=serve_llm_chat --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/serve_bench_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/serve_bench_warm.err"
+cmp "$BUILD_DIR/BENCH_serve_llm_chat_cold.json" "$BUILD_DIR/BENCH_serve_llm_chat.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/serve_bench_warm.err"
+
 # Debug + ASan/UBSan pass over the new public surface (registry, strategies,
 # JSON reader, planner). Builds only the targets it runs to keep the job
 # bounded; the golden planner sweep stays in the Release ctest above.
@@ -70,4 +94,4 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
 "$SAN_DIR/test_json_reader"
 "$SAN_DIR/test_planner"
 
-echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + asan OK"
+echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + asan OK"

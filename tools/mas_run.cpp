@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
       grid.tiling = TilingConfig{v[0], v[1], v[2], v[3]};
     }
 
-    // The planner's search spec: "auto" is the AutoTile coarse grid (the
+    // The planner's search spec: "auto" is the coarse power-of-two grid (the
     // default offline-tuned configuration); any registered strategy name
     // selects that strategy at full fidelity.
     PlannerOptions planner_options;
@@ -272,7 +272,7 @@ int main(int argc, char** argv) {
       // Re-simulate the single resolved point with timeline recording on (the
       // sweep itself never records timelines — they are per-task-sized).
       const sim::EnergyModel em;
-      const auto sched = MakeScheduler(run.job.method);
+      const auto sched = SchedulerRegistry::Instance().Create(run.job.method);
       const sim::SimResult traced =
           sched->Simulate(run.job.shape, run.tiling, hw, em, /*record_timeline=*/true);
       trace::WriteFile(*trace_prefix + ".trace.json",

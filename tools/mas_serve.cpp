@@ -1,0 +1,139 @@
+// mas_serve: trace-driven LLM serving simulation from the command line.
+//
+// Plays a request trace (synthetic preset or JSON file) through the
+// serve::ServeSession continuous-batching loop: each request prefills its
+// prompt (MAS's compute-bound regime), then decodes token by token against
+// its growing KV cache (DMA-bound, where scheduler selection flips — hence
+// the independent --prefill-method/--decode-method). Context lengths bucket
+// to powers of two, so a whole trace resolves to a handful of TuningPlans;
+// with --plan-cache=FILE a second invocation replays the trace with ZERO
+// search evaluations and byte-identical --out JSON.
+//
+// Examples:
+//   $ mas_serve --trace=chat
+//   $ mas_serve --trace=decode_heavy --requests=8 --max-batch=4 --jobs=2
+//   $ mas_serve --trace=mytrace.json --plan-cache=plans.json --out=serve.json
+//   $ mas_serve --trace=chat --decode-method=MAS-Attention   # phase ablation
+//   $ mas_serve --trace=chat --save-trace=chat.json          # export the preset
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "serve/session.h"
+#include "sim/hardware_config.h"
+
+int main(int argc, char** argv) {
+  using namespace mas;
+  cli::ArgParser parser(
+      "mas_serve — trace-driven serving simulator (prefill/decode continuous batching)");
+  const std::string* trace_flag = parser.AddString(
+      "trace", "chat",
+      "trace: preset name (chat | decode_heavy | mixed_sd) or path to a trace JSON file");
+  const std::int64_t* requests = parser.AddInt(
+      "requests", 0, "override the preset's request count (ignored for trace files)");
+  const std::int64_t* max_batch =
+      parser.AddInt("max-batch", 4, "in-flight request cap (continuous-batching window)");
+  const std::int64_t* jobs =
+      parser.AddInt("jobs", 1, "worker threads simulating a step's batch entries");
+  const std::string* plan_cache = parser.AddString(
+      "plan-cache", "",
+      "persist tuned tilings: load plans from FILE before the trace, save after");
+  const std::string* prefill_method =
+      parser.AddString("prefill-method", "MAS-Attention", "scheduler for prefill phases");
+  const std::string* decode_method =
+      parser.AddString("decode-method", "FLAT", "scheduler for decode steps");
+  const std::int64_t* bucket = parser.AddInt(
+      "min-bucket", 64, "smallest power-of-two context bucket (plan-sharing granularity)");
+  const std::string* hw_flag = parser.AddString("hw", "edge", "hardware preset: edge | npu");
+  const std::string* out_file =
+      parser.AddString("out", "", "write the machine-readable serve JSON to FILE");
+  const std::string* save_trace = parser.AddString(
+      "save-trace", "", "write the resolved trace JSON to FILE (e.g. to edit and replay)");
+
+  try {
+    if (!parser.Parse(argc, argv)) return 0;
+    MAS_CHECK(parser.positional().empty())
+        << "mas_serve takes no positional arguments (see --help)";
+
+    sim::HardwareConfig hw =
+        *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
+    MAS_CHECK(*hw_flag == "npu" || *hw_flag == "edge")
+        << "unknown --hw '" << *hw_flag << "' (edge | npu)";
+
+    // --trace: an existing file loads as JSON; anything else is a preset.
+    serve::RequestTrace trace;
+    if (std::ifstream(*trace_flag).good()) {
+      trace = serve::RequestTrace::LoadFile(*trace_flag);
+    } else {
+      trace = serve::GenerateTrace(serve::FindTracePreset(*trace_flag, *requests));
+    }
+    if (!save_trace->empty()) {
+      trace.SaveFile(*save_trace);
+      std::cerr << "wrote trace " << *save_trace << "\n";
+    }
+
+    serve::ServePlannerOptions planner_options;
+    planner_options.prefill_method = *prefill_method;
+    planner_options.decode_method = *decode_method;
+    planner_options.min_context_bucket = *bucket;
+
+    Planner planner;
+    std::size_t plans_loaded = 0;
+    if (!plan_cache->empty()) {
+      if (planner.store().LoadFile(*plan_cache)) plans_loaded = planner.store().size();
+    }
+
+    MAS_CHECK(*max_batch >= 1 && *max_batch <= 4096)
+        << "--max-batch must be in [1, 4096], got " << *max_batch;
+    MAS_CHECK(*jobs >= 1 && *jobs <= 4096) << "--jobs must be in [1, 4096], got " << *jobs;
+    serve::ServePlanner serve_planner(planner, hw, Llama3Geometry(), planner_options);
+    serve::ServeSessionOptions session_options;
+    session_options.max_batch = static_cast<int>(*max_batch);
+    session_options.jobs = static_cast<int>(*jobs);
+    serve::ServeSession session(serve_planner, session_options);
+    const serve::ServeResult result = session.Run(trace);
+
+    std::cout << "=== mas_serve: trace '" << trace.name << "' on " << hw.name << " ===\n";
+    std::cout << "prefill " << *prefill_method << " / decode " << *decode_method
+              << ", max batch " << *max_batch << ", buckets pow2 >= " << *bucket << "\n\n";
+    serve::PrintReport(std::cout, result, hw, serve_planner.plan_count());
+
+    if (!out_file->empty()) {
+      JsonWriter json;
+      json.BeginObject();
+      json.KeyValue("tool", "mas_serve");
+      serve::WriteConfigJson(json, hw, Llama3Geometry(), planner_options,
+                             session_options.max_batch, serve_planner.plan_count());
+      result.WriteJson(json, hw);
+      json.EndObject();
+      WriteFile(*out_file, json.Take() + "\n");
+      std::cout << "wrote " << *out_file << "\n";
+    }
+
+    // Machine-greppable run summary (stderr, mirroring mas_run/mas_bench):
+    // the warm-cache CI check asserts "tuned 0 (0 search evaluations)".
+    const serve::ServeMetrics& m = result.metrics;
+    std::fprintf(stderr,
+                 "mas_serve: %lld requests, %lld steps, %lld plans, plans reused %lld, "
+                 "tuned %lld (%lld search evaluations)\n",
+                 static_cast<long long>(m.requests), static_cast<long long>(m.steps),
+                 static_cast<long long>(serve_planner.plan_count()),
+                 static_cast<long long>(planner.plans_reused()),
+                 static_cast<long long>(planner.plans_tuned()),
+                 static_cast<long long>(planner.search_evaluations()));
+    if (!plan_cache->empty()) {
+      planner.store().SaveFile(*plan_cache);
+      std::fprintf(stderr, "plan-cache: loaded %lld plans, saved %lld -> %s\n",
+                   static_cast<long long>(plans_loaded),
+                   static_cast<long long>(planner.store().size()), plan_cache->c_str());
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
