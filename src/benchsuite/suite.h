@@ -155,6 +155,6 @@ void RegisterAblationSuites();    // ablation_{tiling,overwrite,bandwidth,cores}
 void RegisterExtensionSuites();   // cross_attention, seq_sweep, limits_maxseq,
                                   // sd_unet_e2e, training_backward
 void RegisterServeSuites();       // serve_llm_chat, serve_decode_heavy,
-                                  // serve_mixed_sd
+                                  // serve_mixed_sd, serve_slo_sweep
 
 }  // namespace mas::bench

@@ -9,9 +9,13 @@
 // with zero search evaluations and byte-identical BENCH_serve_*.json.
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "benchsuite/suite.h"
+#include "common/json_writer.h"
+#include "common/table.h"
 #include "serve/session.h"
+#include "serve/slo.h"
 
 namespace mas::bench {
 
@@ -64,6 +68,143 @@ class ServeSuite final : public BenchSuite {
   int max_batch_;
 };
 
+// SLO-attainment-vs-offered-load curves: one Poisson trace shape replayed
+// across a geometric rate ladder, served twice — a baseline session decoding
+// under MAS, and an adaptive session with the TTFT pressure policy (MAS ->
+// FLAT relief) plus decode coalescing. The interesting output is where each
+// curve bends: the baseline's attainment collapses once offered load crosses
+// device saturation, the adaptive session holds the SLO one rung further.
+class ServeSloSweepSuite final : public BenchSuite {
+ public:
+  explicit ServeSloSweepSuite(SuiteInfo info) : info_(std::move(info)) {}
+
+  const SuiteInfo& info() const override { return info_; }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::HardwareConfig& hw = ctx.edge_hw();
+    const double to_us = 1.0 / (hw.frequency_ghz * 1e3);
+
+    // Baseline decodes under MAS so the pressure policy has a relief switch
+    // worth making; prefill keeps the MAS default.
+    serve::ServePlannerOptions planner_options;
+    planner_options.decode_method = "MAS-Attention";
+    serve::ServePlanner planner(ctx.planner(), hw, Llama3Geometry(), planner_options);
+
+    serve::LoadSweepOptions sweep;
+    sweep.arrival = serve::ArrivalSpec::Parse("poisson");
+    sweep.calibration.frequency_ghz = hw.frequency_ghz;
+    sweep.shape.name = "slo_sweep";
+    sweep.shape.requests = 12;
+    sweep.shape.seed = 0x510E;
+    sweep.shape.prompt_min = 192;
+    sweep.shape.prompt_max = 448;
+    sweep.shape.decode_min = 16;
+    sweep.shape.decode_max = 40;
+    sweep.rates_per_s = serve::GeometricRates(32.0, 2.0, 5);
+    sweep.slo.ttft_us = kTtftTargetUs;
+    sweep.slo.tpot_us = kTpotTargetUs;
+    sweep.session.max_batch = 4;
+    sweep.session.jobs = ctx.jobs();
+
+    out << "=== Serving SLO sweep (Poisson open-loop load, " << sweep.rates_per_s.front()
+        << "-" << sweep.rates_per_s.back() << " req/s) ===\n";
+    out << hw.Describe() << "\n";
+    out << "Model: " << Llama3Geometry().name << ", " << sweep.shape.requests
+        << " requests/point, prompts " << sweep.shape.prompt_min << "-"
+        << sweep.shape.prompt_max << ", decode " << sweep.shape.decode_min << "-"
+        << sweep.shape.decode_max << ", SLO: TTFT <= " << kTtftTargetUs << " us, TPOT <= "
+        << kTpotTargetUs << " us\n\n";
+
+    // The config header by hand (WriteConfigJson emits plan_count, which is
+    // only known after the sweep; it lands at the end of this document).
+    json.KeyValue("hardware", hw.name);
+    json.KeyValue("model", Llama3Geometry().name);
+    json.KeyValue("prefill_method", planner_options.prefill_method);
+    json.KeyValue("decode_method", planner_options.decode_method);
+    json.KeyValue("min_context_bucket", planner_options.min_context_bucket);
+    json.KeyValue("max_batch", sweep.session.max_batch);
+    json.KeyValue("arrival", sweep.arrival.ToString());
+    json.KeyValue("cycles_per_tick", sweep.calibration.cycles_per_tick);
+    json.KeyValue("ticks_per_second", sweep.calibration.TicksPerSecond());
+    json.KeyValue("requests_per_point", sweep.shape.requests);
+    json.KeyValue("slo_ttft_us", sweep.slo.ttft_us);
+    json.KeyValue("slo_tpot_us", sweep.slo.tpot_us);
+
+    json.BeginArray("variants");
+    for (const bool adaptive : {false, true}) {
+      serve::LoadSweepOptions options = sweep;
+      if (adaptive) {
+        options.session.coalesce_decode = true;
+        options.session.pressure.enabled = true;
+        options.session.pressure.ttft_target_cycles = kPressureTtftUs * hw.frequency_ghz * 1e3;
+        options.session.pressure.window = 4;
+        options.session.pressure.relief_method = "FLAT";
+      }
+      const std::vector<serve::LoadSweepPoint> points = serve::RunLoadSweep(planner, options);
+
+      out << (adaptive ? "adaptive (pressure MAS->FLAT + decode coalescing)" : "baseline (MAS decode)")
+          << ":\n";
+      TextTable table({"req/s", "p50 TTFT us", "p95 TTFT us", "p99 TTFT us", "p99 TPOT us",
+                       "TTFT SLO", "joint SLO", "switch@", "coalesced"});
+      json.BeginObject();
+      json.KeyValue("name", adaptive ? "adaptive" : "baseline");
+      json.KeyValue("coalesce_decode", adaptive);
+      json.KeyValue("pressure", adaptive);
+      json.BeginArray("points");
+      for (const serve::LoadSweepPoint& point : points) {
+        const serve::ServeMetrics& m = point.result.metrics;
+        table.AddRow({FormatFixed(point.rate_per_s, 0),
+                      FormatFixed(m.p50_ttft_cycles * to_us, 1),
+                      FormatFixed(m.p95_ttft_cycles * to_us, 1),
+                      FormatFixed(m.p99_ttft_cycles * to_us, 1),
+                      FormatFixed(m.p99_tpot_cycles * to_us, 1),
+                      FormatFixed(point.slo.TtftAttainment(), 3),
+                      FormatFixed(point.slo.JointAttainment(), 3),
+                      std::to_string(m.pressure_switch_tick),
+                      std::to_string(m.coalesced_decode_sims)});
+        json.BeginObject();
+        json.KeyValue("rate_per_s", point.rate_per_s);
+        json.KeyValue("requests", m.requests);
+        json.KeyValue("decode_requests", m.decode_requests);
+        json.KeyValue("steps", m.steps);
+        json.KeyValue("decode_sims", m.decode_sims);
+        json.KeyValue("coalesced_decode_sims", m.coalesced_decode_sims);
+        json.KeyValue("pressure_switch_tick", m.pressure_switch_tick);
+        json.KeyValue("makespan_ms", m.MakespanMs(hw.frequency_ghz));
+        json.KeyValue("mean_ttft_us", m.mean_ttft_cycles * to_us);
+        json.KeyValue("p50_ttft_us", m.p50_ttft_cycles * to_us);
+        json.KeyValue("p95_ttft_us", m.p95_ttft_cycles * to_us);
+        json.KeyValue("p99_ttft_us", m.p99_ttft_cycles * to_us);
+        json.KeyValue("mean_tpot_us", m.mean_tpot_cycles * to_us);
+        json.KeyValue("p50_tpot_us", m.p50_tpot_cycles * to_us);
+        json.KeyValue("p95_tpot_us", m.p95_tpot_cycles * to_us);
+        json.KeyValue("p99_tpot_us", m.p99_tpot_cycles * to_us);
+        json.KeyValue("ttft_attainment", point.slo.TtftAttainment());
+        json.KeyValue("tpot_attainment", point.slo.TpotAttainment());
+        json.KeyValue("joint_attainment", point.slo.JointAttainment());
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+      out << table.ToString() << "\n";
+    }
+    json.EndArray();
+    json.KeyValue("plan_count", planner.plan_count());
+  }
+
+ private:
+  // Targets sit between the unloaded and saturated tails of the ladder so
+  // the attainment curves actually bend inside the swept range. The pressure
+  // policy triggers well below the SLO bound — relief has to fire before the
+  // tail breaches the target, not after.
+  static constexpr double kTtftTargetUs = 6000.0;
+  static constexpr double kTpotTargetUs = 400.0;
+  static constexpr double kPressureTtftUs = 2000.0;
+
+  SuiteInfo info_;
+};
+
 }  // namespace
 
 void RegisterServeSuites() {
@@ -81,6 +222,10 @@ void RegisterServeSuites() {
       SuiteInfo{"serve_mixed_sd", "serving",
                 "mixed autoregressive + speculative-decoding trace (N=1 and N=4 steps)"},
       "mixed_sd", defaults, /*max_batch=*/4));
+  registry.Register(std::make_unique<ServeSloSweepSuite>(
+      SuiteInfo{"serve_slo_sweep", "serving",
+                "SLO attainment vs offered load: Poisson rate ladder, baseline vs "
+                "adaptive (TTFT pressure MAS->FLAT + decode coalescing)"}));
 }
 
 }  // namespace mas::bench

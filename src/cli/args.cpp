@@ -154,6 +154,21 @@ std::int64_t ParsePositiveInt64(const std::string& text, const std::string& what
   return v;
 }
 
+double ParseFiniteDouble(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  MAS_CHECK(!text.empty() && end != nullptr && *end == '\0')
+      << what << " expects a number, got '" << text << "'";
+  // ERANGE covers overflow (clamped to ±HUGE_VAL) and gradual underflow to a
+  // subnormal; only overflow loses the value. Explicit inf/nan literals parse
+  // without ERANGE, so reject non-finite results outright.
+  MAS_CHECK(errno != ERANGE || (v > -HUGE_VAL && v < HUGE_VAL))
+      << what << " out of range: '" << text << "'";
+  MAS_CHECK(std::isfinite(v)) << what << " must be finite, got '" << text << "'";
+  return v;
+}
+
 namespace {
 
 std::int64_t ParsePositiveInt(const std::string& text, const std::string& what) {

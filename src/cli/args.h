@@ -72,6 +72,12 @@ class ArgParser {
 std::int64_t ParsePositiveInt64(const std::string& text, const std::string& what,
                                 std::int64_t max_value = INT64_MAX);
 
+// Strict finite-double parser for grammar values (e.g. the --arrival spec's
+// key=value params): full-string strtod with the errno/ERANGE overflow
+// protocol. Empty text, trailing garbage, overflow to ±HUGE_VAL, and
+// inf/nan literals throw mas::Error naming `what`; subnormals pass.
+double ParseFiniteDouble(const std::string& text, const std::string& what);
+
 // Parses the sweep sequence grammar used by flags like --seq:
 //   "512"            -> {512}
 //   "128,256,512"    -> explicit comma list

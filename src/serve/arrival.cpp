@@ -1,0 +1,401 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+#include <set>
+
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::serve {
+
+namespace {
+
+// Arrivals and request lengths draw from decorrelated streams of the same
+// seed, so the pinned arrival goldens stay valid whatever the length spec.
+constexpr std::uint64_t kLengthStreamSalt = 0x5EEDF00DCAFEB0BAull;
+
+// Exponential deviate with the given mean: -mean * ln(1 - U), U in [0, 1).
+// 1 - U lies in (0, 1], so the log is finite and the gap non-negative.
+double ExponentialGap(Rng& rng, double mean) { return -mean * std::log1p(-rng.NextDouble()); }
+
+// Factories reject keys outside their grammar so a typoed `--arrival=
+// poisson:rte=64` fails instead of silently running at the default rate.
+void CheckKeys(const ArrivalSpec& spec, std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known) {
+      std::string list;
+      for (const char* a : allowed) {
+        if (!list.empty()) list += ", ";
+        list += a;
+      }
+      MAS_FAIL() << "arrival model '" << spec.model << "' does not take param '" << key
+                 << "' (params: " << list << ")";
+    }
+  }
+}
+
+// Offered rate in req/s -> mean inter-arrival gap in ticks.
+double MeanGapTicks(double rate_per_s, const ArrivalCalibration& calibration) {
+  MAS_CHECK(std::isfinite(rate_per_s) && rate_per_s > 0.0)
+      << "arrival rate must be positive and finite, got " << rate_per_s;
+  return calibration.TicksPerSecond() / rate_per_s;
+}
+
+// ------------------------------------------------------------------ poisson
+
+class PoissonArrivals final : public ArrivalModel {
+ public:
+  PoissonArrivals(ArrivalModelInfo info, double mean_gap_ticks)
+      : info_(std::move(info)), mean_gap_ticks_(mean_gap_ticks) {}
+
+  const ArrivalModelInfo& info() const override { return info_; }
+
+  double NextGapTicks(double /*now_ticks*/, Rng& rng) override {
+    return ExponentialGap(rng, mean_gap_ticks_);
+  }
+
+ private:
+  ArrivalModelInfo info_;
+  double mean_gap_ticks_;
+};
+
+// ------------------------------------------------------------------- bursty
+//
+// Markov-modulated on/off Poisson process: exponential quiet ("off") phases
+// at the base rate alternate with exponential burst ("on") phases at
+// rate * burst. A candidate gap that crosses the current phase boundary is
+// re-drawn from the boundary at the next phase's rate (memorylessness makes
+// the truncation exact).
+
+class BurstyArrivals final : public ArrivalModel {
+ public:
+  BurstyArrivals(ArrivalModelInfo info, double base_gap_ticks, double burst_gap_ticks,
+                 double mean_on_ticks, double mean_off_ticks)
+      : info_(std::move(info)),
+        base_gap_ticks_(base_gap_ticks),
+        burst_gap_ticks_(burst_gap_ticks),
+        mean_on_ticks_(mean_on_ticks),
+        mean_off_ticks_(mean_off_ticks) {}
+
+  const ArrivalModelInfo& info() const override { return info_; }
+
+  double NextGapTicks(double now_ticks, Rng& rng) override {
+    if (!phase_initialized_) {
+      phase_initialized_ = true;
+      on_ = false;
+      phase_end_ticks_ = now_ticks + ExponentialGap(rng, mean_off_ticks_);
+    }
+    double t = now_ticks;
+    double accumulated = 0.0;
+    for (;;) {
+      const double gap = ExponentialGap(rng, on_ ? burst_gap_ticks_ : base_gap_ticks_);
+      if (t + gap <= phase_end_ticks_) return accumulated + gap;
+      accumulated += phase_end_ticks_ - t;
+      t = phase_end_ticks_;
+      on_ = !on_;
+      phase_end_ticks_ = t + ExponentialGap(rng, on_ ? mean_on_ticks_ : mean_off_ticks_);
+    }
+  }
+
+ private:
+  ArrivalModelInfo info_;
+  double base_gap_ticks_;
+  double burst_gap_ticks_;
+  double mean_on_ticks_;
+  double mean_off_ticks_;
+  bool phase_initialized_ = false;
+  bool on_ = false;
+  double phase_end_ticks_ = 0.0;
+};
+
+// ------------------------------------------------------------------ diurnal
+//
+// Sinusoidally modulated Poisson process, lambda(t) = rate * (1 + depth *
+// sin(2*pi*t / period)), sampled exactly by Lewis-Shedler thinning against
+// the envelope rate * (1 + depth).
+
+class DiurnalArrivals final : public ArrivalModel {
+ public:
+  DiurnalArrivals(ArrivalModelInfo info, double rate_per_tick, double depth,
+                  double period_ticks)
+      : info_(std::move(info)),
+        rate_per_tick_(rate_per_tick),
+        depth_(depth),
+        period_ticks_(period_ticks) {}
+
+  const ArrivalModelInfo& info() const override { return info_; }
+
+  double NextGapTicks(double now_ticks, Rng& rng) override {
+    const double envelope = rate_per_tick_ * (1.0 + depth_);
+    double t = now_ticks;
+    for (;;) {
+      t += ExponentialGap(rng, 1.0 / envelope);
+      const double lambda =
+          rate_per_tick_ * (1.0 + depth_ * std::sin(2.0 * kPi * t / period_ticks_));
+      if (rng.NextDouble() * envelope < lambda) return t - now_ticks;
+    }
+  }
+
+ private:
+  static constexpr double kPi = 3.141592653589793238462643383279502884;
+
+  ArrivalModelInfo info_;
+  double rate_per_tick_;  // mean arrivals per tick
+  double depth_;
+  double period_ticks_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- calibration
+
+void ArrivalCalibration::Validate() const {
+  MAS_CHECK(std::isfinite(frequency_ghz) && frequency_ghz > 0.0)
+      << "arrival calibration frequency_ghz must be positive, got " << frequency_ghz;
+  MAS_CHECK(std::isfinite(cycles_per_tick) && cycles_per_tick > 0.0)
+      << "arrival calibration cycles_per_tick must be positive, got " << cycles_per_tick;
+}
+
+// ------------------------------------------------------------------- spec
+
+ArrivalSpec ArrivalSpec::Parse(const std::string& text) {
+  MAS_CHECK(!text.empty()) << "empty --arrival spec (grammar: model[:key=value,...])";
+  ArrivalSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.model = text.substr(0, colon);
+  MAS_CHECK(!spec.model.empty()) << "--arrival spec '" << text << "' has no model name";
+  if (colon == std::string::npos) return spec;
+
+  std::set<std::string> seen;
+  std::size_t pos = colon + 1;
+  MAS_CHECK(pos < text.size()) << "--arrival spec '" << text << "' has an empty param list";
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = item.find('=');
+    MAS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size())
+        << "--arrival param '" << item << "' is not key=value (spec '" << text << "')";
+    const std::string key = item.substr(0, eq);
+    MAS_CHECK(seen.insert(key).second)
+        << "--arrival spec '" << text << "' repeats param '" << key << "'";
+    spec.params.emplace_back(
+        key, cli::ParseFiniteDouble(item.substr(eq + 1), "--arrival param '" + key + "'"));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::string ArrivalSpec::ToString() const {
+  std::string out = model;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += params[i].first;
+    out += '=';
+    AppendJsonDouble(out, params[i].second);
+  }
+  return out;
+}
+
+bool ArrivalSpec::Has(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double ArrivalSpec::Param(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+ArrivalSpec ArrivalSpec::With(const std::string& key, double value) const {
+  ArrivalSpec out = *this;
+  for (auto& [k, v] : out.params) {
+    if (k == key) {
+      v = value;
+      return out;
+    }
+  }
+  out.params.emplace_back(key, value);
+  return out;
+}
+
+// ----------------------------------------------------------------- registry
+
+ArrivalModelRegistry& ArrivalModelRegistry::Instance() {
+  static ArrivalModelRegistry* registry = new ArrivalModelRegistry();
+  return *registry;
+}
+
+void ArrivalModelRegistry::Register(ArrivalModelInfo info, Factory factory) {
+  MAS_CHECK(!info.name.empty()) << "arrival model registration needs a name";
+  MAS_CHECK(factory != nullptr) << "arrival model '" << info.name << "' needs a factory";
+  std::lock_guard<std::mutex> lock(mu_);
+  MAS_CHECK(FindEntryLocked(info.name) == nullptr)
+      << "arrival model '" << info.name << "' is already registered";
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+std::unique_ptr<ArrivalModel> ArrivalModelRegistry::Create(
+    const ArrivalSpec& spec, const ArrivalCalibration& calibration) const {
+  EnsureBuiltins();
+  calibration.Validate();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* entry = FindEntryLocked(spec.model);
+    if (entry == nullptr) {
+      MAS_FAIL() << "unknown arrival model '" << spec.model
+                 << "'; options: " << AvailableNamesLockedUnsafe();
+    }
+    factory = entry->factory;
+  }
+  return factory(spec, calibration);
+}
+
+const ArrivalModelInfo* ArrivalModelRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntryLocked(name);
+  return entry == nullptr ? nullptr : &entry->info;
+}
+
+std::vector<ArrivalModelInfo> ArrivalModelRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ArrivalModelInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.info);
+  return out;
+}
+
+std::string ArrivalModelRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  return AvailableNamesLockedUnsafe();
+}
+
+const ArrivalModelRegistry::Entry* ArrivalModelRegistry::FindEntryLocked(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+void ArrivalModelRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [] {
+    ArrivalModelRegistry& registry = Instance();
+    registry.Register(
+        ArrivalModelInfo{"poisson", "memoryless arrivals at a constant offered rate",
+                         "rate (req/s, default 64)"},
+        [](const ArrivalSpec& spec, const ArrivalCalibration& calibration) {
+          CheckKeys(spec, {"rate"});
+          return std::unique_ptr<ArrivalModel>(new PoissonArrivals(
+              *Instance().Find("poisson"),
+              MeanGapTicks(spec.Param("rate", 64.0), calibration)));
+        });
+    registry.Register(
+        ArrivalModelInfo{"bursty",
+                         "Markov-modulated on/off process: exponential quiet phases at the "
+                         "base rate, burst phases at rate*burst",
+                         "rate (req/s, default 64), burst (multiplier, default 8), on/off "
+                         "(mean phase seconds, defaults 0.25/1)"},
+        [](const ArrivalSpec& spec, const ArrivalCalibration& calibration) {
+          CheckKeys(spec, {"rate", "burst", "on", "off"});
+          const double rate = spec.Param("rate", 64.0);
+          const double burst = spec.Param("burst", 8.0);
+          MAS_CHECK(std::isfinite(burst) && burst >= 1.0)
+              << "bursty arrival burst multiplier must be >= 1, got " << burst;
+          const double on_s = spec.Param("on", 0.25);
+          const double off_s = spec.Param("off", 1.0);
+          MAS_CHECK(std::isfinite(on_s) && on_s > 0.0 && std::isfinite(off_s) && off_s > 0.0)
+              << "bursty arrival on/off mean phase lengths must be positive, got on=" << on_s
+              << " off=" << off_s;
+          return std::unique_ptr<ArrivalModel>(new BurstyArrivals(
+              *Instance().Find("bursty"), MeanGapTicks(rate, calibration),
+              MeanGapTicks(rate * burst, calibration), on_s * calibration.TicksPerSecond(),
+              off_s * calibration.TicksPerSecond()));
+        });
+    registry.Register(
+        ArrivalModelInfo{"diurnal",
+                         "sinusoidally rate-modulated Poisson process (Lewis-Shedler "
+                         "thinning): lambda(t) = rate*(1 + depth*sin(2*pi*t/period))",
+                         "rate (req/s, default 64), depth ([0,1), default 0.8), period "
+                         "(seconds, default 1)"},
+        [](const ArrivalSpec& spec, const ArrivalCalibration& calibration) {
+          CheckKeys(spec, {"rate", "depth", "period"});
+          const double mean_gap = MeanGapTicks(spec.Param("rate", 64.0), calibration);
+          const double depth = spec.Param("depth", 0.8);
+          MAS_CHECK(std::isfinite(depth) && depth >= 0.0 && depth < 1.0)
+              << "diurnal arrival depth must lie in [0, 1), got " << depth;
+          const double period_s = spec.Param("period", 1.0);
+          MAS_CHECK(std::isfinite(period_s) && period_s > 0.0)
+              << "diurnal arrival period must be positive, got " << period_s;
+          return std::unique_ptr<ArrivalModel>(new DiurnalArrivals(
+              *Instance().Find("diurnal"), 1.0 / mean_gap, depth,
+              period_s * calibration.TicksPerSecond()));
+        });
+  });
+}
+
+std::string ArrivalModelRegistry::AvailableNamesLockedUnsafe() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (!out.empty()) out += ", ";
+    out += "'" + entry.info.name + "'";
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- generation
+
+std::vector<std::int64_t> GenerateArrivalTicks(ArrivalModel& model, std::int64_t n,
+                                               std::uint64_t seed) {
+  MAS_CHECK(n >= 1) << "arrival generation needs at least one request, got " << n;
+  Rng rng(seed);
+  std::vector<std::int64_t> ticks;
+  ticks.reserve(static_cast<std::size_t>(n));
+  double t = 0.0;  // the first request arrives at the stream origin
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      const double gap = model.NextGapTicks(t, rng);
+      MAS_CHECK(std::isfinite(gap) && gap >= 0.0)
+          << "arrival model '" << model.info().name << "' produced an invalid gap " << gap;
+      t += gap;
+    }
+    // Floor of a non-decreasing stream stays non-decreasing; 2^62 leaves
+    // the session's tick arithmetic far from int64 overflow.
+    MAS_CHECK(t < 4.6e18) << "arrival stream overflows the tick clock (rate too low?)";
+    ticks.push_back(static_cast<std::int64_t>(t));
+  }
+  return ticks;
+}
+
+RequestTrace RequestTrace::FromArrivalModel(ArrivalModel& model,
+                                            const SyntheticTraceSpec& spec) {
+  // Arrival ticks come from the model; every other field follows the spec's
+  // ranges exactly as GenerateTrace draws them, from a salted second stream.
+  const std::vector<std::int64_t> ticks = GenerateArrivalTicks(model, spec.requests, spec.seed);
+  SyntheticTraceSpec fixed = spec;
+  fixed.max_arrival_gap = 0;  // arrivals are the model's business
+  fixed.seed = spec.seed ^ kLengthStreamSalt;
+  RequestTrace trace = GenerateTrace(fixed);
+  trace.name = spec.name;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    trace.requests[i].arrival_tick = ticks[i];
+  }
+  trace.Validate();
+  return trace;
+}
+
+}  // namespace mas::serve

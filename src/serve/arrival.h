@@ -1,0 +1,128 @@
+// serve::ArrivalModel — open-loop load generation for the serving simulator.
+//
+// PR 5's traces carry hand-picked arrival ticks, so queueing delay is an
+// artifact of the trace rather than a function of offered load. Arrival
+// models close that gap: a model is a stochastic inter-arrival process that
+// emits gaps in *session ticks*, parameterized in wall-clock requests/sec
+// and mapped onto the tick clock by an ArrivalCalibration ("one scheduling
+// round nominally represents N device cycles at F GHz"). Sweeping the rate
+// then answers the capacity-planning question directly: offered load is an
+// input, and SLO attainment (serve/slo.h) is the output.
+//
+// Models self-register in the ArrivalModelRegistry (the same pattern as
+// SchedulerRegistry/SuiteRegistry) under the `--arrival` grammar
+//   model[:key=value[,key=value...]]      e.g.  poisson:rate=64
+// Built-ins:
+//   poisson — memoryless arrivals at a constant rate
+//   bursty  — Markov-modulated on/off process (exponential phase lengths;
+//             the "on" phase multiplies the base rate)
+//   diurnal — sinusoidally rate-modulated Poisson process via thinning
+//
+// Determinism: every draw comes from a caller-seeded common/rng stream
+// (never std::<random> distributions — their output is implementation-
+// defined), so a (spec, calibration, seed) triple reproduces the same
+// arrival stream on every platform. Fixed-seed prefixes are pinned as
+// goldens in tests/golden_arrivals.inc (regenerate: gen_golden_arrivals).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/trace.h"
+
+namespace mas::serve {
+
+// Maps wall-clock rates onto the session's scheduling-tick clock.
+struct ArrivalCalibration {
+  double frequency_ghz = 3.75;     // device clock the rates are quoted against
+  double cycles_per_tick = 1e6;    // device cycles one scheduling round represents
+  double TicksPerSecond() const { return frequency_ghz * 1e9 / cycles_per_tick; }
+  void Validate() const;  // throws on non-positive or non-finite fields
+};
+
+// Parsed `--arrival` grammar: "model[:key=value[,key=value...]]". Values are
+// finite doubles; keys may not repeat. Parse() throws mas::Error on
+// malformed text; model/param *semantics* are checked by the registry
+// factory at Create() time.
+struct ArrivalSpec {
+  std::string model = "poisson";
+  std::vector<std::pair<std::string, double>> params;  // grammar order
+
+  static ArrivalSpec Parse(const std::string& text);
+  std::string ToString() const;  // canonical "model:k=v,..." round-trip
+
+  bool Has(const std::string& key) const;
+  double Param(const std::string& key, double fallback) const;
+  ArrivalSpec With(const std::string& key, double value) const;  // upsert (rate ladders)
+};
+
+// Descriptor of one registered arrival model.
+struct ArrivalModelInfo {
+  std::string name;     // registry key and grammar head, e.g. "poisson"
+  std::string summary;  // one-line process description
+  std::string params;   // grammar help, e.g. "rate (req/s, default 64)"
+};
+
+// One instantiated arrival process. Stateful (bursty phase machinery lives
+// inside), so create one model per generated stream.
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+  virtual const ArrivalModelInfo& info() const = 0;
+  // Inter-arrival gap in ticks (>= 0, finite) before the next arrival, given
+  // the previous arrival's continuous tick time. Consumes draws from `rng`;
+  // calling sequentially with the cumulative times reproduces the stream.
+  virtual double NextGapTicks(double now_ticks, Rng& rng) = 0;
+};
+
+// String-keyed arrival-model catalog, mirroring SchedulerRegistry. Factories
+// validate their spec's params (unknown keys, out-of-range rates) eagerly.
+class ArrivalModelRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ArrivalModel>(const ArrivalSpec&,
+                                                              const ArrivalCalibration&)>;
+
+  static ArrivalModelRegistry& Instance();
+
+  // Throws when the model name is already taken.
+  void Register(ArrivalModelInfo info, Factory factory);
+
+  // Unknown model names throw an Error listing the available set; factories
+  // throw on invalid params. `calibration` is validated here.
+  std::unique_ptr<ArrivalModel> Create(const ArrivalSpec& spec,
+                                       const ArrivalCalibration& calibration) const;
+
+  const ArrivalModelInfo* Find(const std::string& name) const;  // nullptr if unknown
+  std::vector<ArrivalModelInfo> List() const;  // registration order
+  std::string AvailableNames() const;          // "'poisson', 'bursty', 'diurnal'"
+
+ private:
+  struct Entry {
+    ArrivalModelInfo info;
+    Factory factory;
+  };
+
+  ArrivalModelRegistry() = default;
+  void EnsureBuiltins() const;
+  const Entry* FindEntryLocked(const std::string& name) const;
+  std::string AvailableNamesLockedUnsafe() const;
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+// First `n` arrival ticks of `model` drawn from a fresh Rng(seed): the
+// cumulative gap stream floored to integer session ticks (non-decreasing).
+// RequestTrace::FromArrivalModel uses exactly this stream, so golden pins of
+// this function also pin the traces built on it.
+std::vector<std::int64_t> GenerateArrivalTicks(ArrivalModel& model, std::int64_t n,
+                                               std::uint64_t seed);
+
+}  // namespace mas::serve

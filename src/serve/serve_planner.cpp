@@ -38,25 +38,35 @@ std::int64_t ServePlanner::Bucket(std::int64_t n, std::int64_t min_bucket) {
 }
 
 const TuningPlan& ServePlanner::PrefillPlan(std::int64_t prompt_len) {
-  return Resolve(Phase::kPrefill, Bucket(prompt_len, options_.min_context_bucket), 1);
+  return Resolve(Phase::kPrefill, Bucket(prompt_len, options_.min_context_bucket), 1,
+                 options_.prefill_method);
 }
 
 const TuningPlan& ServePlanner::DecodePlan(std::int64_t context_len, std::int64_t queries) {
   MAS_CHECK(queries >= 1) << "decode query count must be positive, got " << queries;
-  return Resolve(Phase::kDecode, Bucket(context_len, options_.min_context_bucket), queries);
+  return Resolve(Phase::kDecode, Bucket(context_len, options_.min_context_bucket), queries,
+                 options_.decode_method);
+}
+
+const TuningPlan& ServePlanner::DecodePlanAs(const std::string& method,
+                                             std::int64_t context_len, std::int64_t queries) {
+  MAS_CHECK(queries >= 1) << "decode query count must be positive, got " << queries;
+  MAS_CHECK(SchedulerRegistry::Instance().Find(method) != nullptr)
+      << "unknown decode method '" << method
+      << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
+  return Resolve(Phase::kDecode, Bucket(context_len, options_.min_context_bucket), queries,
+                 method);
 }
 
 const TuningPlan& ServePlanner::Resolve(Phase phase, std::int64_t bucket,
-                                        std::int64_t queries) {
-  const auto key = std::make_tuple(static_cast<int>(phase), bucket, queries);
+                                        std::int64_t queries, const std::string& method) {
+  const auto key = std::make_tuple(static_cast<int>(phase), bucket, queries, method);
   const auto it = plans_.find(key);
   if (it != plans_.end()) return it->second;
 
   const AttentionShape shape = phase == Phase::kPrefill
                                    ? PrefillShape(geometry_, bucket)
                                    : DecodeShape(geometry_, bucket, queries);
-  const std::string& method =
-      phase == Phase::kPrefill ? options_.prefill_method : options_.decode_method;
   TuningPlan plan = planner_.Plan(shape, method, hw_, options_.policy);
   return plans_.emplace(key, std::move(plan)).first->second;
 }

@@ -58,6 +58,12 @@ class ServePlanner {
   // Plan for one decode step of `queries` rows against `context_len` KV
   // entries, resolved at the bucketed context length.
   const TuningPlan& DecodePlan(std::int64_t context_len, std::int64_t queries = 1);
+  // As DecodePlan, but resolved under `method` instead of the configured
+  // decode method — the adaptive session's pressure-relief path (MAS -> FLAT
+  // under TTFT pressure). Memoized separately per method; throws (listing
+  // the registry) on an unknown method name.
+  const TuningPlan& DecodePlanAs(const std::string& method, std::int64_t context_len,
+                                 std::int64_t queries = 1);
 
   Planner& planner() { return planner_; }
   const sim::HardwareConfig& hw() const { return hw_; }
@@ -70,15 +76,18 @@ class ServePlanner {
 
  private:
   enum class Phase { kPrefill = 0, kDecode = 1 };
-  const TuningPlan& Resolve(Phase phase, std::int64_t bucket, std::int64_t queries);
+  const TuningPlan& Resolve(Phase phase, std::int64_t bucket, std::int64_t queries,
+                            const std::string& method);
 
   Planner& planner_;
   sim::HardwareConfig hw_;
   AttentionGeometry geometry_;
   ServePlannerOptions options_;
   // Local memo so repeated buckets skip even the planner's store lookup.
-  // Values are stable (std::map never invalidates on insert).
-  std::map<std::tuple<int, std::int64_t, std::int64_t>, TuningPlan> plans_;
+  // Values are stable (std::map never invalidates on insert). The method
+  // component distinguishes pressure-relief plans (DecodePlanAs) from the
+  // per-phase defaults.
+  std::map<std::tuple<int, std::int64_t, std::int64_t, std::string>, TuningPlan> plans_;
 };
 
 }  // namespace mas::serve

@@ -1,14 +1,30 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <ostream>
+#include <utility>
 
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "runner/thread_pool.h"
+#include "schedulers/registry.h"
 
 namespace mas::serve {
+
+double NearestRankPercentile(std::vector<double> samples, double percentile) {
+  MAS_CHECK(!samples.empty()) << "percentile of an empty sample set";
+  MAS_CHECK(percentile > 0.0 && percentile <= 100.0)
+      << "percentile must lie in (0, 100], got " << percentile;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;    // percentile > 0 guarantees ceil >= 1, but be safe
+  if (rank > n) rank = n;    // guard the p == 100 floating-point edge
+  return samples[rank - 1];
+}
 
 double ServeMetrics::TokensPerSecond(double frequency_ghz) const {
   if (makespan_cycles == 0) return 0.0;
@@ -41,17 +57,27 @@ void ServeResult::WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) con
   json.EndArray();
   json.BeginObject("aggregate");
   json.KeyValue("requests", metrics.requests);
+  json.KeyValue("decode_requests", metrics.decode_requests);
   json.KeyValue("prompt_tokens", metrics.prompt_tokens);
   json.KeyValue("decode_tokens", metrics.decode_tokens);
   json.KeyValue("generated_tokens", metrics.generated_tokens);
   json.KeyValue("steps", metrics.steps);
   json.KeyValue("prefill_sims", metrics.prefill_sims);
   json.KeyValue("decode_sims", metrics.decode_sims);
+  json.KeyValue("coalesced_decode_sims", metrics.coalesced_decode_sims);
   json.KeyValue("makespan_cycles", metrics.makespan_cycles);
   json.KeyValue("makespan_ms", metrics.MakespanMs(hw.frequency_ghz));
   json.KeyValue("mean_ttft_cycles", metrics.mean_ttft_cycles);
   json.KeyValue("max_ttft_cycles", metrics.max_ttft_cycles);
+  json.KeyValue("p50_ttft_cycles", metrics.p50_ttft_cycles);
+  json.KeyValue("p95_ttft_cycles", metrics.p95_ttft_cycles);
+  json.KeyValue("p99_ttft_cycles", metrics.p99_ttft_cycles);
   json.KeyValue("mean_tpot_cycles", metrics.mean_tpot_cycles);
+  json.KeyValue("max_tpot_cycles", metrics.max_tpot_cycles);
+  json.KeyValue("p50_tpot_cycles", metrics.p50_tpot_cycles);
+  json.KeyValue("p95_tpot_cycles", metrics.p95_tpot_cycles);
+  json.KeyValue("p99_tpot_cycles", metrics.p99_tpot_cycles);
+  json.KeyValue("pressure_switch_tick", metrics.pressure_switch_tick);
   json.KeyValue("tokens_per_second", metrics.TokensPerSecond(hw.frequency_ghz));
   json.KeyValue("total_pj", metrics.energy.total_pj());
   json.KeyValue("dram_pj", metrics.energy.dram_pj);
@@ -96,9 +122,20 @@ void WriteConfigJson(JsonWriter& json, const sim::HardwareConfig& hw,
 }
 
 ServeSession::ServeSession(ServePlanner& planner, ServeSessionOptions options)
-    : planner_(planner), options_(options) {
+    : planner_(planner), options_(std::move(options)) {
   MAS_CHECK(options_.max_batch >= 1) << "max_batch must be positive, got "
                                      << options_.max_batch;
+  // Fail fast on a malformed pressure policy instead of mid-trace.
+  if (options_.pressure.enabled) {
+    MAS_CHECK(options_.pressure.ttft_target_cycles > 0.0)
+        << "pressure policy requires a positive ttft_target_cycles, got "
+        << options_.pressure.ttft_target_cycles;
+    MAS_CHECK(options_.pressure.window >= 1)
+        << "pressure window must be at least 1, got " << options_.pressure.window;
+    MAS_CHECK(SchedulerRegistry::Instance().Find(options_.pressure.relief_method) != nullptr)
+        << "unknown relief method '" << options_.pressure.relief_method
+        << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
+  }
 }
 
 ServeResult ServeSession::Run(const RequestTrace& trace) {
@@ -147,10 +184,30 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   std::size_t finished = 0;
   std::int64_t tick = 0;
 
-  // Per-step scratch, reused across steps.
+  // Pressure-policy state: a sliding window of the most recent TTFT samples
+  // (pushed as prefills retire) feeding a one-way latch onto the relief
+  // decode method.
+  const PressurePolicy& pressure = options_.pressure;
+  std::deque<double> ttft_window;
+  bool relieved = false;
+
+  // Per-step scratch, reused across steps. A step is built in two passes:
+  // members (one per in-flight request) first, then the simulations they map
+  // onto — distinct objects because coalescing can merge the round's decode
+  // members into a single sim.
+  struct Member {
+    std::size_t idx = 0;       // trace index
+    std::int64_t queries = 0;  // decode rows this step (0 = prefill entry)
+    std::int64_t context = 0;  // decode KV context (unused for prefill)
+    std::size_t sim = 0;       // index into step_plans / step_results
+  };
+  std::vector<Member> members;
   std::vector<const TuningPlan*> step_plans;
-  std::vector<std::size_t> step_queries;  // decode rows (0 = prefill entry)
+  // Decode members covered, per sim: 0 marks a prefill sim, k >= 1 a decode
+  // sim standing in for k members (k > 1 only under coalesce_decode).
+  std::vector<std::int64_t> sim_decode_members;
   std::vector<sim::SimResult> step_results;
+  std::vector<std::uint64_t> sim_done_clock;
 
   while (finished < n) {
     // Admit arrivals that became visible at or before this tick.
@@ -172,60 +229,135 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
       continue;
     }
 
-    // Resolve this step's plans serially in batch order (planner calls are
-    // deterministic and dedup through the plan store / local memo).
-    step_plans.clear();
-    step_queries.clear();
-    for (std::size_t idx : batch) {
-      const ServeRequest& r = trace.requests[idx];
-      const Progress& p = progress[idx];
-      if (!p.prefilled) {
-        step_plans.push_back(&planner_.PrefillPlan(r.prompt_len));
-        step_queries.push_back(0);
-      } else {
-        const std::int64_t remaining = r.decode_len - p.decoded;
-        const std::int64_t queries = std::min(r.speculation, remaining);
-        const std::int64_t context = r.prompt_len + p.decoded;
-        step_plans.push_back(&planner_.DecodePlan(context, queries));
-        step_queries.push_back(static_cast<std::size_t>(queries));
+    // Evaluate the pressure policy at round start over the window gathered
+    // so far. One-way latch: once the windowed mean TTFT slips past the
+    // target, decode plans resolve under the relief method for the rest of
+    // the run, and the firing round's index is recorded.
+    if (pressure.enabled && !relieved && !ttft_window.empty()) {
+      double window_sum = 0.0;
+      for (double sample : ttft_window) window_sum += sample;
+      if (window_sum / static_cast<double>(ttft_window.size()) > pressure.ttft_target_cycles) {
+        relieved = true;
+        agg.pressure_switch_tick = agg.steps;
       }
     }
 
-    // Simulate the entries across the workers; each writes its own slot.
-    step_results.assign(batch.size(), sim::SimResult{});
-    runner::ParallelForWorkers(batch.size(), options_.jobs, [&](std::size_t worker,
-                                                                std::size_t i) {
+    // Pass 1: one member per in-flight request, in batch order.
+    members.clear();
+    std::int64_t decode_members = 0;
+    for (std::size_t idx : batch) {
+      const ServeRequest& r = trace.requests[idx];
+      const Progress& p = progress[idx];
+      Member m;
+      m.idx = idx;
+      if (p.prefilled) {
+        const std::int64_t remaining = r.decode_len - p.decoded;
+        m.queries = std::min(r.speculation, remaining);
+        m.context = r.prompt_len + p.decoded;
+        ++decode_members;
+      }
+      members.push_back(m);
+    }
+    const bool coalesce = options_.coalesce_decode && decode_members > 1;
+
+    // Pass 2: map members onto sims and resolve plans serially in batch
+    // order (planner calls are deterministic and dedup through the plan
+    // store / local memo). Under coalescing, ALL of the round's decode
+    // members share one sim positioned at the first decode member's slot:
+    // queries = the members' summed rows, context = the widest member's —
+    // the shared KV stream is priced once for the whole round.
+    step_plans.clear();
+    sim_decode_members.clear();
+    std::size_t coalesced_sim = members.size();  // sentinel: not yet created
+    for (Member& m : members) {
+      if (m.queries == 0) {
+        m.sim = step_plans.size();
+        step_plans.push_back(&planner_.PrefillPlan(trace.requests[m.idx].prompt_len));
+        sim_decode_members.push_back(0);
+        continue;
+      }
+      if (!coalesce) {
+        m.sim = step_plans.size();
+        const TuningPlan& plan =
+            relieved ? planner_.DecodePlanAs(pressure.relief_method, m.context, m.queries)
+                     : planner_.DecodePlan(m.context, m.queries);
+        step_plans.push_back(&plan);
+        sim_decode_members.push_back(1);
+        continue;
+      }
+      if (coalesced_sim == members.size()) {
+        std::int64_t total_queries = 0;
+        std::int64_t max_context = 0;
+        for (const Member& other : members) {
+          if (other.queries == 0) continue;
+          total_queries += other.queries;
+          max_context = std::max(max_context, other.context);
+        }
+        coalesced_sim = step_plans.size();
+        const TuningPlan& plan =
+            relieved
+                ? planner_.DecodePlanAs(pressure.relief_method, max_context, total_queries)
+                : planner_.DecodePlan(max_context, total_queries);
+        step_plans.push_back(&plan);
+        sim_decode_members.push_back(decode_members);
+      }
+      m.sim = coalesced_sim;
+    }
+
+    // Simulate the sims across the workers; each writes its own slot.
+    step_results.assign(step_plans.size(), sim::SimResult{});
+    runner::ParallelForWorkers(step_plans.size(), options_.jobs, [&](std::size_t worker,
+                                                                     std::size_t i) {
       step_results[i] =
           planner_.planner().Simulate(*step_plans[i], planner_.hw(),
                                       /*record_timeline=*/false, &engines[worker]);
     });
 
-    // Retire the step in batch order on the single-device clock.
-    std::vector<std::size_t> still_running;
-    still_running.reserve(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::size_t idx = batch[i];
-      const ServeRequest& r = trace.requests[idx];
-      Progress& p = progress[idx];
-      const sim::SimResult& sim = step_results[i];
+    // The single device executes the round's sims back-to-back in sim order;
+    // record each sim's completion clock, then retire members in batch order
+    // stamping from their sim's completion. With one sim per member this is
+    // byte-identical to advancing the clock per member (the old behavior).
+    sim_done_clock.assign(step_results.size(), 0);
+    for (std::size_t s = 0; s < step_results.size(); ++s) {
+      const sim::SimResult& sim = step_results[s];
       clock += sim.cycles;
+      sim_done_clock[s] = clock;
       agg.energy += sim.energy;
       agg.dram_read_bytes += sim.dram_read_bytes;
       agg.dram_write_bytes += sim.dram_write_bytes;
-      if (step_queries[i] == 0) {
+      if (sim_decode_members[s] == 0) {
         ++agg.prefill_sims;
+      } else {
+        ++agg.decode_sims;
+        if (sim_decode_members[s] > 1) ++agg.coalesced_decode_sims;
+      }
+    }
+
+    std::vector<std::size_t> still_running;
+    still_running.reserve(members.size());
+    for (const Member& m : members) {
+      const std::size_t idx = m.idx;
+      const ServeRequest& r = trace.requests[idx];
+      Progress& p = progress[idx];
+      const std::uint64_t done = sim_done_clock[m.sim];
+      if (m.queries == 0) {
         p.prefilled = true;
-        metrics[idx].first_token_cycles = clock;
+        metrics[idx].first_token_cycles = done;
+        if (pressure.enabled) {
+          ttft_window.push_back(static_cast<double>(metrics[idx].TtftCycles()));
+          while (ttft_window.size() > static_cast<std::size_t>(pressure.window)) {
+            ttft_window.pop_front();
+          }
+        }
         if (r.decode_len == 0) {
-          metrics[idx].finish_cycles = clock;
+          metrics[idx].finish_cycles = done;
           ++finished;
           continue;
         }
       } else {
-        ++agg.decode_sims;
-        p.decoded += static_cast<std::int64_t>(step_queries[i]);
+        p.decoded += m.queries;
         if (p.decoded >= r.decode_len) {
-          metrics[idx].finish_cycles = clock;
+          metrics[idx].finish_cycles = done;
           ++finished;
           continue;
         }
@@ -238,19 +370,35 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   }
 
   agg.makespan_cycles = clock;
+  std::vector<double> ttft_samples;
+  std::vector<double> tpot_samples;
+  ttft_samples.reserve(n);
   double ttft_sum = 0.0, tpot_sum = 0.0;
-  std::int64_t tpot_count = 0;
   for (const RequestMetrics& m : metrics) {
     const double ttft = static_cast<double>(m.TtftCycles());
+    ttft_samples.push_back(ttft);
     ttft_sum += ttft;
     agg.max_ttft_cycles = std::max(agg.max_ttft_cycles, ttft);
     if (m.decode_len > 0) {
-      tpot_sum += m.TpotCycles();
-      ++tpot_count;
+      const double tpot = m.TpotCycles();
+      tpot_samples.push_back(tpot);
+      tpot_sum += tpot;
+      agg.max_tpot_cycles = std::max(agg.max_tpot_cycles, tpot);
     }
   }
-  if (n > 0) agg.mean_ttft_cycles = ttft_sum / static_cast<double>(n);
-  if (tpot_count > 0) agg.mean_tpot_cycles = tpot_sum / static_cast<double>(tpot_count);
+  agg.decode_requests = static_cast<std::int64_t>(tpot_samples.size());
+  if (n > 0) {
+    agg.mean_ttft_cycles = ttft_sum / static_cast<double>(n);
+    agg.p50_ttft_cycles = NearestRankPercentile(ttft_samples, 50.0);
+    agg.p95_ttft_cycles = NearestRankPercentile(ttft_samples, 95.0);
+    agg.p99_ttft_cycles = NearestRankPercentile(ttft_samples, 99.0);
+  }
+  if (!tpot_samples.empty()) {
+    agg.mean_tpot_cycles = tpot_sum / static_cast<double>(tpot_samples.size());
+    agg.p50_tpot_cycles = NearestRankPercentile(tpot_samples, 50.0);
+    agg.p95_tpot_cycles = NearestRankPercentile(tpot_samples, 95.0);
+    agg.p99_tpot_cycles = NearestRankPercentile(tpot_samples, 99.0);
+  }
 
   result.requests = std::move(metrics);
   return result;

@@ -15,7 +15,21 @@
 //   TTFT  = first-token completion - arrival (queueing included),
 //   TPOT  = (finish - first token) / decode tokens,
 //   tokens/s = generated tokens / (makespan / frequency).
-// Energy and DRAM traffic accumulate from the engine SimResults.
+// Tail percentiles (p50/p95/p99 TTFT and TPOT) are exact nearest-rank over
+// the full per-request sample vectors — no streaming sketches — so they are
+// deterministic regardless of batch completion order. Energy and DRAM
+// traffic accumulate from the engine SimResults.
+//
+// Two optional load-adaptive behaviors (both off by default, both
+// byte-deterministic for any `jobs`):
+//   * PressurePolicy — a windowed mean over the most recent TTFT samples;
+//     when it slips past the target the session latches the decode phase
+//     onto the relief method (MAS -> FLAT) for the rest of the run and
+//     records the switch tick.
+//   * coalesce_decode — a round's concurrent ready decode steps merge into
+//     ONE speculative-style N>1 DecodeShape simulation (queries = the
+//     members' summed rows, context = the widest member's), so the shared
+//     KV stream is priced once per round instead of once per request.
 //
 // Determinism: plans resolve serially in batch order through the
 // ServePlanner; only the engine simulations fan out across `jobs` workers,
@@ -39,9 +53,26 @@ class JsonWriter;
 
 namespace mas::serve {
 
+// Load-adaptive decode-method switching. When enabled, the session keeps a
+// sliding window of the most recent TTFT samples (recorded as prefills
+// complete); at the start of each scheduling round, if the windowed mean
+// exceeds `ttft_target_cycles`, the decode phase latches onto
+// `relief_method` for the remainder of the run (a one-way switch — the
+// round index it fires at lands in ServeMetrics::pressure_switch_tick).
+struct PressurePolicy {
+  bool enabled = false;
+  double ttft_target_cycles = 0.0;  // must be > 0 when enabled
+  int window = 4;                   // TTFT samples in the estimate (>= 1)
+  std::string relief_method = "FLAT";
+};
+
 struct ServeSessionOptions {
   int max_batch = 4;  // in-flight request cap (continuous-batching window)
   int jobs = 1;       // worker threads simulating a step's batch entries
+  // Merge a round's concurrent ready decode steps into one N>1 DecodeShape
+  // simulation (queries summed, context = the widest member's bucket).
+  bool coalesce_decode = false;
+  PressurePolicy pressure;
 };
 
 // Per-request outcome. All timestamps are session-clock cycles.
@@ -66,20 +97,42 @@ struct RequestMetrics {
   }
 };
 
-// Aggregate session outcome.
+// Exact nearest-rank percentile, p in (0, 100]: the sample at ascending
+// rank ceil(p/100 * n). Sorts a copy, so the result is independent of the
+// caller's sample order (completion order never leaks in); throws on an
+// empty sample set or an out-of-range percentile.
+double NearestRankPercentile(std::vector<double> samples, double percentile);
+
+// Aggregate session outcome. TPOT statistics (mean/max/percentiles) are
+// taken over the `decode_requests` requests with decode_len > 0; when a
+// trace is entirely prefill-only they are all exactly 0.0, consistently.
 struct ServeMetrics {
   std::int64_t requests = 0;
+  std::int64_t decode_requests = 0;   // requests with decode_len > 0
   std::int64_t prompt_tokens = 0;
   std::int64_t decode_tokens = 0;
   std::int64_t generated_tokens = 0;  // first tokens + decode tokens
   std::int64_t steps = 0;             // scheduling rounds executed
   std::int64_t prefill_sims = 0;      // phase simulations by kind
   std::int64_t decode_sims = 0;
+  // Decode simulations that covered more than one request (coalesce_decode).
+  std::int64_t coalesced_decode_sims = 0;
   std::uint64_t makespan_cycles = 0;
 
   double mean_ttft_cycles = 0.0;
   double max_ttft_cycles = 0.0;
+  double p50_ttft_cycles = 0.0;  // nearest-rank over all requests
+  double p95_ttft_cycles = 0.0;
+  double p99_ttft_cycles = 0.0;
   double mean_tpot_cycles = 0.0;  // over requests with decode_len > 0
+  double max_tpot_cycles = 0.0;
+  double p50_tpot_cycles = 0.0;  // nearest-rank over decode requests
+  double p95_tpot_cycles = 0.0;
+  double p99_tpot_cycles = 0.0;
+
+  // Round index at which the pressure policy latched the decode phase onto
+  // its relief method; -1 when the policy never fired (or is disabled).
+  std::int64_t pressure_switch_tick = -1;
 
   sim::EnergyBreakdown energy;
   std::int64_t dram_read_bytes = 0;

@@ -1,0 +1,111 @@
+#include "serve/slo.h"
+
+#include <cmath>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::serve {
+
+namespace {
+
+double Fraction(std::int64_t ok, std::int64_t total) {
+  if (total == 0) return 1.0;
+  return static_cast<double>(ok) / static_cast<double>(total);
+}
+
+}  // namespace
+
+void SloTargets::Validate() const {
+  MAS_CHECK(std::isfinite(ttft_us) && ttft_us >= 0.0)
+      << "SLO ttft_us must be finite and non-negative, got " << ttft_us;
+  MAS_CHECK(std::isfinite(tpot_us) && tpot_us >= 0.0)
+      << "SLO tpot_us must be finite and non-negative, got " << tpot_us;
+}
+
+double SloReport::TtftAttainment() const { return Fraction(ttft_ok, requests); }
+double SloReport::TpotAttainment() const { return Fraction(tpot_ok, decode_requests); }
+double SloReport::JointAttainment() const { return Fraction(joint_ok, requests); }
+
+SloReport EvaluateSlo(const ServeResult& result, const sim::HardwareConfig& hw,
+                      const SloTargets& targets) {
+  targets.Validate();
+  const double cycles_per_us = hw.frequency_ghz * 1e3;
+  const double ttft_target_cycles = targets.ttft_us * cycles_per_us;
+  const double tpot_target_cycles = targets.tpot_us * cycles_per_us;
+
+  SloReport report;
+  report.requests = static_cast<std::int64_t>(result.requests.size());
+  for (const RequestMetrics& r : result.requests) {
+    const bool ttft_met =
+        !targets.HasTtft() || static_cast<double>(r.TtftCycles()) <= ttft_target_cycles;
+    bool tpot_met = true;
+    if (r.decode_len > 0) {
+      ++report.decode_requests;
+      tpot_met = !targets.HasTpot() || r.TpotCycles() <= tpot_target_cycles;
+      if (tpot_met) ++report.tpot_ok;
+    }
+    if (ttft_met) ++report.ttft_ok;
+    if (ttft_met && tpot_met) ++report.joint_ok;
+  }
+  return report;
+}
+
+void WriteSloJson(JsonWriter& json, const SloTargets& targets, const SloReport& report) {
+  json.BeginObject("slo");
+  json.KeyValue("ttft_target_us", targets.ttft_us);
+  json.KeyValue("tpot_target_us", targets.tpot_us);
+  json.KeyValue("requests", report.requests);
+  json.KeyValue("decode_requests", report.decode_requests);
+  json.KeyValue("ttft_ok", report.ttft_ok);
+  json.KeyValue("tpot_ok", report.tpot_ok);
+  json.KeyValue("joint_ok", report.joint_ok);
+  json.KeyValue("ttft_attainment", report.TtftAttainment());
+  json.KeyValue("tpot_attainment", report.TpotAttainment());
+  json.KeyValue("joint_attainment", report.JointAttainment());
+  json.EndObject();
+}
+
+std::vector<double> GeometricRates(double start_per_s, double factor, int count) {
+  MAS_CHECK(std::isfinite(start_per_s) && start_per_s > 0.0)
+      << "rate ladder start must be positive and finite, got " << start_per_s;
+  MAS_CHECK(std::isfinite(factor) && factor > 1.0)
+      << "rate ladder factor must exceed 1, got " << factor;
+  MAS_CHECK(count >= 1) << "rate ladder needs at least one point, got " << count;
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(count));
+  double rate = start_per_s;
+  for (int i = 0; i < count; ++i) {
+    MAS_CHECK(std::isfinite(rate)) << "rate ladder overflowed at point " << i;
+    rates.push_back(rate);
+    rate *= factor;
+  }
+  return rates;
+}
+
+std::vector<LoadSweepPoint> RunLoadSweep(ServePlanner& planner,
+                                         const LoadSweepOptions& options) {
+  MAS_CHECK(!options.rates_per_s.empty()) << "load sweep needs at least one offered rate";
+  options.slo.Validate();
+
+  std::vector<LoadSweepPoint> points;
+  points.reserve(options.rates_per_s.size());
+  for (const double rate : options.rates_per_s) {
+    MAS_CHECK(std::isfinite(rate) && rate > 0.0)
+        << "load sweep rate must be positive and finite, got " << rate;
+    const ArrivalSpec spec = options.arrival.With("rate", rate);
+    const std::unique_ptr<ArrivalModel> model =
+        ArrivalModelRegistry::Instance().Create(spec, options.calibration);
+    const RequestTrace trace = RequestTrace::FromArrivalModel(*model, options.shape);
+
+    LoadSweepPoint point;
+    point.rate_per_s = rate;
+    ServeSession session(planner, options.session);
+    point.result = session.Run(trace);
+    point.slo = EvaluateSlo(point.result, planner.hw(), options.slo);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace mas::serve

@@ -1,0 +1,94 @@
+// serve::EvaluateSlo / RunLoadSweep — the SLO side of the open-loop story.
+//
+// An arrival model (serve/arrival.h) makes offered load an input; this
+// header makes service-level attainment the output. Targets are quoted in
+// microseconds (the unit operators reason in) and converted to cycles
+// through the hardware clock; attainment is the fraction of requests whose
+// TTFT — and, for requests that decode, TPOT — lands at or under its
+// target. An unset target (0) is vacuously met, so a TTFT-only SLO works
+// without inventing a TPOT bound.
+//
+// RunLoadSweep replays ONE trace shape (same lengths, same length seed)
+// across a ladder of offered rates, re-drawing only the arrival ticks per
+// point. Holding the work fixed while sweeping the rate isolates queueing:
+// the attainment-vs-load curve bends exactly where the device saturates,
+// which is the capacity number the sweep exists to find. Everything is
+// deterministic — fixed seeds, nearest-rank percentiles, no wall clocks —
+// so the emitted JSON is byte-identical across --jobs and reruns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/arrival.h"
+#include "serve/session.h"
+#include "serve/trace.h"
+#include "sim/hardware_config.h"
+
+namespace mas {
+class JsonWriter;
+}
+
+namespace mas::serve {
+
+// Latency targets in wall microseconds; 0 disables that dimension.
+struct SloTargets {
+  double ttft_us = 0.0;  // time-to-first-token bound, all requests
+  double tpot_us = 0.0;  // time-per-output-token bound, decode requests only
+
+  bool HasTtft() const { return ttft_us > 0.0; }
+  bool HasTpot() const { return tpot_us > 0.0; }
+  void Validate() const;  // throws on negative or non-finite targets
+};
+
+// Attainment counts for one ServeResult against one SloTargets.
+struct SloReport {
+  std::int64_t requests = 0;
+  std::int64_t decode_requests = 0;
+  std::int64_t ttft_ok = 0;   // requests with TTFT <= target (all when unset)
+  std::int64_t tpot_ok = 0;   // decode requests with TPOT <= target
+  std::int64_t joint_ok = 0;  // requests meeting every applicable target
+
+  // Fractions in [0, 1]; an empty denominator reports 1.0 (vacuous truth,
+  // so empty traces and prefill-only traces read as "SLO met").
+  double TtftAttainment() const;
+  double TpotAttainment() const;  // over decode requests
+  double JointAttainment() const;
+};
+
+// Scores `result` against `targets` on `hw`'s clock (target cycles =
+// target_us * frequency_ghz * 1e3). Throws on invalid targets.
+SloReport EvaluateSlo(const ServeResult& result, const sim::HardwareConfig& hw,
+                      const SloTargets& targets);
+
+// Emits the targets and attainment block into an already-open JSON object
+// (key "slo"): targets as given, counts, and the three fractions.
+void WriteSloJson(JsonWriter& json, const SloTargets& targets, const SloReport& report);
+
+// Geometric offered-rate ladder: start, start*factor, ... (count points).
+// Throws unless start > 0, factor > 1, count >= 1.
+std::vector<double> GeometricRates(double start_per_s, double factor, int count);
+
+// One load-sweep configuration: a trace shape, an arrival family, a rate
+// ladder, targets, and the session to run each point under.
+struct LoadSweepOptions {
+  ArrivalSpec arrival;              // base spec; "rate" is overridden per point
+  ArrivalCalibration calibration;
+  SyntheticTraceSpec shape;         // lengths + seed; arrival ticks replaced
+  std::vector<double> rates_per_s;  // offered-load ladder (ascending by convention)
+  SloTargets slo;
+  ServeSessionOptions session;
+};
+
+struct LoadSweepPoint {
+  double rate_per_s = 0.0;
+  ServeResult result;
+  SloReport slo;
+};
+
+// Runs one session per rate (in ladder order) against `planner` — shared
+// across points, so the plan memo warms over the sweep — and scores each
+// against the targets. Throws on an empty or non-positive rate ladder.
+std::vector<LoadSweepPoint> RunLoadSweep(ServePlanner& planner, const LoadSweepOptions& options);
+
+}  // namespace mas::serve

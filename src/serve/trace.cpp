@@ -72,14 +72,35 @@ std::string RequestTrace::ToJson() const {
   return w.Take();
 }
 
+namespace {
+
+// The JSON reader deliberately does not enforce key uniqueness (RFC 8259
+// leaves it open); for traces a duplicate key means one value silently
+// shadows another — reject it rather than guess which one was meant.
+void CheckUniqueKeys(const json::Value& object, const std::string& where) {
+  std::set<std::string> seen;
+  for (const auto& [key, value] : object.Members()) {
+    MAS_CHECK(seen.insert(key).second)
+        << where << " has duplicate key '" << key << "'";
+    (void)value;
+  }
+}
+
+}  // namespace
+
 RequestTrace RequestTrace::FromJson(const std::string& text) {
   const json::Value doc = json::Parse(text);
   MAS_CHECK(doc.is_object()) << "trace document must be a JSON object";
+  CheckUniqueKeys(doc, "trace document");
   MAS_CHECK(doc.Get("version").AsInt64() == 1)
       << "unsupported trace version " << doc.Get("version").AsInt64();
   RequestTrace trace;
   trace.name = doc.Get("name").AsString();
-  for (const json::Value& v : doc.Get("requests").AsArray()) {
+  const std::vector<json::Value>& rows = doc.Get("requests").AsArray();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const json::Value& v = rows[i];
+    MAS_CHECK(v.is_object()) << "trace request " << i << " must be a JSON object";
+    CheckUniqueKeys(v, "trace request " + std::to_string(i));
     ServeRequest r;
     r.id = v.Get("id").AsInt64();
     r.arrival_tick = v.Get("arrival_tick").AsInt64();

@@ -17,6 +17,9 @@
 
 namespace mas::serve {
 
+class ArrivalModel;         // arrival.h — open-loop inter-arrival processes
+struct SyntheticTraceSpec;  // below
+
 // One request: arrive at `arrival_tick`, prefill `prompt_len` tokens (which
 // produces the first output token), then generate `decode_len` more tokens
 // in ceil(decode_len / speculation) decode steps.
@@ -56,6 +59,13 @@ struct RequestTrace {
   // File round-trip. LoadFile throws when the file cannot be read or parsed.
   static RequestTrace LoadFile(const std::string& path);
   void SaveFile(const std::string& path) const;
+
+  // Open-loop generation: arrival ticks come from `model` (see
+  // serve/arrival.h; seeded with spec.seed), every other field from the
+  // spec's length/speculation ranges (spec.max_arrival_gap is ignored).
+  // Deterministic: one (model spec, calibration, trace spec) triple always
+  // builds the same trace. Implemented in arrival.cpp.
+  static RequestTrace FromArrivalModel(ArrivalModel& model, const SyntheticTraceSpec& spec);
 };
 
 // Deterministic synthetic trace generator: all stochastic fields come from

@@ -1,0 +1,219 @@
+// Arrival-model tests: --arrival grammar parsing, registry semantics,
+// calibration, stream determinism, the pinned fixed-seed goldens
+// (tests/golden_arrivals.inc — regenerate with tools/gen_golden_arrivals),
+// and RequestTrace::FromArrivalModel's seed-stream separation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/arrival.h"
+#include "serve/trace.h"
+
+namespace mas::serve {
+namespace {
+
+std::unique_ptr<ArrivalModel> Make(const std::string& spec_text,
+                                   ArrivalCalibration calibration = {}) {
+  return ArrivalModelRegistry::Instance().Create(ArrivalSpec::Parse(spec_text), calibration);
+}
+
+// ----------------------------------------------------------------- grammar
+
+TEST(ArrivalSpec, ParsesModelAndParams) {
+  const ArrivalSpec bare = ArrivalSpec::Parse("poisson");
+  EXPECT_EQ(bare.model, "poisson");
+  EXPECT_TRUE(bare.params.empty());
+  EXPECT_EQ(bare.ToString(), "poisson");
+
+  const ArrivalSpec full = ArrivalSpec::Parse("bursty:rate=64,burst=8,on=0.25");
+  EXPECT_EQ(full.model, "bursty");
+  ASSERT_EQ(full.params.size(), 3u);
+  EXPECT_DOUBLE_EQ(full.Param("rate", -1.0), 64.0);
+  EXPECT_DOUBLE_EQ(full.Param("burst", -1.0), 8.0);
+  EXPECT_DOUBLE_EQ(full.Param("on", -1.0), 0.25);
+  EXPECT_TRUE(full.Has("rate"));
+  EXPECT_FALSE(full.Has("off"));
+  EXPECT_DOUBLE_EQ(full.Param("off", 7.5), 7.5);  // fallback when absent
+  EXPECT_EQ(full.ToString(), "bursty:rate=64,burst=8,on=0.25");
+  // ToString round-trips through Parse.
+  EXPECT_EQ(ArrivalSpec::Parse(full.ToString()).ToString(), full.ToString());
+}
+
+TEST(ArrivalSpec, WithUpsertsParams) {
+  const ArrivalSpec base = ArrivalSpec::Parse("poisson:rate=64");
+  EXPECT_EQ(base.With("rate", 128.0).ToString(), "poisson:rate=128");
+  EXPECT_EQ(base.With("rate", 128.0).params.size(), 1u);  // replaced, not appended
+  EXPECT_EQ(ArrivalSpec::Parse("poisson").With("rate", 32.0).ToString(), "poisson:rate=32");
+}
+
+TEST(ArrivalSpec, RejectsMalformedText) {
+  EXPECT_THROW(ArrivalSpec::Parse(""), Error);
+  EXPECT_THROW(ArrivalSpec::Parse(":rate=64"), Error);        // no model name
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:"), Error);        // empty param list
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate"), Error);    // not key=value
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate="), Error);   // empty value
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:=64"), Error);     // empty key
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate=abc"), Error);
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate=1e999"), Error);  // overflow
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate=inf"), Error);
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate=nan"), Error);
+  EXPECT_THROW(ArrivalSpec::Parse("poisson:rate=64,rate=32"), Error);  // duplicate key
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ArrivalRegistry, CatalogsBuiltins) {
+  ArrivalModelRegistry& registry = ArrivalModelRegistry::Instance();
+  const std::vector<ArrivalModelInfo> models = registry.List();
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0].name, "poisson");
+  EXPECT_EQ(models[1].name, "bursty");
+  EXPECT_EQ(models[2].name, "diurnal");
+  for (const ArrivalModelInfo& info : models) {
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_FALSE(info.params.empty()) << info.name;
+    EXPECT_NE(registry.Find(info.name), nullptr);
+  }
+  EXPECT_EQ(registry.Find("bogus"), nullptr);
+}
+
+TEST(ArrivalRegistry, UnknownModelListsCatalog) {
+  try {
+    Make("bogus");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'poisson'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'diurnal'"), std::string::npos) << what;
+  }
+}
+
+TEST(ArrivalRegistry, FactoriesValidateParams) {
+  EXPECT_THROW(Make("poisson:rte=64"), Error);        // typoed key
+  EXPECT_THROW(Make("poisson:rate=0"), Error);        // non-positive rate
+  EXPECT_THROW(Make("poisson:rate=-5"), Error);
+  EXPECT_THROW(Make("bursty:burst=0.5"), Error);      // burst < 1
+  EXPECT_THROW(Make("bursty:on=0"), Error);           // degenerate phase
+  EXPECT_THROW(Make("diurnal:depth=1"), Error);       // depth must be < 1
+  EXPECT_THROW(Make("diurnal:depth=-0.1"), Error);
+  EXPECT_THROW(Make("diurnal:period=0"), Error);
+  EXPECT_NO_THROW(Make("poisson"));                   // defaults are valid
+  EXPECT_NO_THROW(Make("bursty"));
+  EXPECT_NO_THROW(Make("diurnal"));
+}
+
+TEST(ArrivalCalibrationTest, TicksPerSecondAndValidation) {
+  ArrivalCalibration calibration;  // 3.75 GHz, 1e6 cycles/tick
+  EXPECT_DOUBLE_EQ(calibration.TicksPerSecond(), 3750.0);
+  calibration.cycles_per_tick = 0.0;
+  EXPECT_THROW(Make("poisson", calibration), Error);
+  calibration.cycles_per_tick = 1e6;
+  calibration.frequency_ghz = -1.0;
+  EXPECT_THROW(Make("poisson", calibration), Error);
+}
+
+// ------------------------------------------------------------- generation
+
+TEST(ArrivalGeneration, StreamsAreDeterministicAndSeedSensitive) {
+  for (const char* spec : {"poisson:rate=64", "bursty:rate=64", "diurnal:rate=64"}) {
+    // Fresh model per stream: bursty keeps phase state across calls.
+    const std::vector<std::int64_t> a = GenerateArrivalTicks(*Make(spec), 64, 1);
+    const std::vector<std::int64_t> b = GenerateArrivalTicks(*Make(spec), 64, 1);
+    const std::vector<std::int64_t> c = GenerateArrivalTicks(*Make(spec), 64, 2);
+    EXPECT_EQ(a, b) << spec;
+    EXPECT_NE(a, c) << spec;
+    // First arrival at the stream origin; ticks never decrease.
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a.front(), 0) << spec;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      EXPECT_GE(a[i], a[i - 1]) << spec << " at " << i;
+    }
+  }
+}
+
+TEST(ArrivalGeneration, RateScalesTheStream) {
+  // 4x the offered rate should land the same count of arrivals in roughly a
+  // quarter of the span — generous 2x tolerance, zero flakiness (fixed seed).
+  const std::int64_t slow = GenerateArrivalTicks(*Make("poisson:rate=32"), 256, 9).back();
+  const std::int64_t fast = GenerateArrivalTicks(*Make("poisson:rate=128"), 256, 9).back();
+  EXPECT_GT(slow, 2 * fast);
+}
+
+TEST(ArrivalGeneration, GoldenPinnedStreams) {
+  struct GoldenArrivalRow {
+    const char* spec;
+    std::uint64_t seed;
+    std::int64_t ticks[32];
+  };
+  static const GoldenArrivalRow kRows[] = {
+#include "golden_arrivals.inc"
+  };
+  for (const GoldenArrivalRow& row : kRows) {
+    const std::vector<std::int64_t> ticks = GenerateArrivalTicks(*Make(row.spec), 32, row.seed);
+    ASSERT_EQ(ticks.size(), 32u) << row.spec;
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(ticks[i], row.ticks[i]) << row.spec << " tick " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- FromArrivalModel
+
+TEST(ArrivalTraceBridge, FromArrivalModelUsesModelTicksAndSpecLengths) {
+  SyntheticTraceSpec spec;
+  spec.name = "open_loop";
+  spec.requests = 24;
+  spec.seed = 0xFEED;
+  spec.prompt_min = 32;
+  spec.prompt_max = 64;
+  spec.decode_min = 2;
+  spec.decode_max = 8;
+  spec.max_arrival_gap = 1000;  // ignored: the model owns arrivals
+
+  const RequestTrace trace = RequestTrace::FromArrivalModel(*Make("poisson:rate=64"), spec);
+  ASSERT_EQ(trace.requests.size(), 24u);
+  EXPECT_EQ(trace.name, "open_loop");
+  trace.Validate();  // sorted, unique ids
+
+  // Arrival ticks are exactly the model stream at the spec's seed.
+  const std::vector<std::int64_t> ticks =
+      GenerateArrivalTicks(*Make("poisson:rate=64"), 24, spec.seed);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(trace.requests[i].arrival_tick, ticks[i]) << i;
+    EXPECT_GE(trace.requests[i].prompt_len, 32);
+    EXPECT_LE(trace.requests[i].prompt_len, 64);
+  }
+  // Deterministic end to end.
+  EXPECT_EQ(RequestTrace::FromArrivalModel(*Make("poisson:rate=64"), spec).ToJson(),
+            trace.ToJson());
+}
+
+TEST(ArrivalTraceBridge, LengthStreamIsDecorrelatedFromArrivals) {
+  SyntheticTraceSpec spec;
+  spec.requests = 16;
+  spec.seed = 0xBEEF;
+  spec.prompt_min = 32;
+  spec.prompt_max = 512;
+  spec.decode_min = 1;
+  spec.decode_max = 64;
+
+  // Different arrival models, same seed: identical request lengths (the
+  // length stream is salted off the arrival stream), different ticks.
+  const RequestTrace poisson = RequestTrace::FromArrivalModel(*Make("poisson:rate=64"), spec);
+  const RequestTrace bursty = RequestTrace::FromArrivalModel(*Make("bursty:rate=64"), spec);
+  bool ticks_differ = false;
+  for (std::size_t i = 0; i < poisson.requests.size(); ++i) {
+    EXPECT_EQ(poisson.requests[i].prompt_len, bursty.requests[i].prompt_len) << i;
+    EXPECT_EQ(poisson.requests[i].decode_len, bursty.requests[i].decode_len) << i;
+    ticks_differ = ticks_differ ||
+                   poisson.requests[i].arrival_tick != bursty.requests[i].arrival_tick;
+  }
+  EXPECT_TRUE(ticks_differ);
+}
+
+}  // namespace
+}  // namespace mas::serve

@@ -85,6 +85,94 @@ TEST(ServeTrace, ValidationRejectsBadTraces) {
                Error);
 }
 
+// FromJson must turn EVERY malformed document into a clean mas::Error —
+// never UB, never a partially-populated trace.
+
+TEST(ServeTraceFuzz, EveryTruncationOfAValidDocumentThrows) {
+  const std::string json = GenerateTrace(FindTracePreset("chat", 3)).ToJson();
+  // The document ends in '}', so every proper prefix is incomplete JSON.
+  for (std::size_t len = 0; len < json.size(); ++len) {
+    EXPECT_THROW(RequestTrace::FromJson(json.substr(0, len)), Error) << "prefix len " << len;
+  }
+}
+
+TEST(ServeTraceFuzz, WrongTypedFieldsThrow) {
+  const auto doc = [](const std::string& version, const std::string& name,
+                      const std::string& requests) {
+    return "{\"version\":" + version + ",\"name\":" + name +
+           ",\"requests\":" + requests + "}";
+  };
+  const std::string req = R"([{"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2}])";
+  EXPECT_THROW(RequestTrace::FromJson(doc("\"1\"", "\"x\"", req)), Error);  // version string
+  EXPECT_THROW(RequestTrace::FromJson(doc("1.5", "\"x\"", req)), Error);   // fractional
+  EXPECT_THROW(RequestTrace::FromJson(doc("1", "7", req)), Error);         // name number
+  EXPECT_THROW(RequestTrace::FromJson(doc("1", "\"x\"", "{}")), Error);    // not an array
+  EXPECT_THROW(RequestTrace::FromJson(doc("1", "\"x\"", "[42]")), Error);  // non-object row
+  EXPECT_THROW(RequestTrace::FromJson(doc("1", "\"x\"", "[null]")), Error);
+  EXPECT_THROW(  // string id
+      RequestTrace::FromJson(doc(
+          "1", "\"x\"", R"([{"id":"0","arrival_tick":0,"prompt_len":8,"decode_len":2}])")),
+      Error);
+  EXPECT_THROW(  // boolean prompt_len
+      RequestTrace::FromJson(doc(
+          "1", "\"x\"", R"([{"id":0,"arrival_tick":0,"prompt_len":true,"decode_len":2}])")),
+      Error);
+  EXPECT_THROW(  // fractional arrival_tick
+      RequestTrace::FromJson(doc(
+          "1", "\"x\"", R"([{"id":0,"arrival_tick":0.5,"prompt_len":8,"decode_len":2}])")),
+      Error);
+  EXPECT_THROW(  // null decode_len
+      RequestTrace::FromJson(doc(
+          "1", "\"x\"", R"([{"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":null}])")),
+      Error);
+  EXPECT_THROW(  // missing required field
+      RequestTrace::FromJson(
+          doc("1", "\"x\"", R"([{"id":0,"arrival_tick":0,"prompt_len":8}])")),
+      Error);
+}
+
+TEST(ServeTraceFuzz, NegativeAndOverflowingTicksThrow) {
+  const auto with_tick = [](const std::string& tick) {
+    return R"({"version":1,"name":"x","requests":[{"id":0,"arrival_tick":)" + tick +
+           R"(,"prompt_len":8,"decode_len":2}]})";
+  };
+  EXPECT_THROW(RequestTrace::FromJson(with_tick("-1")), Error);
+  EXPECT_THROW(RequestTrace::FromJson(with_tick("9223372036854775808")), Error);  // 2^63
+  EXPECT_THROW(RequestTrace::FromJson(with_tick("1e300")), Error);
+  EXPECT_THROW(RequestTrace::FromJson(with_tick("-9e300")), Error);
+  // The largest exactly-representable int64 double is fine mechanically but
+  // negative lengths still die in Validate.
+  EXPECT_THROW(
+      RequestTrace::FromJson(
+          R"({"version":1,"name":"x","requests":[)"
+          R"({"id":0,"arrival_tick":0,"prompt_len":-8,"decode_len":2}]})"),
+      Error);
+  EXPECT_THROW(
+      RequestTrace::FromJson(
+          R"({"version":1,"name":"x","requests":[)"
+          R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":-2}]})"),
+      Error);
+}
+
+TEST(ServeTraceFuzz, DuplicateKeysThrowAtBothLevels) {
+  // json::Parse itself keeps the last duplicate; FromJson must reject the
+  // document rather than silently pick one.
+  EXPECT_THROW(
+      RequestTrace::FromJson(
+          R"({"version":1,"version":1,"name":"x","requests":[]})"),
+      Error);
+  EXPECT_THROW(
+      RequestTrace::FromJson(
+          R"({"version":1,"name":"x","requests":[)"
+          R"({"id":0,"id":1,"arrival_tick":0,"prompt_len":8,"decode_len":2}]})"),
+      Error);
+  EXPECT_THROW(
+      RequestTrace::FromJson(
+          R"({"version":1,"name":"x","requests":[)"
+          R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2,"decode_len":2}]})"),
+      Error);
+}
+
 TEST(ServeTrace, PresetCatalog) {
   EXPECT_EQ(FindTracePreset("chat").name, "chat");
   EXPECT_EQ(FindTracePreset("decode_heavy").name, "decode_heavy");

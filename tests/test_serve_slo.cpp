@@ -1,0 +1,421 @@
+// SLO-engine tests: the nearest-rank percentile estimator against a naive
+// integer-arithmetic oracle (property-tested across sizes, ties, and
+// permutations), EvaluateSlo counting semantics, the adaptive session
+// behaviors (pressure latch with a hand-checked switch tick, decode
+// coalescing arithmetic, byte-determinism across jobs), the prefill-only
+// TPOT edge, and the RunLoadSweep driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/rng.h"
+#include "serve/slo.h"
+
+namespace mas::serve {
+namespace {
+
+sim::HardwareConfig Hw() { return sim::EdgeSimConfig(); }
+
+ServePlannerOptions FastOptions() {
+  ServePlannerOptions options;
+  options.min_context_bucket = 64;
+  return options;
+}
+
+// Small, fast geometry for the session tests.
+AttentionGeometry Geometry() { return BertBaseGeometry(); }
+
+std::string ResultJson(const ServeResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  result.WriteJson(json, Hw());
+  json.EndObject();
+  return json.Take();
+}
+
+// Naive oracle: sorted samples, rank via pure integer arithmetic (the
+// implementation uses floating ceil — an independent computation path).
+double OraclePercentile(std::vector<double> samples, std::int64_t p) {
+  std::sort(samples.begin(), samples.end());
+  const std::int64_t n = static_cast<std::int64_t>(samples.size());
+  const std::int64_t rank = (p * n + 99) / 100;  // ceil(p*n/100)
+  return samples[static_cast<std::size_t>(rank - 1)];
+}
+
+// ------------------------------------------------------------- percentiles
+
+TEST(NearestRank, MatchesOracleAcrossSizesAndTies) {
+  Rng rng(0x9E7C);
+  for (std::int64_t n = 1; n <= 1000; ++n) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      // Coarse integer values force plenty of exact ties at every size.
+      samples.push_back(static_cast<double>(rng.NextBelow(32)));
+    }
+    for (const std::int64_t p : {1, 25, 50, 95, 99, 100}) {
+      ASSERT_DOUBLE_EQ(NearestRankPercentile(samples, static_cast<double>(p)),
+                       OraclePercentile(samples, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(NearestRank, PermutationInvariant) {
+  Rng rng(0x51AB);
+  std::vector<double> samples;
+  for (int i = 0; i < 257; ++i) samples.push_back(rng.NextDouble() * 1e6);
+  const double p50 = NearestRankPercentile(samples, 50.0);
+  const double p95 = NearestRankPercentile(samples, 95.0);
+  const double p99 = NearestRankPercentile(samples, 99.0);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<std::size_t> perm = rng.Permutation(samples.size());
+    std::vector<double> shuffled(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) shuffled[i] = samples[perm[i]];
+    EXPECT_DOUBLE_EQ(NearestRankPercentile(shuffled, 50.0), p50);
+    EXPECT_DOUBLE_EQ(NearestRankPercentile(shuffled, 95.0), p95);
+    EXPECT_DOUBLE_EQ(NearestRankPercentile(shuffled, 99.0), p99);
+  }
+}
+
+TEST(NearestRank, EdgeCases) {
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({7.5}, 1.0), 7.5);    // single element
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({7.5}, 100.0), 7.5);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({3, 3, 3, 3}, 99.0), 3.0);  // all equal
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({4, 1, 3, 2}, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({4, 1, 3, 2}, 0.001), 1.0);  // tiny p -> min
+  // p50 of two samples is the LOWER one (rank ceil(0.5*2) = 1) — nearest
+  // rank, not interpolation.
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({10, 20}, 50.0), 10.0);
+  EXPECT_THROW(NearestRankPercentile({}, 50.0), Error);
+  EXPECT_THROW(NearestRankPercentile({1.0}, 0.0), Error);
+  EXPECT_THROW(NearestRankPercentile({1.0}, -5.0), Error);
+  EXPECT_THROW(NearestRankPercentile({1.0}, 100.5), Error);
+}
+
+// ------------------------------------------------------------- EvaluateSlo
+
+// Hand-built result: TTFT/TPOT follow from the stamped cycle fields.
+ServeResult HandResult() {
+  ServeResult result;
+  auto add = [&](std::int64_t id, std::uint64_t arrival, std::uint64_t first,
+                 std::uint64_t finish, std::int64_t decode_len) {
+    RequestMetrics m;
+    m.id = id;
+    m.decode_len = decode_len;
+    m.arrival_cycles = arrival;
+    m.first_token_cycles = first;
+    m.finish_cycles = finish;
+    result.requests.push_back(m);
+  };
+  const double cycles_per_us = Hw().frequency_ghz * 1e3;  // 3750
+  const auto us = [&](double v) { return static_cast<std::uint64_t>(v * cycles_per_us); };
+  add(0, 0, us(100), us(100), 0);               // prefill-only, TTFT 100us
+  add(1, 0, us(500), us(500) + 4 * us(50), 4);  // TTFT 500us, TPOT 50us
+  add(2, 0, us(2000), us(2000) + 2 * us(400), 2);  // TTFT 2000us, TPOT 400us
+  return result;
+}
+
+TEST(EvaluateSloTest, CountsAttainmentPerDimension) {
+  SloTargets targets;
+  targets.ttft_us = 1000.0;
+  targets.tpot_us = 100.0;
+  const SloReport report = EvaluateSlo(HandResult(), Hw(), targets);
+  EXPECT_EQ(report.requests, 3);
+  EXPECT_EQ(report.decode_requests, 2);
+  EXPECT_EQ(report.ttft_ok, 2);   // 100, 500 pass; 2000 fails
+  EXPECT_EQ(report.tpot_ok, 1);   // 50 passes; 400 fails
+  EXPECT_EQ(report.joint_ok, 2);  // request 2 fails both dimensions
+  EXPECT_DOUBLE_EQ(report.TtftAttainment(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report.TpotAttainment(), 0.5);
+  EXPECT_DOUBLE_EQ(report.JointAttainment(), 2.0 / 3.0);
+}
+
+TEST(EvaluateSloTest, TargetsAtTheBoundaryAreMet) {
+  SloTargets targets;
+  targets.ttft_us = 2000.0;  // == request 2's TTFT: <= passes
+  targets.tpot_us = 400.0;
+  const SloReport report = EvaluateSlo(HandResult(), Hw(), targets);
+  EXPECT_EQ(report.ttft_ok, 3);
+  EXPECT_EQ(report.tpot_ok, 2);
+  EXPECT_EQ(report.joint_ok, 3);
+}
+
+TEST(EvaluateSloTest, UnsetTargetsAreVacuouslyMet) {
+  const SloReport none = EvaluateSlo(HandResult(), Hw(), SloTargets{});
+  EXPECT_EQ(none.joint_ok, 3);
+  EXPECT_DOUBLE_EQ(none.TtftAttainment(), 1.0);
+  EXPECT_DOUBLE_EQ(none.TpotAttainment(), 1.0);
+
+  SloTargets ttft_only;
+  ttft_only.ttft_us = 1000.0;
+  const SloReport report = EvaluateSlo(HandResult(), Hw(), ttft_only);
+  EXPECT_EQ(report.tpot_ok, 2);   // vacuous: every decode request passes
+  EXPECT_EQ(report.joint_ok, 2);  // only TTFT binds
+
+  const SloReport empty = EvaluateSlo(ServeResult{}, Hw(), ttft_only);
+  EXPECT_DOUBLE_EQ(empty.TtftAttainment(), 1.0);  // no requests -> vacuous
+
+  SloTargets bad;
+  bad.ttft_us = -1.0;
+  EXPECT_THROW(EvaluateSlo(HandResult(), Hw(), bad), Error);
+}
+
+// -------------------------------------------------------- adaptive session
+
+TEST(AdaptiveSession, InvalidPoliciesFailFast) {
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSessionOptions options;
+  options.pressure.enabled = true;  // target left at 0
+  EXPECT_THROW(ServeSession(serve_planner, options), Error);
+  options.pressure.ttft_target_cycles = 1000.0;
+  options.pressure.window = 0;
+  EXPECT_THROW(ServeSession(serve_planner, options), Error);
+  options.pressure.window = 4;
+  options.pressure.relief_method = "bogus";
+  EXPECT_THROW(ServeSession(serve_planner, options), Error);
+  options.pressure.relief_method = "FLAT";
+  EXPECT_NO_THROW(ServeSession(serve_planner, options));
+}
+
+// Hand-checked pressure latch: max_batch=1 serializes the rounds, so the
+// first TTFT sample lands when round 0's prefill retires and the policy
+// (target 1 cycle, unmeetable) fires at the start of round 1 — the switch
+// tick is exactly 1, and every decode after it runs under the relief method.
+TEST(AdaptiveSession, PressureSwitchesAtTheExpectedTick) {
+  RequestTrace trace;
+  trace.requests = {
+      {0, 0, 64, 1, 1},  // round 0: prefill (TTFT sample) -> round 1: decode
+      {1, 0, 64, 1, 1},  // rounds 2, 3
+      {2, 0, 64, 0, 1},  // round 4: prefill-only
+  };
+
+  ServePlannerOptions planner_options = FastOptions();
+  planner_options.decode_method = "MAS-Attention";  // relief switches away from this
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), planner_options);
+  ServeSessionOptions options;
+  options.max_batch = 1;
+  options.pressure.enabled = true;
+  options.pressure.ttft_target_cycles = 1.0;  // any real prefill exceeds this
+  options.pressure.window = 4;
+  options.pressure.relief_method = "FLAT";
+  ServeSession session(serve_planner, options);
+  const ServeResult result = session.Run(trace);
+
+  EXPECT_EQ(result.metrics.pressure_switch_tick, 1);
+  EXPECT_EQ(result.metrics.steps, 5);
+
+  // Both decode steps (context 64 -> bucket 64) ran under the relief plan.
+  const std::uint64_t flat =
+      planner.Simulate(serve_planner.DecodePlanAs("FLAT", 64), Hw()).cycles;
+  const RequestMetrics& a = result.requests[0];
+  const RequestMetrics& b = result.requests[1];
+  EXPECT_EQ(a.finish_cycles - a.first_token_cycles, flat);
+  EXPECT_EQ(b.finish_cycles - b.first_token_cycles, flat);
+  EXPECT_EQ(serve_planner.DecodePlanAs("FLAT", 64).method, "FLAT");
+
+  // Without pressure the same trace decodes under the configured method and
+  // never records a switch.
+  ServeSessionOptions plain_options;
+  plain_options.max_batch = 1;
+  ServeSession plain(serve_planner, plain_options);
+  const ServeResult baseline = plain.Run(trace);
+  EXPECT_EQ(baseline.metrics.pressure_switch_tick, -1);
+  const std::uint64_t mas =
+      planner.Simulate(serve_planner.DecodePlan(64), Hw()).cycles;
+  EXPECT_EQ(baseline.requests[0].finish_cycles - baseline.requests[0].first_token_cycles,
+            mas);
+}
+
+// Coalescing arithmetic: two requests decoding in the same round share ONE
+// N=2 simulation; the round clock advances by that single sim and both
+// members stamp from its completion.
+TEST(AdaptiveSession, CoalescedDecodeArithmetic) {
+  RequestTrace trace;
+  trace.requests = {
+      {0, 0, 64, 2, 1},
+      {1, 0, 64, 2, 1},
+  };
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSessionOptions options;
+  options.max_batch = 2;
+  options.coalesce_decode = true;
+  ServeSession session(serve_planner, options);
+  const ServeResult result = session.Run(trace);
+
+  auto cycles = [&](const TuningPlan& plan) { return planner.Simulate(plan, Hw()).cycles; };
+  const std::uint64_t pa = cycles(serve_planner.PrefillPlan(64));
+  // Round 1: both at context 64 -> one q=2 sim at bucket 64. Round 2: both
+  // at context 65 -> one q=2 sim at bucket 128.
+  const std::uint64_t d1 = cycles(serve_planner.DecodePlan(64, 2));
+  const std::uint64_t d2 = cycles(serve_planner.DecodePlan(65, 2));
+
+  const ServeMetrics& m = result.metrics;
+  EXPECT_EQ(m.prefill_sims, 2);
+  EXPECT_EQ(m.decode_sims, 2);            // two rounds, one coalesced sim each
+  EXPECT_EQ(m.coalesced_decode_sims, 2);
+  EXPECT_EQ(m.makespan_cycles, 2 * pa + d1 + d2);
+  // Both members finish when their shared sim completes.
+  EXPECT_EQ(result.requests[0].finish_cycles, 2 * pa + d1 + d2);
+  EXPECT_EQ(result.requests[1].finish_cycles, 2 * pa + d1 + d2);
+
+  // Uncoalesced reference: four decode sims, none coalesced.
+  ServeSessionOptions plain_options;
+  plain_options.max_batch = 2;
+  ServeSession plain(serve_planner, plain_options);
+  const ServeResult reference = plain.Run(trace);
+  EXPECT_EQ(reference.metrics.decode_sims, 4);
+  EXPECT_EQ(reference.metrics.coalesced_decode_sims, 0);
+}
+
+// coalesce_decode with at most one decode member per round must be a
+// byte-level no-op (the flag only merges CONCURRENT decode steps).
+TEST(AdaptiveSession, CoalescingIsIdentityWithoutConcurrency) {
+  RequestTrace trace;
+  trace.requests = {{0, 0, 100, 3, 1}, {1, 50, 80, 2, 1}};
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+
+  ServeSessionOptions options;
+  options.max_batch = 1;  // rounds never hold two decode members
+  ServeSession plain(serve_planner, options);
+  const std::string baseline = ResultJson(plain.Run(trace));
+
+  options.coalesce_decode = true;
+  ServeSession coalescing(serve_planner, options);
+  EXPECT_EQ(ResultJson(coalescing.Run(trace)), baseline);
+}
+
+TEST(AdaptiveSession, ResultIsIndependentOfJobs) {
+  SyntheticTraceSpec spec;
+  spec.requests = 8;
+  spec.seed = 0xAD4;
+  spec.prompt_min = 32;
+  spec.prompt_max = 200;
+  spec.decode_min = 2;
+  spec.decode_max = 10;
+  const RequestTrace trace = GenerateTrace(spec);
+
+  std::string baseline;
+  for (const int jobs : {1, 2, 8}) {
+    Planner planner;
+    ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+    ServeSessionOptions options;
+    options.max_batch = 4;
+    options.jobs = jobs;
+    options.coalesce_decode = true;
+    options.pressure.enabled = true;
+    options.pressure.ttft_target_cycles = 100.0;  // fires almost immediately
+    options.pressure.window = 2;
+    ServeSession session(serve_planner, options);
+    const ServeResult result = session.Run(trace);
+    EXPECT_GE(result.metrics.pressure_switch_tick, 0) << "policy must fire in this setup";
+    EXPECT_GT(result.metrics.coalesced_decode_sims, 0);
+    const std::string json = ResultJson(result);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "jobs=" << jobs;
+    }
+  }
+}
+
+// --------------------------------------------------- prefill-only TPOT edge
+
+TEST(ServeMetricsEdge, PrefillOnlyTraceHasConsistentZeroTpot) {
+  RequestTrace trace;
+  trace.requests = {{0, 0, 64, 0, 1}, {1, 0, 100, 0, 1}, {2, 1, 32, 0, 1}};
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+  ServeSession session(serve_planner, ServeSessionOptions{});
+  const ServeResult result = session.Run(trace);
+
+  const ServeMetrics& m = result.metrics;
+  EXPECT_EQ(m.requests, 3);
+  EXPECT_EQ(m.decode_requests, 0);
+  EXPECT_EQ(m.decode_sims, 0);
+  // Every TPOT statistic is exactly 0.0 — mean, max, and all percentiles
+  // agree instead of mixing 0 means with garbage percentiles.
+  EXPECT_EQ(m.mean_tpot_cycles, 0.0);
+  EXPECT_EQ(m.max_tpot_cycles, 0.0);
+  EXPECT_EQ(m.p50_tpot_cycles, 0.0);
+  EXPECT_EQ(m.p95_tpot_cycles, 0.0);
+  EXPECT_EQ(m.p99_tpot_cycles, 0.0);
+  // Per-request TPOT of a decode_len == 0 request is 0, not a 0/0 NaN.
+  for (const RequestMetrics& r : result.requests) {
+    EXPECT_EQ(r.TpotCycles(), 0.0) << r.id;
+    EXPECT_EQ(r.first_token_cycles, r.finish_cycles) << r.id;
+  }
+  // TTFT percentiles still populate from the three real samples.
+  EXPECT_GT(m.p50_ttft_cycles, 0.0);
+  EXPECT_GE(m.p99_ttft_cycles, m.p50_ttft_cycles);
+  EXPECT_DOUBLE_EQ(m.max_ttft_cycles,
+                   NearestRankPercentile({static_cast<double>(result.requests[0].TtftCycles()),
+                                          static_cast<double>(result.requests[1].TtftCycles()),
+                                          static_cast<double>(result.requests[2].TtftCycles())},
+                                         100.0));
+}
+
+// ------------------------------------------------------------- load sweeps
+
+TEST(LoadSweep, GeometricRatesLadder) {
+  const std::vector<double> rates = GeometricRates(32.0, 2.0, 4);
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[0], 32.0);
+  EXPECT_DOUBLE_EQ(rates[3], 256.0);
+  EXPECT_THROW(GeometricRates(0.0, 2.0, 3), Error);
+  EXPECT_THROW(GeometricRates(32.0, 1.0, 3), Error);  // does not advance
+  EXPECT_THROW(GeometricRates(32.0, 2.0, 0), Error);
+}
+
+TEST(LoadSweep, RunsDeterministicallyAcrossTheLadder) {
+  Planner planner;
+  ServePlanner serve_planner(planner, Hw(), Geometry(), FastOptions());
+
+  LoadSweepOptions sweep;
+  sweep.arrival = ArrivalSpec::Parse("poisson");
+  sweep.shape.name = "sweep_test";
+  sweep.shape.requests = 6;
+  sweep.shape.seed = 21;
+  sweep.shape.prompt_min = 32;
+  sweep.shape.prompt_max = 100;
+  sweep.shape.decode_min = 1;
+  sweep.shape.decode_max = 4;
+  sweep.rates_per_s = GeometricRates(64.0, 4.0, 3);
+  sweep.slo.ttft_us = 2000.0;
+  sweep.session.max_batch = 2;
+
+  const std::vector<LoadSweepPoint> points = RunLoadSweep(serve_planner, sweep);
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].rate_per_s, sweep.rates_per_s[i]);
+    EXPECT_EQ(points[i].result.metrics.requests, 6);
+    EXPECT_EQ(points[i].slo.requests, 6);
+    // Same length shape at every point: the load knob moves only arrivals.
+    EXPECT_EQ(points[i].result.metrics.prompt_tokens,
+              points[0].result.metrics.prompt_tokens);
+  }
+
+  // Replaying the sweep is byte-deterministic point for point, and the
+  // second pass resolves every plan from the warm memo.
+  const std::int64_t tuned = planner.plans_tuned();
+  const std::vector<LoadSweepPoint> replay = RunLoadSweep(serve_planner, sweep);
+  EXPECT_EQ(planner.plans_tuned(), tuned);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(ResultJson(replay[i].result), ResultJson(points[i].result)) << i;
+  }
+
+  LoadSweepOptions empty = sweep;
+  empty.rates_per_s.clear();
+  EXPECT_THROW(RunLoadSweep(serve_planner, empty), Error);
+}
+
+}  // namespace
+}  // namespace mas::serve

@@ -82,6 +82,33 @@ cp "$BUILD_DIR/BENCH_serve_llm_chat.json" "$BUILD_DIR/BENCH_serve_llm_chat_cold.
 cmp "$BUILD_DIR/BENCH_serve_llm_chat_cold.json" "$BUILD_DIR/BENCH_serve_llm_chat.json"
 grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/serve_bench_warm.err"
 
+# Open-loop load generation + SLO engine: an --arrival run cold then warm
+# against one plan cache (warm: ZERO search evaluations, byte-identical
+# --out JSON), and the serve_slo_sweep suite twice (byte-identical
+# BENCH_serve_slo_sweep.json — percentiles, attainment, and the adaptive
+# variant included).
+rm -f "$BUILD_DIR/arrival_plans.json"
+"$BUILD_DIR/mas_serve" --trace=chat --requests=6 --arrival=poisson:rate=96 \
+    --slo-ttft-us=2000 --slo-tpot-us=400 --max-batch=2 --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/arrival_plans.json" --out="$BUILD_DIR/arrival_cold.json" \
+    > /dev/null 2> "$BUILD_DIR/arrival_cold.err"
+"$BUILD_DIR/mas_serve" --trace=chat --requests=6 --arrival=poisson:rate=96 \
+    --slo-ttft-us=2000 --slo-tpot-us=400 --max-batch=2 --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/arrival_plans.json" --out="$BUILD_DIR/arrival_warm.json" \
+    > /dev/null 2> "$BUILD_DIR/arrival_warm.err"
+cmp "$BUILD_DIR/arrival_cold.json" "$BUILD_DIR/arrival_warm.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/arrival_warm.err"
+rm -f "$BUILD_DIR/slo_sweep_plans.json"
+"$BUILD_DIR/mas_bench" --suite=serve_slo_sweep --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/slo_sweep_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> /dev/null
+cp "$BUILD_DIR/BENCH_serve_slo_sweep.json" "$BUILD_DIR/BENCH_serve_slo_sweep_cold.json"
+"$BUILD_DIR/mas_bench" --suite=serve_slo_sweep --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/slo_sweep_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/slo_sweep_warm.err"
+cmp "$BUILD_DIR/BENCH_serve_slo_sweep_cold.json" "$BUILD_DIR/BENCH_serve_slo_sweep.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/slo_sweep_warm.err"
+
 # Debug + ASan/UBSan pass over the new public surface (registry, strategies,
 # JSON reader, planner). Builds only the targets it runs to keep the job
 # bounded; the golden planner sweep stays in the Release ctest above.
@@ -94,4 +121,4 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
 "$SAN_DIR/test_json_reader"
 "$SAN_DIR/test_planner"
 
-echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + asan OK"
+echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + asan OK"

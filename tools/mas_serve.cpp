@@ -9,21 +9,35 @@
 // with --plan-cache=FILE a second invocation replays the trace with ZERO
 // search evaluations and byte-identical --out JSON.
 //
+// Open-loop load generation: --arrival=model[:key=value,...] replaces the
+// preset's hand-picked arrival ticks with a stochastic arrival process
+// (poisson | bursty | diurnal, serve/arrival.h) calibrated onto the tick
+// clock by --cycles-per-tick. --slo-ttft-us/--slo-tpot-us score the run's
+// SLO attainment; --adaptive/--coalesce-decode enable the load-adaptive
+// session behaviors (MAS->FLAT decode relief under TTFT pressure, and
+// round-level decode coalescing).
+//
 // Examples:
 //   $ mas_serve --trace=chat
 //   $ mas_serve --trace=decode_heavy --requests=8 --max-batch=4 --jobs=2
 //   $ mas_serve --trace=mytrace.json --plan-cache=plans.json --out=serve.json
 //   $ mas_serve --trace=chat --decode-method=MAS-Attention   # phase ablation
 //   $ mas_serve --trace=chat --save-trace=chat.json          # export the preset
+//   $ mas_serve --trace=chat --arrival=poisson:rate=128 --slo-ttft-us=2000
+//   $ mas_serve --arrival=bursty:rate=64,burst=8 --adaptive --coalesce-decode \
+//       --slo-ttft-us=2000 --decode-method=MAS-Attention
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "cli/args.h"
 #include "common/json_writer.h"
 #include "common/table.h"
+#include "serve/arrival.h"
 #include "serve/session.h"
+#include "serve/slo.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
@@ -53,6 +67,25 @@ int main(int argc, char** argv) {
       parser.AddString("out", "", "write the machine-readable serve JSON to FILE");
   const std::string* save_trace = parser.AddString(
       "save-trace", "", "write the resolved trace JSON to FILE (e.g. to edit and replay)");
+  const std::string* arrival_flag = parser.AddString(
+      "arrival", "",
+      "open-loop arrival model, model[:key=value,...] (poisson | bursty | diurnal); "
+      "replaces the preset's arrival ticks");
+  const double* cycles_per_tick = parser.AddDouble(
+      "cycles-per-tick", 1e6, "device cycles one scheduling round represents (arrival "
+      "calibration: rates are req/s at the device clock)");
+  const double* slo_ttft_us = parser.AddDouble(
+      "slo-ttft-us", 0.0, "TTFT SLO target in microseconds (0 = no target)");
+  const double* slo_tpot_us = parser.AddDouble(
+      "slo-tpot-us", 0.0, "TPOT SLO target in microseconds (0 = no target)");
+  const bool* adaptive = parser.AddBool(
+      "adaptive", false,
+      "latch decode onto FLAT when the windowed TTFT slips past --slo-ttft-us");
+  const bool* coalesce_decode = parser.AddBool(
+      "coalesce-decode", false,
+      "merge a round's concurrent ready decode steps into one N>1 simulation");
+  const std::int64_t* pressure_window = parser.AddInt(
+      "pressure-window", 4, "TTFT samples in the --adaptive pressure estimate");
 
   try {
     if (!parser.Parse(argc, argv)) return 0;
@@ -66,7 +99,20 @@ int main(int argc, char** argv) {
 
     // --trace: an existing file loads as JSON; anything else is a preset.
     serve::RequestTrace trace;
-    if (std::ifstream(*trace_flag).good()) {
+    const bool trace_is_file = std::ifstream(*trace_flag).good();
+    if (!arrival_flag->empty()) {
+      MAS_CHECK(!trace_is_file)
+          << "--arrival generates arrival ticks and cannot be combined with trace file '"
+          << *trace_flag << "'; name a preset shape (chat | decode_heavy | mixed_sd)";
+      serve::ArrivalCalibration calibration;
+      calibration.frequency_ghz = hw.frequency_ghz;
+      calibration.cycles_per_tick = *cycles_per_tick;
+      const serve::ArrivalSpec arrival_spec = serve::ArrivalSpec::Parse(*arrival_flag);
+      const std::unique_ptr<serve::ArrivalModel> model =
+          serve::ArrivalModelRegistry::Instance().Create(arrival_spec, calibration);
+      trace = serve::RequestTrace::FromArrivalModel(
+          *model, serve::FindTracePreset(*trace_flag, *requests));
+    } else if (trace_is_file) {
       trace = serve::RequestTrace::LoadFile(*trace_flag);
     } else {
       trace = serve::GenerateTrace(serve::FindTracePreset(*trace_flag, *requests));
@@ -94,13 +140,39 @@ int main(int argc, char** argv) {
     serve::ServeSessionOptions session_options;
     session_options.max_batch = static_cast<int>(*max_batch);
     session_options.jobs = static_cast<int>(*jobs);
+    session_options.coalesce_decode = *coalesce_decode;
+    if (*adaptive) {
+      MAS_CHECK(*slo_ttft_us > 0.0) << "--adaptive needs a positive --slo-ttft-us target";
+      MAS_CHECK(*pressure_window >= 1 && *pressure_window <= 4096)
+          << "--pressure-window must be in [1, 4096], got " << *pressure_window;
+      session_options.pressure.enabled = true;
+      session_options.pressure.ttft_target_cycles = *slo_ttft_us * hw.frequency_ghz * 1e3;
+      session_options.pressure.window = static_cast<int>(*pressure_window);
+      session_options.pressure.relief_method = "FLAT";
+    }
     serve::ServeSession session(serve_planner, session_options);
     const serve::ServeResult result = session.Run(trace);
+
+    serve::SloTargets slo_targets;
+    slo_targets.ttft_us = *slo_ttft_us;
+    slo_targets.tpot_us = *slo_tpot_us;
+    const serve::SloReport slo = serve::EvaluateSlo(result, hw, slo_targets);
 
     std::cout << "=== mas_serve: trace '" << trace.name << "' on " << hw.name << " ===\n";
     std::cout << "prefill " << *prefill_method << " / decode " << *decode_method
               << ", max batch " << *max_batch << ", buckets pow2 >= " << *bucket << "\n\n";
     serve::PrintReport(std::cout, result, hw, serve_planner.plan_count());
+    if (slo_targets.HasTtft() || slo_targets.HasTpot()) {
+      std::cout << "SLO attainment: TTFT " << slo.ttft_ok << "/" << slo.requests << " ("
+                << FormatFixed(slo.TtftAttainment(), 3) << "), TPOT " << slo.tpot_ok << "/"
+                << slo.decode_requests << " (" << FormatFixed(slo.TpotAttainment(), 3)
+                << "), joint " << slo.joint_ok << "/" << slo.requests << " ("
+                << FormatFixed(slo.JointAttainment(), 3) << ")\n";
+      if (result.metrics.pressure_switch_tick >= 0) {
+        std::cout << "pressure relief: decode switched to FLAT at round "
+                  << result.metrics.pressure_switch_tick << "\n";
+      }
+    }
 
     if (!out_file->empty()) {
       JsonWriter json;
@@ -108,6 +180,11 @@ int main(int argc, char** argv) {
       json.KeyValue("tool", "mas_serve");
       serve::WriteConfigJson(json, hw, Llama3Geometry(), planner_options,
                              session_options.max_batch, serve_planner.plan_count());
+      json.KeyValue("arrival", *arrival_flag);
+      json.KeyValue("cycles_per_tick", *cycles_per_tick);
+      json.KeyValue("adaptive", *adaptive);
+      json.KeyValue("coalesce_decode", *coalesce_decode);
+      serve::WriteSloJson(json, slo_targets, slo);
       result.WriteJson(json, hw);
       json.EndObject();
       WriteFile(*out_file, json.Take() + "\n");
