@@ -66,6 +66,12 @@ bool* ArgParser::AddBool(const std::string& name, bool default_value, const std:
   return flags_.back().bool_value.get();
 }
 
+void ArgParser::AllowRepetition(const std::string& name) {
+  Flag* flag = Find(name);
+  MAS_CHECK(flag != nullptr) << "AllowRepetition on unregistered flag --" << name;
+  flag->repeatable = true;
+}
+
 ArgParser::Flag* ArgParser::Find(const std::string& name) {
   for (Flag& flag : flags_) {
     if (flag.name == name) return &flag;
@@ -129,14 +135,24 @@ bool ArgParser::Parse(int argc, const char* const* argv) {
     const std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
     Flag* flag = Find(name);
     MAS_CHECK(flag != nullptr) << "unknown flag --" << name << " (see --help)";
+    std::string text;
     if (eq != std::string::npos) {
-      Assign(*flag, arg.substr(eq + 1));
+      text = arg.substr(eq + 1);
     } else if (flag->kind == Kind::kBool) {
-      *flag->bool_value = true;  // bare --flag sets a boolean
+      text = "true";  // bare --flag sets a boolean
     } else {
       MAS_CHECK(i + 1 < argc) << "--" << name << " expects a value";
-      Assign(*flag, argv[++i]);
+      text = argv[++i];
     }
+    // A repeated flag with a DIFFERENT value is ambiguous — refuse to pick
+    // one silently. Identical repeats and opted-in flags pass (last wins).
+    if (flag->seen_text.has_value() && !flag->repeatable) {
+      MAS_CHECK(*flag->seen_text == text)
+          << "--" << name << " given twice with conflicting values '" << *flag->seen_text
+          << "' and '" << text << "'";
+    }
+    flag->seen_text = text;
+    Assign(*flag, text);
   }
   return true;
 }

@@ -3,8 +3,11 @@
 // Flags are registered with a name, help text, and a default; Parse()
 // consumes `--name=value` / `--name value` / bare `--bool-flag` forms and
 // leaves positional arguments available. Unknown flags are an error (tools
-// should not silently ignore typos). No global state — each tool builds its
-// own ArgParser.
+// should not silently ignore typos), and so is giving the same flag twice
+// with CONFLICTING values — in a long copy-pasted command line, silent
+// last-wins hides which of the two the tool actually used. Identical
+// repeats pass, and a flag can opt into last-wins via AllowRepetition. No
+// global state — each tool builds its own ArgParser.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,11 @@ class ArgParser {
   double* AddDouble(const std::string& name, double default_value, const std::string& help);
   bool* AddBool(const std::string& name, bool default_value, const std::string& help);
 
+  // Opts a registered flag into repetition: when given more than once the
+  // last occurrence wins instead of conflicting values being an error.
+  // Throws when `name` was never registered.
+  void AllowRepetition(const std::string& name);
+
   // Parses argv. Returns false (after printing usage) when --help was given;
   // throws mas::Error on malformed or unknown flags.
   bool Parse(int argc, const char* const* argv);
@@ -49,6 +57,8 @@ class ArgParser {
     std::string help;
     Kind kind;
     std::string default_text;
+    bool repeatable = false;               // AllowRepetition opt-in
+    std::optional<std::string> seen_text;  // first occurrence this Parse()
     // Exactly one is used, per kind.
     std::unique_ptr<std::string> string_value;
     std::unique_ptr<std::int64_t> int_value;

@@ -167,6 +167,15 @@ class Parser {
   Value ParseValue(int depth) {
     if (depth > kMaxDepth) Fail("nesting too deep");
     SkipWhitespace();
+    // Stamp each value with the byte offset it started at, so consumers
+    // (e.g. trace loading) can point error messages into the document.
+    const std::size_t start = pos_;
+    Value v = ParseValueDispatch(depth);
+    v.SetOffset(static_cast<std::int64_t>(start));
+    return v;
+  }
+
+  Value ParseValueDispatch(int depth) {
     const char c = Peek();
     switch (c) {
       case '{': return ParseObject(depth);

@@ -45,6 +45,12 @@ class Value {
   const Value* Find(const std::string& key) const;  // nullptr when absent
   const Value& Get(const std::string& key) const;   // throws when absent
 
+  // Byte offset in the parsed document where this value started, for error
+  // messages that point at the offending spot in a large file; -1 for
+  // programmatically constructed values.
+  std::int64_t offset() const { return offset_; }
+  void SetOffset(std::int64_t offset) { offset_ = offset; }
+
   // Construction (used by the parser; handy for tests).
   static Value Null() { return Value(); }
   static Value Bool(bool v);
@@ -56,6 +62,7 @@ class Value {
 
  private:
   Type type_ = Type::kNull;
+  std::int64_t offset_ = -1;
   bool bool_ = false;
   std::int64_t int_ = 0;
   double double_ = 0.0;

@@ -1,0 +1,350 @@
+#include "serve/fault.h"
+
+#include <cmath>
+#include <set>
+
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas::serve {
+
+namespace {
+
+// Factories reject keys outside their grammar so a typoed `--fault=
+// crash:prb=0.1` fails instead of silently running at the default.
+void CheckKeys(const FaultSpec& spec, std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known) {
+      std::string list;
+      for (const char* a : allowed) {
+        if (!list.empty()) list += ", ";
+        list += a;
+      }
+      MAS_FAIL() << "fault model '" << spec.kind << "' does not take param '" << key
+                 << "' (params: " << list << ")";
+    }
+  }
+}
+
+double CheckProbability(const FaultSpec& spec, double fallback) {
+  const double prob = spec.Param("prob", fallback);
+  MAS_CHECK(std::isfinite(prob) && prob >= 0.0 && prob <= 1.0)
+      << "fault model '" << spec.kind << "' prob must lie in [0, 1], got " << prob;
+  return prob;
+}
+
+// Positive integer-valued param (cycles, rounds): rejects fractions so
+// `cycles=0.5` fails loudly instead of truncating to zero.
+std::int64_t CheckCount(const FaultSpec& spec, const char* key, std::int64_t fallback,
+                        std::int64_t min_value) {
+  const double v = spec.Param(key, static_cast<double>(fallback));
+  MAS_CHECK(std::isfinite(v) && v == std::floor(v) && v >= static_cast<double>(min_value) &&
+            v <= 9.2e18)
+      << "fault model '" << spec.kind << "' " << key << " must be an integer >= " << min_value
+      << ", got " << v;
+  return static_cast<std::int64_t>(v);
+}
+
+// ------------------------------------------------------------------- stall
+//
+// At each seeded round the device freezes for a fixed number of cycles with
+// probability `prob`: the session clock jumps before the round's sims, so
+// every in-flight request's latency absorbs the stall.
+
+class StallFault final : public FaultModel {
+ public:
+  StallFault(FaultModelInfo info, double prob, std::uint64_t cycles, std::int64_t limit)
+      : info_(std::move(info)), prob_(prob), cycles_(cycles), limit_(limit) {}
+
+  const FaultModelInfo& info() const override { return info_; }
+
+  void Draw(const FaultContext& /*ctx*/, Rng& rng, RoundFaults* out) override {
+    if (limit_ > 0 && events_ >= limit_) return;
+    if (!rng.NextBool(prob_)) return;
+    ++events_;
+    out->stall_cycles = cycles_;
+  }
+
+ private:
+  FaultModelInfo info_;
+  double prob_;
+  std::uint64_t cycles_;
+  std::int64_t limit_;  // 0 = unlimited
+  std::int64_t events_ = 0;
+};
+
+// ------------------------------------------------------------------ derate
+//
+// Thermal throttle: with probability `prob` a round starts a derate episode
+// of `rounds` scheduling rounds during which the device runs at `factor` of
+// its nominal frequency. The session reprices each affected sim's cycles as
+// ceil(cycles / factor) when advancing the clock (the work — and thus the
+// energy — is unchanged; it just takes longer).
+
+class DerateFault final : public FaultModel {
+ public:
+  DerateFault(FaultModelInfo info, double prob, double factor, std::int64_t rounds,
+              std::int64_t limit)
+      : info_(std::move(info)), prob_(prob), factor_(factor), rounds_(rounds), limit_(limit) {}
+
+  const FaultModelInfo& info() const override { return info_; }
+
+  void Draw(const FaultContext& /*ctx*/, Rng& rng, RoundFaults* out) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      out->derate_factor = factor_;
+      return;
+    }
+    if (limit_ > 0 && events_ >= limit_) return;
+    if (!rng.NextBool(prob_)) return;
+    ++events_;
+    remaining_ = rounds_ - 1;  // this round is the episode's first
+    out->derate_factor = factor_;
+  }
+
+ private:
+  FaultModelInfo info_;
+  double prob_;
+  double factor_;
+  std::int64_t rounds_;
+  std::int64_t limit_;  // 0 = unlimited
+  std::int64_t events_ = 0;
+  std::int64_t remaining_ = 0;  // rounds left in the active episode
+};
+
+// ------------------------------------------------------------------- crash
+//
+// With probability `prob` per round, one in-flight request that has already
+// prefilled (i.e. holds KV state) loses that state: its attempt aborts and
+// its prefill cycles are wasted. The victim is the crash_draw-th eligible
+// member in batch order — the session owns the mapping so the model stays
+// ignorant of request identity. Rounds with no crash-eligible member cannot
+// crash (and do not consume the event budget).
+
+class CrashFault final : public FaultModel {
+ public:
+  CrashFault(FaultModelInfo info, double prob, std::int64_t limit)
+      : info_(std::move(info)), prob_(prob), limit_(limit) {}
+
+  const FaultModelInfo& info() const override { return info_; }
+
+  void Draw(const FaultContext& ctx, Rng& rng, RoundFaults* out) override {
+    if (ctx.decoding == 0) return;
+    if (limit_ > 0 && events_ >= limit_) return;
+    if (!rng.NextBool(prob_)) return;
+    ++events_;
+    out->crash = true;
+    out->crash_draw = rng.Next();
+  }
+
+ private:
+  FaultModelInfo info_;
+  double prob_;
+  std::int64_t limit_;  // 0 = unlimited
+  std::int64_t events_ = 0;
+};
+
+}  // namespace
+
+// -------------------------------------------------------------------- spec
+
+FaultSpec FaultSpec::Parse(const std::string& text) {
+  MAS_CHECK(!text.empty()) << "empty --fault spec (grammar: kind[:key=value,...])";
+  FaultSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.kind = text.substr(0, colon);
+  MAS_CHECK(!spec.kind.empty()) << "--fault spec '" << text << "' has no fault kind";
+  if (colon == std::string::npos) return spec;
+
+  std::set<std::string> seen;
+  std::size_t pos = colon + 1;
+  MAS_CHECK(pos < text.size()) << "--fault spec '" << text << "' has an empty param list";
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = item.find('=');
+    MAS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size())
+        << "--fault param '" << item << "' is not key=value (spec '" << text << "')";
+    const std::string key = item.substr(0, eq);
+    MAS_CHECK(seen.insert(key).second)
+        << "--fault spec '" << text << "' repeats param '" << key << "'";
+    spec.params.emplace_back(
+        key, cli::ParseFiniteDouble(item.substr(eq + 1), "--fault param '" + key + "'"));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::string FaultSpec::ToString() const {
+  std::string out = kind;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += params[i].first;
+    out += '=';
+    AppendJsonDouble(out, params[i].second);
+  }
+  return out;
+}
+
+bool FaultSpec::Has(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double FaultSpec::Param(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+// ----------------------------------------------------------------- registry
+
+FaultModelRegistry& FaultModelRegistry::Instance() {
+  static FaultModelRegistry* registry = new FaultModelRegistry();
+  return *registry;
+}
+
+void FaultModelRegistry::Register(FaultModelInfo info, Factory factory) {
+  EnsureBuiltins();
+  RegisterImpl(std::move(info), std::move(factory));
+}
+
+void FaultModelRegistry::RegisterImpl(FaultModelInfo info, Factory factory) {
+  MAS_CHECK(!info.name.empty()) << "fault model registration needs a name";
+  MAS_CHECK(factory != nullptr) << "fault model '" << info.name << "' needs a factory";
+  std::lock_guard<std::mutex> lock(mu_);
+  MAS_CHECK(FindEntryLocked(info.name) == nullptr)
+      << "fault model '" << info.name << "' is already registered";
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+std::unique_ptr<FaultModel> FaultModelRegistry::Create(const FaultSpec& spec) const {
+  EnsureBuiltins();
+  MAS_CHECK(spec.enabled()) << "cannot create a fault model from an empty spec";
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* entry = FindEntryLocked(spec.kind);
+    if (entry == nullptr) {
+      MAS_FAIL() << "unknown fault model '" << spec.kind
+                 << "'; options: " << AvailableNamesLockedUnsafe();
+    }
+    factory = entry->factory;
+  }
+  return factory(spec);
+}
+
+const FaultModelInfo* FaultModelRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntryLocked(name);
+  return entry == nullptr ? nullptr : &entry->info;
+}
+
+std::vector<FaultModelInfo> FaultModelRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultModelInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.info);
+  return out;
+}
+
+std::string FaultModelRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  return AvailableNamesLockedUnsafe();
+}
+
+const FaultModelRegistry::Entry* FaultModelRegistry::FindEntryLocked(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+void FaultModelRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [] {
+    FaultModelRegistry& registry = Instance();
+    registry.RegisterImpl(
+        FaultModelInfo{"stall",
+                       "device freeze: the clock jumps a fixed number of cycles at seeded "
+                       "rounds; every in-flight request absorbs the latency",
+                       "prob ([0,1] per round, default 0.02), cycles (stall length, default "
+                       "250000), limit (max events, 0 = unlimited, default 0)"},
+        [](const FaultSpec& spec) {
+          CheckKeys(spec, {"prob", "cycles", "limit"});
+          const double prob = CheckProbability(spec, 0.02);
+          const std::int64_t cycles = CheckCount(spec, "cycles", 250000, 1);
+          const std::int64_t limit = CheckCount(spec, "limit", 0, 0);
+          return std::unique_ptr<FaultModel>(
+              new StallFault(*Instance().Find("stall"), prob,
+                             static_cast<std::uint64_t>(cycles), limit));
+        });
+    registry.RegisterImpl(
+        FaultModelInfo{"derate",
+                       "thermal throttle: an episode of `rounds` rounds at `factor` of the "
+                       "nominal frequency; affected sims reprice to ceil(cycles/factor)",
+                       "prob ([0,1] per round, default 0.02), factor ((0,1], default 0.5), "
+                       "rounds (episode length, default 8), limit (max episodes, 0 = "
+                       "unlimited, default 0)"},
+        [](const FaultSpec& spec) {
+          CheckKeys(spec, {"prob", "factor", "rounds", "limit"});
+          const double prob = CheckProbability(spec, 0.02);
+          const double factor = spec.Param("factor", 0.5);
+          MAS_CHECK(std::isfinite(factor) && factor > 0.0 && factor <= 1.0)
+              << "fault model 'derate' factor must lie in (0, 1], got " << factor;
+          const std::int64_t rounds = CheckCount(spec, "rounds", 8, 1);
+          const std::int64_t limit = CheckCount(spec, "limit", 0, 0);
+          return std::unique_ptr<FaultModel>(
+              new DerateFault(*Instance().Find("derate"), prob, factor, rounds, limit));
+        });
+    registry.RegisterImpl(
+        FaultModelInfo{"crash",
+                       "KV loss: one in-flight decoding request's attempt aborts and its "
+                       "prefill is wasted; recovery requires the retry policy",
+                       "prob ([0,1] per round, default 0.01), limit (max events, 0 = "
+                       "unlimited, default 0)"},
+        [](const FaultSpec& spec) {
+          CheckKeys(spec, {"prob", "limit"});
+          const double prob = CheckProbability(spec, 0.01);
+          const std::int64_t limit = CheckCount(spec, "limit", 0, 0);
+          return std::unique_ptr<FaultModel>(
+              new CrashFault(*Instance().Find("crash"), prob, limit));
+        });
+  });
+}
+
+std::string FaultModelRegistry::AvailableNamesLockedUnsafe() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (!out.empty()) out += ", ";
+    out += "'" + entry.info.name + "'";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ round keying
+
+Rng FaultRoundRng(std::uint64_t seed, std::int64_t round) {
+  // SplitMix64 finalizer over the round index decorrelates adjacent rounds;
+  // XOR folds in the session seed.
+  std::uint64_t z = static_cast<std::uint64_t>(round) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return Rng(seed ^ z);
+}
+
+}  // namespace mas::serve

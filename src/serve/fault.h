@@ -1,0 +1,142 @@
+// serve::FaultModel — seeded, byte-deterministic fault injection for the
+// serving simulator.
+//
+// The serve session models a perfect device: no stall, no thermal throttle,
+// no lost KV state. Fault models close that gap so the resilience policies
+// in ServeSessionOptions (deadlines, retries, load shedding) have something
+// real to defend against. A model is drawn ONCE per scheduling round from an
+// Rng keyed off the ROUND INDEX (FaultRoundRng), never a wall clock — so a
+// (spec, seed) pair replays the identical fault sequence for any --jobs
+// value, and a round's draw does not depend on how many draws earlier
+// rounds consumed.
+//
+// Models self-register in the FaultModelRegistry (the same pattern as
+// ArrivalModelRegistry) under the `--fault` grammar
+//   kind[:key=value[,key=value...]]       e.g.  crash:prob=0.1,limit=4
+// Built-ins:
+//   stall  — the device freezes for a fixed number of cycles at seeded
+//            rounds (every in-flight request eats the latency)
+//   derate — thermal throttle: a frequency multiplier over a window of
+//            rounds; the session reprices each affected sim's cycles as
+//            ceil(cycles / factor) when advancing the clock
+//   crash  — one in-flight request loses its KV state mid-decode; its
+//            attempt aborts and it must re-prefill (in the baseline the
+//            request is lost, with retries it re-enters admission)
+// All three take `limit` (max events, 0 = unlimited) so tests can pin an
+// exact fault count (e.g. crash:prob=1,limit=1 crashes exactly once).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mas::serve {
+
+// Parsed `--fault` grammar: "kind[:key=value[,key=value...]]". Values are
+// finite doubles; keys may not repeat. Parse() throws mas::Error on
+// malformed text; kind/param *semantics* are checked by the registry
+// factory at Create() time. A default-constructed spec (empty kind) means
+// "no fault injection".
+struct FaultSpec {
+  std::string kind;  // registry key; empty = fault injection disabled
+  std::vector<std::pair<std::string, double>> params;  // grammar order
+
+  static FaultSpec Parse(const std::string& text);
+  std::string ToString() const;  // canonical "kind:k=v,..." round-trip
+
+  bool enabled() const { return !kind.empty(); }
+  bool Has(const std::string& key) const;
+  double Param(const std::string& key, double fallback) const;
+};
+
+// Descriptor of one registered fault model.
+struct FaultModelInfo {
+  std::string name;     // registry key and grammar head, e.g. "stall"
+  std::string summary;  // one-line fault description
+  std::string params;   // grammar help, e.g. "prob ([0,1], default 0.02)"
+};
+
+// What the session sees entering a round — the only inputs a model may
+// condition on (anything else would break jobs-independence).
+struct FaultContext {
+  std::int64_t round = 0;      // scheduling-round index (ServeMetrics::steps)
+  std::int64_t in_flight = 0;  // batch occupancy entering the round
+  std::int64_t decoding = 0;   // prefilled members (crash-eligible)
+};
+
+// One round's injected faults. Defaults mean "nothing happened".
+struct RoundFaults {
+  std::uint64_t stall_cycles = 0;  // added to the clock before the round's sims
+  double derate_factor = 1.0;      // effective-frequency multiplier in (0, 1]
+  bool crash = false;              // one crash-eligible request loses its KV
+  std::uint64_t crash_draw = 0;    // victim selector (mod the eligible count)
+};
+
+// One instantiated fault process. Stateful (the derate window machinery
+// lives inside), so create one model per session run.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  virtual const FaultModelInfo& info() const = 0;
+  // Draws this round's faults into `out` (already default-initialized).
+  // `rng` is the round-keyed stream from FaultRoundRng — models never seed
+  // their own.
+  virtual void Draw(const FaultContext& ctx, Rng& rng, RoundFaults* out) = 0;
+};
+
+// String-keyed fault-model catalog, mirroring ArrivalModelRegistry.
+// Factories validate their spec's params (unknown keys, out-of-range
+// probabilities) eagerly.
+class FaultModelRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<FaultModel>(const FaultSpec&)>;
+
+  static FaultModelRegistry& Instance();
+
+  // Throws when the model name is already taken (the built-ins are
+  // materialized first, so registering over "stall" throws immediately
+  // rather than failing at the first lookup).
+  void Register(FaultModelInfo info, Factory factory);
+
+  // Unknown kinds throw an Error listing the available set; factories throw
+  // on invalid params.
+  std::unique_ptr<FaultModel> Create(const FaultSpec& spec) const;
+
+  const FaultModelInfo* Find(const std::string& name) const;  // nullptr if unknown
+  std::vector<FaultModelInfo> List() const;  // registration order
+  std::string AvailableNames() const;        // "'stall', 'derate', 'crash'"
+
+ private:
+  struct Entry {
+    FaultModelInfo info;
+    Factory factory;
+  };
+
+  FaultModelRegistry() = default;
+  void EnsureBuiltins() const;
+  // Register without materializing builtins first — the path the builtin
+  // registrations themselves take (calling Register there would re-enter
+  // the active call_once and deadlock).
+  void RegisterImpl(FaultModelInfo info, Factory factory);
+  const Entry* FindEntryLocked(const std::string& name) const;
+  std::string AvailableNamesLockedUnsafe() const;
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+// The round-keyed fault stream: a fresh Rng for round `round` of a session
+// seeded with `seed` (SplitMix64 of the round index XORed into the seed).
+// Keying per round — instead of one sequential stream — makes a round's
+// draws independent of every other round's draw count, which is what lets
+// fault models grow extra draws without invalidating unrelated rounds.
+Rng FaultRoundRng(std::uint64_t seed, std::int64_t round);
+
+}  // namespace mas::serve

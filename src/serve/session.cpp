@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <ostream>
 #include <utility>
 
@@ -26,10 +27,26 @@ double NearestRankPercentile(std::vector<double> samples, double percentile) {
   return samples[rank - 1];
 }
 
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kTimedOut: return "timed_out";
+    case RequestOutcome::kCrashed: return "crashed";
+  }
+  MAS_FAIL() << "unknown RequestOutcome " << static_cast<int>(outcome);
+}
+
 double ServeMetrics::TokensPerSecond(double frequency_ghz) const {
   if (makespan_cycles == 0) return 0.0;
   const double seconds = static_cast<double>(makespan_cycles) / (frequency_ghz * 1e9);
   return static_cast<double>(generated_tokens) / seconds;
+}
+
+double ServeMetrics::GoodputTokensPerSecond(double frequency_ghz) const {
+  if (makespan_cycles == 0) return 0.0;
+  const double seconds = static_cast<double>(makespan_cycles) / (frequency_ghz * 1e9);
+  return static_cast<double>(goodput_tokens) / seconds;
 }
 
 double ServeMetrics::MakespanMs(double frequency_ghz) const {
@@ -52,6 +69,10 @@ void ServeResult::WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) con
     json.KeyValue("finish_cycles", r.finish_cycles);
     json.KeyValue("ttft_cycles", r.TtftCycles());
     json.KeyValue("tpot_cycles", r.TpotCycles());
+    if (metrics.fault_layer_active) {
+      json.KeyValue("outcome", RequestOutcomeName(r.outcome));
+      json.KeyValue("retries", r.retries);
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -83,23 +104,45 @@ void ServeResult::WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) con
   json.KeyValue("dram_pj", metrics.energy.dram_pj);
   json.KeyValue("dram_read_bytes", metrics.dram_read_bytes);
   json.KeyValue("dram_write_bytes", metrics.dram_write_bytes);
+  // Resilience accounting, present only when the fault/resilience layer is
+  // configured — a plain run's JSON stays byte-identical to earlier
+  // versions of the schema.
+  if (metrics.fault_layer_active) {
+    json.KeyValue("completed", metrics.completed);
+    json.KeyValue("shed", metrics.shed);
+    json.KeyValue("timed_out", metrics.timed_out);
+    json.KeyValue("crashed", metrics.crashed);
+    json.KeyValue("retries", metrics.retries);
+    json.KeyValue("crash_events", metrics.crash_events);
+    json.KeyValue("stall_events", metrics.stall_events);
+    json.KeyValue("stalled_cycles", metrics.stalled_cycles);
+    json.KeyValue("derated_rounds", metrics.derated_rounds);
+    json.KeyValue("wasted_prefill_cycles", metrics.wasted_prefill_cycles);
+    json.KeyValue("goodput_tokens", metrics.goodput_tokens);
+    json.KeyValue("goodput_tokens_per_second", metrics.GoodputTokensPerSecond(hw.frequency_ghz));
+  }
   json.EndObject();
 }
 
 void PrintReport(std::ostream& out, const ServeResult& result, const sim::HardwareConfig& hw,
                  std::int64_t plan_count) {
   const double to_us = 1.0 / (hw.frequency_ghz * 1e3);
-  TextTable table({"req", "arrive", "prompt", "decode", "spec", "TTFT us", "TPOT us"});
+  const ServeMetrics& m = result.metrics;
+  std::vector<std::string> columns = {"req",  "arrive",  "prompt", "decode",
+                                      "spec", "TTFT us", "TPOT us"};
+  if (m.fault_layer_active) columns.push_back("outcome");
+  TextTable table(columns);
   for (const RequestMetrics& r : result.requests) {
-    table.AddRow({std::to_string(r.id), std::to_string(r.arrival_tick),
-                  std::to_string(r.prompt_len), std::to_string(r.decode_len),
-                  std::to_string(r.speculation),
-                  FormatFixed(static_cast<double>(r.TtftCycles()) * to_us, 1),
-                  FormatFixed(r.TpotCycles() * to_us, 1)});
+    std::vector<std::string> row = {std::to_string(r.id), std::to_string(r.arrival_tick),
+                                    std::to_string(r.prompt_len), std::to_string(r.decode_len),
+                                    std::to_string(r.speculation),
+                                    FormatFixed(static_cast<double>(r.TtftCycles()) * to_us, 1),
+                                    FormatFixed(r.TpotCycles() * to_us, 1)};
+    if (m.fault_layer_active) row.push_back(RequestOutcomeName(r.outcome));
+    table.AddRow(row);
   }
   out << table.ToString() << "\n";
 
-  const ServeMetrics& m = result.metrics;
   out << "makespan " << FormatFixed(m.MakespanMs(hw.frequency_ghz), 2) << " ms, "
       << FormatFixed(m.TokensPerSecond(hw.frequency_ghz), 0) << " tokens/s, mean TTFT "
       << FormatFixed(m.mean_ttft_cycles * to_us, 1) << " us, mean TPOT "
@@ -107,6 +150,15 @@ void PrintReport(std::ostream& out, const ServeResult& result, const sim::Hardwa
       << " requests (" << m.prefill_sims << " prefill + " << m.decode_sims
       << " decode sims, " << plan_count << " distinct plans), energy "
       << FormatFixed(m.energy.total_pj() / 1e9, 3) << " mJ\n";
+  if (m.fault_layer_active) {
+    out << "resilience: " << FormatFixed(m.GoodputTokensPerSecond(hw.frequency_ghz), 0)
+        << " goodput tokens/s (" << m.goodput_tokens << " of " << m.generated_tokens
+        << " tokens), " << m.completed << " completed / " << m.shed << " shed / "
+        << m.timed_out << " timed out / " << m.crashed << " crashed, " << m.retries
+        << " retries, " << m.crash_events << " crash + " << m.stall_events
+        << " stall events, " << m.derated_rounds << " derated rounds, "
+        << m.wasted_prefill_cycles << " wasted prefill cycles\n";
+  }
 }
 
 void WriteConfigJson(JsonWriter& json, const sim::HardwareConfig& hw,
@@ -136,6 +188,24 @@ ServeSession::ServeSession(ServePlanner& planner, ServeSessionOptions options)
         << "unknown relief method '" << options_.pressure.relief_method
         << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
   }
+  // Same for the resilience policy and the fault spec: an unknown fault kind
+  // or bad param throws here, not after half a trace has been replayed.
+  const ResiliencePolicy& res = options_.resilience;
+  MAS_CHECK(res.max_retries >= 0) << "max_retries must be >= 0, got " << res.max_retries;
+  MAS_CHECK(res.admission_queue_cap >= 0)
+      << "admission_queue_cap must be >= 0, got " << res.admission_queue_cap;
+  if (res.max_retries > 0) {
+    MAS_CHECK(res.retry_backoff_ticks >= 1)
+        << "retry_backoff_ticks must be >= 1, got " << res.retry_backoff_ticks;
+  }
+  if (res.shed_late) {
+    MAS_CHECK(res.ttft_deadline_cycles > 0)
+        << "shed_late requires a TTFT deadline (it sheds requests whose TTFT "
+           "budget is already spent)";
+  }
+  if (options_.fault.enabled()) {
+    (void)FaultModelRegistry::Instance().Create(options_.fault);
+  }
 }
 
 ServeResult ServeSession::Run(const RequestTrace& trace) {
@@ -146,6 +216,9 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   struct Progress {
     bool prefilled = false;
     std::int64_t decoded = 0;  // decode tokens generated so far
+    // Effective cycles this attempt's prefill cost — charged to
+    // wasted_prefill_cycles if the attempt crashes or times out.
+    std::uint64_t attempt_prefill_cycles = 0;
   };
   std::vector<Progress> progress(n);
   std::vector<RequestMetrics> metrics(n);
@@ -165,9 +238,18 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   agg.requests = static_cast<std::int64_t>(n);
   agg.prompt_tokens = trace.TotalPromptTokens();
   agg.decode_tokens = trace.TotalDecodeTokens();
-  // Every request emits its first token at the end of prefill, then
-  // decode_len more: generated = requests + sum(decode_len).
-  agg.generated_tokens = agg.requests + agg.decode_tokens;
+  // generated_tokens accumulates as sims retire (one per prefill, `queries`
+  // per decode step): it measures what the device PRODUCED, so a crashed
+  // attempt's re-decoded tokens count here and the goodput gap shows the
+  // waste. Without faults every request prefills once and decodes
+  // decode_len tokens, so the sum lands exactly at requests + decode_tokens.
+
+  const ResiliencePolicy& res = options_.resilience;
+  agg.fault_layer_active = options_.fault.enabled() || res.AnyEnabled();
+  std::unique_ptr<FaultModel> fault_model;
+  if (options_.fault.enabled()) {
+    fault_model = FaultModelRegistry::Instance().Create(options_.fault);
+  }
 
   // One reusable engine per simulation worker: arena capacity persists across
   // the whole trace, so steady-state steps are allocation-free.
@@ -183,6 +265,31 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   std::uint64_t clock = 0;
   std::size_t finished = 0;
   std::int64_t tick = 0;
+
+  // Crashed requests waiting out their retry backoff, sorted by
+  // (eligible_tick, trace index) so re-admission order is deterministic.
+  struct PendingRetry {
+    std::int64_t eligible_tick = 0;
+    std::size_t idx = 0;
+  };
+  std::vector<PendingRetry> retry_queue;
+  const auto retry_before = [](const PendingRetry& a, const PendingRetry& b) {
+    if (a.eligible_tick != b.eligible_tick) return a.eligible_tick < b.eligible_tick;
+    return a.idx < b.idx;
+  };
+
+  const auto shed_request = [&](std::size_t idx) {
+    metrics[idx].outcome = RequestOutcome::kShed;
+    ++finished;
+  };
+  const auto total_deadline_passed = [&](std::size_t idx) {
+    return res.total_deadline_cycles > 0 &&
+           clock > metrics[idx].arrival_cycles + res.total_deadline_cycles;
+  };
+  const auto ttft_deadline_passed = [&](std::size_t idx) {
+    return res.ttft_deadline_cycles > 0 &&
+           clock > metrics[idx].arrival_cycles + res.ttft_deadline_cycles;
+  };
 
   // Pressure-policy state: a sliding window of the most recent TTFT samples
   // (pushed as prefills retire) feeding a one-way latch onto the relief
@@ -208,24 +315,86 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   std::vector<std::int64_t> sim_decode_members;
   std::vector<sim::SimResult> step_results;
   std::vector<std::uint64_t> sim_done_clock;
+  std::vector<std::uint64_t> sim_effective_cycles;
 
   while (finished < n) {
-    // Admit arrivals that became visible at or before this tick.
+    // Admit arrivals that became visible at or before this tick (under the
+    // admission cap, an arrival that finds the waiting queue full is shed
+    // on the spot — it never costs the device anything).
     while (next_arrival < n && trace.requests[next_arrival].arrival_tick <= tick) {
       metrics[next_arrival].arrival_cycles = clock;
-      waiting.push_back(next_arrival);
+      if (res.admission_queue_cap > 0 &&
+          waiting.size() >= static_cast<std::size_t>(res.admission_queue_cap)) {
+        shed_request(next_arrival);
+      } else {
+        waiting.push_back(next_arrival);
+      }
       ++next_arrival;
     }
-    // Fill free batch slots FIFO.
+    // Re-admit crash retries that have served their backoff, behind this
+    // tick's fresh arrivals. The queue cap applies to them too.
+    while (!retry_queue.empty() && retry_queue.front().eligible_tick <= tick) {
+      const std::size_t idx = retry_queue.front().idx;
+      retry_queue.erase(retry_queue.begin());
+      if (res.admission_queue_cap > 0 &&
+          waiting.size() >= static_cast<std::size_t>(res.admission_queue_cap)) {
+        shed_request(idx);
+      } else {
+        waiting.push_back(idx);
+      }
+    }
+    // Timeout-kill: a request past its total deadline is dead whether it is
+    // decoding or still queued. Killing an in-flight request wastes the
+    // attempt's prefill cycles; a queued kill costs nothing.
+    if (res.total_deadline_cycles > 0) {
+      std::size_t kept = 0;
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        const std::size_t idx = batch[b];
+        if (total_deadline_passed(idx)) {
+          if (progress[idx].prefilled) {
+            agg.wasted_prefill_cycles += progress[idx].attempt_prefill_cycles;
+          }
+          metrics[idx].outcome = RequestOutcome::kTimedOut;
+          ++finished;
+        } else {
+          batch[kept++] = idx;
+        }
+      }
+      batch.resize(kept);
+      for (auto it = waiting.begin(); it != waiting.end();) {
+        if (total_deadline_passed(*it)) {
+          metrics[*it].outcome = RequestOutcome::kTimedOut;
+          ++finished;
+          it = waiting.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Fill free batch slots FIFO. shed_late rejects a waiting request whose
+    // TTFT budget is already spent before it can burn a prefill.
     while (batch.size() < static_cast<std::size_t>(options_.max_batch) && !waiting.empty()) {
-      batch.push_back(waiting.front());
+      const std::size_t idx = waiting.front();
       waiting.pop_front();
+      if (res.shed_late && ttft_deadline_passed(idx)) {
+        shed_request(idx);
+        continue;
+      }
+      batch.push_back(idx);
     }
     if (batch.empty()) {
-      // Device idle: jump straight to the next arrival (the clock does not
-      // advance — idle cycles are free in this single-device model).
-      MAS_CHECK(next_arrival < n) << "serve session stalled with no runnable requests";
-      tick = trace.requests[next_arrival].arrival_tick;
+      if (finished >= n) continue;  // everything left ended via shed/kill
+      // Device idle: jump straight to the next event — an arrival or a
+      // retry becoming eligible (the clock does not advance — idle cycles
+      // are free in this single-device model).
+      std::int64_t next_tick = -1;
+      if (next_arrival < n) next_tick = trace.requests[next_arrival].arrival_tick;
+      if (!retry_queue.empty() &&
+          (next_tick < 0 || retry_queue.front().eligible_tick < next_tick)) {
+        next_tick = retry_queue.front().eligible_tick;
+      }
+      MAS_CHECK(next_tick >= 0) << "serve session stalled with no runnable requests";
+      tick = next_tick;
       continue;
     }
 
@@ -239,6 +408,73 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
       if (window_sum / static_cast<double>(ttft_window.size()) > pressure.ttft_target_cycles) {
         relieved = true;
         agg.pressure_switch_tick = agg.steps;
+      }
+    }
+
+    // Draw this round's faults from the round-keyed stream (the draw only
+    // depends on the round index and the session seed, never on thread
+    // interleaving), then apply them before the round's sims.
+    RoundFaults faults;
+    if (fault_model) {
+      std::int64_t decoding_members = 0;
+      for (std::size_t idx : batch) {
+        if (progress[idx].prefilled) ++decoding_members;
+      }
+      FaultContext fault_ctx;
+      fault_ctx.round = agg.steps;
+      fault_ctx.in_flight = static_cast<std::int64_t>(batch.size());
+      fault_ctx.decoding = decoding_members;
+      Rng round_rng = FaultRoundRng(options_.fault_seed, agg.steps);
+      fault_model->Draw(fault_ctx, round_rng, &faults);
+
+      if (faults.stall_cycles > 0) {
+        // The device freezes before the round's work: every in-flight
+        // request's latency absorbs the stall.
+        clock += faults.stall_cycles;
+        agg.stalled_cycles += faults.stall_cycles;
+        ++agg.stall_events;
+      }
+      if (faults.crash && decoding_members > 0) {
+        // The crash_draw-th prefilled member (batch order) loses its KV
+        // state: the attempt aborts, its prefill is wasted, and the request
+        // either waits out a retry backoff or dies.
+        const std::uint64_t target =
+            faults.crash_draw % static_cast<std::uint64_t>(decoding_members);
+        std::size_t victim_pos = batch.size();
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < batch.size(); ++b) {
+          if (!progress[batch[b]].prefilled) continue;
+          if (seen++ == target) {
+            victim_pos = b;
+            break;
+          }
+        }
+        const std::size_t idx = batch[victim_pos];
+        agg.wasted_prefill_cycles += progress[idx].attempt_prefill_cycles;
+        ++agg.crash_events;
+        batch.erase(batch.begin() + victim_pos);
+        if (metrics[idx].retries < res.max_retries) {
+          ++metrics[idx].retries;
+          progress[idx] = Progress{};
+          metrics[idx].first_token_cycles = 0;
+          // Exponential backoff in ticks: backoff * 2^(attempt - 1), shift
+          // clamped so the arithmetic cannot overflow.
+          const std::int64_t shift = std::min<std::int64_t>(metrics[idx].retries - 1, 32);
+          const PendingRetry entry{tick + (res.retry_backoff_ticks << shift), idx};
+          retry_queue.insert(
+              std::upper_bound(retry_queue.begin(), retry_queue.end(), entry, retry_before),
+              entry);
+        } else {
+          metrics[idx].outcome = RequestOutcome::kCrashed;
+          ++finished;
+        }
+        if (batch.empty()) {
+          // The crash emptied the round; it still happened (the round index
+          // advances so later draws stay aligned).
+          ++agg.steps;
+          ++tick;
+          continue;
+        }
       }
     }
 
@@ -317,11 +553,23 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
     // record each sim's completion clock, then retire members in batch order
     // stamping from their sim's completion. With one sim per member this is
     // byte-identical to advancing the clock per member (the old behavior).
+    // Under a derate fault the round runs at a reduced frequency: each sim's
+    // cycle count reprices to ceil(cycles / factor) — the work, and thus the
+    // energy and DRAM traffic, is unchanged; it just takes longer.
+    const bool derated = faults.derate_factor < 1.0;
+    if (derated && !step_results.empty()) ++agg.derated_rounds;
     sim_done_clock.assign(step_results.size(), 0);
+    sim_effective_cycles.assign(step_results.size(), 0);
     for (std::size_t s = 0; s < step_results.size(); ++s) {
       const sim::SimResult& sim = step_results[s];
-      clock += sim.cycles;
+      std::uint64_t effective_cycles = sim.cycles;
+      if (derated) {
+        effective_cycles = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(sim.cycles) / faults.derate_factor));
+      }
+      clock += effective_cycles;
       sim_done_clock[s] = clock;
+      sim_effective_cycles[s] = effective_cycles;
       agg.energy += sim.energy;
       agg.dram_read_bytes += sim.dram_read_bytes;
       agg.dram_write_bytes += sim.dram_write_bytes;
@@ -342,7 +590,9 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
       const std::uint64_t done = sim_done_clock[m.sim];
       if (m.queries == 0) {
         p.prefilled = true;
+        p.attempt_prefill_cycles = sim_effective_cycles[m.sim];
         metrics[idx].first_token_cycles = done;
+        ++agg.generated_tokens;
         if (pressure.enabled) {
           ttft_window.push_back(static_cast<double>(metrics[idx].TtftCycles()));
           while (ttft_window.size() > static_cast<std::size_t>(pressure.window)) {
@@ -356,6 +606,7 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
         }
       } else {
         p.decoded += m.queries;
+        agg.generated_tokens += m.queries;
         if (p.decoded >= r.decode_len) {
           metrics[idx].finish_cycles = done;
           ++finished;
@@ -370,11 +621,29 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   }
 
   agg.makespan_cycles = clock;
+  // Latency statistics cover only completed requests — a shed or killed
+  // request has no TTFT to sample (without the fault/resilience layer every
+  // request completes and this is the full set, exactly as before). The
+  // outcome counters, retry total, and goodput derive from the per-request
+  // records in one pass.
   std::vector<double> ttft_samples;
   std::vector<double> tpot_samples;
   ttft_samples.reserve(n);
   double ttft_sum = 0.0, tpot_sum = 0.0;
   for (const RequestMetrics& m : metrics) {
+    agg.retries += m.retries;
+    switch (m.outcome) {
+      case RequestOutcome::kShed: ++agg.shed; continue;
+      case RequestOutcome::kTimedOut: ++agg.timed_out; continue;
+      case RequestOutcome::kCrashed: ++agg.crashed; continue;
+      case RequestOutcome::kCompleted: ++agg.completed; break;
+    }
+    const bool within_ttft = res.ttft_deadline_cycles == 0 ||
+                             m.TtftCycles() <= res.ttft_deadline_cycles;
+    const bool within_total =
+        res.total_deadline_cycles == 0 ||
+        m.finish_cycles - m.arrival_cycles <= res.total_deadline_cycles;
+    if (within_ttft && within_total) agg.goodput_tokens += 1 + m.decode_len;
     const double ttft = static_cast<double>(m.TtftCycles());
     ttft_samples.push_back(ttft);
     ttft_sum += ttft;
@@ -387,8 +656,8 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
     }
   }
   agg.decode_requests = static_cast<std::int64_t>(tpot_samples.size());
-  if (n > 0) {
-    agg.mean_ttft_cycles = ttft_sum / static_cast<double>(n);
+  if (!ttft_samples.empty()) {
+    agg.mean_ttft_cycles = ttft_sum / static_cast<double>(ttft_samples.size());
     agg.p50_ttft_cycles = NearestRankPercentile(ttft_samples, 50.0);
     agg.p95_ttft_cycles = NearestRankPercentile(ttft_samples, 95.0);
     agg.p99_ttft_cycles = NearestRankPercentile(ttft_samples, 99.0);

@@ -31,6 +31,16 @@
 //     members' summed rows, context = the widest member's), so the shared
 //     KV stream is priced once per round instead of once per request.
 //
+// Fault injection + resilience (all off by default; see serve/fault.h for
+// the fault grammar): `options.fault` names a seeded fault process drawn
+// once per round, and `options.resilience` arms the recovery policies —
+// per-request deadlines with timeout-kill, bounded crash retry with
+// exponential backoff (the retry re-enters admission and recomputes its
+// prefill, charging real cycles and energy), and admission control (a
+// queue-depth cap plus deadline-aware shedding). Requests then carry a
+// RequestOutcome, and ServeMetrics separates goodput (tokens from requests
+// that completed within their deadlines) from raw device throughput.
+//
 // Determinism: plans resolve serially in batch order through the
 // ServePlanner; only the engine simulations fan out across `jobs` workers,
 // each writing into its entry's slot, and results aggregate in batch order —
@@ -43,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/fault.h"
 #include "serve/serve_planner.h"
 #include "serve/trace.h"
 #include "sim/engine.h"
@@ -66,6 +77,45 @@ struct PressurePolicy {
   std::string relief_method = "FLAT";
 };
 
+// Recovery policies, all disabled by default. Deadlines are measured on the
+// session cycle clock against the request's arrival; a value of 0 means "no
+// deadline". Retries apply to crash faults only (a timed-out request is
+// dead by definition — retrying it cannot meet a deadline that has already
+// passed).
+struct ResiliencePolicy {
+  // Deadlines, measured from the request's arrival on the cycle clock.
+  // The TOTAL deadline timeout-kills: at round start any request — queued
+  // or in flight — whose total budget has passed is killed (outcome
+  // kTimedOut), and an in-flight kill wastes the attempt's prefill cycles.
+  // The TTFT deadline does not kill on its own (a late first token still
+  // produces tokens — the classic overload failure is the device burning
+  // capacity on already-dead requests): it defines which completions count
+  // as goodput, and powers shed_late's early rejection below.
+  std::uint64_t ttft_deadline_cycles = 0;   // 0 = no TTFT deadline
+  std::uint64_t total_deadline_cycles = 0;  // 0 = no total deadline
+  // Crash recovery: a crashed request re-enters admission at most
+  // max_retries times, becoming eligible retry_backoff_ticks * 2^(attempt-1)
+  // ticks after the crash. With max_retries == 0 a crash is terminal
+  // (outcome kCrashed).
+  std::int64_t max_retries = 0;
+  std::int64_t retry_backoff_ticks = 1;  // >= 1 when max_retries > 0
+  // Admission control. admission_queue_cap bounds the waiting queue: an
+  // arrival that finds the queue full is shed on the spot (0 = unbounded).
+  // shed_late additionally sheds, at batch-fill time, any waiting request
+  // whose TTFT deadline has already passed — it could only waste cycles.
+  std::int64_t admission_queue_cap = 0;  // 0 = unbounded
+  bool shed_late = false;                // requires ttft_deadline_cycles > 0
+
+  // A shed request never starts (first_token_cycles stays 0); a timed-out
+  // request may have prefilled before dying. Both count against SLO
+  // attainment and neither contributes latency samples or goodput.
+
+  bool AnyEnabled() const {
+    return ttft_deadline_cycles > 0 || total_deadline_cycles > 0 || max_retries > 0 ||
+           admission_queue_cap > 0 || shed_late;
+  }
+};
+
 struct ServeSessionOptions {
   int max_batch = 4;  // in-flight request cap (continuous-batching window)
   int jobs = 1;       // worker threads simulating a step's batch entries
@@ -73,7 +123,24 @@ struct ServeSessionOptions {
   // simulation (queries summed, context = the widest member's bucket).
   bool coalesce_decode = false;
   PressurePolicy pressure;
+  // Fault injection (empty kind = disabled) and the recovery policies.
+  // Fault draws come from seeded streams keyed off the round index — never
+  // wall clocks — so a (fault, fault_seed) pair replays identically for any
+  // jobs value.
+  FaultSpec fault;
+  std::uint64_t fault_seed = 0xFA17C0DEDEC0DE5Dull;
+  ResiliencePolicy resilience;
 };
+
+// Terminal state of a request. Only kCompleted requests contribute latency
+// samples and goodput; the others exist to be counted against attainment.
+enum class RequestOutcome {
+  kCompleted = 0,  // produced every token
+  kShed,           // rejected at admission (queue cap or deadline-aware)
+  kTimedOut,       // killed in flight by a deadline
+  kCrashed,        // lost its KV state with no retry budget left
+};
+const char* RequestOutcomeName(RequestOutcome outcome);
 
 // Per-request outcome. All timestamps are session-clock cycles.
 struct RequestMetrics {
@@ -88,10 +155,19 @@ struct RequestMetrics {
   std::uint64_t first_token_cycles = 0;  // clock when its prefill completed
   std::uint64_t finish_cycles = 0;       // clock when its last token completed
 
-  std::uint64_t TtftCycles() const { return first_token_cycles - arrival_cycles; }
-  // Cycles per generated token after the first; 0 when decode_len == 0.
+  RequestOutcome outcome = RequestOutcome::kCompleted;
+  std::int64_t retries = 0;  // crash retries consumed (0 without faults)
+
+  // Shed/killed requests never produced a first token; their TTFT is 0, not
+  // a uint64 underflow. Only kCompleted requests enter the latency stats.
+  std::uint64_t TtftCycles() const {
+    if (first_token_cycles < arrival_cycles) return 0;
+    return first_token_cycles - arrival_cycles;
+  }
+  // Cycles per generated token after the first; 0 when decode_len == 0 or
+  // the request never got past prefill.
   double TpotCycles() const {
-    if (decode_len == 0) return 0.0;
+    if (decode_len == 0 || finish_cycles <= first_token_cycles) return 0.0;
     return static_cast<double>(finish_cycles - first_token_cycles) /
            static_cast<double>(decode_len);
   }
@@ -106,18 +182,41 @@ double NearestRankPercentile(std::vector<double> samples, double percentile);
 // Aggregate session outcome. TPOT statistics (mean/max/percentiles) are
 // taken over the `decode_requests` requests with decode_len > 0; when a
 // trace is entirely prefill-only they are all exactly 0.0, consistently.
+// When the fault/resilience layer is active, latency statistics cover only
+// the requests that COMPLETED (a shed request has no TTFT), while the
+// outcome counters and wasted_prefill_cycles account for everything else.
 struct ServeMetrics {
   std::int64_t requests = 0;
-  std::int64_t decode_requests = 0;   // requests with decode_len > 0
+  std::int64_t decode_requests = 0;   // completed requests with decode_len > 0
   std::int64_t prompt_tokens = 0;
   std::int64_t decode_tokens = 0;
-  std::int64_t generated_tokens = 0;  // first tokens + decode tokens
+  std::int64_t generated_tokens = 0;  // tokens the device produced (incl. re-decodes)
   std::int64_t steps = 0;             // scheduling rounds executed
   std::int64_t prefill_sims = 0;      // phase simulations by kind
   std::int64_t decode_sims = 0;
   // Decode simulations that covered more than one request (coalesce_decode).
   std::int64_t coalesced_decode_sims = 0;
   std::uint64_t makespan_cycles = 0;
+
+  // Fault/resilience accounting (all zero — and absent from the JSON — when
+  // no fault model and no resilience policy is configured).
+  bool fault_layer_active = false;    // any fault model or policy configured
+  std::int64_t completed = 0;         // outcome == kCompleted
+  std::int64_t shed = 0;              // outcome == kShed
+  std::int64_t timed_out = 0;         // outcome == kTimedOut
+  std::int64_t crashed = 0;           // outcome == kCrashed (terminal, no budget)
+  std::int64_t retries = 0;           // crash retries re-admitted
+  std::int64_t crash_events = 0;      // crash faults injected (retried or not)
+  std::int64_t stall_events = 0;      // stall faults injected
+  std::uint64_t stalled_cycles = 0;   // clock cycles lost to stalls
+  std::int64_t derated_rounds = 0;    // rounds run at a derated frequency
+  // Prefill cycles spent on attempts that did not survive (crashed or
+  // timed out after prefilling) — the work the device did and threw away.
+  std::uint64_t wasted_prefill_cycles = 0;
+  // Tokens from requests that completed within the session's configured
+  // deadlines (all completed requests when no deadline is set). The
+  // goodput-vs-throughput gap is exactly the wasted + dead work.
+  std::int64_t goodput_tokens = 0;
 
   double mean_ttft_cycles = 0.0;
   double max_ttft_cycles = 0.0;
@@ -140,6 +239,8 @@ struct ServeMetrics {
 
   // Derived from the hardware clock: generated tokens per wall second.
   double TokensPerSecond(double frequency_ghz) const;
+  // goodput_tokens per wall second — the headline resilience metric.
+  double GoodputTokensPerSecond(double frequency_ghz) const;
   double MakespanMs(double frequency_ghz) const;
 };
 

@@ -36,7 +36,15 @@ SloReport EvaluateSlo(const ServeResult& result, const sim::HardwareConfig& hw,
 
   SloReport report;
   report.requests = static_cast<std::int64_t>(result.requests.size());
+  report.extended = result.metrics.fault_layer_active;
   for (const RequestMetrics& r : result.requests) {
+    // A request that did not complete meets no target: it stays in every
+    // denominator but can never be ok, so shedding or killing requests
+    // degrades attainment instead of vanishing from it.
+    if (r.outcome != RequestOutcome::kCompleted) {
+      if (r.decode_len > 0) ++report.decode_requests;
+      continue;
+    }
     const bool ttft_met =
         !targets.HasTtft() || static_cast<double>(r.TtftCycles()) <= ttft_target_cycles;
     bool tpot_met = true;
@@ -46,7 +54,10 @@ SloReport EvaluateSlo(const ServeResult& result, const sim::HardwareConfig& hw,
       if (tpot_met) ++report.tpot_ok;
     }
     if (ttft_met) ++report.ttft_ok;
-    if (ttft_met && tpot_met) ++report.joint_ok;
+    if (ttft_met && tpot_met) {
+      ++report.joint_ok;
+      report.goodput_tokens += 1 + r.decode_len;
+    }
   }
   return report;
 }
@@ -63,6 +74,9 @@ void WriteSloJson(JsonWriter& json, const SloTargets& targets, const SloReport& 
   json.KeyValue("ttft_attainment", report.TtftAttainment());
   json.KeyValue("tpot_attainment", report.TpotAttainment());
   json.KeyValue("joint_attainment", report.JointAttainment());
+  // Only resilience-aware results carry goodput; a plain run's slo block
+  // stays byte-identical to earlier schema versions.
+  if (report.extended) json.KeyValue("goodput_tokens", report.goodput_tokens);
   json.EndObject();
 }
 

@@ -5,8 +5,11 @@
 // microseconds (the unit operators reason in) and converted to cycles
 // through the hardware clock; attainment is the fraction of requests whose
 // TTFT — and, for requests that decode, TPOT — lands at or under its
-// target. An unset target (0) is vacuously met, so a TTFT-only SLO works
-// without inventing a TPOT bound.
+// target. For a COMPLETED request an unset target (0) is vacuously met, so
+// a TTFT-only SLO works without inventing a TPOT bound; a request that did
+// NOT complete (shed, timed out, crashed — see RequestOutcome) meets no
+// target, unset or not: it stays in every denominator and never counts as
+// ok, so an all-shed run scores 0.0 attainment rather than a vacuous 1.0.
 //
 // RunLoadSweep replays ONE trace shape (same lengths, same length seed)
 // across a ladder of offered rates, re-drawing only the arrival ticks per
@@ -41,16 +44,24 @@ struct SloTargets {
   void Validate() const;  // throws on negative or non-finite targets
 };
 
-// Attainment counts for one ServeResult against one SloTargets.
+// Attainment counts for one ServeResult against one SloTargets. Every
+// request — completed or not — lands in the denominators; only completed
+// requests can be ok (a shed or killed request met nothing).
 struct SloReport {
   std::int64_t requests = 0;
-  std::int64_t decode_requests = 0;
-  std::int64_t ttft_ok = 0;   // requests with TTFT <= target (all when unset)
-  std::int64_t tpot_ok = 0;   // decode requests with TPOT <= target
-  std::int64_t joint_ok = 0;  // requests meeting every applicable target
+  std::int64_t decode_requests = 0;  // decode_len > 0, any outcome
+  std::int64_t ttft_ok = 0;   // completed with TTFT <= target (all completed when unset)
+  std::int64_t tpot_ok = 0;   // completed decode requests with TPOT <= target
+  std::int64_t joint_ok = 0;  // completed requests meeting every applicable target
+  // Tokens (first + decode) from completed requests that met every
+  // applicable target — goodput against THESE targets, comparable across
+  // sessions whatever their internal deadline policies. Serialized only for
+  // results with an active fault/resilience layer (`extended`).
+  std::int64_t goodput_tokens = 0;
+  bool extended = false;  // result had fault/resilience accounting
 
-  // Fractions in [0, 1]; an empty denominator reports 1.0 (vacuous truth,
-  // so empty traces and prefill-only traces read as "SLO met").
+  // Fractions in [0, 1]; an empty denominator (empty trace, prefill-only
+  // trace) still reports 1.0 — with zero requests there is nothing to miss.
   double TtftAttainment() const;
   double TpotAttainment() const;  // over decode requests
   double JointAttainment() const;

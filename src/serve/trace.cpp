@@ -99,16 +99,24 @@ RequestTrace RequestTrace::FromJson(const std::string& text) {
   const std::vector<json::Value>& rows = doc.Get("requests").AsArray();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const json::Value& v = rows[i];
-    MAS_CHECK(v.is_object()) << "trace request " << i << " must be a JSON object";
-    CheckUniqueKeys(v, "trace request " + std::to_string(i));
-    ServeRequest r;
-    r.id = v.Get("id").AsInt64();
-    r.arrival_tick = v.Get("arrival_tick").AsInt64();
-    r.prompt_len = v.Get("prompt_len").AsInt64();
-    r.decode_len = v.Get("decode_len").AsInt64();
-    // Optional for hand-written traces: absent means plain autoregressive.
-    if (const json::Value* spec = v.Find("speculation")) r.speculation = spec->AsInt64();
-    trace.requests.push_back(r);
+    // Re-anchor any per-request failure (wrong type, missing key) to the
+    // request's index and its byte offset in the document — in a 10k-request
+    // trace file, "JSON value is not a number" alone is useless.
+    try {
+      MAS_CHECK(v.is_object()) << "must be a JSON object";
+      CheckUniqueKeys(v, "request");
+      ServeRequest r;
+      r.id = v.Get("id").AsInt64();
+      r.arrival_tick = v.Get("arrival_tick").AsInt64();
+      r.prompt_len = v.Get("prompt_len").AsInt64();
+      r.decode_len = v.Get("decode_len").AsInt64();
+      // Optional for hand-written traces: absent means plain autoregressive.
+      if (const json::Value* spec = v.Find("speculation")) r.speculation = spec->AsInt64();
+      trace.requests.push_back(r);
+    } catch (const Error& e) {
+      MAS_FAIL() << "trace request " << i << " (byte offset " << v.offset()
+                 << "): " << e.raw_message();
+    }
   }
   trace.Validate();
   return trace;
@@ -120,7 +128,12 @@ RequestTrace RequestTrace::LoadFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   MAS_CHECK(!in.bad()) << "I/O error reading trace file '" << path << "'";
-  return FromJson(buffer.str());
+  try {
+    return FromJson(buffer.str());
+  } catch (const Error& e) {
+    // Name the file: LoadFile callers see paths, not document text.
+    MAS_FAIL() << "trace file '" << path << "': " << e.raw_message();
+  }
 }
 
 void RequestTrace::SaveFile(const std::string& path) const {

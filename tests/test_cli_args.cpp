@@ -179,6 +179,58 @@ TEST(ArgParser, NegativeIntAccepted) {
   EXPECT_EQ(*n, -5);
 }
 
+TEST(ArgParser, RepeatedFlagWithConflictingValuesThrows) {
+  ArgParser parser("test");
+  parser.AddInt("count", 0, "h");
+  const char* argv[] = {"prog", "--count=3", "--count=4"};
+  try {
+    parser.Parse(3, argv);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    // The message names the flag and BOTH values so the user can see which
+    // half of the copy-pasted command line to delete.
+    EXPECT_NE(what.find("--count"), std::string::npos) << what;
+    EXPECT_NE(what.find("'3'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'4'"), std::string::npos) << what;
+  }
+}
+
+TEST(ArgParser, IdenticalRepeatsPass) {
+  ArgParser parser("test");
+  const std::int64_t* i = parser.AddInt("count", 0, "h");
+  const std::string* s = parser.AddString("name", "", "h");
+  const char* argv[] = {"prog", "--count=3", "--name", "x", "--count", "3", "--name=x"};
+  ASSERT_TRUE(parser.Parse(7, argv));
+  EXPECT_EQ(*i, 3);
+  EXPECT_EQ(*s, "x");
+}
+
+TEST(ArgParser, AllowRepetitionOptsIntoLastWins) {
+  ArgParser parser("test");
+  const std::int64_t* i = parser.AddInt("count", 0, "h");
+  parser.AllowRepetition("count");
+  const char* argv[] = {"prog", "--count=3", "--count=4"};
+  ASSERT_TRUE(parser.Parse(3, argv));
+  EXPECT_EQ(*i, 4);
+  // Opting in an unregistered flag is a programming error.
+  EXPECT_THROW(parser.AllowRepetition("bogus"), Error);
+}
+
+TEST(ArgParser, BareBoolThenExplicitFalseConflicts) {
+  ArgParser parser("test");
+  parser.AddBool("verbose", false, "h");
+  // Bare --verbose means true; --verbose=false then contradicts it.
+  const char* argv[] = {"prog", "--verbose", "--verbose=false"};
+  EXPECT_THROW(parser.Parse(3, argv), Error);
+
+  ArgParser same("test");
+  const bool* b = same.AddBool("verbose", false, "h");
+  const char* argv2[] = {"prog", "--verbose", "--verbose=true"};
+  ASSERT_TRUE(same.Parse(3, argv2));  // bare form and "true" agree
+  EXPECT_TRUE(*b);
+}
+
 TEST(ParseInt64Sequence, SingleValue) {
   EXPECT_EQ(ParseInt64Sequence("512"), (std::vector<std::int64_t>{512}));
 }

@@ -4,6 +4,9 @@
 // warm-plan-cache replay with zero search evaluations.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "common/json_writer.h"
 #include "serve/session.h"
 
@@ -171,6 +174,50 @@ TEST(ServeTraceFuzz, DuplicateKeysThrowAtBothLevels) {
           R"({"version":1,"name":"x","requests":[)"
           R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2,"decode_len":2}]})"),
       Error);
+}
+
+// A malformed request in a large trace must say WHICH request and WHERE in
+// the document — not just what kind of JSON mistake it found.
+TEST(ServeTraceErrors, PerRequestErrorsCarryIndexAndByteOffset) {
+  const std::string doc =
+      R"({"version":1,"name":"x","requests":[)"
+      R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2},)"
+      R"({"id":1,"arrival_tick":1,"prompt_len":8,"decode_len":2},)"
+      R"({"id":2,"arrival_tick":2,"prompt_len":"oops","decode_len":2}]})";
+  try {
+    RequestTrace::FromJson(doc);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trace request 2"), std::string::npos) << what;
+    // The reported offset is where the bad request's object starts.
+    const std::size_t offset = doc.find(R"({"id":2)");
+    ASSERT_NE(offset, std::string::npos);
+    EXPECT_NE(what.find("byte offset " + std::to_string(offset)), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ServeTraceErrors, LoadFileNamesThePath) {
+  const std::string path = testing::TempDir() + "/mas_serve_bad_trace.json";
+  RequestTrace trace;
+  trace.requests = {{0, 0, 8, 2, 1}};
+  trace.SaveFile(path);
+  // Corrupt it: valid JSON, wrong version.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << R"({"version":9,"name":"x","requests":[]})" << "\n";
+  }
+  try {
+    RequestTrace::LoadFile(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+  }
+  EXPECT_THROW(RequestTrace::LoadFile(testing::TempDir() + "/mas_serve_nonexistent.json"),
+               Error);
 }
 
 TEST(ServeTrace, PresetCatalog) {

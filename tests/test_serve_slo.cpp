@@ -165,6 +165,83 @@ TEST(EvaluateSloTest, UnsetTargetsAreVacuouslyMet) {
   EXPECT_THROW(EvaluateSlo(HandResult(), Hw(), bad), Error);
 }
 
+// A request that never completed (shed, timed out, crashed) stays in every
+// denominator and never counts ok — even when every target is unset. The
+// vacuous-truth convention applies to unset TARGETS on completed requests,
+// not to missing REQUESTS.
+TEST(EvaluateSloTest, NonCompletedRequestsNeverCountOk) {
+  ServeResult result = HandResult();  // 3 completed requests
+  result.metrics.fault_layer_active = true;
+  RequestMetrics shed;
+  shed.id = 3;
+  shed.decode_len = 4;  // intended length; it never produced a token
+  shed.outcome = RequestOutcome::kShed;
+  result.requests.push_back(shed);
+  RequestMetrics crashed = shed;
+  crashed.id = 4;
+  crashed.outcome = RequestOutcome::kCrashed;
+  result.requests.push_back(crashed);
+
+  SloTargets targets;
+  targets.ttft_us = 1000.0;
+  const SloReport report = EvaluateSlo(result, Hw(), targets);
+  EXPECT_TRUE(report.extended);
+  EXPECT_EQ(report.requests, 5);        // shed/crashed stay in the denominator
+  EXPECT_EQ(report.decode_requests, 4);
+  EXPECT_EQ(report.ttft_ok, 2);         // only completed requests can pass
+  EXPECT_EQ(report.joint_ok, 2);
+  EXPECT_DOUBLE_EQ(report.TtftAttainment(), 2.0 / 5.0);
+
+  // Unset targets are vacuous only for COMPLETED requests.
+  const SloReport unset = EvaluateSlo(result, Hw(), SloTargets{});
+  EXPECT_EQ(unset.joint_ok, 3);
+  EXPECT_DOUBLE_EQ(unset.JointAttainment(), 3.0 / 5.0);
+}
+
+// The regression this contract exists for: a run where EVERYTHING was shed
+// must score 0.0 attainment, not a vacuous 1.0 that reads as a perfect SLO.
+TEST(EvaluateSloTest, AllShedRunScoresZeroAttainment) {
+  ServeResult result;
+  result.metrics.fault_layer_active = true;
+  for (std::int64_t id = 0; id < 4; ++id) {
+    RequestMetrics m;
+    m.id = id;
+    m.decode_len = 2;
+    m.outcome = RequestOutcome::kShed;
+    result.requests.push_back(m);
+  }
+  const SloReport report = EvaluateSlo(result, Hw(), SloTargets{});
+  EXPECT_EQ(report.requests, 4);
+  EXPECT_EQ(report.joint_ok, 0);
+  EXPECT_DOUBLE_EQ(report.TtftAttainment(), 0.0);
+  EXPECT_DOUBLE_EQ(report.TpotAttainment(), 0.0);
+  EXPECT_DOUBLE_EQ(report.JointAttainment(), 0.0);
+  EXPECT_EQ(report.goodput_tokens, 0);
+}
+
+TEST(EvaluateSloTest, GoodputCountsJointOkTokensAndGatesItsJson) {
+  ServeResult result = HandResult();
+  result.metrics.fault_layer_active = true;
+  SloTargets targets;
+  targets.ttft_us = 1000.0;
+  const SloReport report = EvaluateSlo(result, Hw(), targets);
+  // Requests 0 (prefill-only) and 1 (decode_len 4) pass; request 2 fails.
+  EXPECT_EQ(report.goodput_tokens, (1 + 0) + (1 + 4));
+
+  const auto slo_json = [&](const SloReport& r) {
+    JsonWriter json;
+    json.BeginObject();
+    WriteSloJson(json, targets, r);
+    json.EndObject();
+    return json.Take();
+  };
+  EXPECT_NE(slo_json(report).find("\"goodput_tokens\""), std::string::npos);
+  // Without the fault/resilience layer the SLO document keeps its old shape.
+  const SloReport plain = EvaluateSlo(HandResult(), Hw(), targets);
+  EXPECT_FALSE(plain.extended);
+  EXPECT_EQ(slo_json(plain).find("\"goodput_tokens\""), std::string::npos);
+}
+
 // -------------------------------------------------------- adaptive session
 
 TEST(AdaptiveSession, InvalidPoliciesFailFast) {

@@ -109,16 +109,45 @@ cp "$BUILD_DIR/BENCH_serve_slo_sweep.json" "$BUILD_DIR/BENCH_serve_slo_sweep_col
 cmp "$BUILD_DIR/BENCH_serve_slo_sweep_cold.json" "$BUILD_DIR/BENCH_serve_slo_sweep.json"
 grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/slo_sweep_warm.err"
 
+# Fault injection + resilience: a faulted, policy-on run must be
+# byte-deterministic across --jobs, and the serve_resilience suite must
+# replay byte-identically cold vs warm against one plan cache.
+"$BUILD_DIR/mas_serve" --trace=chat --requests=6 --arrival=poisson:rate=256 \
+    --fault=crash:prob=0.4 --max-retries=2 --deadline-ttft-us=8000 \
+    --deadline-total-us=60000 --shed-late --admission-queue-cap=4 \
+    --max-batch=2 --jobs=1 --out="$BUILD_DIR/fault_jobs1.json" > /dev/null
+"$BUILD_DIR/mas_serve" --trace=chat --requests=6 --arrival=poisson:rate=256 \
+    --fault=crash:prob=0.4 --max-retries=2 --deadline-ttft-us=8000 \
+    --deadline-total-us=60000 --shed-late --admission-queue-cap=4 \
+    --max-batch=2 --jobs=8 --out="$BUILD_DIR/fault_jobs8.json" > /dev/null
+cmp "$BUILD_DIR/fault_jobs1.json" "$BUILD_DIR/fault_jobs8.json"
+rm -f "$BUILD_DIR/resilience_plans.json"
+"$BUILD_DIR/mas_bench" --suite=serve_resilience --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/resilience_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> /dev/null
+cp "$BUILD_DIR/BENCH_serve_resilience.json" "$BUILD_DIR/BENCH_serve_resilience_cold.json"
+"$BUILD_DIR/mas_bench" --suite=serve_resilience --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/resilience_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/resilience_warm.err"
+cmp "$BUILD_DIR/BENCH_serve_resilience_cold.json" "$BUILD_DIR/BENCH_serve_resilience.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/resilience_warm.err"
+
 # Debug + ASan/UBSan pass over the new public surface (registry, strategies,
-# JSON reader, planner). Builds only the targets it runs to keep the job
-# bounded; the golden planner sweep stays in the Release ctest above.
+# JSON reader, planner, and the serving stack: session, SLO engine, arrival
+# and fault models). Builds only the targets it runs to keep the job bounded;
+# the golden planner sweep stays in the Release ctest above.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DMAS_SANITIZE=ON \
     -DMAS_BUILD_BENCHES=OFF -DMAS_BUILD_EXAMPLES=OFF
 cmake --build "$SAN_DIR" -j "$JOBS" \
-    --target test_registry test_json_reader test_planner
+    --target test_registry test_json_reader test_planner \
+    test_serve test_serve_slo test_arrival test_fault
 "$SAN_DIR/test_registry"
 "$SAN_DIR/test_json_reader"
 "$SAN_DIR/test_planner"
+"$SAN_DIR/test_serve"
+"$SAN_DIR/test_serve_slo"
+"$SAN_DIR/test_arrival"
+"$SAN_DIR/test_fault"
 
-echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + asan OK"
+echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + asan OK"

@@ -26,6 +26,16 @@
 //   $ mas_serve --trace=chat --arrival=poisson:rate=128 --slo-ttft-us=2000
 //   $ mas_serve --arrival=bursty:rate=64,burst=8 --adaptive --coalesce-decode \
 //       --slo-ttft-us=2000 --decode-method=MAS-Attention
+//
+// Fault injection + resilience (serve/fault.h): --fault=kind[:key=value,...]
+// injects seeded device faults (stall | derate | crash), and the policy
+// flags — --deadline-ttft-us / --deadline-total-us / --max-retries /
+// --retry-backoff-ticks / --admission-queue-cap / --shed-late — arm the
+// recovery side. Everything is drawn from seeded streams keyed off the
+// round index, so output is byte-identical across --jobs and reruns:
+//   $ mas_serve --trace=chat --fault=crash:prob=0.05 --max-retries=2
+//   $ mas_serve --arrival=poisson:rate=512 --deadline-ttft-us=8000 \
+//       --shed-late --admission-queue-cap=8 --slo-ttft-us=6000
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -86,6 +96,30 @@ int main(int argc, char** argv) {
       "merge a round's concurrent ready decode steps into one N>1 simulation");
   const std::int64_t* pressure_window = parser.AddInt(
       "pressure-window", 4, "TTFT samples in the --adaptive pressure estimate");
+  const std::string* fault_flag = parser.AddString(
+      "fault", "",
+      "seeded fault injection, kind[:key=value,...] (stall | derate | crash)");
+  const std::int64_t* fault_seed =
+      parser.AddInt("fault-seed", 0, "override the fault stream seed (0 = default)");
+  const double* deadline_ttft_us = parser.AddDouble(
+      "deadline-ttft-us", 0.0,
+      "per-request TTFT deadline in microseconds; defines goodput and powers "
+      "--shed-late (0 = none)");
+  const double* deadline_total_us = parser.AddDouble(
+      "deadline-total-us", 0.0,
+      "per-request total deadline in microseconds; overdue requests are "
+      "timeout-killed (0 = none)");
+  const std::int64_t* max_retries = parser.AddInt(
+      "max-retries", 0, "crash retries per request (a retry re-enters admission "
+      "and recomputes its prefill)");
+  const std::int64_t* retry_backoff_ticks = parser.AddInt(
+      "retry-backoff-ticks", 1, "base retry backoff in ticks, doubling per attempt");
+  const std::int64_t* admission_queue_cap = parser.AddInt(
+      "admission-queue-cap", 0,
+      "waiting-queue bound; arrivals beyond it are shed (0 = unbounded)");
+  const bool* shed_late = parser.AddBool(
+      "shed-late", false,
+      "shed waiting requests whose --deadline-ttft-us budget is already spent");
 
   try {
     if (!parser.Parse(argc, argv)) return 0;
@@ -150,6 +184,26 @@ int main(int argc, char** argv) {
       session_options.pressure.window = static_cast<int>(*pressure_window);
       session_options.pressure.relief_method = "FLAT";
     }
+    const double cycles_per_us = hw.frequency_ghz * 1e3;
+    if (!fault_flag->empty()) {
+      session_options.fault = serve::FaultSpec::Parse(*fault_flag);
+      if (*fault_seed != 0) {
+        session_options.fault_seed = static_cast<std::uint64_t>(*fault_seed);
+      }
+    }
+    MAS_CHECK(*deadline_ttft_us >= 0.0)
+        << "--deadline-ttft-us must be non-negative, got " << *deadline_ttft_us;
+    MAS_CHECK(*deadline_total_us >= 0.0)
+        << "--deadline-total-us must be non-negative, got " << *deadline_total_us;
+    serve::ResiliencePolicy& resilience = session_options.resilience;
+    resilience.ttft_deadline_cycles =
+        static_cast<std::uint64_t>(*deadline_ttft_us * cycles_per_us);
+    resilience.total_deadline_cycles =
+        static_cast<std::uint64_t>(*deadline_total_us * cycles_per_us);
+    resilience.max_retries = *max_retries;
+    resilience.retry_backoff_ticks = *retry_backoff_ticks;
+    resilience.admission_queue_cap = *admission_queue_cap;
+    resilience.shed_late = *shed_late;
     serve::ServeSession session(serve_planner, session_options);
     const serve::ServeResult result = session.Run(trace);
 
@@ -184,6 +238,20 @@ int main(int argc, char** argv) {
       json.KeyValue("cycles_per_tick", *cycles_per_tick);
       json.KeyValue("adaptive", *adaptive);
       json.KeyValue("coalesce_decode", *coalesce_decode);
+      // Resilience configuration echoes only when the layer is in play, so a
+      // plain run's envelope stays byte-identical to the pre-fault schema.
+      if (result.metrics.fault_layer_active) {
+        json.KeyValue("fault", session_options.fault.enabled()
+                                   ? session_options.fault.ToString()
+                                   : std::string());
+        json.KeyValue("fault_seed", session_options.fault_seed);
+        json.KeyValue("deadline_ttft_us", *deadline_ttft_us);
+        json.KeyValue("deadline_total_us", *deadline_total_us);
+        json.KeyValue("max_retries", resilience.max_retries);
+        json.KeyValue("retry_backoff_ticks", resilience.retry_backoff_ticks);
+        json.KeyValue("admission_queue_cap", resilience.admission_queue_cap);
+        json.KeyValue("shed_late", resilience.shed_late);
+      }
       serve::WriteSloJson(json, slo_targets, slo);
       result.WriteJson(json, hw);
       json.EndObject();
