@@ -43,6 +43,7 @@ void SuiteRegistry::EnsureBuiltins() const {
     RegisterAblationSuites();
     RegisterExtensionSuites();
     RegisterServeSuites();
+    RegisterFleetSuites();
   });
 }
 

@@ -156,5 +156,6 @@ void RegisterExtensionSuites();   // cross_attention, seq_sweep, limits_maxseq,
                                   // sd_unet_e2e, training_backward
 void RegisterServeSuites();       // serve_llm_chat, serve_decode_heavy,
                                   // serve_mixed_sd, serve_slo_sweep
+void RegisterFleetSuites();       // serve_fleet
 
 }  // namespace mas::bench

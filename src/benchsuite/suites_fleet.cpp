@@ -1,0 +1,155 @@
+// Fleet-serving suite: device-count x router-policy ladder under Poisson
+// overload (src/fleet/). Every rung shards ONE open-loop trace across the
+// fleet under each router policy, then scores fleet-wide TTFT attainment
+// from the pooled per-request samples.
+//
+// The workload is built so the router is the only lever: prompts are small
+// and near-uniform (every request's bare prefill is far under the SLO), but
+// decode lengths spread 4-64, so a request's true device occupancy — its
+// decode rounds at max_batch 1 — varies by an order of magnitude. The fleet
+// runs just past per-device capacity, where queues form behind the long
+// decodes. Size-blind round_robin keeps feeding a device pinned by a long
+// decode and its waiters eat the p99; least_loaded reads the drained
+// outstanding-token estimate (drain calibrated to the workload's
+// tokens-per-round) and steers arrivals away from the pinned device.
+//
+// All plans resolve through the context's shared Planner, so a persisted
+// plan cache replays the whole ladder with zero search evaluations and
+// byte-identical BENCH_serve_fleet.json.
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "fleet/fleet.h"
+#include "serve/arrival.h"
+#include "serve/slo.h"
+
+namespace mas::bench {
+
+namespace {
+
+class ServeFleetSuite final : public BenchSuite {
+ public:
+  explicit ServeFleetSuite(SuiteInfo info) : info_(std::move(info)) {}
+
+  const SuiteInfo& info() const override { return info_; }
+
+  void Run(SuiteContext& ctx, JsonWriter& json) const override {
+    std::ostream& out = ctx.out();
+    const sim::HardwareConfig& hw = ctx.edge_hw();
+    const double to_us = 1.0 / (hw.frequency_ghz * 1e3);
+
+    const std::vector<int> device_rungs = {2, 4, 8};
+    const std::vector<std::string> routers = {"round_robin", "least_loaded", "p2c",
+                                              "session_affinity"};
+
+    serve::SloTargets slo;
+    slo.ttft_us = kTtftTargetUs;
+
+    out << "=== Fleet serving ladder (devices x router, Poisson overload) ===\n";
+    out << hw.Describe() << "\n";
+    out << "Model: " << Llama3Geometry().name << ", " << kRequestsPerDevice
+        << " requests/device at " << kRatePerDeviceS << " req/s/device, prompts "
+        << kPromptMin << "-" << kPromptMax << ", decode " << kDecodeMin << "-" << kDecodeMax
+        << ", " << kTenants << " tenants, max batch " << kMaxBatch << ", SLO: TTFT <= "
+        << kTtftTargetUs << " us\n\n";
+    out << "devices  router            ttft_ok  attainment  p99_ttft_us  imbalance\n";
+
+    json.KeyValue("ttft_target_us", kTtftTargetUs);
+    json.KeyValue("rate_per_device_s", kRatePerDeviceS);
+    json.KeyValue("requests_per_device", static_cast<std::int64_t>(kRequestsPerDevice));
+    json.BeginArray("rungs");
+    for (const int devices : device_rungs) {
+      // One trace per rung, shared by every router — the ladder compares
+      // dispatch policies, not workloads. Offered load scales with the
+      // fleet so every rung sits in the same per-device overload regime.
+      serve::ArrivalCalibration calibration;
+      calibration.frequency_ghz = hw.frequency_ghz;
+      const serve::ArrivalSpec arrival = serve::ArrivalSpec::Parse("poisson").With(
+          "rate", kRatePerDeviceS * static_cast<double>(devices));
+      const std::unique_ptr<serve::ArrivalModel> model =
+          serve::ArrivalModelRegistry::Instance().Create(arrival, calibration);
+      serve::SyntheticTraceSpec shape;
+      shape.name = "fleet_overload";
+      shape.requests = static_cast<std::int64_t>(kRequestsPerDevice) * devices;
+      shape.seed = 0xF1EE7;
+      shape.prompt_min = kPromptMin;
+      shape.prompt_max = kPromptMax;
+      shape.decode_min = kDecodeMin;
+      shape.decode_max = kDecodeMax;
+      shape.tenants = kTenants;
+      const serve::RequestTrace trace = serve::RequestTrace::FromArrivalModel(*model, shape);
+
+      for (const std::string& router : routers) {
+        fleet::FleetOptions options;
+        options.devices = devices;
+        options.jobs = ctx.jobs();
+        options.router = fleet::RouterSpec::Parse(router);
+        options.session.max_batch = kMaxBatch;
+        options.drain_tokens_per_tick = kDrainTokensPerTick;
+        fleet::FleetRouter fleet_router(ctx.planner(), options);
+        const fleet::FleetResult result = fleet_router.Run(trace);
+        const serve::SloReport report = fleet::EvaluateFleetSlo(result, slo);
+
+        const double p99_us = result.metrics.p99_ttft_cycles * to_us;
+        char line[160];
+        std::snprintf(line, sizeof(line), "%-8d %-17s %lld/%-4lld %-11s %-12s %s\n", devices,
+                      router.c_str(), static_cast<long long>(report.ttft_ok),
+                      static_cast<long long>(report.requests),
+                      FormatFixed(report.TtftAttainment(), 3).c_str(),
+                      FormatFixed(p99_us, 1).c_str(),
+                      FormatFixed(result.metrics.imbalance, 3).c_str());
+        out << line;
+
+        json.BeginObject();
+        json.KeyValue("devices", static_cast<std::int64_t>(devices));
+        json.KeyValue("router", router);
+        json.KeyValue("rate_per_s", kRatePerDeviceS * static_cast<double>(devices));
+        json.KeyValue("requests", report.requests);
+        json.KeyValue("ttft_ok", report.ttft_ok);
+        json.KeyValue("ttft_attainment", report.TtftAttainment());
+        json.KeyValue("mean_ttft_us", result.metrics.mean_ttft_cycles * to_us);
+        json.KeyValue("p99_ttft_us", p99_us);
+        json.KeyValue("makespan_ms", result.metrics.makespan_ms);
+        json.KeyValue("tokens_per_second", result.metrics.tokens_per_second);
+        json.KeyValue("imbalance", result.metrics.imbalance);
+        json.EndObject();
+      }
+      out << "\n";
+    }
+    json.EndArray();
+    out << "Size-blind round_robin keeps feeding devices pinned by long decodes and\n"
+           "pays for it in p99 TTFT; least_loaded reads the drained outstanding-token\n"
+           "estimate and steers arrivals away from the deep queues.\n\n";
+  }
+
+ private:
+  static constexpr double kTtftTargetUs = 6000.0;
+  static constexpr double kRatePerDeviceS = 112.0;
+  static constexpr int kRequestsPerDevice = 16;
+  static constexpr int kMaxBatch = 1;
+  static constexpr std::int64_t kPromptMin = 64;
+  static constexpr std::int64_t kPromptMax = 96;
+  static constexpr std::int64_t kDecodeMin = 4;
+  static constexpr std::int64_t kDecodeMax = 64;
+  static constexpr std::int64_t kTenants = 4;
+  static constexpr std::int64_t kDrainTokensPerTick = 3;
+
+  SuiteInfo info_;
+};
+
+}  // namespace
+
+void RegisterFleetSuites() {
+  SuiteRegistry& registry = SuiteRegistry::Instance();
+  registry.Register(std::make_unique<ServeFleetSuite>(
+      SuiteInfo{"serve_fleet", "fleet serving",
+                "device-count x router-policy ladder under Poisson overload: fleet-wide "
+                "TTFT attainment from pooled samples"}));
+}
+
+}  // namespace mas::bench

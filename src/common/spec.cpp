@@ -1,0 +1,96 @@
+#include "common/spec.h"
+
+#include <set>
+
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/status.h"
+
+namespace mas {
+
+ParsedSpec ParseSpec(const std::string& text, const std::string& flag,
+                     const std::string& head_noun) {
+  MAS_CHECK(!text.empty()) << "empty " << flag << " spec (grammar: kind[:key=value,...])";
+  ParsedSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.head = text.substr(0, colon);
+  MAS_CHECK(!spec.head.empty()) << flag << " spec '" << text << "' has no " << head_noun;
+  if (colon == std::string::npos) return spec;
+
+  std::set<std::string> seen;
+  std::size_t pos = colon + 1;
+  MAS_CHECK(pos < text.size()) << flag << " spec '" << text << "' has an empty param list";
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = item.find('=');
+    MAS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size())
+        << flag << " param '" << item << "' is not key=value (spec '" << text << "')";
+    const std::string key = item.substr(0, eq);
+    MAS_CHECK(seen.insert(key).second)
+        << flag << " spec '" << text << "' repeats param '" << key << "'";
+    spec.params.emplace_back(
+        key, cli::ParseFiniteDouble(item.substr(eq + 1), flag + " param '" + key + "'"));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::string SpecToString(const std::string& head, const SpecParams& params) {
+  std::string out = head;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += params[i].first;
+    out += '=';
+    AppendJsonDouble(out, params[i].second);
+  }
+  return out;
+}
+
+bool SpecHas(const SpecParams& params, const std::string& key) {
+  for (const auto& [k, v] : params) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double SpecParam(const SpecParams& params, const std::string& key, double fallback) {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+SpecParams SpecWith(const SpecParams& params, const std::string& key, double value) {
+  SpecParams out = params;
+  for (auto& [k, v] : out) {
+    if (k == key) {
+      v = value;
+      return out;
+    }
+  }
+  out.emplace_back(key, value);
+  return out;
+}
+
+void CheckSpecKeys(const std::string& what, const SpecParams& params,
+                   std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : params) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known) {
+      std::string list;
+      for (const char* a : allowed) {
+        if (!list.empty()) list += ", ";
+        list += a;
+      }
+      MAS_FAIL() << what << " does not take param '" << key << "' (params: " << list << ")";
+    }
+  }
+}
+
+}  // namespace mas

@@ -1,0 +1,55 @@
+// The shared `kind[:key=value[,key=value...]]` spec grammar behind the
+// `--arrival`, `--fault`, and `--router` flags.
+//
+// Each flag wraps the parsed form in its own typed spec struct (ArrivalSpec,
+// FaultSpec, RouterSpec) so call sites keep domain vocabulary, but the
+// grammar itself — head token, comma-separated key=value params, finite
+// double values, no repeated keys — lives here exactly once. Parse errors
+// carry the flag name and the offending spec text; key *semantics* (which
+// params a kind accepts, value ranges) stay with the registry factories,
+// which use CheckSpecKeys for the common unknown-key rejection.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mas {
+
+// Ordered key=value params exactly as they appeared in the grammar.
+using SpecParams = std::vector<std::pair<std::string, double>>;
+
+// One parsed spec: "head" or "head:key=value[,key=value...]".
+struct ParsedSpec {
+  std::string head;
+  SpecParams params;
+};
+
+// Parses `text` against the grammar. `flag` names the CLI flag for error
+// text (e.g. "--arrival"); `head_noun` names the head's role (e.g.
+// "model name", "fault kind"). Throws mas::Error on empty text, a missing
+// head, an empty or malformed param list, repeated keys, or non-finite
+// values.
+ParsedSpec ParseSpec(const std::string& text, const std::string& flag,
+                     const std::string& head_noun);
+
+// Canonical "head:k=v,..." round-trip (shortest-round-trip doubles, the
+// same formatting JSON output uses).
+std::string SpecToString(const std::string& head, const SpecParams& params);
+
+// Linear param lookup — spec param lists are tiny.
+bool SpecHas(const SpecParams& params, const std::string& key);
+double SpecParam(const SpecParams& params, const std::string& key, double fallback);
+
+// Copy of `params` with `key` set to `value` (replacing in place when
+// present, appending otherwise).
+SpecParams SpecWith(const SpecParams& params, const std::string& key, double value);
+
+// Rejects keys outside `allowed` so a typoed `poisson:rte=64` fails instead
+// of silently running at the default. `what` names the owner for the error,
+// e.g. "arrival model 'poisson'".
+void CheckSpecKeys(const std::string& what, const SpecParams& params,
+                   std::initializer_list<const char*> allowed);
+
+}  // namespace mas

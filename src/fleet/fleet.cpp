@@ -1,0 +1,399 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/json_writer.h"
+#include "common/status.h"
+#include "runner/thread_pool.h"
+
+namespace mas::fleet {
+
+namespace {
+
+// The router's (and the tenant scheduler's) size estimate for one request:
+// its prefill tokens plus every token it will generate.
+std::int64_t RequestTokens(const serve::ServeRequest& r) {
+  return r.prompt_len + r.decode_len + 1;
+}
+
+// SplitMix64 finalizer folding `salt` into `seed` — decorrelates per-device
+// fault streams derived from one --fault-seed value.
+std::uint64_t SaltSeed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = salt + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return seed ^ z;
+}
+
+// Dispatch order: the trace's admission order, permuted WITHIN each arrival
+// tick by the tenant policy. Ticks never interleave — a tenant policy
+// cannot admit a request before it arrives.
+std::vector<std::size_t> DispatchOrder(const serve::RequestTrace& trace,
+                                       const TenantPolicySpec& policy) {
+  const std::size_t n = trace.requests.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (!policy.enabled()) return order;
+
+  // Weighted-fair state persists across tick groups: tokens charged to each
+  // tenant so far, scaled by its weight into a virtual finish time.
+  std::map<std::string, double> charged;
+
+  std::size_t group_start = 0;
+  while (group_start < n) {
+    std::size_t group_end = group_start + 1;
+    while (group_end < n && trace.requests[order[group_end]].arrival_tick ==
+                                trace.requests[order[group_start]].arrival_tick) {
+      ++group_end;
+    }
+    if (policy.kind == "priority") {
+      // Higher level first; ids (unique) break ties, so the sort is total
+      // and stability is irrelevant.
+      std::sort(order.begin() + static_cast<std::ptrdiff_t>(group_start),
+                order.begin() + static_cast<std::ptrdiff_t>(group_end),
+                [&](std::size_t a, std::size_t b) {
+                  const serve::ServeRequest& ra = trace.requests[a];
+                  const serve::ServeRequest& rb = trace.requests[b];
+                  const double la = SpecParam(policy.params, ra.tenant, 0.0);
+                  const double lb = SpecParam(policy.params, rb.tenant, 0.0);
+                  if (la != lb) return la > lb;
+                  return ra.id < rb.id;
+                });
+    } else {  // weighted
+      // WFQ over the tick group: per-tenant FIFO queues; repeatedly dispatch
+      // the head whose virtual finish time (charged + tokens) / weight is
+      // smallest, ties to the lexicographically smaller tenant.
+      std::map<std::string, std::vector<std::size_t>> queues;
+      for (std::size_t k = group_start; k < group_end; ++k) {
+        queues[trace.requests[order[k]].tenant].push_back(order[k]);
+      }
+      std::map<std::string, std::size_t> next;
+      for (std::size_t k = group_start; k < group_end; ++k) {
+        const std::string* best_tenant = nullptr;
+        double best_finish = 0.0;
+        for (const auto& [tenant, queue] : queues) {
+          const std::size_t at = next[tenant];
+          if (at >= queue.size()) continue;
+          const double weight = SpecParam(policy.params, tenant, 1.0);
+          const double finish =
+              (charged[tenant] + static_cast<double>(RequestTokens(
+                                     trace.requests[queue[at]]))) /
+              weight;
+          if (best_tenant == nullptr || finish < best_finish) {
+            best_tenant = &tenant;
+            best_finish = finish;
+          }
+        }
+        const std::size_t picked = queues[*best_tenant][next[*best_tenant]];
+        ++next[*best_tenant];
+        charged[*best_tenant] +=
+            static_cast<double>(RequestTokens(trace.requests[picked]));
+        order[k] = picked;
+      }
+    }
+    group_start = group_end;
+  }
+  return order;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- tenant spec
+
+TenantPolicySpec TenantPolicySpec::Parse(const std::string& text) {
+  TenantPolicySpec spec;
+  if (text.empty()) return spec;  // no tenant policy
+  ParsedSpec parsed = ParseSpec(text, "--tenants", "policy kind");
+  spec.kind = std::move(parsed.head);
+  spec.params = std::move(parsed.params);
+  spec.Validate();
+  return spec;
+}
+
+std::string TenantPolicySpec::ToString() const { return SpecToString(kind, params); }
+
+void TenantPolicySpec::Validate() const {
+  if (!enabled()) return;
+  MAS_CHECK(kind == "weighted" || kind == "priority")
+      << "unknown tenant policy '" << kind << "'; options: 'weighted', 'priority'";
+  if (kind == "weighted") {
+    for (const auto& [tenant, weight] : params) {
+      MAS_CHECK(std::isfinite(weight) && weight > 0.0)
+          << "tenant policy weight for '" << tenant << "' must be positive, got " << weight;
+    }
+  }
+}
+
+// ------------------------------------------------------------- fleet router
+
+FleetRouter::FleetRouter(Planner& planner, FleetOptions options)
+    : planner_(planner), options_(std::move(options)) {
+  MAS_CHECK(options_.devices >= 1)
+      << "fleet needs at least one device, got " << options_.devices;
+  MAS_CHECK(options_.jobs >= 0) << "fleet jobs must be non-negative, got " << options_.jobs;
+  MAS_CHECK(options_.drain_tokens_per_tick >= 0)
+      << "drain_tokens_per_tick must be non-negative, got " << options_.drain_tokens_per_tick;
+  MAS_CHECK(options_.device_hw.empty() ||
+            options_.device_hw.size() == static_cast<std::size_t>(options_.devices))
+      << "device_hw must be empty or list exactly " << options_.devices << " devices, got "
+      << options_.device_hw.size();
+  options_.tenants.Validate();
+  // Validate the router spec eagerly — a typo should fail at construction,
+  // not after the trace is half-dispatched. (Policies may be stateful, so
+  // Run() creates a fresh one per call.)
+  (void)RouterPolicyRegistry::Instance().Create(options_.router);
+}
+
+FleetResult FleetRouter::Run(const serve::RequestTrace& trace) {
+  trace.Validate();
+  const int devices = options_.devices;
+
+  FleetResult result;
+  result.trace_name = trace.name;
+  result.router = options_.router;
+  result.router_seed = options_.router_seed;
+  result.drain_tokens_per_tick = options_.drain_tokens_per_tick;
+  result.tenants = options_.tenants;
+
+  // Stage 1: admission order (tenant policy applied within ticks).
+  const std::vector<std::size_t> order = DispatchOrder(trace, options_.tenants);
+
+  // Stage 2: serial routing walk. Sub-traces renumber ids densely in
+  // dispatch order so each device's FIFO matches the router's order; the
+  // original ids come back in stage 3.
+  std::unique_ptr<RouterPolicy> policy = RouterPolicyRegistry::Instance().Create(options_.router);
+  std::vector<std::int64_t> outstanding(static_cast<std::size_t>(devices), 0);
+  std::vector<std::int64_t> routed_tokens(static_cast<std::size_t>(devices), 0);
+  std::vector<serve::RequestTrace> sub(static_cast<std::size_t>(devices));
+  std::vector<std::vector<std::int64_t>> original_ids(static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) sub[static_cast<std::size_t>(d)].name = trace.name;
+  result.assignments.reserve(trace.requests.size());
+  std::int64_t drain_tick = 0;  // last arrival tick the estimates were drained to
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const serve::ServeRequest& r = trace.requests[order[k]];
+    // Devices retire work while the fleet waits for this arrival: decay every
+    // outstanding estimate by the elapsed ticks so the load-aware policies
+    // see instantaneous queue depth, not lifetime totals. Dispatch order is
+    // non-decreasing in arrival_tick (the tenant policy only reorders within
+    // a tick group), so the elapsed time is never negative.
+    if (options_.drain_tokens_per_tick > 0 && r.arrival_tick > drain_tick) {
+      const std::int64_t drained =
+          (r.arrival_tick - drain_tick) * options_.drain_tokens_per_tick;
+      for (std::int64_t& o : outstanding) o = std::max<std::int64_t>(0, o - drained);
+      drain_tick = r.arrival_tick;
+    }
+    RouteContext ctx;
+    ctx.index = static_cast<std::int64_t>(k);
+    ctx.request = &r;
+    ctx.devices = devices;
+    ctx.outstanding_tokens = &outstanding;
+    Rng rng = RouterDispatchRng(options_.router_seed, ctx.index);
+    const int device = policy->Route(ctx, rng);
+    MAS_CHECK(device >= 0 && device < devices)
+        << "router policy '" << options_.router.policy << "' returned device " << device
+        << " for a fleet of " << devices;
+    const std::size_t ds = static_cast<std::size_t>(device);
+    outstanding[ds] += RequestTokens(r);
+    routed_tokens[ds] += RequestTokens(r);
+    serve::ServeRequest routed = r;
+    routed.id = static_cast<std::int64_t>(sub[ds].requests.size());
+    sub[ds].requests.push_back(routed);
+    original_ids[ds].push_back(r.id);
+    result.assignments.push_back(RouteAssignment{r.id, r.tenant, device});
+  }
+
+  // Stage 3: run every device. The Planner is shared (Plan() is
+  // mutex-guarded and deterministic per key); each device gets its own
+  // ServePlanner memo — its plan namespace — and a single-threaded session,
+  // so the fan-out is free of cross-device nondeterminism.
+  result.devices.resize(static_cast<std::size_t>(devices));
+  runner::ParallelForWorkers(
+      static_cast<std::size_t>(devices), options_.jobs, [&](std::size_t, std::size_t d) {
+        DeviceReport& report = result.devices[d];
+        report.device = static_cast<int>(d);
+        report.hw = options_.device_hw.empty() ? sim::EdgeSimConfig()
+                                               : options_.device_hw[d];
+        report.routed_requests = static_cast<std::int64_t>(sub[d].requests.size());
+        report.routed_tokens = routed_tokens[d];
+        if (sub[d].requests.empty()) {
+          // An idle device still reports: zeroed metrics, no requests.
+          report.result.trace_name = trace.name;
+          return;
+        }
+        serve::ServePlanner device_planner(planner_, report.hw, options_.geometry,
+                                           options_.planner);
+        serve::ServeSessionOptions session_options = options_.session;
+        session_options.jobs = 1;
+        session_options.fault_seed =
+            SaltSeed(options_.session.fault_seed, static_cast<std::uint64_t>(d));
+        serve::ServeSession session(device_planner, session_options);
+        report.result = session.Run(sub[d]);
+        // Restore the trace's own ids for reporting (rows stay in the
+        // device's dispatch order).
+        for (std::size_t i = 0; i < report.result.requests.size(); ++i) {
+          report.result.requests[i].id = original_ids[d][i];
+        }
+      });
+
+  // Merge in device order — every reduction below is order-fixed, so the
+  // aggregate is identical however the devices were scheduled above.
+  FleetMetrics& agg = result.metrics;
+  agg.devices = devices;
+  std::vector<double> ttft_samples;
+  std::vector<double> tpot_samples;
+  std::map<std::string, TenantReport> tenants;
+  std::map<std::string, std::vector<double>> tenant_ttft;
+  std::int64_t max_tokens = 0;
+  for (const DeviceReport& device : result.devices) {
+    const serve::ServeMetrics& m = device.result.metrics;
+    agg.requests += m.requests;
+    agg.prompt_tokens += m.prompt_tokens;
+    agg.decode_tokens += m.decode_tokens;
+    agg.generated_tokens += m.generated_tokens;
+    agg.makespan_cycles = std::max(agg.makespan_cycles, m.makespan_cycles);
+    agg.makespan_ms = std::max(agg.makespan_ms, m.MakespanMs(device.hw.frequency_ghz));
+    max_tokens = std::max(max_tokens, device.routed_tokens);
+    for (const serve::RequestMetrics& r : device.result.requests) {
+      TenantReport& tenant = tenants[r.tenant];
+      tenant.tenant = r.tenant;
+      ++tenant.requests;
+      tenant.prompt_tokens += r.prompt_len;
+      tenant.decode_tokens += r.decode_len;
+      if (r.outcome != serve::RequestOutcome::kCompleted) continue;
+      ++agg.completed;
+      ++tenant.completed;
+      const double ttft = static_cast<double>(r.TtftCycles());
+      ttft_samples.push_back(ttft);
+      tenant_ttft[r.tenant].push_back(ttft);
+      if (r.decode_len > 0) tpot_samples.push_back(r.TpotCycles());
+    }
+  }
+  if (!ttft_samples.empty()) {
+    double sum = 0.0;
+    for (const double v : ttft_samples) sum += v;
+    agg.mean_ttft_cycles = sum / static_cast<double>(ttft_samples.size());
+    agg.p50_ttft_cycles = serve::NearestRankPercentile(ttft_samples, 50.0);
+    agg.p95_ttft_cycles = serve::NearestRankPercentile(ttft_samples, 95.0);
+    agg.p99_ttft_cycles = serve::NearestRankPercentile(ttft_samples, 99.0);
+  }
+  if (!tpot_samples.empty()) {
+    double sum = 0.0;
+    for (const double v : tpot_samples) sum += v;
+    agg.mean_tpot_cycles = sum / static_cast<double>(tpot_samples.size());
+    agg.p50_tpot_cycles = serve::NearestRankPercentile(tpot_samples, 50.0);
+    agg.p95_tpot_cycles = serve::NearestRankPercentile(tpot_samples, 95.0);
+    agg.p99_tpot_cycles = serve::NearestRankPercentile(tpot_samples, 99.0);
+  }
+  if (agg.makespan_ms > 0.0) {
+    agg.tokens_per_second =
+        static_cast<double>(agg.generated_tokens) * 1000.0 / agg.makespan_ms;
+  }
+  std::int64_t total_tokens = 0;
+  for (const std::int64_t t : routed_tokens) total_tokens += t;
+  if (total_tokens > 0) {
+    const double mean_tokens = static_cast<double>(total_tokens) / devices;
+    agg.imbalance = static_cast<double>(max_tokens) / mean_tokens;
+  }
+  for (auto& [name, tenant] : tenants) {
+    const std::vector<double>& samples = tenant_ttft[name];
+    if (!samples.empty()) {
+      double sum = 0.0;
+      for (const double v : samples) sum += v;
+      tenant.mean_ttft_cycles = sum / static_cast<double>(samples.size());
+      tenant.p99_ttft_cycles = serve::NearestRankPercentile(samples, 99.0);
+    }
+    result.tenant_reports.push_back(tenant);  // std::map iterates name-sorted
+  }
+  return result;
+}
+
+// --------------------------------------------------------------------- json
+
+void FleetResult::WriteJson(JsonWriter& json) const {
+  // Fleet schema version 1 — independent of the per-device serve schema,
+  // whose version appears inside each device's "result" block.
+  json.KeyValue("schema_version", std::int64_t{1});
+  json.KeyValue("trace", trace_name);
+  json.KeyValue("router", router.ToString());
+  json.KeyValue("router_seed", router_seed);
+  json.KeyValue("drain_tokens_per_tick", drain_tokens_per_tick);
+  if (tenants.enabled()) json.KeyValue("tenant_policy", tenants.ToString());
+  json.BeginArray("assignments");
+  for (const RouteAssignment& a : assignments) {
+    json.BeginObject();
+    json.KeyValue("id", a.id);
+    if (!a.tenant.empty()) json.KeyValue("tenant", a.tenant);
+    json.KeyValue("device", static_cast<std::int64_t>(a.device));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("device_reports");
+  for (const DeviceReport& d : devices) {
+    json.BeginObject();
+    json.KeyValue("device", static_cast<std::int64_t>(d.device));
+    json.KeyValue("hardware", d.hw.name);
+    json.KeyValue("routed_requests", d.routed_requests);
+    json.KeyValue("routed_tokens", d.routed_tokens);
+    json.BeginObject("result");
+    d.result.WriteJson(json, d.hw);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("tenants");
+  for (const TenantReport& t : tenant_reports) {
+    json.BeginObject();
+    json.KeyValue("tenant", t.tenant);
+    json.KeyValue("requests", t.requests);
+    json.KeyValue("completed", t.completed);
+    json.KeyValue("prompt_tokens", t.prompt_tokens);
+    json.KeyValue("decode_tokens", t.decode_tokens);
+    json.KeyValue("mean_ttft_cycles", t.mean_ttft_cycles);
+    json.KeyValue("p99_ttft_cycles", t.p99_ttft_cycles);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginObject("aggregate");
+  json.KeyValue("devices", metrics.devices);
+  json.KeyValue("requests", metrics.requests);
+  json.KeyValue("completed", metrics.completed);
+  json.KeyValue("prompt_tokens", metrics.prompt_tokens);
+  json.KeyValue("decode_tokens", metrics.decode_tokens);
+  json.KeyValue("generated_tokens", metrics.generated_tokens);
+  json.KeyValue("makespan_cycles", metrics.makespan_cycles);
+  json.KeyValue("makespan_ms", metrics.makespan_ms);
+  json.KeyValue("tokens_per_second", metrics.tokens_per_second);
+  json.KeyValue("mean_ttft_cycles", metrics.mean_ttft_cycles);
+  json.KeyValue("p50_ttft_cycles", metrics.p50_ttft_cycles);
+  json.KeyValue("p95_ttft_cycles", metrics.p95_ttft_cycles);
+  json.KeyValue("p99_ttft_cycles", metrics.p99_ttft_cycles);
+  json.KeyValue("mean_tpot_cycles", metrics.mean_tpot_cycles);
+  json.KeyValue("p50_tpot_cycles", metrics.p50_tpot_cycles);
+  json.KeyValue("p95_tpot_cycles", metrics.p95_tpot_cycles);
+  json.KeyValue("p99_tpot_cycles", metrics.p99_tpot_cycles);
+  json.KeyValue("imbalance", metrics.imbalance);
+  json.EndObject();
+}
+
+// ---------------------------------------------------------------------- slo
+
+serve::SloReport EvaluateFleetSlo(const FleetResult& result,
+                                  const serve::SloTargets& targets) {
+  serve::SloReport fleet;
+  for (const DeviceReport& device : result.devices) {
+    const serve::SloReport r = serve::EvaluateSlo(device.result, device.hw, targets);
+    fleet.requests += r.requests;
+    fleet.decode_requests += r.decode_requests;
+    fleet.ttft_ok += r.ttft_ok;
+    fleet.tpot_ok += r.tpot_ok;
+    fleet.joint_ok += r.joint_ok;
+    fleet.goodput_tokens += r.goodput_tokens;
+    fleet.extended = fleet.extended || r.extended;
+  }
+  return fleet;
+}
+
+}  // namespace mas::fleet

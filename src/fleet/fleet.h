@@ -1,0 +1,190 @@
+// fleet::FleetRouter — multi-tenant sharded serving across N simulated
+// devices.
+//
+// One ServeSession is the repo's single-device ceiling; the fleet layer is
+// the step toward the ROADMAP's "millions of users": a router dispatches a
+// RequestTrace across a fleet of independent devices — each with its own
+// session clock, its own ServePlanner plan namespace, and an optional
+// per-device HardwareConfig — then merges the per-device ServeMetrics into
+// fleet-wide aggregates.
+//
+// The run has three deterministic stages:
+//   1. Admission ordering — the trace's (arrival_tick, id) order, optionally
+//      reordered *within* each arrival tick by a tenant policy (weighted-
+//      fair queuing over the tenants' token shares, or strict priority).
+//   2. Routing — a serial walk over the dispatch order asking the
+//      RouterPolicy (router.h) for a device per request. Per-device
+//      sub-traces renumber ids densely in dispatch order (so admission FIFO
+//      inside a device matches the router's order), keeping the original id
+//      for reporting.
+//   3. Execution — devices fan out across runner::ParallelForWorkers; each
+//      device runs its own single-threaded ServeSession against a shared
+//      mas::Planner (whose Plan() is mutex-guarded and deterministic per
+//      key), so the merged FleetResult — and its JSON — is byte-identical
+//      for any --jobs value, and a warm plan cache replays the whole fleet
+//      with zero search evaluations.
+//
+// Fleet-wide p50/p95/p99 TTFT/TPOT are exact nearest-rank percentiles
+// recomputed from the POOLED completed-request samples (merged in device
+// order), never averages of per-device percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/router.h"
+#include "serve/session.h"
+#include "serve/slo.h"
+
+namespace mas {
+class JsonWriter;
+}
+
+namespace mas::fleet {
+
+// Parsed `--tenants` grammar (shared spec grammar; tenant names are the
+// keys): an admission-ordering policy applied within each arrival tick.
+//   weighted:alice=2,bob=1 — weighted-fair queuing on the outstanding-token
+//                            shares; unlisted tenants weigh 1
+//   priority:alice=1       — higher level dispatches first; unlisted
+//                            tenants are level 0
+// A default-constructed spec (empty kind) keeps the trace's own order.
+struct TenantPolicySpec {
+  std::string kind;   // "weighted", "priority", or empty = FIFO passthrough
+  SpecParams params;  // tenant=weight / tenant=level, grammar order
+
+  static TenantPolicySpec Parse(const std::string& text);
+  std::string ToString() const;
+
+  bool enabled() const { return !kind.empty(); }
+  // Throws on an unknown kind or, for "weighted", a non-positive weight.
+  void Validate() const;
+};
+
+struct FleetOptions {
+  int devices = 2;
+  // Worker threads running device sessions (0 = hardware concurrency).
+  // Results are byte-identical for any value; each device's own session
+  // always runs single-threaded (session.jobs is ignored).
+  int jobs = 1;
+  RouterSpec router;  // default round_robin
+  std::uint64_t router_seed = 0xF1EE7D15BA7C4E5Dull;
+  // Tokens each device is assumed to retire per elapsed arrival tick in the
+  // routing pre-pass. The outstanding-token estimate the load-aware policies
+  // read drains at this rate between dispatches, so it tracks instantaneous
+  // queue depth instead of lifetime totals (which would let a burst pile
+  // onto the device with the smallest historical share). 0 disables the
+  // drain and falls back to cumulative totals.
+  std::int64_t drain_tokens_per_tick = 32;
+  TenantPolicySpec tenants;
+  AttentionGeometry geometry = Llama3Geometry();
+  serve::ServePlannerOptions planner;
+  // Per-device session template. fault_seed is salted with the device index
+  // so devices draw independent fault streams from one flag value.
+  serve::ServeSessionOptions session;
+  // Optional per-device hardware: empty = every device runs EdgeSimConfig();
+  // otherwise exactly `devices` entries, in device order.
+  std::vector<sim::HardwareConfig> device_hw;
+};
+
+// One routed request, in dispatch order (admission order after the tenant
+// policy). `device` is where it ran; `id`/`tenant` are the original trace
+// fields.
+struct RouteAssignment {
+  std::int64_t id = 0;
+  std::string tenant;
+  int device = 0;
+};
+
+// One device's share of the run. `result` holds the full per-request
+// metrics with ids restored to the ORIGINAL trace ids.
+struct DeviceReport {
+  int device = 0;
+  sim::HardwareConfig hw;
+  std::int64_t routed_requests = 0;
+  std::int64_t routed_tokens = 0;  // total tokens (prompt + decode + 1) routed here
+  serve::ServeResult result;
+};
+
+// Per-tenant rollup over the whole fleet (latency stats over the tenant's
+// completed requests, pooled across devices).
+struct TenantReport {
+  std::string tenant;  // empty = the untenanted bucket
+  std::int64_t requests = 0;
+  std::int64_t completed = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t decode_tokens = 0;
+  double mean_ttft_cycles = 0.0;
+  double p99_ttft_cycles = 0.0;
+};
+
+// Fleet-wide aggregate, merged in device order.
+struct FleetMetrics {
+  std::int64_t devices = 0;
+  std::int64_t requests = 0;
+  std::int64_t completed = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t decode_tokens = 0;
+  std::int64_t generated_tokens = 0;
+  std::uint64_t makespan_cycles = 0;  // max over devices (clocks are per-device)
+  double makespan_ms = 0.0;           // max over devices on each device's own clock
+  double tokens_per_second = 0.0;     // generated tokens / fleet makespan seconds
+
+  // Exact nearest-rank percentiles over the POOLED completed-request
+  // samples (TPOT over completed decode requests).
+  double mean_ttft_cycles = 0.0;
+  double p50_ttft_cycles = 0.0;
+  double p95_ttft_cycles = 0.0;
+  double p99_ttft_cycles = 0.0;
+  double mean_tpot_cycles = 0.0;
+  double p50_tpot_cycles = 0.0;
+  double p95_tpot_cycles = 0.0;
+  double p99_tpot_cycles = 0.0;
+
+  // Load balance: max over devices of routed tokens divided by the mean
+  // (1.0 = perfectly even; 0 routed tokens reports 1.0).
+  double imbalance = 1.0;
+};
+
+struct FleetResult {
+  std::string trace_name;
+  RouterSpec router;
+  std::uint64_t router_seed = 0;
+  std::int64_t drain_tokens_per_tick = 0;  // echoed from FleetOptions
+  TenantPolicySpec tenants;
+  std::vector<RouteAssignment> assignments;  // dispatch order
+  std::vector<DeviceReport> devices;         // device order
+  std::vector<TenantReport> tenant_reports;  // sorted by tenant name
+  FleetMetrics metrics;
+
+  // Deterministic machine-readable form (no wall clocks or thread counts —
+  // byte-identical for any jobs value): config keys, the assignment list,
+  // per-device blocks (each embedding its ServeResult JSON), per-tenant
+  // rollups, and the fleet aggregate. Emits into an already-open object.
+  void WriteJson(JsonWriter& json) const;
+};
+
+class FleetRouter {
+ public:
+  // `planner` carries the shared plan store (load a plan cache into it to
+  // warm-start every device) and must outlive this object. Throws on
+  // invalid options (device count < 1, unknown router policy or tenant
+  // kind, device_hw size mismatch).
+  FleetRouter(Planner& planner, FleetOptions options);
+
+  // Dispatches the trace and runs every device to completion.
+  FleetResult Run(const serve::RequestTrace& trace);
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  Planner& planner_;
+  FleetOptions options_;
+};
+
+// Scores every device's result against `targets` on that device's own
+// clock and sums the attainment counts — the fleet-wide SLO report.
+serve::SloReport EvaluateFleetSlo(const FleetResult& result, const serve::SloTargets& targets);
+
+}  // namespace mas::fleet

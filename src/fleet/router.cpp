@@ -1,0 +1,289 @@
+#include "fleet/router.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace mas::fleet {
+
+namespace {
+
+void CheckKeys(const RouterSpec& spec, std::initializer_list<const char*> allowed) {
+  CheckSpecKeys("router policy '" + spec.policy + "'", spec.params, allowed);
+}
+
+// Integer-valued param: rejects fractions so `salt=0.5` fails loudly
+// instead of truncating.
+std::int64_t CheckInteger(const RouterSpec& spec, const char* key, std::int64_t fallback) {
+  const double v = spec.Param(key, static_cast<double>(fallback));
+  MAS_CHECK(std::isfinite(v) && v == std::floor(v) && v >= -9.2e18 && v <= 9.2e18)
+      << "router policy '" << spec.policy << "' " << key << " must be an integer, got " << v;
+  return static_cast<std::int64_t>(v);
+}
+
+// Shared tie-break: the least-loaded device, lowest index first.
+int LeastLoadedDevice(const std::vector<std::int64_t>& outstanding) {
+  int best = 0;
+  for (int d = 1; d < static_cast<int>(outstanding.size()); ++d) {
+    if (outstanding[static_cast<std::size_t>(d)] < outstanding[static_cast<std::size_t>(best)]) {
+      best = d;
+    }
+  }
+  return best;
+}
+
+// -------------------------------------------------------------- round_robin
+
+class RoundRobinPolicy final : public RouterPolicy {
+ public:
+  explicit RoundRobinPolicy(RouterPolicyInfo info) : info_(std::move(info)) {}
+
+  const RouterPolicyInfo& info() const override { return info_; }
+
+  int Route(const RouteContext& ctx, Rng& /*rng*/) override {
+    return static_cast<int>(ctx.index % ctx.devices);
+  }
+
+ private:
+  RouterPolicyInfo info_;
+};
+
+// ------------------------------------------------------------- least_loaded
+
+class LeastLoadedPolicy final : public RouterPolicy {
+ public:
+  explicit LeastLoadedPolicy(RouterPolicyInfo info) : info_(std::move(info)) {}
+
+  const RouterPolicyInfo& info() const override { return info_; }
+
+  int Route(const RouteContext& ctx, Rng& /*rng*/) override {
+    return LeastLoadedDevice(*ctx.outstanding_tokens);
+  }
+
+ private:
+  RouterPolicyInfo info_;
+};
+
+// ---------------------------------------------------------------------- p2c
+//
+// Power-of-two-choices: two uniform candidate draws, the less-loaded one
+// wins. The classic result is that this closes most of the gap to full
+// least-loaded while touching only two queue depths — here both are free,
+// but the policy is the reference point the fleet suite ladders against.
+
+class P2cPolicy final : public RouterPolicy {
+ public:
+  explicit P2cPolicy(RouterPolicyInfo info) : info_(std::move(info)) {}
+
+  const RouterPolicyInfo& info() const override { return info_; }
+
+  int Route(const RouteContext& ctx, Rng& rng) override {
+    const std::uint64_t n = static_cast<std::uint64_t>(ctx.devices);
+    const int a = static_cast<int>(rng.NextBelow(n));
+    const int b = static_cast<int>(rng.NextBelow(n));
+    const std::vector<std::int64_t>& load = *ctx.outstanding_tokens;
+    if (a == b) return a;
+    if (load[static_cast<std::size_t>(a)] != load[static_cast<std::size_t>(b)]) {
+      return load[static_cast<std::size_t>(a)] < load[static_cast<std::size_t>(b)] ? a : b;
+    }
+    return a < b ? a : b;
+  }
+
+ private:
+  RouterPolicyInfo info_;
+};
+
+// --------------------------------------------------------- session_affinity
+
+class SessionAffinityPolicy final : public RouterPolicy {
+ public:
+  SessionAffinityPolicy(RouterPolicyInfo info, std::int64_t salt)
+      : info_(std::move(info)), salt_(static_cast<std::uint64_t>(salt)) {}
+
+  const RouterPolicyInfo& info() const override { return info_; }
+
+  int Route(const RouteContext& ctx, Rng& /*rng*/) override {
+    // Untenanted requests stick by id instead, which degenerates to an
+    // arbitrary-but-stable spread rather than pinning everything to one
+    // device.
+    const serve::ServeRequest& r = *ctx.request;
+    const std::string key = r.tenant.empty() ? "id:" + std::to_string(r.id) : r.tenant;
+    std::uint64_t h = StableAffinityHash(key);
+    // SplitMix64 finalizer folds the salt in; without it a salt of 1 would
+    // just shift the hash by one bucket.
+    std::uint64_t z = h ^ (salt_ + 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return static_cast<int>(z % static_cast<std::uint64_t>(ctx.devices));
+  }
+
+ private:
+  RouterPolicyInfo info_;
+  std::uint64_t salt_;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------- spec
+
+RouterSpec RouterSpec::Parse(const std::string& text) {
+  ParsedSpec parsed = ParseSpec(text, "--router", "policy name");
+  RouterSpec spec;
+  spec.policy = std::move(parsed.head);
+  spec.params = std::move(parsed.params);
+  return spec;
+}
+
+std::string RouterSpec::ToString() const { return SpecToString(policy, params); }
+
+bool RouterSpec::Has(const std::string& key) const { return SpecHas(params, key); }
+
+double RouterSpec::Param(const std::string& key, double fallback) const {
+  return SpecParam(params, key, fallback);
+}
+
+// ----------------------------------------------------------------- registry
+
+RouterPolicyRegistry& RouterPolicyRegistry::Instance() {
+  static RouterPolicyRegistry* registry = new RouterPolicyRegistry();
+  return *registry;
+}
+
+void RouterPolicyRegistry::Register(RouterPolicyInfo info, Factory factory) {
+  EnsureBuiltins();
+  RegisterImpl(std::move(info), std::move(factory));
+}
+
+void RouterPolicyRegistry::RegisterImpl(RouterPolicyInfo info, Factory factory) {
+  MAS_CHECK(!info.name.empty()) << "router policy registration needs a name";
+  MAS_CHECK(factory != nullptr) << "router policy '" << info.name << "' needs a factory";
+  std::lock_guard<std::mutex> lock(mu_);
+  MAS_CHECK(FindEntryLocked(info.name) == nullptr)
+      << "router policy '" << info.name << "' is already registered";
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+std::unique_ptr<RouterPolicy> RouterPolicyRegistry::Create(const RouterSpec& spec) const {
+  EnsureBuiltins();
+  MAS_CHECK(!spec.policy.empty()) << "cannot create a router policy from an empty spec";
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* entry = FindEntryLocked(spec.policy);
+    if (entry == nullptr) {
+      MAS_FAIL() << "unknown router policy '" << spec.policy
+                 << "'; options: " << AvailableNamesLockedUnsafe();
+    }
+    factory = entry->factory;
+  }
+  return factory(spec);
+}
+
+const RouterPolicyInfo* RouterPolicyRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntryLocked(name);
+  return entry == nullptr ? nullptr : &entry->info;
+}
+
+std::vector<RouterPolicyInfo> RouterPolicyRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RouterPolicyInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.info);
+  return out;
+}
+
+std::string RouterPolicyRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  return AvailableNamesLockedUnsafe();
+}
+
+const RouterPolicyRegistry::Entry* RouterPolicyRegistry::FindEntryLocked(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+void RouterPolicyRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [] {
+    RouterPolicyRegistry& registry = Instance();
+    registry.RegisterImpl(
+        RouterPolicyInfo{"round_robin",
+                         "device = dispatch index mod device count — size-blind, the "
+                         "baseline the informed policies are laddered against",
+                         "(none)"},
+        [](const RouterSpec& spec) {
+          CheckKeys(spec, {});
+          return std::unique_ptr<RouterPolicy>(
+              new RoundRobinPolicy(*Instance().Find("round_robin")));
+        });
+    registry.RegisterImpl(
+        RouterPolicyInfo{"least_loaded",
+                         "device with the smallest outstanding-token estimate (prompt + "
+                         "decode + 1 per routed request), ties to the lowest index",
+                         "(none)"},
+        [](const RouterSpec& spec) {
+          CheckKeys(spec, {});
+          return std::unique_ptr<RouterPolicy>(
+              new LeastLoadedPolicy(*Instance().Find("least_loaded")));
+        });
+    registry.RegisterImpl(
+        RouterPolicyInfo{"p2c",
+                         "power-of-two-choices: two uniform candidate draws from the "
+                         "dispatch-keyed stream, the less-loaded candidate wins",
+                         "(none)"},
+        [](const RouterSpec& spec) {
+          CheckKeys(spec, {});
+          return std::unique_ptr<RouterPolicy>(new P2cPolicy(*Instance().Find("p2c")));
+        });
+    registry.RegisterImpl(
+        RouterPolicyInfo{"session_affinity",
+                         "tenant-sticky FNV-1a hash (by request id when untenanted): a "
+                         "tenant's requests always land on the same device",
+                         "salt (integer rehash, default 0)"},
+        [](const RouterSpec& spec) {
+          CheckKeys(spec, {"salt"});
+          const std::int64_t salt = CheckInteger(spec, "salt", 0);
+          return std::unique_ptr<RouterPolicy>(
+              new SessionAffinityPolicy(*Instance().Find("session_affinity"), salt));
+        });
+  });
+}
+
+std::string RouterPolicyRegistry::AvailableNamesLockedUnsafe() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (!out.empty()) out += ", ";
+    out += "'" + entry.info.name + "'";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- dispatch keying
+
+Rng RouterDispatchRng(std::uint64_t seed, std::int64_t index) {
+  // SplitMix64 finalizer over the dispatch index decorrelates adjacent
+  // dispatches; XOR folds in the router seed.
+  std::uint64_t z = static_cast<std::uint64_t>(index) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return Rng(seed ^ z);
+}
+
+std::uint64_t StableAffinityHash(const std::string& key) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+  for (const char c : key) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ull;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+}  // namespace mas::fleet

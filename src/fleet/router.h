@@ -1,0 +1,141 @@
+// fleet::RouterPolicy — deterministic request dispatch across a fleet of
+// simulated devices.
+//
+// The FleetRouter (fleet.h) walks a trace in admission order and asks a
+// RouterPolicy, one request at a time, which device should serve it. A
+// policy sees only deterministic inputs — the dispatch index, the request
+// (including its tenant label), the device count, and the router's
+// outstanding-token estimate per device — plus a dispatch-keyed Rng stream
+// (RouterDispatchRng, the FaultRoundRng idiom), so a (policy, seed) pair
+// replays byte-identically for any --jobs value.
+//
+// Policies self-register in the RouterPolicyRegistry (the same pattern as
+// the scheduler/strategy/arrival/fault registries) under the `--router`
+// grammar shared with --arrival/--fault (common/spec.h):
+//   policy[:key=value[,key=value...]]      e.g.  session_affinity:salt=7
+// Built-ins:
+//   round_robin      — device = dispatch index mod device count
+//   least_loaded     — device with the smallest outstanding-token estimate
+//                      (prompt + decode + 1 per routed request, drained at
+//                      FleetOptions::drain_tokens_per_tick between
+//                      dispatches), ties to the lowest device index
+//   p2c              — power-of-two-choices: two uniform candidate draws
+//                      from the dispatch-keyed stream, the less-loaded one
+//                      wins (ties to the lower index)
+//   session_affinity — tenant-sticky FNV-1a hash (falls back to the request
+//                      id when untenanted), optional `salt` rehash
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/spec.h"
+#include "serve/trace.h"
+
+namespace mas::fleet {
+
+// Parsed `--router` grammar: "policy[:key=value[,key=value...]]". Values
+// are finite doubles; keys may not repeat. Parse() throws mas::Error on
+// malformed text; policy/param *semantics* are checked by the registry
+// factory at Create() time.
+struct RouterSpec {
+  std::string policy = "round_robin";  // registry key
+  SpecParams params;                   // grammar order
+
+  static RouterSpec Parse(const std::string& text);
+  std::string ToString() const;  // canonical "policy:k=v,..." round-trip
+
+  bool Has(const std::string& key) const;
+  double Param(const std::string& key, double fallback) const;
+};
+
+// Descriptor of one registered router policy.
+struct RouterPolicyInfo {
+  std::string name;     // registry key and grammar head, e.g. "p2c"
+  std::string summary;  // one-line dispatch-rule description
+  std::string params;   // grammar help, e.g. "salt (integer, default 0)"
+};
+
+// What a policy sees for one dispatch decision — the only inputs it may
+// condition on (anything else would break jobs-independence).
+struct RouteContext {
+  std::int64_t index = 0;                 // dispatch sequence number (0-based)
+  const serve::ServeRequest* request = nullptr;
+  int devices = 1;
+  // Router-maintained per-device load estimate: prompt_len + decode_len + 1
+  // charged per routed request, drained toward zero between dispatches at
+  // FleetOptions::drain_tokens_per_tick per elapsed arrival tick — an
+  // instantaneous queue-depth proxy, not a lifetime total.
+  const std::vector<std::int64_t>* outstanding_tokens = nullptr;
+};
+
+// One instantiated dispatch rule. Policies may keep state, so create one
+// per fleet run.
+class RouterPolicy {
+ public:
+  virtual ~RouterPolicy() = default;
+  virtual const RouterPolicyInfo& info() const = 0;
+  // Returns the target device in [0, ctx.devices). `rng` is the
+  // dispatch-keyed stream from RouterDispatchRng — policies never seed
+  // their own.
+  virtual int Route(const RouteContext& ctx, Rng& rng) = 0;
+};
+
+// String-keyed router-policy catalog, mirroring FaultModelRegistry.
+// Factories validate their spec's params (unknown keys, bad values) eagerly.
+class RouterPolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<RouterPolicy>(const RouterSpec&)>;
+
+  static RouterPolicyRegistry& Instance();
+
+  // Throws when the policy name is already taken (the built-ins are
+  // materialized first, so registering over "p2c" throws immediately rather
+  // than failing at the first lookup).
+  void Register(RouterPolicyInfo info, Factory factory);
+
+  // Unknown policies throw an Error listing the available set; factories
+  // throw on invalid params.
+  std::unique_ptr<RouterPolicy> Create(const RouterSpec& spec) const;
+
+  const RouterPolicyInfo* Find(const std::string& name) const;  // nullptr if unknown
+  std::vector<RouterPolicyInfo> List() const;  // registration order
+  std::string AvailableNames() const;          // "'round_robin', 'least_loaded', ..."
+
+ private:
+  struct Entry {
+    RouterPolicyInfo info;
+    Factory factory;
+  };
+
+  RouterPolicyRegistry() = default;
+  void EnsureBuiltins() const;
+  // Register without materializing builtins first — the path the builtin
+  // registrations themselves take (calling Register there would re-enter
+  // the active call_once and deadlock).
+  void RegisterImpl(RouterPolicyInfo info, Factory factory);
+  const Entry* FindEntryLocked(const std::string& name) const;
+  std::string AvailableNamesLockedUnsafe() const;
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+// The dispatch-keyed router stream: a fresh Rng for dispatch `index` of a
+// fleet seeded with `seed` (SplitMix64 of the index XORed into the seed —
+// the FaultRoundRng idiom). Keying per dispatch makes a decision's draws
+// independent of every other decision's draw count, so policies can grow
+// extra draws without invalidating unrelated dispatches.
+Rng RouterDispatchRng(std::uint64_t seed, std::int64_t index);
+
+// FNV-1a 64-bit over `key`, the session_affinity hash. Exposed so tests can
+// hand-check sticky placements.
+std::uint64_t StableAffinityHash(const std::string& key);
+
+}  // namespace mas::fleet

@@ -1,10 +1,8 @@
 #include "serve/arrival.h"
 
 #include <cmath>
-#include <set>
 
-#include "cli/args.h"
-#include "common/json_writer.h"
+#include "common/spec.h"
 #include "common/status.h"
 
 namespace mas::serve {
@@ -22,20 +20,7 @@ double ExponentialGap(Rng& rng, double mean) { return -mean * std::log1p(-rng.Ne
 // Factories reject keys outside their grammar so a typoed `--arrival=
 // poisson:rte=64` fails instead of silently running at the default rate.
 void CheckKeys(const ArrivalSpec& spec, std::initializer_list<const char*> allowed) {
-  for (const auto& [key, value] : spec.params) {
-    (void)value;
-    bool known = false;
-    for (const char* a : allowed) known = known || key == a;
-    if (!known) {
-      std::string list;
-      for (const char* a : allowed) {
-        if (!list.empty()) list += ", ";
-        list += a;
-      }
-      MAS_FAIL() << "arrival model '" << spec.model << "' does not take param '" << key
-                 << "' (params: " << list << ")";
-    }
-  }
+  CheckSpecKeys("arrival model '" + spec.model + "'", spec.params, allowed);
 }
 
 // Offered rate in req/s -> mean inter-arrival gap in ticks.
@@ -163,69 +148,24 @@ void ArrivalCalibration::Validate() const {
 // ------------------------------------------------------------------- spec
 
 ArrivalSpec ArrivalSpec::Parse(const std::string& text) {
-  MAS_CHECK(!text.empty()) << "empty --arrival spec (grammar: model[:key=value,...])";
+  ParsedSpec parsed = ParseSpec(text, "--arrival", "model name");
   ArrivalSpec spec;
-  const std::size_t colon = text.find(':');
-  spec.model = text.substr(0, colon);
-  MAS_CHECK(!spec.model.empty()) << "--arrival spec '" << text << "' has no model name";
-  if (colon == std::string::npos) return spec;
-
-  std::set<std::string> seen;
-  std::size_t pos = colon + 1;
-  MAS_CHECK(pos < text.size()) << "--arrival spec '" << text << "' has an empty param list";
-  while (pos <= text.size()) {
-    const std::size_t comma = text.find(',', pos);
-    const std::string item =
-        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    const std::size_t eq = item.find('=');
-    MAS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size())
-        << "--arrival param '" << item << "' is not key=value (spec '" << text << "')";
-    const std::string key = item.substr(0, eq);
-    MAS_CHECK(seen.insert(key).second)
-        << "--arrival spec '" << text << "' repeats param '" << key << "'";
-    spec.params.emplace_back(
-        key, cli::ParseFiniteDouble(item.substr(eq + 1), "--arrival param '" + key + "'"));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
+  spec.model = std::move(parsed.head);
+  spec.params = std::move(parsed.params);
   return spec;
 }
 
-std::string ArrivalSpec::ToString() const {
-  std::string out = model;
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    out += i == 0 ? ":" : ",";
-    out += params[i].first;
-    out += '=';
-    AppendJsonDouble(out, params[i].second);
-  }
-  return out;
-}
+std::string ArrivalSpec::ToString() const { return SpecToString(model, params); }
 
-bool ArrivalSpec::Has(const std::string& key) const {
-  for (const auto& [k, v] : params) {
-    (void)v;
-    if (k == key) return true;
-  }
-  return false;
-}
+bool ArrivalSpec::Has(const std::string& key) const { return SpecHas(params, key); }
 
 double ArrivalSpec::Param(const std::string& key, double fallback) const {
-  for (const auto& [k, v] : params) {
-    if (k == key) return v;
-  }
-  return fallback;
+  return SpecParam(params, key, fallback);
 }
 
 ArrivalSpec ArrivalSpec::With(const std::string& key, double value) const {
   ArrivalSpec out = *this;
-  for (auto& [k, v] : out.params) {
-    if (k == key) {
-      v = value;
-      return out;
-    }
-  }
-  out.params.emplace_back(key, value);
+  out.params = SpecWith(params, key, value);
   return out;
 }
 

@@ -1,10 +1,8 @@
 #include "serve/fault.h"
 
 #include <cmath>
-#include <set>
 
-#include "cli/args.h"
-#include "common/json_writer.h"
+#include "common/spec.h"
 #include "common/status.h"
 
 namespace mas::serve {
@@ -14,20 +12,7 @@ namespace {
 // Factories reject keys outside their grammar so a typoed `--fault=
 // crash:prb=0.1` fails instead of silently running at the default.
 void CheckKeys(const FaultSpec& spec, std::initializer_list<const char*> allowed) {
-  for (const auto& [key, value] : spec.params) {
-    (void)value;
-    bool known = false;
-    for (const char* a : allowed) known = known || key == a;
-    if (!known) {
-      std::string list;
-      for (const char* a : allowed) {
-        if (!list.empty()) list += ", ";
-        list += a;
-      }
-      MAS_FAIL() << "fault model '" << spec.kind << "' does not take param '" << key
-                 << "' (params: " << list << ")";
-    }
-  }
+  CheckSpecKeys("fault model '" + spec.kind + "'", spec.params, allowed);
 }
 
 double CheckProbability(const FaultSpec& spec, double fallback) {
@@ -153,58 +138,19 @@ class CrashFault final : public FaultModel {
 // -------------------------------------------------------------------- spec
 
 FaultSpec FaultSpec::Parse(const std::string& text) {
-  MAS_CHECK(!text.empty()) << "empty --fault spec (grammar: kind[:key=value,...])";
+  ParsedSpec parsed = ParseSpec(text, "--fault", "fault kind");
   FaultSpec spec;
-  const std::size_t colon = text.find(':');
-  spec.kind = text.substr(0, colon);
-  MAS_CHECK(!spec.kind.empty()) << "--fault spec '" << text << "' has no fault kind";
-  if (colon == std::string::npos) return spec;
-
-  std::set<std::string> seen;
-  std::size_t pos = colon + 1;
-  MAS_CHECK(pos < text.size()) << "--fault spec '" << text << "' has an empty param list";
-  while (pos <= text.size()) {
-    const std::size_t comma = text.find(',', pos);
-    const std::string item =
-        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    const std::size_t eq = item.find('=');
-    MAS_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < item.size())
-        << "--fault param '" << item << "' is not key=value (spec '" << text << "')";
-    const std::string key = item.substr(0, eq);
-    MAS_CHECK(seen.insert(key).second)
-        << "--fault spec '" << text << "' repeats param '" << key << "'";
-    spec.params.emplace_back(
-        key, cli::ParseFiniteDouble(item.substr(eq + 1), "--fault param '" + key + "'"));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
+  spec.kind = std::move(parsed.head);
+  spec.params = std::move(parsed.params);
   return spec;
 }
 
-std::string FaultSpec::ToString() const {
-  std::string out = kind;
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    out += i == 0 ? ":" : ",";
-    out += params[i].first;
-    out += '=';
-    AppendJsonDouble(out, params[i].second);
-  }
-  return out;
-}
+std::string FaultSpec::ToString() const { return SpecToString(kind, params); }
 
-bool FaultSpec::Has(const std::string& key) const {
-  for (const auto& [k, v] : params) {
-    (void)v;
-    if (k == key) return true;
-  }
-  return false;
-}
+bool FaultSpec::Has(const std::string& key) const { return SpecHas(params, key); }
 
 double FaultSpec::Param(const std::string& key, double fallback) const {
-  for (const auto& [k, v] : params) {
-    if (k == key) return v;
-  }
-  return fallback;
+  return SpecParam(params, key, fallback);
 }
 
 // ----------------------------------------------------------------- registry

@@ -54,6 +54,10 @@ double ServeMetrics::MakespanMs(double frequency_ghz) const {
 }
 
 void ServeResult::WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) const {
+  // Bumped whenever the layout of this block changes shape (new/renamed
+  // keys) so downstream BENCH consumers can detect drift. Version 2 added
+  // this field plus the optional per-request tenant/model labels.
+  json.KeyValue("schema_version", std::int64_t{2});
   json.KeyValue("trace", trace_name);
   json.BeginArray("requests");
   for (const RequestMetrics& r : requests) {
@@ -63,6 +67,8 @@ void ServeResult::WriteJson(JsonWriter& json, const sim::HardwareConfig& hw) con
     json.KeyValue("prompt_len", r.prompt_len);
     json.KeyValue("decode_len", r.decode_len);
     json.KeyValue("speculation", r.speculation);
+    if (!r.tenant.empty()) json.KeyValue("tenant", r.tenant);
+    if (!r.model.empty()) json.KeyValue("model", r.model);
     json.KeyValue("decode_steps", r.decode_steps);
     json.KeyValue("arrival_cycles", r.arrival_cycles);
     json.KeyValue("first_token_cycles", r.first_token_cycles);
@@ -230,6 +236,8 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
     metrics[i].decode_len = r.decode_len;
     metrics[i].speculation = r.speculation;
     metrics[i].decode_steps = r.DecodeSteps();
+    metrics[i].tenant = r.tenant;
+    metrics[i].model = r.model;
   }
 
   ServeResult result;

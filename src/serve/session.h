@@ -150,6 +150,8 @@ struct RequestMetrics {
   std::int64_t decode_len = 0;
   std::int64_t speculation = 1;
   std::int64_t decode_steps = 0;
+  std::string tenant;  // carried through from the trace; empty = untenanted
+  std::string model;   // carried through from the trace; empty = default
 
   std::uint64_t arrival_cycles = 0;      // clock when the request became visible
   std::uint64_t first_token_cycles = 0;  // clock when its prefill completed

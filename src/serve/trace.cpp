@@ -65,6 +65,10 @@ std::string RequestTrace::ToJson() const {
     w.KeyValue("prompt_len", r.prompt_len);
     w.KeyValue("decode_len", r.decode_len);
     w.KeyValue("speculation", r.speculation);
+    // Optional labels stay absent when empty so pre-tenant traces (and their
+    // pinned JSON) serialize byte-for-byte unchanged.
+    if (!r.tenant.empty()) w.KeyValue("tenant", r.tenant);
+    if (!r.model.empty()) w.KeyValue("model", r.model);
     w.EndObject();
   }
   w.EndArray();
@@ -105,6 +109,18 @@ RequestTrace RequestTrace::FromJson(const std::string& text) {
     try {
       MAS_CHECK(v.is_object()) << "must be a JSON object";
       CheckUniqueKeys(v, "request");
+      // Reject unknown keys outright: a typoed "decode_length" would
+      // otherwise silently run with the default.
+      static constexpr const char* kKnownKeys[] = {
+          "id", "arrival_tick", "prompt_len", "decode_len", "speculation", "tenant", "model"};
+      for (const auto& [key, member] : v.Members()) {
+        (void)member;
+        bool known = false;
+        for (const char* k : kKnownKeys) known = known || key == k;
+        MAS_CHECK(known) << "unknown request key '" << key
+                         << "' (known: id, arrival_tick, prompt_len, decode_len, "
+                            "speculation, tenant, model)";
+      }
       ServeRequest r;
       r.id = v.Get("id").AsInt64();
       r.arrival_tick = v.Get("arrival_tick").AsInt64();
@@ -112,6 +128,9 @@ RequestTrace RequestTrace::FromJson(const std::string& text) {
       r.decode_len = v.Get("decode_len").AsInt64();
       // Optional for hand-written traces: absent means plain autoregressive.
       if (const json::Value* spec = v.Find("speculation")) r.speculation = spec->AsInt64();
+      // Optional multi-tenant labels: absent means untenanted / default model.
+      if (const json::Value* tenant = v.Find("tenant")) r.tenant = tenant->AsString();
+      if (const json::Value* model = v.Find("model")) r.model = model->AsString();
       trace.requests.push_back(r);
     } catch (const Error& e) {
       MAS_FAIL() << "trace request " << i << " (byte offset " << v.offset()
@@ -179,6 +198,16 @@ RequestTrace GenerateTrace(const SyntheticTraceSpec& spec) {
       r.speculation = spec.speculation;
     }
     trace.requests.push_back(r);
+  }
+  if (spec.tenants > 0) {
+    // Tenant labels draw from a salted side stream so tagging a spec does
+    // not shift the main stream's length/arrival draws above.
+    constexpr std::uint64_t kTenantStreamSalt = 0x7E4A47B10B5E55EDull;
+    Rng tenant_rng(spec.seed ^ kTenantStreamSalt);
+    for (ServeRequest& r : trace.requests) {
+      r.tenant = "t" + std::to_string(
+                           tenant_rng.NextBelow(static_cast<std::uint64_t>(spec.tenants)));
+    }
   }
   trace.Validate();
   return trace;

@@ -29,6 +29,8 @@ struct ServeRequest {
   std::int64_t prompt_len = 1;    // prefill tokens
   std::int64_t decode_len = 0;    // generated tokens after the first
   std::int64_t speculation = 1;   // query rows per decode step (>1 = speculative)
+  std::string tenant = {};        // multi-tenant label; empty = untenanted
+  std::string model = {};         // model label; empty = the fleet default
 
   // Decode steps this request needs: ceil(decode_len / speculation).
   std::int64_t DecodeSteps() const;
@@ -51,8 +53,11 @@ struct RequestTrace {
   // Deterministic JSON round-trip:
   //   {"version":1,"name":...,"requests":[{"id":...,"arrival_tick":...,
   //    "prompt_len":...,"decode_len":...,"speculation":...},...]}
-  // FromJson throws mas::Error on malformed documents, an unsupported
-  // version, or requests that fail Validate().
+  // The optional "tenant"/"model" strings are emitted only when non-empty,
+  // so untenanted traces serialize exactly as before. FromJson throws
+  // mas::Error on malformed documents, an unsupported version, unknown
+  // request keys (with the request index + byte offset), or requests that
+  // fail Validate().
   std::string ToJson() const;
   static RequestTrace FromJson(const std::string& text);
 
@@ -82,6 +87,10 @@ struct SyntheticTraceSpec {
   std::int64_t max_arrival_gap = 2;  // uniform inter-arrival gap in [0, gap] ticks
   std::int64_t speculation = 1;      // decode width of speculative requests
   double speculative_fraction = 0.0; // Bernoulli share of speculative requests
+  // When > 0, tag each request with a tenant "t0".."t<n-1>" drawn uniformly
+  // from a salted side stream — the main stream's length/arrival draws are
+  // untouched, so tenanted and untenanted specs generate identical shapes.
+  std::int64_t tenants = 0;
 };
 RequestTrace GenerateTrace(const SyntheticTraceSpec& spec);
 

@@ -1,0 +1,309 @@
+// Fleet-router tests: RouterPolicyRegistry validation, hand-checked
+// round_robin / least_loaded dispatch arithmetic (with and without the
+// outstanding-estimate drain), session-affinity stickiness under crash
+// retries, --jobs byte-independence of the fleet JSON, router-seed
+// sensitivity of the p2c stream, and the pooled-percentile merge against a
+// naive single-list oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "fleet/fleet.h"
+#include "serve/session.h"
+
+namespace mas::fleet {
+namespace {
+
+// Small, fast geometry + coarse buckets: the fleet semantics under test are
+// in the routing pre-pass and the merge, not the simulated kernels.
+FleetOptions FastOptions(int devices, const std::string& router) {
+  FleetOptions options;
+  options.devices = devices;
+  options.router = RouterSpec::Parse(router);
+  options.geometry = BertBaseGeometry();
+  options.planner.min_context_bucket = 64;
+  return options;
+}
+
+serve::RequestTrace HandTrace(std::vector<serve::ServeRequest> requests) {
+  serve::RequestTrace trace;
+  trace.name = "hand";
+  trace.requests = std::move(requests);
+  return trace;
+}
+
+std::string FleetJson(const FleetResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  result.WriteJson(json);
+  json.EndObject();
+  return json.Take();
+}
+
+std::vector<int> Devices(const FleetResult& result) {
+  std::vector<int> devices;
+  for (const RouteAssignment& a : result.assignments) devices.push_back(a.device);
+  return devices;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RouterRegistry, UnknownPolicyThrowsListingTheCatalog) {
+  try {
+    RouterPolicyRegistry::Instance().Create(RouterSpec::Parse("bogus"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("'round_robin'"), std::string::npos);
+    EXPECT_NE(what.find("'least_loaded'"), std::string::npos);
+    EXPECT_NE(what.find("'p2c'"), std::string::npos);
+    EXPECT_NE(what.find("'session_affinity'"), std::string::npos);
+  }
+}
+
+TEST(RouterRegistry, ListsEveryBuiltinWithDocs) {
+  const std::vector<RouterPolicyInfo> infos = RouterPolicyRegistry::Instance().List();
+  std::set<std::string> names;
+  for (const RouterPolicyInfo& info : infos) {
+    names.insert(info.name);
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+  }
+  EXPECT_TRUE(names.count("round_robin"));
+  EXPECT_TRUE(names.count("least_loaded"));
+  EXPECT_TRUE(names.count("p2c"));
+  EXPECT_TRUE(names.count("session_affinity"));
+}
+
+TEST(RouterRegistry, FactoriesValidateParams) {
+  auto create = [](const std::string& text) {
+    return RouterPolicyRegistry::Instance().Create(RouterSpec::Parse(text));
+  };
+  EXPECT_NO_THROW(create("session_affinity:salt=7"));
+  EXPECT_THROW(create("session_affinity:bogus=1"), Error);  // unknown key
+  EXPECT_THROW(create("round_robin:rate=1"), Error);        // takes no params
+  EXPECT_THROW(create("p2c:salt=1"), Error);                // takes no params
+  EXPECT_THROW(RouterSpec::Parse("p2c:a=1,a=2"), Error);    // duplicate key
+  EXPECT_THROW(RouterSpec::Parse(""), Error);               // empty head
+}
+
+// ------------------------------------------------------- dispatch arithmetic
+
+TEST(FleetRouter, RoundRobinAlternatesByDispatchIndex) {
+  Planner planner;
+  FleetRouter fleet(planner, FastOptions(2, "round_robin"));
+  const FleetResult result = fleet.Run(HandTrace({
+      {0, 0, 100, 2, 1},
+      {1, 0, 50, 1, 1},
+      {2, 0, 10, 1, 1},
+      {3, 0, 10, 1, 1},
+  }));
+  EXPECT_EQ(Devices(result), (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(result.devices[0].routed_requests, 2);
+  EXPECT_EQ(result.devices[1].routed_requests, 2);
+  // Tokens charged per request: prompt + decode + 1.
+  EXPECT_EQ(result.devices[0].routed_tokens, (100 + 2 + 1) + (10 + 1 + 1));
+  EXPECT_EQ(result.devices[1].routed_tokens, (50 + 1 + 1) + (10 + 1 + 1));
+}
+
+TEST(FleetRouter, LeastLoadedTracksCumulativeTokensWithoutDrain) {
+  Planner planner;
+  FleetOptions options = FastOptions(2, "least_loaded");
+  options.drain_tokens_per_tick = 0;  // cumulative totals: hand arithmetic
+  FleetRouter fleet(planner, options);
+  // Charges: r0 = 103, r1 = 52, r2 = 52, r3 = 12.
+  // r0 -> ties at {0, 0}, lowest index: device 0        -> {103, 0}
+  // r1 -> device 1 (0 < 103)                            -> {103, 52}
+  // r2 -> device 1 (52 < 103)                           -> {103, 104}
+  // r3 -> device 0 (103 < 104)                          -> {115, 104}
+  const FleetResult result = fleet.Run(HandTrace({
+      {0, 0, 100, 2, 1},
+      {1, 0, 50, 1, 1},
+      {2, 0, 50, 1, 1},
+      {3, 0, 10, 1, 1},
+  }));
+  EXPECT_EQ(Devices(result), (std::vector<int>{0, 1, 1, 0}));
+}
+
+TEST(FleetRouter, DrainDecaysTheOutstandingEstimateBetweenArrivals) {
+  // r0 (103 tokens) lands on device 0. r1 arrives 20 ticks later.
+  // Without drain the estimate still reads {103, 0} -> device 1. With
+  // drain 10/tick, 20 elapsed ticks retire 200 tokens -> {0, 0} -> the tie
+  // goes back to device 0.
+  const auto route_second = [](std::int64_t drain) {
+    Planner planner;
+    FleetOptions options = FastOptions(2, "least_loaded");
+    options.drain_tokens_per_tick = drain;
+    FleetRouter fleet(planner, options);
+    return Devices(fleet.Run(HandTrace({{0, 0, 100, 2, 1}, {1, 20, 50, 1, 1}})))[1];
+  };
+  EXPECT_EQ(route_second(0), 1);
+  EXPECT_EQ(route_second(10), 0);
+}
+
+TEST(FleetRouter, PriorityTenantsDispatchFirstWithinATick) {
+  Planner planner;
+  FleetOptions options = FastOptions(2, "round_robin");
+  options.tenants = TenantPolicySpec::Parse("priority:vip=1");
+  FleetRouter fleet(planner, options);
+  serve::RequestTrace trace = HandTrace({{0, 0, 32, 1, 1}, {1, 0, 32, 1, 1}});
+  trace.requests[0].tenant = "low";
+  trace.requests[1].tenant = "vip";
+  const FleetResult result = fleet.Run(trace);
+  // vip jumps the tick group, so it takes dispatch index 0 -> device 0.
+  ASSERT_EQ(result.assignments.size(), 2u);
+  EXPECT_EQ(result.assignments[0].tenant, "vip");
+  EXPECT_EQ(result.assignments[0].device, 0);
+  EXPECT_EQ(result.assignments[1].tenant, "low");
+  EXPECT_EQ(result.assignments[1].device, 1);
+}
+
+// --------------------------------------------------------- session affinity
+
+TEST(FleetRouter, SessionAffinitySticksPerTenantEvenUnderCrashRetries) {
+  serve::SyntheticTraceSpec spec;
+  spec.name = "affinity";
+  spec.requests = 24;
+  spec.seed = 7;
+  spec.prompt_min = 16;
+  spec.prompt_max = 64;
+  spec.decode_min = 2;
+  spec.decode_max = 6;
+  spec.tenants = 3;
+  const serve::RequestTrace trace = serve::GenerateTrace(spec);
+
+  Planner planner;
+  FleetOptions options = FastOptions(4, "session_affinity");
+  options.session.fault = serve::FaultSpec::Parse("crash:prob=0.3");
+  options.session.resilience.max_retries = 2;
+  FleetRouter fleet(planner, options);
+  const FleetResult result = fleet.Run(trace);
+
+  // Every request of a tenant lands on one device — crash retries happen
+  // inside the owning device's session and never migrate the tenant.
+  std::map<std::string, int> home;
+  for (const RouteAssignment& a : result.assignments) {
+    const auto [it, inserted] = home.emplace(a.tenant, a.device);
+    EXPECT_EQ(it->second, a.device) << "tenant " << a.tenant << " migrated";
+  }
+  EXPECT_EQ(home.size(), 3u);
+
+  // The salt param re-hashes the placement deterministically.
+  FleetOptions salted = FastOptions(4, "session_affinity:salt=9");
+  FleetRouter salted_fleet(planner, salted);
+  const FleetResult salted_result = salted_fleet.Run(trace);
+  std::map<std::string, int> salted_home;
+  for (const RouteAssignment& a : salted_result.assignments) salted_home.emplace(a.tenant, a.device);
+  EXPECT_EQ(salted_home.size(), 3u);
+  EXPECT_NE(FleetJson(result), FleetJson(salted_result));
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(FleetRouter, FleetJsonIsByteIdenticalForAnyJobsValue) {
+  serve::SyntheticTraceSpec spec;
+  spec.name = "jobs";
+  spec.requests = 12;
+  spec.seed = 21;
+  spec.prompt_min = 16;
+  spec.prompt_max = 96;
+  spec.decode_min = 1;
+  spec.decode_max = 4;
+  spec.tenants = 2;
+  const serve::RequestTrace trace = serve::GenerateTrace(spec);
+
+  std::vector<std::string> outputs;
+  for (const int jobs : {1, 2, 8}) {
+    Planner planner;  // fresh planner per run: no cross-run plan reuse
+    FleetOptions options = FastOptions(3, "p2c");
+    options.jobs = jobs;
+    FleetRouter fleet(planner, options);
+    outputs.push_back(FleetJson(fleet.Run(trace)));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(FleetRouter, P2cAssignmentsFollowTheRouterSeed) {
+  serve::SyntheticTraceSpec spec;
+  spec.name = "seed";
+  spec.requests = 16;
+  spec.seed = 3;
+  spec.prompt_min = 16;
+  spec.prompt_max = 32;
+  spec.decode_min = 1;
+  spec.decode_max = 2;
+  const serve::RequestTrace trace = serve::GenerateTrace(spec);
+
+  const auto devices_for_seed = [&](std::uint64_t seed) {
+    Planner planner;
+    FleetOptions options = FastOptions(4, "p2c");
+    options.router_seed = seed;
+    FleetRouter fleet(planner, options);
+    return Devices(fleet.Run(trace));
+  };
+  const std::vector<int> a = devices_for_seed(1);
+  EXPECT_EQ(a, devices_for_seed(1));  // replay
+  EXPECT_NE(a, devices_for_seed(2));  // a fresh dispatch stream
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(FleetMetrics, PooledPercentilesMatchTheSingleListOracle) {
+  serve::SyntheticTraceSpec spec;
+  spec.name = "pool";
+  spec.requests = 18;
+  spec.seed = 11;
+  spec.prompt_min = 16;
+  spec.prompt_max = 128;
+  spec.decode_min = 1;
+  spec.decode_max = 6;
+  const serve::RequestTrace trace = serve::GenerateTrace(spec);
+
+  Planner planner;
+  FleetRouter fleet(planner, FastOptions(3, "round_robin"));
+  const FleetResult result = fleet.Run(trace);
+
+  // Naive oracle: concatenate every device's completed-request samples in
+  // device order and take the same nearest-rank percentiles.
+  std::vector<double> ttft;
+  std::vector<double> tpot;
+  for (const DeviceReport& device : result.devices) {
+    for (const serve::RequestMetrics& r : device.result.requests) {
+      if (r.outcome != serve::RequestOutcome::kCompleted) continue;
+      ttft.push_back(static_cast<double>(r.TtftCycles()));
+      if (r.decode_len > 0) tpot.push_back(r.TpotCycles());
+    }
+  }
+  ASSERT_EQ(ttft.size(), 18u);
+  EXPECT_EQ(result.metrics.completed, 18);
+  EXPECT_DOUBLE_EQ(result.metrics.p50_ttft_cycles, serve::NearestRankPercentile(ttft, 50.0));
+  EXPECT_DOUBLE_EQ(result.metrics.p95_ttft_cycles, serve::NearestRankPercentile(ttft, 95.0));
+  EXPECT_DOUBLE_EQ(result.metrics.p99_ttft_cycles, serve::NearestRankPercentile(ttft, 99.0));
+  EXPECT_DOUBLE_EQ(result.metrics.p99_tpot_cycles, serve::NearestRankPercentile(tpot, 99.0));
+}
+
+TEST(FleetRouter, OptionValidationFailsFast) {
+  Planner planner;
+  FleetOptions bad_devices = FastOptions(0, "round_robin");
+  EXPECT_THROW(FleetRouter(planner, bad_devices), Error);
+
+  FleetOptions bad_drain = FastOptions(2, "round_robin");
+  bad_drain.drain_tokens_per_tick = -1;
+  EXPECT_THROW(FleetRouter(planner, bad_drain), Error);
+
+  FleetOptions bad_hw = FastOptions(2, "round_robin");
+  bad_hw.device_hw = {sim::EdgeSimConfig()};  // 1 entry for 2 devices
+  EXPECT_THROW(FleetRouter(planner, bad_hw), Error);
+
+  // A non-positive weight is caught as soon as the spec is parsed.
+  EXPECT_THROW(TenantPolicySpec::Parse("weighted:a=0"), Error);
+  EXPECT_THROW(TenantPolicySpec::Parse("shuffle"), Error);  // unknown kind
+}
+
+}  // namespace
+}  // namespace mas::fleet

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "common/json_writer.h"
@@ -65,6 +66,67 @@ TEST(ServeTrace, SpeculationIsOptionalInJson) {
       R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2}]})");
   ASSERT_EQ(parsed.requests.size(), 1u);
   EXPECT_EQ(parsed.requests[0].speculation, 1);
+}
+
+TEST(ServeTrace, TenantAndModelRoundTripAndStayOptional) {
+  RequestTrace trace;
+  trace.name = "tenants";
+  trace.requests = {{0, 0, 8, 2, 1}, {1, 1, 8, 2, 1}};
+  trace.requests[0].tenant = "alice";
+  trace.requests[0].model = "llama3_8b";
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"tenant\":\"alice\""), std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"llama3_8b\""), std::string::npos);
+  const RequestTrace parsed = RequestTrace::FromJson(json);
+  EXPECT_EQ(parsed.ToJson(), json);
+  EXPECT_EQ(parsed.requests[0].tenant, "alice");
+  EXPECT_EQ(parsed.requests[0].model, "llama3_8b");
+  // The untenanted request serializes without the optional keys at all.
+  EXPECT_EQ(json.find("\"tenant\":\"\""), std::string::npos);
+  EXPECT_EQ(parsed.requests[1].tenant, "");
+  EXPECT_EQ(parsed.requests[1].model, "");
+}
+
+TEST(ServeTrace, TenantTaggingIsASaltedSideStream) {
+  SyntheticTraceSpec spec;
+  spec.requests = 12;
+  spec.seed = 5;
+  const RequestTrace plain = GenerateTrace(spec);
+  spec.tenants = 3;
+  const RequestTrace tagged = GenerateTrace(spec);
+  ASSERT_EQ(tagged.requests.size(), plain.requests.size());
+  std::set<std::string> tenants;
+  for (std::size_t i = 0; i < plain.requests.size(); ++i) {
+    // Lengths and arrivals are drawn from the same stream — tagging must
+    // not shift them.
+    EXPECT_EQ(tagged.requests[i].prompt_len, plain.requests[i].prompt_len);
+    EXPECT_EQ(tagged.requests[i].decode_len, plain.requests[i].decode_len);
+    EXPECT_EQ(tagged.requests[i].arrival_tick, plain.requests[i].arrival_tick);
+    EXPECT_TRUE(plain.requests[i].tenant.empty());
+    ASSERT_FALSE(tagged.requests[i].tenant.empty());
+    tenants.insert(tagged.requests[i].tenant);
+  }
+  for (const std::string& t : tenants) EXPECT_TRUE(t == "t0" || t == "t1" || t == "t2") << t;
+}
+
+// Regression: a typoed request key must be rejected, and the error must
+// carry the request index and byte offset so it is findable in a large
+// trace file.
+TEST(ServeTrace, UnknownRequestKeysAreRejectedWithIndexAndOffset) {
+  const std::string json =
+      R"({"version":1,"name":"typo","requests":[)"
+      R"({"id":0,"arrival_tick":0,"prompt_len":8,"decode_len":2},)"
+      R"({"id":1,"arrival_tick":0,"prompt_len":8,"decode_length":2}]})";
+  try {
+    RequestTrace::FromJson(json);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown request key 'decode_length'"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace request 1"), std::string::npos) << what;
+    const std::size_t offset = json.find(R"({"id":1)");
+    EXPECT_NE(what.find("byte offset " + std::to_string(offset)), std::string::npos) << what;
+  }
 }
 
 TEST(ServeTrace, ValidationRejectsBadTraces) {

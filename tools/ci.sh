@@ -132,16 +132,38 @@ cp "$BUILD_DIR/BENCH_serve_resilience.json" "$BUILD_DIR/BENCH_serve_resilience_c
 cmp "$BUILD_DIR/BENCH_serve_resilience_cold.json" "$BUILD_DIR/BENCH_serve_resilience.json"
 grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/resilience_warm.err"
 
+# Fleet router: a multi-device routed run must be byte-deterministic across
+# --jobs (p2c's per-dispatch seeded RNG included), and the serve_fleet suite
+# must replay byte-identically cold vs warm against one plan cache with ZERO
+# warm search evaluations (all devices share the suite's Planner).
+"$BUILD_DIR/mas_fleet" --trace=chat --requests=6 --devices=4 --router=p2c \
+    --synth-tenants=3 --tenants=weighted:t0=2,t1=1,t2=1 --max-batch=2 \
+    --jobs=1 --out="$BUILD_DIR/fleet_jobs1.json" > /dev/null
+"$BUILD_DIR/mas_fleet" --trace=chat --requests=6 --devices=4 --router=p2c \
+    --synth-tenants=3 --tenants=weighted:t0=2,t1=1,t2=1 --max-batch=2 \
+    --jobs=8 --out="$BUILD_DIR/fleet_jobs8.json" > /dev/null
+cmp "$BUILD_DIR/fleet_jobs1.json" "$BUILD_DIR/fleet_jobs8.json"
+rm -f "$BUILD_DIR/fleet_plans.json"
+"$BUILD_DIR/mas_bench" --suite=serve_fleet --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/fleet_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> /dev/null
+cp "$BUILD_DIR/BENCH_serve_fleet.json" "$BUILD_DIR/BENCH_serve_fleet_cold.json"
+"$BUILD_DIR/mas_bench" --suite=serve_fleet --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/fleet_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/fleet_warm.err"
+cmp "$BUILD_DIR/BENCH_serve_fleet_cold.json" "$BUILD_DIR/BENCH_serve_fleet.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/fleet_warm.err"
+
 # Debug + ASan/UBSan pass over the new public surface (registry, strategies,
 # JSON reader, planner, and the serving stack: session, SLO engine, arrival
-# and fault models). Builds only the targets it runs to keep the job bounded;
-# the golden planner sweep stays in the Release ctest above.
+# and fault models, fleet router). Builds only the targets it runs to keep
+# the job bounded; the golden planner sweep stays in the Release ctest above.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DMAS_SANITIZE=ON \
     -DMAS_BUILD_BENCHES=OFF -DMAS_BUILD_EXAMPLES=OFF
 cmake --build "$SAN_DIR" -j "$JOBS" \
     --target test_registry test_json_reader test_planner \
-    test_serve test_serve_slo test_arrival test_fault
+    test_serve test_serve_slo test_arrival test_fault test_fleet
 "$SAN_DIR/test_registry"
 "$SAN_DIR/test_json_reader"
 "$SAN_DIR/test_planner"
@@ -149,5 +171,6 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
 "$SAN_DIR/test_serve_slo"
 "$SAN_DIR/test_arrival"
 "$SAN_DIR/test_fault"
+"$SAN_DIR/test_fleet"
 
-echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + asan OK"
+echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + fleet smoke + asan OK"

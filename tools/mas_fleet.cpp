@@ -1,0 +1,333 @@
+// mas_fleet: multi-tenant sharded serving across a fleet of simulated
+// devices.
+//
+// Dispatches a request trace (synthetic preset or JSON file) across
+// --devices independent ServeSessions through a --router policy
+// (round_robin | least_loaded | p2c | session_affinity, see src/fleet/),
+// optionally reordering admission within each arrival tick by a --tenants
+// policy (weighted-fair or priority). Every device has its own session
+// clock and plan namespace; all devices share one plan store, so
+// --plan-cache warms the whole fleet and a second invocation replays it
+// with ZERO search evaluations and byte-identical --out JSON. Device
+// sessions fan out across --jobs workers; output is byte-identical for any
+// value.
+//
+// Examples:
+//   $ mas_fleet --trace=chat --requests=32 --devices=4
+//   $ mas_fleet --devices=8 --router=p2c --router-seed=7 \
+//       --arrival=poisson:rate=1024 --slo-ttft-us=6000
+//   $ mas_fleet --trace=chat --requests=24 --synth-tenants=3 \
+//       --router=session_affinity --tenants=weighted:t0=2,t1=1,t2=1
+//   $ mas_fleet --devices=4 --hw=mixed --fault=crash:prob=0.05 --max-retries=2
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cli/args.h"
+#include "common/json_writer.h"
+#include "common/table.h"
+#include "fleet/fleet.h"
+#include "serve/arrival.h"
+#include "serve/slo.h"
+#include "sim/hardware_config.h"
+
+int main(int argc, char** argv) {
+  using namespace mas;
+  cli::ArgParser parser(
+      "mas_fleet — multi-tenant fleet serving simulator (router over N devices)");
+  const std::string* trace_flag = parser.AddString(
+      "trace", "chat",
+      "trace: preset name (chat | decode_heavy | mixed_sd) or path to a trace JSON file");
+  const std::int64_t* requests = parser.AddInt(
+      "requests", 0, "override the preset's request count (ignored for trace files)");
+  const std::int64_t* devices = parser.AddInt("devices", 4, "simulated devices in the fleet");
+  const std::string* router_flag = parser.AddString(
+      "router", "round_robin",
+      "dispatch policy, policy[:key=value,...] (round_robin | least_loaded | p2c | "
+      "session_affinity)");
+  const std::int64_t* router_seed = parser.AddInt(
+      "router-seed", 0, "override the router's dispatch-stream seed (0 = default)");
+  const std::int64_t* drain = parser.AddInt(
+      "drain-tokens-per-tick", 32,
+      "tokens each device is assumed to retire per arrival tick when draining the "
+      "router's outstanding-token estimate (0 = no drain, cumulative totals)");
+  const std::string* tenants_flag = parser.AddString(
+      "tenants", "",
+      "per-tenant admission policy, kind[:tenant=value,...] (weighted | priority)");
+  const std::int64_t* synth_tenants = parser.AddInt(
+      "synth-tenants", 0,
+      "tag synthetic traces with N tenants t0..tN-1 (ignored for trace files)");
+  const std::int64_t* max_batch = parser.AddInt(
+      "max-batch", 4, "per-device in-flight request cap (continuous-batching window)");
+  const std::int64_t* jobs =
+      parser.AddInt("jobs", 1, "worker threads running device sessions");
+  const std::string* plan_cache = parser.AddString(
+      "plan-cache", "",
+      "persist tuned tilings: load plans from FILE before the run, save after");
+  const std::string* prefill_method =
+      parser.AddString("prefill-method", "MAS-Attention", "scheduler for prefill phases");
+  const std::string* decode_method =
+      parser.AddString("decode-method", "FLAT", "scheduler for decode steps");
+  const std::int64_t* bucket = parser.AddInt(
+      "min-bucket", 64, "smallest power-of-two context bucket (plan-sharing granularity)");
+  const std::string* hw_flag = parser.AddString(
+      "hw", "edge", "hardware preset: edge | npu | mixed (alternate edge/npu per device)");
+  const std::string* out_file =
+      parser.AddString("out", "", "write the machine-readable fleet JSON to FILE");
+  const std::string* save_trace = parser.AddString(
+      "save-trace", "", "write the resolved trace JSON to FILE (e.g. to edit and replay)");
+  const std::string* arrival_flag = parser.AddString(
+      "arrival", "",
+      "open-loop arrival model, model[:key=value,...] (poisson | bursty | diurnal); "
+      "replaces the preset's arrival ticks");
+  const double* cycles_per_tick = parser.AddDouble(
+      "cycles-per-tick", 1e6, "device cycles one scheduling round represents (arrival "
+      "calibration: rates are req/s at device 0's clock)");
+  const double* slo_ttft_us = parser.AddDouble(
+      "slo-ttft-us", 0.0, "TTFT SLO target in microseconds (0 = no target)");
+  const double* slo_tpot_us = parser.AddDouble(
+      "slo-tpot-us", 0.0, "TPOT SLO target in microseconds (0 = no target)");
+  const bool* adaptive = parser.AddBool(
+      "adaptive", false,
+      "latch decode onto FLAT when a device's windowed TTFT slips past --slo-ttft-us");
+  const bool* coalesce_decode = parser.AddBool(
+      "coalesce-decode", false,
+      "merge a round's concurrent ready decode steps into one N>1 simulation");
+  const std::int64_t* pressure_window = parser.AddInt(
+      "pressure-window", 4, "TTFT samples in the --adaptive pressure estimate");
+  const std::string* fault_flag = parser.AddString(
+      "fault", "",
+      "seeded fault injection per device, kind[:key=value,...] (stall | derate | crash); "
+      "each device draws an independent stream salted with its index");
+  const std::int64_t* fault_seed =
+      parser.AddInt("fault-seed", 0, "override the fault stream seed (0 = default)");
+  const double* deadline_ttft_us = parser.AddDouble(
+      "deadline-ttft-us", 0.0,
+      "per-request TTFT deadline in microseconds; defines goodput and powers "
+      "--shed-late (0 = none)");
+  const double* deadline_total_us = parser.AddDouble(
+      "deadline-total-us", 0.0,
+      "per-request total deadline in microseconds; overdue requests are "
+      "timeout-killed (0 = none)");
+  const std::int64_t* max_retries = parser.AddInt(
+      "max-retries", 0, "crash retries per request (a retry re-enters admission "
+      "on its own device)");
+  const std::int64_t* retry_backoff_ticks = parser.AddInt(
+      "retry-backoff-ticks", 1, "base retry backoff in ticks, doubling per attempt");
+  const std::int64_t* admission_queue_cap = parser.AddInt(
+      "admission-queue-cap", 0,
+      "per-device waiting-queue bound; arrivals beyond it are shed (0 = unbounded)");
+  const bool* shed_late = parser.AddBool(
+      "shed-late", false,
+      "shed waiting requests whose --deadline-ttft-us budget is already spent");
+
+  try {
+    if (!parser.Parse(argc, argv)) return 0;
+    MAS_CHECK(parser.positional().empty())
+        << "mas_fleet takes no positional arguments (see --help)";
+
+    MAS_CHECK(*devices >= 1 && *devices <= 1024)
+        << "--devices must be in [1, 1024], got " << *devices;
+    MAS_CHECK(*jobs >= 1 && *jobs <= 4096) << "--jobs must be in [1, 4096], got " << *jobs;
+    MAS_CHECK(*max_batch >= 1 && *max_batch <= 4096)
+        << "--max-batch must be in [1, 4096], got " << *max_batch;
+    MAS_CHECK(*synth_tenants >= 0 && *synth_tenants <= 4096)
+        << "--synth-tenants must be in [0, 4096], got " << *synth_tenants;
+
+    fleet::FleetOptions options;
+    options.devices = static_cast<int>(*devices);
+    options.jobs = static_cast<int>(*jobs);
+    options.router = fleet::RouterSpec::Parse(*router_flag);
+    if (*router_seed != 0) options.router_seed = static_cast<std::uint64_t>(*router_seed);
+    MAS_CHECK(*drain >= 0) << "--drain-tokens-per-tick must be non-negative, got " << *drain;
+    options.drain_tokens_per_tick = *drain;
+    options.tenants = fleet::TenantPolicySpec::Parse(*tenants_flag);
+    MAS_CHECK(*hw_flag == "edge" || *hw_flag == "npu" || *hw_flag == "mixed")
+        << "unknown --hw '" << *hw_flag << "' (edge | npu | mixed)";
+    if (*hw_flag != "edge") {
+      for (int d = 0; d < options.devices; ++d) {
+        const bool npu = *hw_flag == "npu" || d % 2 == 1;
+        options.device_hw.push_back(npu ? sim::DavinciNpuConfig() : sim::EdgeSimConfig());
+      }
+    }
+    // Calibration and µs -> cycle conversions run on device 0's clock; with
+    // --hw=mixed the other devices simply serve their share at their own
+    // frequency.
+    const sim::HardwareConfig hw0 =
+        options.device_hw.empty() ? sim::EdgeSimConfig() : options.device_hw[0];
+
+    // --trace: an existing file loads as JSON; anything else is a preset.
+    serve::RequestTrace trace;
+    const bool trace_is_file = std::ifstream(*trace_flag).good();
+    if (!arrival_flag->empty()) {
+      MAS_CHECK(!trace_is_file)
+          << "--arrival generates arrival ticks and cannot be combined with trace file '"
+          << *trace_flag << "'; name a preset shape (chat | decode_heavy | mixed_sd)";
+      serve::ArrivalCalibration calibration;
+      calibration.frequency_ghz = hw0.frequency_ghz;
+      calibration.cycles_per_tick = *cycles_per_tick;
+      const serve::ArrivalSpec arrival_spec = serve::ArrivalSpec::Parse(*arrival_flag);
+      const std::unique_ptr<serve::ArrivalModel> model =
+          serve::ArrivalModelRegistry::Instance().Create(arrival_spec, calibration);
+      serve::SyntheticTraceSpec shape = serve::FindTracePreset(*trace_flag, *requests);
+      shape.tenants = *synth_tenants;
+      trace = serve::RequestTrace::FromArrivalModel(*model, shape);
+    } else if (trace_is_file) {
+      trace = serve::RequestTrace::LoadFile(*trace_flag);
+    } else {
+      serve::SyntheticTraceSpec shape = serve::FindTracePreset(*trace_flag, *requests);
+      shape.tenants = *synth_tenants;
+      trace = serve::GenerateTrace(shape);
+    }
+    if (!save_trace->empty()) {
+      trace.SaveFile(*save_trace);
+      std::cerr << "wrote trace " << *save_trace << "\n";
+    }
+
+    options.planner.prefill_method = *prefill_method;
+    options.planner.decode_method = *decode_method;
+    options.planner.min_context_bucket = *bucket;
+
+    serve::ServeSessionOptions& session = options.session;
+    session.max_batch = static_cast<int>(*max_batch);
+    session.coalesce_decode = *coalesce_decode;
+    if (*adaptive) {
+      MAS_CHECK(*slo_ttft_us > 0.0) << "--adaptive needs a positive --slo-ttft-us target";
+      MAS_CHECK(*pressure_window >= 1 && *pressure_window <= 4096)
+          << "--pressure-window must be in [1, 4096], got " << *pressure_window;
+      session.pressure.enabled = true;
+      session.pressure.ttft_target_cycles = *slo_ttft_us * hw0.frequency_ghz * 1e3;
+      session.pressure.window = static_cast<int>(*pressure_window);
+      session.pressure.relief_method = "FLAT";
+    }
+    const double cycles_per_us = hw0.frequency_ghz * 1e3;
+    if (!fault_flag->empty()) {
+      session.fault = serve::FaultSpec::Parse(*fault_flag);
+      if (*fault_seed != 0) session.fault_seed = static_cast<std::uint64_t>(*fault_seed);
+    }
+    MAS_CHECK(*deadline_ttft_us >= 0.0)
+        << "--deadline-ttft-us must be non-negative, got " << *deadline_ttft_us;
+    MAS_CHECK(*deadline_total_us >= 0.0)
+        << "--deadline-total-us must be non-negative, got " << *deadline_total_us;
+    serve::ResiliencePolicy& resilience = session.resilience;
+    resilience.ttft_deadline_cycles =
+        static_cast<std::uint64_t>(*deadline_ttft_us * cycles_per_us);
+    resilience.total_deadline_cycles =
+        static_cast<std::uint64_t>(*deadline_total_us * cycles_per_us);
+    resilience.max_retries = *max_retries;
+    resilience.retry_backoff_ticks = *retry_backoff_ticks;
+    resilience.admission_queue_cap = *admission_queue_cap;
+    resilience.shed_late = *shed_late;
+
+    Planner planner;
+    std::size_t plans_loaded = 0;
+    if (!plan_cache->empty()) {
+      if (planner.store().LoadFile(*plan_cache)) plans_loaded = planner.store().size();
+    }
+
+    fleet::FleetRouter fleet_router(planner, options);
+    const fleet::FleetResult result = fleet_router.Run(trace);
+
+    serve::SloTargets slo_targets;
+    slo_targets.ttft_us = *slo_ttft_us;
+    slo_targets.tpot_us = *slo_tpot_us;
+    const serve::SloReport slo = fleet::EvaluateFleetSlo(result, slo_targets);
+
+    std::cout << "=== mas_fleet: trace '" << trace.name << "', " << options.devices
+              << " devices, router " << options.router.ToString() << " ===\n";
+    if (options.tenants.enabled()) {
+      std::cout << "tenant policy: " << options.tenants.ToString() << "\n";
+    }
+    std::cout << "\ndevice  hardware      requests  tokens    makespan_ms  p99_ttft_cycles\n";
+    for (const fleet::DeviceReport& d : result.devices) {
+      std::printf("%-7d %-13s %-9lld %-9lld %-12s %.0f\n", d.device, d.hw.name.c_str(),
+                  static_cast<long long>(d.routed_requests),
+                  static_cast<long long>(d.routed_tokens),
+                  FormatFixed(d.result.metrics.MakespanMs(d.hw.frequency_ghz), 3).c_str(),
+                  d.result.metrics.p99_ttft_cycles);
+    }
+    if (!result.tenant_reports.empty() &&
+        (result.tenant_reports.size() > 1 || !result.tenant_reports[0].tenant.empty())) {
+      std::cout << "\ntenant  requests  completed  mean_ttft_cycles  p99_ttft_cycles\n";
+      for (const fleet::TenantReport& t : result.tenant_reports) {
+        std::printf("%-7s %-9lld %-10lld %-17.0f %.0f\n",
+                    t.tenant.empty() ? "-" : t.tenant.c_str(),
+                    static_cast<long long>(t.requests), static_cast<long long>(t.completed),
+                    t.mean_ttft_cycles, t.p99_ttft_cycles);
+      }
+    }
+    const fleet::FleetMetrics& fm = result.metrics;
+    std::cout << "\nfleet: " << fm.requests << " requests (" << fm.completed
+              << " completed), makespan " << FormatFixed(fm.makespan_ms, 3) << " ms, "
+              << FormatFixed(fm.tokens_per_second, 1) << " tok/s, imbalance "
+              << FormatFixed(fm.imbalance, 3) << "\n";
+    std::cout << "fleet p50/p95/p99 TTFT cycles: " << FormatFixed(fm.p50_ttft_cycles, 0)
+              << " / " << FormatFixed(fm.p95_ttft_cycles, 0) << " / "
+              << FormatFixed(fm.p99_ttft_cycles, 0) << "\n";
+    if (slo_targets.HasTtft() || slo_targets.HasTpot()) {
+      std::cout << "SLO attainment: TTFT " << slo.ttft_ok << "/" << slo.requests << " ("
+                << FormatFixed(slo.TtftAttainment(), 3) << "), TPOT " << slo.tpot_ok << "/"
+                << slo.decode_requests << " (" << FormatFixed(slo.TpotAttainment(), 3)
+                << "), joint " << slo.joint_ok << "/" << slo.requests << " ("
+                << FormatFixed(slo.JointAttainment(), 3) << ")\n";
+    }
+
+    if (!out_file->empty()) {
+      JsonWriter json;
+      json.BeginObject();
+      json.KeyValue("tool", "mas_fleet");
+      json.KeyValue("hw", *hw_flag);
+      json.KeyValue("model", options.geometry.name);
+      json.KeyValue("prefill_method", *prefill_method);
+      json.KeyValue("decode_method", *decode_method);
+      json.KeyValue("min_context_bucket", *bucket);
+      json.KeyValue("max_batch", static_cast<std::int64_t>(session.max_batch));
+      json.KeyValue("arrival", *arrival_flag);
+      json.KeyValue("cycles_per_tick", *cycles_per_tick);
+      json.KeyValue("adaptive", *adaptive);
+      json.KeyValue("coalesce_decode", *coalesce_decode);
+      // Resilience configuration echoes only when the layer is in play, so a
+      // plain run's envelope stays schema-stable (mirroring mas_serve).
+      if (session.fault.enabled() || resilience.AnyEnabled()) {
+        json.KeyValue("fault",
+                      session.fault.enabled() ? session.fault.ToString() : std::string());
+        json.KeyValue("fault_seed", session.fault_seed);
+        json.KeyValue("deadline_ttft_us", *deadline_ttft_us);
+        json.KeyValue("deadline_total_us", *deadline_total_us);
+        json.KeyValue("max_retries", resilience.max_retries);
+        json.KeyValue("retry_backoff_ticks", resilience.retry_backoff_ticks);
+        json.KeyValue("admission_queue_cap", resilience.admission_queue_cap);
+        json.KeyValue("shed_late", resilience.shed_late);
+      }
+      serve::WriteSloJson(json, slo_targets, slo);
+      result.WriteJson(json);
+      json.EndObject();
+      WriteFile(*out_file, json.Take() + "\n");
+      std::cout << "wrote " << *out_file << "\n";
+    }
+
+    // Machine-greppable run summary (stderr, mirroring mas_serve): the
+    // warm-cache CI check asserts "tuned 0 (0 search evaluations)".
+    std::fprintf(stderr,
+                 "mas_fleet: %lld requests, %lld devices, %lld plans, plans reused %lld, "
+                 "tuned %lld (%lld search evaluations)\n",
+                 static_cast<long long>(fm.requests),
+                 static_cast<long long>(fm.devices),
+                 static_cast<long long>(planner.store().size()),
+                 static_cast<long long>(planner.plans_reused()),
+                 static_cast<long long>(planner.plans_tuned()),
+                 static_cast<long long>(planner.search_evaluations()));
+    if (!plan_cache->empty()) {
+      planner.store().SaveFile(*plan_cache);
+      std::fprintf(stderr, "plan-cache: loaded %lld plans, saved %lld -> %s\n",
+                   static_cast<long long>(plans_loaded),
+                   static_cast<long long>(planner.store().size()), plan_cache->c_str());
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
