@@ -12,6 +12,7 @@ namespace {
 
 int ResolveJobs(int jobs) {
   if (jobs > 0) return jobs;
+  // mas-lint: allow(concurrency-leak) jobs resolution for --jobs=0; results stay grid-ordered
   return std::max(1u, std::thread::hardware_concurrency());
 }
 

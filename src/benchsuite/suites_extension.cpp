@@ -126,6 +126,7 @@ class SeqSweepSuite final : public BenchSuite {
     grid.hardware = {ctx.edge_hw()};
     // MAS_SWEEP_MAX_N trims the sweep for quick runs; clamp so a low or
     // unparsable value still leaves at least the N=128 point.
+    // mas-lint: allow(env-discipline) documented opt-in sweep-trim knob, off by default
     const char* env_max = std::getenv("MAS_SWEEP_MAX_N");
     const std::int64_t max_n =
         std::max<std::int64_t>(128, env_max != nullptr ? std::atoll(env_max) : 2048);

@@ -134,7 +134,15 @@ bool ArgParser::Parse(int argc, const char* const* argv) {
     const std::size_t eq = arg.find('=');
     const std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
     Flag* flag = Find(name);
-    MAS_CHECK(flag != nullptr) << "unknown flag --" << name << " (see --help)";
+    if (flag == nullptr) {
+      std::string available;
+      for (const Flag& f : flags_) {
+        if (!available.empty()) available += ", ";
+        available += "--" + f.name;
+      }
+      MAS_FAIL() << "unknown flag --" << name << "; options: " << available
+                 << " (see --help)";
+    }
     std::string text;
     if (eq != std::string::npos) {
       text = arg.substr(eq + 1);

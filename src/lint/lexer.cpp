@@ -1,0 +1,135 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace mas::lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+TokenStream Tokenize(const std::string& text) {
+  TokenStream out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (text[i] == '\n') ++line;
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v' ||
+        c == '\\') {  // stray line-continuations tokenize as whitespace
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      out.comments.push_back(Comment{start_line, text.substr(i + 2, end - i - 2)});
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment (recorded at its opening line).
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = text.find("*/", i + 2);
+      const std::size_t body_end = end == std::string::npos ? n : end;
+      out.comments.push_back(Comment{start_line, text.substr(i + 2, body_end - i - 2)});
+      advance((end == std::string::npos ? n : end + 2) - i);
+      continue;
+    }
+
+    // Raw string literal: R"tag( ... )tag".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      const int start_line = line;
+      std::size_t open = text.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string tag = text.substr(i + 2, open - i - 2);
+        const std::string closer = ")" + tag + "\"";
+        std::size_t close = text.find(closer, open + 1);
+        const std::size_t body_end = close == std::string::npos ? n : close;
+        out.tokens.push_back(
+            Token{TokenKind::kString, text.substr(open + 1, body_end - open - 1), start_line});
+        advance((close == std::string::npos ? n : close + closer.size()) - i);
+        continue;
+      }
+    }
+
+    // String / char literal (escape-aware, uninterpreted body).
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.tokens.push_back(Token{c == '"' ? TokenKind::kString : TokenKind::kChar,
+                                 text.substr(i + 1, j - i - 1), start_line});
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back(Token{TokenKind::kIdentifier, text.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // pp-number: digits plus identifier chars, dots, digit separators, and
+    // signed exponents. Lenient on purpose — lint only needs to skip them.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(text[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = text[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||
+                    text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(Token{TokenKind::kNumber, text.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation. "::" and "->" matter to rules (qualified names, member
+    // access); everything else is single-char.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out.tokens.push_back(Token{TokenKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      out.tokens.push_back(Token{TokenKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+
+  return out;
+}
+
+}  // namespace mas::lint

@@ -1,0 +1,47 @@
+// A minimal C++ tokenizer for the mas_lint rule battery.
+//
+// This is deliberately not a compiler front end: rules need identifier
+// streams with line numbers, string-literal contents, and the comment text
+// that carries `// mas-lint: allow(...)` suppressions. Preprocessor lines
+// tokenize like ordinary code (`#` is a punctuator), comments never reach
+// the token stream, and string/char literals arrive as single tokens whose
+// text is the *uninterpreted* body (escapes preserved, quotes stripped) so
+// rules can substring-match message text deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mas::lint {
+
+enum class TokenKind {
+  kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*  (keywords included)
+  kNumber,      // pp-number, lenient: 0x1F, 1e-9, 2'000, 1.5f, ...
+  kString,      // "..."  or  R"tag(...)tag"  — text is the body
+  kChar,        // '...' — text is the body
+  kPunct,       // one character, except the two-char tokens "::" and "->"
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// One comment, with the comment markers stripped. A block comment spanning
+// several lines is recorded once at its opening line.
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;  // in source order
+};
+
+// Tokenizes `text`. Never throws: unterminated literals/comments tokenize
+// to end-of-file (lint must degrade gracefully on code that gcc rejects).
+TokenStream Tokenize(const std::string& text);
+
+}  // namespace mas::lint

@@ -1,0 +1,338 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/status.h"
+
+namespace mas::lint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Identifiers declared with an unordered container type in one token
+// stream: after `unordered_map< ... >` (or _set/_multimap/_multiset), the
+// next identifier past cv/ref/pointer decoration is taken as the declared
+// name. Type aliases (`using Foo = std::unordered_map<...>`) are not
+// tracked — annotate iteration over aliased containers at the use site.
+std::set<std::string> CollectUnorderedNames(const TokenStream& stream) {
+  static const std::set<std::string> kUnorderedTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  std::set<std::string> names;
+  const auto& toks = stream.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || kUnorderedTypes.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    // Skip the balanced template argument list; '>' only closes at paren
+    // depth 0 so function types inside arguments do not derail the scan.
+    int angle = 0;
+    int paren = 0;
+    for (; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (toks[j].kind != TokenKind::kPunct) continue;
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (paren != 0) continue;
+      if (t == "<") ++angle;
+      if (t == ">" && --angle == 0) break;
+    }
+    if (j >= toks.size()) continue;
+    ++j;  // past '>'
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            (toks[j].kind == TokenKind::kIdentifier && toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+      // `unordered_map<...> Foo(` declares a function, not a container.
+      if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+// Sibling translation unit of `path`: foo.cpp <-> foo.h, so member
+// containers declared in a header are known when linting its .cpp.
+std::vector<std::string> SiblingPaths(const std::string& path) {
+  auto swap_ext = [&](const std::string& from, const std::string& to) -> std::string {
+    if (!EndsWith(path, from)) return "";
+    return path.substr(0, path.size() - from.size()) + to;
+  };
+  std::vector<std::string> out;
+  for (const auto& [from, to] : std::initializer_list<std::pair<const char*, const char*>>{
+           {".cpp", ".h"}, {".cc", ".h"}, {".h", ".cpp"}, {".h", ".cc"}, {".hpp", ".cpp"}}) {
+    std::string s = swap_ext(from, to);
+    if (!s.empty()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Suppression> ParseSuppressions(const TokenStream& stream) {
+  std::vector<Suppression> out;
+  for (const Comment& comment : stream.comments) {
+    // A directive must *start* its comment (`// mas-lint: ...`); prose that
+    // merely mentions the grammar mid-sentence is not a directive.
+    const std::string trimmed = Trim(comment.text);
+    if (trimmed.compare(0, 8, "mas-lint") != 0) continue;
+    Suppression sup;
+    sup.line = comment.line;
+    const std::string body = Trim(trimmed.substr(8));
+    auto malformed = [&](const std::string& why) {
+      sup.malformed = true;
+      sup.problem = why;
+      out.push_back(sup);
+    };
+    if (body.empty() || body[0] != ':') {
+      malformed("expected ':' after 'mas-lint'");
+      continue;
+    }
+    const std::string directive = Trim(body.substr(1));
+    if (directive.compare(0, 6, "allow(") != 0) {
+      malformed("expected 'allow(<rule>[,<rule>...]) <reason>'");
+      continue;
+    }
+    const std::size_t close = directive.find(')', 6);
+    if (close == std::string::npos) {
+      malformed("unterminated allow( — missing ')'");
+      continue;
+    }
+    std::stringstream rules(directive.substr(6, close - 6));
+    std::string name;
+    while (std::getline(rules, name, ',')) {
+      name = Trim(name);
+      if (!name.empty()) sup.rules.push_back(name);
+    }
+    if (sup.rules.empty()) {
+      malformed("allow() names no rules");
+      continue;
+    }
+    sup.reason = Trim(directive.substr(close + 1));
+    if (sup.reason.empty()) {
+      malformed("suppression must state a reason after allow(...)");
+      continue;
+    }
+    out.push_back(std::move(sup));
+  }
+  return out;
+}
+
+LintRuleRegistry& LintRuleRegistry::Instance() {
+  static LintRuleRegistry* instance = new LintRuleRegistry();
+  return *instance;
+}
+
+void LintRuleRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_,
+                 [this] { detail::RegisterBuiltins(const_cast<LintRuleRegistry&>(*this)); });
+}
+
+void LintRuleRegistry::Register(std::unique_ptr<LintRule> rule) {
+  EnsureBuiltins();
+  RegisterImpl(std::move(rule));
+}
+
+void LintRuleRegistry::RegisterImpl(std::unique_ptr<LintRule> rule) {
+  MAS_CHECK(rule != nullptr) << "cannot register a null lint rule";
+  const std::string& name = rule->info().name;
+  MAS_CHECK(!name.empty()) << "lint rule name must be non-empty";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : rules_) {
+    MAS_CHECK(existing->info().name != name)
+        << "lint rule '" << name << "' is already registered";
+  }
+  rules_.push_back(std::move(rule));
+}
+
+const LintRule* LintRuleRegistry::Resolve(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& rule : rules_) {
+    if (rule->info().name == name) return rule.get();
+  }
+  std::string available;
+  for (const auto& rule : rules_) {
+    if (!available.empty()) available += ", ";
+    available += "'" + rule->info().name + "'";
+  }
+  MAS_FAIL() << "unknown lint rule '" << name << "'; options: " << available;
+}
+
+const LintRuleInfo* LintRuleRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& rule : rules_) {
+    if (rule->info().name == name) return &rule->info();
+  }
+  return nullptr;
+}
+
+std::vector<LintRuleInfo> LintRuleRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LintRuleInfo> out;
+  out.reserve(rules_.size());
+  for (const auto& rule : rules_) out.push_back(rule->info());
+  return out;
+}
+
+std::string LintRuleRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string available;
+  for (const auto& rule : rules_) {
+    if (!available.empty()) available += ", ";
+    available += "'" + rule->info().name + "'";
+  }
+  return available;
+}
+
+std::vector<AllowlistEntry> ParseAllowlist(const std::string& text,
+                                           const std::string& source_name) {
+  std::vector<AllowlistEntry> out;
+  std::stringstream lines(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream fields(line);
+    AllowlistEntry entry;
+    fields >> entry.rule >> entry.path_suffix;
+    std::getline(fields, entry.reason);
+    entry.reason = Trim(entry.reason);
+    MAS_CHECK(!entry.rule.empty() && !entry.path_suffix.empty() && !entry.reason.empty())
+        << source_name << ":" << line_no
+        << ": allowlist entries are '<rule> <path-suffix> <reason>', got '" << line << "'";
+    // Unknown rule names throw listing the catalog.
+    (void)LintRuleRegistry::Instance().Resolve(entry.rule);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+LintReport RunLint(const std::vector<SourceFile>& files, const LintOptions& options) {
+  LintRuleRegistry& registry = LintRuleRegistry::Instance();
+
+  // Resolve the rule set up front (unknown names throw listing the
+  // catalog), then run in registration order regardless of request order.
+  std::vector<const LintRule*> rules;
+  if (options.rules.empty()) {
+    for (const LintRuleInfo& info : registry.List()) rules.push_back(registry.Resolve(info.name));
+  } else {
+    std::set<std::string> wanted;
+    for (const std::string& name : options.rules) {
+      (void)registry.Resolve(name);
+      wanted.insert(name);
+    }
+    for (const LintRuleInfo& info : registry.List()) {
+      if (wanted.count(info.name)) rules.push_back(registry.Resolve(info.name));
+    }
+  }
+  for (const AllowlistEntry& entry : options.allowlist) {
+    (void)registry.Resolve(entry.rule);  // hand-built lists validate too
+  }
+
+  struct Prepared {
+    const SourceFile* file;
+    TokenStream stream;
+    std::set<std::string> own_names;
+    std::vector<Suppression> suppressions;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(files.size());
+  std::map<std::string, std::size_t> by_path;
+  for (const SourceFile& file : files) {
+    Prepared p;
+    p.file = &file;
+    p.stream = Tokenize(file.text);
+    p.own_names = CollectUnorderedNames(p.stream);
+    p.suppressions = ParseSuppressions(p.stream);
+    by_path.emplace(file.path, prepared.size());
+    prepared.push_back(std::move(p));
+  }
+
+  LintReport report;
+  report.files_scanned = static_cast<std::int64_t>(prepared.size());
+
+  for (const Prepared& p : prepared) {
+    std::set<std::string> names = p.own_names;
+    for (const std::string& sibling : SiblingPaths(p.file->path)) {
+      auto it = by_path.find(sibling);
+      if (it == by_path.end()) continue;
+      const std::set<std::string>& more = prepared[it->second].own_names;
+      names.insert(more.begin(), more.end());
+    }
+
+    FileContext ctx;
+    ctx.file = p.file;
+    ctx.tokens = &p.stream;
+    ctx.unordered_names = &names;
+
+    std::vector<LintFinding> raw;
+    for (const LintRule* rule : rules) rule->Check(ctx, &raw);
+
+    for (LintFinding& finding : raw) {
+      bool suppressed = false;
+      for (const Suppression& sup : p.suppressions) {
+        if (sup.malformed) continue;  // malformed directives never silence
+        if (sup.line != finding.line && sup.line != finding.line - 1) continue;
+        if (std::find(sup.rules.begin(), sup.rules.end(), finding.rule) != sup.rules.end()) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (!suppressed) {
+        for (const AllowlistEntry& entry : options.allowlist) {
+          if (entry.rule == finding.rule && EndsWith(finding.file, entry.path_suffix)) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
+      if (suppressed) {
+        ++report.suppressed;
+      } else {
+        report.findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  auto key = [](const LintFinding& f) { return std::tie(f.file, f.line, f.rule, f.message); };
+  std::sort(report.findings.begin(), report.findings.end(),
+            [&](const LintFinding& a, const LintFinding& b) { return key(a) < key(b); });
+  report.findings.erase(
+      std::unique(report.findings.begin(), report.findings.end(),
+                  [&](const LintFinding& a, const LintFinding& b) { return key(a) == key(b); }),
+      report.findings.end());
+  return report;
+}
+
+std::string FormatFindings(const std::vector<LintFinding>& findings) {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mas::lint

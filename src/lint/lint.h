@@ -1,0 +1,169 @@
+// mas_lint — the project's determinism & concurrency static-analysis pass.
+//
+// Every subsystem since PR 1 stakes its correctness on one invariant: output
+// is byte-identical for any --jobs value, any seed replay, and any rerun.
+// The dynamic tests enforce that per run; this pass enforces the *patterns*
+// that keep it true at diff time: no wall clocks or thread counts near
+// serialized output, all randomness through common/rng, no iteration over
+// unordered containers on output paths, versioned report JSON, and registry
+// errors that list their catalog.
+//
+// Rules self-register in the LintRuleRegistry (the scheduler/strategy/
+// suite/arrival/fault/router registry idiom): `mas_lint --list` catalogs
+// them, unknown rule names throw listing the catalog. Analysis is a
+// tokenizer plus per-rule matchers (lint/lexer.h) — no libclang, no
+// compiler dependency, so the gate runs in milliseconds on the whole tree.
+//
+// Suppression is explicit and auditable, never silent:
+//   * inline, on the finding's line or the line directly above:
+//       // mas-lint: allow(<rule>[,<rule>...]) <reason>
+//     The directive must start its comment, and the reason is mandatory; a
+//     malformed or reason-less directive does not suppress and is itself a
+//     finding (rule `suppression-hygiene`).
+//   * a checked-in allowlist file (tools/lint_allow.txt), one entry per
+//     line: `<rule> <path-suffix> <reason>`.
+// Output is deterministic `file:line: rule: message`, sorted; any finding
+// exits nonzero, so CI can gate on `mas_lint src tools tests`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace mas::lint {
+
+// One source file handed to the linter. `path` is used for rule scoping
+// (e.g. json-schema-version applies under src/serve/ and src/fleet/), for
+// allowlist suffix matching, and verbatim in findings — callers should pass
+// repo-relative paths with '/' separators.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct LintFinding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintRuleInfo {
+  std::string name;     // registry key, e.g. "no-wallclock"
+  std::string summary;  // one-line invariant description for --list
+};
+
+// A parsed `mas-lint:` comment directive. Malformed directives never
+// suppress; the suppression-hygiene rule reports them instead.
+struct Suppression {
+  int line = 0;
+  std::vector<std::string> rules;  // names inside allow(...)
+  std::string reason;
+  bool malformed = false;
+  std::string problem;  // why it is malformed (empty otherwise)
+};
+
+// Extracts every `mas-lint:` directive from a token stream's comments.
+std::vector<Suppression> ParseSuppressions(const TokenStream& stream);
+
+// What one rule sees for one file. `unordered_names` is the set of
+// identifiers declared with an unordered container type in this file or in
+// its sibling header/source (foo.cpp <-> foo.h), collected in a pre-pass so
+// a .cpp iterating a member declared in its header is still caught.
+struct FileContext {
+  const SourceFile* file = nullptr;
+  const TokenStream* tokens = nullptr;
+  const std::set<std::string>* unordered_names = nullptr;
+};
+
+// One registered rule. Rules are stateless matchers: Check() appends
+// findings for `ctx` (suppressions are applied by RunLint afterwards, so a
+// rule never needs to know about them).
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+  virtual const LintRuleInfo& info() const = 0;
+  virtual void Check(const FileContext& ctx, std::vector<LintFinding>* out) const = 0;
+};
+
+class LintRuleRegistry;
+
+namespace detail {
+// Defined in lint/rules.cpp: materializes the builtin rule battery. Called
+// exactly once from inside the registry's call_once, so it must register
+// through RegisterImpl (calling Register would re-enter the active
+// call_once and deadlock — the RouterPolicyRegistry idiom).
+void RegisterBuiltins(LintRuleRegistry& registry);
+}  // namespace detail
+
+// String-keyed rule catalog, mirroring RouterPolicyRegistry.
+class LintRuleRegistry {
+ public:
+  static LintRuleRegistry& Instance();
+
+  // Throws when the rule name is already taken (builtins are materialized
+  // first, so registering over "no-wallclock" throws immediately).
+  void Register(std::unique_ptr<LintRule> rule);
+
+  // Unknown names throw an Error listing the available catalog.
+  const LintRule* Resolve(const std::string& name) const;
+
+  const LintRuleInfo* Find(const std::string& name) const;  // nullptr if unknown
+  std::vector<LintRuleInfo> List() const;                   // registration order
+  std::string AvailableNames() const;  // "'error-catalog', 'no-wallclock', ..."
+
+ private:
+  friend void detail::RegisterBuiltins(LintRuleRegistry& registry);
+
+  LintRuleRegistry() = default;
+  void EnsureBuiltins() const;
+  void RegisterImpl(std::unique_ptr<LintRule> rule);
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<LintRule>> rules_;  // registration order
+};
+
+// One checked-in allowlist entry: findings of `rule` in any file whose
+// normalized path ends with `path_suffix` are suppressed. The reason is
+// mandatory — the allowlist is an audit trail, not an off switch.
+struct AllowlistEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string reason;
+};
+
+// Parses allowlist text (`<rule> <path-suffix> <reason>` per line; blank
+// lines and `#` comments ignored). Throws mas::Error on malformed lines,
+// missing reasons, or unknown rule names (listing the catalog);
+// `source_name` labels the error.
+std::vector<AllowlistEntry> ParseAllowlist(const std::string& text,
+                                           const std::string& source_name);
+
+struct LintOptions {
+  // Rule names to run; empty = every registered rule. Unknown names throw
+  // listing the catalog. Rules always execute in registration order.
+  std::vector<std::string> rules;
+  std::vector<AllowlistEntry> allowlist;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;  // post-suppression, sorted, deduped
+  std::int64_t files_scanned = 0;
+  std::int64_t suppressed = 0;  // findings silenced inline or via allowlist
+};
+
+// Runs the selected rules over `files`. Deterministic: findings are sorted
+// by (file, line, rule, message) regardless of input file order.
+LintReport RunLint(const std::vector<SourceFile>& files, const LintOptions& options);
+
+// Renders findings as `file:line: rule: message` lines (one per finding,
+// trailing newline after each) — the byte-stable CLI output.
+std::string FormatFindings(const std::vector<LintFinding>& findings);
+
+}  // namespace mas::lint

@@ -1,0 +1,416 @@
+// The builtin mas_lint rule battery. Each rule encodes one project
+// invariant that the dynamic determinism tests (jobs-1/2/8 byte-equality,
+// golden pins, warm-cache replays) can only catch after the fact; these
+// matchers catch the pattern at diff time.
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace mas::lint {
+namespace {
+
+const std::vector<Token>* Toks(const FileContext& ctx) { return &ctx.tokens->tokens; }
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool PathContains(const FileContext& ctx, const char* fragment) {
+  return ctx.file->path.find(fragment) != std::string::npos;
+}
+
+// True when token i is an identifier from `names` used as a *free or
+// std-qualified* call: `time(`, `std::time(` — but not `x.time(`,
+// `x->time(`, or `SomeClass::time(`.
+bool IsBannedCall(const std::vector<Token>& toks, std::size_t i,
+                  const std::set<std::string>& names) {
+  if (toks[i].kind != TokenKind::kIdentifier || names.count(toks[i].text) == 0) return false;
+  if (i + 1 >= toks.size() || toks[i + 1].text != "(") return false;
+  if (i == 0) return true;
+  const std::string& prev = toks[i - 1].text;
+  if (prev == "." || prev == "->") return false;
+  if (prev == "::") return i >= 2 && IsIdent(toks[i - 2], "std");
+  return true;
+}
+
+void Report(const FileContext& ctx, int line, const std::string& rule,
+            const std::string& message, std::vector<LintFinding>* out) {
+  out->push_back(LintFinding{ctx.file->path, line, rule, message});
+}
+
+// ------------------------------------------------------------ no-wallclock
+// Simulated time is the only clock: wall-clock reads anywhere near a
+// serialized path make output machine- and load-dependent. The few
+// legitimate timing sites (stderr wall-clock stats) carry annotations.
+class NoWallclockRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "no-wallclock",
+        "wall-clock reads (std::chrono clocks, time(), clock()) are banned outside "
+        "annotated timing sites; simulated output must be machine-independent"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    static const std::set<std::string> kClockIdents = {
+        "steady_clock",  "system_clock",  "high_resolution_clock", "gettimeofday",
+        "clock_gettime", "timespec_get",  "__DATE__",              "__TIME__",
+        "__TIMESTAMP__"};
+    static const std::set<std::string> kClockCalls = {"time",   "clock",  "localtime",
+                                                      "gmtime", "mktime", "difftime"};
+    const auto& toks = *Toks(ctx);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      if (kClockIdents.count(toks[i].text) != 0) {
+        Report(ctx, toks[i].line, info().name,
+               "wall-clock source '" + toks[i].text + "' — use the simulated clock, or "
+               "annotate a stderr-only timing site",
+               out);
+      } else if (IsBannedCall(toks, i, kClockCalls)) {
+        Report(ctx, toks[i].line, info().name,
+               "wall-clock call '" + toks[i].text + "()' — use the simulated clock, or "
+               "annotate a stderr-only timing site",
+               out);
+      }
+    }
+  }
+};
+
+// --------------------------------------------------------- rng-discipline
+// All randomness flows through common/rng (xoshiro256**, explicit seeds) so
+// every draw replays byte-identically. Platform RNGs have unspecified
+// per-libc streams, and std::random_device is nondeterministic by design.
+class RngDisciplineRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "rng-discipline",
+        "rand()/srand(), std::random_device, and raw standard engines (mt19937, ...) are "
+        "banned outside common/rng; draw from mas::Rng with an explicit seed"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    if (PathContains(ctx, "common/rng")) return;  // the one sanctioned home
+    static const std::set<std::string> kEngineIdents = {
+        "random_device", "mt19937",  "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "knuth_b", "ranlux24", "ranlux48"};
+    static const std::set<std::string> kRandCalls = {"rand",    "srand",   "rand_r",
+                                                     "drand48", "lrand48", "mrand48",
+                                                     "random",  "srandom"};
+    const auto& toks = *Toks(ctx);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      if (kEngineIdents.count(toks[i].text) != 0) {
+        Report(ctx, toks[i].line, info().name,
+               "platform RNG '" + toks[i].text + "' — all randomness must flow through "
+               "mas::Rng (common/rng) with an explicit seed",
+               out);
+      } else if (IsBannedCall(toks, i, kRandCalls)) {
+        Report(ctx, toks[i].line, info().name,
+               "platform RNG call '" + toks[i].text + "()' — all randomness must flow "
+               "through mas::Rng (common/rng) with an explicit seed",
+               out);
+      }
+    }
+  }
+};
+
+// ----------------------------------------------------- unordered-iteration
+// Hash-table iteration order is implementation-defined, so any loop over an
+// unordered container that can reach serialization, metrics, or error text
+// is a latent nondeterminism bug. Names are collected from the file and its
+// sibling header/source, so a .cpp iterating a member declared in its .h is
+// caught. Lookups (find/count/emplace) are untouched; only iteration flags.
+class UnorderedIterationRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "unordered-iteration",
+        "range-for / begin() iteration over unordered_map/unordered_set is flagged; "
+        "iterate a sorted copy or annotate why order cannot reach output"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    const auto& toks = *Toks(ctx);
+    const std::set<std::string>& names = *ctx.unordered_names;
+    if (names.empty()) return;
+    static const std::set<std::string> kBeginCalls = {"begin", "cbegin", "rbegin", "crbegin"};
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      // Range-for whose range expression mentions an unordered name.
+      if (IsIdent(toks[i], "for") && i + 1 < toks.size() && toks[i + 1].text == "(") {
+        int depth = 1;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+          const std::string& t = toks[j].text;
+          if (toks[j].kind != TokenKind::kPunct) continue;
+          if (t == "(") ++depth;
+          if (t == ")") --depth;
+          if (t == ";" && depth == 1) break;  // classic for loop, no range
+          if (t == ":" && depth == 1) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != 0) {
+          depth = 1;
+          for (std::size_t j = colon + 1; j < toks.size() && depth > 0; ++j) {
+            const std::string& t = toks[j].text;
+            if (toks[j].kind == TokenKind::kPunct) {
+              if (t == "(") ++depth;
+              if (t == ")" && --depth == 0) break;
+            } else if (toks[j].kind == TokenKind::kIdentifier && names.count(t) != 0) {
+              Report(ctx, toks[i].line, info().name,
+                     "range-for over unordered container '" + t +
+                         "' — iteration order is nondeterministic; iterate a sorted copy "
+                         "or annotate why order cannot reach output",
+                     out);
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      // Explicit iterator walk: name.begin() / name->cbegin() / ...
+      if (toks[i].kind == TokenKind::kIdentifier && names.count(toks[i].text) != 0 &&
+          i + 3 < toks.size() && (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+          toks[i + 2].kind == TokenKind::kIdentifier &&
+          kBeginCalls.count(toks[i + 2].text) != 0 && toks[i + 3].text == "(") {
+        Report(ctx, toks[i].line, info().name,
+               "iterator over unordered container '" + toks[i].text +
+                   "' — iteration order is nondeterministic; iterate a sorted copy or "
+                   "annotate why order cannot reach output",
+               out);
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------- concurrency-leak
+// hardware_concurrency() may only feed --jobs resolution (how much work to
+// run at once), never anything serialized — output must be byte-identical
+// on a 1-core laptop and a 128-core server.
+class ConcurrencyLeakRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "concurrency-leak",
+        "hardware_concurrency() is restricted to annotated jobs-resolution sites; thread "
+        "counts must never shape serialized output"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    const auto& toks = *Toks(ctx);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (IsIdent(toks[i], "hardware_concurrency")) {
+        Report(ctx, toks[i].line, info().name,
+               "hardware_concurrency() outside an annotated jobs-resolution site — thread "
+               "counts must never shape serialized output",
+               out);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------- json-schema-version
+// The serve/fleet report documents are consumed downstream (dashboards,
+// diffing, the bench suites); PR 8 versioned them. Any top-level emitter in
+// those subsystems — by convention a function named WriteJson or ToJson —
+// must stamp schema_version so consumers can detect layout changes.
+class JsonSchemaVersionRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "json-schema-version",
+        "serve/fleet top-level JSON emitters (WriteJson/ToJson definitions) must write "
+        "a schema_version field"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    if (!PathContains(ctx, "src/serve/") && !PathContains(ctx, "src/fleet/")) return;
+    const auto& toks = *Toks(ctx);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!IsIdent(toks[i], "WriteJson") && !IsIdent(toks[i], "ToJson")) continue;
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      // Find the parameter list's closing paren.
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind != TokenKind::kPunct) continue;
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) break;
+      }
+      if (j >= toks.size()) continue;
+      ++j;
+      while (j < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+             (toks[j].text == "const" || toks[j].text == "noexcept" ||
+              toks[j].text == "override" || toks[j].text == "final")) {
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].text != "{") continue;  // declaration or call
+      // Scan the body for a "schema_version" string literal.
+      depth = 0;
+      bool versioned = false;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind == TokenKind::kString &&
+            toks[j].text.find("schema_version") != std::string::npos) {
+          versioned = true;
+        }
+        if (toks[j].kind != TokenKind::kPunct) continue;
+        if (toks[j].text == "{") ++depth;
+        if (toks[j].text == "}" && --depth == 0) break;
+      }
+      if (!versioned) {
+        Report(ctx, toks[i].line, info().name,
+               "JSON emitter '" + toks[i].text +
+                   "' writes no schema_version — serve/fleet documents are versioned so "
+                   "consumers can detect layout changes",
+               out);
+      }
+    }
+  }
+};
+
+// ----------------------------------------------------------- error-catalog
+// A lookup failure that only echoes the bad name strands the user; every
+// registry in this codebase throws "unknown X '<name>'; options: <catalog>".
+// This rule keeps that contract: an error statement whose text says
+// "unknown" must also list what *is* available.
+class ErrorCatalogRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "error-catalog",
+        "error statements saying 'unknown ...' must list the available catalog "
+        "(options:/known:/Available...) so lookup failures are self-servicing"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    const auto& toks = *Toks(ctx);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const bool starts_error = IsIdent(toks[i], "MAS_FAIL") || IsIdent(toks[i], "MAS_CHECK") ||
+                                IsIdent(toks[i], "throw");
+      if (!starts_error) continue;
+      bool says_unknown = false;
+      bool lists_catalog = false;
+      std::size_t j = i;
+      for (; j < toks.size(); ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokenKind::kPunct && t.text == ";") break;
+        if (t.kind == TokenKind::kString) {
+          if (t.text.find("unknown") != std::string::npos ||
+              t.text.find("Unknown") != std::string::npos) {
+            says_unknown = true;
+          }
+          if (t.text.find("options") != std::string::npos ||
+              t.text.find("known:") != std::string::npos ||
+              t.text.find("available") != std::string::npos) {
+            lists_catalog = true;
+          }
+        }
+        if (t.kind == TokenKind::kIdentifier &&
+            t.text.find("Available") != std::string::npos) {
+          lists_catalog = true;
+        }
+      }
+      if (says_unknown && !lists_catalog) {
+        Report(ctx, toks[i].line, info().name,
+               "'unknown ...' error without the available catalog — list the options "
+               "(the registry AvailableNames() idiom) or annotate an internal invariant",
+               out);
+      }
+      i = j;  // resume after the statement
+    }
+  }
+};
+
+// ---------------------------------------------------------- env-discipline
+// Environment variables and subprocesses are invisible inputs: a run that
+// depends on them is not reproducible from its command line. Deliberate
+// opt-in knobs carry annotations; nothing may read the environment quietly.
+class EnvDisciplineRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "env-discipline",
+        "getenv()/setenv()/system() are banned outside annotated opt-in sites; runs must "
+        "be reproducible from their command line alone"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    static const std::set<std::string> kEnvCalls = {"getenv", "secure_getenv", "setenv",
+                                                    "unsetenv", "putenv", "system"};
+    const auto& toks = *Toks(ctx);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (IsBannedCall(toks, i, kEnvCalls)) {
+        Report(ctx, toks[i].line, info().name,
+               "environment/process escape '" + toks[i].text +
+                   "()' — runs must be reproducible from the command line; annotate "
+                   "deliberate opt-in knobs",
+               out);
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------ suppression-hygiene
+// The suppression system itself is auditable: a directive that is
+// malformed, names an unknown rule, or omits its reason is a finding (and
+// never silences anything).
+class SuppressionHygieneRule : public LintRule {
+ public:
+  const LintRuleInfo& info() const override {
+    static const LintRuleInfo kInfo{
+        "suppression-hygiene",
+        "mas-lint suppression directives must be well-formed, name registered rules, and "
+        "state a reason"};
+    return kInfo;
+  }
+
+  void Check(const FileContext& ctx, std::vector<LintFinding>* out) const override {
+    for (const Suppression& sup : ParseSuppressions(*ctx.tokens)) {
+      if (sup.malformed) {
+        Report(ctx, sup.line, info().name, "malformed mas-lint directive: " + sup.problem,
+               out);
+        continue;
+      }
+      for (const std::string& rule : sup.rules) {
+        if (LintRuleRegistry::Instance().Find(rule) == nullptr) {
+          Report(ctx, sup.line, info().name,
+                 "allow() names unknown rule '" + rule +
+                     "'; options: " + LintRuleRegistry::Instance().AvailableNames(),
+                 out);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void RegisterBuiltins(LintRuleRegistry& registry) {
+  registry.RegisterImpl(std::make_unique<NoWallclockRule>());
+  registry.RegisterImpl(std::make_unique<RngDisciplineRule>());
+  registry.RegisterImpl(std::make_unique<UnorderedIterationRule>());
+  registry.RegisterImpl(std::make_unique<ConcurrencyLeakRule>());
+  registry.RegisterImpl(std::make_unique<JsonSchemaVersionRule>());
+  registry.RegisterImpl(std::make_unique<ErrorCatalogRule>());
+  registry.RegisterImpl(std::make_unique<EnvDisciplineRule>());
+  registry.RegisterImpl(std::make_unique<SuppressionHygieneRule>());
+}
+
+}  // namespace detail
+
+}  // namespace mas::lint

@@ -25,9 +25,10 @@ namespace mas::runner {
 // unknown and honor the requested job count. Shared with callers that
 // provision per-worker scratch (e.g. the tiling search's engines).
 inline std::size_t EffectiveWorkers(std::size_t n, int jobs) {
-  const std::size_t hardware = std::thread::hardware_concurrency() == 0
-                                   ? static_cast<std::size_t>(-1)
-                                   : std::thread::hardware_concurrency();
+  // mas-lint: allow(concurrency-leak) jobs resolution: clamps worker fan-out only;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const std::size_t hardware =
+      hw_threads == 0 ? static_cast<std::size_t>(-1) : hw_threads;
   return std::min<std::size_t>(
       {n, jobs < 1 ? std::size_t{1} : static_cast<std::size_t>(jobs), hardware});
 }

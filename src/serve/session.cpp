@@ -34,6 +34,7 @@ const char* RequestOutcomeName(RequestOutcome outcome) {
     case RequestOutcome::kTimedOut: return "timed_out";
     case RequestOutcome::kCrashed: return "crashed";
   }
+  // mas-lint: allow(error-catalog) internal enum exhaustiveness guard, not a name lookup
   MAS_FAIL() << "unknown RequestOutcome " << static_cast<int>(outcome);
 }
 

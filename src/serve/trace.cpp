@@ -51,6 +51,7 @@ std::int64_t RequestTrace::TotalDecodeTokens() const {
   return total;
 }
 
+// mas-lint: allow(json-schema-version) input documents carry a strict `version` field pinned by FromJson
 std::string RequestTrace::ToJson() const {
   Validate();
   JsonWriter w;

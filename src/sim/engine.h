@@ -291,6 +291,7 @@ inline TaskId Engine::AddTask(ResourceKind resource, int core, std::uint64_t dur
   MAS_CHECK(!ran_) << "cannot add tasks after Run()";
   const TaskId id = static_cast<TaskId>(tasks_.size());
   for (TaskId dep : deps) {
+    // mas-lint: allow(error-catalog) internal graph invariant; task ids are not a catalog
     MAS_CHECK(dep >= 0 && dep < id) << "task " << id << " depends on unknown task " << dep;
   }
   queues_[QueueIndex(resource, core)].tasks.push_back(id);

@@ -23,7 +23,15 @@ void L1Tracker::Alloc(const std::string& name, std::int64_t bytes) {
 
 void L1Tracker::Free(const std::string& name) {
   auto it = live_.find(name);
-  MAS_CHECK(it != live_.end()) << "freeing unknown buffer '" << name << "'";
+  if (it == live_.end()) {
+    std::string live;
+    for (const std::string& buf : LiveBuffers()) {
+      if (!live.empty()) live += ", ";
+      live += "'" + buf + "'";
+    }
+    MAS_FAIL() << "freeing unknown buffer '" << name
+               << "'; known: " << (live.empty() ? "(none live)" : live);
+  }
   used_ -= it->second;
   live_.erase(it);
 }
@@ -46,7 +54,9 @@ std::int64_t L1Tracker::SizeOf(const std::string& name) const {
 std::vector<std::string> L1Tracker::LiveBuffers() const {
   std::vector<std::string> names;
   names.reserve(live_.size());
+  // mas-lint: allow(unordered-iteration) collection only; sorted before return
   for (const auto& [name, size] : live_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 

@@ -38,7 +38,8 @@ class L1Tracker {
   bool IsLive(const std::string& name) const;
   std::int64_t SizeOf(const std::string& name) const;  // 0 when not live
 
-  // Names of live allocations (unordered).
+  // Names of live allocations, sorted (hash order must never leak into
+  // error text or serialized output).
   std::vector<std::string> LiveBuffers() const;
 
  private:

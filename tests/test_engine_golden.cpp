@@ -61,6 +61,7 @@ NetworkWorkload FindGoldenNetwork(const std::string& name) {
   for (const auto& w : DecodeWorkloads({512, 4096})) {
     if (w.name == name) return w;
   }
+  // mas-lint: allow(error-catalog) stale-golden invariant; regenerate via gen_golden_engine
   MAS_FAIL() << "golden row references unknown network '" << name << "'";
 }
 

@@ -1,0 +1,364 @@
+// mas_lint battery: every registered rule fires on a seeded fixture
+// violation and is silenceable via `// mas-lint: allow(...)`; the allowlist
+// file is honored; unknown rule names list the catalog; output is
+// byte-identical across reruns and input orders.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/status.h"
+#include "lint/lint.h"
+
+namespace mas::lint {
+namespace {
+
+LintReport Lint(const std::vector<SourceFile>& files, LintOptions options = {}) {
+  return RunLint(files, options);
+}
+
+std::vector<std::string> RuleNames(const LintReport& report) {
+  std::vector<std::string> names;
+  for (const LintFinding& f : report.findings) names.push_back(f.rule);
+  return names;
+}
+
+// ------------------------------------------------------------------ catalog
+
+TEST(LintRegistry, CatalogListsEveryBuiltinInRegistrationOrder) {
+  const std::vector<LintRuleInfo> rules = LintRuleRegistry::Instance().List();
+  const std::vector<std::string> expected = {
+      "no-wallclock",        "rng-discipline", "unordered-iteration",
+      "concurrency-leak",    "json-schema-version", "error-catalog",
+      "env-discipline",      "suppression-hygiene"};
+  ASSERT_EQ(rules.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rules[i].name, expected[i]);
+    EXPECT_FALSE(rules[i].summary.empty());
+  }
+}
+
+TEST(LintRegistry, UnknownRuleThrowsListingCatalog) {
+  try {
+    (void)LintRuleRegistry::Instance().Resolve("no-such-rule");
+    FAIL() << "expected mas::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.raw_message();
+    EXPECT_NE(msg.find("unknown lint rule 'no-such-rule'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'no-wallclock'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'suppression-hygiene'"), std::string::npos) << msg;
+  }
+}
+
+TEST(LintRegistry, RunLintRejectsUnknownRuleName) {
+  LintOptions options;
+  options.rules = {"no-wallclock", "bogus"};
+  EXPECT_THROW(Lint({{"a.cpp", "int x;\n"}}, options), Error);
+}
+
+TEST(LintRegistry, FindReturnsNullForUnknown) {
+  EXPECT_EQ(LintRuleRegistry::Instance().Find("nope"), nullptr);
+  ASSERT_NE(LintRuleRegistry::Instance().Find("error-catalog"), nullptr);
+}
+
+// ---------------------------------------------------------- rule: fixtures
+// Each rule fires on a seeded violation and goes quiet under an inline
+// `// mas-lint: allow(<rule>) <reason>` on the line or the line above.
+
+struct RuleFixture {
+  const char* rule;
+  const char* path;
+  const char* violation;  // one line that must fire exactly this rule
+};
+
+const RuleFixture kFixtures[] = {
+    {"no-wallclock", "src/x/clsocks.cpp",
+     "auto t0 = std::chrono::steady_clock::now();"},
+    {"no-wallclock", "src/x/ctime.cpp", "long stamp = time(nullptr);"},
+    {"rng-discipline", "src/x/rng.cpp", "std::mt19937 gen(42);"},
+    {"rng-discipline", "src/x/crand.cpp", "int r = rand();"},
+    {"concurrency-leak", "src/x/hw.cpp",
+     "unsigned n = std::thread::hardware_concurrency();"},
+    {"env-discipline", "src/x/env.cpp", "const char* v = std::getenv(\"HOME\");"},
+    {"error-catalog", "src/x/err.cpp",
+     "void f() { MAS_FAIL() << \"unknown policy '\" << p << \"'\"; }"},
+};
+
+TEST(LintRules, EachFixtureViolationFires) {
+  for (const RuleFixture& fx : kFixtures) {
+    const LintReport report = Lint({{fx.path, std::string(fx.violation) + "\n"}});
+    ASSERT_EQ(report.findings.size(), 1u) << fx.rule << ": " << fx.violation;
+    EXPECT_EQ(report.findings[0].rule, fx.rule);
+    EXPECT_EQ(report.findings[0].file, fx.path);
+    EXPECT_EQ(report.findings[0].line, 1);
+  }
+}
+
+TEST(LintRules, InlineAllowOnSameLineSilencesEachFixture) {
+  for (const RuleFixture& fx : kFixtures) {
+    const std::string text = std::string(fx.violation) + "  // mas-lint: allow(" +
+                             fx.rule + ") fixture justification\n";
+    const LintReport report = Lint({{fx.path, text}});
+    EXPECT_TRUE(report.findings.empty()) << fx.rule;
+    EXPECT_EQ(report.suppressed, 1) << fx.rule;
+  }
+}
+
+TEST(LintRules, InlineAllowOnLineAboveSilencesEachFixture) {
+  for (const RuleFixture& fx : kFixtures) {
+    const std::string text = std::string("// mas-lint: allow(") + fx.rule +
+                             ") fixture justification\n" + fx.violation + "\n";
+    const LintReport report = Lint({{fx.path, text}});
+    EXPECT_TRUE(report.findings.empty()) << fx.rule;
+    EXPECT_EQ(report.suppressed, 1) << fx.rule;
+  }
+}
+
+TEST(LintRules, AllowTwoLinesAboveDoesNotSilence) {
+  const std::string text =
+      "// mas-lint: allow(rng-discipline) too far away\n"
+      "int unrelated;\n"
+      "std::mt19937 gen(1);\n";
+  const LintReport report = Lint({{"src/x/far.cpp", text}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "rng-discipline");
+}
+
+// ------------------------------------------------------------ no-wallclock
+
+TEST(LintNoWallclock, MemberNamedTimeIsNotFlagged) {
+  const LintReport report =
+      Lint({{"a.cpp", "double t = sim.time();\nauto u = obj->clock();\n"}});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LintNoWallclock, QualifiedStdTimeIsFlagged) {
+  const LintReport report = Lint({{"a.cpp", "long s = std::time(nullptr);\n"}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "no-wallclock");
+}
+
+TEST(LintNoWallclock, OtherClassQualifiedTimeIsNotFlagged) {
+  const LintReport report = Lint({{"a.cpp", "long s = SimClock::time(now);\n"}});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+// -------------------------------------------------------- rng-discipline
+
+TEST(LintRngDiscipline, CommonRngIsExempt) {
+  const LintReport report =
+      Lint({{"src/common/rng.cpp", "std::mt19937 reference_stream(7);\n"}});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LintRngDiscipline, RandomDeviceFlagged) {
+  const LintReport report = Lint({{"b.cpp", "std::random_device rd;\n"}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "rng-discipline");
+}
+
+// --------------------------------------------------- unordered-iteration
+
+TEST(LintUnorderedIteration, RangeForOverUnorderedMapFires) {
+  const std::string text =
+      "std::unordered_map<std::string, int> counts;\n"
+      "void dump() { for (const auto& [k, v] : counts) use(k, v); }\n";
+  const LintReport report = Lint({{"c.cpp", text}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
+TEST(LintUnorderedIteration, LookupsDoNotFire) {
+  const std::string text =
+      "std::unordered_map<std::string, int> counts;\n"
+      "bool has(const std::string& k) { return counts.find(k) != counts.end(); }\n"
+      "void put(const std::string& k) { counts.emplace(k, 1); }\n";
+  EXPECT_TRUE(Lint({{"c.cpp", text}}).findings.empty());
+}
+
+TEST(LintUnorderedIteration, ExplicitBeginIterationFires) {
+  const std::string text =
+      "std::unordered_set<int> seen;\n"
+      "void walk() { for (auto it = seen.begin(); it != seen.end(); ++it) use(*it); }\n";
+  const LintReport report = Lint({{"c.cpp", text}});
+  ASSERT_GE(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "unordered-iteration");
+}
+
+TEST(LintUnorderedIteration, MemberDeclaredInSiblingHeaderIsKnown) {
+  const SourceFile header{"src/m/tracker.h",
+                          "struct T { std::unordered_map<std::string, int> live_; };\n"};
+  const SourceFile source{"src/m/tracker.cpp",
+                          "void T::dump() { for (const auto& kv : live_) use(kv); }\n"};
+  const LintReport report = Lint({header, source});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/m/tracker.cpp");
+  EXPECT_EQ(report.findings[0].rule, "unordered-iteration");
+}
+
+TEST(LintUnorderedIteration, RangeForOverVectorDoesNotFire) {
+  const std::string text =
+      "std::vector<int> items;\n"
+      "void dump() { for (int v : items) use(v); }\n";
+  EXPECT_TRUE(Lint({{"c.cpp", text}}).findings.empty());
+}
+
+// --------------------------------------------------- json-schema-version
+
+TEST(LintJsonSchemaVersion, ServeEmitterWithoutVersionFires) {
+  const std::string text =
+      "void Result::WriteJson(JsonWriter& w) const {\n"
+      "  w.BeginObject();\n"
+      "  w.KeyValue(\"cycles\", cycles);\n"
+      "  w.EndObject();\n"
+      "}\n";
+  const LintReport report = Lint({{"src/serve/out.cpp", text}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "json-schema-version");
+  EXPECT_EQ(report.findings[0].line, 1);
+}
+
+TEST(LintJsonSchemaVersion, VersionedEmitterPasses) {
+  const std::string text =
+      "void Result::WriteJson(JsonWriter& w) const {\n"
+      "  w.BeginObject();\n"
+      "  w.KeyValue(\"schema_version\", std::int64_t{3});\n"
+      "  w.EndObject();\n"
+      "}\n";
+  EXPECT_TRUE(Lint({{"src/fleet/out.cpp", text}}).findings.empty());
+}
+
+TEST(LintJsonSchemaVersion, OutsideServeFleetIsOutOfScope) {
+  const std::string text = "void Result::WriteJson(JsonWriter& w) const { w.Null(); }\n";
+  EXPECT_TRUE(Lint({{"src/report/out.cpp", text}}).findings.empty());
+}
+
+TEST(LintJsonSchemaVersion, DeclarationsAndCallsAreIgnored) {
+  const std::string text =
+      "void WriteJson(JsonWriter& w) const;\n"
+      "void run() { result.WriteJson(w); }\n";
+  EXPECT_TRUE(Lint({{"src/serve/decl.cpp", text}}).findings.empty());
+}
+
+// --------------------------------------------------------- error-catalog
+
+TEST(LintErrorCatalog, UnknownWithOptionsListingPasses) {
+  const std::string text =
+      "void f() { MAS_FAIL() << \"unknown policy '\" << p << \"'; options: \" "
+      "<< AvailableNames(); }\n";
+  EXPECT_TRUE(Lint({{"d.cpp", text}}).findings.empty());
+}
+
+TEST(LintErrorCatalog, ExpectationStringsInTestsDoNotFire) {
+  const std::string text =
+      "TEST(R, X) { EXPECT_THROW(reg.Create(\"zzz\"), Error); }\n"
+      "const char* kMsg = \"unknown method\";\n";
+  EXPECT_TRUE(Lint({{"tests/test_x.cpp", text}}).findings.empty());
+}
+
+// ---------------------------------------------------- suppression-hygiene
+
+TEST(LintSuppressionHygiene, MissingReasonIsAFindingAndDoesNotSuppress) {
+  const std::string text = "int r = rand();  // mas-lint: allow(rng-discipline)\n";
+  const LintReport report = Lint({{"e.cpp", text}});
+  const std::vector<std::string> rules = RuleNames(report);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "rng-discipline"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "suppression-hygiene"), rules.end());
+}
+
+TEST(LintSuppressionHygiene, UnknownRuleInAllowListsCatalog) {
+  const std::string text = "// mas-lint: allow(not-a-rule) because reasons\nint x;\n";
+  const LintReport report = Lint({{"e.cpp", text}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "suppression-hygiene");
+  EXPECT_NE(report.findings[0].message.find("'no-wallclock'"), std::string::npos)
+      << report.findings[0].message;
+}
+
+TEST(LintSuppressionHygiene, MalformedDirectiveIsAFinding) {
+  const std::string text = "// mas-lint: disable everything\nint x;\n";
+  const LintReport report = Lint({{"e.cpp", text}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "suppression-hygiene");
+}
+
+TEST(LintSuppressionHygiene, ProseMentioningTheGrammarIsNotADirective) {
+  const std::string text =
+      "// Suppress with `// mas-lint: allow(<rule>) <reason>` on the line.\nint x;\n";
+  EXPECT_TRUE(Lint({{"e.cpp", text}}).findings.empty());
+}
+
+TEST(LintSuppressionHygiene, CommaListSuppressesSeveralRules) {
+  const std::string text =
+      "// mas-lint: allow(rng-discipline,no-wallclock) fixture reason\n"
+      "long t = time(nullptr) + rand();\n";
+  const LintReport report = Lint({{"e.cpp", text}});
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, 2);
+}
+
+// -------------------------------------------------------------- allowlist
+
+TEST(LintAllowlist, EntrySuppressesByPathSuffix) {
+  LintOptions options;
+  options.allowlist = {{"rng-discipline", "x/legacy.cpp", "audited legacy stream"}};
+  const LintReport report =
+      Lint({{"src/x/legacy.cpp", "int r = rand();\n"},
+            {"src/x/fresh.cpp", "int r = rand();\n"}},
+           options);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/x/fresh.cpp");
+  EXPECT_EQ(report.suppressed, 1);
+}
+
+TEST(LintAllowlist, ParseRejectsUnknownRuleAndMissingFields) {
+  EXPECT_THROW(ParseAllowlist("bogus-rule a.cpp reason\n", "t"), Error);
+  EXPECT_THROW(ParseAllowlist("rng-discipline a.cpp\n", "t"), Error);  // no reason
+  const auto entries =
+      ParseAllowlist("# comment\n\nrng-discipline a.cpp audited reason\n", "t");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "rng-discipline");
+  EXPECT_EQ(entries[0].path_suffix, "a.cpp");
+  EXPECT_EQ(entries[0].reason, "audited reason");
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(LintDeterminism, OutputIsByteIdenticalAcrossRerunsAndInputOrder) {
+  const std::vector<SourceFile> files = {
+      {"src/x/a.cpp", "int r = rand();\nlong t = time(nullptr);\n"},
+      {"src/x/b.cpp", "std::random_device rd;\n"},
+      {"src/serve/c.cpp", "void R::WriteJson(JsonWriter& w) { w.Null(); }\n"},
+  };
+  std::vector<SourceFile> reversed(files.rbegin(), files.rend());
+  const std::string first = FormatFindings(Lint(files).findings);
+  const std::string again = FormatFindings(Lint(files).findings);
+  const std::string shuffled = FormatFindings(Lint(reversed).findings);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first, shuffled);
+  // Sorted by (file, line, rule): serve/c.cpp sorts before x/a.cpp.
+  EXPECT_EQ(first.find("src/serve/c.cpp"), 0u) << first;
+}
+
+TEST(LintDeterminism, FindingLinesAreOneBased) {
+  const LintReport report = Lint({{"f.cpp", "\n\nint r = rand();\n"}});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].line, 3);
+}
+
+// ------------------------------------------------------- rule selection
+
+TEST(LintOptionsTest, RuleSubsetRunsOnlyThoseRules) {
+  LintOptions options;
+  options.rules = {"no-wallclock"};
+  const LintReport report =
+      Lint({{"g.cpp", "int r = rand();\nlong t = time(nullptr);\n"}}, options);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "no-wallclock");
+}
+
+}  // namespace
+}  // namespace mas::lint

@@ -12,6 +12,22 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# Static analysis gate: the determinism & concurrency lint must be clean
+# (inline `mas-lint: allow(...)` and tools/lint_allow.txt are the only
+# sanctioned escape hatches — see src/lint/lint.h for the rule catalog).
+"$BUILD_DIR/mas_lint" src tools tests
+
+# clang-tidy (curated profile in .clang-tidy) over the library sources via
+# the exported compilation database. Skipped when clang-tidy is not
+# installed locally; CI always runs it.
+if command -v clang-tidy > /dev/null 2>&1; then
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+  clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "ci: clang-tidy not found; skipping tidy step" >&2
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Smoke: a tiny sweep must succeed and be deterministic across thread counts.
@@ -173,4 +189,17 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
 "$SAN_DIR/test_fault"
 "$SAN_DIR/test_fleet"
 
-echo "ci: build + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + fleet smoke + asan OK"
+# ThreadSanitizer pass over the concurrent batteries (worker pools, the
+# parallel sweep runner, fleet routing, and the SLO engine's threaded
+# replay). RelWithDebInfo keeps the instrumented run bounded on one core.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMAS_SANITIZE=thread \
+    -DMAS_BUILD_BENCHES=OFF -DMAS_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target test_search_parallel test_sweep_runner test_fleet test_serve_slo
+"$TSAN_DIR/test_search_parallel"
+"$TSAN_DIR/test_sweep_runner"
+"$TSAN_DIR/test_fleet"
+"$TSAN_DIR/test_serve_slo"
+
+echo "ci: build + lint + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + fleet smoke + asan + tsan OK"

@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
     options.drain_tokens_per_tick = *drain;
     options.tenants = fleet::TenantPolicySpec::Parse(*tenants_flag);
     MAS_CHECK(*hw_flag == "edge" || *hw_flag == "npu" || *hw_flag == "mixed")
-        << "unknown --hw '" << *hw_flag << "' (edge | npu | mixed)";
+        << "unknown --hw '" << *hw_flag << "'; options: edge, npu, mixed";
     if (*hw_flag != "edge") {
       for (int d = 0; d < options.devices; ++d) {
         const bool npu = *hw_flag == "npu" || d % 2 == 1;

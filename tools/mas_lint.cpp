@@ -1,0 +1,136 @@
+// mas_lint — determinism & concurrency static analysis over the tree.
+//
+//   mas_lint [--list] [--rules=a,b] [--allowlist=FILE|none] PATH...
+//
+// PATHs are files or directories (recursed; .h/.hpp/.cpp/.cc/.cxx). The CI
+// gate is `mas_lint src tools tests`: deterministic `file:line: rule:
+// message` lines on stdout, a summary on stderr, exit 1 on any finding.
+// Suppressions: `// mas-lint: allow(<rule>) <reason>` inline, or the
+// checked-in allowlist (tools/lint_allow.txt, auto-loaded when present
+// relative to the working directory; --allowlist=none disables).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "common/status.h"
+#include "lint/lint.h"
+
+namespace {
+
+using namespace mas;  // MAS_CHECK expands to unqualified SourceLocation
+
+namespace fs = std::filesystem;
+
+constexpr const char* kDefaultAllowlist = "tools/lint_allow.txt";
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MAS_CHECK(in.good()) << "cannot open '" << path << "'";
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Expands the positional paths into a sorted, deduplicated list of source
+// files. Explicit file arguments are always taken (any extension);
+// directories are walked recursively for lintable extensions. Sorting the
+// generic '/'-separated paths keeps output byte-identical across platforms
+// and argument orders.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& arg : paths) {
+    const fs::path p(arg);
+    MAS_CHECK(fs::exists(p)) << "no such file or directory: '" << arg << "'";
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else {
+      files.push_back(p.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  mas::cli::ArgParser args(
+      "Determinism & concurrency static analysis (tokenizer + per-rule matchers).\n"
+      "Exits 0 when clean, 1 on findings. Gate: mas_lint src tools tests");
+  bool* list = args.AddBool("list", false, "print the rule catalog and exit");
+  std::string* rules = args.AddString(
+      "rules", "", "comma-separated rule names to run (default: all; unknown names error)");
+  std::string* allowlist = args.AddString(
+      "allowlist", "",
+      std::string("allowlist file of '<rule> <path-suffix> <reason>' entries (default: ") +
+          kDefaultAllowlist + " when present; 'none' disables)");
+  if (!args.Parse(argc, argv)) return 0;
+
+  mas::lint::LintRuleRegistry& registry = mas::lint::LintRuleRegistry::Instance();
+  if (*list) {
+    for (const mas::lint::LintRuleInfo& info : registry.List()) {
+      std::printf("%-22s %s\n", info.name.c_str(), info.summary.c_str());
+    }
+    return 0;
+  }
+
+  MAS_CHECK(!args.positional().empty())
+      << "no paths given; usage: mas_lint [--list] [--rules=a,b] [--allowlist=FILE] PATH...";
+
+  mas::lint::LintOptions options;
+  options.rules = SplitCsv(*rules);
+  std::string allowlist_path = *allowlist;
+  if (allowlist_path.empty() && fs::exists(kDefaultAllowlist)) {
+    allowlist_path = kDefaultAllowlist;
+  }
+  if (!allowlist_path.empty() && allowlist_path != "none") {
+    options.allowlist = mas::lint::ParseAllowlist(ReadFile(allowlist_path), allowlist_path);
+  }
+
+  std::vector<mas::lint::SourceFile> sources;
+  for (const std::string& path : CollectFiles(args.positional())) {
+    sources.push_back(mas::lint::SourceFile{path, ReadFile(path)});
+  }
+
+  const mas::lint::LintReport report = mas::lint::RunLint(sources, options);
+  std::fputs(mas::lint::FormatFindings(report.findings).c_str(), stdout);
+  std::fprintf(stderr, "mas_lint: %zu finding(s), %lld suppressed, %lld file(s) scanned\n",
+               report.findings.size(), static_cast<long long>(report.suppressed),
+               static_cast<long long>(report.files_scanned));
+  return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mas_lint: %s\n", e.what());
+    return 2;
+  }
+}

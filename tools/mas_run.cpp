@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
     sim::HardwareConfig hw =
         *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
     MAS_CHECK(*hw_flag == "npu" || *hw_flag == "edge")
-        << "unknown --hw '" << *hw_flag << "' (edge | npu)";
+        << "unknown --hw '" << *hw_flag << "'; options: edge, npu";
     if (*l1_mb > 0) hw.l1_bytes = *l1_mb * 1024 * 1024;
     if (*cores > 0) {
       MAS_CHECK(*cores <= 64) << "--cores out of range";
@@ -233,7 +233,8 @@ int main(int argc, char** argv) {
     if (*format == "json") {
       std::cout << report.ToJson() << "\n";
     } else {
-      MAS_CHECK(*format == "table") << "unknown --format '" << *format << "' (table | json)";
+      MAS_CHECK(*format == "table")
+          << "unknown --format '" << *format << "'; options: table, json";
       if (grid.shapes.size() == 1) {
         std::cout << grid.shapes.front().ToString() << " on " << hw.name << "\n";
       }

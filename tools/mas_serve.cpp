@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
     sim::HardwareConfig hw =
         *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
     MAS_CHECK(*hw_flag == "npu" || *hw_flag == "edge")
-        << "unknown --hw '" << *hw_flag << "' (edge | npu)";
+        << "unknown --hw '" << *hw_flag << "'; options: edge, npu";
 
     // --trace: an existing file loads as JSON; anything else is a preset.
     serve::RequestTrace trace;
