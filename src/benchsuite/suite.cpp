@@ -45,6 +45,7 @@ void SuiteRegistry::EnsureBuiltins() const {
     RegisterExtensionSuites();
     RegisterServeSuites();
     RegisterFleetSuites();
+    RegisterHeteroSuites();
   });
 }
 

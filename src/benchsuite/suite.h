@@ -157,5 +157,6 @@ void RegisterExtensionSuites();   // cross_attention, seq_sweep, limits_maxseq,
 void RegisterServeSuites();       // serve_llm_chat, serve_decode_heavy,
                                   // serve_mixed_sd, serve_slo_sweep
 void RegisterFleetSuites();       // serve_fleet
+void RegisterHeteroSuites();      // serve_hetero_pareto
 
 }  // namespace mas::bench

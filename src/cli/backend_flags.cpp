@@ -1,0 +1,31 @@
+#include "cli/backend_flags.h"
+
+#include <ostream>
+
+#include "common/table.h"
+#include "sim/backend.h"
+
+namespace mas::cli {
+
+void PrintBackendCatalog(std::ostream& out) {
+  sim::BackendRegistry& registry = sim::BackendRegistry::Instance();
+  TextTable table({"Backend", "family", "summary"});
+  for (const sim::BackendInfo& info : registry.List()) {
+    table.AddRow({info.name, info.family, info.summary});
+  }
+  out << table.ToString();
+
+  out << "\nSpec grammar: backend[:key=value,...] — tunables with their defaults:\n";
+  for (const sim::BackendInfo& info : registry.List()) {
+    out << "  " << SpecToString(info.name, info.tunables) << "\n";
+  }
+
+  out << "\nDefault configurations:\n";
+  for (const sim::BackendInfo& info : registry.List()) {
+    sim::BackendSpec spec;
+    spec.backend = info.name;
+    out << registry.Create(spec).Describe();
+  }
+}
+
+}  // namespace mas::cli

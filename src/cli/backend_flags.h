@@ -1,0 +1,14 @@
+// Shared `--list-backends` presentation for mas_run / mas_serve / mas_fleet:
+// walks sim::BackendRegistry and prints the catalog (name, family, summary),
+// each backend's spec grammar with tunable defaults, and the default
+// config's full Describe() so per-core fields (MAC/VEC setup, workgroup
+// residency, shared memory) are visible without building a config by hand.
+#pragma once
+
+#include <iosfwd>
+
+namespace mas::cli {
+
+void PrintBackendCatalog(std::ostream& out);
+
+}  // namespace mas::cli

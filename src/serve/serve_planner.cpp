@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "schedulers/registry.h"
+#include "sim/backend.h"
 
 namespace mas::serve {
 
@@ -24,6 +25,23 @@ ServePlanner::ServePlanner(Planner& planner, const sim::HardwareConfig& hw,
   MAS_CHECK(SchedulerRegistry::Instance().Find(options_.decode_method) != nullptr)
       << "unknown decode method '" << options_.decode_method
       << "'; options: " << SchedulerRegistry::Instance().AvailableNames();
+  // Resolve phase backends eagerly: an unknown backend or bad tunable in a
+  // placement spec throws here (listing the registry), not mid-trace. An
+  // empty spec keeps the base hardware AND its exact 1.0 clock scale, so
+  // homogeneous sessions take the byte-identical legacy path.
+  prefill_hw_ = options_.prefill_backend.empty()
+                    ? hw_
+                    : sim::ResolveBackend(options_.prefill_backend, "--prefill-backend");
+  decode_hw_ = options_.decode_backend.empty()
+                   ? hw_
+                   : sim::ResolveBackend(options_.decode_backend, "--decode-backend");
+  if (!options_.prefill_backend.empty()) {
+    prefill_clock_scale_ = hw_.frequency_ghz / prefill_hw_.frequency_ghz;
+  }
+  if (!options_.decode_backend.empty()) {
+    decode_clock_scale_ = hw_.frequency_ghz / decode_hw_.frequency_ghz;
+  }
+  split_placement_ = prefill_hw_.CacheKey() != decode_hw_.CacheKey();
 }
 
 std::int64_t ServePlanner::Bucket(std::int64_t n, std::int64_t min_bucket) {
@@ -67,7 +85,11 @@ const TuningPlan& ServePlanner::Resolve(Phase phase, std::int64_t bucket,
   const AttentionShape shape = phase == Phase::kPrefill
                                    ? PrefillShape(geometry_, bucket)
                                    : DecodeShape(geometry_, bucket, queries);
-  TuningPlan plan = planner_.Plan(shape, method, hw_, options_.policy);
+  // Plans resolve against the phase's hardware: the plan-store key includes
+  // that hardware's CacheKey, so a prefill-on-NPU plan never aliases the
+  // same shape planned for the base device.
+  const sim::HardwareConfig& phase_hw = phase == Phase::kPrefill ? prefill_hw_ : decode_hw_;
+  TuningPlan plan = planner_.Plan(shape, method, phase_hw, options_.policy);
   return plans_.emplace(key, std::move(plan)).first->second;
 }
 

@@ -39,6 +39,15 @@ struct ServePlannerOptions {
   // fewer plans but more padding at short contexts.
   std::int64_t min_context_bucket = 64;
   TilingPolicy policy = TilingPolicy::kAutoTile;
+  // Heterogeneous phase placement: backend specs (sim/backend.h grammar,
+  // e.g. "npu" or "gpu:sms=4") that place a phase's plans and simulations on
+  // their own hardware instead of the session's base device. Empty = the
+  // base hardware (today's homogeneous behavior, byte-identical). Phase sim
+  // cycles are converted to the base clock at the session boundary
+  // (ceil(cycles * base_ghz / phase_ghz)); energy and DRAM traffic are
+  // clock-free and add directly.
+  std::string prefill_backend;
+  std::string decode_backend;
 };
 
 class ServePlanner {
@@ -67,6 +76,18 @@ class ServePlanner {
 
   Planner& planner() { return planner_; }
   const sim::HardwareConfig& hw() const { return hw_; }
+  // Phase hardware: the resolved prefill/decode backend, or the base
+  // hardware when the corresponding option is empty.
+  const sim::HardwareConfig& prefill_hw() const { return prefill_hw_; }
+  const sim::HardwareConfig& decode_hw() const { return decode_hw_; }
+  // Base-clock cycles per phase-clock cycle (exactly 1.0 when the phase
+  // backend is unset or runs at the base frequency — callers skip the
+  // float round-trip then, keeping homogeneous runs byte-identical).
+  double prefill_clock_scale() const { return prefill_clock_scale_; }
+  double decode_clock_scale() const { return decode_clock_scale_; }
+  // True when prefill and decode resolve to different hardware (by
+  // CacheKey) — the session then keeps per-phase engine pools.
+  bool split_placement() const { return split_placement_; }
   const AttentionGeometry& geometry() const { return geometry_; }
   const ServePlannerOptions& options() const { return options_; }
 
@@ -81,6 +102,11 @@ class ServePlanner {
 
   Planner& planner_;
   sim::HardwareConfig hw_;
+  sim::HardwareConfig prefill_hw_;
+  sim::HardwareConfig decode_hw_;
+  double prefill_clock_scale_ = 1.0;
+  double decode_clock_scale_ = 1.0;
+  bool split_placement_ = false;
   AttentionGeometry geometry_;
   ServePlannerOptions options_;
   // Local memo so repeated buckets skip even the planner's store lookup.

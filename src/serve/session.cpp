@@ -175,6 +175,14 @@ void WriteConfigJson(JsonWriter& json, const sim::HardwareConfig& hw,
   json.KeyValue("model", geometry.name);
   json.KeyValue("prefill_method", options.prefill_method);
   json.KeyValue("decode_method", options.decode_method);
+  // Placement keys appear only when a phase backend is configured, so a
+  // homogeneous run's JSON stays byte-identical to earlier schema versions.
+  if (!options.prefill_backend.empty()) {
+    json.KeyValue("prefill_backend", options.prefill_backend);
+  }
+  if (!options.decode_backend.empty()) {
+    json.KeyValue("decode_backend", options.decode_backend);
+  }
   json.KeyValue("min_context_bucket", options.min_context_bucket);
   json.KeyValue("max_batch", max_batch);
   json.KeyValue("plan_count", plan_count);
@@ -261,12 +269,23 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
   }
 
   // One reusable engine per simulation worker: arena capacity persists across
-  // the whole trace, so steady-state steps are allocation-free.
+  // the whole trace, so steady-state steps are allocation-free. Under a split
+  // placement prefill and decode run on different hardware (engines are bound
+  // to a core count at construction), so each phase gets its own pool; the
+  // homogeneous path keeps the single pool exactly as before.
+  const bool split_placement = planner_.split_placement();
   const std::size_t max_workers = runner::EffectiveWorkers(
       static_cast<std::size_t>(options_.max_batch), options_.jobs);
   std::vector<sim::Engine> engines;
   engines.reserve(max_workers);
-  for (std::size_t w = 0; w < max_workers; ++w) engines.emplace_back(planner_.hw());
+  for (std::size_t w = 0; w < max_workers; ++w) engines.emplace_back(planner_.decode_hw());
+  std::vector<sim::Engine> prefill_engines;
+  if (split_placement) {
+    prefill_engines.reserve(max_workers);
+    for (std::size_t w = 0; w < max_workers; ++w) {
+      prefill_engines.emplace_back(planner_.prefill_hw());
+    }
+  }
 
   std::size_t next_arrival = 0;  // first not-yet-visible trace index
   std::deque<std::size_t> waiting;
@@ -549,13 +568,19 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
       m.sim = coalesced_sim;
     }
 
-    // Simulate the sims across the workers; each writes its own slot.
+    // Simulate the sims across the workers; each writes its own slot. A sim
+    // replays on its phase's hardware (prefill sims are the
+    // sim_decode_members == 0 entries).
     step_results.assign(step_plans.size(), sim::SimResult{});
     runner::ParallelForWorkers(step_plans.size(), options_.jobs, [&](std::size_t worker,
                                                                      std::size_t i) {
-      step_results[i] =
-          planner_.planner().Simulate(*step_plans[i], planner_.hw(),
-                                      /*record_timeline=*/false, &engines[worker]);
+      const bool is_prefill = sim_decode_members[i] == 0;
+      const sim::HardwareConfig& sim_hw =
+          is_prefill ? planner_.prefill_hw() : planner_.decode_hw();
+      sim::Engine* engine =
+          is_prefill && split_placement ? &prefill_engines[worker] : &engines[worker];
+      step_results[i] = planner_.planner().Simulate(*step_plans[i], sim_hw,
+                                                    /*record_timeline=*/false, engine);
     });
 
     // The single device executes the round's sims back-to-back in sim order;
@@ -572,9 +597,20 @@ ServeResult ServeSession::Run(const RequestTrace& trace) {
     for (std::size_t s = 0; s < step_results.size(); ++s) {
       const sim::SimResult& sim = step_results[s];
       std::uint64_t effective_cycles = sim.cycles;
+      // Phase cycles tick on the phase backend's clock; the session clock is
+      // the base device's. Convert at the boundary (identity when the phase
+      // runs on the base hardware — the scale is exactly 1.0 then and the
+      // float round-trip is skipped). Energy and traffic are clock-free.
+      const double clock_scale = sim_decode_members[s] == 0
+                                     ? planner_.prefill_clock_scale()
+                                     : planner_.decode_clock_scale();
+      if (clock_scale != 1.0) {
+        effective_cycles = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(effective_cycles) * clock_scale));
+      }
       if (derated) {
         effective_cycles = static_cast<std::uint64_t>(
-            std::ceil(static_cast<double>(sim.cycles) / faults.derate_factor));
+            std::ceil(static_cast<double>(effective_cycles) / faults.derate_factor));
       }
       clock += effective_cycles;
       sim_done_clock[s] = clock;

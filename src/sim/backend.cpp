@@ -1,0 +1,334 @@
+#include "sim/backend.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace mas::sim {
+
+namespace {
+
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * 1024;
+constexpr std::int64_t kGiB = 1024LL * 1024 * 1024;
+
+void CheckKeys(const BackendSpec& spec, std::initializer_list<const char*> allowed) {
+  CheckSpecKeys("backend '" + spec.backend + "'", spec.params, allowed);
+}
+
+// Integer-valued param: rejects fractions so `cores=2.5` fails loudly
+// instead of truncating.
+std::int64_t CheckInteger(const BackendSpec& spec, const char* key, std::int64_t fallback) {
+  const double v = spec.Param(key, static_cast<double>(fallback));
+  MAS_CHECK(std::isfinite(v) && v == std::floor(v) && v >= -9.2e18 && v <= 9.2e18)
+      << "backend '" << spec.backend << "' " << key << " must be an integer, got " << v;
+  return static_cast<std::int64_t>(v);
+}
+
+// Integer param constrained to [lo, hi].
+std::int64_t CheckCount(const BackendSpec& spec, const char* key, std::int64_t fallback,
+                        std::int64_t lo, std::int64_t hi) {
+  const std::int64_t v = CheckInteger(spec, key, fallback);
+  MAS_CHECK(v >= lo && v <= hi) << "backend '" << spec.backend << "' " << key
+                                << " must be in [" << lo << ", " << hi << "], got " << v;
+  return v;
+}
+
+double CheckPositive(const BackendSpec& spec, const char* key, double fallback) {
+  const double v = spec.Param(key, fallback);
+  MAS_CHECK(std::isfinite(v) && v > 0.0)
+      << "backend '" << spec.backend << "' " << key << " must be positive, got " << v;
+  return v;
+}
+
+// ---------------------------------------------------------------------- edge
+//
+// The paper's Fig. 4 simulated edge device. Defaults reproduce
+// EdgeSimConfig() exactly; every tunable feeds a CacheKey() field.
+
+HardwareConfig MakeEdge(const BackendSpec& spec) {
+  CheckKeys(spec, {"cores", "freq_ghz", "l1_mb", "dram_gb", "bw_gbps", "dma_setup", "mac",
+                   "lanes", "l0_kb"});
+  HardwareConfig hw;
+  hw.name = "edge_sim";
+  hw.technology_nm = 16;
+  hw.frequency_ghz = CheckPositive(spec, "freq_ghz", 3.75);
+  hw.l1_bytes = CheckCount(spec, "l1_mb", 5, 1, 4096) * kMiB;
+  hw.dram_bytes = CheckCount(spec, "dram_gb", 6, 1, 1024) * kGiB;
+  hw.dram_gb_per_s = CheckPositive(spec, "bw_gbps", 30.0);
+  hw.dma_setup_cycles = CheckCount(spec, "dma_setup", 64, 0, 1 << 20);
+  CoreConfig core;
+  const std::int64_t mac = CheckCount(spec, "mac", 16, 1, 256);
+  core.mac_rows = mac;
+  core.mac_cols = mac;
+  core.vec_lanes = CheckCount(spec, "lanes", 256, 1, 1 << 16);
+  core.l0_bytes = CheckCount(spec, "l0_kb", 64, 1, 1 << 20) * kKiB;
+  const std::int64_t cores = CheckCount(spec, "cores", 2, 1, 64);
+  for (std::int64_t i = 0; i < cores; ++i) {
+    core.name = "core" + std::to_string(i);
+    hw.cores.push_back(core);
+  }
+  return hw;
+}
+
+// ----------------------------------------------------------------------- npu
+//
+// DaVinci-style NPU stand-in (Fig. 5 real-hardware study). Defaults
+// reproduce DavinciNpuConfig() exactly.
+
+HardwareConfig MakeNpu(const BackendSpec& spec) {
+  CheckKeys(spec, {"lite_cores", "tiny_cores", "freq_ghz", "l1_mb", "dram_gb", "bw_gbps",
+                   "dma_setup"});
+  HardwareConfig hw;
+  hw.name = "davinci_npu";
+  hw.technology_nm = 7;
+  hw.frequency_ghz = CheckPositive(spec, "freq_ghz", 1.0);
+  // Per-core local buffers on DaVinci; we model the union as the shared
+  // budget available to a sharded schedule.
+  hw.l1_bytes = CheckCount(spec, "l1_mb", 3, 1, 4096) * kMiB;
+  hw.dram_bytes = CheckCount(spec, "dram_gb", 8, 1, 1024) * kGiB;
+  hw.dram_gb_per_s = CheckPositive(spec, "bw_gbps", 34.0);
+  hw.dma_setup_cycles = CheckCount(spec, "dma_setup", 96, 0, 1 << 20);
+
+  const std::int64_t lite_cores = CheckCount(spec, "lite_cores", 2, 0, 64);
+  const std::int64_t tiny_cores = CheckCount(spec, "tiny_cores", 1, 0, 64);
+  MAS_CHECK(lite_cores + tiny_cores >= 1)
+      << "backend 'npu' needs at least one core (lite_cores + tiny_cores >= 1)";
+  CoreConfig lite;
+  lite.mac_rows = 16;
+  lite.mac_cols = 16;
+  lite.vec_lanes = 128;
+  lite.vec_cost_exp = 40;
+  lite.vec_cost_div = 8;
+  lite.l0_bytes = 64 * kKiB;
+  for (std::int64_t i = 0; i < lite_cores; ++i) {
+    lite.name = "ascend_lite" + std::to_string(i);
+    hw.cores.push_back(lite);
+  }
+  CoreConfig tiny = lite;
+  tiny.mac_rows = 8;
+  tiny.mac_cols = 8;
+  tiny.vec_lanes = 64;
+  tiny.l0_bytes = 32 * kKiB;
+  for (std::int64_t i = 0; i < tiny_cores; ++i) {
+    tiny.name = "ascend_tiny" + std::to_string(i);
+    hw.cores.push_back(tiny);
+  }
+  return hw;
+}
+
+// ----------------------------------------------------------------------- gpu
+//
+// SM-array GPU. Each core is one streaming multiprocessor running
+// `occupancy` resident workgroups gated by `shmem_kb` of shared memory —
+// cost_model.h divides MAC/VEC tile passes across the resident workgroups,
+// so occupancy hides per-pass latency the way warp scheduling does. VEC
+// issue is warp-wide (lanes = warps x 32) with SFU-assisted exp/div, DRAM
+// bandwidth is an order of magnitude above the edge device, and DMA setup
+// (kernel-launch + descriptor cost) is correspondingly heavier, penalizing
+// fine-grained transfers.
+
+HardwareConfig MakeGpu(const BackendSpec& spec) {
+  CheckKeys(spec, {"sms", "shmem_kb", "occupancy", "lanes", "mac", "freq_ghz", "l1_mb",
+                   "dram_gb", "bw_gbps", "dma_setup"});
+  HardwareConfig hw;
+  hw.name = "gpu_sim";
+  hw.technology_nm = 5;
+  hw.frequency_ghz = CheckPositive(spec, "freq_ghz", 1.35);
+  hw.l1_bytes = CheckCount(spec, "l1_mb", 8, 1, 4096) * kMiB;
+  hw.dram_bytes = CheckCount(spec, "dram_gb", 16, 1, 1024) * kGiB;
+  hw.dram_gb_per_s = CheckPositive(spec, "bw_gbps", 256.0);
+  hw.dma_setup_cycles = CheckCount(spec, "dma_setup", 512, 0, 1 << 20);
+
+  CoreConfig sm;
+  const std::int64_t mac = CheckCount(spec, "mac", 16, 1, 256);
+  sm.mac_rows = mac;
+  sm.mac_cols = mac;
+  sm.vec_lanes = CheckCount(spec, "lanes", 128, 1, 1 << 16);
+  // SFU-assisted transcendentals: exp and div are hardware-approximated
+  // rather than microcoded polynomial expansion.
+  sm.vec_cost_exp = 8;
+  sm.vec_cost_div = 4;
+  // Register file per SM.
+  sm.l0_bytes = 256 * kKiB;
+  sm.concurrent_workgroups = CheckCount(spec, "occupancy", 4, 1, 64);
+  sm.shmem_bytes = CheckCount(spec, "shmem_kb", 96, 0, 1 << 20) * kKiB;
+  const std::int64_t sms = CheckCount(spec, "sms", 8, 1, 64);
+  for (std::int64_t i = 0; i < sms; ++i) {
+    sm.name = "sm" + std::to_string(i);
+    hw.cores.push_back(sm);
+  }
+  return hw;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- spec
+
+BackendSpec BackendSpec::Parse(const std::string& text, const std::string& flag) {
+  ParsedSpec parsed = ParseSpec(text, flag, "backend name");
+  BackendSpec spec;
+  spec.backend = std::move(parsed.head);
+  spec.params = std::move(parsed.params);
+  return spec;
+}
+
+std::string BackendSpec::ToString() const { return SpecToString(backend, params); }
+
+bool BackendSpec::Has(const std::string& key) const { return SpecHas(params, key); }
+
+double BackendSpec::Param(const std::string& key, double fallback) const {
+  return SpecParam(params, key, fallback);
+}
+
+// ------------------------------------------------------------------ registry
+
+BackendRegistry& BackendRegistry::Instance() {
+  static BackendRegistry* registry = new BackendRegistry();
+  return *registry;
+}
+
+void BackendRegistry::Register(BackendInfo info, Factory factory) {
+  EnsureBuiltins();
+  RegisterImpl(std::move(info), std::move(factory));
+}
+
+void BackendRegistry::RegisterImpl(BackendInfo info, Factory factory) {
+  MAS_CHECK(!info.name.empty()) << "backend registration needs a name";
+  MAS_CHECK(factory != nullptr) << "backend '" << info.name << "' needs a factory";
+  std::lock_guard<std::mutex> lock(mu_);
+  MAS_CHECK(FindEntryLocked(info.name) == nullptr)
+      << "backend '" << info.name << "' is already registered";
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+HardwareConfig BackendRegistry::Create(const BackendSpec& spec) const {
+  EnsureBuiltins();
+  MAS_CHECK(!spec.backend.empty()) << "cannot create a hardware backend from an empty spec";
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* entry = FindEntryLocked(spec.backend);
+    if (entry == nullptr) {
+      MAS_FAIL() << "unknown backend '" << spec.backend
+                 << "'; options: " << AvailableNamesLockedUnsafe();
+    }
+    factory = entry->factory;
+  }
+  return factory(spec);
+}
+
+const BackendInfo* BackendRegistry::Find(const std::string& name) const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* entry = FindEntryLocked(name);
+  return entry == nullptr ? nullptr : &entry->info;
+}
+
+std::vector<BackendInfo> BackendRegistry::List() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BackendInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.info);
+  return out;
+}
+
+std::string BackendRegistry::AvailableNames() const {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(mu_);
+  return AvailableNamesLockedUnsafe();
+}
+
+const BackendRegistry::Entry* BackendRegistry::FindEntryLocked(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string BackendRegistry::AvailableNamesLockedUnsafe() const {
+  std::string names;
+  for (const Entry& entry : entries_) {
+    if (!names.empty()) names += ", ";
+    names += "'" + entry.info.name + "'";
+  }
+  return names;
+}
+
+void BackendRegistry::EnsureBuiltins() const {
+  std::call_once(builtins_once_, [] {
+    BackendRegistry& registry = Instance();
+    registry.RegisterImpl(
+        BackendInfo{"edge", "edge",
+                    "the paper's Fig. 4 simulated edge device: dual cores with 16x16 MAC "
+                    "meshes + 256-lane VEC units, shared 5 MB L1, 6 GB DRAM @ 30 GB/s",
+                    SpecParams{{"cores", 2},
+                               {"freq_ghz", 3.75},
+                               {"l1_mb", 5},
+                               {"dram_gb", 6},
+                               {"bw_gbps", 30},
+                               {"dma_setup", 64},
+                               {"mac", 16},
+                               {"lanes", 256},
+                               {"l0_kb", 64}}},
+        MakeEdge);
+    registry.RegisterImpl(
+        BackendInfo{"npu", "npu",
+                    "DaVinci-style NPU stand-in (Fig. 5): 2x Ascend Lite + 1x Ascend Tiny "
+                    "cores, 3 MB shared buffer, 8 GB LPDDR @ 34 GB/s",
+                    SpecParams{{"lite_cores", 2},
+                               {"tiny_cores", 1},
+                               {"freq_ghz", 1},
+                               {"l1_mb", 3},
+                               {"dram_gb", 8},
+                               {"bw_gbps", 34},
+                               {"dma_setup", 96}}},
+        MakeNpu);
+    registry.RegisterImpl(
+        BackendInfo{"gpu", "gpu",
+                    "SM-array GPU: per-SM resident workgroups gated by shared memory, "
+                    "warp-wide VEC issue with SFU exp, 256 GB/s DRAM, heavy DMA setup",
+                    SpecParams{{"sms", 8},
+                               {"shmem_kb", 96},
+                               {"occupancy", 4},
+                               {"lanes", 128},
+                               {"mac", 16},
+                               {"freq_ghz", 1.35},
+                               {"l1_mb", 8},
+                               {"dram_gb", 16},
+                               {"bw_gbps", 256},
+                               {"dma_setup", 512}}},
+        MakeGpu);
+  });
+}
+
+// ------------------------------------------------------------------- helpers
+
+HardwareConfig ResolveBackend(const std::string& text, const std::string& flag) {
+  return BackendRegistry::Instance().Create(BackendSpec::Parse(text, flag));
+}
+
+std::vector<HardwareConfig> ResolveBackendList(const std::string& list, int devices,
+                                               const std::string& flag) {
+  MAS_CHECK(devices >= 1) << flag << " needs at least one device slot, got " << devices;
+  std::vector<HardwareConfig> resolved;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t end = list.find(';', start);
+    const std::string entry =
+        list.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    resolved.push_back(ResolveBackend(entry, flag));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  MAS_CHECK(!resolved.empty()) << flag << " needs at least one backend spec";
+  std::vector<HardwareConfig> out;
+  out.reserve(static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    out.push_back(resolved[static_cast<std::size_t>(d) % resolved.size()]);
+  }
+  return out;
+}
+
+}  // namespace mas::sim

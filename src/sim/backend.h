@@ -1,0 +1,118 @@
+// sim::BackendRegistry — string-keyed catalog of hardware backends behind
+// the `--hw` / `--device-hw` flags.
+//
+// Each backend is a descriptor (name, family, summary, tunable keys) plus a
+// factory that builds a HardwareConfig from a `backend[:key=value,...]` spec
+// parsed through the shared common/spec.h grammar:
+//   edge:cores=4,l1_mb=10      npu      gpu:sms=8,shmem_kb=96,occupancy=4
+// Factories validate their params eagerly (unknown keys, fractions where an
+// integer is required, non-positive counts) and unknown backend names throw
+// the catalog in the `; options: ...` house style — the same self-
+// registration idiom as the scheduler/strategy/arrival/fault/router
+// registries.
+//
+// Built-ins:
+//   edge — the paper's Fig. 4 simulated edge device; EdgeSimConfig() is a
+//          thin wrapper over `edge` with no overrides.
+//   npu  — the DaVinci-style NPU stand-in (2x Ascend Lite + 1x Ascend
+//          Tiny); DavinciNpuConfig() wraps `npu`.
+//   gpu  — an SM-array GPU whose cores model workgroup residency: each SM
+//          runs `occupancy` concurrent workgroups gated by `shmem_kb` of
+//          shared memory (cost_model.h divides tile passes across resident
+//          workgroups), with warp-wide VEC issue, SFU-assisted exp, higher
+//          DRAM bandwidth but a larger dma_setup_cycles.
+//
+// Every tunable key feeds a field of HardwareConfig::CacheKey(), so two
+// specs that differ in any override never alias in the plan store or the
+// sweep-runner cache (test_backend.cpp holds the property test).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/spec.h"
+#include "sim/hardware_config.h"
+
+namespace mas::sim {
+
+// Parsed `--hw` grammar: "backend[:key=value[,key=value...]]". Values are
+// finite doubles; keys may not repeat. Parse() throws mas::Error on
+// malformed text; backend/param *semantics* are checked by the registry
+// factory at Create() time. `flag` names the CLI flag for error text
+// ("--hw", "--device-hw").
+struct BackendSpec {
+  std::string backend = "edge";  // registry key
+  SpecParams params;             // grammar order
+
+  static BackendSpec Parse(const std::string& text, const std::string& flag = "--hw");
+  std::string ToString() const;  // canonical "backend:k=v,..." round-trip
+
+  bool Has(const std::string& key) const;
+  double Param(const std::string& key, double fallback) const;
+};
+
+// Descriptor of one registered backend.
+struct BackendInfo {
+  std::string name;     // registry key and grammar head, e.g. "gpu"
+  std::string family;   // cost-model family: "edge", "npu", or "gpu"
+  std::string summary;  // one-line platform description
+  // Tunable spec keys in grammar-help order with their default values —
+  // drives `--list-backends` output and the CacheKey anti-aliasing property
+  // test (every key, overridden, must change CacheKey()).
+  SpecParams tunables;
+};
+
+// String-keyed backend catalog, mirroring RouterPolicyRegistry. Factories
+// return a fully-formed HardwareConfig; they validate spec params eagerly.
+class BackendRegistry {
+ public:
+  using Factory = std::function<HardwareConfig(const BackendSpec&)>;
+
+  static BackendRegistry& Instance();
+
+  // Throws when the backend name is already taken (the built-ins are
+  // materialized first, so registering over "edge" throws immediately
+  // rather than failing at the first lookup).
+  void Register(BackendInfo info, Factory factory);
+
+  // Unknown backends throw an Error listing the available set; factories
+  // throw on invalid params.
+  HardwareConfig Create(const BackendSpec& spec) const;
+
+  const BackendInfo* Find(const std::string& name) const;  // nullptr if unknown
+  std::vector<BackendInfo> List() const;  // registration order
+  std::string AvailableNames() const;     // "'edge', 'npu', ..."
+
+ private:
+  struct Entry {
+    BackendInfo info;
+    Factory factory;
+  };
+
+  BackendRegistry() = default;
+  void EnsureBuiltins() const;
+  // Register without materializing builtins first — the path the builtin
+  // registrations themselves take (calling Register there would re-enter
+  // the active call_once and deadlock).
+  void RegisterImpl(BackendInfo info, Factory factory);
+  const Entry* FindEntryLocked(const std::string& name) const;
+  std::string AvailableNamesLockedUnsafe() const;
+
+  mutable std::once_flag builtins_once_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+// Parse + Create in one step: the common tool path for a `--hw` value.
+HardwareConfig ResolveBackend(const std::string& text, const std::string& flag = "--hw");
+
+// Resolves a ';'-separated list of backend specs (';' because ',' belongs
+// to the spec param grammar) and cycles the entries across `devices` slots:
+// "edge;npu" with 4 devices yields edge,npu,edge,npu. Throws on an empty
+// list or a malformed entry.
+std::vector<HardwareConfig> ResolveBackendList(const std::string& list, int devices,
+                                               const std::string& flag = "--device-hw");
+
+}  // namespace mas::sim

@@ -41,6 +41,21 @@ inline int Log2Ceil(std::int64_t n) {
   return bits;
 }
 
+// GPU-family workgroup residency: how many of a task's passes run
+// concurrently on one core. `concurrent_workgroups` is the occupancy cap;
+// when `shmem_bytes` > 0 it is further gated by how many copies of
+// `working_set_bytes` fit in shared memory (never below one resident
+// workgroup). Edge/NPU cores keep the defaults (1 workgroup, no shmem), so
+// this is the identity there and their cost arithmetic is bit-unchanged.
+inline std::int64_t ResidentWorkgroups(const CoreConfig& cc, std::int64_t working_set_bytes) {
+  std::int64_t wg = cc.concurrent_workgroups;
+  if (cc.shmem_bytes > 0 && working_set_bytes > 0) {
+    const std::int64_t fit = cc.shmem_bytes / working_set_bytes;
+    wg = fit < wg ? fit : wg;
+  }
+  return wg < 1 ? 1 : wg;
+}
+
 class CostModel {
  public:
   CostModel(const HardwareConfig& hw, const EnergyModel& em) : hw_(&hw), em_(&em) {}
@@ -62,8 +77,16 @@ class CostModel {
     TaskCost cost;
     // Output-stationary: each (mac_rows x mac_cols) output tile takes k cycles
     // to accumulate; setup charged once per task (weights/systolic fill).
-    cost.cycles = static_cast<std::uint64_t>(groups * row_passes * col_passes * k) +
-                  static_cast<std::uint64_t>(cc.mac_setup_cycles);
+    // GPU-family cores overlap passes across resident workgroups — one
+    // pass's working set is the A-panel + B-panel + output tile it touches —
+    // which divides the accumulate time but not the energy (the same MACs
+    // and traffic happen either way).
+    const std::int64_t eb = hw_->element_bytes;
+    const std::int64_t pass_set = (m * k + k * n + m * n) * eb;
+    const std::int64_t wg = ResidentWorkgroups(cc, pass_set);
+    cost.cycles =
+        static_cast<std::uint64_t>(CeilDiv(groups * row_passes * col_passes, wg) * k) +
+        static_cast<std::uint64_t>(cc.mac_setup_cycles);
 
     // PE energy counts real MACs only (schedule-invariant, paper §5.3.3).
     const std::int64_t macs = groups * m * k * n;
@@ -72,7 +95,6 @@ class CostModel {
     // L1 traffic: A is re-read once per column pass, B once per row pass, the
     // result written once. L0 sees the operand stream into the array plus the
     // result drain.
-    const std::int64_t eb = hw_->element_bytes;
     const std::int64_t a_bytes = groups * m * k * eb;
     const std::int64_t b_bytes = groups * k * n * eb;
     const std::int64_t out_bytes = groups * m * n * eb;
@@ -97,7 +119,11 @@ class CostModel {
     const std::int64_t per_row = chunks * per_elem + 2 * Log2Ceil(cc.vec_lanes);
 
     TaskCost cost;
-    cost.cycles = static_cast<std::uint64_t>(groups * rows * per_row) +
+    // One row is one workgroup's pass (its shmem working set is the row read
+    // + the row written back); resident workgroups process rows concurrently.
+    const std::int64_t row_set = 2 * row_len * hw_->element_bytes;
+    const std::int64_t wg = ResidentWorkgroups(cc, row_set);
+    cost.cycles = static_cast<std::uint64_t>(CeilDiv(groups * rows, wg) * per_row) +
                   static_cast<std::uint64_t>(cc.vec_setup_cycles);
 
     const std::int64_t elements = groups * rows * row_len;
@@ -120,8 +146,11 @@ class CostModel {
     const CoreConfig& cc = hw_->cores.at(static_cast<std::size_t>(core));
     TaskCost cost;
     if (elements == 0 || lane_ops_per_elem == 0) return cost;
-    cost.cycles = static_cast<std::uint64_t>(CeilDiv(elements, cc.vec_lanes) *
-                                             lane_ops_per_elem) +
+    // One lane-wide chunk is one workgroup pass (chunk in + chunk out).
+    const std::int64_t chunk_set = 2 * cc.vec_lanes * hw_->element_bytes;
+    const std::int64_t wg = ResidentWorkgroups(cc, chunk_set);
+    cost.cycles = static_cast<std::uint64_t>(
+                      CeilDiv(CeilDiv(elements, cc.vec_lanes), wg) * lane_ops_per_elem) +
                   static_cast<std::uint64_t>(cc.vec_setup_cycles);
     cost.energy.vec_pe_pj = em_->VecLaneOps(elements * lane_ops_per_elem);
     const std::int64_t eb = hw_->element_bytes;

@@ -3,6 +3,8 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/backend.h"
+
 namespace mas::sim {
 
 std::string HardwareConfig::Describe() const {
@@ -10,12 +12,19 @@ std::string HardwareConfig::Describe() const {
   os << "Architecture: " << name << " (" << technology_nm << " nm, " << frequency_ghz
      << " GHz)\n";
   os << "  DRAM: " << (dram_bytes >> 30) << " GB @ " << dram_gb_per_s << " GB/s ("
-     << DramBytesPerCycle() << " B/cycle)\n";
+     << DramBytesPerCycle() << " B/cycle), DMA setup " << dma_setup_cycles
+     << " cycles, " << element_bytes << " B elements\n";
   os << "  L1 (shared): " << (l1_bytes >> 20) << " MB\n";
   for (const auto& core : cores) {
     os << "  Core '" << core.name << "': MAC " << core.mac_rows << "x" << core.mac_cols
-       << " PE mesh, VEC " << core.vec_lanes << " lanes, L0 " << (core.l0_bytes >> 10)
-       << " KB\n";
+       << " PE mesh (setup " << core.mac_setup_cycles << "), VEC " << core.vec_lanes
+       << " lanes (setup " << core.vec_setup_cycles << "), L0 " << (core.l0_bytes >> 10)
+       << " KB";
+    if (core.concurrent_workgroups > 1 || core.shmem_bytes > 0) {
+      os << ", " << core.concurrent_workgroups << " resident workgroups";
+      if (core.shmem_bytes > 0) os << " gated by " << (core.shmem_bytes >> 10) << " KB shmem";
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -29,59 +38,20 @@ std::string HardwareConfig::CacheKey() const {
     os << ";c:" << c.mac_rows << ',' << c.mac_cols << ',' << c.mac_setup_cycles << ','
        << c.vec_lanes << ',' << c.vec_cost_max << ',' << c.vec_cost_sub << ','
        << c.vec_cost_exp << ',' << c.vec_cost_sum << ',' << c.vec_cost_div << ','
-       << c.vec_setup_cycles << ',' << c.l0_bytes;
+       << c.vec_setup_cycles << ',' << c.l0_bytes << ',' << c.concurrent_workgroups << ','
+       << c.shmem_bytes;
   }
   return os.str();
 }
 
 HardwareConfig EdgeSimConfig() {
-  HardwareConfig hw;
-  hw.name = "edge_sim";
-  hw.frequency_ghz = 3.75;
-  hw.technology_nm = 16;
-  hw.l1_bytes = 5 * 1024 * 1024;
-  hw.dram_bytes = 6LL * 1024 * 1024 * 1024;
-  hw.dram_gb_per_s = 30.0;
-  CoreConfig core;
-  core.name = "core0";
-  hw.cores.push_back(core);
-  core.name = "core1";
-  hw.cores.push_back(core);
-  return hw;
+  return BackendRegistry::Instance().Create(BackendSpec{});
 }
 
 HardwareConfig DavinciNpuConfig() {
-  HardwareConfig hw;
-  hw.name = "davinci_npu";
-  hw.frequency_ghz = 1.0;
-  hw.technology_nm = 7;
-  // Per-core local buffers on DaVinci; we model the union as the shared
-  // budget available to a sharded schedule.
-  hw.l1_bytes = 3 * 1024 * 1024;
-  hw.dram_bytes = 8LL * 1024 * 1024 * 1024;
-  hw.dram_gb_per_s = 34.0;
-  hw.dma_setup_cycles = 96;
-
-  CoreConfig lite;
-  lite.name = "ascend_lite0";
-  lite.mac_rows = 16;
-  lite.mac_cols = 16;
-  lite.vec_lanes = 128;
-  lite.vec_cost_exp = 40;
-  lite.vec_cost_div = 8;
-  lite.l0_bytes = 64 * 1024;
-  hw.cores.push_back(lite);
-  lite.name = "ascend_lite1";
-  hw.cores.push_back(lite);
-
-  CoreConfig tiny = lite;
-  tiny.name = "ascend_tiny0";
-  tiny.mac_rows = 8;
-  tiny.mac_cols = 8;
-  tiny.vec_lanes = 64;
-  tiny.l0_bytes = 32 * 1024;
-  hw.cores.push_back(tiny);
-  return hw;
+  BackendSpec spec;
+  spec.backend = "npu";
+  return BackendRegistry::Instance().Create(spec);
 }
 
 }  // namespace mas::sim

@@ -1,12 +1,16 @@
-// Hardware description of the simulated edge accelerators.
+// Hardware description of the simulated accelerators.
 //
-// Two presets are provided:
+// Configs are built by the backend registry in backend.h from
+// `backend[:key=value,...]` specs; two legacy presets remain as thin
+// wrappers over the registry:
 //  * EdgeSimConfig()    — the paper's Fig. 4 custom edge architecture
 //    (3.75 GHz, 16 nm, two cores each with a 16x16 MAC mesh + 256-lane VEC
 //    unit and an L0 register file, a shared 5 MB L1, 6 GB DRAM @ 30 GB/s).
 //  * DavinciNpuConfig() — a DaVinci-style NPU stand-in for the Fig. 5
 //    real-hardware study (3 heterogeneous cores: 2x "Ascend Lite" +
 //    1x "Ascend Tiny", per-core on-chip buffers, LPDDR-class bandwidth).
+// The registry's `gpu` backend adds an SM-array device whose cores carry
+// the workgroup/shared-memory residency fields below.
 //
 // Substitution note (see DESIGN.md §2): the paper evaluates with
 // Timeloop/Accelergy/TileFlow and a Huawei MatePad Pro 13.2. We reproduce the
@@ -45,6 +49,14 @@ struct CoreConfig {
   std::int64_t vec_setup_cycles = 8;
   // L0 register file feeding the PE arrays, bytes.
   std::int64_t l0_bytes = 64 * 1024;
+  // GPU-family residency model (identity at the defaults, so edge/NPU cost
+  // arithmetic is untouched): up to `concurrent_workgroups` tile passes
+  // execute concurrently on this core, the way warp scheduling hides
+  // per-pass latency on an SM. When `shmem_bytes` > 0 the resident count is
+  // additionally gated by how many per-pass working sets fit in shared
+  // memory (cost_model.h::ResidentWorkgroups); 0 leaves occupancy ungated.
+  std::int64_t concurrent_workgroups = 1;
+  std::int64_t shmem_bytes = 0;
 
   // Sum of per-element lane-cycles for one full softmax pass.
   std::int64_t SoftmaxLaneCostPerElement() const {
@@ -92,11 +104,15 @@ struct HardwareConfig {
   std::string CacheKey() const;
 };
 
-// The paper's simulated edge device (Fig. 4).
+// The paper's simulated edge device (Fig. 4). Thin wrapper resolving the
+// `edge` backend through sim::BackendRegistry (see backend.h) with no
+// overrides — new call sites that want tunables should resolve a
+// `backend[:key=value,...]` spec via ResolveBackend() instead.
 HardwareConfig EdgeSimConfig();
 
 // DaVinci-NPU-like stand-in for the Fig. 5 real-hardware experiments:
-// 2x Ascend Lite cores + 1x Ascend Tiny core, per §5.1.
+// 2x Ascend Lite cores + 1x Ascend Tiny core, per §5.1. Thin wrapper over
+// the registry's `npu` backend, like EdgeSimConfig().
 HardwareConfig DavinciNpuConfig();
 
 }  // namespace mas::sim

@@ -1,0 +1,233 @@
+// BackendRegistry tests: catalog contents and error style, the
+// EdgeSimConfig()/DavinciNpuConfig() thin-wrapper identity, the CacheKey
+// anti-aliasing property (every backend pair and every tunable override
+// yields a distinct plan-store key), GPU workgroup-residency cost
+// arithmetic, and heterogeneous phase placement through ServePlanner.
+#include "sim/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/serve_planner.h"
+#include "sim/cost_model.h"
+
+namespace mas::sim {
+namespace {
+
+BackendSpec Spec(const std::string& text) { return BackendSpec::Parse(text); }
+
+// ---------------------------------------------------------------- registry
+
+TEST(BackendRegistry, CatalogListsBuiltinsInRegistrationOrder) {
+  const std::vector<BackendInfo> all = BackendRegistry::Instance().List();
+  ASSERT_GE(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "edge");
+  EXPECT_EQ(all[1].name, "npu");
+  EXPECT_EQ(all[2].name, "gpu");
+  for (const BackendInfo& info : all) {
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_FALSE(info.tunables.empty()) << info.name;
+    EXPECT_NE(BackendRegistry::Instance().Find(info.name), nullptr);
+  }
+  EXPECT_EQ(BackendRegistry::Instance().Find("tpu"), nullptr);
+}
+
+TEST(BackendRegistry, UnknownBackendErrorListsTheAvailableSet) {
+  try {
+    ResolveBackend("quantum");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend 'quantum'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'edge'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'npu'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'gpu'"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(BackendRegistry::Instance().Register(
+                   BackendInfo{"edge", "edge", "imposter", {}},
+                   [](const BackendSpec&) { return EdgeSimConfig(); }),
+               Error);
+}
+
+TEST(BackendRegistry, FactoriesRejectBadParams) {
+  EXPECT_THROW(ResolveBackend("edge:warp=32"), Error);      // unknown key
+  EXPECT_THROW(ResolveBackend("edge:cores=2.5"), Error);    // fractional count
+  EXPECT_THROW(ResolveBackend("edge:cores=0"), Error);      // empty machine
+  EXPECT_THROW(ResolveBackend("gpu:occupancy=0"), Error);   // no resident work
+  EXPECT_THROW(ResolveBackend("npu:lite_cores=0,tiny_cores=0"), Error);
+  EXPECT_THROW(ResolveBackend("edge:freq_ghz=-1"), Error);  // non-positive clock
+}
+
+// ------------------------------------------------------------- thin wrappers
+
+TEST(BackendRegistry, LegacyConstructorsAreThinRegistryWrappers) {
+  EXPECT_EQ(EdgeSimConfig().CacheKey(),
+            BackendRegistry::Instance().Create(Spec("edge")).CacheKey());
+  EXPECT_EQ(DavinciNpuConfig().CacheKey(),
+            BackendRegistry::Instance().Create(Spec("npu")).CacheKey());
+  EXPECT_EQ(EdgeSimConfig().Describe(), ResolveBackend("edge").Describe());
+  EXPECT_EQ(DavinciNpuConfig().Describe(), ResolveBackend("npu").Describe());
+}
+
+TEST(BackendSpec, ParseAndRoundTrip) {
+  const BackendSpec spec = Spec("gpu:sms=4,shmem_kb=48");
+  EXPECT_EQ(spec.backend, "gpu");
+  EXPECT_TRUE(spec.Has("sms"));
+  EXPECT_DOUBLE_EQ(spec.Param("sms", 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(spec.Param("occupancy", 7.0), 7.0);
+  EXPECT_EQ(spec.ToString(), "gpu:sms=4,shmem_kb=48");
+  EXPECT_EQ(Spec("edge").ToString(), "edge");
+  EXPECT_THROW(BackendSpec::Parse("edge:cores=2,cores=3"), Error);  // repeated key
+  EXPECT_THROW(BackendSpec::Parse(""), Error);
+}
+
+// ------------------------------------------------------- CacheKey aliasing
+
+// Plan stores and the sweep cache key on HardwareConfig::CacheKey(): any two
+// configs a user can name via the spec grammar must never collide. Property:
+// all registered defaults are pairwise distinct, and for EVERY backend,
+// overriding EVERY advertised tunable (default + 1 — the smallest
+// representable nudge for counts) changes the key.
+TEST(BackendRegistry, CacheKeyNeverAliasesAcrossBackendsOrTunables) {
+  BackendRegistry& registry = BackendRegistry::Instance();
+  std::set<std::string> keys;
+  for (const BackendInfo& info : registry.List()) {
+    BackendSpec spec;
+    spec.backend = info.name;
+    const std::string base_key = registry.Create(spec).CacheKey();
+    EXPECT_TRUE(keys.insert(base_key).second)
+        << "backend '" << info.name << "' aliases another backend's default CacheKey";
+
+    for (const auto& [key, default_value] : info.tunables) {
+      BackendSpec tweaked = spec;
+      tweaked.params.emplace_back(key, default_value + 1.0);
+      const std::string tweaked_key = registry.Create(tweaked).CacheKey();
+      EXPECT_NE(tweaked_key, base_key)
+          << "override " << info.name << ":" << key << "=" << default_value + 1.0
+          << " does not reach CacheKey() — plan-store aliasing";
+    }
+  }
+}
+
+// --------------------------------------------------------- GPU cost model
+
+TEST(ResidentWorkgroupsTest, OccupancyCapAndShmemGate) {
+  CoreConfig cc;
+  // Edge/NPU defaults: identity.
+  EXPECT_EQ(ResidentWorkgroups(cc, 1 << 20), 1);
+
+  cc.concurrent_workgroups = 4;
+  cc.shmem_bytes = 96 * 1024;
+  EXPECT_EQ(ResidentWorkgroups(cc, 8 * 1024), 4);    // occupancy-capped
+  EXPECT_EQ(ResidentWorkgroups(cc, 48 * 1024), 2);   // shmem-gated
+  EXPECT_EQ(ResidentWorkgroups(cc, 200 * 1024), 1);  // never below one
+  EXPECT_EQ(ResidentWorkgroups(cc, 0), 4);           // no working set: cap only
+
+  cc.shmem_bytes = 0;  // no shared-memory gate configured
+  EXPECT_EQ(ResidentWorkgroups(cc, 200 * 1024), 4);
+}
+
+TEST(GpuCostModel, ResidencyDividesCyclesButNotEnergy) {
+  const HardwareConfig gpu = ResolveBackend("gpu:sms=1,occupancy=4");
+  const HardwareConfig serial = ResolveBackend("gpu:sms=1,occupancy=1");
+  const EnergyModel em;
+  const CostModel cm_gpu(gpu, em);
+  const CostModel cm_serial(serial, em);
+
+  // 8 groups of 16x32x16: one output tile each, pass working set
+  // (16*32 + 32*16 + 16*16) * 2 B = 2.5 KB, so all 4 workgroups fit in
+  // 96 KB shmem and the accumulate time divides by 4.
+  const TaskCost four = cm_gpu.MacTile(8, 16, 32, 16, 0);
+  const TaskCost one = cm_serial.MacTile(8, 16, 32, 16, 0);
+  const std::uint64_t setup =
+      static_cast<std::uint64_t>(gpu.cores[0].mac_setup_cycles);
+  EXPECT_EQ(one.cycles - setup, 8u * 32u);
+  EXPECT_EQ(four.cycles - setup, 2u * 32u);
+  // Energy counts real work, which residency does not change.
+  EXPECT_DOUBLE_EQ(four.energy.total_pj(), one.energy.total_pj());
+
+  // A pass too fat for shmem serializes even at occupancy=4: working set
+  // (256*256*3) * 2 B = 384 KB > 96 KB.
+  const TaskCost fat = cm_gpu.MacTile(1, 256, 256, 256, 0);
+  const TaskCost fat_serial = cm_serial.MacTile(1, 256, 256, 256, 0);
+  EXPECT_EQ(fat.cycles, fat_serial.cycles);
+}
+
+TEST(GpuCostModel, DescribeAdvertisesResidencyAndDmaFields) {
+  const HardwareConfig gpu = ResolveBackend("gpu");
+  const std::string desc = gpu.Describe();
+  EXPECT_NE(desc.find("DMA setup 512 cycles"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("2 B elements"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("4 resident workgroups"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("96 KB shmem"), std::string::npos) << desc;
+  // Edge stays residency-silent: its cores have no workgroup story.
+  EXPECT_EQ(EdgeSimConfig().Describe().find("workgroups"), std::string::npos);
+}
+
+// ------------------------------------------------------------ device lists
+
+TEST(ResolveBackendListTest, CyclesEntriesAcrossDevices) {
+  const std::vector<HardwareConfig> fleet = ResolveBackendList("edge;npu", 4);
+  ASSERT_EQ(fleet.size(), 4u);
+  EXPECT_EQ(fleet[0].name, "edge_sim");
+  EXPECT_EQ(fleet[1].name, "davinci_npu");
+  EXPECT_EQ(fleet[2].name, "edge_sim");
+  EXPECT_EQ(fleet[3].name, "davinci_npu");
+
+  const std::vector<HardwareConfig> tuned = ResolveBackendList("gpu:sms=2", 2);
+  ASSERT_EQ(tuned.size(), 2u);
+  EXPECT_EQ(tuned[0].CacheKey(), tuned[1].CacheKey());
+
+  EXPECT_THROW(ResolveBackendList("", 2), Error);
+  EXPECT_THROW(ResolveBackendList("edge;;npu", 3), Error);
+  EXPECT_THROW(ResolveBackendList("edge", 0), Error);
+}
+
+// --------------------------------------------------- heterogeneous serving
+
+TEST(HeteroPlacement, ServePlannerResolvesPhaseBackends) {
+  Planner planner;
+  serve::ServePlannerOptions options;
+  options.min_context_bucket = 64;
+  options.prefill_backend = "npu";
+  serve::ServePlanner sp(planner, EdgeSimConfig(), BertBaseGeometry(), options);
+
+  EXPECT_TRUE(sp.split_placement());
+  EXPECT_EQ(sp.prefill_hw().name, "davinci_npu");
+  EXPECT_EQ(sp.decode_hw().name, "edge_sim");
+  // NPU runs at 1 GHz vs the 3.75 GHz base clock: prefill cycles inflate by
+  // the ratio when reported on the base clock; decode stays exactly 1.0.
+  EXPECT_DOUBLE_EQ(sp.prefill_clock_scale(), 3.75);
+  EXPECT_DOUBLE_EQ(sp.decode_clock_scale(), 1.0);
+}
+
+TEST(HeteroPlacement, EmptyBackendsKeepTheLegacyHomogeneousPath) {
+  Planner planner;
+  serve::ServePlannerOptions options;
+  options.min_context_bucket = 64;
+  serve::ServePlanner sp(planner, EdgeSimConfig(), BertBaseGeometry(), options);
+  EXPECT_FALSE(sp.split_placement());
+  EXPECT_EQ(sp.prefill_hw().CacheKey(), EdgeSimConfig().CacheKey());
+  EXPECT_DOUBLE_EQ(sp.prefill_clock_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(sp.decode_clock_scale(), 1.0);
+}
+
+TEST(HeteroPlacement, MatchingSpecsAreNotASplitEvenWhenNamed) {
+  Planner planner;
+  serve::ServePlannerOptions options;
+  options.min_context_bucket = 64;
+  options.prefill_backend = "edge";
+  options.decode_backend = "edge";
+  serve::ServePlanner sp(planner, EdgeSimConfig(), BertBaseGeometry(), options);
+  EXPECT_FALSE(sp.split_placement());
+}
+
+}  // namespace
+}  // namespace mas::sim

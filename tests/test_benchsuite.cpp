@@ -35,7 +35,8 @@ TEST(SuiteRegistry, ListsEveryPortedBenchExactlyOnce) {
       "ablation_cores",  "cross_attention",    "seq_sweep",
       "limits_maxseq",   "sd_unet_e2e",        "training_backward",
       "serve_llm_chat",  "serve_decode_heavy", "serve_mixed_sd",
-      "serve_slo_sweep", "serve_resilience",   "serve_fleet"};
+      "serve_slo_sweep", "serve_resilience",   "serve_fleet",
+      "serve_hetero_pareto"};
   ASSERT_EQ(suites.size(), expected.size());
   for (std::size_t i = 0; i < suites.size(); ++i) {
     EXPECT_EQ(suites[i].name, expected[i]);

@@ -170,6 +170,29 @@ cp "$BUILD_DIR/BENCH_serve_fleet.json" "$BUILD_DIR/BENCH_serve_fleet_cold.json"
 cmp "$BUILD_DIR/BENCH_serve_fleet_cold.json" "$BUILD_DIR/BENCH_serve_fleet.json"
 grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/fleet_warm.err"
 
+# Heterogeneous placement: a mixed-backend fleet (registry specs cycled
+# across device slots, plus a phase split on every device) must be
+# byte-deterministic across --jobs, and the serve_hetero_pareto suite must
+# replay byte-identically cold vs warm against one plan cache with ZERO
+# warm search evaluations (phase plans key on each backend's CacheKey).
+"$BUILD_DIR/mas_fleet" --trace=chat --requests=6 --devices=3 \
+    --device-hw='edge;npu;gpu:sms=2' --prefill-backend=gpu:sms=2 --max-batch=2 \
+    --jobs=1 --out="$BUILD_DIR/hetero_jobs1.json" > /dev/null
+"$BUILD_DIR/mas_fleet" --trace=chat --requests=6 --devices=3 \
+    --device-hw='edge;npu;gpu:sms=2' --prefill-backend=gpu:sms=2 --max-batch=2 \
+    --jobs=8 --out="$BUILD_DIR/hetero_jobs8.json" > /dev/null
+cmp "$BUILD_DIR/hetero_jobs1.json" "$BUILD_DIR/hetero_jobs8.json"
+rm -f "$BUILD_DIR/hetero_plans.json"
+"$BUILD_DIR/mas_bench" --suite=serve_hetero_pareto --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/hetero_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> /dev/null
+cp "$BUILD_DIR/BENCH_serve_hetero_pareto.json" "$BUILD_DIR/BENCH_serve_hetero_pareto_cold.json"
+"$BUILD_DIR/mas_bench" --suite=serve_hetero_pareto --jobs="$JOBS" \
+    --plan-cache="$BUILD_DIR/hetero_plans.json" --out-dir="$BUILD_DIR" \
+    > /dev/null 2> "$BUILD_DIR/hetero_warm.err"
+cmp "$BUILD_DIR/BENCH_serve_hetero_pareto_cold.json" "$BUILD_DIR/BENCH_serve_hetero_pareto.json"
+grep -q "tuned 0 (0 search evaluations)" "$BUILD_DIR/hetero_warm.err"
+
 # Debug + ASan/UBSan pass over the new public surface (registry, strategies,
 # JSON reader, planner, and the serving stack: session, SLO engine, arrival
 # and fault models, fleet router). Builds only the targets it runs to keep
@@ -179,7 +202,7 @@ cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DMAS_SANITIZE=ON \
     -DMAS_BUILD_BENCHES=OFF -DMAS_BUILD_EXAMPLES=OFF
 cmake --build "$SAN_DIR" -j "$JOBS" \
     --target test_registry test_json_reader test_planner \
-    test_serve test_serve_slo test_arrival test_fault test_fleet
+    test_serve test_serve_slo test_arrival test_fault test_fleet test_backend
 "$SAN_DIR/test_registry"
 "$SAN_DIR/test_json_reader"
 "$SAN_DIR/test_planner"
@@ -188,6 +211,7 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
 "$SAN_DIR/test_arrival"
 "$SAN_DIR/test_fault"
 "$SAN_DIR/test_fleet"
+"$SAN_DIR/test_backend"
 
 # ThreadSanitizer pass over the concurrent batteries (worker pools, the
 # parallel sweep runner, fleet routing, and the SLO engine's threaded
@@ -202,4 +226,4 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 "$TSAN_DIR/test_fleet"
 "$TSAN_DIR/test_serve_slo"
 
-echo "ci: build + lint + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + fleet smoke + asan + tsan OK"
+echo "ci: build + lint + tests + sweep smoke + plan-cache smoke + engine bench + mas_bench smoke + mas_serve smoke + slo-sweep smoke + resilience smoke + fleet smoke + hetero smoke + asan + tsan OK"

@@ -19,6 +19,7 @@
 //   $ mas_fleet --trace=chat --requests=24 --synth-tenants=3 \
 //       --router=session_affinity --tenants=weighted:t0=2,t1=1,t2=1
 //   $ mas_fleet --devices=4 --hw=mixed --fault=crash:prob=0.05 --max-retries=2
+//   $ mas_fleet --devices=6 --device-hw='edge;npu;gpu:sms=4' --router=least_loaded
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,11 +27,13 @@
 #include <string>
 
 #include "cli/args.h"
+#include "cli/backend_flags.h"
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "fleet/fleet.h"
 #include "serve/arrival.h"
 #include "serve/slo.h"
+#include "sim/backend.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
@@ -73,7 +76,21 @@ int main(int argc, char** argv) {
   const std::int64_t* bucket = parser.AddInt(
       "min-bucket", 64, "smallest power-of-two context bucket (plan-sharing granularity)");
   const std::string* hw_flag = parser.AddString(
-      "hw", "edge", "hardware preset: edge | npu | mixed (alternate edge/npu per device)");
+      "hw", "edge",
+      "fleet-wide hardware backend spec backend[:key=value,...], or 'mixed' "
+      "(alternate edge/npu per device); see --list-backends");
+  const std::string* device_hw_flag = parser.AddString(
+      "device-hw", "",
+      "per-device backend specs, ';'-separated and cycled across devices "
+      "(e.g. 'edge;npu;gpu:sms=4'); overrides --hw");
+  const std::string* prefill_backend = parser.AddString(
+      "prefill-backend", "",
+      "place every device's prefill on its own backend spec (empty = the device)");
+  const std::string* decode_backend = parser.AddString(
+      "decode-backend", "",
+      "place every device's decode on its own backend spec (empty = the device)");
+  const bool* list_backends = parser.AddBool(
+      "list-backends", false, "list the registered hardware backends, then exit");
   const std::string* out_file =
       parser.AddString("out", "", "write the machine-readable fleet JSON to FILE");
   const std::string* save_trace = parser.AddString(
@@ -125,6 +142,10 @@ int main(int argc, char** argv) {
 
   try {
     if (!parser.Parse(argc, argv)) return 0;
+    if (*list_backends) {
+      cli::PrintBackendCatalog(std::cout);
+      return 0;
+    }
     MAS_CHECK(parser.positional().empty())
         << "mas_fleet takes no positional arguments (see --help)";
 
@@ -144,17 +165,22 @@ int main(int argc, char** argv) {
     MAS_CHECK(*drain >= 0) << "--drain-tokens-per-tick must be non-negative, got " << *drain;
     options.drain_tokens_per_tick = *drain;
     options.tenants = fleet::TenantPolicySpec::Parse(*tenants_flag);
-    MAS_CHECK(*hw_flag == "edge" || *hw_flag == "npu" || *hw_flag == "mixed")
-        << "unknown --hw '" << *hw_flag << "'; options: edge, npu, mixed";
-    if (*hw_flag != "edge") {
-      for (int d = 0; d < options.devices; ++d) {
-        const bool npu = *hw_flag == "npu" || d % 2 == 1;
-        options.device_hw.push_back(npu ? sim::DavinciNpuConfig() : sim::EdgeSimConfig());
-      }
+    // Device hardware, most specific wins: --device-hw cycles a ';'-separated
+    // backend spec list across the fleet; otherwise --hw resolves one spec
+    // for every device ('mixed' is legacy sugar for 'edge;npu'). The default
+    // 'edge' keeps device_hw empty — the FleetRouter's all-EdgeSimConfig
+    // path, byte-identical to earlier versions.
+    if (!device_hw_flag->empty()) {
+      options.device_hw = sim::ResolveBackendList(*device_hw_flag, options.devices);
+    } else if (*hw_flag == "mixed") {
+      options.device_hw = sim::ResolveBackendList("edge;npu", options.devices, "--hw");
+    } else if (*hw_flag != "edge") {
+      options.device_hw.assign(static_cast<std::size_t>(options.devices),
+                               sim::ResolveBackend(*hw_flag));
     }
-    // Calibration and µs -> cycle conversions run on device 0's clock; with
-    // --hw=mixed the other devices simply serve their share at their own
-    // frequency.
+    // Calibration and µs -> cycle conversions run on device 0's clock; in a
+    // heterogeneous fleet the other devices simply serve their share at
+    // their own frequency.
     const sim::HardwareConfig hw0 =
         options.device_hw.empty() ? sim::EdgeSimConfig() : options.device_hw[0];
 
@@ -189,6 +215,8 @@ int main(int argc, char** argv) {
     options.planner.prefill_method = *prefill_method;
     options.planner.decode_method = *decode_method;
     options.planner.min_context_bucket = *bucket;
+    options.planner.prefill_backend = *prefill_backend;
+    options.planner.decode_backend = *decode_backend;
 
     serve::ServeSessionOptions& session = options.session;
     session.max_batch = static_cast<int>(*max_batch);
@@ -279,6 +307,11 @@ int main(int argc, char** argv) {
       json.BeginObject();
       json.KeyValue("tool", "mas_fleet");
       json.KeyValue("hw", *hw_flag);
+      // Heterogeneity keys appear only when configured, keeping the default
+      // envelope byte-identical to earlier versions.
+      if (!device_hw_flag->empty()) json.KeyValue("device_hw", *device_hw_flag);
+      if (!prefill_backend->empty()) json.KeyValue("prefill_backend", *prefill_backend);
+      if (!decode_backend->empty()) json.KeyValue("decode_backend", *decode_backend);
       json.KeyValue("model", options.geometry.name);
       json.KeyValue("prefill_method", *prefill_method);
       json.KeyValue("decode_method", *decode_method);

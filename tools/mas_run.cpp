@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cli/args.h"
+#include "cli/backend_flags.h"
 #include "common/table.h"
 #include "dataflow/workloads.h"
 #include "planner/planner.h"
@@ -50,6 +51,7 @@
 #include "schedulers/registry.h"
 #include "schedulers/scheduler.h"
 #include "search/strategy.h"
+#include "sim/backend.h"
 #include "sim/hardware_config.h"
 #include "trace/trace.h"
 
@@ -122,6 +124,8 @@ int main(int argc, char** argv) {
       "list-methods", false, "list the registered methods and search strategies, then exit");
   const bool* list_networks =
       parser.AddBool("list-networks", false, "list the Table-1 networks, then exit");
+  const bool* list_backends = parser.AddBool(
+      "list-backends", false, "list the registered hardware backends, then exit");
   const std::string* seq_flag = parser.AddString(
       "seq", "",
       "sweep query sequence lengths: N | a,b,c | start:end[:*k|:+k] (enables sweep mode)");
@@ -130,7 +134,8 @@ int main(int argc, char** argv) {
   const std::int64_t* embed = parser.AddInt("embed", 64, "sweep shape: head embedding E");
   const std::int64_t* kv = parser.AddInt("kv", 0, "sweep shape: KV length (0 = self-attention)");
   const std::int64_t* jobs = parser.AddInt("jobs", 1, "worker threads for the sweep");
-  const std::string* hw_flag = parser.AddString("hw", "edge", "hardware preset: edge | npu");
+  const std::string* hw_flag = parser.AddString(
+      "hw", "edge", "hardware backend spec backend[:key=value,...]; see --list-backends");
   const std::int64_t* l1_mb = parser.AddInt("l1-mb", 0, "override L1 capacity (MiB)");
   const std::int64_t* cores = parser.AddInt("cores", 0, "override core count");
   const double* bandwidth =
@@ -164,11 +169,14 @@ int main(int argc, char** argv) {
       PrintNetworks();
       return 0;
     }
+    if (*list_backends) {
+      cli::PrintBackendCatalog(std::cout);
+      return 0;
+    }
 
-    sim::HardwareConfig hw =
-        *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
-    MAS_CHECK(*hw_flag == "npu" || *hw_flag == "edge")
-        << "unknown --hw '" << *hw_flag << "'; options: edge, npu";
+    // Registry-resolved backend spec (unknown names throw the catalog); the
+    // legacy override flags below still apply on top of any spec tunables.
+    sim::HardwareConfig hw = sim::ResolveBackend(*hw_flag);
     if (*l1_mb > 0) hw.l1_bytes = *l1_mb * 1024 * 1024;
     if (*cores > 0) {
       MAS_CHECK(*cores <= 64) << "--cores out of range";

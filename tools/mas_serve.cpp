@@ -43,11 +43,13 @@
 #include <string>
 
 #include "cli/args.h"
+#include "cli/backend_flags.h"
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "serve/arrival.h"
 #include "serve/session.h"
 #include "serve/slo.h"
+#include "sim/backend.h"
 #include "sim/hardware_config.h"
 
 int main(int argc, char** argv) {
@@ -72,7 +74,16 @@ int main(int argc, char** argv) {
       parser.AddString("decode-method", "FLAT", "scheduler for decode steps");
   const std::int64_t* bucket = parser.AddInt(
       "min-bucket", 64, "smallest power-of-two context bucket (plan-sharing granularity)");
-  const std::string* hw_flag = parser.AddString("hw", "edge", "hardware preset: edge | npu");
+  const std::string* hw_flag = parser.AddString(
+      "hw", "edge", "hardware backend spec backend[:key=value,...]; see --list-backends");
+  const std::string* prefill_backend = parser.AddString(
+      "prefill-backend", "",
+      "place prefill on its own backend spec (heterogeneous phase placement; "
+      "empty = the --hw device)");
+  const std::string* decode_backend = parser.AddString(
+      "decode-backend", "", "place decode on its own backend spec (empty = the --hw device)");
+  const bool* list_backends = parser.AddBool(
+      "list-backends", false, "list the registered hardware backends, then exit");
   const std::string* out_file =
       parser.AddString("out", "", "write the machine-readable serve JSON to FILE");
   const std::string* save_trace = parser.AddString(
@@ -123,13 +134,17 @@ int main(int argc, char** argv) {
 
   try {
     if (!parser.Parse(argc, argv)) return 0;
+    if (*list_backends) {
+      cli::PrintBackendCatalog(std::cout);
+      return 0;
+    }
     MAS_CHECK(parser.positional().empty())
         << "mas_serve takes no positional arguments (see --help)";
 
-    sim::HardwareConfig hw =
-        *hw_flag == "npu" ? sim::DavinciNpuConfig() : sim::EdgeSimConfig();
-    MAS_CHECK(*hw_flag == "npu" || *hw_flag == "edge")
-        << "unknown --hw '" << *hw_flag << "'; options: edge, npu";
+    // Registry-resolved backend spec: the base device whose clock defines
+    // the session (arrival calibration, SLO/deadline conversion, JSON ms
+    // figures). Phase placements below may move prefill/decode elsewhere.
+    const sim::HardwareConfig hw = sim::ResolveBackend(*hw_flag);
 
     // --trace: an existing file loads as JSON; anything else is a preset.
     serve::RequestTrace trace;
@@ -160,6 +175,8 @@ int main(int argc, char** argv) {
     planner_options.prefill_method = *prefill_method;
     planner_options.decode_method = *decode_method;
     planner_options.min_context_bucket = *bucket;
+    planner_options.prefill_backend = *prefill_backend;
+    planner_options.decode_backend = *decode_backend;
 
     Planner planner;
     std::size_t plans_loaded = 0;
@@ -214,7 +231,13 @@ int main(int argc, char** argv) {
 
     std::cout << "=== mas_serve: trace '" << trace.name << "' on " << hw.name << " ===\n";
     std::cout << "prefill " << *prefill_method << " / decode " << *decode_method
-              << ", max batch " << *max_batch << ", buckets pow2 >= " << *bucket << "\n\n";
+              << ", max batch " << *max_batch << ", buckets pow2 >= " << *bucket << "\n";
+    if (serve_planner.split_placement()) {
+      std::cout << "placement: prefill on " << serve_planner.prefill_hw().name
+                << ", decode on " << serve_planner.decode_hw().name
+                << " (cycles reported on the " << hw.name << " clock)\n";
+    }
+    std::cout << "\n";
     serve::PrintReport(std::cout, result, hw, serve_planner.plan_count());
     if (slo_targets.HasTtft() || slo_targets.HasTpot()) {
       std::cout << "SLO attainment: TTFT " << slo.ttft_ok << "/" << slo.requests << " ("
